@@ -1,0 +1,377 @@
+package repro
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md §3 for the index). They are benchmarks
+// rather than tests so that `go test -bench=.` produces the full experiment
+// report in one run, with key quantities attached as benchmark metrics.
+//
+// Workload sizes follow experiments.DefaultScale; set SODA_EXPERIMENT_SCALE
+// to multiply them. Each bench runs its experiment once per b.N loop; the
+// experiments are deterministic, so b.N=1 (the default for slow benches)
+// regenerates the artifact exactly.
+
+import (
+	"testing"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/video"
+)
+
+func scaleForBench() experiments.Scale { return experiments.DefaultScale() }
+
+func BenchmarkFigure01ViewingVsSwitching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure01(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fit.Slope, "fit-slope")
+		b.ReportMetric(res.FractionAt20, "viewing-frac@20%switching")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure02BOLABoundaries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure02()
+		b.ReportMetric(res.OnDemandSpread, "ondemand-spread-s")
+		b.ReportMetric(res.LiveSpread, "live-spread-s")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure03RobustMPCPathology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure03()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MPCRebufferEvents), "mpc-rebuffer-events")
+		b.ReportMetric(float64(res.SODARebufferEvents), "soda-rebuffer-events")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure04TimeBasedFormulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure04()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure05DecisionDiagram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure05()
+		b.ReportMetric(float64(res.WaitCells), "no-download-cells")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure06ExponentialDecay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure06()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HeadMean, "head-distance")
+		b.ReportMetric(res.TailMean, "tail-distance")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure07PredictorCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure07(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EMACorrelation[0], "ema-corr-near")
+		b.ReportMetric(res.EMACorrelation[len(res.EMACorrelation)-1], "ema-corr-far")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure08ApproxVsBruteForce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Figure08(scaleForBench())
+		last := res.Mismatch[len(res.Mismatch)-1]
+		b.ReportMetric(last[0], "K5-mismatch-low-weight")
+		b.ReportMetric(last[len(last)-1], "K5-mismatch-high-weight")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure09DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure09(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, n := range res.Names {
+			b.ReportMetric(n.MeanMbps, n.Name+"-mean-mbps")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure10SimulationQoE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure10(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		wins := 0
+		for _, bucket := range res.Buckets {
+			if res.Best(bucket) == "soda" {
+				wins++
+			}
+		}
+		b.ReportMetric(float64(wins), "soda-best-buckets")
+		b.ReportMetric(res.Aggregates["4g"]["soda"].Score.Mean, "soda-4g-qoe")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure11NoiseRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure11(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		soda := res.Scores["soda"]
+		b.ReportMetric(soda[0], "soda-qoe-0noise")
+		b.ReportMetric(soda[3], "soda-qoe-30noise")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure12Prototype(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure12(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Aggregates["soda"].Score.Mean, "soda-qoe")
+		b.ReportMetric(res.Aggregates["soda"].SwitchRate.Mean, "soda-switchrate")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkFigure13Production(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure13(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rep := range res.Reports {
+			b.ReportMetric(100*rep.SwitchDelta, rep.Family+"-switch-%")
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTable01Summary(b *testing.B) {
+	scale := scaleForBench()
+	for i := 0; i < b.N; i++ {
+		fig10, err := experiments.Figure10(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig12, err := experiments.Figure12(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table := experiments.Table01(fig10, fig12)
+		if i == 0 {
+			b.Log("\n" + table.Render())
+		}
+	}
+}
+
+func BenchmarkTheoremRegretVsHorizon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TheoremRegret()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.CompetitiveRatio[0], "ratio-K1")
+		b.ReportMetric(res.CompetitiveRatio[len(res.CompetitiveRatio)-1], "ratio-K10")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkTheoremMonotoneApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TheoremMonotone()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Violations[0], "violation-low-gamma")
+		b.ReportMetric(res.Violations[len(res.Violations)-1], "violation-high-gamma")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// --- Solver micro-benchmarks and ablations ------------------------------
+
+// BenchmarkSolverMonotonic measures Algorithm 1's per-decision cost — the
+// paper's deployability argument (about 200 sequences max in practice).
+func BenchmarkSolverMonotonic(b *testing.B) {
+	ctrl := core.New(core.DefaultConfig(), video.YouTube4K())
+	ctx := benchCtx()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(ctx)
+	}
+}
+
+// BenchmarkSolverBruteForce measures the exponential reference solver on the
+// same decision, quantifying the two-orders-of-magnitude gap.
+func BenchmarkSolverBruteForce(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.UseBruteForce = true
+	ctrl := core.New(cfg, video.YouTube4K())
+	ctx := benchCtx()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(ctx)
+	}
+}
+
+// BenchmarkAblationHorizon sweeps the planning horizon, the design knob
+// Theorem 4.1 analyzes.
+func BenchmarkAblationHorizon(b *testing.B) {
+	for _, k := range []int{1, 3, 5} {
+		b.Run(byK(k), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Horizon = k
+			ctrl := core.New(cfg, video.YouTube4K())
+			ctx := benchCtx()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl.Decide(ctx)
+			}
+		})
+	}
+}
+
+func byK(k int) string {
+	return map[int]string{1: "K1", 3: "K3", 5: "K5"}[k]
+}
+
+func benchCtx() *abr.Context {
+	ladder := video.YouTube4K()
+	return &abr.Context{
+		Buffer:    11,
+		BufferCap: 20,
+		PrevRung:  3,
+		Ladder:    ladder,
+		Predict:   func(float64) float64 { return 30 },
+	}
+}
+
+// --- Design-choice ablations on realized QoE -----------------------------
+
+func runAblationBench(b *testing.B, run func(experiments.Scale) (*experiments.AblationResult, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+func BenchmarkAblationTargetFraction(b *testing.B) {
+	runAblationBench(b, experiments.AblationTargetFraction)
+}
+
+func BenchmarkAblationEpsilon(b *testing.B) {
+	runAblationBench(b, experiments.AblationEpsilon)
+}
+
+func BenchmarkAblationSwitchingWeight(b *testing.B) {
+	runAblationBench(b, experiments.AblationSwitchingWeight)
+}
+
+func BenchmarkAblationHorizonQoE(b *testing.B) {
+	runAblationBench(b, experiments.AblationHorizonQoE)
+}
+
+func BenchmarkAblationAbandonment(b *testing.B) {
+	runAblationBench(b, experiments.AblationAbandonment)
+}
+
+func BenchmarkAblationPredictor(b *testing.B) {
+	runAblationBench(b, experiments.AblationPredictor)
+}
+
+// BenchmarkUltraLowLatency runs the §8 future-work study: shrinking live
+// budgets down to a few seconds.
+func BenchmarkUltraLowLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.UltraLowLatency(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		soda := res.PerController["soda"]
+		b.ReportMetric(soda[0].Score.Mean, "soda-qoe-4s-budget")
+		b.ReportMetric(soda[len(soda)-1].Score.Mean, "soda-qoe-20s-budget")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkOracleGap measures how much of the clairvoyant-optimal QoE each
+// controller realizes (offline-optimal reference, 4G conditions).
+func BenchmarkOracleGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.OracleGap(scaleForBench())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RealizedFraction["soda"], "soda-fraction-of-oracle")
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command soda-player streams from a soda-server with any ABR controller and
+// reports the session's QoE — the other half of the prototype deployment.
+//
+// Usage:
+//
+//	soda-player -addr 127.0.0.1:9000 -controller soda -timescale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/abr"
+	"repro/internal/player"
+	"repro/internal/predictor"
+
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+
+	"repro/internal/proto"
+	"repro/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "server address")
+	controller := flag.String("controller", "soda", "ABR controller name")
+	bufferCap := flag.Float64("buffer", 15, "buffer cap in seconds")
+	timeScale := flag.Float64("timescale", 1, "stream-time compression (must match the server's shaper)")
+	maxSegments := flag.Int("max-segments", 0, "stop after this many segments (0 = whole stream)")
+	flag.Parse()
+
+	// Probe the manifest first to build the right ladder for the controller.
+	probe, err := proto.Dial(*addr, 0)
+	if err != nil {
+		fatal(err)
+	}
+	manifest := probe.Manifest()
+	probe.Close()
+	ladder := video.NewLadder(manifest.BitratesMbps, manifest.SegmentSeconds)
+
+	ctrl, err := abr.New(*controller, ladder)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := player.Play(player.Config{
+		Addr:        *addr,
+		Controller:  ctrl,
+		Predictor:   predictor.NewSafeEMA(),
+		BufferCap:   *bufferCap,
+		TimeScale:   *timeScale,
+		MaxSegments: *maxSegments,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	m := res.Metrics
+	fmt.Printf("controller %s: %d segments\n", *controller, m.Segments)
+	fmt.Printf("  QoE %.4f  utility %.4f  rebuffer %.4f (%.1fs, %d events)  switching %.4f (%d switches)\n",
+		m.Score, m.MeanUtility, m.RebufferRatio, m.RebufferSec, m.RebufferEvents, m.SwitchRate, m.Switches)
+	fmt.Printf("  startup %.2fs  waits %d\n", m.StartupSec, res.Waits)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soda-player:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+// Command soda-server runs the prototype segment server on a TCP address,
+// optionally shaping delivery with a bandwidth trace — one half of the local
+// client-server deployment of the prototype evaluation (§6.2).
+//
+// Usage:
+//
+//	soda-server -addr :9000 -segments 300
+//	soda-server -addr :9000 -trace 4g.csv -timescale 10
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dash"
+	"repro/internal/netem"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	segments := flag.Int("segments", 300, "segments in the stream")
+	traceFile := flag.String("trace", "", "CSV trace to shape delivery (unshaped if empty)")
+	timeScale := flag.Float64("timescale", 1, "stream-time compression factor")
+	ladderName := flag.String("ladder", "prototype", "ladder: youtube4k, mobile, prototype, prime")
+	writeMPD := flag.String("write-mpd", "", "also write an MPEG-DASH MPD describing the stream to this file")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "soda-server: ", log.LstdFlags)
+
+	var ladder video.Ladder
+	switch *ladderName {
+	case "youtube4k":
+		ladder = video.YouTube4K()
+	case "mobile":
+		ladder = video.Mobile()
+	case "prototype":
+		ladder = video.Prototype()
+	case "prime":
+		ladder = video.PrimeVideo()
+	default:
+		logger.Fatalf("unknown ladder %q", *ladderName)
+	}
+
+	srv, err := proto.NewServer(ladder, nil, *segments, logger)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	if *writeMPD != "" {
+		mediaDur := time.Duration(float64(*segments) * ladder.SegmentSeconds * float64(time.Second))
+		f, err := os.Create(*writeMPD)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := dash.FromLadder(ladder, mediaDur).Write(f); err != nil {
+			f.Close()
+			logger.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("wrote MPD to %s", *writeMPD)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var listener net.Listener = ln
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		scale := *timeScale
+		listener = netem.NewListener(ln, func() (*netem.Shaper, error) {
+			return netem.NewShaper(tr, scale)
+		})
+		logger.Printf("shaping with %s (%.1f Mb/s mean, %gx time)", *traceFile, tr.MeanMbps(), scale)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("serving %d segments of the %s ladder on %s\n", *segments, *ladderName, ln.Addr())
+	if err := srv.Serve(ctx, listener); err != nil && ctx.Err() == nil {
+		logger.Fatal(err)
+	}
+	logger.Print("shut down")
+}

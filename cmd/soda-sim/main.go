@@ -1,0 +1,131 @@
+// Command soda-sim runs ABR simulations over generated datasets or a trace
+// file and prints per-controller QoE aggregates.
+//
+// Usage:
+//
+//	soda-sim -dataset 4g -sessions 50 -controllers soda,bola,mpc
+//	soda-sim -trace mytrace.csv -controllers soda
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/abr"
+	"repro/internal/predictor"
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+func main() {
+	dataset := flag.String("dataset", "4g", "dataset profile: puffer, 5g or 4g")
+	traceFile := flag.String("trace", "", "CSV trace file (duration_s,mbps); overrides -dataset")
+	sessions := flag.Int("sessions", 40, "number of sessions to simulate")
+	sessionSeconds := flag.Float64("session-seconds", 600, "session length")
+	bufferCap := flag.Float64("buffer", 20, "buffer cap in seconds (live: 20)")
+	ladderName := flag.String("ladder", "", "ladder: youtube4k, mobile, prototype, prime (default: per dataset)")
+	controllers := flag.String("controllers", "soda,hyb,bola,dynamic,mpc", "comma-separated controllers")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	ladder, err := pickLadder(*ladderName, *dataset)
+	if err != nil {
+		fatal(err)
+	}
+
+	var traces []*trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		traces = []*trace.Trace{tr}
+		if *sessionSeconds > tr.Duration() {
+			*sessionSeconds = tr.Duration()
+		}
+	} else {
+		profile, err := pickProfile(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := tracegen.Generate(profile, *sessions, *sessionSeconds, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		traces = ds.Sessions
+		fmt.Printf("dataset %s: %d sessions, mean %.1f Mb/s, RSD %.1f%%\n",
+			*dataset, len(traces), ds.MeanMbps(), 100*ds.RSD())
+	}
+
+	for _, name := range strings.Split(*controllers, ",") {
+		name = strings.TrimSpace(name)
+		if _, err := abr.New(name, ladder); err != nil {
+			fatal(err)
+		}
+		factory := func() (abr.Controller, predictor.Predictor) {
+			c, _ := abr.New(name, ladder)
+			return c, predictor.NewEMA(4)
+		}
+		metrics, err := sim.RunDataset(traces, factory, sim.Config{
+			Ladder:         ladder,
+			BufferCap:      *bufferCap,
+			SessionSeconds: *sessionSeconds,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(qoe.Aggregated(name, metrics).String())
+	}
+}
+
+func pickProfile(name string) (tracegen.Profile, error) {
+	switch name {
+	case "puffer":
+		return tracegen.Puffer(), nil
+	case "5g":
+		return tracegen.FiveG(), nil
+	case "4g":
+		return tracegen.FourG(), nil
+	default:
+		return tracegen.Profile{}, fmt.Errorf("unknown dataset %q (puffer, 5g, 4g)", name)
+	}
+}
+
+func pickLadder(name, dataset string) (video.Ladder, error) {
+	if name == "" {
+		if dataset == "puffer" {
+			return video.YouTube4K(), nil
+		}
+		return video.Mobile(), nil
+	}
+	switch name {
+	case "youtube4k":
+		return video.YouTube4K(), nil
+	case "mobile":
+		return video.Mobile(), nil
+	case "prototype":
+		return video.Prototype(), nil
+	case "prime":
+		return video.PrimeVideo(), nil
+	default:
+		return video.Ladder{}, fmt.Errorf("unknown ladder %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "soda-sim:", err)
+	os.Exit(1)
+}

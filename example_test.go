@@ -1,0 +1,49 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleSimulate runs SODA over a constant 12 Mb/s link with the mobile
+// ladder: a clean session pinned at the sustainable 7.5 Mb/s rung.
+func ExampleSimulate() {
+	ladder := repro.LadderMobile()
+	soda := repro.NewSODA(repro.DefaultSODAConfig(), ladder)
+	res, err := repro.Simulate(repro.ConstantTrace(12, 120), repro.SimulationConfig{
+		Ladder:     ladder,
+		BufferCap:  20,
+		Controller: soda,
+		Predictor:  repro.NewEMAPredictor(4),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("segments=%d rebuffer=%.2f\n", res.Metrics.Segments, res.Metrics.RebufferRatio)
+	// Output: segments=60 rebuffer=0.00
+}
+
+// ExampleNewController shows baseline construction through the registry.
+func ExampleNewController() {
+	bola, err := repro.NewController("bola", repro.LadderYouTube4K())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(bola.Name())
+	// Output: bola
+}
+
+// ExampleGenerateDataset synthesizes sessions calibrated to the paper's 4G
+// dataset.
+func ExampleGenerateDataset() {
+	ds, err := repro.GenerateDataset(repro.Profile4G(), 3, 60, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sessions=%d\n", len(ds.Sessions))
+	// Output: sessions=3
+}

@@ -1,0 +1,46 @@
+// Quickstart: make SODA bitrate decisions over a synthetic trace.
+//
+// This is the smallest end-to-end use of the library: build the controller,
+// simulate a live session over a bandwidth trace, and read the QoE metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A 4K live stream with the YouTube-recommended ladder and the paper's
+	// 20-second live buffer bound.
+	ladder := repro.LadderYouTube4K()
+	soda := repro.NewSODA(repro.DefaultSODAConfig(), ladder)
+
+	// A simple network: 35 Mb/s with a dip to 6 Mb/s in the middle.
+	tr := repro.NewTrace([]repro.Sample{
+		{Duration: 120, Mbps: 35},
+		{Duration: 60, Mbps: 6},
+		{Duration: 120, Mbps: 35},
+	})
+
+	res, err := repro.Simulate(tr, repro.SimulationConfig{
+		Ladder:     ladder,
+		BufferCap:  20,
+		Controller: soda,
+		Predictor:  repro.NewEMAPredictor(4),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("streamed %d segments over a 5-minute session\n", m.Segments)
+	fmt.Printf("  mean utility    %.3f\n", m.MeanUtility)
+	fmt.Printf("  rebuffer ratio  %.4f (%.1f s)\n", m.RebufferRatio, m.RebufferSec)
+	fmt.Printf("  switching rate  %.4f (%d switches)\n", m.SwitchRate, m.Switches)
+	fmt.Printf("  QoE score       %.3f\n", m.Score)
+	fmt.Printf("bitrate sequence (rung indices): %v\n", res.Rungs)
+}

@@ -1,0 +1,90 @@
+package abr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/video"
+)
+
+type fakeController struct{ name string }
+
+func (f *fakeController) Name() string             { return f.name }
+func (f *fakeController) Decide(*Context) Decision { return Decision{Rung: 0} }
+func (f *fakeController) Reset()                   {}
+
+func TestRegistry(t *testing.T) {
+	Register("test-fake", func(video.Ladder) Controller { return &fakeController{name: "test-fake"} })
+	c, err := New("test-fake", video.Mobile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "test-fake" {
+		t.Errorf("Name = %q", c.Name())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() missing registration: %v", Names())
+	}
+	if _, err := New("no-such-controller", video.Mobile()); err == nil {
+		t.Error("unknown controller should error")
+	} else if !strings.Contains(err.Error(), "no-such-controller") {
+		t.Errorf("error should name the controller: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register("test-dup", func(video.Ladder) Controller { return &fakeController{} })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register("test-dup", func(video.Ladder) Controller { return &fakeController{} })
+}
+
+func TestWaitDecision(t *testing.T) {
+	d := Wait(1.5)
+	if d.Rung != NoRung || d.WaitSeconds != 1.5 {
+		t.Errorf("Wait = %+v", d)
+	}
+}
+
+func TestContextValidate(t *testing.T) {
+	good := &Context{Buffer: 5, BufferCap: 20, PrevRung: NoRung, Ladder: video.Mobile()}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid context rejected: %v", err)
+	}
+	cases := []*Context{
+		{Buffer: -1, BufferCap: 20, PrevRung: NoRung, Ladder: video.Mobile()},
+		{Buffer: 1, BufferCap: 0, PrevRung: NoRung, Ladder: video.Mobile()},
+		{Buffer: 1, BufferCap: 20, PrevRung: NoRung},
+		{Buffer: 1, BufferCap: 20, PrevRung: 99, Ladder: video.Mobile()},
+		{Buffer: 1, BufferCap: 20, PrevRung: -2, Ladder: video.Mobile()},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid context accepted", i)
+		}
+	}
+}
+
+func TestPredictSafe(t *testing.T) {
+	ctx := &Context{Ladder: video.Mobile()}
+	if got := ctx.PredictSafe(2); got != ctx.Ladder.Min() {
+		t.Errorf("nil predictor fallback = %v", got)
+	}
+	ctx.Predict = func(float64) float64 { return 0 }
+	if got := ctx.PredictSafe(2); got != ctx.Ladder.Min() {
+		t.Errorf("zero prediction fallback = %v", got)
+	}
+	ctx.Predict = func(float64) float64 { return 9 }
+	if got := ctx.PredictSafe(2); got != 9 {
+		t.Errorf("PredictSafe = %v", got)
+	}
+}

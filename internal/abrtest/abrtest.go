@@ -1,0 +1,143 @@
+// Package abrtest provides a reusable conformance suite for abr.Controller
+// implementations: any controller registered in this repository (and any a
+// downstream user writes) can be validated against the harness contracts —
+// total decisions over the legal state space, clean Reset semantics, and
+// survival of a full simulated session on hostile traces.
+package abrtest
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/abr"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+// Factory builds a fresh controller bound to the given ladder.
+type Factory func(ladder video.Ladder) abr.Controller
+
+// Conformance runs the full contract suite against fresh controllers from
+// the factory.
+func Conformance(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	t.Run(name+"/decisions-total", func(t *testing.T) { decisionsTotal(t, factory(video.YouTube4K())) })
+	t.Run(name+"/reset-restores", func(t *testing.T) { resetRestores(t, factory) })
+	t.Run(name+"/survives-hostile-traces", func(t *testing.T) { survivesHostile(t, factory) })
+}
+
+// decisionsTotal checks the controller returns an in-range rung or a
+// positive wait for every legal context.
+func decisionsTotal(t *testing.T, c abr.Controller) {
+	t.Helper()
+	ladder := video.YouTube4K()
+	rng := rand.New(rand.NewPCG(11, 13))
+	for i := 0; i < 500; i++ {
+		omega := 0.2 + rng.Float64()*120
+		ctx := &abr.Context{
+			Now:                rng.Float64() * 600,
+			Buffer:             rng.Float64() * 20,
+			BufferCap:          20,
+			PrevRung:           rng.IntN(ladder.Len()+1) - 1,
+			Ladder:             ladder,
+			SegmentIndex:       i,
+			TotalSegments:      600,
+			LastThroughputMbps: omega * (0.5 + rng.Float64()),
+			Predict:            func(float64) float64 { return omega },
+		}
+		d := c.Decide(ctx)
+		if d.Rung == abr.NoRung {
+			if d.WaitSeconds <= 0 {
+				t.Fatalf("case %d: wait with non-positive duration %v", i, d.WaitSeconds)
+			}
+			continue
+		}
+		if d.Rung < 0 || d.Rung >= ladder.Len() {
+			t.Fatalf("case %d: rung %d out of range", i, d.Rung)
+		}
+	}
+}
+
+// resetRestores checks that Reset returns the controller to its initial
+// behaviour: the decision sequence over a fixed context stream matches a
+// fresh instance's.
+func resetRestores(t *testing.T, factory Factory) {
+	t.Helper()
+	ladder := video.Mobile()
+	stream := func() []*abr.Context {
+		rng := rand.New(rand.NewPCG(3, 9))
+		out := make([]*abr.Context, 40)
+		prev := abr.NoRung
+		for i := range out {
+			omega := 1 + rng.Float64()*14
+			out[i] = &abr.Context{
+				Buffer:        rng.Float64() * 20,
+				BufferCap:     20,
+				PrevRung:      prev,
+				Ladder:        ladder,
+				SegmentIndex:  i,
+				TotalSegments: 40,
+				Predict:       func(float64) float64 { return omega },
+			}
+			prev = rng.IntN(ladder.Len())
+		}
+		return out
+	}
+	run := func(c abr.Controller) []int {
+		out := make([]int, 0, 40)
+		for _, ctx := range stream() {
+			out = append(out, c.Decide(ctx).Rung)
+		}
+		return out
+	}
+
+	fresh := factory(ladder)
+	want := run(fresh)
+
+	dirty := factory(ladder)
+	run(dirty) // accumulate state
+	dirty.Reset()
+	got := run(dirty)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d after Reset = %d, fresh = %d", i, got[i], want[i])
+		}
+	}
+}
+
+// survivesHostile runs full sessions over adversarial traces: a collapse to
+// near-zero, a sawtooth, and a spike train. The session must complete
+// without error.
+func survivesHostile(t *testing.T, factory Factory) {
+	t.Helper()
+	traces := map[string]*trace.Trace{
+		"collapse": trace.New([]trace.Sample{{Duration: 30, Mbps: 40}, {Duration: 90, Mbps: 0.3}}),
+		"sawtooth": trace.New([]trace.Sample{
+			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
+			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
+			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
+		}),
+		"spikes": trace.New([]trace.Sample{
+			{Duration: 25, Mbps: 3}, {Duration: 2, Mbps: 200},
+			{Duration: 25, Mbps: 3}, {Duration: 2, Mbps: 200},
+			{Duration: 26, Mbps: 3},
+		}),
+	}
+	for tname, tr := range traces {
+		res, err := sim.Run(tr, sim.Config{
+			Ladder:         video.Mobile(),
+			BufferCap:      20,
+			SessionSeconds: tr.Duration(),
+			Controller:     factory(video.Mobile()),
+			Predictor:      predictor.NewEMA(4),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tname, err)
+		}
+		if res.Metrics.Segments == 0 {
+			t.Fatalf("%s: no segments played", tname)
+		}
+	}
+}

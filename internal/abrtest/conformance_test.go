@@ -1,0 +1,29 @@
+package abrtest
+
+import (
+	"testing"
+
+	"repro/internal/abr"
+	"repro/internal/video"
+
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+// TestAllRegisteredControllersConform runs the conformance suite over every
+// controller in the registry — SODA and all baselines.
+func TestAllRegisteredControllersConform(t *testing.T) {
+	for _, name := range abr.Names() {
+		if name == "test-fake" || name == "test-dup" {
+			continue // registrations leaked from other packages' tests
+		}
+		name := name
+		Conformance(t, name, func(ladder video.Ladder) abr.Controller {
+			c, err := abr.New(name, ladder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+	}
+}

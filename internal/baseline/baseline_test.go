@@ -1,0 +1,358 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+func ctxWith(buffer float64, prev int, omega float64) *abr.Context {
+	return &abr.Context{
+		Buffer:    buffer,
+		BufferCap: 20,
+		PrevRung:  prev,
+		Ladder:    video.YouTube4K(),
+		Predict:   func(float64) float64 { return omega },
+	}
+}
+
+func TestRegistryHasAllBaselines(t *testing.T) {
+	for _, name := range []string{"bola", "hyb", "dynamic", "mpc", "robustmpc", "fugu", "rl", "prod-baseline"} {
+		c, err := abr.New(name, video.YouTube4K())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("controller %q reports name %q", name, c.Name())
+		}
+		// Every controller must produce a valid decision on a vanilla context.
+		d := c.Decide(ctxWith(10, 2, 20))
+		if d.Rung < 0 || d.Rung >= video.YouTube4K().Len() {
+			t.Errorf("%s: decision %+v out of range", name, d)
+		}
+		c.Reset()
+	}
+}
+
+func TestBOLAMonotoneInBuffer(t *testing.T) {
+	b := NewBOLA(video.YouTube4K(), 20)
+	prev := -1
+	for buf := 0.0; buf <= 20; buf += 0.25 {
+		r := b.DecideBuffer(buf)
+		if r < prev {
+			t.Fatalf("BOLA decision dropped from %d to %d as buffer grew to %v", prev, r, buf)
+		}
+		prev = r
+	}
+	if b.DecideBuffer(0) != 0 {
+		t.Errorf("empty buffer should select the lowest rung, got %d", b.DecideBuffer(0))
+	}
+}
+
+func TestBOLAFigure2BoundarySpacing(t *testing.T) {
+	// Figure 2: with a 120 s on-demand buffer the decision thresholds are
+	// spread far apart; with a 20 s live buffer they compress so small buffer
+	// deviations change the decision.
+	thresholds := func(stable float64) []float64 {
+		b := NewBOLA(video.YouTube4K(), stable)
+		var out []float64
+		prev := b.DecideBuffer(0)
+		for buf := 0.0; buf <= stable; buf += 0.05 {
+			if r := b.DecideBuffer(buf); r != prev {
+				out = append(out, buf)
+				prev = r
+			}
+		}
+		return out
+	}
+	onDemand := thresholds(120)
+	live := thresholds(20)
+	if len(onDemand) == 0 || len(live) == 0 {
+		t.Fatalf("no thresholds found: od=%v live=%v", onDemand, live)
+	}
+	minGap := func(xs []float64) float64 {
+		if len(xs) < 2 {
+			return math.Inf(1)
+		}
+		g := math.Inf(1)
+		for i := 1; i < len(xs); i++ {
+			g = math.Min(g, xs[i]-xs[i-1])
+		}
+		return g
+	}
+	spreadOD := onDemand[len(onDemand)-1] - onDemand[0]
+	spreadLive := live[len(live)-1] - live[0]
+	if spreadOD <= 2*spreadLive {
+		t.Errorf("on-demand thresholds (spread %.1fs) should be much wider than live (%.1fs)", spreadOD, spreadLive)
+	}
+	if minGap(live) > 5 {
+		t.Errorf("live thresholds should sit within a few seconds of each other, min gap %.1f", minGap(live))
+	}
+}
+
+func TestBOLADerivesFromBufferCapWhenLive(t *testing.T) {
+	b := NewBOLA(video.YouTube4K(), 0)
+	ctx := ctxWith(15, 2, 20)
+	d := b.Decide(ctx)
+	if d.Rung < 0 {
+		t.Fatalf("decision %+v", d)
+	}
+	if b.derivedAt != 20 {
+		t.Errorf("derived stable buffer = %v, want the 20 s cap", b.derivedAt)
+	}
+}
+
+func TestHYBFollowsThroughput(t *testing.T) {
+	h := NewHYB(video.YouTube4K())
+	// Rich network and buffer: top rungs.
+	if d := h.Decide(ctxWith(16, 0, 100)); d.Rung < 4 {
+		t.Errorf("rich HYB decision = %d", d.Rung)
+	}
+	// HYB never exceeds the throughput estimate (when any rung fits under it;
+	// below r_min the floor rung is all it has).
+	for _, omega := range []float64{3, 6, 10, 30, 70} {
+		d := h.Decide(ctxWith(16, 0, omega))
+		if video.YouTube4K().Mbps(d.Rung) > omega {
+			t.Errorf("HYB exceeded throughput: rung %d at ω=%v", d.Rung, omega)
+		}
+	}
+	// Small buffer forces conservative choices: at ω=10 and a 0.5 s buffer
+	// only sub-0.25 s downloads pass the buffer-fraction test.
+	if d := h.Decide(ctxWith(0.5, 5, 10)); d.Rung > 0 {
+		t.Errorf("HYB with 0.5s buffer at ω=10 chose %d", d.Rung)
+	}
+	// HYB tracks ω̂ directly: changing predictions change decisions (the
+	// high-switching profile of Fig. 10).
+	a := h.Decide(ctxWith(16, 0, 8)).Rung
+	b := h.Decide(ctxWith(16, 0, 26)).Rung
+	if a == b {
+		t.Errorf("HYB did not react to a 3x throughput change: %d vs %d", a, b)
+	}
+}
+
+func TestDynamicModeSwitching(t *testing.T) {
+	d := NewDynamic(video.YouTube4K())
+	// Low buffer: throughput mode.
+	d.Decide(ctxWith(3, 1, 20))
+	if d.inBufferMode {
+		t.Error("entered buffer mode at 3 s buffer")
+	}
+	// High buffer: buffer mode.
+	d.Decide(ctxWith(15, 1, 20))
+	if !d.inBufferMode {
+		t.Error("did not enter buffer mode at 15 s buffer")
+	}
+	// Hysteresis: stays in buffer mode at 9 s (above switch-off).
+	d.Decide(ctxWith(9, 1, 20))
+	if !d.inBufferMode {
+		t.Error("left buffer mode above the switch-off threshold")
+	}
+	// Drops out below switch-off.
+	d.Decide(ctxWith(7, 1, 20))
+	if d.inBufferMode {
+		t.Error("stayed in buffer mode below the switch-off threshold")
+	}
+	d.Reset()
+	if d.inBufferMode {
+		t.Error("Reset did not clear mode")
+	}
+}
+
+func TestDynamicHeuristics(t *testing.T) {
+	d := NewDynamic(video.YouTube4K())
+	// Low-buffer safety: below the safety threshold the rung is capped by
+	// the discounted throughput (0.5·ω̂ = 6 Mb/s sustains only rung 1).
+	dec := d.Decide(ctxWith(1, 5, 12))
+	if dec.Rung > 1 {
+		t.Errorf("low-buffer safety failed: rung %d", dec.Rung)
+	}
+	// Up-switch limited to one rung per decision.
+	d.Reset()
+	dec = d.Decide(ctxWith(15, 0, 100))
+	if dec.Rung > 1 {
+		t.Errorf("up-switch limit failed: rung %d from prev 0", dec.Rung)
+	}
+	// Switch avoidance: BOLA wants up, but throughput cannot sustain it.
+	d.Reset()
+	d.Decide(ctxWith(15, 3, 30)) // enter buffer mode
+	dec = d.Decide(ctxWith(18, 3, 5))
+	if dec.Rung > 3 {
+		t.Errorf("switch avoidance failed: rung %d with ω=5", dec.Rung)
+	}
+}
+
+func TestMPCBasics(t *testing.T) {
+	m := NewMPC(video.YouTube4K(), false)
+	// Healthy conditions: high rung without stalling.
+	d := m.Decide(ctxWith(14, 4, 30))
+	if d.Rung < 3 {
+		t.Errorf("MPC rich decision = %d", d.Rung)
+	}
+	// Empty-ish buffer and low ω̂: MPC must not pick a stalling top rung.
+	d = m.Decide(ctxWith(2, 5, 2))
+	if d.Rung > 1 {
+		t.Errorf("MPC chose stall-prone rung %d", d.Rung)
+	}
+}
+
+func TestMPCSwitchingPenaltyReducesSwitches(t *testing.T) {
+	// With the switching penalty zeroed, MPC follows throughput jitter more.
+	smooth := NewMPC(video.YouTube4K(), false)
+	jumpy := NewMPC(video.YouTube4K(), false)
+	jumpy.LambdaSwitch = 0
+	omegas := []float64{12, 13, 24, 12, 25, 11, 26, 12, 24, 13}
+	countSwitches := func(m *MPC) int {
+		prev := 3
+		switches := 0
+		for _, w := range omegas {
+			d := m.Decide(ctxWith(12, prev, w))
+			if d.Rung != prev {
+				switches++
+			}
+			prev = d.Rung
+		}
+		return switches
+	}
+	if s, j := countSwitches(smooth), countSwitches(jumpy); s > j {
+		t.Errorf("switching penalty increased switches: %d vs %d", s, j)
+	}
+}
+
+func TestRobustMPCDiscountsAfterErrors(t *testing.T) {
+	r := NewMPC(video.YouTube4K(), true)
+	// First decision: no error history.
+	d1 := r.Decide(ctxWith(12, 3, 24))
+	// Feed a large over-prediction: predicted 24, realized 6.
+	ctx := ctxWith(12, d1.Rung, 24)
+	ctx.LastThroughputMbps = 6
+	d2 := r.Decide(ctx)
+	if d2.Rung >= d1.Rung && d1.Rung > 0 {
+		t.Errorf("RobustMPC did not back off after 4x over-prediction: %d -> %d", d1.Rung, d2.Rung)
+	}
+	if r.maxRecentError() <= 0 {
+		t.Error("error history empty after observation")
+	}
+	r.Reset()
+	if r.maxRecentError() != 0 {
+		t.Error("Reset did not clear error history")
+	}
+}
+
+func TestRobustMPCErrorWindowRolls(t *testing.T) {
+	r := NewMPC(video.YouTube4K(), true)
+	r.ErrorWindow = 3
+	for i := 0; i < 10; i++ {
+		ctx := ctxWith(12, 3, 24)
+		ctx.LastThroughputMbps = 20
+		r.Decide(ctx)
+	}
+	if len(r.relErrors) > 3 {
+		t.Errorf("error window grew to %d", len(r.relErrors))
+	}
+}
+
+func TestFuguUsesQuantilePredictor(t *testing.T) {
+	f := NewFugu(video.YouTube4K())
+	// Point estimate says 24 Mb/s, but the 15th percentile says 3 Mb/s:
+	// Fugu must plan against the pessimistic tail, unlike MPC.
+	ctx := ctxWith(6, 4, 24)
+	ctx.PredictQuantile = func(q, _ float64) float64 {
+		if q <= 0.2 {
+			return 3
+		}
+		return 24
+	}
+	m := NewMPC(video.YouTube4K(), false)
+	df := f.Decide(ctx)
+	dm := m.Decide(ctx)
+	if df.Rung >= dm.Rung {
+		t.Errorf("Fugu (%d) should be more conservative than MPC (%d) under tail risk", df.Rung, dm.Rung)
+	}
+	// Without a quantile predictor Fugu degrades to MPC behaviour.
+	ctx.PredictQuantile = nil
+	if got := f.Decide(ctx); got.Rung != dm.Rung {
+		t.Errorf("Fugu without quantiles = %d, MPC = %d", got.Rung, dm.Rung)
+	}
+}
+
+func TestRLSimProfile(t *testing.T) {
+	r := NewRLSim(video.YouTube4K())
+	// Healthy buffer: rides close to capacity.
+	if d := r.Decide(ctxWith(12, 0, 26)); d.Rung != 4 {
+		t.Errorf("RL at ω=26 chose %d, want 4 (24 Mb/s)", d.Rung)
+	}
+	// Thin buffer: defensive.
+	if d := r.Decide(ctxWith(1, 4, 26)); d.Rung > 1 {
+		t.Errorf("RL with 1 s buffer chose %d", d.Rung)
+	}
+	// No smoothing: decisions track ω̂ jitter.
+	a := r.Decide(ctxWith(12, 3, 11)).Rung
+	b := r.Decide(ctxWith(12, a, 26)).Rung
+	if a == b {
+		t.Error("RL stand-in should track throughput jitter")
+	}
+}
+
+func TestProductionBaselineNameAndBehaviour(t *testing.T) {
+	p := NewProductionBaseline(video.PrimeVideo())
+	if p.Name() != "prod-baseline" {
+		t.Errorf("name = %q", p.Name())
+	}
+	ctx := &abr.Context{
+		Buffer:    10,
+		BufferCap: 20,
+		PrevRung:  4,
+		Ladder:    video.PrimeVideo(),
+		Predict:   func(float64) float64 { return 5 },
+	}
+	d := p.Decide(ctx)
+	if d.Rung < 0 || d.Rung >= video.PrimeVideo().Len() {
+		t.Errorf("decision %+v", d)
+	}
+	if video.PrimeVideo().Mbps(d.Rung) > 5 {
+		t.Errorf("production baseline exceeded throughput: %v Mb/s", video.PrimeVideo().Mbps(d.Rung))
+	}
+	p.Reset()
+}
+
+func TestMPCHorizonClampAtStreamEnd(t *testing.T) {
+	m := NewMPC(video.YouTube4K(), false)
+	ctx := ctxWith(12, 3, 20)
+	ctx.TotalSegments = 100
+	ctx.SegmentIndex = 99
+	d := m.Decide(ctx)
+	if d.Rung < 0 {
+		t.Errorf("end-of-stream decision %+v", d)
+	}
+}
+
+func TestBBAMap(t *testing.T) {
+	b := NewBBA(video.YouTube4K())
+	// Below the reservoir: lowest rung regardless of anything else.
+	if d := b.Decide(ctxWith(1, 5, 100)); d.Rung != 0 {
+		t.Errorf("reservoir decision = %d", d.Rung)
+	}
+	// Above reservoir+cushion: top rung.
+	if d := b.Decide(ctxWith(19.5, 0, 1)); d.Rung != 5 {
+		t.Errorf("cushion-top decision = %d", d.Rung)
+	}
+	// Monotone non-decreasing in buffer.
+	prev := -1
+	for buf := 0.0; buf <= 20; buf += 0.5 {
+		r := b.Decide(ctxWith(buf, 2, 10)).Rung
+		if r < prev {
+			t.Fatalf("BBA decision dropped from %d to %d at buffer %v", prev, r, buf)
+		}
+		prev = r
+	}
+	if b.Name() != "bba" {
+		t.Errorf("name = %q", b.Name())
+	}
+	b.Reset()
+	// Registered.
+	if _, err := abr.New("bba", video.Mobile()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package baseline
+
+import (
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// BBA is the buffer-based controller of Huang et al. (SIGCOMM 2014), the
+// canonical pure buffer-based design the paper's related work cites (§7.1):
+// below a reservoir of buffer the lowest bitrate is selected; above
+// reservoir+cushion the highest; in between, the bitrate is the linear map
+// of the buffer level, snapped down to a ladder rung.
+type BBA struct {
+	ladder video.Ladder
+	// ReservoirSeconds is the protective low-buffer region.
+	ReservoirSeconds float64
+	// CushionFraction sets the cushion as a fraction of (cap − reservoir);
+	// the upper knee sits at reservoir + cushion.
+	CushionFraction float64
+}
+
+// NewBBA returns BBA tuned for the live buffer budget: the classic
+// on-demand tuning (90 s cushion) is scaled into the session's cap.
+func NewBBA(ladder video.Ladder) *BBA {
+	return &BBA{
+		ladder:           ladder,
+		ReservoirSeconds: 2 * ladder.SegmentSeconds,
+		CushionFraction:  0.8,
+	}
+}
+
+// Name implements abr.Controller.
+func (b *BBA) Name() string { return "bba" }
+
+// Reset implements abr.Controller.
+func (b *BBA) Reset() {}
+
+// Decide implements abr.Controller.
+func (b *BBA) Decide(ctx *abr.Context) abr.Decision {
+	reservoir := b.ReservoirSeconds
+	cushion := b.CushionFraction * (ctx.BufferCap - reservoir)
+	switch {
+	case ctx.Buffer <= reservoir:
+		return abr.Decision{Rung: 0}
+	case ctx.Buffer >= reservoir+cushion:
+		return abr.Decision{Rung: b.ladder.Len() - 1}
+	}
+	frac := (ctx.Buffer - reservoir) / cushion
+	target := b.ladder.Min() + frac*(b.ladder.Max()-b.ladder.Min())
+	return abr.Decision{Rung: b.ladder.MaxSustainable(target)}
+}
+
+var _ abr.Controller = (*BBA)(nil)
+
+func init() {
+	abr.Register("bba", func(l video.Ladder) abr.Controller { return NewBBA(l) })
+}

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// Dynamic is the production BOLA variant ("Dynamic" in §6.1.2; dash.js's
+// default ABR rule, from Spiteri et al. "From Theory to Practice"): it runs a
+// throughput rule at low buffer levels and BOLA once the buffer is healthy,
+// with hysteresis, plus the two production heuristics the paper names:
+//
+//   - low-buffer safety: below a safety threshold the bitrate is additionally
+//     capped by a discounted throughput estimate to reduce rebuffering;
+//   - switching avoidance: upward switches beyond what the throughput
+//     sustains are suppressed (BOLA-O style oscillation damping), and upward
+//     moves are limited to one rung per decision.
+type Dynamic struct {
+	ladder video.Ladder
+	bola   *BOLA
+
+	// SwitchOnBufferSeconds enters buffer (BOLA) mode at or above this level.
+	SwitchOnBufferSeconds float64
+	// SwitchOffBufferSeconds leaves buffer mode below this level (hysteresis).
+	SwitchOffBufferSeconds float64
+	// ThroughputSafety discounts ω̂ in throughput mode.
+	ThroughputSafety float64
+	// LowBufferSeconds triggers the low-buffer safety cap.
+	LowBufferSeconds float64
+	// LowBufferSafety is the ω̂ discount under low-buffer safety.
+	LowBufferSafety float64
+	// MaxUpStep bounds how many rungs a single decision may move up.
+	MaxUpStep int
+	// UpSwitchPatience requires this many consecutive decisions wanting an
+	// up-switch before one is granted (1 = no damping). Production tunings
+	// use a few segments of patience to suppress oscillation.
+	UpSwitchPatience int
+
+	inBufferMode bool
+	upStreak     int
+}
+
+// NewDynamic returns Dynamic with dash.js-flavoured defaults.
+func NewDynamic(ladder video.Ladder) *Dynamic {
+	return &Dynamic{
+		ladder:                 ladder,
+		bola:                   NewBOLA(ladder, 0),
+		SwitchOnBufferSeconds:  10,
+		SwitchOffBufferSeconds: 8,
+		ThroughputSafety:       0.9,
+		LowBufferSeconds:       2 * ladder.SegmentSeconds,
+		LowBufferSafety:        0.5,
+		MaxUpStep:              1,
+		UpSwitchPatience:       1,
+	}
+}
+
+// Name implements abr.Controller.
+func (d *Dynamic) Name() string { return "dynamic" }
+
+// Reset implements abr.Controller.
+func (d *Dynamic) Reset() {
+	d.inBufferMode = false
+	d.upStreak = 0
+	d.bola.Reset()
+}
+
+// Decide implements abr.Controller.
+func (d *Dynamic) Decide(ctx *abr.Context) abr.Decision {
+	// Mode selection with hysteresis.
+	if d.inBufferMode {
+		if ctx.Buffer < d.SwitchOffBufferSeconds {
+			d.inBufferMode = false
+		}
+	} else if ctx.Buffer >= d.SwitchOnBufferSeconds {
+		d.inBufferMode = true
+	}
+
+	omega := ctx.PredictSafe(d.ladder.SegmentSeconds)
+	var rung int
+	if d.inBufferMode {
+		rung = d.bola.Decide(ctx).Rung
+		// Switching avoidance (BOLA-O): when BOLA wants to move up beyond
+		// what the network sustains, hold the previous rung instead of
+		// oscillating.
+		if ctx.PrevRung >= 0 && rung > ctx.PrevRung {
+			sustainable := d.ladder.MaxSustainable(d.ThroughputSafety * omega)
+			if rung > sustainable {
+				rung = maxInt(ctx.PrevRung, sustainable)
+			}
+		}
+	} else {
+		rung = d.ladder.MaxSustainable(d.ThroughputSafety * omega)
+	}
+
+	// Low-buffer safety.
+	if ctx.Buffer < d.LowBufferSeconds {
+		if safe := d.ladder.MaxSustainable(d.LowBufferSafety * omega); rung > safe {
+			rung = safe
+		}
+	}
+
+	// Limit upward jumps, and require sustained demand before moving up.
+	if ctx.PrevRung >= 0 && rung > ctx.PrevRung {
+		d.upStreak++
+		if d.upStreak < d.UpSwitchPatience {
+			rung = ctx.PrevRung
+		} else if rung > ctx.PrevRung+d.MaxUpStep {
+			rung = ctx.PrevRung + d.MaxUpStep
+		}
+	} else {
+		d.upStreak = 0
+	}
+	return abr.Decision{Rung: d.ladder.ClampIndex(rung)}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ abr.Controller = (*Dynamic)(nil)
+
+// NewProductionBaseline returns the fine-tuned production control arm of the
+// A/B experiments (§6.3): a Dynamic controller tuned conservatively, the
+// profile of a long-deployed and carefully adjusted production ABR stack.
+func NewProductionBaseline(ladder video.Ladder) abr.Controller {
+	d := NewDynamic(ladder)
+	d.ThroughputSafety = 0.80
+	d.LowBufferSeconds = 3 * ladder.SegmentSeconds
+	d.LowBufferSafety = 0.6
+	d.UpSwitchPatience = 4
+	return &renamed{Controller: d, name: "prod-baseline"}
+}
+
+// renamed wraps a controller under a different registry/report name.
+type renamed struct {
+	abr.Controller
+	name string
+}
+
+// Name implements abr.Controller.
+func (r *renamed) Name() string { return r.name }

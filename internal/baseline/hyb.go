@@ -1,0 +1,52 @@
+package baseline
+
+import (
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// HYB is the heuristic throughput-based controller of Akhtar et al. (Oboe),
+// per the paper's description (§6.1.2): "selects the highest bitrate without
+// rebuffering". It picks the highest rung whose next-segment download time
+// fits within a fraction of the current buffer, additionally capped at the
+// throughput estimate. Because it tracks the prediction directly with no
+// smoothing term, it achieves high utility but switches frequently — the
+// profile Figure 10 reports (up to 215% more switching than SODA).
+type HYB struct {
+	ladder video.Ladder
+	// BufferFraction is the share of the buffer a download may consume
+	// before HYB considers it a rebuffering risk.
+	BufferFraction float64
+	// SafetyFactor discounts the throughput estimate for the bitrate cap.
+	SafetyFactor float64
+}
+
+// NewHYB returns HYB with the tuned defaults.
+func NewHYB(ladder video.Ladder) *HYB {
+	return &HYB{ladder: ladder, BufferFraction: 0.5, SafetyFactor: 1.0}
+}
+
+// Name implements abr.Controller.
+func (h *HYB) Name() string { return "hyb" }
+
+// Reset implements abr.Controller.
+func (h *HYB) Reset() {}
+
+// Decide implements abr.Controller.
+func (h *HYB) Decide(ctx *abr.Context) abr.Decision {
+	omega := ctx.PredictSafe(h.ladder.SegmentSeconds)
+	best := 0
+	for i := 0; i < h.ladder.Len(); i++ {
+		r := h.ladder.Mbps(i)
+		if r > h.SafetyFactor*omega {
+			break
+		}
+		downloadTime := r * h.ladder.SegmentSeconds / omega
+		if downloadTime <= h.BufferFraction*ctx.Buffer {
+			best = i
+		}
+	}
+	return abr.Decision{Rung: best}
+}
+
+var _ abr.Controller = (*HYB)(nil)

@@ -1,0 +1,209 @@
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// MPC is the model-predictive controller of Yin et al. (§6.1.2), planning
+// over a K-segment horizon to maximize the QoE-aligned objective
+//
+//	Σ_k  q(r_k) − λ·|q(r_k) − q(r_{k−1})| − μ·stall_k
+//
+// where q is the normalized log utility, stall_k the predicted rebuffering
+// seconds of segment k, and the buffer evolves segment-by-segment at the
+// predicted throughput. The search is the exponential brute force over
+// |R|^K sequences that the paper cites as MPC's deployability obstacle.
+//
+// With robust=true this is RobustMPC: the throughput estimate is discounted
+// by the maximum relative prediction error observed over the last
+// ErrorWindow segments, ω̂/(1 + maxErr).
+type MPC struct {
+	ladder video.Ladder
+	robust bool
+
+	// Horizon is the planning depth in segments (5 in Yin et al.).
+	Horizon int
+	// LambdaSwitch weights the |Δq| switching penalty.
+	LambdaSwitch float64
+	// MuRebuffer weights predicted stall seconds. 10/segment-seconds aligns
+	// the per-second penalty with the evaluation's QoE weights (β=10 on the
+	// rebuffering ratio).
+	MuRebuffer float64
+	// ErrorWindow is the number of recent predictions RobustMPC considers.
+	ErrorWindow int
+
+	lastPrediction float64
+	relErrors      []float64
+}
+
+// NewMPC returns MPC (robust=false) or RobustMPC (robust=true) with the
+// standard tuning.
+func NewMPC(ladder video.Ladder, robust bool) *MPC {
+	return &MPC{
+		ladder:       ladder,
+		robust:       robust,
+		Horizon:      5,
+		LambdaSwitch: 1,
+		MuRebuffer:   10 / ladder.SegmentSeconds,
+		ErrorWindow:  5,
+	}
+}
+
+// Name implements abr.Controller.
+func (m *MPC) Name() string {
+	if m.robust {
+		return "robustmpc"
+	}
+	return "mpc"
+}
+
+// Reset implements abr.Controller.
+func (m *MPC) Reset() {
+	m.lastPrediction = 0
+	m.relErrors = m.relErrors[:0]
+}
+
+// observeError tracks the realized error of the previous prediction, the
+// signal RobustMPC discounts by.
+func (m *MPC) observeError(actualMbps float64) {
+	if m.lastPrediction <= 0 || actualMbps <= 0 {
+		return
+	}
+	rel := math.Abs(m.lastPrediction-actualMbps) / actualMbps
+	m.relErrors = append(m.relErrors, rel)
+	if len(m.relErrors) > m.ErrorWindow {
+		m.relErrors = m.relErrors[len(m.relErrors)-m.ErrorWindow:]
+	}
+}
+
+func (m *MPC) maxRecentError() float64 {
+	maxErr := 0.0
+	for _, e := range m.relErrors {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}
+
+// Decide implements abr.Controller.
+func (m *MPC) Decide(ctx *abr.Context) abr.Decision {
+	m.observeError(ctx.LastThroughputMbps)
+	omega := ctx.PredictSafe(float64(m.Horizon) * m.ladder.SegmentSeconds)
+	m.lastPrediction = omega
+	if m.robust {
+		omega = omega / (1 + m.maxRecentError())
+	}
+	k := m.Horizon
+	if ctx.TotalSegments > 0 {
+		if rem := ctx.TotalSegments - ctx.SegmentIndex; rem < k {
+			k = rem
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	best, _ := m.plan(omega, ctx.Buffer, ctx.BufferCap, ctx.PrevRung, k)
+	if best < 0 {
+		best = 0
+	}
+	return abr.Decision{Rung: best}
+}
+
+// plan searches all |R|^k sequences via DFS, returning the best first rung
+// and its objective. omega drives the predicted buffer dynamics and stall
+// risk; utility depends only on the rung. The Fugu-style controller passes a
+// conservative quantile here instead of the point estimate.
+func (m *MPC) plan(omega, buffer, cap_ float64, prevRung, k int) (int, float64) {
+	bestRung, bestObj := -1, math.Inf(-1)
+	var dfs func(depth int, buf float64, prev int, acc float64, first int)
+	dfs = func(depth int, buf float64, prev int, acc float64, first int) {
+		if depth == k {
+			if acc > bestObj {
+				bestObj = acc
+				bestRung = first
+			}
+			return
+		}
+		for r := 0; r < m.ladder.Len(); r++ {
+			obj, nextBuf := m.segmentObjective(r, prev, buf, cap_, omega)
+			f := first
+			if depth == 0 {
+				f = r
+			}
+			dfs(depth+1, nextBuf, r, acc+obj, f)
+		}
+	}
+	dfs(0, buffer, prevRung, 0, -1)
+	return bestRung, bestObj
+}
+
+// segmentObjective scores downloading one segment at rung r from the given
+// buffer, returning the contribution and the next buffer level.
+func (m *MPC) segmentObjective(r, prev int, buffer, cap_, omega float64) (float64, float64) {
+	l := m.ladder.SegmentSeconds
+	downloadTime := m.ladder.Mbps(r) * l / omega
+	stall := math.Max(0, downloadTime-buffer)
+	nextBuf := math.Max(buffer-downloadTime, 0) + l
+	if nextBuf > cap_ {
+		nextBuf = cap_ // planning approximation: the player idles at the cap
+	}
+	obj := m.ladder.LogUtility(r) - m.MuRebuffer*stall
+	if prev >= 0 {
+		obj -= m.LambdaSwitch * math.Abs(m.ladder.LogUtility(r)-m.ladder.LogUtility(prev))
+	}
+	return obj, nextBuf
+}
+
+var _ abr.Controller = (*MPC)(nil)
+
+// Fugu is the Fugu-style controller (§6.2.2): the control algorithm is
+// MPC-like, but stall risk is priced against a conservative quantile of the
+// predicted throughput distribution rather than the point estimate —
+// standing in for Fugu's learned stochastic transmit-time predictor (see
+// DESIGN.md, substitutions).
+type Fugu struct {
+	MPC
+	// StallQuantile is the pessimistic throughput quantile used for stall
+	// planning (Fugu plans against uncertainty, not the mean).
+	StallQuantile float64
+}
+
+// NewFugu returns the Fugu-style controller.
+func NewFugu(ladder video.Ladder) *Fugu {
+	f := &Fugu{MPC: *NewMPC(ladder, false), StallQuantile: 0.15}
+	return f
+}
+
+// Name implements abr.Controller.
+func (f *Fugu) Name() string { return "fugu" }
+
+// Decide implements abr.Controller.
+func (f *Fugu) Decide(ctx *abr.Context) abr.Decision {
+	horizon := float64(f.Horizon) * f.ladder.SegmentSeconds
+	omega := ctx.PredictSafe(horizon)
+	if ctx.PredictQuantile != nil {
+		if q := ctx.PredictQuantile(f.StallQuantile, horizon); q > 0 {
+			omega = q
+		}
+	}
+	k := f.Horizon
+	if ctx.TotalSegments > 0 {
+		if rem := ctx.TotalSegments - ctx.SegmentIndex; rem < k {
+			k = rem
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	best, _ := f.plan(omega, ctx.Buffer, ctx.BufferCap, ctx.PrevRung, k)
+	if best < 0 {
+		best = 0
+	}
+	return abr.Decision{Rung: best}
+}
+
+var _ abr.Controller = (*Fugu)(nil)

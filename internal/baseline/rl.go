@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// RLSim is the behavioural stand-in for CausalSimRL (§6.2.2), the
+// reinforcement-learning controller trained with CausalSim for the Puffer
+// platform. We do not train an RL agent (see DESIGN.md, substitutions);
+// instead this controller reproduces the behavioural profile the paper
+// reports in Figure 12: slightly higher utility than SODA, low rebuffering
+// ratio, and much more frequent switching (+86.3% vs SODA), because the
+// learned policy tracks the throughput signal greedily with only a small
+// buffer reserve and no smoothness term.
+type RLSim struct {
+	ladder video.Ladder
+	// Aggressiveness scales the throughput estimate when the buffer is
+	// healthy (RL policies learn to ride close to capacity).
+	Aggressiveness float64
+	// ReserveSeconds is the buffer level below which the policy becomes
+	// defensive.
+	ReserveSeconds float64
+	// DefensiveFactor scales ω̂ when below the reserve.
+	DefensiveFactor float64
+}
+
+// NewRLSim returns the CausalSimRL stand-in.
+func NewRLSim(ladder video.Ladder) *RLSim {
+	return &RLSim{
+		ladder:          ladder,
+		Aggressiveness:  0.95,
+		ReserveSeconds:  2 * ladder.SegmentSeconds,
+		DefensiveFactor: 0.6,
+	}
+}
+
+// Name implements abr.Controller.
+func (r *RLSim) Name() string { return "rl" }
+
+// Reset implements abr.Controller.
+func (r *RLSim) Reset() {}
+
+// Decide implements abr.Controller.
+func (r *RLSim) Decide(ctx *abr.Context) abr.Decision {
+	omega := ctx.PredictSafe(r.ladder.SegmentSeconds)
+	factor := r.Aggressiveness
+	if ctx.Buffer < r.ReserveSeconds {
+		// Defensive mode: scale down proportionally to the buffer deficit.
+		frac := ctx.Buffer / r.ReserveSeconds
+		factor = r.DefensiveFactor * frac
+	}
+	return abr.Decision{Rung: r.ladder.MaxSustainable(factor * omega)}
+}
+
+var _ abr.Controller = (*RLSim)(nil)

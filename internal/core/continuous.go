@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ContinuousProblem is the continuous relaxation of the finite-time optimal
+// control problem (3) in Appendix A, over actions u_t = 1/r_t:
+//
+//	min  Σ_t  WDistortion·ω_t·u_t²  +  Beta·b(x_t)  +  Gamma·(u_t − u_{t−1})²
+//	s.t. x_t = x_{t−1} + ω_t·u_t − 1        (Δt = 1)
+//	     0 ≤ x_t ≤ Xmax,  UMin ≤ u_t ≤ UMax
+//	     x_0, u_0 given; optionally x_K = TerminalX with a final switching
+//	     term Gamma·(TerminalU − u_K)².
+//
+// This is what the theory experiments solve: the exponentially decaying
+// perturbation property (Fig. 6), the monotone structure of Lemma A.10
+// (WDistortion = Beta = 0) and its Theorem 4.3 approximation bound.
+type ContinuousProblem struct {
+	Omega       []float64 // per-step bandwidth, length K
+	X0, U0      float64
+	Beta        float64
+	Gamma       float64
+	Epsilon     float64
+	Target      float64 // x̄
+	Xmax        float64
+	UMin, UMax  float64
+	WDistortion float64 // weight on the ω·u² distortion term (1 = paper)
+	// Terminal, when non-nil, pins the final state (indicator terminal cost
+	// of Algorithm 2, implemented as a stiff quadratic penalty) and adds the
+	// trailing switching term toward TerminalU.
+	Terminal *Terminal
+}
+
+// Terminal is the (σ, ν) pair of Algorithm 2's indicator terminal cost.
+type Terminal struct {
+	X float64
+	U float64
+}
+
+// ContinuousSolution is the optimizer's trajectory.
+type ContinuousSolution struct {
+	U   []float64 // length K
+	X   []float64 // length K, X[t] after action U[t]
+	Obj float64
+}
+
+// Validate reports malformed problems.
+func (p *ContinuousProblem) Validate() error {
+	if len(p.Omega) == 0 {
+		return fmt.Errorf("core: continuous problem with empty horizon")
+	}
+	for i, w := range p.Omega {
+		if w <= 0 {
+			return fmt.Errorf("core: non-positive bandwidth %v at step %d", w, i)
+		}
+	}
+	if p.UMin <= 0 || p.UMax < p.UMin {
+		return fmt.Errorf("core: invalid action range [%v, %v]", p.UMin, p.UMax)
+	}
+	if p.Xmax <= 0 {
+		return fmt.Errorf("core: non-positive Xmax %v", p.Xmax)
+	}
+	if p.Epsilon <= 0 || p.Epsilon > 1 {
+		return fmt.Errorf("core: epsilon %v outside (0, 1]", p.Epsilon)
+	}
+	return nil
+}
+
+// penaltyWeight is the stiffness of the soft buffer-range and terminal
+// constraints.
+const penaltyWeight = 1e5
+
+// objective evaluates the penalized objective and (optionally) its gradient
+// with respect to u (grad may be nil).
+func (p *ContinuousProblem) objective(u []float64, grad []float64) float64 {
+	k := len(u)
+	x := make([]float64, k)
+	// Forward pass: buffer trajectory.
+	prev := p.X0
+	for t := 0; t < k; t++ {
+		x[t] = prev + p.Omega[t]*u[t] - 1
+		prev = x[t]
+	}
+	bufferDeriv := func(xt float64) float64 {
+		d := xt - p.Target
+		if d <= 0 {
+			return 2 * d
+		}
+		return 2 * p.Epsilon * d
+	}
+	bufferCost := func(xt float64) float64 {
+		d := xt - p.Target
+		if d <= 0 {
+			return d * d
+		}
+		return p.Epsilon * d * d
+	}
+	obj := 0.0
+	// dObj/dx_t accumulated for the chain rule (x_t depends on u_1..u_t).
+	dx := make([]float64, k)
+	for t := 0; t < k; t++ {
+		obj += p.WDistortion * p.Omega[t] * u[t] * u[t]
+		obj += p.Beta * bufferCost(x[t])
+		dx[t] += p.Beta * bufferDeriv(x[t])
+		// Soft box constraints on x.
+		if x[t] < 0 {
+			obj += penaltyWeight * x[t] * x[t]
+			dx[t] += 2 * penaltyWeight * x[t]
+		} else if x[t] > p.Xmax {
+			over := x[t] - p.Xmax
+			obj += penaltyWeight * over * over
+			dx[t] += 2 * penaltyWeight * over
+		}
+		du := u[t] - p.uPrev(u, t)
+		obj += p.Gamma * du * du
+	}
+	if p.Terminal != nil {
+		dT := x[k-1] - p.Terminal.X
+		obj += penaltyWeight * dT * dT
+		dx[k-1] += 2 * penaltyWeight * dT
+		duT := p.Terminal.U - u[k-1]
+		obj += p.Gamma * duT * duT
+	}
+	if grad != nil {
+		// Backward pass: suffix sums of dx give dObj/du_t via x-chain.
+		suffix := 0.0
+		for t := k - 1; t >= 0; t-- {
+			suffix += dx[t]
+			grad[t] = 2*p.WDistortion*p.Omega[t]*u[t] + suffix*p.Omega[t]
+			grad[t] += 2 * p.Gamma * (u[t] - p.uPrev(u, t))
+			if t+1 < k {
+				grad[t] -= 2 * p.Gamma * (u[t+1] - u[t])
+			} else if p.Terminal != nil {
+				grad[t] -= 2 * p.Gamma * (p.Terminal.U - u[t])
+			}
+		}
+	}
+	return obj
+}
+
+func (p *ContinuousProblem) uPrev(u []float64, t int) float64 {
+	if t == 0 {
+		return p.U0
+	}
+	return u[t-1]
+}
+
+// Solve runs projected gradient descent with backtracking line search.
+// iters bounds the number of outer iterations; 2000 is ample for K <= 50.
+func (p *ContinuousProblem) Solve(iters int) (ContinuousSolution, error) {
+	if err := p.Validate(); err != nil {
+		return ContinuousSolution{}, err
+	}
+	k := len(p.Omega)
+	u := make([]float64, k)
+	// Feasible-ish start: hold the previous action, clamped into range.
+	start := math.Max(p.UMin, math.Min(p.UMax, p.U0))
+	for t := range u {
+		u[t] = start
+	}
+	grad := make([]float64, k)
+	trial := make([]float64, k)
+	obj := p.objective(u, grad)
+	step := 1e-3
+	for it := 0; it < iters; it++ {
+		// Backtracking projected step.
+		improved := false
+		for attempt := 0; attempt < 40; attempt++ {
+			for t := range trial {
+				v := u[t] - step*grad[t]
+				if v < p.UMin {
+					v = p.UMin
+				}
+				if v > p.UMax {
+					v = p.UMax
+				}
+				trial[t] = v
+			}
+			trialObj := p.objective(trial, nil)
+			if trialObj < obj-1e-15 {
+				copy(u, trial)
+				obj = trialObj
+				step *= 1.3
+				improved = true
+				break
+			}
+			step *= 0.5
+			if step < 1e-14 {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+		obj = p.objective(u, grad)
+	}
+	// Final forward pass for the trajectory.
+	x := make([]float64, k)
+	prev := p.X0
+	for t := 0; t < k; t++ {
+		x[t] = prev + p.Omega[t]*u[t] - 1
+		prev = x[t]
+	}
+	return ContinuousSolution{U: u, X: x, Obj: p.objective(u, nil)}, nil
+}
+
+// IsMonotone reports whether the action sequence (prefixed with u0) is
+// monotone non-increasing or non-decreasing within tolerance — the structure
+// Lemma A.10 proves for the switching-cost-only problem.
+func IsMonotone(u0 float64, u []float64, tol float64) bool {
+	inc, dec := true, true
+	prev := u0
+	for _, v := range u {
+		if v < prev-tol {
+			inc = false
+		}
+		if v > prev+tol {
+			dec = false
+		}
+		prev = v
+	}
+	return inc || dec
+}
+
+// PerturbationDecay solves the same continuous problem from two initial
+// (x0, u0) pairs and returns the per-step trajectory distance
+// |x_t − x'_t| + |u_t − u'_t| — the quantity Figure 6 illustrates decaying
+// exponentially.
+func PerturbationDecay(p ContinuousProblem, x0b, u0b float64, iters int) ([]float64, error) {
+	a, err := p.Solve(iters)
+	if err != nil {
+		return nil, err
+	}
+	pb := p
+	pb.X0, pb.U0 = x0b, u0b
+	b, err := pb.Solve(iters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(a.U))
+	for t := range out {
+		out[t] = math.Abs(a.X[t]-b.X[t]) + math.Abs(a.U[t]-b.U[t])
+	}
+	return out, nil
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// Controller is the SODA ABR controller. It is created per session via New
+// and implements abr.Controller. Controllers are not safe for concurrent use;
+// each session gets its own instance.
+type Controller struct {
+	cfg     Config
+	ladder  video.Ladder
+	model   *CostModel // rebuilt lazily when the buffer cap changes
+	capFor  float64
+	scratch [1]float64 // constant-prediction slice, reused across decisions
+}
+
+func init() {
+	abr.Register("soda", func(l video.Ladder) abr.Controller {
+		return New(DefaultConfig(), l)
+	})
+	abr.Register("soda-bruteforce", func(l video.Ladder) abr.Controller {
+		cfg := DefaultConfig()
+		cfg.UseBruteForce = true
+		return New(cfg, l)
+	})
+}
+
+// New constructs a SODA controller for the given ladder. It panics on an
+// invalid config: configurations are program constants in every harness.
+func New(cfg Config, ladder video.Ladder) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{cfg: cfg, ladder: ladder}
+}
+
+// Name implements abr.Controller.
+func (c *Controller) Name() string { return "soda" }
+
+// Reset implements abr.Controller. SODA keeps no cross-decision state beyond
+// the previous rung, which the harness supplies in the context.
+func (c *Controller) Reset() {}
+
+// horizon returns the effective K for this decision: the configured horizon,
+// clamped by the 10-second prediction-validity cap (§5.2) and by the number
+// of remaining segments.
+func (c *Controller) horizon(ctx *abr.Context) int {
+	k := c.cfg.Horizon
+	if maxK := int(c.cfg.MaxHorizonSeconds / c.ladder.SegmentSeconds); maxK >= 1 && k > maxK {
+		k = maxK
+	}
+	if ctx.TotalSegments > 0 {
+		if rem := ctx.TotalSegments - ctx.SegmentIndex; rem >= 1 && k > rem {
+			k = rem
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (c *Controller) modelFor(bufferCap float64) *CostModel {
+	if c.model == nil || c.capFor != bufferCap {
+		c.model = newCostModel(c.cfg, c.ladder, bufferCap)
+		c.capFor = bufferCap
+	}
+	return c.model
+}
+
+// Decide implements abr.Controller: solve the K-step predictive problem and
+// commit the first decision (§3.3).
+func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
+	m := c.modelFor(ctx.BufferCap)
+
+	// No room for another segment: idle until the buffer drains — the blank
+	// no-download region of Fig. 5. (Player harnesses typically enforce this
+	// themselves; the check keeps direct API use safe.)
+	if over := ctx.Buffer + m.dt - ctx.BufferCap; over > 1e-9 {
+		return abr.Wait(over)
+	}
+
+	k := c.horizon(ctx)
+	omega := ctx.PredictSafe(float64(k) * m.dt)
+	c.scratch[0] = omega
+	omegas := c.scratch[:]
+
+	maxRung := c.ladder.Len() - 1
+	if c.cfg.CapToThroughput {
+		// §5.1: never move *up* past min{r in R : r >= ω̂}, so the controller
+		// cannot commit to a download that takes much longer than Δt. The
+		// cap does not force down-switches below the current rung: sustained
+		// throughput drops are handled by the buffer-stability cost, while
+		// transient ω̂ dips ride on the buffer — forcing the cap on
+		// down-moves would re-introduce exactly the prediction-jitter
+		// switching SODA exists to avoid.
+		maxRung = c.ladder.CapIndex(omega)
+		if ctx.PrevRung > maxRung {
+			maxRung = ctx.PrevRung
+		}
+	}
+
+	// With overflow clamped in the plan (see CostModel.stepCost), the only
+	// way every plan can be infeasible is buffer starvation: even r_min
+	// cannot keep the trajectory above zero over the full horizon. Shorter
+	// horizons are tried first (the tail of the plan is the unreachable
+	// part); a fully infeasible one-step problem falls back to the lowest
+	// rung, the fastest possible refill.
+	res := solveResult{rung: -1}
+	for h := k; h >= 1; h-- {
+		if c.cfg.UseBruteForce {
+			res = m.bruteForce(omegas, ctx.Buffer, ctx.PrevRung, h, maxRung)
+		} else {
+			res = m.searchMonotonic(omegas, ctx.Buffer, ctx.PrevRung, h, maxRung)
+		}
+		if res.rung >= 0 {
+			return abr.Decision{Rung: res.rung}
+		}
+	}
+	return abr.Decision{Rung: 0}
+}
+
+// DiagramCell is one sample of the Figure 5 decision diagram.
+type DiagramCell struct {
+	Buffer float64
+	Omega  float64
+	// Rung is the committed decision, or -1 for the blank no-download region.
+	Rung int
+}
+
+// DecisionDiagram evaluates SODA's decision over a (buffer level, predicted
+// throughput) grid, reproducing Figure 5. prevRung seeds the switching cost;
+// use -1 for the unconditioned diagram.
+func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap float64,
+	buffers, omegas []float64, prevRung int) []DiagramCell {
+	ctrl := New(cfg, ladder)
+	cells := make([]DiagramCell, 0, len(buffers)*len(omegas))
+	for _, b := range buffers {
+		for _, w := range omegas {
+			omega := w
+			ctx := &abr.Context{
+				Buffer:    b,
+				BufferCap: bufferCap,
+				PrevRung:  prevRung,
+				Ladder:    ladder,
+				Predict:   func(float64) float64 { return omega },
+			}
+			d := ctrl.Decide(ctx)
+			cells = append(cells, DiagramCell{Buffer: b, Omega: w, Rung: d.Rung})
+		}
+	}
+	return cells
+}
+
+// RenderDiagram formats a decision diagram as an ASCII heat map with buffers
+// as rows (descending) and throughputs as columns; rung indices print as
+// digits and the no-download region as '.'.
+func RenderDiagram(cells []DiagramCell, buffers, omegas []float64) string {
+	grid := make(map[[2]int]int, len(cells))
+	bIndex := indexOf(buffers)
+	wIndex := indexOf(omegas)
+	for _, c := range cells {
+		grid[[2]int{bIndex[c.Buffer], wIndex[c.Omega]}] = c.Rung
+	}
+	out := ""
+	for bi := len(buffers) - 1; bi >= 0; bi-- {
+		row := fmt.Sprintf("%6.1fs |", buffers[bi])
+		for wi := range omegas {
+			r, ok := grid[[2]int{bi, wi}]
+			switch {
+			case !ok:
+				row += "?"
+			case r < 0:
+				row += "."
+			default:
+				row += fmt.Sprintf("%d", r)
+			}
+		}
+		out += row + "\n"
+	}
+	out += "        +" + repeat("-", len(omegas)) + "\n"
+	out += fmt.Sprintf("         ω̂: %.1f .. %.1f Mb/s\n", omegas[0], omegas[len(omegas)-1])
+	return out
+}
+
+func indexOf(xs []float64) map[float64]int {
+	m := make(map[float64]int, len(xs))
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+// Grid returns n evenly spaced values covering [lo, hi] inclusive.
+func Grid(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	// Guard against accumulation error on the final point.
+	out[n-1] = hi
+	return out
+}
+
+// MismatchProbability samples random planning situations and reports how
+// often the monotonic solver's committed decision differs from brute force —
+// the Figure 8 experiment. Situations draw buffer uniformly in (0, cap),
+// previous rung uniformly, and throughput uniformly in [rmin/2, 2·rmax].
+func MismatchProbability(cfg Config, ladder video.Ladder, bufferCap float64, samples int, seed uint64) float64 {
+	if samples <= 0 {
+		return 0
+	}
+	m := newCostModel(cfg, ladder, bufferCap)
+	rng := newSplitMix(seed)
+	mismatches := 0
+	evaluated := 0
+	maxRung := ladder.Len() - 1
+	k := cfg.Horizon
+	for i := 0; i < samples; i++ {
+		x0 := rng.float() * bufferCap
+		prev := int(rng.float() * float64(ladder.Len()))
+		if prev >= ladder.Len() {
+			prev = ladder.Len() - 1
+		}
+		omegas := []float64{ladder.Min()/2 + rng.float()*(2*ladder.Max()-ladder.Min()/2)}
+		fast := m.searchMonotonic(omegas, x0, prev, k, maxRung)
+		slow := m.bruteForce(omegas, x0, prev, k, maxRung)
+		if fast.rung < 0 && slow.rung < 0 {
+			continue // both infeasible: agreement by construction
+		}
+		evaluated++
+		if fast.rung != slow.rung {
+			// The committed decisions differ; only count real regressions
+			// (identical objective means tie-breaking noise, not error).
+			if math.Abs(fast.obj-slow.obj) > 1e-12 {
+				mismatches++
+			}
+		}
+	}
+	if evaluated == 0 {
+		return 0
+	}
+	return float64(mismatches) / float64(evaluated)
+}
+
+// splitMix is a tiny deterministic PRNG (SplitMix64) so MismatchProbability
+// does not depend on math/rand ordering across Go versions.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) float() float64 {
+	return float64(s.next()>>11) / float64(1<<53)
+}
+
+var _ abr.Controller = (*Controller)(nil)

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abr"
+	"repro/internal/video"
+)
+
+// Property: the monotonic solver's committed rung always comes from a
+// feasible plan — replaying [rung, rung...] or the solver's own search never
+// drops the buffer below zero on the first step.
+func TestSolverFirstStepAlwaysFeasible(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		x0 := rng.Float64() * 20
+		prev := rng.IntN(6)
+		omega := 0.5 + rng.Float64()*100
+		res := m.searchMonotonic([]float64{omega}, x0, prev, 5, 5)
+		if res.rung < 0 {
+			return true // infeasible is an acceptable answer; Decide handles it
+		}
+		_, x1, ok := m.stepCost(res.rung, prev, x0, omega)
+		return ok && x1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the monotonic solver never reports a better objective than brute
+// force (brute force is exhaustive), and both agree on feasibility.
+func TestSolverNeverBeatsBruteForce(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		x0 := rng.Float64() * 20
+		prev := rng.IntN(4)
+		omega := []float64{0.5 + rng.Float64()*30}
+		k := 1 + rng.IntN(5)
+		fast := m.searchMonotonic(omega, x0, prev, k, 3)
+		slow := m.bruteForce(omega, x0, prev, k, 3)
+		if (fast.rung < 0) != (slow.rung < 0) {
+			return false
+		}
+		if fast.rung < 0 {
+			return true
+		}
+		return slow.obj <= fast.obj+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with a single-step horizon the monotonic search IS brute force:
+// identical objectives.
+func TestSolversIdenticalAtK1(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		x0 := rng.Float64() * 20
+		prev := rng.IntN(6)
+		omega := []float64{0.5 + rng.Float64()*100}
+		fast := m.searchMonotonic(omega, x0, prev, 1, 5)
+		slow := m.bruteForce(omega, x0, prev, 1, 5)
+		if fast.rung != slow.rung {
+			return math.Abs(fast.obj-slow.obj) < 1e-12 // tie
+		}
+		if fast.rung < 0 {
+			return true
+		}
+		return math.Abs(fast.obj-slow.obj) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decide always returns a rung in range or a wait with positive
+// duration, for any state the player can legally present.
+func TestDecideTotalOverStateSpace(t *testing.T) {
+	ctrl := New(DefaultConfig(), video.PrimeVideo())
+	ladder := video.PrimeVideo()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 4))
+		ctx := &abr.Context{
+			Buffer:    rng.Float64() * 20,
+			BufferCap: 20,
+			PrevRung:  rng.IntN(ladder.Len()+1) - 1, // includes NoRung
+			Ladder:    ladder,
+			Predict:   func(float64) float64 { return rng.Float64() * 40 },
+		}
+		d := ctrl.Decide(ctx)
+		if d.Rung == abr.NoRung {
+			return d.WaitSeconds > 0
+		}
+		return d.Rung >= 0 && d.Rung < ladder.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cost model's step cost is non-negative and finite for every
+// feasible transition.
+func TestStepCostNonNegativeFinite(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		x0 := rng.Float64() * 20
+		rung := rng.IntN(4)
+		prev := rng.IntN(5) - 1
+		omega := 0.1 + rng.Float64()*60
+		c, x1, ok := m.stepCost(rung, prev, x0, omega)
+		if !ok {
+			return true
+		}
+		return c >= 0 && !math.IsInf(c, 0) && !math.IsNaN(c) && x1 >= 0 && x1 <= 20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sequenceCost is additive — the cost of a sequence equals the sum
+// of its step costs along the induced buffer trajectory.
+func TestSequenceCostAdditive(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 6))
+		x0 := 5 + rng.Float64()*10
+		prev := rng.IntN(4)
+		omega := []float64{4 + rng.Float64()*10}
+		seq := make([]int, 1+rng.IntN(4))
+		for i := range seq {
+			seq[i] = rng.IntN(4)
+		}
+		total := m.sequenceCost(seq, prev, x0, omega)
+		sum := 0.0
+		x := x0
+		p := prev
+		for i, r := range seq {
+			c, x1, ok := m.stepCost(r, p, x, omegaAt(omega, i))
+			if !ok {
+				return math.IsInf(total, 1)
+			}
+			sum += c
+			x = x1
+			p = r
+		}
+		return math.Abs(total-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+)
+
+// solveResult is a solver's answer for one planning problem.
+type solveResult struct {
+	rung int     // first rung to commit, or -1 when no feasible plan exists
+	obj  float64 // objective of the best plan (undefined when rung < 0)
+}
+
+// omegaAt returns the bandwidth prediction for planning step depth. A
+// constant predictor passes a single-element slice; the theory experiments
+// pass per-step exact predictions (§3.2 allows piecewise-constant forecasts).
+func omegaAt(omegas []float64, depth int) float64 {
+	if depth < len(omegas) {
+		return omegas[depth]
+	}
+	return omegas[len(omegas)-1]
+}
+
+// searchMonotonic implements Algorithm 1 of the paper: it searches only
+// monotonically non-increasing or non-decreasing bitrate sequences of length
+// k starting from (x0, prevRung), returning the best first rung.
+//
+// maxRung caps every candidate (the §5.1 throughput-cap heuristic); pass
+// ladder.Len()-1 to disable. prevRung < 0 (session start) admits any first
+// rung with no switching charge, then monotonic continuations in both
+// directions.
+func (m *CostModel) searchMonotonic(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+	if k <= 0 || len(omegas) == 0 {
+		return solveResult{rung: -1}
+	}
+	if prevRung < 0 {
+		// No previous bitrate: any first rung, then monotone either way.
+		best := solveResult{rung: -1, obj: math.Inf(1)}
+		for r := 0; r <= maxRung; r++ {
+			c, x1, ok := m.stepCost(r, -1, x0, omegaAt(omegas, 0))
+			if !ok {
+				continue
+			}
+			rest, ok := m.bestContinuation(omegas, x1, r, 1, k-1, maxRung)
+			if !ok {
+				continue
+			}
+			if c+rest < best.obj {
+				best = solveResult{rung: r, obj: c + rest}
+			}
+		}
+		return best
+	}
+	upObj, up := m.searchDir(omegas, x0, prevRung, 0, k, maxRung, +1)
+	downObj, down := m.searchDir(omegas, x0, prevRung, 0, k, maxRung, -1)
+	switch {
+	case up.rung >= 0 && (down.rung < 0 || upObj < downObj):
+		return solveResult{rung: up.rung, obj: upObj}
+	case down.rung >= 0:
+		return solveResult{rung: down.rung, obj: downObj}
+	default:
+		return solveResult{rung: -1}
+	}
+}
+
+// bestContinuation returns the cheapest monotone continuation of length k at
+// planning depth, after committing rung r (either direction), or ok=false
+// when none is feasible. k may be 0, in which case it costs nothing.
+func (m *CostModel) bestContinuation(omegas []float64, x float64, r, depth, k, maxRung int) (float64, bool) {
+	if k == 0 {
+		return 0, true
+	}
+	upObj, up := m.searchDir(omegas, x, r, depth, k, maxRung, +1)
+	downObj, down := m.searchDir(omegas, x, r, depth, k, maxRung, -1)
+	switch {
+	case up.rung >= 0 && (down.rung < 0 || upObj < downObj):
+		return upObj, true
+	case down.rung >= 0:
+		return downObj, true
+	default:
+		return 0, false
+	}
+}
+
+// searchDir is SearchUp (dir=+1) / SearchDown (dir=-1) from Algorithm 1:
+// recursively extend the plan with rungs that keep the sequence monotone in
+// the given direction (equality allowed, so flat sequences are reachable from
+// both directions). It returns the total objective and the first rung chosen.
+func (m *CostModel) searchDir(omegas []float64, x0 float64, prevRung, depth, k, maxRung, dir int) (float64, solveResult) {
+	bestObj := math.Inf(1)
+	best := solveResult{rung: -1}
+	lo, hi := prevRung, maxRung // up: r in [prevRung, maxRung]
+	if dir < 0 {
+		lo, hi = 0, prevRung // down: r in [0, min(prevRung, maxRung)]
+		if hi > maxRung {
+			hi = maxRung
+		}
+	}
+	for r := lo; r <= hi; r++ {
+		c, x1, ok := m.stepCost(r, prevRung, x0, omegaAt(omegas, depth))
+		if !ok {
+			continue
+		}
+		total := c
+		if k > 1 {
+			restObj, rest := m.searchDir(omegas, x1, r, depth+1, k-1, maxRung, dir)
+			if rest.rung < 0 {
+				continue
+			}
+			total += restObj
+		}
+		if total < bestObj {
+			bestObj = total
+			best = solveResult{rung: r, obj: total}
+		}
+	}
+	return bestObj, best
+}
+
+// bruteForce enumerates every rung sequence of length k (the exponential
+// reference solver) under the same cap, returning the best first rung.
+func (m *CostModel) bruteForce(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+	if k <= 0 || len(omegas) == 0 {
+		return solveResult{rung: -1}
+	}
+	seq := make([]int, k)
+	best := solveResult{rung: -1, obj: math.Inf(1)}
+	for {
+		cost := m.sequenceCost(seq, prevRung, x0, omegas)
+		if cost < best.obj {
+			best = solveResult{rung: seq[0], obj: cost}
+		}
+		// Advance the odometer.
+		i := k - 1
+		for i >= 0 {
+			seq[i]++
+			if seq[i] <= maxRung {
+				break
+			}
+			seq[i] = 0
+			i--
+		}
+		if i < 0 {
+			return best
+		}
+	}
+}
+
+// countMonotonicSequences bounds the monotone search space: the number of
+// non-decreasing length-k sequences over n rungs is C(n+k-1, k). Algorithm 1
+// explores at most twice this (up plus down), versus n^k for brute force.
+func countMonotonicSequences(n, k int) int {
+	return binomial(n+k-1, k)
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func baseProblem(k int) ContinuousProblem {
+	omega := make([]float64, k)
+	for i := range omega {
+		omega[i] = 8
+	}
+	return ContinuousProblem{
+		Omega:       omega,
+		X0:          10,
+		U0:          1.0 / 8,
+		Beta:        0.5,
+		Gamma:       1,
+		Epsilon:     0.2,
+		Target:      12,
+		Xmax:        20,
+		UMin:        1.0 / 12,
+		UMax:        1.0 / 1.5,
+		WDistortion: 1,
+	}
+}
+
+func TestContinuousValidate(t *testing.T) {
+	p := baseProblem(5)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid problem rejected: %v", err)
+	}
+	bad := []func(*ContinuousProblem){
+		func(p *ContinuousProblem) { p.Omega = nil },
+		func(p *ContinuousProblem) { p.Omega = []float64{1, -2} },
+		func(p *ContinuousProblem) { p.UMin = 0 },
+		func(p *ContinuousProblem) { p.UMax = p.UMin / 2 },
+		func(p *ContinuousProblem) { p.Xmax = 0 },
+		func(p *ContinuousProblem) { p.Epsilon = 0 },
+	}
+	for i, f := range bad {
+		q := baseProblem(5)
+		f(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestContinuousSolveImprovesAndRespectsBox(t *testing.T) {
+	p := baseProblem(8)
+	sol, err := p.Solve(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The constant-hold initialization must not beat the optimizer.
+	init := make([]float64, 8)
+	for i := range init {
+		init[i] = p.U0
+	}
+	if sol.Obj > p.objective(init, nil)+1e-9 {
+		t.Errorf("solver worse than initialization: %v vs %v", sol.Obj, p.objective(init, nil))
+	}
+	for t2, u := range sol.U {
+		if u < p.UMin-1e-9 || u > p.UMax+1e-9 {
+			t.Errorf("u[%d] = %v outside box", t2, u)
+		}
+	}
+	for t2, x := range sol.X {
+		if x < -0.05 || x > p.Xmax+0.05 {
+			t.Errorf("x[%d] = %v outside buffer range", t2, x)
+		}
+	}
+}
+
+func TestContinuousGradient(t *testing.T) {
+	// Finite-difference check of the analytic gradient.
+	p := baseProblem(6)
+	u := []float64{0.1, 0.2, 0.15, 0.3, 0.25, 0.12}
+	grad := make([]float64, len(u))
+	p.objective(u, grad)
+	const h = 1e-6
+	for i := range u {
+		up := append([]float64(nil), u...)
+		dn := append([]float64(nil), u...)
+		up[i] += h
+		dn[i] -= h
+		fd := (p.objective(up, nil) - p.objective(dn, nil)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-3*math.Max(1, math.Abs(fd)) {
+			t.Errorf("grad[%d] = %v, finite difference %v", i, grad[i], fd)
+		}
+	}
+}
+
+func TestContinuousGradientWithTerminal(t *testing.T) {
+	p := baseProblem(4)
+	p.Terminal = &Terminal{X: 12, U: 0.125}
+	u := []float64{0.1, 0.2, 0.15, 0.3}
+	grad := make([]float64, len(u))
+	p.objective(u, grad)
+	const h = 1e-6
+	for i := range u {
+		up := append([]float64(nil), u...)
+		dn := append([]float64(nil), u...)
+		up[i] += h
+		dn[i] -= h
+		fd := (p.objective(up, nil) - p.objective(dn, nil)) / (2 * h)
+		if math.Abs(fd-grad[i]) > 1e-2*math.Max(1, math.Abs(fd)) {
+			t.Errorf("terminal grad[%d] = %v, finite difference %v", i, grad[i], fd)
+		}
+	}
+}
+
+func TestLemmaA10MonotoneStructure(t *testing.T) {
+	// Lemma A.10: with only switching costs, the optimal action sequence is
+	// monotone. Forced-movement scenario: u0 far above 1/ω̂ with a growing
+	// buffer, so the solution must descend toward 1/ω̂, monotonically.
+	k := 10
+	omega := make([]float64, k)
+	for i := range omega {
+		omega[i] = 10
+	}
+	p := ContinuousProblem{
+		Omega:       omega,
+		X0:          15,
+		U0:          0.5, // r = 2: buffer grows by ω·u − 1 = 4 s per step
+		Beta:        0,
+		Gamma:       1,
+		Epsilon:     0.2,
+		Target:      12,
+		Xmax:        20,
+		UMin:        1.0 / 12,
+		UMax:        0.6,
+		WDistortion: 0,
+	}
+	sol, err := p.Solve(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMonotone(p.U0, sol.U, 1e-3) {
+		t.Errorf("switching-only solution not monotone: %v", sol.U)
+	}
+	// It must be the decreasing branch (u0 > 1/ω̂).
+	if sol.U[k-1] > p.U0 {
+		t.Errorf("expected descent from u0=%v, got final %v", p.U0, sol.U[k-1])
+	}
+
+	// Mirror case: u0 below 1/ω̂ with a draining buffer forces ascent.
+	p2 := p
+	p2.X0 = 2
+	p2.U0 = 1.0 / 12 // r = 12: buffer drains by 1 − 10/12 ≈ 0.17/step... make it drain harder
+	p2.Omega = make([]float64, k)
+	for i := range p2.Omega {
+		p2.Omega[i] = 4 // u0·ω − 1 = 4/12 − 1 < 0: buffer drains
+	}
+	sol2, err := p2.Solve(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsMonotone(p2.U0, sol2.U, 1e-3) {
+		t.Errorf("ascending case not monotone: %v", sol2.U)
+	}
+}
+
+func TestTheorem43MonotoneApproximation(t *testing.T) {
+	// Theorem 4.3 / A.9: as gamma grows, the full-cost optimal solution
+	// approaches a monotone sequence. Measure the monotonicity violation of
+	// the continuous solution as gamma increases.
+	violation := func(gamma float64) float64 {
+		p := baseProblem(8)
+		p.X0 = 5 // away from target so the solution actually moves
+		p.Gamma = gamma
+		sol, err := p.Solve(3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Total "backtracking" = sum of direction reversals' magnitudes.
+		viol := 0.0
+		dirUp, dirDown := 0.0, 0.0
+		prev := p.U0
+		for _, u := range sol.U {
+			d := u - prev
+			if d > 0 {
+				dirUp += d
+			} else {
+				dirDown -= d
+			}
+			prev = u
+		}
+		viol = math.Min(dirUp, dirDown)
+		return viol
+	}
+	// Theorem A.9's tolerance: λ = K·sqrt((ω̂(1/r²min − 1/r²max) +
+	// β·max{x̄², ε(xmax−x̄)²}) / γ). The violation must sit within λ and
+	// shrink as γ grows.
+	bound := func(gamma float64) float64 {
+		p := baseProblem(8)
+		stuff := 8*(1/(1.5*1.5)-1/(12.0*12.0)) + p.Beta*math.Max(p.Target*p.Target, p.Epsilon*(p.Xmax-p.Target)*(p.Xmax-p.Target))
+		return 8 * math.Sqrt(stuff/gamma)
+	}
+	lo := violation(0.01)
+	mid := violation(100)
+	hi := violation(1e6)
+	if mid > bound(100) {
+		t.Errorf("violation %v exceeds Theorem A.9 bound %v at gamma=100", mid, bound(100))
+	}
+	if hi > bound(1e6) {
+		t.Errorf("violation %v exceeds Theorem A.9 bound %v at gamma=1e6", hi, bound(1e6))
+	}
+	if !(hi <= mid+1e-9 && mid <= lo+1e-9) {
+		t.Errorf("monotone violation grew with gamma: %v -> %v -> %v", lo, mid, hi)
+	}
+	if hi > 0.02 {
+		t.Errorf("gamma=1e6 violation = %v, want ~0", hi)
+	}
+}
+
+func TestFigure6PerturbationDecay(t *testing.T) {
+	// Figure 6 / Theorem A.1: optimal trajectories from different initial
+	// (x0, u0) pairs converge toward each other; the per-step distance decays.
+	p := baseProblem(15)
+	d, err := PerturbationDecay(p, 4, 0.4, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] <= 0 {
+		t.Fatalf("trajectories identical at step 0: %v", d)
+	}
+	// Exponential-flavoured decay: the tail is a small fraction of the head.
+	head := d[0]
+	tail := d[len(d)-1]
+	if tail > head*0.2 {
+		t.Errorf("perturbation did not decay: head %v tail %v (%v)", head, tail, d)
+	}
+	// Broad monotone trend: each quarter mean is below the previous.
+	q := len(d) / 3
+	m1 := meanOf(d[:q])
+	m2 := meanOf(d[q : 2*q])
+	m3 := meanOf(d[2*q:])
+	if !(m1 > m2 && m2 > m3) {
+		t.Errorf("decay not monotone in thirds: %v %v %v", m1, m2, m3)
+	}
+}
+
+func meanOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// syntheticOmegas builds a bounded, varying bandwidth sequence for the regret
+// experiments: a sinusoid with a step, within [3, 11] Mb/s.
+func syntheticOmegas(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 7 + 4*math.Sin(float64(i)/4)
+		if i > n/2 {
+			out[i] = math.Max(3, out[i]-2)
+		}
+	}
+	return out
+}
+
+func TestOfflineSolveSanity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Gamma = 1
+	m := NewCostModel(cfg, video.Mobile(), 20)
+	omegas := syntheticOmegas(30)
+	opt, seq, err := OfflineSolve(m, omegas, 10, -1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 30 {
+		t.Fatalf("sequence length %d", len(seq))
+	}
+	if opt <= 0 {
+		t.Errorf("optimal cost = %v", opt)
+	}
+	// The DP's own sequence, replayed exactly, must cost close to the DP
+	// value (bucketing error only).
+	replay := m.SequenceCost(seq, -1, 10, omegas)
+	if math.IsInf(replay, 1) {
+		t.Fatal("offline sequence infeasible on exact replay")
+	}
+	if math.Abs(replay-opt) > 0.25*opt {
+		t.Errorf("replayed cost %v far from DP value %v", replay, opt)
+	}
+	// And it must beat naive constant policies.
+	for r := 0; r < m.ladder.Len(); r++ {
+		constSeq := make([]int, 30)
+		for i := range constSeq {
+			constSeq[i] = r
+		}
+		c := m.SequenceCost(constSeq, -1, 10, omegas)
+		if c < opt-0.05*opt {
+			t.Errorf("constant rung %d beats DP: %v < %v", r, c, opt)
+		}
+	}
+	if _, _, err := OfflineSolve(m, nil, 10, -1, 300); err == nil {
+		t.Error("empty horizon accepted")
+	}
+	if _, _, err := OfflineSolve(m, omegas, 10, -1, 5); err == nil {
+		t.Error("coarse grid accepted")
+	}
+}
+
+func TestTheorem41RegretShrinksWithHorizon(t *testing.T) {
+	// Theorem 4.1: with exact predictions, SODA's dynamic regret decays
+	// (exponentially) in K and the competitive ratio approaches 1.
+	cfg := DefaultConfig()
+	cfg.Gamma = 1
+	m := NewCostModel(cfg, video.Mobile(), 20)
+	omegas := syntheticOmegas(60)
+	opt, _, err := OfflineSolve(m, omegas, 10, -1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regret := map[int]float64{}
+	for _, k := range []int{1, 3, 8} {
+		cost, _, err := RecedingHorizonCost(m, omegas, 10, k, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regret[k] = cost - opt
+		// SODA can never beat the clairvoyant optimum by more than the DP
+		// discretization slack.
+		if cost < opt*0.93 {
+			t.Errorf("K=%d: SODA cost %v below optimal %v", k, cost, opt)
+		}
+	}
+	if !(regret[8] < regret[3] && regret[3] < regret[1]) {
+		t.Errorf("regret not shrinking with horizon: %v", regret)
+	}
+	// Competitive ratio close to 1 for the longest horizon.
+	ratio := (regret[8] + opt) / opt
+	if ratio > 1.2 {
+		t.Errorf("competitive ratio at K=8 = %v", ratio)
+	}
+}
+
+func TestRecedingHorizonTerminalVariant(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewCostModel(cfg, video.Mobile(), 20)
+	omegas := syntheticOmegas(40)
+	c1, seq1, err := RecedingHorizonCost(m, omegas, 10, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq1) != 40 || c1 <= 0 {
+		t.Fatalf("terminal variant: cost=%v len=%d", c1, len(seq1))
+	}
+	if _, _, err := RecedingHorizonCost(m, nil, 10, 4, true); err == nil {
+		t.Error("empty horizon accepted")
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	if !IsMonotone(1, []float64{1, 2, 3}, 0) {
+		t.Error("increasing rejected")
+	}
+	if !IsMonotone(3, []float64{2, 2, 1}, 0) {
+		t.Error("decreasing rejected")
+	}
+	if IsMonotone(1, []float64{2, 1, 2}, 0) {
+		t.Error("zigzag accepted")
+	}
+	if !IsMonotone(1, []float64{1.0005, 0.9995, 1.001}, 0.01) {
+		t.Error("within-tolerance wiggle rejected")
+	}
+}

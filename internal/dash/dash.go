@@ -1,0 +1,191 @@
+// Package dash implements a minimal MPEG-DASH Media Presentation Description
+// (MPD) reader/writer, the interoperability surface the paper's segment-based
+// schema targets (§5.1: "a video must be downloaded segment by segment
+// according to the MPEG-DASH standard", with dash.js as the reference
+// player).
+//
+// The subset covers what an ABR controller needs: one period with one video
+// adaptation set, a fixed segment duration (SegmentTemplate with
+// duration/timescale), and one Representation per bitrate rung. Round trips
+// through this package preserve that information exactly; everything else in
+// a real MPD is out of scope.
+package dash
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/video"
+)
+
+// MPD is the root element of a media presentation description.
+type MPD struct {
+	XMLName               xml.Name `xml:"MPD"`
+	Xmlns                 string   `xml:"xmlns,attr,omitempty"`
+	Type                  string   `xml:"type,attr"`
+	MediaPresentationDur  string   `xml:"mediaPresentationDuration,attr,omitempty"`
+	MinimumUpdatePeriod   string   `xml:"minimumUpdatePeriod,attr,omitempty"`
+	SuggestedPresentation string   `xml:"suggestedPresentationDelay,attr,omitempty"`
+	Periods               []Period `xml:"Period"`
+}
+
+// Period is one content period.
+type Period struct {
+	ID             string          `xml:"id,attr,omitempty"`
+	AdaptationSets []AdaptationSet `xml:"AdaptationSet"`
+}
+
+// AdaptationSet groups interchangeable representations.
+type AdaptationSet struct {
+	MimeType        string           `xml:"mimeType,attr,omitempty"`
+	ContentType     string           `xml:"contentType,attr,omitempty"`
+	SegmentTemplate *SegmentTemplate `xml:"SegmentTemplate,omitempty"`
+	Representations []Representation `xml:"Representation"`
+}
+
+// SegmentTemplate carries the fixed segment timing.
+type SegmentTemplate struct {
+	Media     string `xml:"media,attr,omitempty"`
+	Init      string `xml:"initialization,attr,omitempty"`
+	Duration  int    `xml:"duration,attr"`
+	Timescale int    `xml:"timescale,attr"`
+}
+
+// Representation is one encoding of the content.
+type Representation struct {
+	ID        string `xml:"id,attr"`
+	Bandwidth int    `xml:"bandwidth,attr"` // bits per second
+	Width     int    `xml:"width,attr,omitempty"`
+	Height    int    `xml:"height,attr,omitempty"`
+	Codecs    string `xml:"codecs,attr,omitempty"`
+}
+
+// dashNamespace is the MPD schema namespace.
+const dashNamespace = "urn:mpeg:dash:schema:mpd:2011"
+
+// FromLadder builds a live-profile MPD advertising the ladder.
+// mediaDuration <= 0 marks the presentation dynamic (live).
+func FromLadder(ladder video.Ladder, mediaDuration time.Duration) *MPD {
+	st := &SegmentTemplate{
+		Media:     "segment-$Number$-$RepresentationID$.m4s",
+		Init:      "init-$RepresentationID$.mp4",
+		Timescale: 1000,
+		Duration:  int(ladder.SegmentSeconds * 1000),
+	}
+	set := AdaptationSet{
+		MimeType:        "video/mp4",
+		ContentType:     "video",
+		SegmentTemplate: st,
+	}
+	for i, r := range ladder.Rungs {
+		set.Representations = append(set.Representations, Representation{
+			ID:        fmt.Sprintf("v%d", i),
+			Bandwidth: int(r.Mbps * 1e6),
+			Width:     r.Width,
+			Height:    r.Height,
+		})
+	}
+	mpd := &MPD{
+		Xmlns:   dashNamespace,
+		Periods: []Period{{ID: "p0", AdaptationSets: []AdaptationSet{set}}},
+	}
+	if mediaDuration > 0 {
+		mpd.Type = "static"
+		mpd.MediaPresentationDur = isoDuration(mediaDuration)
+	} else {
+		mpd.Type = "dynamic"
+		mpd.MinimumUpdatePeriod = isoDuration(time.Duration(ladder.SegmentSeconds * float64(time.Second)))
+	}
+	return mpd
+}
+
+// isoDuration formats a duration as an ISO-8601 duration (PT#S form).
+func isoDuration(d time.Duration) string {
+	return fmt.Sprintf("PT%gS", d.Seconds())
+}
+
+// Ladder extracts the bitrate ladder from the MPD's first video adaptation
+// set. Representations are sorted by bandwidth; duplicate bandwidths are an
+// error (the ladder must be strictly ascending).
+func (m *MPD) Ladder() (video.Ladder, error) {
+	set, err := m.videoSet()
+	if err != nil {
+		return video.Ladder{}, err
+	}
+	if set.SegmentTemplate == nil {
+		return video.Ladder{}, fmt.Errorf("dash: adaptation set has no SegmentTemplate")
+	}
+	st := set.SegmentTemplate
+	if st.Timescale <= 0 || st.Duration <= 0 {
+		return video.Ladder{}, fmt.Errorf("dash: invalid segment timing %d/%d", st.Duration, st.Timescale)
+	}
+	segSeconds := float64(st.Duration) / float64(st.Timescale)
+
+	reps := append([]Representation(nil), set.Representations...)
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Bandwidth < reps[j].Bandwidth })
+	mbps := make([]float64, 0, len(reps))
+	prev := -1
+	for _, r := range reps {
+		if r.Bandwidth <= 0 {
+			return video.Ladder{}, fmt.Errorf("dash: representation %q has bandwidth %d", r.ID, r.Bandwidth)
+		}
+		if r.Bandwidth == prev {
+			return video.Ladder{}, fmt.Errorf("dash: duplicate bandwidth %d", r.Bandwidth)
+		}
+		prev = r.Bandwidth
+		mbps = append(mbps, float64(r.Bandwidth)/1e6)
+	}
+	if len(mbps) == 0 {
+		return video.Ladder{}, fmt.Errorf("dash: no representations")
+	}
+	ladder := video.NewLadder(mbps, segSeconds)
+	for i, r := range reps {
+		ladder.Rungs[i].Width, ladder.Rungs[i].Height = r.Width, r.Height
+	}
+	return ladder, nil
+}
+
+func (m *MPD) videoSet() (*AdaptationSet, error) {
+	if len(m.Periods) == 0 {
+		return nil, fmt.Errorf("dash: MPD has no periods")
+	}
+	for pi := range m.Periods {
+		for si := range m.Periods[pi].AdaptationSets {
+			set := &m.Periods[pi].AdaptationSets[si]
+			if set.ContentType == "video" || set.MimeType == "video/mp4" || set.ContentType == "" {
+				return set, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("dash: no video adaptation set")
+}
+
+// Live reports whether the presentation is dynamic (live).
+func (m *MPD) Live() bool { return m.Type == "dynamic" }
+
+// Write serializes the MPD as indented XML with the standard header.
+func (m *MPD) Write(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Read parses an MPD document.
+func Read(r io.Reader) (*MPD, error) {
+	var m MPD
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("dash: %w", err)
+	}
+	return &m, nil
+}

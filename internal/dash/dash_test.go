@@ -1,0 +1,150 @@
+package dash
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/video"
+)
+
+func TestRoundTripStatic(t *testing.T) {
+	ladder := video.YouTube4K()
+	mpd := FromLadder(ladder, 10*time.Minute)
+	if mpd.Type != "static" || mpd.Live() {
+		t.Errorf("type = %q", mpd.Type)
+	}
+	if mpd.MediaPresentationDur != "PT600S" {
+		t.Errorf("duration = %q", mpd.MediaPresentationDur)
+	}
+
+	var buf bytes.Buffer
+	if err := mpd.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, `bandwidth="60000000"`) {
+		t.Errorf("missing top-rung bandwidth in:\n%s", doc)
+	}
+	if !strings.Contains(doc, dashNamespace) {
+		t.Error("missing namespace")
+	}
+
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ladder.Len() {
+		t.Fatalf("rungs = %d", got.Len())
+	}
+	for i := range ladder.Rungs {
+		if math.Abs(got.Mbps(i)-ladder.Mbps(i)) > 1e-9 {
+			t.Errorf("rung %d = %v, want %v", i, got.Mbps(i), ladder.Mbps(i))
+		}
+		if got.Rungs[i].Width != ladder.Rungs[i].Width {
+			t.Errorf("rung %d width = %d", i, got.Rungs[i].Width)
+		}
+	}
+	if got.SegmentSeconds != ladder.SegmentSeconds {
+		t.Errorf("segment duration = %v", got.SegmentSeconds)
+	}
+}
+
+func TestLiveMPD(t *testing.T) {
+	mpd := FromLadder(video.PrimeVideo(), 0)
+	if !mpd.Live() {
+		t.Error("live MPD not dynamic")
+	}
+	if mpd.MinimumUpdatePeriod != "PT2S" {
+		t.Errorf("update period = %q", mpd.MinimumUpdatePeriod)
+	}
+	if _, err := mpd.Ladder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLadderSortsRepresentations(t *testing.T) {
+	mpd := FromLadder(video.Mobile(), time.Minute)
+	reps := mpd.Periods[0].AdaptationSets[0].Representations
+	// Shuffle the order; Ladder must sort by bandwidth.
+	reps[0], reps[3] = reps[3], reps[0]
+	ladder, err := mpd.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.Min() != 1.5 || ladder.Max() != 12 {
+		t.Errorf("ladder = %v", ladder.Bitrates())
+	}
+}
+
+func TestLadderErrors(t *testing.T) {
+	cases := map[string]func(*MPD){
+		"no periods": func(m *MPD) { m.Periods = nil },
+		"no template": func(m *MPD) {
+			m.Periods[0].AdaptationSets[0].SegmentTemplate = nil
+		},
+		"bad timing": func(m *MPD) {
+			m.Periods[0].AdaptationSets[0].SegmentTemplate.Timescale = 0
+		},
+		"no representations": func(m *MPD) {
+			m.Periods[0].AdaptationSets[0].Representations = nil
+		},
+		"zero bandwidth": func(m *MPD) {
+			m.Periods[0].AdaptationSets[0].Representations[0].Bandwidth = 0
+		},
+		"duplicate bandwidth": func(m *MPD) {
+			reps := m.Periods[0].AdaptationSets[0].Representations
+			reps[1].Bandwidth = reps[0].Bandwidth
+		},
+	}
+	for name, mutate := range cases {
+		mpd := FromLadder(video.Mobile(), time.Minute)
+		mutate(mpd)
+		if _, err := mpd.Ladder(); err == nil {
+			t.Errorf("%s: error not reported", name)
+		}
+	}
+}
+
+func TestReadRejectsJunk(t *testing.T) {
+	if _, err := Read(strings.NewReader("this is not xml <")); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestReadRealWorldFlavour(t *testing.T) {
+	// A hand-written MPD in the style dash.js consumes.
+	const doc = `<?xml version="1.0"?>
+<MPD xmlns="urn:mpeg:dash:schema:mpd:2011" type="static" mediaPresentationDuration="PT120S">
+  <Period id="1">
+    <AdaptationSet mimeType="video/mp4" contentType="video">
+      <SegmentTemplate media="$Number$.m4s" duration="4000" timescale="1000"/>
+      <Representation id="low" bandwidth="450000" width="640" height="360"/>
+      <Representation id="high" bandwidth="1800000" width="1280" height="720"/>
+    </AdaptationSet>
+  </Period>
+</MPD>`
+	mpd, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladder, err := mpd.Ladder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ladder.Len() != 2 || ladder.SegmentSeconds != 4 {
+		t.Fatalf("ladder = %+v", ladder)
+	}
+	if ladder.Min() != 0.45 || ladder.Max() != 1.8 {
+		t.Errorf("bitrates = %v", ladder.Bitrates())
+	}
+	if ladder.Rungs[1].Height != 720 {
+		t.Errorf("resolution lost: %+v", ladder.Rungs[1])
+	}
+}

@@ -1,0 +1,39 @@
+package dash
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/video"
+)
+
+// FuzzRead checks MPD parsing never panics and that parsed documents either
+// fail Ladder() cleanly or yield a valid ladder.
+func FuzzRead(f *testing.F) {
+	var sb strings.Builder
+	FromLadder(video.Prototype(), time.Minute).Write(&sb)
+	f.Add(sb.String())
+	f.Add("<MPD></MPD>")
+	f.Add("not xml")
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		ladder, err := m.Ladder()
+		if err != nil {
+			return
+		}
+		if ladder.Len() == 0 || ladder.SegmentSeconds <= 0 {
+			t.Fatalf("accepted ladder invalid: %+v", ladder)
+		}
+		prev := 0.0
+		for _, r := range ladder.Rungs {
+			if r.Mbps <= prev {
+				t.Fatalf("ladder not ascending: %v", ladder.Bitrates())
+			}
+			prev = r.Mbps
+		}
+	})
+}

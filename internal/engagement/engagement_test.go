@@ -1,0 +1,80 @@
+package engagement
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestFigure1Anchor(t *testing.T) {
+	// Users watch < 10% of the stream when switching rate > 20% (Fig. 1),
+	// evaluated on a 2-hour sports stream with no rebuffering.
+	m := Default()
+	if frac := m.ExpectedViewingFraction(0.21, 0, 120); frac >= 0.10 {
+		t.Errorf("viewing fraction at 21%% switching = %v, want < 0.10", frac)
+	}
+	// A perfectly smooth session is mostly watched.
+	if frac := m.ExpectedViewingFraction(0, 0, 120); frac < 0.5 {
+		t.Errorf("smooth-session viewing fraction = %v, want > 0.5", frac)
+	}
+}
+
+func TestRebufferingAnchor(t *testing.T) {
+	// ~3 minutes of viewing lost per 1% of rebuffering, near the typical
+	// live operating point (low switching, low rebuffering, long stream).
+	m := Default()
+	d := m.MarginalMinutesPerRebufferPoint(0.02, 0.005, 180)
+	if d >= 0 {
+		t.Fatalf("rebuffering should reduce viewing, delta = %v", d)
+	}
+	if math.Abs(-d-3) > 2 {
+		t.Errorf("minutes lost per rebuffering point = %v, want ~3", -d)
+	}
+}
+
+func TestViewingFractionMonotone(t *testing.T) {
+	m := Default()
+	prev := math.Inf(1)
+	for s := 0.0; s <= 0.5; s += 0.05 {
+		f := m.ExpectedViewingFraction(s, 0, 120)
+		if f >= prev {
+			t.Fatalf("viewing fraction not decreasing in switching at %v", s)
+		}
+		if f <= 0 || f > 1 {
+			t.Fatalf("viewing fraction out of range: %v", f)
+		}
+		prev = f
+	}
+}
+
+func TestExpectedViewingBounds(t *testing.T) {
+	m := Default()
+	if v := m.ExpectedViewingMinutes(0, 0, 60); v <= 0 || v > 60 {
+		t.Errorf("expected viewing = %v", v)
+	}
+	if f := m.ExpectedViewingFraction(0, 0, 0); f != 0 {
+		t.Errorf("zero-length stream fraction = %v", f)
+	}
+	// Hazard floor keeps the model defined even with absurd inputs.
+	if h := (Model{BaseRatePerMin: -5}).HazardPerMin(0, 0); h <= 0 {
+		t.Errorf("hazard floor violated: %v", h)
+	}
+}
+
+func TestSampleMatchesExpectation(t *testing.T) {
+	m := Default()
+	rng := rand.New(rand.NewPCG(5, 6))
+	const n = 60000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := m.SampleViewingMinutes(0.05, 0.002, 120, rng)
+		if v < 0 || v > 120 {
+			t.Fatalf("sample out of range: %v", v)
+		}
+		sum += v
+	}
+	want := m.ExpectedViewingMinutes(0.05, 0.002, 120)
+	if got := sum / n; math.Abs(got-want) > 0.5 {
+		t.Errorf("sample mean %v, analytic %v", got, want)
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func ablScale() Scale {
+	s := testScale()
+	s.SessionsPerDataset = 8
+	s.SessionSeconds = 300
+	return s
+}
+
+func TestAblationTargetFraction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := AblationTargetFraction(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// A higher target is more defensive: rebuffering must not increase as
+	// the target rises.
+	lo := res.Points[0].Aggregate.RebufferRatio.Mean
+	hi := res.Points[len(res.Points)-1].Aggregate.RebufferRatio.Mean
+	if hi > lo+0.002 {
+		t.Errorf("raising the buffer target increased rebuffering: %v -> %v", lo, hi)
+	}
+	if !strings.Contains(res.Render(), "target=") {
+		t.Error("render missing labels")
+	}
+}
+
+func TestAblationEpsilonAndGamma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	eps, err := AblationEpsilon(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps.Points) != 5 {
+		t.Fatalf("eps points = %d", len(eps.Points))
+	}
+	gamma, err := AblationSwitchingWeight(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gamma's defining trade-off: more smoothing weight, fewer switches.
+	first := gamma.Points[0].Aggregate.SwitchRate.Mean
+	last := gamma.Points[len(gamma.Points)-1].Aggregate.SwitchRate.Mean
+	if last > first {
+		t.Errorf("raising gamma increased switching: %v -> %v", first, last)
+	}
+}
+
+func TestAblationHorizonQoE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := AblationHorizonQoE(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longer planning should not hurt badly: K=5 within a modest margin of
+	// the best point, and K=1 is never the only acceptable configuration.
+	best := -1e18
+	for _, p := range res.Points {
+		if p.Aggregate.Score.Mean > best {
+			best = p.Aggregate.Score.Mean
+		}
+	}
+	k5 := res.Points[len(res.Points)-1].Aggregate.Score.Mean
+	if k5 < best-0.1 {
+		t.Errorf("K=5 QoE %.3f far below best %.3f\n%s", k5, best, res.Render())
+	}
+}
+
+func TestAblationAbandonment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := AblationAbandonment(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := res.Points[0].Aggregate
+	on := res.Points[1].Aggregate
+	// Abandonment can only help rebuffering (it never triggers on healthy
+	// downloads).
+	if on.RebufferRatio.Mean > off.RebufferRatio.Mean+0.002 {
+		t.Errorf("abandonment increased rebuffering: %v -> %v",
+			off.RebufferRatio.Mean, on.RebufferRatio.Mean)
+	}
+}
+
+func TestUltraLowLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := UltraLowLatency(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soda := res.PerController["soda"]
+	if len(soda) != len(res.Budgets) {
+		t.Fatalf("budget points = %d", len(soda))
+	}
+	// §8's premise: the tightest budget is at least as hard as traditional
+	// live for rebuffering.
+	if soda[0].RebufferRatio.Mean+1e-9 < soda[len(soda)-1].RebufferRatio.Mean {
+		t.Errorf("4s budget rebuffering (%v) below 20s budget (%v)",
+			soda[0].RebufferRatio.Mean, soda[len(soda)-1].RebufferRatio.Mean)
+	}
+	// SODA remains smoother than Dynamic even under tight budgets.
+	dyn := res.PerController["dynamic"]
+	if soda[0].SwitchRate.Mean > dyn[0].SwitchRate.Mean+0.05 {
+		t.Errorf("SODA switching %v far above Dynamic %v at the 4s budget",
+			soda[0].SwitchRate.Mean, dyn[0].SwitchRate.Mean)
+	}
+	if !strings.Contains(res.Render(), "budget") {
+		t.Error("render missing budgets")
+	}
+}
+
+func TestAblationPredictor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := AblationPredictor(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// SODA is robust by design: no simple predictor should collapse it.
+	for _, p := range res.Points {
+		if p.Aggregate.Score.Mean < 0.3 {
+			t.Errorf("%s: QoE %.3f — predictor choice collapsed SODA", p.Label, p.Aggregate.Score.Mean)
+		}
+	}
+}
+
+func TestOracleGap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := OracleGap(ablScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleScore.Mean <= 0 {
+		t.Fatalf("oracle score = %v", res.OracleScore.Mean)
+	}
+	for _, name := range res.Controllers {
+		frac := res.RealizedFraction[name]
+		if frac > 1.1 {
+			t.Errorf("%s realizes %.2f of the oracle — impossible", name, frac)
+		}
+		if frac < 0 {
+			t.Errorf("%s fraction negative: %v", name, frac)
+		}
+	}
+	// SODA realizes a large share of the attainable QoE.
+	if res.RealizedFraction["soda"] < 0.6 {
+		t.Errorf("soda realizes only %.2f of the oracle\n%s", res.RealizedFraction["soda"], res.Render())
+	}
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The evaluation headline tests assert the qualitative shape of the paper's
+// main results on reduced workloads. They are the "does the reproduction
+// reproduce" checks.
+
+func TestFigure10SODALeadsQoE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := Figure10(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) != 6 {
+		t.Fatalf("buckets = %v", res.Buckets)
+	}
+	wins := 0
+	meanSwitch := map[string]float64{}
+	for _, bucket := range res.Buckets {
+		if res.Best(bucket) == "soda" {
+			wins++
+		}
+		soda := res.Aggregates[bucket]["soda"]
+		// SODA never trails the bucket leader by much even where sampling
+		// noise hands another controller the top spot.
+		best := res.Aggregates[bucket][res.Best(bucket)]
+		if soda.Score.Mean < best.Score.Mean-0.06 {
+			t.Errorf("%s: soda QoE %.3f far below best (%s) %.3f", bucket,
+				soda.Score.Mean, res.Best(bucket), best.Score.Mean)
+		}
+		for _, name := range res.Controllers {
+			meanSwitch[name] += res.Aggregates[bucket][name].SwitchRate.Mean / float64(len(res.Buckets))
+		}
+	}
+	// SODA has the best mean QoE in at least half the buckets at this
+	// reduced scale (the paper reports consistently higher mean QoE in all).
+	if wins < 3 {
+		t.Errorf("soda wins only %d/6 buckets\n%s", wins, res.Render())
+	}
+	// The headline smoothness result: averaged over all buckets, SODA
+	// switches less than BOLA and MPC.
+	for _, rival := range []string{"bola", "mpc"} {
+		if meanSwitch["soda"] > meanSwitch[rival] {
+			t.Errorf("mean switch rate: soda %.4f above %s %.4f", meanSwitch["soda"], rival, meanSwitch[rival])
+		}
+	}
+	// HYB's excess switching shows under volatile mobile conditions (the
+	// paper reports up to 215% more switching than SODA there).
+	for _, bucket := range []string{"5g", "4g"} {
+		soda := res.Aggregates[bucket]["soda"].SwitchRate.Mean
+		hyb := res.Aggregates[bucket]["hyb"].SwitchRate.Mean
+		if soda > hyb {
+			t.Errorf("%s: soda switch %.4f above hyb %.4f", bucket, soda, hyb)
+		}
+	}
+	// QoE degrades with volatility for every controller: Q1 >= Q4.
+	for _, name := range res.Controllers {
+		q1 := res.Aggregates["puffer-q1"][name].Score.Mean
+		q4 := res.Aggregates["puffer-q4"][name].Score.Mean
+		if q4 > q1+0.05 {
+			t.Errorf("%s: QoE grew with volatility (q1 %.3f -> q4 %.3f)", name, q1, q4)
+		}
+	}
+}
+
+func TestFigure11SODARobustToNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := Figure11(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soda := res.Scores["soda"]
+	// Degradation up to the EMA-reference noise level (~30%) is small
+	// relative to SODA's zero-noise score (paper: ~10%).
+	drop := soda[0] - soda[3] // noise levels: 0, .1, .2, .3
+	if soda[0] <= 0 {
+		t.Fatalf("zero-noise SODA score = %v", soda[0])
+	}
+	if drop/soda[0] > 0.35 {
+		t.Errorf("SODA degraded %.0f%% by 30%% noise (scores %v)", 100*drop/soda[0], soda)
+	}
+	// SODA stays at or near the top through moderate noise.
+	for ni := 0; ni <= 3; ni++ {
+		best := -1e18
+		for _, name := range res.Controllers {
+			if s := res.Scores[name][ni]; s > best {
+				best = s
+			}
+		}
+		if soda[ni] < best-0.12 {
+			t.Errorf("noise %v: soda %.3f far below best %.3f", res.NoiseLevels[ni], soda[ni], best)
+		}
+	}
+	// BOLA is noise-invariant (purely buffer-based).
+	bola := res.Scores["bola"]
+	if diff := bola[0] - bola[len(bola)-1]; diff > 0.08 || diff < -0.08 {
+		t.Errorf("BOLA should be insensitive to prediction noise: %v", bola)
+	}
+	_ = res.Render()
+}
+
+func TestFigure12PrototypeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment: real TCP sessions")
+	}
+	res, err := Figure12(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	soda := res.Aggregates["soda"]
+	// SODA finishes at or near the top; with few sessions per controller a
+	// single fade-onset stall can hand the lead to another controller, so the
+	// assertion is a tier check rather than strict first place (see
+	// EXPERIMENTS.md for the default-scale numbers and the divergence note).
+	best := res.Aggregates[res.Best()]
+	if soda.Score.Mean < best.Score.Mean-0.15 {
+		t.Errorf("soda QoE %.3f far below best (%s %.3f)\n%s",
+			soda.Score.Mean, res.Best(), best.Score.Mean, res.Render())
+	}
+	// SODA switches far less than BOLA on the dense low-bandwidth ladder.
+	if soda.SwitchRate.Mean > res.Aggregates["bola"].SwitchRate.Mean/2 {
+		t.Errorf("soda switching %.3f not well below bola %.3f",
+			soda.SwitchRate.Mean, res.Aggregates["bola"].SwitchRate.Mean)
+	}
+	// The RL stand-in reproduces its profile: at least as much utility as
+	// SODA but far more switching.
+	rl := res.Aggregates["rl"]
+	if rl.SwitchRate.Mean < soda.SwitchRate.Mean {
+		t.Errorf("rl switches (%.3f) should exceed soda (%.3f)", rl.SwitchRate.Mean, soda.SwitchRate.Mean)
+	}
+	_ = res.Render()
+}
+
+func TestFigure13ProductionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	res, err := Figure13(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("families = %d", len(res.Reports))
+	}
+	for _, rep := range res.Reports {
+		if rep.SwitchDelta >= 0 {
+			t.Errorf("%s: switching delta %+.1f%%, want reduction", rep.Family, 100*rep.SwitchDelta)
+		}
+		if rep.ViewingDelta <= 0 {
+			t.Errorf("%s: viewing delta %+.1f%%, want improvement", rep.Family, 100*rep.ViewingDelta)
+		}
+	}
+	_ = res.Render()
+}
+
+func TestTable01FromMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment")
+	}
+	fig10, err := Figure10(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig12, err := Figure12(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := Table01(fig10, fig12)
+	if len(table.Rows) != len(PrototypeControllers) {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	byName := map[string]Table01Row{}
+	for _, r := range table.Rows {
+		byName[r.Controller] = r
+	}
+	soda := byName["soda"]
+	if soda.Theory != "Q + R + S" || soda.Deploy != "high" {
+		t.Errorf("soda static columns: %+v", soda)
+	}
+	if soda.Quality == "low" {
+		t.Errorf("soda quality classified %q", soda.Quality)
+	}
+	if !strings.Contains(table.Render(), "soda") {
+		t.Error("render missing soda row")
+	}
+}
+
+func TestTheoremDrivers(t *testing.T) {
+	reg, err := TheoremRegret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(reg.Horizons)
+	if reg.Regret[n-1] >= reg.Regret[0] {
+		t.Errorf("regret not decreasing: %v", reg.Regret)
+	}
+	if reg.CompetitiveRatio[n-1] > 1.35 {
+		t.Errorf("long-horizon competitive ratio = %v", reg.CompetitiveRatio[n-1])
+	}
+	_ = reg.Render()
+
+	mono, err := TheoremMonotone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := len(mono.Gammas)
+	if mono.Violations[m-1] > mono.Violations[0]+1e-9 {
+		t.Errorf("violation not shrinking: %v", mono.Violations)
+	}
+	for i := range mono.Gammas {
+		if mono.Violations[i] > mono.Bounds[i]+1e-9 {
+			t.Errorf("violation %v exceeds bound %v at gamma %v", mono.Violations[i], mono.Bounds[i], mono.Gammas[i])
+		}
+	}
+	_ = mono.Render()
+}

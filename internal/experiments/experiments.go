@@ -1,0 +1,124 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Every driver is deterministic for a given (Scale,
+// seed), returns a structured result, and can render itself as a text
+// report; the root-level benchmarks and cmd/soda-experiments are thin
+// wrappers around these drivers.
+//
+// Paper-scale runs (230k sessions, 10^6 solver samples) are impractical in a
+// test cycle; Scale controls the reduced defaults and can be multiplied via
+// the SODA_EXPERIMENT_SCALE environment variable (e.g. "4" runs 4x more
+// sessions everywhere).
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/abr"
+	"repro/internal/predictor"
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+
+	// Controller registrations.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+// Scale sets the workload sizes of the experiment drivers.
+type Scale struct {
+	// SessionsPerDataset is the session count per dataset bucket (Fig. 10).
+	SessionsPerDataset int
+	// SessionSeconds is the per-session stream length (the paper uses
+	// 10-minute sessions).
+	SessionSeconds float64
+	// SolverSamples is the per-configuration sample count for the Fig. 8
+	// solver-mismatch study (10^6 in the paper).
+	SolverSamples int
+	// NoiseSessions is the session count per noise level (Fig. 11).
+	NoiseSessions int
+	// PrototypeSessions is the session count per controller in the TCP
+	// prototype evaluation (Fig. 12).
+	PrototypeSessions int
+	// PrototypeSegments is the per-session segment count for Fig. 12.
+	PrototypeSegments int
+	// ProdSessionsPerArm is the per-arm session count for Fig. 13.
+	ProdSessionsPerArm int
+	// Seed drives all generators.
+	Seed uint64
+}
+
+// DefaultScale returns the reduced default workload, honoring the
+// SODA_EXPERIMENT_SCALE multiplier.
+func DefaultScale() Scale {
+	s := Scale{
+		SessionsPerDataset: 40,
+		SessionSeconds:     600,
+		SolverSamples:      4000,
+		NoiseSessions:      30,
+		PrototypeSessions:  8,
+		PrototypeSegments:  90,
+		ProdSessionsPerArm: 30,
+		Seed:               20240804, // SIGCOMM '24 presentation date
+	}
+	if v := os.Getenv("SODA_EXPERIMENT_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			s.SessionsPerDataset = int(float64(s.SessionsPerDataset) * f)
+			s.SolverSamples = int(float64(s.SolverSamples) * f)
+			s.NoiseSessions = int(float64(s.NoiseSessions) * f)
+			s.PrototypeSessions = int(float64(s.PrototypeSessions) * f)
+			s.ProdSessionsPerArm = int(float64(s.ProdSessionsPerArm) * f)
+		}
+	}
+	return s
+}
+
+// SimControllers are the controllers of the numerical simulations (§6.1.2).
+var SimControllers = []string{"soda", "hyb", "bola", "dynamic", "mpc"}
+
+// PrototypeControllers adds the learning-based baselines of the prototype
+// evaluation (§6.2.2).
+var PrototypeControllers = []string{"soda", "hyb", "bola", "dynamic", "mpc", "fugu", "rl"}
+
+// evalPredictor returns the standard predictor of the simulation harness:
+// the plain EMA that dash.js ships as its default and the paper adopts for
+// the numerical simulations (§6.1.1).
+func evalPredictor() predictor.Predictor { return predictor.NewEMA(4) }
+
+// runControllerOnSessions simulates every session under a named controller
+// and returns the per-session metrics.
+func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace.Trace, sessionSeconds, bufferCap float64) ([]qoe.Metrics, error) {
+	if _, err := abr.New(name, ladder); err != nil {
+		return nil, err
+	}
+	factory := func() (abr.Controller, predictor.Predictor) {
+		c, _ := abr.New(name, ladder)
+		return c, evalPredictor()
+	}
+	return sim.RunDataset(sessions, factory, sim.Config{
+		Ladder:         ladder,
+		BufferCap:      bufferCap,
+		SessionSeconds: sessionSeconds,
+	})
+}
+
+// datasetSpec pairs a generated dataset with the ladder the paper uses on it.
+type datasetSpec struct {
+	name    string
+	profile tracegen.Profile
+	ladder  video.Ladder
+}
+
+func datasetSpecs() []datasetSpec {
+	return []datasetSpec{
+		{"puffer", tracegen.Puffer(), video.YouTube4K()},
+		{"5g", tracegen.FiveG(), video.Mobile()},
+		{"4g", tracegen.FourG(), video.Mobile()},
+	}
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }

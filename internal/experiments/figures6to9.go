@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/predictor"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+)
+
+// traceFigure4 is the throughput function of the paper's Figure 4.
+func traceFigure4() *trace.Trace {
+	return trace.New([]trace.Sample{{Duration: 1, Mbps: 4}, {Duration: 1, Mbps: 1}, {Duration: 2, Mbps: 2}})
+}
+
+// Figure06Result reproduces Figure 6: the exponentially decaying
+// perturbation property — optimal trajectories from two initial
+// buffer/action pairs converge toward each other.
+type Figure06Result struct {
+	Distances []float64 // per-step trajectory distance
+	HeadMean  float64
+	TailMean  float64
+}
+
+// Figure06 solves the continuous problem from two initial conditions.
+func Figure06() (*Figure06Result, error) {
+	k := 18
+	omega := make([]float64, k)
+	for i := range omega {
+		omega[i] = 8
+	}
+	p := core.ContinuousProblem{
+		Omega:       omega,
+		X0:          10,
+		U0:          1.0 / 8,
+		Beta:        0.5,
+		Gamma:       1,
+		Epsilon:     0.2,
+		Target:      12,
+		Xmax:        20,
+		UMin:        1.0 / 12,
+		UMax:        1.0 / 1.5,
+		WDistortion: 1,
+	}
+	d, err := core.PerturbationDecay(p, 3, 0.5, 4000)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure06Result{Distances: d}
+	third := len(d) / 3
+	res.HeadMean = stats.Mean(d[:third])
+	res.TailMean = stats.Mean(d[2*third:])
+	return res, nil
+}
+
+// Render formats the Figure 6 report.
+func (r *Figure06Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: exponentially decaying perturbation (trajectory distance per step)\n  ")
+	for _, d := range r.Distances {
+		fmt.Fprintf(&b, "%.3f ", d)
+	}
+	fmt.Fprintf(&b, "\n  head mean %.4f -> tail mean %.4f\n", r.HeadMean, r.TailMean)
+	xs := make([]float64, len(r.Distances))
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	b.WriteString(textplot.Lines("", []textplot.Series{{Name: "|Δ(x,u)| per step", X: xs, Y: r.Distances}}, 54, 10))
+	return b.String()
+}
+
+// Figure07Result reproduces Figure 7: the prediction-vs-actual correlation
+// of the dash.js predictors as a function of how far ahead they predict.
+type Figure07Result struct {
+	HorizonsSeconds []float64
+	MACorrelation   []float64
+	EMACorrelation  []float64
+}
+
+// Figure07 profiles the moving-average and EMA predictors on generated
+// dataset sessions: at each segment completion the predictor's estimate is
+// compared against the realized mean throughput h seconds ahead.
+func Figure07(scale Scale) (*Figure07Result, error) {
+	horizons := []float64{2, 4, 6, 8, 10, 14, 18, 24, 30}
+	type predFactory struct {
+		name string
+		make func() predictor.Predictor
+	}
+	factories := []predFactory{
+		{"ma", func() predictor.Predictor { return predictor.NewMovingAverage(4) }},
+		{"ema", func() predictor.Predictor { return predictor.NewEMA(4) }},
+	}
+	res := &Figure07Result{HorizonsSeconds: horizons}
+
+	sessions := scale.SessionsPerDataset / 2
+	if sessions < 8 {
+		sessions = 8
+	}
+	for fi, f := range factories {
+		// Pool predicted/actual pairs across sessions and datasets.
+		preds := make([][]float64, len(horizons))
+		actuals := make([][]float64, len(horizons))
+		for _, spec := range datasetSpecs() {
+			ds, err := tracegen.Generate(spec.profile, sessions, scale.SessionSeconds, scale.Seed+uint64(fi))
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range ds.Sessions {
+				p := f.make()
+				// Walk the session in 2 s steps, observing realized
+				// throughput like a player would.
+				for t := 0.0; t+32 < tr.Duration(); t += 2 {
+					observed := tr.MeanOver(t, 2)
+					p.Observe(predictor.Sample{Mbps: observed, Duration: 2, EndTime: t + 2})
+					est := p.Predict(t+2, 2)
+					if est <= 0 {
+						continue
+					}
+					for hi, h := range horizons {
+						actual := tr.MeanOver(t+2+h-2, 2) // the 2 s interval ending h ahead
+						preds[hi] = append(preds[hi], est)
+						actuals[hi] = append(actuals[hi], actual)
+					}
+				}
+			}
+		}
+		cors := make([]float64, len(horizons))
+		for hi := range horizons {
+			cors[hi] = stats.Pearson(preds[hi], actuals[hi])
+		}
+		if f.name == "ma" {
+			res.MACorrelation = cors
+		} else {
+			res.EMACorrelation = cors
+		}
+	}
+	return res, nil
+}
+
+// Render formats the Figure 7 report.
+func (r *Figure07Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: predictor correlation vs prediction horizon\n")
+	b.WriteString("  horizon(s):")
+	for _, h := range r.HorizonsSeconds {
+		fmt.Fprintf(&b, " %5.0f", h)
+	}
+	b.WriteString("\n  MA:        ")
+	for _, c := range r.MACorrelation {
+		fmt.Fprintf(&b, " %5.2f", c)
+	}
+	b.WriteString("\n  EMA:       ")
+	for _, c := range r.EMACorrelation {
+		fmt.Fprintf(&b, " %5.2f", c)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Figure08Result reproduces Figure 8: the probability that the approximate
+// (monotonic) solver's decision differs from brute force, as a function of
+// the relative switching-cost weight, for several horizons.
+type Figure08Result struct {
+	RelativeWeights []float64
+	Horizons        []int
+	// Mismatch[k][w] is the probability for Horizons[k] and
+	// RelativeWeights[w].
+	Mismatch [][]float64
+	Samples  int
+}
+
+// relativeWeightUnit converts the figure's x-axis "relative switching cost
+// weight" into the Config.Gamma scale (1.0 on the axis corresponds to this
+// gamma).
+const relativeWeightUnit = 0.3
+
+// Figure08 samples random planning situations per configuration.
+func Figure08(scale Scale) *Figure08Result {
+	weights := []float64{0.25, 0.5, 1, 2, 4, 8}
+	horizons := []int{2, 3, 4, 5}
+	res := &Figure08Result{
+		RelativeWeights: weights,
+		Horizons:        horizons,
+		Samples:         scale.SolverSamples,
+	}
+	for _, k := range horizons {
+		row := make([]float64, len(weights))
+		for wi, w := range weights {
+			cfg := core.DefaultConfig()
+			cfg.Horizon = k
+			cfg.Gamma = w * relativeWeightUnit
+			row[wi] = core.MismatchProbability(cfg, video.YouTube4K(), 20, scale.SolverSamples, scale.Seed+uint64(k))
+		}
+		res.Mismatch = append(res.Mismatch, row)
+	}
+	return res
+}
+
+// Render formats the Figure 8 report.
+func (r *Figure08Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: P(approximate decision != brute force), %d samples/config\n", r.Samples)
+	b.WriteString("  rel.weight:")
+	for _, w := range r.RelativeWeights {
+		fmt.Fprintf(&b, " %6.2f", w)
+	}
+	b.WriteString("\n")
+	for ki, k := range r.Horizons {
+		fmt.Fprintf(&b, "  K=%d:      ", k)
+		for _, p := range r.Mismatch[ki] {
+			fmt.Fprintf(&b, " %6.4f", p)
+		}
+		b.WriteString("\n")
+	}
+	series := make([]textplot.Series, 0, len(r.Horizons))
+	for ki, k := range r.Horizons {
+		series = append(series, textplot.Series{
+			Name: fmt.Sprintf("K=%d", k),
+			X:    r.RelativeWeights,
+			Y:    r.Mismatch[ki],
+		})
+	}
+	b.WriteString(textplot.Lines("", series, 54, 10))
+	return b.String()
+}
+
+// Figure09Result reproduces Figure 9: the throughput distribution summary of
+// the three datasets.
+type Figure09Result struct {
+	Names     []float64ByName
+	Histogram map[string]*stats.Histogram
+}
+
+// float64ByName pairs dataset stats with a name.
+type float64ByName struct {
+	Name     string
+	MeanMbps float64
+	RSD      float64
+	Sessions int
+}
+
+// Figure09 generates the three datasets and summarizes them.
+func Figure09(scale Scale) (*Figure09Result, error) {
+	res := &Figure09Result{Histogram: map[string]*stats.Histogram{}}
+	for _, spec := range datasetSpecs() {
+		ds, err := tracegen.Generate(spec.profile, scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed)
+		if err != nil {
+			return nil, err
+		}
+		var all []float64
+		for _, s := range ds.Sessions {
+			all = append(all, s.Bandwidths()...)
+		}
+		res.Names = append(res.Names, float64ByName{
+			Name:     spec.name,
+			MeanMbps: ds.MeanMbps(),
+			RSD:      ds.RSD(),
+			Sessions: len(ds.Sessions),
+		})
+		res.Histogram[spec.name] = stats.NewHistogram(all, 0, 150, 30)
+	}
+	return res, nil
+}
+
+// Render formats the Figure 9 report.
+func (r *Figure09Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: dataset throughput characteristics (targets: puffer 57.1/47.2%, 5g 31.3/133%, 4g 13.0/80.6%)\n")
+	for _, n := range r.Names {
+		fmt.Fprintf(&b, "  %-7s mean %6.1f Mb/s  RSD %s  (%d sessions)\n", n.Name, n.MeanMbps, pct(n.RSD), n.Sessions)
+	}
+	return b.String()
+}

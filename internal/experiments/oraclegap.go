@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abr"
+	"repro/internal/oracle"
+	"repro/internal/predictor"
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+)
+
+// OracleGapResult measures how much of the clairvoyant-optimal QoE each
+// online controller realizes — the offline-optimal reference of the Sabre
+// toolchain, an extension beyond the paper's reported figures.
+type OracleGapResult struct {
+	OracleScore stats.Summary
+	Controllers []string
+	Scores      map[string]stats.Summary
+	// RealizedFraction[name] = mean(controller score) / mean(oracle score).
+	RealizedFraction map[string]float64
+}
+
+// OracleGap runs the oracle and the standard controller set on a 4G bucket.
+func OracleGap(scale Scale) (*OracleGapResult, error) {
+	ds, err := tracegen.Generate(tracegen.FourG(), scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed+301)
+	if err != nil {
+		return nil, err
+	}
+	ladder := video.Mobile()
+	res := &OracleGapResult{
+		Controllers:      SimControllers,
+		Scores:           map[string]stats.Summary{},
+		RealizedFraction: map[string]float64{},
+	}
+
+	oracleScores := make([]float64, 0, len(ds.Sessions))
+	for _, tr := range ds.Sessions {
+		o, err := oracle.Solve(tr, oracle.Config{
+			Ladder:         ladder,
+			BufferCap:      20,
+			SessionSeconds: scale.SessionSeconds,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("oraclegap: %w", err)
+		}
+		oracleScores = append(oracleScores, o.Metrics.Score)
+	}
+	res.OracleScore = stats.Summarize(oracleScores)
+
+	for _, name := range res.Controllers {
+		if _, err := abr.New(name, ladder); err != nil {
+			return nil, err
+		}
+		factory := func() (abr.Controller, predictor.Predictor) {
+			c, _ := abr.New(name, ladder)
+			return c, predictor.NewEMA(4)
+		}
+		metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
+			Ladder:         ladder,
+			BufferCap:      20,
+			SessionSeconds: scale.SessionSeconds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := qoe.Aggregated(name, metrics)
+		res.Scores[name] = agg.Score
+		if res.OracleScore.Mean != 0 {
+			res.RealizedFraction[name] = agg.Score.Mean / res.OracleScore.Mean
+		}
+	}
+	return res, nil
+}
+
+// Render formats the oracle-gap report.
+func (r *OracleGapResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Oracle gap (4G): fraction of the clairvoyant-optimal QoE realized\n")
+	fmt.Fprintf(&b, "  oracle       QoE %s\n", r.OracleScore.String())
+	for _, name := range r.Controllers {
+		fmt.Fprintf(&b, "  %-12s QoE %s  (%.1f%% of oracle)\n",
+			name, r.Scores[name].String(), 100*r.RealizedFraction[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+// Package httpseg is the HTTP flavour of the prototype's segment transport:
+// the same synthetic stream as internal/proto, served over standard
+// HTTP/1.1 with an MPEG-DASH MPD as the manifest — the transport shape of a
+// production CDN-backed deployment (§6.3 streams are HTTP-delivered).
+//
+// Routes:
+//
+//	GET /manifest.mpd              the DASH manifest (application/dash+xml)
+//	GET /segment/{index}/{rung}    one media segment (video/mp4 filler bytes)
+//
+// The server composes with internal/netem's shaped listeners exactly like
+// the binary-protocol server, so both transports see identical delivery
+// dynamics.
+package httpseg
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dash"
+	"repro/internal/proto"
+	"repro/internal/video"
+)
+
+// Server serves the synthetic stream over HTTP. It implements http.Handler.
+type Server struct {
+	ladder video.Ladder
+	sizes  video.SizeModel
+	total  int
+	mpd    []byte
+}
+
+// NewServer builds the handler. sizes may be nil for CBR.
+func NewServer(ladder video.Ladder, sizes video.SizeModel, totalSegments int) (*Server, error) {
+	if ladder.Len() == 0 {
+		return nil, fmt.Errorf("httpseg: empty ladder")
+	}
+	if totalSegments <= 0 {
+		return nil, fmt.Errorf("httpseg: non-positive segment count")
+	}
+	if sizes == nil {
+		sizes = video.CBR{Ladder: ladder}
+	}
+	mediaDur := time.Duration(float64(totalSegments) * ladder.SegmentSeconds * float64(time.Second))
+	var sb strings.Builder
+	if err := dash.FromLadder(ladder, mediaDur).Write(&sb); err != nil {
+		return nil, err
+	}
+	return &Server{ladder: ladder, sizes: sizes, total: totalSegments, mpd: []byte(sb.String())}, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch {
+	case r.URL.Path == "/manifest.mpd":
+		w.Header().Set("Content-Type", "application/dash+xml")
+		w.Write(s.mpd)
+	case strings.HasPrefix(r.URL.Path, "/segment/"):
+		s.serveSegment(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/segment/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "want /segment/{index}/{rung}", http.StatusBadRequest)
+		return
+	}
+	index, err1 := strconv.Atoi(parts[0])
+	rung, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		http.Error(w, "non-numeric segment path", http.StatusBadRequest)
+		return
+	}
+	if index < 0 || index >= s.total || rung < 0 || rung >= s.ladder.Len() {
+		http.Error(w, "segment out of range", http.StatusNotFound)
+		return
+	}
+	megabits := s.sizes.SegmentMegabits(rung, index)
+	payload := proto.EncodeSegment(proto.SegmentRequest{Index: index, Rung: rung}, int(megabits*1e6/8))
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Write(payload)
+}
+
+// Client fetches the stream over HTTP; it implements the player's Fetcher
+// contract (Manifest + FetchSegment).
+type Client struct {
+	base     string
+	http     *http.Client
+	manifest proto.Manifest
+}
+
+// Dial fetches the MPD from baseURL (e.g. "http://127.0.0.1:8080") and
+// returns a ready client.
+func Dial(baseURL string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: timeout},
+	}
+	resp, err := c.http.Get(c.base + "/manifest.mpd")
+	if err != nil {
+		return nil, fmt.Errorf("httpseg: manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httpseg: manifest: %s", resp.Status)
+	}
+	mpd, err := dash.Read(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	ladder, err := mpd.Ladder()
+	if err != nil {
+		return nil, err
+	}
+	// Recover the segment count from the advertised media duration.
+	segs, err := segmentsFromMPD(mpd, ladder.SegmentSeconds)
+	if err != nil {
+		return nil, err
+	}
+	c.manifest = proto.Manifest{
+		BitratesMbps:   ladder.Bitrates(),
+		SegmentSeconds: ladder.SegmentSeconds,
+		TotalSegments:  segs,
+	}
+	return c, nil
+}
+
+func segmentsFromMPD(m *dash.MPD, segSeconds float64) (int, error) {
+	dur := m.MediaPresentationDur
+	if dur == "" {
+		return 0, fmt.Errorf("httpseg: MPD has no media duration")
+	}
+	if !strings.HasPrefix(dur, "PT") || !strings.HasSuffix(dur, "S") {
+		return 0, fmt.Errorf("httpseg: unsupported duration %q", dur)
+	}
+	secs, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimPrefix(dur, "PT"), "S"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("httpseg: bad duration %q: %w", dur, err)
+	}
+	n := int(secs / segSeconds)
+	if n < 1 {
+		return 0, fmt.Errorf("httpseg: duration %q shorter than one segment", dur)
+	}
+	return n, nil
+}
+
+// Manifest returns the stream manifest.
+func (c *Client) Manifest() proto.Manifest { return c.manifest }
+
+// FetchSegment downloads one segment, returning the media byte count and
+// the wall-clock duration of the transfer.
+func (c *Client) FetchSegment(index, rung int) (int, time.Duration, error) {
+	start := time.Now()
+	resp, err := c.http.Get(fmt.Sprintf("%s/segment/%d/%d", c.base, index, rung))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, time.Since(start), fmt.Errorf("httpseg: segment %d/%d: %s", index, rung, resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, elapsed, err
+	}
+	media := int(n) - 8 // strip the echo header of proto.EncodeSegment
+	if media < 0 {
+		return 0, elapsed, fmt.Errorf("httpseg: short segment body (%d bytes)", n)
+	}
+	return media, elapsed, nil
+}
+
+// Close releases idle connections.
+func (c *Client) Close() error {
+	c.http.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,179 @@
+package httpseg
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/netem"
+	"repro/internal/player"
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/video"
+
+	_ "repro/internal/core"
+)
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(video.Ladder{}, nil, 10); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewServer(video.Prototype(), nil, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+}
+
+func TestHTTPRoutes(t *testing.T) {
+	srv, err := NewServer(video.Prototype(), nil, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Manifest route serves a DASH MPD.
+	resp, err := http.Get(ts.URL + "/manifest.mpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/dash+xml" {
+		t.Errorf("manifest content type %q", ct)
+	}
+	resp.Body.Close()
+
+	// Error routes.
+	for _, path := range []string{"/segment/999/0", "/segment/0/99", "/segment/abc/0", "/segment/1", "/nope"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			t.Errorf("%s unexpectedly succeeded", path)
+		}
+	}
+	// Method filtering.
+	r, err := http.Post(ts.URL+"/manifest.mpd", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status %s", r.Status)
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	srv, err := NewServer(video.Prototype(), nil, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c, err := Dial(ts.URL, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	m := c.Manifest()
+	if m.TotalSegments != 25 || len(m.BitratesMbps) != 5 || m.SegmentSeconds != 2 {
+		t.Fatalf("manifest %+v", m)
+	}
+	for rung := 0; rung < 5; rung++ {
+		n, elapsed, err := c.FetchSegment(3, rung)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(video.Prototype().SegmentMegabits(rung) * 1e6 / 8)
+		if n != want {
+			t.Errorf("rung %d: %d bytes, want %d", rung, n, want)
+		}
+		if elapsed <= 0 {
+			t.Errorf("rung %d: elapsed %v", rung, elapsed)
+		}
+	}
+	if _, _, err := c.FetchSegment(999, 0); err == nil {
+		t.Error("out-of-range fetch succeeded")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://127.0.0.1:1", 300*time.Millisecond); err == nil {
+		t.Error("dead server accepted")
+	}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not an mpd"))
+	}))
+	defer bad.Close()
+	if _, err := Dial(bad.URL, time.Second); err == nil {
+		t.Error("junk manifest accepted")
+	}
+}
+
+// TestPlayerOverShapedHTTP streams a full session through the HTTP transport
+// on a trace-shaped listener: the end-to-end DASH flavour of the prototype.
+func TestPlayerOverShapedHTTP(t *testing.T) {
+	srv, err := NewServer(video.Prototype(), nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const scale = 20
+	shaped := netem.NewListener(ln, func() (*netem.Shaper, error) {
+		return netem.NewShaper(trace.Constant(4, 4000), scale)
+	})
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(shaped)
+	defer hs.Close()
+
+	client, err := Dial("http://"+ln.Addr().String(), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	soda, err := abr.New("soda", video.Prototype())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := player.Play(player.Config{
+		Fetcher:    client,
+		Controller: soda,
+		Predictor:  predictor.NewSafeEMA(),
+		BufferCap:  15,
+		TimeScale:  scale,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Segments != 30 {
+		t.Fatalf("segments = %d", res.Metrics.Segments)
+	}
+	if res.Metrics.RebufferRatio > 0.05 {
+		t.Errorf("rebuffering %v on a 4 Mb/s link for a 2 Mb/s ladder", res.Metrics.RebufferRatio)
+	}
+	// A 4 Mb/s link sustains the top 2 Mb/s rung: SODA should reach it.
+	top := 0
+	for _, r := range res.Rungs {
+		if r == 4 {
+			top++
+		}
+	}
+	if top < 10 {
+		t.Errorf("SODA reached the top rung only %d/30 times: %v", top, res.Rungs)
+	}
+}
+
+// The compile-time check that httpseg.Client satisfies the player contract.
+var _ player.Fetcher = (*Client)(nil)

@@ -1,0 +1,222 @@
+// Package player drives the TCP prototype with an ABR controller — the
+// equivalent of the browser-based player of the paper's prototype evaluation
+// (§6.2), measuring QoE under real transport dynamics instead of the fluid
+// simulator.
+//
+// The player operates in a compressed stream-time domain: with TimeScale = s
+// the server's traffic shaper plays the bandwidth trace s× faster and the
+// player's clock advances s stream-seconds per wall second, so a 10-minute
+// session completes in 600/s wall seconds with identical controller inputs.
+package player
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/predictor"
+	"repro/internal/proto"
+	"repro/internal/qoe"
+	"repro/internal/video"
+)
+
+// Fetcher is the transport a player session pulls segments through. Both
+// the binary TCP client (proto.Client) and the HTTP/DASH client
+// (httpseg.Client) implement it.
+type Fetcher interface {
+	Manifest() proto.Manifest
+	FetchSegment(index, rung int) (bytes int, elapsed time.Duration, err error)
+}
+
+// Config drives one prototype playback session.
+type Config struct {
+	// Addr is the segment server address, dialed with the binary protocol
+	// when Fetcher is nil.
+	Addr string
+	// Fetcher overrides the transport; when set, Addr is ignored and the
+	// caller owns the fetcher's lifecycle.
+	Fetcher Fetcher
+	// Controller picks bitrates. Required.
+	Controller abr.Controller
+	// Predictor forecasts throughput. Required.
+	Predictor predictor.Predictor
+	// BufferCap is the maximum buffer in seconds (15 s in Puffer, §6.2).
+	BufferCap float64
+	// TimeScale is the stream-time compression factor shared with the
+	// server's shaper; >= 1. Defaults to 1.
+	TimeScale float64
+	// Utility maps a rung to [0, 1]; nil uses the normalized SSIM model of
+	// the prototype evaluation.
+	Utility func(rung int) float64
+	// Weights are the QoE weights (zero value = paper defaults).
+	Weights qoe.Weights
+	// MaxSegments truncates the session (0 = play the whole manifest).
+	MaxSegments int
+	// DialTimeout bounds connection setup and each segment fetch.
+	DialTimeout time.Duration
+}
+
+// Result is the outcome of one prototype session.
+type Result struct {
+	Metrics  qoe.Metrics
+	Rungs    []int
+	Manifest proto.Manifest
+	Waits    int
+}
+
+// Play connects to the server and streams the whole session.
+func Play(cfg Config) (Result, error) {
+	if cfg.Controller == nil || cfg.Predictor == nil {
+		return Result{}, errors.New("player: controller and predictor are required")
+	}
+	if cfg.BufferCap <= 0 {
+		return Result{}, errors.New("player: non-positive buffer cap")
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	fetcher := cfg.Fetcher
+	if fetcher == nil {
+		client, err := proto.Dial(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			return Result{}, err
+		}
+		defer client.Close()
+		fetcher = client
+	}
+
+	manifest := fetcher.Manifest()
+	ladder := video.NewLadder(manifest.BitratesMbps, manifest.SegmentSeconds)
+	total := manifest.TotalSegments
+	if cfg.MaxSegments > 0 && cfg.MaxSegments < total {
+		total = cfg.MaxSegments
+	}
+	utility := cfg.Utility
+	if utility == nil {
+		ssim := video.DefaultSSIM()
+		maxMbps := ladder.Max()
+		utility = func(r int) float64 { return ssim.NormalizedUtility(ladder.Mbps(r), maxMbps) }
+	}
+	weights := cfg.Weights
+	if weights == (qoe.Weights{}) {
+		weights = qoe.DefaultWeights()
+	}
+
+	cfg.Controller.Reset()
+	cfg.Predictor.Reset()
+	quantile, _ := cfg.Predictor.(predictor.QuantilePredictor)
+
+	var (
+		tally      qoe.SessionTally
+		result     Result
+		buffer     float64
+		playing    bool
+		prevRung   = abr.NoRung
+		lastMbps   float64
+		wallStart  = time.Now()
+		lastStream = 0.0
+	)
+	result.Manifest = manifest
+	streamNow := func() float64 { return time.Since(wallStart).Seconds() * scale }
+
+	// settle advances the accounting to the current stream time: the buffer
+	// drains in real (scaled) time while the player does anything else.
+	settle := func() float64 {
+		now := streamNow()
+		dt := now - lastStream
+		lastStream = now
+		if dt <= 0 {
+			return now
+		}
+		if !playing {
+			tally.AddStartup(dt)
+			return now
+		}
+		played := dt
+		if played > buffer {
+			played = buffer
+		}
+		buffer -= played
+		tally.AddPlayback(played)
+		if stall := dt - played; stall > 1e-9 {
+			tally.AddRebuffer(stall)
+		}
+		return now
+	}
+	sleepStream := func(streamSec float64) {
+		if streamSec > 0 {
+			time.Sleep(time.Duration(streamSec / scale * float64(time.Second)))
+		}
+	}
+
+	l := ladder.SegmentSeconds
+	for seg := 0; seg < total; seg++ {
+		now := settle()
+		// Idle at the buffer cap.
+		if over := buffer + l - cfg.BufferCap; over > 1e-9 {
+			sleepStream(over)
+			now = settle()
+		}
+
+		ctx := &abr.Context{
+			Now:                now,
+			Buffer:             buffer,
+			BufferCap:          cfg.BufferCap,
+			PrevRung:           prevRung,
+			Ladder:             ladder,
+			SegmentIndex:       seg,
+			TotalSegments:      total,
+			LastThroughputMbps: lastMbps,
+		}
+		capturedNow := now
+		ctx.Predict = func(h float64) float64 { return cfg.Predictor.Predict(capturedNow, h) }
+		if quantile != nil {
+			ctx.PredictQuantile = func(q, h float64) float64 { return quantile.Quantile(capturedNow, h, q) }
+		}
+		decision := cfg.Controller.Decide(ctx)
+		if decision.Rung == abr.NoRung {
+			if buffer <= 1e-9 {
+				decision.Rung = 0
+			} else {
+				result.Waits++
+				wait := decision.WaitSeconds
+				if wait <= 0 || wait > l {
+					wait = l / 2
+				}
+				sleepStream(wait)
+				seg--
+				continue
+			}
+		}
+		rung := ladder.ClampIndex(decision.Rung)
+
+		nBytes, elapsed, err := fetcher.FetchSegment(seg, rung)
+		if err != nil {
+			return Result{}, fmt.Errorf("player: segment %d: %w", seg, err)
+		}
+		settle()
+		buffer += l
+		if !playing {
+			playing = true
+		}
+		streamElapsed := elapsed.Seconds() * scale
+		if streamElapsed <= 0 {
+			streamElapsed = 1e-6
+		}
+		lastMbps = float64(nBytes) * 8 / 1e6 / streamElapsed
+		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: streamElapsed, EndTime: lastStream})
+		tally.AddSegment(rung, utility(rung))
+		prevRung = rung
+	}
+	// Drain the buffer without sleeping: the remaining playback is smooth by
+	// construction.
+	if playing && buffer > 0 {
+		tally.AddPlayback(buffer)
+		buffer = 0
+	}
+	result.Metrics = tally.Finalize(weights)
+	result.Rungs = append([]int(nil), tally.Rungs()...)
+	return result, nil
+}

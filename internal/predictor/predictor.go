@@ -1,0 +1,396 @@
+// Package predictor implements the throughput predictors used across the
+// paper's evaluation:
+//
+//   - moving average and exponential moving average, the two predictors
+//     shipped with dash.js that the paper profiles in Figure 7;
+//   - the sliding-window predictor SODA uses in the production deployment
+//     (§6.3);
+//   - the harmonic-mean predictor traditionally paired with MPC;
+//   - a perfect short-term predictor and its white-noise-corrupted variant,
+//     used for the intrinsic-sensitivity study of Figure 11;
+//   - an empirical-quantile predictor standing in for Fugu's learned
+//     stochastic predictor (§6.2.2; see DESIGN.md substitutions).
+//
+// Predictors observe per-download throughput samples and answer point (and
+// optionally quantile) predictions for a future horizon. SODA deliberately
+// works with simple predictors (§5.2): there is no systematic-bias
+// correction, no learned model, no device-specific tuning.
+package predictor
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Sample is one observed download: mean throughput over a duration that
+// ended at the given stream time.
+type Sample struct {
+	Mbps     float64
+	Duration float64 // seconds the observation spanned
+	EndTime  float64 // stream time at which the observation completed
+}
+
+// Predictor forecasts near-future throughput.
+type Predictor interface {
+	// Observe folds a completed download measurement into the predictor.
+	Observe(s Sample)
+	// Predict returns the predicted mean throughput in Mbps over
+	// [now, now+horizon]. History-based predictors ignore both arguments.
+	Predict(now, horizon float64) float64
+	// Reset clears all history.
+	Reset()
+}
+
+// QuantilePredictor is implemented by predictors that can answer
+// distributional queries, used by the Fugu-style controller.
+type QuantilePredictor interface {
+	Predictor
+	// Quantile returns the q-th quantile (0..1) of predicted throughput.
+	Quantile(now, horizon, q float64) float64
+}
+
+// EMA is an exponential moving average over throughput samples, the default
+// predictor in dash.js and the predictor used for the paper's numerical
+// simulations (§6.1.1). The smoothing weight of each observation scales with
+// its duration via the configured half-life.
+type EMA struct {
+	HalfLifeSeconds float64
+	estimate        float64
+	weight          float64
+}
+
+// NewEMA returns an EMA with the given half-life in seconds. dash.js uses a
+// fast/slow half-life pair of 3 s and 8 s; 4 s is a reasonable single value.
+func NewEMA(halfLife float64) *EMA {
+	if halfLife <= 0 {
+		panic("predictor: non-positive EMA half-life")
+	}
+	return &EMA{HalfLifeSeconds: halfLife}
+}
+
+// Observe implements Predictor.
+func (e *EMA) Observe(s Sample) {
+	if s.Duration <= 0 || s.Mbps < 0 {
+		return
+	}
+	alpha := math.Pow(0.5, s.Duration/e.HalfLifeSeconds)
+	e.estimate = alpha*e.estimate + (1-alpha)*s.Mbps
+	e.weight = alpha*e.weight + (1 - alpha)
+}
+
+// Predict implements Predictor. Before any observation it returns 0.
+func (e *EMA) Predict(_, _ float64) float64 {
+	if e.weight == 0 {
+		return 0
+	}
+	// Bias-corrected estimate (zero-initialization correction).
+	return e.estimate / e.weight
+}
+
+// Reset implements Predictor.
+func (e *EMA) Reset() { e.estimate, e.weight = 0, 0 }
+
+// SafeEMA is the dash.js-flavoured safe throughput estimator: the minimum of
+// a fast and a slow exponential moving average, additionally capped by the
+// most recent sample when that sample is lower. The pessimistic minimum
+// reacts within one download to a throughput collapse (critical on fade
+// onset, when a single in-flight segment can drain most of a live buffer)
+// while ramping up conservatively.
+type SafeEMA struct {
+	fast *EMA
+	slow *EMA
+	last float64
+}
+
+// NewSafeEMA returns a SafeEMA with the dash.js half-life pair (3 s, 8 s).
+func NewSafeEMA() *SafeEMA {
+	return &SafeEMA{fast: NewEMA(3), slow: NewEMA(8)}
+}
+
+// Observe implements Predictor.
+func (s *SafeEMA) Observe(sm Sample) {
+	if sm.Duration <= 0 || sm.Mbps < 0 {
+		return
+	}
+	s.fast.Observe(sm)
+	s.slow.Observe(sm)
+	s.last = sm.Mbps
+}
+
+// Predict implements Predictor.
+func (s *SafeEMA) Predict(now, horizon float64) float64 {
+	est := math.Min(s.fast.Predict(now, horizon), s.slow.Predict(now, horizon))
+	if s.last > 0 && s.last < est {
+		// A fresh sample below the averages is the earliest possible signal
+		// of a collapse; trust it.
+		return s.last
+	}
+	return est
+}
+
+// Reset implements Predictor.
+func (s *SafeEMA) Reset() {
+	s.fast.Reset()
+	s.slow.Reset()
+	s.last = 0
+}
+
+// MovingAverage predicts the mean of the last Window samples — the "moving
+// average predictor" profiled in Figure 7.
+type MovingAverage struct {
+	Window  int
+	samples []float64
+}
+
+// NewMovingAverage returns a MovingAverage over the last window samples.
+func NewMovingAverage(window int) *MovingAverage {
+	if window <= 0 {
+		panic("predictor: non-positive moving-average window")
+	}
+	return &MovingAverage{Window: window}
+}
+
+// Observe implements Predictor.
+func (m *MovingAverage) Observe(s Sample) {
+	if s.Duration <= 0 || s.Mbps < 0 {
+		return
+	}
+	m.samples = append(m.samples, s.Mbps)
+	if len(m.samples) > m.Window {
+		m.samples = m.samples[len(m.samples)-m.Window:]
+	}
+}
+
+// Predict implements Predictor.
+func (m *MovingAverage) Predict(_, _ float64) float64 {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range m.samples {
+		sum += x
+	}
+	return sum / float64(len(m.samples))
+}
+
+// Reset implements Predictor.
+func (m *MovingAverage) Reset() { m.samples = m.samples[:0] }
+
+// SlidingWindow predicts the duration-weighted mean throughput over the most
+// recent WindowSeconds of observations: the "simple sliding window-based
+// throughput predictor" SODA used on all production platforms (§6.3).
+type SlidingWindow struct {
+	WindowSeconds float64
+	samples       []Sample
+}
+
+// NewSlidingWindow returns a SlidingWindow over the trailing window seconds.
+func NewSlidingWindow(windowSeconds float64) *SlidingWindow {
+	if windowSeconds <= 0 {
+		panic("predictor: non-positive sliding window")
+	}
+	return &SlidingWindow{WindowSeconds: windowSeconds}
+}
+
+// Observe implements Predictor.
+func (w *SlidingWindow) Observe(s Sample) {
+	if s.Duration <= 0 || s.Mbps < 0 {
+		return
+	}
+	w.samples = append(w.samples, s)
+	cutoff := s.EndTime - w.WindowSeconds
+	i := 0
+	for i < len(w.samples) && w.samples[i].EndTime < cutoff {
+		i++
+	}
+	w.samples = w.samples[i:]
+}
+
+// Predict implements Predictor.
+func (w *SlidingWindow) Predict(_, _ float64) float64 {
+	var num, den float64
+	for _, s := range w.samples {
+		num += s.Mbps * s.Duration
+		den += s.Duration
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Reset implements Predictor.
+func (w *SlidingWindow) Reset() { w.samples = w.samples[:0] }
+
+// HarmonicMean predicts the harmonic mean of the last Window samples, the
+// predictor proposed for MPC by Yin et al. (robust to outlier spikes).
+type HarmonicMean struct {
+	Window  int
+	samples []float64
+}
+
+// NewHarmonicMean returns a HarmonicMean over the last window samples.
+func NewHarmonicMean(window int) *HarmonicMean {
+	if window <= 0 {
+		panic("predictor: non-positive harmonic-mean window")
+	}
+	return &HarmonicMean{Window: window}
+}
+
+// Observe implements Predictor.
+func (h *HarmonicMean) Observe(s Sample) {
+	if s.Duration <= 0 || s.Mbps <= 0 {
+		return
+	}
+	h.samples = append(h.samples, s.Mbps)
+	if len(h.samples) > h.Window {
+		h.samples = h.samples[len(h.samples)-h.Window:]
+	}
+}
+
+// Predict implements Predictor.
+func (h *HarmonicMean) Predict(_, _ float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	inv := 0.0
+	for _, x := range h.samples {
+		inv += 1 / x
+	}
+	return float64(len(h.samples)) / inv
+}
+
+// Reset implements Predictor.
+func (h *HarmonicMean) Reset() { h.samples = h.samples[:0] }
+
+// Perfect is an oracle that returns the true mean throughput of the trace
+// over the queried horizon — the "perfect short-term throughput predictor"
+// of §6.1.4.
+type Perfect struct {
+	Trace *trace.Trace
+}
+
+// Observe implements Predictor (no-op: the oracle needs no history).
+func (p *Perfect) Observe(Sample) {}
+
+// Predict implements Predictor.
+func (p *Perfect) Predict(now, horizon float64) float64 {
+	if horizon <= 0 {
+		horizon = 1e-3
+	}
+	return p.Trace.MeanOver(now, horizon)
+}
+
+// Reset implements Predictor.
+func (p *Perfect) Reset() {}
+
+// Noisy corrupts a base predictor with multiplicative white noise:
+// prediction * (1 + NoiseLevel*Z) with Z standard normal, clamped to stay
+// positive. This reproduces the Figure 11 experiment, where white noise is
+// gradually added to perfect predictions.
+type Noisy struct {
+	Base       Predictor
+	NoiseLevel float64 // e.g. 0.3 for 30% noise
+	rng        *rand.Rand
+}
+
+// NewNoisy wraps base with the given noise level and seed.
+func NewNoisy(base Predictor, noiseLevel float64, seed uint64) *Noisy {
+	return &Noisy{Base: base, NoiseLevel: noiseLevel, rng: rand.New(rand.NewPCG(seed, 0xabcdef))}
+}
+
+// Observe implements Predictor.
+func (n *Noisy) Observe(s Sample) { n.Base.Observe(s) }
+
+// Predict implements Predictor.
+func (n *Noisy) Predict(now, horizon float64) float64 {
+	base := n.Base.Predict(now, horizon)
+	if base <= 0 {
+		return base
+	}
+	factor := 1 + n.NoiseLevel*n.rng.NormFloat64()
+	if factor < 0.05 {
+		factor = 0.05
+	}
+	return base * factor
+}
+
+// Reset implements Predictor.
+func (n *Noisy) Reset() { n.Base.Reset() }
+
+// EmpiricalQuantile keeps the recent throughput history and answers both a
+// point prediction (its median) and arbitrary quantiles. It stands in for
+// Fugu's learned stochastic transmit-time predictor: instead of a neural
+// density model it serves the empirical distribution of recent observations,
+// which captures the same "plan against uncertainty" capability.
+type EmpiricalQuantile struct {
+	Window  int
+	samples []float64
+}
+
+// NewEmpiricalQuantile returns an EmpiricalQuantile over the last window
+// samples.
+func NewEmpiricalQuantile(window int) *EmpiricalQuantile {
+	if window <= 0 {
+		panic("predictor: non-positive quantile window")
+	}
+	return &EmpiricalQuantile{Window: window}
+}
+
+// Observe implements Predictor.
+func (e *EmpiricalQuantile) Observe(s Sample) {
+	if s.Duration <= 0 || s.Mbps < 0 {
+		return
+	}
+	e.samples = append(e.samples, s.Mbps)
+	if len(e.samples) > e.Window {
+		e.samples = e.samples[len(e.samples)-e.Window:]
+	}
+}
+
+// Predict implements Predictor, returning the median.
+func (e *EmpiricalQuantile) Predict(now, horizon float64) float64 {
+	return e.Quantile(now, horizon, 0.5)
+}
+
+// Quantile implements QuantilePredictor.
+func (e *EmpiricalQuantile) Quantile(_, _, q float64) float64 {
+	if len(e.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(e.samples))
+	copy(sorted, e.samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Reset implements Predictor.
+func (e *EmpiricalQuantile) Reset() { e.samples = e.samples[:0] }
+
+// Compile-time interface checks.
+var (
+	_ Predictor         = (*EMA)(nil)
+	_ Predictor         = (*MovingAverage)(nil)
+	_ Predictor         = (*SlidingWindow)(nil)
+	_ Predictor         = (*HarmonicMean)(nil)
+	_ Predictor         = (*Perfect)(nil)
+	_ Predictor         = (*Noisy)(nil)
+	_ QuantilePredictor = (*EmpiricalQuantile)(nil)
+)
+
+var _ Predictor = (*SafeEMA)(nil)

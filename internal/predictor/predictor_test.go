@@ -1,0 +1,375 @@
+package predictor
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func obs(mbps float64) Sample { return Sample{Mbps: mbps, Duration: 2, EndTime: 0} }
+
+func TestEMAConvergesToConstant(t *testing.T) {
+	e := NewEMA(4)
+	for i := 0; i < 50; i++ {
+		e.Observe(obs(10))
+	}
+	if got := e.Predict(0, 2); math.Abs(got-10) > 1e-6 {
+		t.Errorf("EMA of constant stream = %v, want 10", got)
+	}
+}
+
+func TestEMABiasCorrectionFirstSample(t *testing.T) {
+	e := NewEMA(4)
+	e.Observe(obs(8))
+	// With bias correction a single observation should predict itself.
+	if got := e.Predict(0, 2); math.Abs(got-8) > 1e-9 {
+		t.Errorf("EMA after one sample = %v, want 8", got)
+	}
+}
+
+func TestEMAWeighting(t *testing.T) {
+	e := NewEMA(4)
+	for i := 0; i < 30; i++ {
+		e.Observe(obs(2))
+	}
+	e.Observe(obs(20))
+	got := e.Predict(0, 2)
+	// Newer sample should pull the estimate noticeably above 2 but far
+	// below 20 (half-life 4 s, sample duration 2 s => alpha ~ 0.707).
+	if got < 5 || got > 10 {
+		t.Errorf("EMA after spike = %v, want within (5, 10)", got)
+	}
+}
+
+func TestEMAEmptyAndReset(t *testing.T) {
+	e := NewEMA(4)
+	if e.Predict(0, 2) != 0 {
+		t.Error("empty EMA should predict 0")
+	}
+	e.Observe(obs(5))
+	e.Reset()
+	if e.Predict(0, 2) != 0 {
+		t.Error("reset EMA should predict 0")
+	}
+	e.Observe(Sample{Mbps: -1, Duration: 2})
+	e.Observe(Sample{Mbps: 1, Duration: 0})
+	if e.Predict(0, 2) != 0 {
+		t.Error("invalid samples should be ignored")
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Predict(0, 2) != 0 {
+		t.Error("empty MA should predict 0")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		m.Observe(obs(v))
+	}
+	if got := m.Predict(0, 2); math.Abs(got-4) > 1e-12 {
+		t.Errorf("MA = %v, want mean(3,4,5)=4", got)
+	}
+	m.Reset()
+	if m.Predict(0, 2) != 0 {
+		t.Error("reset MA should predict 0")
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	w := NewSlidingWindow(10)
+	w.Observe(Sample{Mbps: 100, Duration: 2, EndTime: 2})
+	w.Observe(Sample{Mbps: 10, Duration: 2, EndTime: 20})
+	// The first observation fell out of the 10 s window ending at t=20.
+	if got := w.Predict(20, 2); math.Abs(got-10) > 1e-12 {
+		t.Errorf("sliding window = %v, want 10", got)
+	}
+	// Duration weighting.
+	w.Reset()
+	w.Observe(Sample{Mbps: 4, Duration: 3, EndTime: 5})
+	w.Observe(Sample{Mbps: 10, Duration: 1, EndTime: 6})
+	want := (4*3 + 10*1) / 4.0
+	if got := w.Predict(6, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted sliding window = %v, want %v", got, want)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	h := NewHarmonicMean(5)
+	if h.Predict(0, 2) != 0 {
+		t.Error("empty harmonic mean should predict 0")
+	}
+	h.Observe(obs(2))
+	h.Observe(obs(8))
+	want := 2 / (1/2.0 + 1/8.0)
+	if got := h.Predict(0, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("harmonic mean = %v, want %v", got, want)
+	}
+	// Harmonic mean is dominated by the smallest sample: robust to spikes.
+	h.Observe(obs(1000))
+	if got := h.Predict(0, 2); got > 10 {
+		t.Errorf("harmonic mean after spike = %v, should stay small", got)
+	}
+	// Zero samples ignored rather than poisoning the mean.
+	h.Observe(Sample{Mbps: 0, Duration: 2})
+	if math.IsInf(h.Predict(0, 2), 0) || math.IsNaN(h.Predict(0, 2)) {
+		t.Error("zero sample poisoned harmonic mean")
+	}
+}
+
+func TestPerfect(t *testing.T) {
+	tr := trace.New([]trace.Sample{{Duration: 1, Mbps: 4}, {Duration: 1, Mbps: 1}, {Duration: 2, Mbps: 2}})
+	p := &Perfect{Trace: tr}
+	if got := p.Predict(0, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Perfect(0,1) = %v", got)
+	}
+	if got := p.Predict(0, 2); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Perfect(0,2) = %v", got)
+	}
+	p.Observe(obs(999)) // no-op
+	p.Reset()           // no-op
+	if got := p.Predict(0, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Perfect after Observe/Reset = %v", got)
+	}
+}
+
+func TestNoisyZeroNoiseIsExact(t *testing.T) {
+	tr := trace.Constant(6, 100)
+	n := NewNoisy(&Perfect{Trace: tr}, 0, 1)
+	for i := 0; i < 10; i++ {
+		if got := n.Predict(float64(i), 2); math.Abs(got-6) > 1e-12 {
+			t.Errorf("zero-noise prediction = %v", got)
+		}
+	}
+}
+
+func TestNoisyStatistics(t *testing.T) {
+	tr := trace.Constant(10, 1000)
+	n := NewNoisy(&Perfect{Trace: tr}, 0.3, 7)
+	var sum, sumSq float64
+	const k = 20000
+	for i := 0; i < k; i++ {
+		v := n.Predict(0, 2)
+		if v <= 0 {
+			t.Fatalf("noisy prediction non-positive: %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / k
+	sd := math.Sqrt(sumSq/k - mean*mean)
+	if math.Abs(mean-10) > 0.15 {
+		t.Errorf("noisy mean = %v, want ~10", mean)
+	}
+	if math.Abs(sd-3) > 0.25 {
+		t.Errorf("noisy sd = %v, want ~3 (30%% of 10)", sd)
+	}
+}
+
+func TestEmpiricalQuantile(t *testing.T) {
+	e := NewEmpiricalQuantile(10)
+	if e.Predict(0, 2) != 0 {
+		t.Error("empty quantile predictor should predict 0")
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		e.Observe(obs(v))
+	}
+	if got := e.Quantile(0, 2, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := e.Quantile(0, 2, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := e.Predict(0, 2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("median = %v", got)
+	}
+	if got := e.Quantile(0, 2, 0.25); math.Abs(got-2) > 1e-12 {
+		t.Errorf("q25 = %v", got)
+	}
+	// Window trimming keeps the most recent samples.
+	for _, v := range []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10} {
+		e.Observe(obs(v))
+	}
+	if got := e.Quantile(0, 2, 0); got != 10 {
+		t.Errorf("after window roll, q0 = %v", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		e := NewEmpiricalQuantile(64)
+		n := 1 + rng.IntN(40)
+		for i := 0; i < n; i++ {
+			e.Observe(obs(rng.Float64() * 50))
+		}
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := e.Quantile(0, 2, q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"EMA":       func() { NewEMA(0) },
+		"MA":        func() { NewMovingAverage(0) },
+		"Sliding":   func() { NewSlidingWindow(-1) },
+		"Harmonic":  func() { NewHarmonicMean(0) },
+		"Empirical": func() { NewEmpiricalQuantile(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s constructor should panic on invalid input", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: history predictors track a constant stream exactly after warmup.
+func TestPredictorsTrackConstant(t *testing.T) {
+	preds := map[string]Predictor{
+		"ema":      NewEMA(4),
+		"ma":       NewMovingAverage(5),
+		"sliding":  NewSlidingWindow(20),
+		"harmonic": NewHarmonicMean(5),
+		"quantile": NewEmpiricalQuantile(16),
+	}
+	for name, p := range preds {
+		for i := 0; i < 40; i++ {
+			p.Observe(Sample{Mbps: 7.5, Duration: 2, EndTime: float64(2 * (i + 1))})
+		}
+		if got := p.Predict(80, 2); math.Abs(got-7.5) > 1e-6 {
+			t.Errorf("%s: constant-stream prediction = %v, want 7.5", name, got)
+		}
+	}
+}
+
+func TestSafeEMATracksAndCollapses(t *testing.T) {
+	s := NewSafeEMA()
+	if s.Predict(0, 2) != 0 {
+		t.Error("empty SafeEMA should predict 0")
+	}
+	// Steady stream: estimates the true rate.
+	for i := 0; i < 30; i++ {
+		s.Observe(Sample{Mbps: 20, Duration: 2, EndTime: float64(2 * (i + 1))})
+	}
+	if got := s.Predict(60, 2); math.Abs(got-20) > 0.5 {
+		t.Errorf("steady SafeEMA = %v, want ~20", got)
+	}
+	// A single collapsed sample must dominate immediately (the min-with-last
+	// safety rule): one 10-second download at 1.5 Mb/s.
+	s.Observe(Sample{Mbps: 1.5, Duration: 10, EndTime: 72})
+	if got := s.Predict(72, 2); got > 1.6 {
+		t.Errorf("SafeEMA after collapse = %v, want <= 1.5", got)
+	}
+	// Recovery is conservative: one fast sample must NOT restore the old
+	// estimate instantly.
+	s.Observe(Sample{Mbps: 40, Duration: 0.5, EndTime: 73})
+	if got := s.Predict(73, 2); got > 20 {
+		t.Errorf("SafeEMA after one recovery sample = %v, want conservative", got)
+	}
+	s.Reset()
+	if s.Predict(0, 2) != 0 {
+		t.Error("reset SafeEMA should predict 0")
+	}
+	// Invalid samples ignored.
+	s.Observe(Sample{Mbps: -1, Duration: 2})
+	s.Observe(Sample{Mbps: 5, Duration: 0})
+	if s.Predict(0, 2) != 0 {
+		t.Error("invalid samples should be ignored")
+	}
+}
+
+func TestSafeEMANeverAboveComponents(t *testing.T) {
+	// The safe estimate is min(fast, slow, last-if-lower): it can never
+	// exceed a plain EMA fed the same stream with either half-life.
+	fast := NewEMA(3)
+	slow := NewEMA(8)
+	s := NewSafeEMA()
+	stream := []float64{10, 14, 3, 22, 8, 30, 2, 18, 25, 6}
+	for i, mbps := range stream {
+		sm := Sample{Mbps: mbps, Duration: 2, EndTime: float64(2 * (i + 1))}
+		fast.Observe(sm)
+		slow.Observe(sm)
+		s.Observe(sm)
+		safe := s.Predict(0, 2)
+		if safe > fast.Predict(0, 2)+1e-9 || safe > slow.Predict(0, 2)+1e-9 {
+			t.Fatalf("step %d: safe %v above components (%v, %v)", i, safe, fast.Predict(0, 2), slow.Predict(0, 2))
+		}
+	}
+}
+
+func TestNoisyResetDelegates(t *testing.T) {
+	base := NewEMA(4)
+	n := NewNoisy(base, 0.1, 3)
+	n.Observe(obs(12))
+	if base.Predict(0, 2) == 0 {
+		t.Error("Noisy.Observe did not reach the base predictor")
+	}
+	n.Reset()
+	if base.Predict(0, 2) != 0 {
+		t.Error("Noisy.Reset did not reset the base predictor")
+	}
+	// Zero/negative base passes through unperturbed.
+	if got := n.Predict(0, 2); got != 0 {
+		t.Errorf("noisy prediction on empty base = %v", got)
+	}
+}
+
+func TestEmpiricalQuantileReset(t *testing.T) {
+	e := NewEmpiricalQuantile(8)
+	e.Observe(obs(5))
+	e.Reset()
+	if e.Predict(0, 2) != 0 {
+		t.Error("reset quantile predictor should predict 0")
+	}
+	e.Observe(Sample{Mbps: -2, Duration: 2})
+	if e.Predict(0, 2) != 0 {
+		t.Error("invalid sample accepted")
+	}
+}
+
+func TestMovingAverageIgnoresInvalid(t *testing.T) {
+	m := NewMovingAverage(3)
+	m.Observe(Sample{Mbps: -1, Duration: 2})
+	m.Observe(Sample{Mbps: 5, Duration: 0})
+	if m.Predict(0, 2) != 0 {
+		t.Error("invalid samples accepted")
+	}
+}
+
+func TestSlidingWindowReset(t *testing.T) {
+	w := NewSlidingWindow(10)
+	w.Observe(Sample{Mbps: 9, Duration: 2, EndTime: 2})
+	w.Reset()
+	if w.Predict(2, 2) != 0 {
+		t.Error("reset sliding window should predict 0")
+	}
+	w.Observe(Sample{Mbps: -3, Duration: 2, EndTime: 4})
+	if w.Predict(4, 2) != 0 {
+		t.Error("invalid sample accepted")
+	}
+}
+
+func TestHarmonicMeanReset(t *testing.T) {
+	h := NewHarmonicMean(4)
+	h.Observe(obs(6))
+	h.Reset()
+	if h.Predict(0, 2) != 0 {
+		t.Error("reset harmonic mean should predict 0")
+	}
+}

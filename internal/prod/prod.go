@@ -1,0 +1,286 @@
+// Package prod simulates the paper's production deployment study (§6.3):
+// large-scale A/B experiments on Amazon Prime Video live streams across
+// three device families — desktops/laptops (HTML5 browsers), smart TVs and
+// set-top boxes — comparing SODA against a fine-tuned production baseline.
+//
+// Each device family has its own network profile (HTML5 browsers experience
+// the most volatility, §6.3), sessions are randomly assigned to the SODA or
+// control arm, and the engagement model converts per-session quality into
+// viewing durations. The report is the set of relative changes Figure 13
+// plots: mean viewing duration, mean bitrate, rebuffering ratio and
+// switching rate.
+package prod
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"repro/internal/abr"
+	"repro/internal/engagement"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+
+	// The default arms ("soda", "prod-baseline") are resolved by name from
+	// the abr registry, so the implementations must be linked in.
+	_ "repro/internal/baseline"
+	_ "repro/internal/core"
+)
+
+// DeviceFamily describes one device population and its network conditions.
+type DeviceFamily struct {
+	Name    string
+	Profile tracegen.Profile
+}
+
+// Families returns the three §6.3 device families. The relative volatility
+// ordering follows the paper: HTML5 browsers see the most volatile networks,
+// set-top boxes (often wired) the most stable, smart TVs in between.
+func Families() []DeviceFamily {
+	html5 := tracegen.Profile{
+		Name:           "html5",
+		TargetMeanMbps: 18,
+		TargetRSD:      0.95,
+		States:         []tracegen.State{{RelMean: 1.7}, {RelMean: 0.9}, {RelMean: 0.3}},
+		Transition: [][]float64{
+			{0.9880, 0.0100, 0.0020},
+			{0.0120, 0.9760, 0.0120},
+			{0.0080, 0.0160, 0.9760},
+		},
+		StepSeconds: 1,
+		AR:          0.90,
+	}
+	smartTV := tracegen.Profile{
+		Name:           "smarttv",
+		TargetMeanMbps: 22,
+		TargetRSD:      0.55,
+		States:         []tracegen.State{{RelMean: 1.3}, {RelMean: 0.9}, {RelMean: 0.5}},
+		Transition: [][]float64{
+			{0.9930, 0.0060, 0.0010},
+			{0.0080, 0.9870, 0.0050},
+			{0.0050, 0.0110, 0.9840},
+		},
+		StepSeconds: 1,
+		AR:          0.93,
+	}
+	setTop := tracegen.Profile{
+		Name:           "settop",
+		TargetMeanMbps: 26,
+		TargetRSD:      0.40,
+		States:         []tracegen.State{{RelMean: 1.2}, {RelMean: 0.95}, {RelMean: 0.6}},
+		Transition: [][]float64{
+			{0.9950, 0.0040, 0.0010},
+			{0.0060, 0.9900, 0.0040},
+			{0.0040, 0.0080, 0.9880},
+		},
+		StepSeconds: 1,
+		AR:          0.95,
+	}
+	return []DeviceFamily{
+		{Name: "html5", Profile: html5},
+		{Name: "smarttv", Profile: smartTV},
+		{Name: "settop", Profile: setTop},
+	}
+}
+
+// Config drives one A/B experiment.
+type Config struct {
+	// SessionsPerArm is the number of sessions per controller arm per family.
+	SessionsPerArm int
+	// SessionSeconds is the simulated session length.
+	SessionSeconds float64
+	// StreamMinutes is the live event length used for viewing durations
+	// (sports events routinely span multiple hours, §6.3).
+	StreamMinutes float64
+	// BufferCap is the live buffer bound (20 s in the deployment).
+	BufferCap float64
+	// Treatment and Control name the registered controllers for the two
+	// arms ("soda" and "prod-baseline" by default).
+	Treatment, Control string
+	// Seed makes the experiment reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the experiment configuration used by the Figure 13
+// bench.
+func DefaultConfig() Config {
+	return Config{
+		SessionsPerArm: 40,
+		SessionSeconds: 600,
+		StreamMinutes:  150,
+		BufferCap:      20,
+		Treatment:      "soda",
+		Control:        "prod-baseline",
+		Seed:           2024,
+	}
+}
+
+// ArmStats are the per-arm session aggregates.
+type ArmStats struct {
+	Controller      string
+	ViewingMinutes  float64
+	MeanBitrateMbps float64
+	RebufferRatio   float64
+	SwitchRate      float64
+	Sessions        int
+}
+
+// FamilyReport is one device family's A/B outcome: the Figure 13 bars.
+type FamilyReport struct {
+	Family    string
+	Treatment ArmStats
+	Control   ArmStats
+	// Relative changes, treatment vs control, as fractions (+0.059 = +5.9%).
+	ViewingDelta  float64
+	BitrateDelta  float64
+	RebufferDelta float64
+	SwitchDelta   float64
+}
+
+// String renders the report row.
+func (r FamilyReport) String() string {
+	return fmt.Sprintf("%-8s viewing %+6.2f%%  bitrate %+6.2f%%  rebuf %+7.2f%%  switching %+7.2f%%",
+		r.Family, 100*r.ViewingDelta, 100*r.BitrateDelta, 100*r.RebufferDelta, 100*r.SwitchDelta)
+}
+
+// Run executes the A/B experiment across all device families.
+func Run(cfg Config) ([]FamilyReport, error) {
+	if cfg.SessionsPerArm <= 0 {
+		return nil, fmt.Errorf("prod: non-positive sessions per arm")
+	}
+	ladder := video.PrimeVideo()
+	model := engagement.Default()
+	var reports []FamilyReport
+	for fi, fam := range Families() {
+		ds, err := tracegen.Generate(fam.Profile, cfg.SessionsPerArm, cfg.SessionSeconds, cfg.Seed+uint64(fi)*1000)
+		if err != nil {
+			return nil, fmt.Errorf("prod: %s: %w", fam.Name, err)
+		}
+		// Both arms share the engagement random draws (common random
+		// numbers): each session index gets the same uniform variate, so the
+		// viewing-duration delta reflects the quality difference rather than
+		// sampling noise — the standard variance-reduction device for paired
+		// A/B comparisons.
+		treat, err := runArm(cfg, cfg.Treatment, ladder, ds, model, cfg.Seed+77)
+		if err != nil {
+			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Treatment, err)
+		}
+		control, err := runArm(cfg, cfg.Control, ladder, ds, model, cfg.Seed+77)
+		if err != nil {
+			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Control, err)
+		}
+		reports = append(reports, FamilyReport{
+			Family:        fam.Name,
+			Treatment:     treat,
+			Control:       control,
+			ViewingDelta:  rel(treat.ViewingMinutes, control.ViewingMinutes),
+			BitrateDelta:  rel(treat.MeanBitrateMbps, control.MeanBitrateMbps),
+			RebufferDelta: relRebuffer(treat.RebufferRatio, control.RebufferRatio),
+			SwitchDelta:   rel(treat.SwitchRate, control.SwitchRate),
+		})
+	}
+	return reports, nil
+}
+
+// relRebuffer treats two essentially-rebuffer-free arms as unchanged: a
+// ratio of two numbers in the 1e-5 range is noise, not a finding.
+func relRebuffer(treat, control float64) float64 {
+	const negligible = 5e-4
+	if treat < negligible && control < negligible {
+		return 0
+	}
+	return rel(treat, control)
+}
+
+func rel(treat, control float64) float64 {
+	if control == 0 {
+		if treat == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (treat - control) / control
+}
+
+// runArm simulates every session of the dataset under one controller and
+// aggregates the arm statistics. Sessions run in parallel; the engagement
+// draw is deterministic per (seed, session).
+func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64) (ArmStats, error) {
+	n := len(ds.Sessions)
+	type out struct {
+		viewing, bitrate, rebuf, sw float64
+		err                         error
+	}
+	results := make([]out, n)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int, n)
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ctrl, err := abr.New(controller, ladder)
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				res, err := sim.Run(ds.Sessions[i], sim.Config{
+					Ladder:         ladder,
+					BufferCap:      cfg.BufferCap,
+					SessionSeconds: cfg.SessionSeconds,
+					Controller:     ctrl,
+					Predictor:      predictor.NewSlidingWindow(12),
+				})
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				m := res.Metrics
+				rng := rand.New(rand.NewPCG(seed, uint64(i)))
+				results[i].viewing = model.SampleViewingMinutes(m.SwitchRate, m.RebufferRatio, cfg.StreamMinutes, rng)
+				results[i].bitrate = meanBitrate(ladder, res.Rungs)
+				results[i].rebuf = m.RebufferRatio
+				results[i].sw = m.SwitchRate
+			}
+		}()
+	}
+	wg.Wait()
+	stats := ArmStats{Controller: controller, Sessions: n}
+	for i := range results {
+		if results[i].err != nil {
+			return ArmStats{}, results[i].err
+		}
+		stats.ViewingMinutes += results[i].viewing
+		stats.MeanBitrateMbps += results[i].bitrate
+		stats.RebufferRatio += results[i].rebuf
+		stats.SwitchRate += results[i].sw
+	}
+	f := float64(n)
+	stats.ViewingMinutes /= f
+	stats.MeanBitrateMbps /= f
+	stats.RebufferRatio /= f
+	stats.SwitchRate /= f
+	return stats, nil
+}
+
+func meanBitrate(ladder video.Ladder, rungs []int) float64 {
+	if len(rungs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rungs {
+		sum += ladder.Mbps(r)
+	}
+	return sum / float64(len(rungs))
+}

@@ -1,0 +1,96 @@
+package proto
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a minimal protocol client used by the prototype player.
+// It is not safe for concurrent use: the protocol is strictly
+// request/response over one connection, like a player's media socket.
+type Client struct {
+	conn     net.Conn
+	manifest Manifest
+	timeout  time.Duration
+}
+
+// Dial connects to the server and fetches the manifest.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	c := &Client{conn: conn, timeout: timeout}
+	if err := c.fetchManifest(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) fetchManifest() error {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, TypeManifestRequest, nil); err != nil {
+		return err
+	}
+	frameType, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if frameType == TypeError {
+		return fmt.Errorf("proto: server error: %s", payload)
+	}
+	if frameType != TypeManifest {
+		return fmt.Errorf("proto: expected manifest, got frame type %d", frameType)
+	}
+	m, err := DecodeManifest(payload)
+	if err != nil {
+		return err
+	}
+	c.manifest = m
+	return nil
+}
+
+// Manifest returns the stream manifest fetched at dial time.
+func (c *Client) Manifest() Manifest { return c.manifest }
+
+// FetchSegment downloads one segment, returning the media byte count and the
+// wall-clock download duration.
+func (c *Client) FetchSegment(index, rung int) (bytes int, elapsed time.Duration, err error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := WriteFrame(c.conn, TypeSegmentRequest, EncodeSegmentRequest(SegmentRequest{Index: index, Rung: rung})); err != nil {
+		return 0, 0, err
+	}
+	frameType, payload, err := ReadFrame(c.conn)
+	if err != nil {
+		return 0, 0, err
+	}
+	elapsed = time.Since(start)
+	switch frameType {
+	case TypeError:
+		return 0, elapsed, fmt.Errorf("proto: server error: %s", payload)
+	case TypeSegment:
+		echo, n, err := DecodeSegmentHeader(payload)
+		if err != nil {
+			return 0, elapsed, err
+		}
+		if echo.Index != index || echo.Rung != rung {
+			return 0, elapsed, fmt.Errorf("proto: segment mismatch: asked (%d,%d), got (%d,%d)", index, rung, echo.Index, echo.Rung)
+		}
+		return n, elapsed, nil
+	default:
+		return 0, elapsed, fmt.Errorf("proto: unexpected frame type %d", frameType)
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,67 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame checks the frame reader never panics or over-allocates on
+// arbitrary byte streams, and that valid frames round-trip.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	WriteFrame(&seed, TypeManifest, []byte(`{"x":1}`))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{TypeSegment, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeError, 0, 0, 0, 2, 'h'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frameType, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed frame must re-serialize to a parseable frame.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, frameType, payload); err != nil {
+			t.Fatalf("re-serialize failed: %v", err)
+		}
+		ft2, p2, err := ReadFrame(&buf)
+		if err != nil || ft2 != frameType || !bytes.Equal(p2, payload) {
+			t.Fatalf("round trip mismatch: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeManifest checks manifest parsing rejects junk without panicking
+// and that accepted manifests satisfy the invariants.
+func FuzzDecodeManifest(f *testing.F) {
+	good, _ := EncodeManifest(Manifest{BitratesMbps: []float64{1, 2}, SegmentSeconds: 2, TotalSegments: 5})
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"bitrates_mbps":[-1]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted manifest fails validation: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeSegmentRequest checks request decoding is total.
+func FuzzDecodeSegmentRequest(f *testing.F) {
+	f.Add(EncodeSegmentRequest(SegmentRequest{Index: 3, Rung: 1}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeSegmentRequest(data)
+		if err != nil {
+			return
+		}
+		back := EncodeSegmentRequest(req)
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mismatch: %v vs %v", back, data)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package proto implements the segment-streaming wire protocol of the local
+// prototype — the stand-in for the Puffer platform's media server in the
+// paper's prototype evaluation (§6.2; see DESIGN.md, substitutions).
+//
+// The protocol is a minimal binary request/response exchange over one TCP
+// connection:
+//
+//	frame   := type(1 byte) length(4 bytes, big endian) payload(length bytes)
+//	types   := ManifestRequest | Manifest | SegmentRequest | Segment | Error
+//
+// The manifest carries the bitrate ladder, segment duration and segment
+// count (JSON payload; it is sent once and small). Segment payloads are
+// deterministic filler bytes sized according to the requested rung — the
+// prototype measures delivery dynamics, not codec output.
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeManifestRequest byte = 1
+	TypeManifest        byte = 2
+	TypeSegmentRequest  byte = 3
+	TypeSegment         byte = 4
+	TypeError           byte = 5
+)
+
+// MaxFrameBytes bounds a frame payload; large enough for the biggest
+// segment (60 Mb/s x 2 s = 15 MB) with headroom, small enough to stop a
+// malformed length prefix from allocating unbounded memory.
+const MaxFrameBytes = 64 << 20
+
+// Manifest describes the stream a server offers.
+type Manifest struct {
+	BitratesMbps   []float64 `json:"bitrates_mbps"`
+	SegmentSeconds float64   `json:"segment_seconds"`
+	TotalSegments  int       `json:"total_segments"`
+}
+
+// Validate reports malformed manifests.
+func (m *Manifest) Validate() error {
+	if len(m.BitratesMbps) == 0 {
+		return fmt.Errorf("proto: manifest with no bitrates")
+	}
+	prev := 0.0
+	for _, b := range m.BitratesMbps {
+		if b <= prev {
+			return fmt.Errorf("proto: bitrates must be ascending and positive")
+		}
+		prev = b
+	}
+	if m.SegmentSeconds <= 0 {
+		return fmt.Errorf("proto: non-positive segment duration")
+	}
+	if m.TotalSegments <= 0 {
+		return fmt.Errorf("proto: non-positive segment count")
+	}
+	return nil
+}
+
+// SegmentRequest asks for one segment at one rung.
+type SegmentRequest struct {
+	Index int
+	Rung  int
+}
+
+// SegmentHeader prefixes every segment payload.
+const segmentHeaderBytes = 8
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, frameType byte, payload []byte) error {
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("proto: payload %d exceeds frame limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = frameType
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame from r, enforcing the size limit.
+func ReadFrame(r io.Reader) (frameType byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("proto: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// EncodeManifest marshals a manifest payload.
+func EncodeManifest(m Manifest) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(m)
+}
+
+// DecodeManifest parses and validates a manifest payload.
+func DecodeManifest(payload []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Manifest{}, fmt.Errorf("proto: bad manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// EncodeSegmentRequest marshals a segment request payload.
+func EncodeSegmentRequest(req SegmentRequest) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(req.Index))
+	binary.BigEndian.PutUint32(buf[4:], uint32(req.Rung))
+	return buf[:]
+}
+
+// DecodeSegmentRequest parses a segment request payload.
+func DecodeSegmentRequest(payload []byte) (SegmentRequest, error) {
+	if len(payload) != 8 {
+		return SegmentRequest{}, fmt.Errorf("proto: segment request of %d bytes", len(payload))
+	}
+	return SegmentRequest{
+		Index: int(binary.BigEndian.Uint32(payload[0:])),
+		Rung:  int(binary.BigEndian.Uint32(payload[4:])),
+	}, nil
+}
+
+// EncodeSegment builds a segment payload: an 8-byte echo of the request
+// followed by sizeBytes of deterministic filler.
+func EncodeSegment(req SegmentRequest, sizeBytes int) []byte {
+	out := make([]byte, segmentHeaderBytes+sizeBytes)
+	binary.BigEndian.PutUint32(out[0:], uint32(req.Index))
+	binary.BigEndian.PutUint32(out[4:], uint32(req.Rung))
+	// Deterministic, compressible-resistant filler derived from the request.
+	seed := byte(req.Index*31 + req.Rung*7)
+	for i := segmentHeaderBytes; i < len(out); i++ {
+		seed = seed*197 + 13
+		out[i] = seed
+	}
+	return out
+}
+
+// DecodeSegmentHeader parses the echo header of a segment payload, returning
+// the request it answers and the media byte count.
+func DecodeSegmentHeader(payload []byte) (SegmentRequest, int, error) {
+	if len(payload) < segmentHeaderBytes {
+		return SegmentRequest{}, 0, fmt.Errorf("proto: short segment payload (%d bytes)", len(payload))
+	}
+	req := SegmentRequest{
+		Index: int(binary.BigEndian.Uint32(payload[0:])),
+		Rung:  int(binary.BigEndian.Uint32(payload[4:])),
+	}
+	return req, len(payload) - segmentHeaderBytes, nil
+}

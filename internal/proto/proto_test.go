@@ -1,0 +1,242 @@
+package proto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/video"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello, frame")
+	if err := WriteFrame(&buf, TypeSegment, payload); err != nil {
+		t.Fatal(err)
+	}
+	frameType, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frameType != TypeSegment || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: type=%d payload=%q", frameType, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeManifestRequest, nil); err != nil {
+		t.Fatal(err)
+	}
+	frameType, got, err := ReadFrame(&buf)
+	if err != nil || frameType != TypeManifestRequest || len(got) != 0 {
+		t.Errorf("empty frame: %d %q %v", frameType, got, err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	// A forged oversized length prefix must be rejected before allocation.
+	raw := []byte{TypeSegment, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if err := WriteFrame(&bytes.Buffer{}, TypeSegment, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeSegment, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated frame accepted")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:3])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestManifestValidation(t *testing.T) {
+	good := Manifest{BitratesMbps: []float64{1, 2}, SegmentSeconds: 2, TotalSegments: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid manifest rejected: %v", err)
+	}
+	bad := []Manifest{
+		{SegmentSeconds: 2, TotalSegments: 10},
+		{BitratesMbps: []float64{2, 1}, SegmentSeconds: 2, TotalSegments: 10},
+		{BitratesMbps: []float64{0, 1}, SegmentSeconds: 2, TotalSegments: 10},
+		{BitratesMbps: []float64{1, 2}, SegmentSeconds: 0, TotalSegments: 10},
+		{BitratesMbps: []float64{1, 2}, SegmentSeconds: 2, TotalSegments: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad manifest %d accepted", i)
+		}
+	}
+	if _, err := EncodeManifest(bad[0]); err == nil {
+		t.Error("EncodeManifest accepted invalid manifest")
+	}
+	if _, err := DecodeManifest([]byte("{not json")); err == nil {
+		t.Error("DecodeManifest accepted junk")
+	}
+}
+
+func TestSegmentRequestRoundTrip(t *testing.T) {
+	req := SegmentRequest{Index: 123456, Rung: 7}
+	got, err := DecodeSegmentRequest(EncodeSegmentRequest(req))
+	if err != nil || got != req {
+		t.Errorf("round trip: %+v, %v", got, err)
+	}
+	if _, err := DecodeSegmentRequest([]byte{1, 2, 3}); err == nil {
+		t.Error("short request accepted")
+	}
+}
+
+func TestSegmentEncoding(t *testing.T) {
+	req := SegmentRequest{Index: 5, Rung: 2}
+	payload := EncodeSegment(req, 1000)
+	echo, n, err := DecodeSegmentHeader(payload)
+	if err != nil || echo != req || n != 1000 {
+		t.Errorf("segment header: %+v %d %v", echo, n, err)
+	}
+	if _, _, err := DecodeSegmentHeader([]byte{1, 2}); err == nil {
+		t.Error("short segment accepted")
+	}
+	// Filler is deterministic.
+	again := EncodeSegment(req, 1000)
+	if !bytes.Equal(payload, again) {
+		t.Error("segment filler not deterministic")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(video.Ladder{}, nil, 10, nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewServer(video.Prototype(), nil, 0, nil); err == nil {
+		t.Error("zero segments accepted")
+	}
+}
+
+func startServer(t *testing.T, totalSegments int) (addr string, cancel func()) {
+	t.Helper()
+	srv, err := NewServer(video.Prototype(), nil, totalSegments, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, ln)
+	}()
+	return ln.Addr().String(), func() {
+		stop()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	addr, cancel := startServer(t, 30)
+	defer cancel()
+
+	c, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	m := c.Manifest()
+	if m.TotalSegments != 30 || len(m.BitratesMbps) != 5 {
+		t.Fatalf("manifest %+v", m)
+	}
+	// Fetch a few segments; sizes must match the CBR model.
+	for rung := 0; rung < 5; rung++ {
+		n, elapsed, err := c.FetchSegment(rung, rung)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(video.Prototype().SegmentMegabits(rung) * 1e6 / 8)
+		if n != want {
+			t.Errorf("rung %d: %d bytes, want %d", rung, n, want)
+		}
+		if elapsed <= 0 {
+			t.Errorf("rung %d: non-positive elapsed %v", rung, elapsed)
+		}
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	addr, cancel := startServer(t, 10)
+	defer cancel()
+
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.FetchSegment(99, 0); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range index: %v", err)
+	}
+	// The server closes the connection after a protocol error.
+	c2, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, err := c2.FetchSegment(0, 99); err == nil {
+		t.Error("out-of-range rung accepted")
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	addr, cancel := startServer(t, 10)
+	c, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cancel() // must unblock promptly and close the client connection
+	if _, _, err := c.FetchSegment(0, 0); err == nil {
+		t.Error("fetch succeeded after shutdown")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+	var netErr net.Error
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	go func() {
+		conn, _ := ln.Accept()
+		if conn != nil {
+			// Never answer the manifest request.
+			time.Sleep(2 * time.Second)
+			conn.Close()
+		}
+	}()
+	_, err := Dial(ln.Addr().String(), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to mute server succeeded")
+	}
+	if errors.As(err, &netErr) && !netErr.Timeout() {
+		t.Errorf("expected timeout-ish error, got %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/video"
+)
+
+// Server serves a synthetic stream over the segment protocol. Segment sizes
+// follow a video.SizeModel so VBR experiments carry over from the simulator.
+type Server struct {
+	ladder   video.Ladder
+	sizes    video.SizeModel
+	total    int
+	logger   *log.Logger
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server for totalSegments of the ladder's video.
+// sizes may be nil for CBR. logger may be nil to discard logs.
+func NewServer(ladder video.Ladder, sizes video.SizeModel, totalSegments int, logger *log.Logger) (*Server, error) {
+	if ladder.Len() == 0 {
+		return nil, errors.New("proto: empty ladder")
+	}
+	if totalSegments <= 0 {
+		return nil, errors.New("proto: non-positive segment count")
+	}
+	if sizes == nil {
+		sizes = video.CBR{Ladder: ladder}
+	}
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Server{
+		ladder: ladder,
+		sizes:  sizes,
+		total:  totalSegments,
+		logger: logger,
+		conns:  map[net.Conn]struct{}{},
+	}, nil
+}
+
+// Manifest returns the manifest the server advertises.
+func (s *Server) Manifest() Manifest {
+	return Manifest{
+		BitratesMbps:   s.ladder.Bitrates(),
+		SegmentSeconds: s.ladder.SegmentSeconds,
+		TotalSegments:  s.total,
+	}
+}
+
+// Serve accepts connections on l until the context is cancelled or the
+// listener fails. It always closes the listener before returning.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	defer l.Close()
+
+	go func() {
+		<-ctx.Done()
+		l.Close()
+		s.closeConns()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.wg.Wait()
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		s.track(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			if err := s.handle(conn); err != nil && !isClosedErr(err) {
+				s.logger.Printf("proto: connection %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, c)
+	c.Close()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+// handle serves one client connection until EOF.
+func (s *Server) handle(conn net.Conn) error {
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return err
+		}
+		frameType, payload, err := ReadFrame(conn)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch frameType {
+		case TypeManifestRequest:
+			body, err := EncodeManifest(s.Manifest())
+			if err != nil {
+				return err
+			}
+			if err := WriteFrame(conn, TypeManifest, body); err != nil {
+				return err
+			}
+		case TypeSegmentRequest:
+			req, err := DecodeSegmentRequest(payload)
+			if err != nil {
+				return s.sendError(conn, err)
+			}
+			if req.Index < 0 || req.Index >= s.total || req.Rung < 0 || req.Rung >= s.ladder.Len() {
+				return s.sendError(conn, fmt.Errorf("segment %d rung %d out of range", req.Index, req.Rung))
+			}
+			megabits := s.sizes.SegmentMegabits(req.Rung, req.Index)
+			sizeBytes := int(megabits * 1e6 / 8)
+			if err := WriteFrame(conn, TypeSegment, EncodeSegment(req, sizeBytes)); err != nil {
+				return err
+			}
+		default:
+			return s.sendError(conn, fmt.Errorf("unknown frame type %d", frameType))
+		}
+	}
+}
+
+func (s *Server) sendError(conn net.Conn, cause error) error {
+	if err := WriteFrame(conn, TypeError, []byte(cause.Error())); err != nil {
+		return err
+	}
+	return cause
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe)
+}

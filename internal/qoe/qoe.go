@@ -1,0 +1,177 @@
+// Package qoe implements the quality-of-experience metrics of the paper's
+// evaluation (§6, "Performance Metrics"):
+//
+//   - mean utility v̄: the normalized logarithmic utility averaged over
+//     segments (or normalized SSIM for the prototype evaluation),
+//   - rebuffering ratio ρ_rebuf = T_rebuf / T,
+//   - switching rate p_switch = N_switch / (N - 1),
+//   - QoE score = v̄ − β·ρ_rebuf − γ·p_switch with β = 10, γ = 1.
+//
+// All three components are normalized to [0, 1] for ease of interpretation;
+// the QoE score may therefore be negative when rebuffering dominates.
+package qoe
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Weights are the linear QoE combination weights. The paper uses β = 10 to
+// reflect the severity of rebuffering and γ = 1.
+type Weights struct {
+	Beta  float64 // rebuffering-ratio weight
+	Gamma float64 // switching-rate weight
+}
+
+// DefaultWeights returns the paper's weights (β = 10, γ = 1).
+func DefaultWeights() Weights { return Weights{Beta: 10, Gamma: 1} }
+
+// Metrics are the per-session QoE components plus the combined score.
+type Metrics struct {
+	MeanUtility    float64
+	RebufferRatio  float64
+	SwitchRate     float64
+	Score          float64
+	Switches       int
+	Segments       int
+	RebufferSec    float64
+	PlaySec        float64
+	StartupSec     float64
+	RebufferEvents int
+}
+
+// SessionTally accumulates per-segment observations during one streaming
+// session and produces Metrics. The zero value is ready to use.
+type SessionTally struct {
+	utilities   []float64
+	rungs       []int
+	rebufferSec float64
+	playSec     float64
+	startupSec  float64
+	rebufEvents int
+	inRebuffer  bool
+}
+
+// AddSegment records a downloaded segment with its utility (in [0, 1]) and
+// rung index.
+func (s *SessionTally) AddSegment(rung int, utility float64) {
+	s.utilities = append(s.utilities, utility)
+	s.rungs = append(s.rungs, rung)
+}
+
+// AddRebuffer records stall time in seconds. Consecutive calls without an
+// intervening AddPlayback are counted as a single rebuffering event.
+func (s *SessionTally) AddRebuffer(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	s.rebufferSec += sec
+	if !s.inRebuffer {
+		s.rebufEvents++
+		s.inRebuffer = true
+	}
+}
+
+// AddPlayback records smooth playback time in seconds.
+func (s *SessionTally) AddPlayback(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	s.playSec += sec
+	s.inRebuffer = false
+}
+
+// AddStartup records initial startup delay (before the first frame); startup
+// is tracked separately and not charged as rebuffering, matching common
+// practice and the Sabre accounting.
+func (s *SessionTally) AddStartup(sec float64) {
+	if sec > 0 {
+		s.startupSec += sec
+	}
+}
+
+// Segments returns the number of segments recorded so far.
+func (s *SessionTally) Segments() int { return len(s.rungs) }
+
+// Rungs returns the recorded rung sequence. The slice must not be modified.
+func (s *SessionTally) Rungs() []int { return s.rungs }
+
+// Finalize computes the session metrics under the given weights.
+func (s *SessionTally) Finalize(w Weights) Metrics {
+	m := Metrics{
+		Segments:       len(s.rungs),
+		RebufferSec:    s.rebufferSec,
+		PlaySec:        s.playSec,
+		StartupSec:     s.startupSec,
+		RebufferEvents: s.rebufEvents,
+	}
+	if len(s.utilities) > 0 {
+		m.MeanUtility = stats.Mean(s.utilities)
+	}
+	if total := s.playSec + s.rebufferSec; total > 0 {
+		m.RebufferRatio = s.rebufferSec / total
+	}
+	m.Switches = CountSwitches(s.rungs)
+	if len(s.rungs) > 1 {
+		m.SwitchRate = float64(m.Switches) / float64(len(s.rungs)-1)
+	}
+	m.Score = m.MeanUtility - w.Beta*m.RebufferRatio - w.Gamma*m.SwitchRate
+	return m
+}
+
+// CountSwitches returns the number of adjacent rung changes in the sequence.
+func CountSwitches(rungs []int) int {
+	n := 0
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i] != rungs[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Aggregate summarizes the metrics of many sessions: mean and 95% CI per
+// component, matching the error bars of Figures 10-12.
+type Aggregate struct {
+	Controller    string
+	Score         stats.Summary
+	MeanUtility   stats.Summary
+	RebufferRatio stats.Summary
+	SwitchRate    stats.Summary
+	Sessions      int
+}
+
+// Aggregated computes an Aggregate over per-session metrics.
+func Aggregated(controller string, sessions []Metrics) Aggregate {
+	n := len(sessions)
+	scores := make([]float64, n)
+	utils := make([]float64, n)
+	rebufs := make([]float64, n)
+	switches := make([]float64, n)
+	for i, m := range sessions {
+		scores[i] = m.Score
+		utils[i] = m.MeanUtility
+		rebufs[i] = m.RebufferRatio
+		switches[i] = m.SwitchRate
+	}
+	return Aggregate{
+		Controller:    controller,
+		Score:         stats.Summarize(scores),
+		MeanUtility:   stats.Summarize(utils),
+		RebufferRatio: stats.Summarize(rebufs),
+		SwitchRate:    stats.Summarize(switches),
+		Sessions:      n,
+	}
+}
+
+// String renders the aggregate as one report row.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("%-12s QoE %7.4f±%.4f  util %6.4f±%.4f  rebuf %6.4f±%.4f  switch %6.4f±%.4f  (n=%d)",
+		a.Controller,
+		a.Score.Mean, a.Score.CI95,
+		a.MeanUtility.Mean, a.MeanUtility.CI95,
+		a.RebufferRatio.Mean, a.RebufferRatio.CI95,
+		a.SwitchRate.Mean, a.SwitchRate.CI95,
+		a.Sessions)
+}

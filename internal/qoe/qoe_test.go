@@ -1,0 +1,168 @@
+package qoe
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountSwitches(t *testing.T) {
+	cases := []struct {
+		rungs []int
+		want  int
+	}{
+		{nil, 0},
+		{[]int{2}, 0},
+		{[]int{2, 2, 2}, 0},
+		{[]int{0, 1, 2, 3}, 3},
+		{[]int{1, 2, 1, 2}, 3},
+		{[]int{5, 5, 3, 3, 5}, 2},
+	}
+	for _, c := range cases {
+		if got := CountSwitches(c.rungs); got != c.want {
+			t.Errorf("CountSwitches(%v) = %d, want %d", c.rungs, got, c.want)
+		}
+	}
+}
+
+func TestFinalizeBasics(t *testing.T) {
+	var s SessionTally
+	s.AddSegment(0, 0.0)
+	s.AddSegment(1, 0.5)
+	s.AddSegment(1, 0.5)
+	s.AddSegment(2, 1.0)
+	s.AddPlayback(90)
+	s.AddRebuffer(10)
+	s.AddStartup(2)
+
+	m := s.Finalize(DefaultWeights())
+	if m.Segments != 4 {
+		t.Errorf("Segments = %d", m.Segments)
+	}
+	if math.Abs(m.MeanUtility-0.5) > 1e-12 {
+		t.Errorf("MeanUtility = %v", m.MeanUtility)
+	}
+	if math.Abs(m.RebufferRatio-0.1) > 1e-12 {
+		t.Errorf("RebufferRatio = %v", m.RebufferRatio)
+	}
+	if m.Switches != 2 {
+		t.Errorf("Switches = %d", m.Switches)
+	}
+	if math.Abs(m.SwitchRate-2.0/3.0) > 1e-12 {
+		t.Errorf("SwitchRate = %v", m.SwitchRate)
+	}
+	want := 0.5 - 10*0.1 - 1*(2.0/3.0)
+	if math.Abs(m.Score-want) > 1e-12 {
+		t.Errorf("Score = %v, want %v", m.Score, want)
+	}
+	if m.StartupSec != 2 {
+		t.Errorf("StartupSec = %v", m.StartupSec)
+	}
+}
+
+func TestRebufferEventCounting(t *testing.T) {
+	var s SessionTally
+	s.AddRebuffer(1)
+	s.AddRebuffer(2) // same event: no playback in between
+	s.AddPlayback(10)
+	s.AddRebuffer(0.5) // second event
+	s.AddPlayback(5)
+	s.AddRebuffer(0) // ignored
+	m := s.Finalize(DefaultWeights())
+	if m.RebufferEvents != 2 {
+		t.Errorf("RebufferEvents = %d, want 2", m.RebufferEvents)
+	}
+	if math.Abs(m.RebufferSec-3.5) > 1e-12 {
+		t.Errorf("RebufferSec = %v", m.RebufferSec)
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	var s SessionTally
+	m := s.Finalize(DefaultWeights())
+	if m.Score != 0 || m.MeanUtility != 0 || m.RebufferRatio != 0 || m.SwitchRate != 0 {
+		t.Errorf("empty session metrics = %+v", m)
+	}
+}
+
+func TestSingleSegmentNoSwitchRate(t *testing.T) {
+	var s SessionTally
+	s.AddSegment(3, 0.8)
+	s.AddPlayback(2)
+	m := s.Finalize(DefaultWeights())
+	if m.SwitchRate != 0 {
+		t.Errorf("single-segment switch rate = %v", m.SwitchRate)
+	}
+}
+
+func TestNegativeInputsIgnored(t *testing.T) {
+	var s SessionTally
+	s.AddPlayback(-5)
+	s.AddRebuffer(-2)
+	s.AddStartup(-1)
+	m := s.Finalize(DefaultWeights())
+	if m.PlaySec != 0 || m.RebufferSec != 0 || m.StartupSec != 0 {
+		t.Errorf("negative inputs leaked: %+v", m)
+	}
+}
+
+// Property: components stay in [0, 1] when utilities do, and the score
+// respects the linear combination identity.
+func TestMetricsBoundsAndIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		var s SessionTally
+		n := 2 + rng.IntN(100)
+		for i := 0; i < n; i++ {
+			s.AddSegment(rng.IntN(6), rng.Float64())
+		}
+		s.AddPlayback(float64(n) * 2)
+		s.AddRebuffer(rng.Float64() * 20)
+		w := DefaultWeights()
+		m := s.Finalize(w)
+		inUnit := func(x float64) bool { return x >= 0 && x <= 1 }
+		if !inUnit(m.MeanUtility) || !inUnit(m.RebufferRatio) || !inUnit(m.SwitchRate) {
+			return false
+		}
+		want := m.MeanUtility - w.Beta*m.RebufferRatio - w.Gamma*m.SwitchRate
+		return math.Abs(m.Score-want) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregated(t *testing.T) {
+	sessions := []Metrics{
+		{Score: 0.5, MeanUtility: 0.8, RebufferRatio: 0.02, SwitchRate: 0.1},
+		{Score: 0.7, MeanUtility: 0.9, RebufferRatio: 0.00, SwitchRate: 0.2},
+	}
+	a := Aggregated("soda", sessions)
+	if a.Sessions != 2 {
+		t.Errorf("Sessions = %d", a.Sessions)
+	}
+	if math.Abs(a.Score.Mean-0.6) > 1e-12 {
+		t.Errorf("Score.Mean = %v", a.Score.Mean)
+	}
+	if math.Abs(a.MeanUtility.Mean-0.85) > 1e-12 {
+		t.Errorf("MeanUtility.Mean = %v", a.MeanUtility.Mean)
+	}
+	str := a.String()
+	if !strings.Contains(str, "soda") || !strings.Contains(str, "n=2") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestRungsAccessor(t *testing.T) {
+	var s SessionTally
+	s.AddSegment(1, 0.5)
+	s.AddSegment(4, 0.9)
+	if got := s.Rungs(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("Rungs = %v", got)
+	}
+	if s.Segments() != 2 {
+		t.Errorf("Segments = %d", s.Segments())
+	}
+}

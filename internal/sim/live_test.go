@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+)
+
+func TestLiveEdgeBoundsBuffer(t *testing.T) {
+	// Fast link, low rung, live availability with a 6 s edge offset: the
+	// buffer can never exceed ~6 s because segments simply do not exist yet.
+	tr := trace.Constant(100, 400)
+	cfg := baseConfig(&fixedController{rung: 0})
+	cfg.Live = true
+	cfg.LiveEdgeOffsetSeconds = 6
+	cfg.RecordTrajectory = true
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Trajectory {
+		if p.Buffer > 6+2+1e-9 { // offset + one appended segment
+			t.Fatalf("buffer %v exceeded the live-edge bound at t=%v", p.Buffer, p.Time)
+		}
+	}
+	if res.Metrics.Segments != 60 {
+		t.Errorf("segments = %d", res.Metrics.Segments)
+	}
+}
+
+func TestLiveDefaultOffsetIsBufferCap(t *testing.T) {
+	// With the default offset (= cap), live availability must not change a
+	// session that the cap already constrains.
+	tr := trace.Constant(50, 300)
+	a := baseConfig(&fixedController{rung: 1})
+	b := baseConfig(&fixedController{rung: 1})
+	b.Live = true
+	ra, err := Run(tr, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(tr, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ra.Duration-rb.Duration) > 2.1 {
+		t.Errorf("durations diverge: %v vs %v", ra.Duration, rb.Duration)
+	}
+	if ra.Metrics.RebufferSec != rb.Metrics.RebufferSec {
+		t.Errorf("rebuffering diverges: %v vs %v", ra.Metrics.RebufferSec, rb.Metrics.RebufferSec)
+	}
+}
+
+func TestLiveValidation(t *testing.T) {
+	cfg := baseConfig(&fixedController{})
+	cfg.Live = true
+	cfg.LiveEdgeOffsetSeconds = -1
+	if _, err := Run(trace.Constant(10, 100), cfg); err == nil {
+		t.Error("negative live-edge offset accepted")
+	}
+}
+
+func TestAbandonmentCutsFadeOnsetStall(t *testing.T) {
+	// Comfortable bandwidth, then a collapse to 0.5 Mb/s: a 24 Mb top-rung
+	// segment in flight at the collapse would take 48 s. With abandonment the
+	// player aborts it when the buffer dries and refetches the lowest rung.
+	tr := trace.New([]trace.Sample{{Duration: 60, Mbps: 20}, {Duration: 120, Mbps: 0.5}})
+	mk := func(abandon bool) Result {
+		cfg := baseConfig(&fixedController{rung: 3}) // 12 Mb/s fixed: worst case
+		cfg.Abandonment = abandon
+		cfg.SessionSeconds = 120
+		res, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := mk(false)
+	withAbandon := mk(true)
+	if withAbandon.Abandons == 0 {
+		t.Fatal("no abandonment happened in a collapse scenario")
+	}
+	if plain.Abandons != 0 {
+		t.Fatalf("abandonment disabled but counted %d", plain.Abandons)
+	}
+	if withAbandon.Metrics.RebufferSec >= plain.Metrics.RebufferSec {
+		t.Errorf("abandonment did not reduce stalls: %v vs %v",
+			withAbandon.Metrics.RebufferSec, plain.Metrics.RebufferSec)
+	}
+}
+
+func TestAbandonmentNeverTriggersOnHealthySession(t *testing.T) {
+	tr := trace.Constant(12, 300)
+	cfg := baseConfig(&fixedController{rung: 2})
+	cfg.Abandonment = true
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Abandons != 0 {
+		t.Errorf("abandons = %d on an overprovisioned link", res.Abandons)
+	}
+}
+
+func TestUltraLowLatencyHarderThanTraditionalLive(t *testing.T) {
+	// §8: with buffer lengths of a few seconds it is harder to prevent
+	// rebuffering and switching. Same traces, SODA, 4 s vs 20 s budget.
+	ds, err := tracegen.Generate(tracegen.FourG(), 8, 300, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cap, offset float64) (rebuf, switches float64) {
+		for _, tr := range ds.Sessions {
+			ctrl, err := newRegistered(t, "soda")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Ladder:                video.Mobile(),
+				BufferCap:             cap,
+				Live:                  true,
+				LiveEdgeOffsetSeconds: offset,
+				SessionSeconds:        300,
+				Controller:            ctrl,
+				Predictor:             predictor.NewEMA(4),
+			}
+			res, err := Run(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuf += res.Metrics.RebufferRatio
+			switches += res.Metrics.SwitchRate
+		}
+		n := float64(len(ds.Sessions))
+		return rebuf / n, switches / n
+	}
+	rebufULL, _ := run(4, 4)
+	rebufLive, _ := run(20, 20)
+	if rebufULL < rebufLive {
+		t.Errorf("ultra-low latency (%.4f) should rebuffer at least as much as traditional live (%.4f)",
+			rebufULL, rebufLive)
+	}
+}

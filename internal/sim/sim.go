@@ -1,0 +1,357 @@
+// Package sim is the segment-level ABR player simulator — the from-scratch
+// Go equivalent of the Sabre simulator the paper's numerical evaluation is
+// built on (§6.1: "a highly optimized ABR simulator derived from Sabre",
+// whose accuracy was validated against dash.js).
+//
+// The simulator advances a stream clock while downloading segments over a
+// bandwidth trace, draining the playback buffer during downloads, charging
+// rebuffering when the buffer empties, enforcing the buffer cap (20 s for the
+// paper's live configuration) by idling, and feeding measured throughput back
+// into the session's predictor. Startup delay (before the first frame) is
+// tracked separately from rebuffering, as in Sabre.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/abr"
+	"repro/internal/predictor"
+	"repro/internal/qoe"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+// Config describes one simulated streaming session.
+type Config struct {
+	// Ladder is the bitrate ladder (with its segment duration).
+	Ladder video.Ladder
+	// Sizes produces per-segment encoded sizes; nil means CBR.
+	Sizes video.SizeModel
+	// BufferCap is the maximum buffer in seconds (e.g. 20 for live).
+	BufferCap float64
+	// StartupSegments is how many segments must be buffered before playback
+	// starts; at least 1.
+	StartupSegments int
+	// LatencySeconds is the per-request latency added to every download.
+	LatencySeconds float64
+	// Live enables live-edge segment availability: segment i only becomes
+	// downloadable at stream time i*L - LiveEdgeOffsetSeconds, so the player
+	// can never run further ahead of the broadcast than the offset. With the
+	// paper's traditional-live setting the offset equals the buffer cap
+	// (~20 s) and the cap binds first; ultra-low-latency configurations (§8)
+	// shrink the offset to a few seconds.
+	Live bool
+	// LiveEdgeOffsetSeconds is how far behind the live edge playback starts;
+	// 0 defaults to BufferCap.
+	LiveEdgeOffsetSeconds float64
+	// Abandonment enables dash.js-style segment abandonment: when an
+	// in-flight download is going to outlast the remaining buffer, the
+	// player aborts it once the buffer runs dry and refetches the segment at
+	// the lowest rung. This bounds the damage of a mid-download throughput
+	// collapse (one oversized segment can otherwise eat a whole live buffer).
+	Abandonment bool
+	// SessionSeconds is the stream length in seconds; 0 uses the trace
+	// duration.
+	SessionSeconds float64
+	// Controller picks bitrates. Required.
+	Controller abr.Controller
+	// Predictor forecasts throughput. Required.
+	Predictor predictor.Predictor
+	// Weights are the QoE weights; zero value uses the paper's defaults.
+	Weights qoe.Weights
+	// Utility maps a rung to a [0,1] utility; nil uses the normalized log
+	// utility of §6. The prototype evaluation passes normalized SSIM instead.
+	Utility func(rung int) float64
+	// RecordTrajectory retains the per-segment buffer/rung trajectory
+	// (needed by the Figure 3 pathology plot).
+	RecordTrajectory bool
+}
+
+// TrajectoryPoint is one per-segment snapshot of the session state.
+type TrajectoryPoint struct {
+	Time        float64 // stream clock when the segment finished downloading
+	Buffer      float64 // buffer level after the segment was appended
+	Rung        int
+	RebufferSec float64 // stall charged to this segment's download
+}
+
+// Result is the outcome of one simulated session.
+type Result struct {
+	Metrics    qoe.Metrics
+	Rungs      []int
+	Trajectory []TrajectoryPoint // nil unless Config.RecordTrajectory
+	Waits      int               // controller-initiated idle periods
+	Abandons   int               // downloads aborted by segment abandonment
+	Duration   float64           // stream-clock session length including stalls
+}
+
+// ErrStuck is returned when the controller wedges the session (e.g. waiting
+// forever on an empty buffer); it indicates a controller bug, not a network
+// condition.
+var ErrStuck = errors.New("sim: session made no progress")
+
+func (c *Config) validate() error {
+	if c.Controller == nil {
+		return errors.New("sim: nil controller")
+	}
+	if c.Predictor == nil {
+		return errors.New("sim: nil predictor")
+	}
+	if c.Ladder.Len() == 0 {
+		return errors.New("sim: empty ladder")
+	}
+	if c.BufferCap < c.Ladder.SegmentSeconds {
+		return fmt.Errorf("sim: buffer cap %v below one segment (%v s)", c.BufferCap, c.Ladder.SegmentSeconds)
+	}
+	if c.LatencySeconds < 0 {
+		return fmt.Errorf("sim: negative latency %v", c.LatencySeconds)
+	}
+	if c.Live && c.LiveEdgeOffsetSeconds < 0 {
+		return fmt.Errorf("sim: negative live-edge offset %v", c.LiveEdgeOffsetSeconds)
+	}
+	return nil
+}
+
+// Run simulates one session over the trace and returns its Result.
+func Run(tr *trace.Trace, cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	ladder := cfg.Ladder
+	l := ladder.SegmentSeconds
+	sizes := cfg.Sizes
+	if sizes == nil {
+		sizes = video.CBR{Ladder: ladder}
+	}
+	utility := cfg.Utility
+	if utility == nil {
+		utility = ladder.LogUtility
+	}
+	startup := cfg.StartupSegments
+	if startup < 1 {
+		startup = 1
+	}
+	weights := cfg.Weights
+	if weights == (qoe.Weights{}) {
+		weights = qoe.DefaultWeights()
+	}
+	session := cfg.SessionSeconds
+	if session <= 0 {
+		session = tr.Duration()
+	}
+	totalSegments := int(session / l)
+	if totalSegments < 1 {
+		return Result{}, fmt.Errorf("sim: session %v s shorter than one segment", session)
+	}
+
+	cfg.Controller.Reset()
+	cfg.Predictor.Reset()
+
+	var (
+		tally    qoe.SessionTally
+		result   Result
+		now      float64 // stream clock
+		buffer   float64 // seconds of video buffered
+		playing  bool
+		prevRung = abr.NoRung
+		lastMbps float64
+		segStall float64 // stall charged since the last segment completed
+	)
+	quantile, _ := cfg.Predictor.(predictor.QuantilePredictor)
+
+	// advance moves the stream clock while the player is (possibly) playing,
+	// charging playback, rebuffering or startup as appropriate.
+	advance := func(dt float64) {
+		if dt <= 0 {
+			return
+		}
+		now += dt
+		if !playing {
+			tally.AddStartup(dt)
+			return
+		}
+		played := dt
+		if played > buffer {
+			played = buffer
+		}
+		buffer -= played
+		tally.AddPlayback(played)
+		if stall := dt - played; stall > 1e-12 {
+			tally.AddRebuffer(stall)
+			segStall += stall
+		}
+	}
+
+	maxIters := 20*totalSegments + 1000
+	iters := 0
+	for seg := 0; seg < totalSegments; seg++ {
+		// Enforce the buffer cap before asking for another segment: idle
+		// until there is room for one more segment of video.
+		if over := buffer + l - cfg.BufferCap; over > 1e-9 {
+			advance(over)
+		}
+
+		ctx := &abr.Context{
+			Now:                now,
+			Buffer:             buffer,
+			BufferCap:          cfg.BufferCap,
+			PrevRung:           prevRung,
+			Ladder:             ladder,
+			SegmentIndex:       seg,
+			TotalSegments:      totalSegments,
+			LastThroughputMbps: lastMbps,
+		}
+		capturedNow := now
+		ctx.Predict = func(h float64) float64 { return cfg.Predictor.Predict(capturedNow, h) }
+		if quantile != nil {
+			ctx.PredictQuantile = func(q, h float64) float64 { return quantile.Quantile(capturedNow, h, q) }
+		}
+
+		decision := cfg.Controller.Decide(ctx)
+		if iters++; iters > maxIters {
+			return Result{}, fmt.Errorf("%w at segment %d", ErrStuck, seg)
+		}
+		if decision.Rung == abr.NoRung {
+			if buffer <= 1e-9 {
+				// Waiting on an empty buffer deadlocks the session; force
+				// the defensive lowest rung instead.
+				decision.Rung = 0
+			} else {
+				result.Waits++
+				wait := decision.WaitSeconds
+				if wait <= 0 || wait > l {
+					wait = l / 2
+				}
+				if wait > buffer {
+					wait = buffer
+				}
+				advance(wait)
+				seg-- // retry the same segment index after idling
+				continue
+			}
+		}
+		rung := ladder.ClampIndex(decision.Rung)
+
+		// Live-edge availability: the broadcast has not produced this
+		// segment yet; idle until it appears.
+		if cfg.Live {
+			offset := cfg.LiveEdgeOffsetSeconds
+			if offset <= 0 {
+				offset = cfg.BufferCap
+			}
+			if avail := float64(seg)*l - offset; now < avail {
+				advance(avail - now)
+			}
+		}
+
+		size := sizes.SegmentMegabits(rung, seg)
+		dl, err := tr.DownloadTime(now+cfg.LatencySeconds, size)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: segment %d: %w", seg, err)
+		}
+		dlTime := cfg.LatencySeconds + dl
+		if cfg.Abandonment && playing && rung > 0 && dlTime > buffer+1e-9 {
+			// The download would outlast the buffer: play out the buffer,
+			// abandon the in-flight segment at the moment the buffer runs
+			// dry, and refetch at the lowest rung (dash.js abandonment).
+			result.Abandons++
+			wasted := buffer
+			advance(wasted) // drains the buffer exactly
+			rung = 0
+			size = sizes.SegmentMegabits(rung, seg)
+			dl, err = tr.DownloadTime(now+cfg.LatencySeconds, size)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: segment %d (abandoned): %w", seg, err)
+			}
+			dlTime = cfg.LatencySeconds + dl
+		}
+		advance(dlTime)
+		buffer += l
+		if !playing && seg+1 >= startup {
+			playing = true
+		}
+
+		lastMbps = size / dlTime
+		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: dlTime, EndTime: now})
+		tally.AddSegment(rung, utility(rung))
+		prevRung = rung
+		if cfg.RecordTrajectory {
+			result.Trajectory = append(result.Trajectory, TrajectoryPoint{
+				Time:        now,
+				Buffer:      buffer,
+				Rung:        rung,
+				RebufferSec: segStall,
+			})
+		}
+		segStall = 0
+	}
+	// Drain the remaining buffer to finish the session.
+	if playing {
+		tally.AddPlayback(buffer)
+		now += buffer
+		buffer = 0
+	}
+
+	result.Metrics = tally.Finalize(weights)
+	result.Rungs = append([]int(nil), tally.Rungs()...)
+	result.Duration = now
+	return result, nil
+}
+
+// SessionFactory builds a fresh controller and predictor for each session of
+// a dataset run; sessions must not share mutable state.
+type SessionFactory func() (abr.Controller, predictor.Predictor)
+
+// RunDataset simulates every trace with its own controller/predictor built by
+// the factory, in parallel, preserving input order in the returned metrics.
+func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]qoe.Metrics, error) {
+	out := make([]qoe.Metrics, len(traces))
+	errs := make([]error, len(traces))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	// Buffered so a dying worker can never block the producer.
+	jobs := make(chan int, len(traces))
+	for i := range traces {
+		jobs <- i
+	}
+	close(jobs)
+	runOne := func(i int) (m qoe.Metrics, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("sim: session %d panicked: %v", i, r)
+			}
+		}()
+		cfg := base
+		cfg.Controller, cfg.Predictor = factory()
+		res, err := Run(traces[i], cfg)
+		if err != nil {
+			return qoe.Metrics{}, err
+		}
+		return res.Metrics, nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i], errs[i] = runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: session %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

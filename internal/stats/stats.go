@@ -1,0 +1,342 @@
+// Package stats provides the small statistical toolkit used throughout the
+// SODA reproduction: descriptive statistics, confidence intervals, Pearson
+// correlation, simple linear regression, quantiles and histograms.
+//
+// All functions are deterministic and allocation-light; they are used both by
+// the experiment drivers (aggregating per-session QoE into the figures) and by
+// the synthetic trace generators (validating that generated datasets match the
+// calibration targets from the paper's Figure 9).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (n-1 denominator).
+// It returns 0 when fewer than two samples are provided.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RSD returns the relative standard deviation (coefficient of variation)
+// of xs: StdDev/Mean. It returns 0 when the mean is 0.
+func RSD(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Summary holds descriptive statistics for a sample, including the half-width
+// of the normal-approximation 95% confidence interval on the mean. The
+// experiment drivers report Mean±CI95 exactly like the error bars in the
+// paper's Figures 10-12.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+	CI95 float64 // half-width of the 95% CI on the mean
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  Min(xs),
+		Max:  Max(xs),
+	}
+	if s.N > 1 {
+		s.CI95 = 1.96 * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// String renders the summary as "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", s.Mean, s.CI95, s.N)
+}
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It returns 0 when the slices differ in length, are shorter than two
+// elements, or either side has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Line is a fitted simple linear regression y = Intercept + Slope*x.
+type Line struct {
+	Slope     float64
+	Intercept float64
+	R         float64 // Pearson correlation of the fit
+}
+
+// At evaluates the fitted line at x.
+func (l Line) At(x float64) float64 { return l.Intercept + l.Slope*x }
+
+// LinearFit fits a least-squares line through (xs, ys), as used for the line
+// of best fit in Figure 1. It returns a zero Line when the input is degenerate.
+func LinearFit(xs, ys []float64) Line {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return Line{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		sxy += dx * (ys[i] - my)
+		sxx += dx * dx
+	}
+	if sxx == 0 {
+		return Line{}
+	}
+	slope := sxy / sxx
+	return Line{
+		Slope:     slope,
+		Intercept: my - slope*mx,
+		R:         Pearson(xs, ys),
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is like Quantile but assumes xs is already sorted ascending,
+// avoiding the copy and sort. It panics on an empty slice.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		panic("stats: QuantileSorted of empty slice")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width binning of a sample over [Lo, Hi). Values outside
+// the range are clamped into the first or last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins over
+// [lo, hi). bins must be positive and hi must exceed lo.
+func NewHistogram(xs []float64, lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram configuration")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.Total++
+	}
+	return h
+}
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + width*(float64(i)+0.5)
+}
+
+// Welford is an online mean/variance accumulator (Welford's algorithm),
+// handy for streaming statistics over long simulated sessions without
+// retaining every sample.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples observed.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the running sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// WelchT performs Welch's two-sample t-test for a difference in means,
+// returning the t statistic and the Welch-Satterthwaite degrees of freedom.
+// It returns (0, 0) when either sample has fewer than two points or both
+// variances are zero.
+func WelchT(a, b []float64) (t, df float64) {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return 0, 0
+	}
+	va, vb := Variance(a)/na, Variance(b)/nb
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (Mean(a) - Mean(b)) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) / (va*va/(na-1) + vb*vb/(nb-1))
+	return t, df
+}
+
+// SignificantAt05 reports whether a Welch t statistic with the given degrees
+// of freedom rejects equality at the two-sided 5% level, using the normal
+// approximation above 30 degrees of freedom and a small-df critical-value
+// table below.
+func SignificantAt05(t, df float64) bool {
+	if df <= 0 {
+		return false
+	}
+	crit := 1.96
+	switch {
+	case df < 5:
+		crit = 2.78
+	case df < 10:
+		crit = 2.26
+	case df < 20:
+		crit = 2.09
+	case df < 30:
+		crit = 2.04
+	}
+	return math.Abs(t) > crit
+}

@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n-1 denominator: 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); !almostEq(got, math.Sqrt(want), 1e-12) {
+		t.Errorf("StdDev = %v, want %v", got, math.Sqrt(want))
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("Variance of single sample should be 0")
+	}
+}
+
+func TestRSD(t *testing.T) {
+	xs := []float64{10, 10, 10}
+	if got := RSD(xs); got != 0 {
+		t.Errorf("RSD of constant = %v, want 0", got)
+	}
+	if got := RSD([]float64{0, 0}); got != 0 {
+		t.Errorf("RSD with zero mean = %v, want 0", got)
+	}
+	xs = []float64{5, 15}
+	want := StdDev(xs) / 10
+	if got := RSD(xs); !almostEq(got, want, 1e-12) {
+		t.Errorf("RSD = %v, want %v", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Errorf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Errorf("Max = %v", Max(xs))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty slice should panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	wantCI := 1.96 * s.Std / math.Sqrt(5)
+	if !almostEq(s.CI95, wantCI, 1e-12) {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary %+v", z)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Errorf("perfect positive correlation = %v", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Errorf("perfect negative correlation = %v", got)
+	}
+	if got := Pearson(xs, []float64{1, 1, 1, 1, 1}); got != 0 {
+		t.Errorf("zero-variance correlation = %v", got)
+	}
+	if got := Pearson(xs, ys[:3]); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	// y = 3 + 2x exactly.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{3, 5, 7, 9}
+	l := LinearFit(xs, ys)
+	if !almostEq(l.Slope, 2, 1e-12) || !almostEq(l.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v", l)
+	}
+	if !almostEq(l.At(10), 23, 1e-12) {
+		t.Errorf("At(10) = %v", l.At(10))
+	}
+	if !almostEq(l.R, 1, 1e-12) {
+		t.Errorf("R = %v", l.R)
+	}
+	if z := LinearFit(xs, ys[:2]); z.Slope != 0 {
+		t.Errorf("degenerate fit = %+v", z)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var xs, ys []float64
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, 1.5-0.4*x+rng.NormFloat64()*0.05)
+	}
+	l := LinearFit(xs, ys)
+	if !almostEq(l.Slope, -0.4, 0.01) || !almostEq(l.Intercept, 1.5, 0.02) {
+		t.Errorf("noisy fit = %+v", l)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); !almostEq(got, 2.5, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	// Quantile must not mutate the input.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile of empty slice should panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestQuantileSortedMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := 1 + rng.IntN(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{-5, 0.1, 0.9, 1.5, 2.5, 99}
+	h := NewHistogram(xs, 0, 3, 3)
+	if h.Total != 6 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	// -5 clamps into bin 0; 99 clamps into bin 2.
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Errorf("Counts = %v", h.Counts)
+	}
+	if !almostEq(h.Fraction(0), 0.5, 1e-12) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+	if !almostEq(h.BinCenter(1), 1.5, 1e-12) {
+		t.Errorf("BinCenter(1) = %v", h.BinCenter(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid histogram config should panic")
+		}
+	}()
+	NewHistogram(xs, 3, 0, 3)
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 42))
+		n := 2 + rng.IntN(100)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 3
+			w.Add(xs[i])
+		}
+		return w.N() == n &&
+			almostEq(w.Mean(), Mean(xs), 1e-9) &&
+			almostEq(w.Variance(), Variance(xs), 1e-9) &&
+			almostEq(w.StdDev(), StdDev(xs), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty Welford variance should be 0")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Errorf("single-sample Welford: mean=%v var=%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestPearsonSymmetry(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		n := 2 + rng.IntN(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()
+		}
+		a, b := Pearson(xs, ys), Pearson(ys, xs)
+		return almostEq(a, b, 1e-12) && a >= -1-1e-9 && a <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	// Clearly separated samples: significant.
+	a := []float64{10, 11, 9, 10.5, 9.5, 10.2, 9.8, 10.1}
+	b := []float64{14, 15, 13, 14.5, 13.5, 14.2, 13.8, 14.1}
+	stat, df := WelchT(a, b)
+	if stat >= 0 {
+		t.Errorf("t = %v, want negative (a < b)", stat)
+	}
+	if !SignificantAt05(stat, df) {
+		t.Errorf("separated samples not significant: t=%v df=%v", stat, df)
+	}
+	// Identical samples: insignificant.
+	stat, df = WelchT(a, a)
+	if SignificantAt05(stat, df) {
+		t.Errorf("identical samples significant: t=%v df=%v", stat, df)
+	}
+	// Degenerate inputs.
+	if s, d := WelchT([]float64{1}, a); s != 0 || d != 0 {
+		t.Error("short sample should yield zeros")
+	}
+	if s, d := WelchT([]float64{2, 2, 2}, []float64{2, 2, 2}); s != 0 || d != 0 {
+		t.Error("zero-variance samples should yield zeros")
+	}
+	if SignificantAt05(5, 0) {
+		t.Error("df=0 cannot be significant")
+	}
+	// Small-df critical values are stricter.
+	if SignificantAt05(2.2, 3) {
+		t.Error("t=2.2 at df=3 should not be significant")
+	}
+	if !SignificantAt05(3.0, 3) {
+		t.Error("t=3.0 at df=3 should be significant")
+	}
+}

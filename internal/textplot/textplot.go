@@ -1,0 +1,168 @@
+// Package textplot renders small ASCII charts for the experiment reports:
+// multi-series line charts (Figures 6, 8, 11), horizontal bar charts
+// (Figures 10, 12, 13) and scatter plots (Figure 1). The goal is a readable
+// terminal representation of the paper's figures, not pixel graphics.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line or point set.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers assigns one rune per series, cycling when exhausted.
+var markers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Lines renders a multi-series chart on a w x h character canvas. Series
+// share the axes; x and y ranges span the pooled data. Returns "" for empty
+// input.
+func Lines(title string, series []Series, w, h int) string {
+	if w < 16 {
+		w = 16
+	}
+	if h < 5 {
+		h = 5
+	}
+	var xs, ys []float64
+	for _, s := range series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return ""
+	}
+	xlo, xhi := minMax(xs)
+	ylo, yhi := minMax(ys)
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+
+	canvas := make([][]rune, h)
+	for i := range canvas {
+		canvas[i] = []rune(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - xlo) / (xhi - xlo) * float64(w-1)))
+			cy := int(math.Round((s.Y[i] - ylo) / (yhi - ylo) * float64(h-1)))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				canvas[row][cx] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range canvas {
+		label := "        "
+		if i == 0 {
+			label = fmt.Sprintf("%7.3g ", yhi)
+		} else if i == h-1 {
+			label = fmt.Sprintf("%7.3g ", ylo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "         %-*.3g%*.3g\n", w/2, xlo, w-w/2, xhi)
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "         %s\n", strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart of labeled values; negative values are
+// drawn leftward from the axis. Returns "" for empty input.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) || len(labels) == 0 {
+		return ""
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, v := range values {
+		n := int(math.Round(math.Abs(v) / maxAbs * float64(width)))
+		bar := strings.Repeat("=", n)
+		if v < 0 {
+			fmt.Fprintf(&b, "  %-*s %*s| %10.4f\n", maxLabel, labels[i], width, bar, v)
+		} else {
+			fmt.Fprintf(&b, "  %-*s %*s|%s %.4f\n", maxLabel, labels[i], width, "", bar, v)
+		}
+	}
+	return b.String()
+}
+
+// Scatter renders one point set with a least-squares fit line overlaid when
+// fit is true.
+func Scatter(title string, s Series, w, h int, fit bool) string {
+	series := []Series{s}
+	if fit && len(s.X) >= 2 {
+		slope, intercept := leastSquares(s.X, s.Y)
+		xlo, xhi := minMax(s.X)
+		const steps = 32
+		line := Series{Name: "fit"}
+		for i := 0; i <= steps; i++ {
+			x := xlo + (xhi-xlo)*float64(i)/steps
+			line.X = append(line.X, x)
+			line.Y = append(line.Y, intercept+slope*x)
+		}
+		series = append(series, line)
+	}
+	return Lines(title, series, w, h)
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+func leastSquares(xs, ys []float64) (slope, intercept float64) {
+	n := float64(len(xs))
+	var sx, sy, sxy, sxx float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	slope = (n*sxy - sx*sy) / den
+	return slope, (sy - slope*sx) / n
+}

@@ -1,0 +1,110 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Lines("two lines", s, 40, 10)
+	if !strings.Contains(out, "two lines") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	// Corner points must be plotted: top row carries a marker, bottom too.
+	rows := strings.Split(out, "\n")
+	if !strings.ContainsAny(rows[1], "*o") {
+		t.Errorf("top row empty:\n%s", out)
+	}
+	// Axis labels carry the ranges.
+	if !strings.Contains(out, "3") || !strings.Contains(out, "0") {
+		t.Errorf("missing range labels:\n%s", out)
+	}
+}
+
+func TestLinesEmptyAndDegenerate(t *testing.T) {
+	if out := Lines("x", nil, 40, 10); out != "" {
+		t.Errorf("empty input produced %q", out)
+	}
+	// A single point (zero ranges) must not panic or divide by zero.
+	out := Lines("pt", []Series{{Name: "p", X: []float64{1}, Y: []float64{2}}}, 20, 6)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("degenerate plot: %q", out)
+	}
+	// Tiny dimensions are clamped.
+	if out := Lines("", []Series{{Name: "p", X: []float64{0, 1}, Y: []float64{0, 1}}}, 1, 1); out == "" {
+		t.Error("clamped plot empty")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("deltas", []string{"alpha", "b"}, []float64{0.5, -1.0}, 20)
+	if !strings.Contains(out, "deltas") || !strings.Contains(out, "alpha") {
+		t.Errorf("missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The larger magnitude gets the full width.
+	if !strings.Contains(lines[2], strings.Repeat("=", 20)) {
+		t.Errorf("full-width bar missing:\n%s", out)
+	}
+	// Positive bars sit right of the axis, negative left.
+	if !strings.Contains(lines[1], "| =") && !strings.Contains(lines[1], "|=") {
+		t.Errorf("positive bar orientation wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "=|") {
+		t.Errorf("negative bar orientation wrong: %q", lines[2])
+	}
+}
+
+func TestBarsDegenerate(t *testing.T) {
+	if out := Bars("t", nil, nil, 10); out != "" {
+		t.Errorf("empty bars produced %q", out)
+	}
+	if out := Bars("t", []string{"a"}, []float64{1, 2}, 10); out != "" {
+		t.Error("mismatched lengths accepted")
+	}
+	// All-zero values must not divide by zero.
+	out := Bars("t", []string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked: %s", out)
+	}
+}
+
+func TestScatterWithFit(t *testing.T) {
+	// Noisy-but-linear data: the fit line legend must appear.
+	s := Series{Name: "data"}
+	for i := 0; i < 20; i++ {
+		x := float64(i)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, 2*x+1+math.Sin(x))
+	}
+	out := Scatter("scatter", s, 40, 12, true)
+	if !strings.Contains(out, "o fit") {
+		t.Errorf("fit legend missing:\n%s", out)
+	}
+	if Scatter("s", Series{Name: "one", X: []float64{1}, Y: []float64{1}}, 20, 6, true) == "" {
+		t.Error("single-point scatter empty")
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	slope, intercept := leastSquares([]float64{0, 1, 2, 3}, []float64{1, 3, 5, 7})
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+	// Degenerate vertical data.
+	slope, intercept = leastSquares([]float64{2, 2}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Errorf("degenerate fit = %v, %v", slope, intercept)
+	}
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV parser is total over arbitrary text and that
+// accepted traces satisfy the package invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("duration_s,mbps\n1,5\n2,0\n")
+	f.Add("# comment\n0.5,100\n")
+	f.Add("garbage")
+	f.Add("1,2,3\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace invalid: %v", err)
+		}
+		// Accepted traces round-trip through the writer.
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip length %d vs %d", back.Len(), tr.Len())
+		}
+	})
+}
+
+// FuzzReadJSON mirrors FuzzReadCSV for the JSON format.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"samples":[{"duration_s":1,"mbps":5}]}`)
+	f.Add(`{"samples":[]}`)
+	f.Add(`nonsense`)
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace invalid: %v", err)
+		}
+	})
+}

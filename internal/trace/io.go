@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTrace is the JSON interchange shape: {"samples":[{"duration_s":..,
+// "mbps":..}, ...]}.
+type jsonTrace struct {
+	Samples []jsonSample `json:"samples"`
+}
+
+type jsonSample struct {
+	DurationS float64 `json:"duration_s"`
+	Mbps      float64 `json:"mbps"`
+}
+
+// WriteJSON writes the trace as JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := jsonTrace{Samples: make([]jsonSample, len(t.samples))}
+	for i, s := range t.samples {
+		out.Samples[i] = jsonSample{DurationS: s.Duration, Mbps: s.Mbps}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a trace from the WriteJSON format, validating samples.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(in.Samples) == 0 {
+		return nil, fmt.Errorf("trace: JSON trace has no samples")
+	}
+	t := &Trace{}
+	for i, s := range in.Samples {
+		if s.DurationS <= 0 || s.Mbps < 0 {
+			return nil, fmt.Errorf("trace: JSON sample %d invalid (%g s, %g Mbps)", i, s.DurationS, s.Mbps)
+		}
+		t.Append(Sample{Duration: s.DurationS, Mbps: s.Mbps})
+	}
+	return t, nil
+}
+
+// Concat returns a new trace playing the receiver followed by others.
+func (t *Trace) Concat(others ...*Trace) *Trace {
+	out := &Trace{}
+	for _, s := range t.samples {
+		out.Append(s)
+	}
+	for _, o := range others {
+		for _, s := range o.samples {
+			out.Append(s)
+		}
+	}
+	return out
+}
+
+// Repeat returns the trace repeated n times. n < 1 yields an empty trace.
+func (t *Trace) Repeat(n int) *Trace {
+	out := &Trace{}
+	for i := 0; i < n; i++ {
+		for _, s := range t.samples {
+			out.Append(s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := figure4Trace()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"duration_s"`) {
+		t.Errorf("unexpected JSON shape: %s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() || math.Abs(back.Duration()-tr.Duration()) > 1e-9 {
+		t.Fatalf("round trip: %d samples, %v s", back.Len(), back.Duration())
+	}
+	for i := range back.Samples() {
+		if back.Samples()[i] != tr.Samples()[i] {
+			t.Errorf("sample %d differs", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"samples":[]}`,
+		`{"samples":[{"duration_s":0,"mbps":1}]}`,
+		`{"samples":[{"duration_s":1,"mbps":-2}]}`,
+	}
+	for _, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", c)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Constant(5, 10)
+	b := Constant(10, 10)
+	c := a.Concat(b, Constant(1, 5))
+	if math.Abs(c.Duration()-25) > 1e-9 {
+		t.Fatalf("duration = %v", c.Duration())
+	}
+	if c.BandwidthAt(5) != 5 || c.BandwidthAt(15) != 10 || c.BandwidthAt(22) != 1 {
+		t.Error("concat order wrong")
+	}
+	// Originals untouched.
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Error("Concat mutated inputs")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	tr := figure4Trace().Repeat(3)
+	if math.Abs(tr.Duration()-12) > 1e-9 {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	if tr.BandwidthAt(4.5) != 4 { // second copy starts at t=4
+		t.Error("repeat content wrong")
+	}
+	if empty := figure4Trace().Repeat(0); empty.Len() != 0 {
+		t.Errorf("Repeat(0) has %d samples", empty.Len())
+	}
+}

@@ -1,0 +1,386 @@
+// Package trace models network throughput traces: piecewise-constant
+// bandwidth functions of time, exactly as consumed by the ABR simulator and
+// the trace-shaped TCP prototype.
+//
+// The package supports the operations the paper's evaluation needs:
+//
+//   - integrating bandwidth over time to compute segment download times
+//     (the simulator's core primitive),
+//   - slicing long captures into fixed-length sessions (the paper splits its
+//     datasets into consecutive 10-minute sessions, §6.1.1),
+//   - computing per-session mean throughput and relative standard deviation
+//     (used to bucket the Puffer dataset into variance quartiles, Fig. 10),
+//   - reading and writing a simple CSV interchange format.
+//
+// Traces wrap around: a download that runs past the end of the trace continues
+// from the beginning, mirroring the behaviour of the Sabre simulator the
+// paper's evaluation is built on.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Sample is one piecewise-constant span of a trace: the link sustains Mbps
+// for Duration seconds.
+type Sample struct {
+	Duration float64 // seconds, > 0
+	Mbps     float64 // megabits per second, >= 0
+}
+
+// Trace is a piecewise-constant bandwidth function of time.
+// The zero value is an empty trace; use New or Append to build one.
+type Trace struct {
+	samples []Sample
+	total   float64 // cached total duration in seconds
+}
+
+// New builds a trace from samples. It panics if any sample is invalid;
+// use Validate for error-returning checks on untrusted input.
+func New(samples []Sample) *Trace {
+	t := &Trace{}
+	for _, s := range samples {
+		t.Append(s)
+	}
+	return t
+}
+
+// Constant returns a trace holding mbps for the given duration.
+func Constant(mbps, duration float64) *Trace {
+	return New([]Sample{{Duration: duration, Mbps: mbps}})
+}
+
+// Append adds one sample to the end of the trace.
+// It panics on non-positive duration or negative bandwidth.
+func (t *Trace) Append(s Sample) {
+	if s.Duration <= 0 {
+		panic(fmt.Sprintf("trace: non-positive sample duration %v", s.Duration))
+	}
+	if s.Mbps < 0 || math.IsNaN(s.Mbps) || math.IsInf(s.Mbps, 0) {
+		panic(fmt.Sprintf("trace: invalid bandwidth %v", s.Mbps))
+	}
+	t.samples = append(t.samples, s)
+	t.total += s.Duration
+}
+
+// Samples returns the underlying samples. The slice must not be modified.
+func (t *Trace) Samples() []Sample { return t.samples }
+
+// Len returns the number of samples.
+func (t *Trace) Len() int { return len(t.samples) }
+
+// Duration returns the total duration of the trace in seconds.
+func (t *Trace) Duration() float64 { return t.total }
+
+// BandwidthAt returns the bandwidth in Mbps at time tsec. The trace wraps:
+// times beyond Duration() map back into the trace, and negative times map
+// from the end. An empty trace reports 0.
+func (t *Trace) BandwidthAt(tsec float64) float64 {
+	if len(t.samples) == 0 || t.total == 0 {
+		return 0
+	}
+	tt := math.Mod(tsec, t.total)
+	if tt < 0 {
+		tt += t.total
+	}
+	for _, s := range t.samples {
+		if tt < s.Duration {
+			return s.Mbps
+		}
+		tt -= s.Duration
+	}
+	return t.samples[len(t.samples)-1].Mbps
+}
+
+// MeanOver returns the average bandwidth over [start, start+length), with
+// wrap-around. It returns 0 for an empty trace or non-positive length.
+func (t *Trace) MeanOver(start, length float64) float64 {
+	if len(t.samples) == 0 || length <= 0 {
+		return 0
+	}
+	megabits := t.TransferableMegabits(start, length)
+	return megabits / length
+}
+
+// TransferableMegabits integrates bandwidth over [start, start+length),
+// returning the number of megabits the link can carry in that window.
+func (t *Trace) TransferableMegabits(start, length float64) float64 {
+	if len(t.samples) == 0 || length <= 0 || t.total == 0 {
+		return 0
+	}
+	pos := math.Mod(start, t.total)
+	if pos < 0 {
+		pos += t.total
+	}
+	// Locate the sample containing pos.
+	idx := 0
+	off := pos
+	for off >= t.samples[idx].Duration {
+		off -= t.samples[idx].Duration
+		idx++
+	}
+	remaining := length
+	megabits := 0.0
+	for remaining > 0 {
+		s := t.samples[idx]
+		span := s.Duration - off
+		if span > remaining {
+			span = remaining
+		}
+		megabits += s.Mbps * span
+		remaining -= span
+		off = 0
+		idx++
+		if idx == len(t.samples) {
+			idx = 0
+		}
+	}
+	return megabits
+}
+
+// ErrStalled is returned by DownloadTime when the link carries no data for an
+// entire wrap of the trace (all-zero bandwidth), so the transfer can never
+// complete.
+var ErrStalled = errors.New("trace: zero-bandwidth trace cannot complete transfer")
+
+// DownloadTime returns the number of seconds needed to transfer megabits of
+// data starting at time start, integrating the piecewise-constant bandwidth
+// with wrap-around.
+func (t *Trace) DownloadTime(start, megabits float64) (float64, error) {
+	if megabits <= 0 {
+		return 0, nil
+	}
+	if len(t.samples) == 0 || t.total == 0 {
+		return 0, ErrStalled
+	}
+	pos := math.Mod(start, t.total)
+	if pos < 0 {
+		pos += t.total
+	}
+	idx := 0
+	off := pos
+	for off >= t.samples[idx].Duration {
+		off -= t.samples[idx].Duration
+		idx++
+	}
+	elapsed := 0.0
+	remaining := megabits
+	zeroRun := 0.0 // consecutive seconds of zero bandwidth observed
+	for {
+		s := t.samples[idx]
+		span := s.Duration - off
+		if s.Mbps > 0 {
+			zeroRun = 0
+			capacity := s.Mbps * span
+			if capacity >= remaining {
+				return elapsed + remaining/s.Mbps, nil
+			}
+			remaining -= capacity
+		} else {
+			zeroRun += span
+			if zeroRun >= t.total {
+				return 0, ErrStalled
+			}
+		}
+		elapsed += span
+		off = 0
+		idx++
+		if idx == len(t.samples) {
+			idx = 0
+		}
+	}
+}
+
+// Slice returns a copy of the trace covering [start, start+length), with
+// wrap-around. The result has its own sample storage.
+func (t *Trace) Slice(start, length float64) *Trace {
+	out := &Trace{}
+	if len(t.samples) == 0 || length <= 0 {
+		return out
+	}
+	pos := math.Mod(start, t.total)
+	if pos < 0 {
+		pos += t.total
+	}
+	idx := 0
+	off := pos
+	for off >= t.samples[idx].Duration {
+		off -= t.samples[idx].Duration
+		idx++
+	}
+	remaining := length
+	for remaining > 1e-12 {
+		s := t.samples[idx]
+		span := s.Duration - off
+		if span > remaining {
+			span = remaining
+		}
+		out.Append(Sample{Duration: span, Mbps: s.Mbps})
+		remaining -= span
+		off = 0
+		idx++
+		if idx == len(t.samples) {
+			idx = 0
+		}
+	}
+	return out
+}
+
+// SplitSessions cuts the trace into consecutive sessions of sessionSeconds
+// each, discarding any final partial session, mirroring the paper's dataset
+// preparation (§6.1.1: sessions shorter than the window are filtered out and
+// long captures are divided into consecutive fixed-length sessions).
+func (t *Trace) SplitSessions(sessionSeconds float64) []*Trace {
+	if sessionSeconds <= 0 || t.total < sessionSeconds {
+		return nil
+	}
+	n := int(t.total / sessionSeconds)
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.Slice(float64(i)*sessionSeconds, sessionSeconds))
+	}
+	return out
+}
+
+// Scale returns a copy of the trace with all bandwidths multiplied by f.
+func (t *Trace) Scale(f float64) *Trace {
+	out := &Trace{}
+	for _, s := range t.samples {
+		out.Append(Sample{Duration: s.Duration, Mbps: s.Mbps * f})
+	}
+	return out
+}
+
+// MeanMbps returns the duration-weighted mean bandwidth of the whole trace.
+func (t *Trace) MeanMbps() float64 {
+	if t.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range t.samples {
+		sum += s.Mbps * s.Duration
+	}
+	return sum / t.total
+}
+
+// RSD returns the duration-weighted relative standard deviation of bandwidth:
+// the volatility measure the paper uses to split the Puffer dataset into
+// quartiles (Fig. 10) and to characterize datasets (Fig. 9).
+func (t *Trace) RSD() float64 {
+	m := t.MeanMbps()
+	if m == 0 || t.total == 0 {
+		return 0
+	}
+	ss := 0.0
+	for _, s := range t.samples {
+		d := s.Mbps - m
+		ss += d * d * s.Duration
+	}
+	return math.Sqrt(ss/t.total) / m
+}
+
+// MinMbps returns the smallest bandwidth in the trace, or 0 when empty.
+func (t *Trace) MinMbps() float64 {
+	if len(t.samples) == 0 {
+		return 0
+	}
+	m := t.samples[0].Mbps
+	for _, s := range t.samples[1:] {
+		if s.Mbps < m {
+			m = s.Mbps
+		}
+	}
+	return m
+}
+
+// Validate checks the trace invariants (positive durations, finite
+// non-negative bandwidths, cached total consistent with the samples).
+func (t *Trace) Validate() error {
+	sum := 0.0
+	for i, s := range t.samples {
+		if s.Duration <= 0 {
+			return fmt.Errorf("trace: sample %d has non-positive duration %v", i, s.Duration)
+		}
+		if s.Mbps < 0 || math.IsNaN(s.Mbps) || math.IsInf(s.Mbps, 0) {
+			return fmt.Errorf("trace: sample %d has invalid bandwidth %v", i, s.Mbps)
+		}
+		sum += s.Duration
+	}
+	if math.Abs(sum-t.total) > 1e-6 {
+		return fmt.Errorf("trace: cached duration %v != sum %v", t.total, sum)
+	}
+	return nil
+}
+
+// WriteCSV writes the trace as "duration_s,mbps" lines with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "duration_s,mbps"); err != nil {
+		return err
+	}
+	for _, s := range t.samples {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", s.Duration, s.Mbps); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace from the format written by WriteCSV. A header line
+// is optional. Blank lines and lines starting with '#' are ignored.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if lineNo == 1 && strings.HasPrefix(strings.ToLower(line), "duration") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", lineNo, len(parts))
+		}
+		dur, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad duration: %w", lineNo, err)
+		}
+		mbps, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad bandwidth: %w", lineNo, err)
+		}
+		if dur <= 0 || mbps < 0 {
+			return nil, fmt.Errorf("trace: line %d: invalid sample (%g s, %g Mbps)", lineNo, dur, mbps)
+		}
+		t.Append(Sample{Duration: dur, Mbps: mbps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Bandwidths returns the per-sample bandwidth values (unweighted), useful for
+// histograms and summary statistics over uniformly sampled traces.
+func (t *Trace) Bandwidths() []float64 {
+	out := make([]float64, len(t.samples))
+	for i, s := range t.samples {
+		out[i] = s.Mbps
+	}
+	return out
+}
+
+// Summary returns descriptive statistics of the per-sample bandwidths.
+func (t *Trace) Summary() stats.Summary { return stats.Summarize(t.Bandwidths()) }

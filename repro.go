@@ -1,0 +1,150 @@
+// Package repro is a from-scratch Go reproduction of "SODA: An Adaptive
+// Bitrate Controller for Consistent High-Quality Video Streaming"
+// (SIGCOMM 2024).
+//
+// The package is a thin facade over the internal implementation, exposing
+// the pieces a downstream user needs:
+//
+//   - NewController builds SODA or any baseline ABR controller by name;
+//   - Simulate runs a streaming session over a bandwidth trace in the
+//     Sabre-class simulator;
+//   - GenerateDataset synthesizes the calibrated network datasets;
+//   - StreamOverTCP runs the loopback TCP prototype (real transport, shaped
+//     by a trace).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/player"
+	"repro/internal/predictor"
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+	"repro/internal/video"
+
+	// Register every controller.
+	_ "repro/internal/baseline"
+)
+
+// Re-exported core types, so example programs and downstream users can work
+// entirely through this package.
+type (
+	// Controller is an ABR controller (SODA or a baseline).
+	Controller = abr.Controller
+	// Ladder is a bitrate ladder.
+	Ladder = video.Ladder
+	// Trace is a piecewise-constant bandwidth trace.
+	Trace = trace.Trace
+	// Sample is one piecewise-constant span of a Trace.
+	Sample = trace.Sample
+	// Metrics are per-session QoE metrics.
+	Metrics = qoe.Metrics
+	// SODAConfig parameterizes the SODA controller.
+	SODAConfig = core.Config
+	// SimulationConfig parameterizes a simulated session.
+	SimulationConfig = sim.Config
+	// SimulationResult is a simulated session's outcome.
+	SimulationResult = sim.Result
+	// Predictor forecasts throughput.
+	Predictor = predictor.Predictor
+	// DatasetProfile describes a synthetic network dataset.
+	DatasetProfile = tracegen.Profile
+)
+
+// Ladders used throughout the paper's evaluation.
+var (
+	LadderYouTube4K = video.YouTube4K
+	LadderMobile    = video.Mobile
+	LadderPrototype = video.Prototype
+	LadderPrime     = video.PrimeVideo
+)
+
+// Dataset profiles calibrated to the paper's Figure 9.
+var (
+	ProfilePuffer = tracegen.Puffer
+	Profile5G     = tracegen.FiveG
+	Profile4G     = tracegen.FourG
+)
+
+// DefaultSODAConfig returns the tuned SODA configuration.
+func DefaultSODAConfig() SODAConfig { return core.DefaultConfig() }
+
+// NewSODA builds a SODA controller with the given configuration.
+func NewSODA(cfg SODAConfig, ladder Ladder) Controller { return core.New(cfg, ladder) }
+
+// NewController builds any registered controller by name: "soda", "bola",
+// "dynamic", "hyb", "mpc", "robustmpc", "fugu", "rl" or "prod-baseline".
+func NewController(name string, ladder Ladder) (Controller, error) { return abr.New(name, ladder) }
+
+// Controllers lists the registered controller names.
+func Controllers() []string { return abr.Names() }
+
+// NewEMAPredictor returns the dash.js-default EMA throughput predictor.
+func NewEMAPredictor(halfLifeSeconds float64) Predictor { return predictor.NewEMA(halfLifeSeconds) }
+
+// NewSafeEMAPredictor returns the pessimistic fast/slow EMA predictor.
+func NewSafeEMAPredictor() Predictor { return predictor.NewSafeEMA() }
+
+// NewSlidingWindowPredictor returns the production sliding-window predictor.
+func NewSlidingWindowPredictor(windowSeconds float64) Predictor {
+	return predictor.NewSlidingWindow(windowSeconds)
+}
+
+// Simulate runs one session over the trace.
+func Simulate(tr *Trace, cfg SimulationConfig) (SimulationResult, error) { return sim.Run(tr, cfg) }
+
+// GenerateDataset synthesizes sessions from a calibrated profile.
+func GenerateDataset(p DatasetProfile, sessions int, sessionSeconds float64, seed uint64) (*tracegen.Dataset, error) {
+	return tracegen.Generate(p, sessions, sessionSeconds, seed)
+}
+
+// ConstantTrace returns a fixed-bandwidth trace.
+func ConstantTrace(mbps, seconds float64) *Trace { return trace.Constant(mbps, seconds) }
+
+// NewTrace builds a trace from samples.
+func NewTrace(samples []Sample) *Trace { return trace.New(samples) }
+
+// TCPSessionConfig configures StreamOverTCP.
+type TCPSessionConfig struct {
+	// Controller picks bitrates; Predictor forecasts throughput.
+	Controller Controller
+	Predictor  Predictor
+	// Ladder and TotalSegments define the stream.
+	Ladder        Ladder
+	TotalSegments int
+	// BufferCap is the playback buffer bound in seconds.
+	BufferCap float64
+	// TimeScale compresses stream time (>= 1); 1 plays in real time.
+	TimeScale float64
+	// DialTimeout bounds connection setup and each fetch.
+	DialTimeout time.Duration
+}
+
+// StreamOverTCP plays a session through the loopback TCP prototype, shaping
+// delivery with the trace.
+func StreamOverTCP(tr *Trace, cfg TCPSessionConfig) (Metrics, []int, error) {
+	res, err := player.RunSession(player.SessionSpec{
+		Trace:         tr,
+		Ladder:        cfg.Ladder,
+		TotalSegments: cfg.TotalSegments,
+		TimeScale:     cfg.TimeScale,
+		Player: player.Config{
+			Controller:  cfg.Controller,
+			Predictor:   cfg.Predictor,
+			BufferCap:   cfg.BufferCap,
+			DialTimeout: cfg.DialTimeout,
+		},
+	})
+	if err != nil {
+		return Metrics{}, nil, err
+	}
+	return res.Metrics, res.Rungs, nil
+}

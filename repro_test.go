@@ -1,0 +1,92 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeControllers(t *testing.T) {
+	names := Controllers()
+	want := []string{"soda", "bola", "dynamic", "hyb", "mpc", "robustmpc", "fugu", "rl", "prod-baseline"}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("controller %q not registered (have %v)", w, names)
+		}
+	}
+	if _, err := NewController("soda", LadderYouTube4K()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewController("bogus", LadderYouTube4K()); err == nil {
+		t.Error("bogus controller accepted")
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	soda := NewSODA(DefaultSODAConfig(), LadderMobile())
+	res, err := Simulate(ConstantTrace(10, 120), SimulationConfig{
+		Ladder:     LadderMobile(),
+		BufferCap:  20,
+		Controller: soda,
+		Predictor:  NewEMAPredictor(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Segments != 60 {
+		t.Errorf("segments = %d", res.Metrics.Segments)
+	}
+	if res.Metrics.RebufferRatio > 0 {
+		t.Errorf("rebuffering on a clean 10 Mb/s link: %v", res.Metrics.RebufferRatio)
+	}
+}
+
+func TestFacadeDataset(t *testing.T) {
+	ds, err := GenerateDataset(Profile4G(), 5, 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Sessions) != 5 {
+		t.Fatalf("sessions = %d", len(ds.Sessions))
+	}
+	if math.Abs(ds.MeanMbps()-13)/13 > 0.5 {
+		t.Errorf("4G mean = %v", ds.MeanMbps())
+	}
+}
+
+func TestFacadeTrace(t *testing.T) {
+	tr := NewTrace([]Sample{{Duration: 2, Mbps: 5}, {Duration: 2, Mbps: 15}})
+	if tr.MeanMbps() != 10 {
+		t.Errorf("mean = %v", tr.MeanMbps())
+	}
+}
+
+func TestFacadeStreamOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real TCP session")
+	}
+	soda, err := NewController("soda", LadderPrototype())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, rungs, err := StreamOverTCP(ConstantTrace(3, 600), TCPSessionConfig{
+		Controller:    soda,
+		Predictor:     NewSafeEMAPredictor(),
+		Ladder:        LadderPrototype(),
+		TotalSegments: 20,
+		BufferCap:     15,
+		TimeScale:     25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Segments != 20 || len(rungs) != 20 {
+		t.Fatalf("segments = %d, rungs = %d", metrics.Segments, len(rungs))
+	}
+	if metrics.RebufferRatio > 0.05 {
+		t.Errorf("rebuffering %v on a 3 Mb/s link for a 2 Mb/s ladder", metrics.RebufferRatio)
+	}
+}
