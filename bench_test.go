@@ -116,6 +116,8 @@ func BenchmarkFigure08ApproxVsBruteForce(b *testing.B) {
 		last := res.Mismatch[len(res.Mismatch)-1]
 		b.ReportMetric(last[0], "K5-mismatch-low-weight")
 		b.ReportMetric(last[len(last)-1], "K5-mismatch-high-weight")
+		nodes := res.NodesPerSolve[len(res.NodesPerSolve)-1]
+		b.ReportMetric(nodes[0], "K5-bb-nodes/solve")
 		if i == 0 {
 			b.Log("\n" + res.Render())
 		}
@@ -251,20 +253,76 @@ func BenchmarkTheoremMonotoneApprox(b *testing.B) {
 
 // BenchmarkSolverMonotonic measures Algorithm 1's per-decision cost — the
 // paper's deployability argument (about 200 sequences max in practice).
+// Reported metrics expose the branch-and-bound work counters: nodes (stepCost
+// evaluations) and memo hit rate per decision.
 func BenchmarkSolverMonotonic(b *testing.B) {
 	ctrl := core.New(core.DefaultConfig(), video.YouTube4K())
 	ctx := benchCtx()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ctrl.Decide(ctx)
 	}
+	b.StopTimer()
+	st := ctrl.SolveStats()
+	if st.MemoLookups > 0 {
+		b.ReportMetric(float64(st.MemoHits)/float64(st.MemoLookups), "memo-hit-rate")
+	}
+	if st.Solves > 0 {
+		b.ReportMetric(float64(st.Nodes)/float64(st.Solves), "nodes/solve")
+	}
+}
+
+// BenchmarkSolverPruned isolates the branch-and-bound solver (CostModel.Solve,
+// no Decide-level memo) across ladders and horizons, with pruning on and off.
+// The nodes/op metric is the headline: pruning must cut evaluated nodes at
+// least 3x at K>=5 while committing identical decisions (asserted by
+// TestPruningNodeReduction and FuzzSolverEquivalence).
+func BenchmarkSolverPruned(b *testing.B) {
+	ladders := []struct {
+		name  string
+		build func() video.Ladder
+		omega float64
+	}{
+		{"youtube4k", video.YouTube4K, 30},
+		{"mobile", video.Mobile, 8},
+	}
+	for _, lad := range ladders {
+		for _, k := range []int{3, 5, 8} {
+			for _, pruned := range []bool{true, false} {
+				name := lad.name + "/K" + string(rune('0'+k)) + "/pruned"
+				if !pruned {
+					name = lad.name + "/K" + string(rune('0'+k)) + "/exhaustive"
+				}
+				b.Run(name, func(b *testing.B) {
+					cfg := core.DefaultConfig()
+					cfg.DisablePruning = !pruned
+					ladder := lad.build()
+					m := core.NewCostModel(cfg, ladder, 20)
+					maxRung := ladder.Len() - 1
+					omegas := []float64{lad.omega}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						m.Solve(omegas, 11, 3, k, maxRung)
+					}
+					b.StopTimer()
+					st := m.SolveStats()
+					b.ReportMetric(float64(st.Nodes)/float64(st.Solves), "nodes/op")
+					b.ReportMetric(float64(st.Pruned)/float64(st.Solves), "cuts/op")
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkSolverBruteForce measures the exponential reference solver on the
-// same decision, quantifying the two-orders-of-magnitude gap.
+// same decision, quantifying the two-orders-of-magnitude gap. The decide-level
+// memo is disabled so repeated iterations measure the solve, not the cache.
 func BenchmarkSolverBruteForce(b *testing.B) {
 	cfg := core.DefaultConfig()
 	cfg.UseBruteForce = true
+	cfg.SolveMemoSize = 0
 	ctrl := core.New(cfg, video.YouTube4K())
 	ctx := benchCtx()
 	b.ResetTimer()

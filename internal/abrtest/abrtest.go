@@ -1,12 +1,15 @@
 // Package abrtest provides a reusable conformance suite for abr.Controller
 // implementations: any controller registered in this repository (and any a
 // downstream user writes) can be validated against the harness contracts —
-// total decisions over the legal state space, clean Reset semantics, and
-// survival of a full simulated session on hostile traces.
+// total decisions over the legal state space, clean Reset semantics,
+// determinism of fresh instances, independence of concurrent instances
+// (meaningful under -race), and survival of a full simulated session on
+// hostile traces.
 package abrtest
 
 import (
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/abr"
@@ -25,6 +28,8 @@ func Conformance(t *testing.T, name string, factory Factory) {
 	t.Helper()
 	t.Run(name+"/decisions-total", func(t *testing.T) { decisionsTotal(t, factory(video.YouTube4K())) })
 	t.Run(name+"/reset-restores", func(t *testing.T) { resetRestores(t, factory) })
+	t.Run(name+"/decide-deterministic", func(t *testing.T) { decideDeterministic(t, factory) })
+	t.Run(name+"/concurrent-instances", func(t *testing.T) { concurrentInstances(t, factory) })
 	t.Run(name+"/survives-hostile-traces", func(t *testing.T) { survivesHostile(t, factory) })
 }
 
@@ -103,6 +108,107 @@ func resetRestores(t *testing.T, factory Factory) {
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("decision %d after Reset = %d, fresh = %d", i, got[i], want[i])
+		}
+	}
+}
+
+// contextStream builds a deterministic stream of legal contexts from a seed.
+func contextStream(ladder video.Ladder, seed uint64, n int) []*abr.Context {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	out := make([]*abr.Context, n)
+	prev := abr.NoRung
+	for i := range out {
+		omega := 0.5 + rng.Float64()*40
+		out[i] = &abr.Context{
+			Now:                float64(i) * 4,
+			Buffer:             rng.Float64() * 20,
+			BufferCap:          20,
+			PrevRung:           prev,
+			Ladder:             ladder,
+			SegmentIndex:       i,
+			TotalSegments:      n,
+			LastThroughputMbps: omega * (0.6 + rng.Float64()*0.8),
+			Predict:            func(float64) float64 { return omega },
+		}
+		prev = rng.IntN(ladder.Len())
+	}
+	return out
+}
+
+func replay(c abr.Controller, stream []*abr.Context) []int {
+	out := make([]int, 0, len(stream))
+	for _, ctx := range stream {
+		out = append(out, c.Decide(ctx).Rung)
+	}
+	return out
+}
+
+// decideDeterministic checks that decisions are a pure function of the
+// controller's observed history: a fresh instance replaying stream S must
+// match a second fresh instance that first saw an unrelated warmup stream,
+// was Reset, and then replayed S. This catches unseeded randomness and any
+// internal cache or memo that leaks state across Reset.
+func decideDeterministic(t *testing.T, factory Factory) {
+	t.Helper()
+	ladder := video.YouTube4K()
+	stream := contextStream(ladder, 101, 60)
+	warmup := contextStream(ladder, 202, 60)
+
+	want := replay(factory(ladder), stream)
+
+	dirty := factory(ladder)
+	replay(dirty, warmup)
+	dirty.Reset()
+	got := replay(dirty, stream)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d = %d after warmup+Reset, fresh = %d", i, got[i], want[i])
+		}
+	}
+
+	// And a plain double-check: two fresh instances agree outright.
+	again := replay(factory(ladder), stream)
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("decision %d differs across fresh instances: %d vs %d", i, again[i], want[i])
+		}
+	}
+}
+
+// concurrentInstances drives two independent instances on separate
+// goroutines with distinct context streams and checks each matches its own
+// serial replay. Run under -race this proves instances share no mutable
+// state (a shared unsynchronised cache or scratch buffer would both race and
+// cross-contaminate decisions).
+func concurrentInstances(t *testing.T, factory Factory) {
+	t.Helper()
+	ladder := video.Mobile()
+	streams := [][]*abr.Context{
+		contextStream(ladder, 31, 80),
+		contextStream(ladder, 47, 80),
+	}
+	want := make([][]int, len(streams))
+	for i, s := range streams {
+		want[i] = replay(factory(ladder), s)
+	}
+
+	got := make([][]int, len(streams))
+	var wg sync.WaitGroup
+	for i, s := range streams {
+		wg.Add(1)
+		go func(i int, s []*abr.Context) {
+			defer wg.Done()
+			got[i] = replay(factory(ladder), s)
+		}(i, s)
+	}
+	wg.Wait()
+
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("stream %d decision %d: concurrent %d != serial %d",
+					i, j, got[i][j], want[i][j])
+			}
 		}
 	}
 }

@@ -64,6 +64,24 @@ type Config struct {
 	// UseBruteForce switches the controller to the exponential reference
 	// solver (for validation only; Algorithm 1 is the production path).
 	UseBruteForce bool
+	// DisablePruning turns off the branch-and-bound lower-bound cut in the
+	// monotone solver, reverting to the plain monotone enumeration. The
+	// committed decisions are identical either way (the bound is admissible);
+	// the knob exists so ablations can isolate the pruning win.
+	DisablePruning bool
+	// SolveMemoSize is the entry count of the per-controller decision memo, a
+	// direct-mapped cache keyed on the quantized (buffer, ω̂, prevRung,
+	// horizon, maxRung) planning state. It is consulted by Decide only —
+	// CostModel solves are always exact — and flushed on Reset and on buffer
+	// cap changes. 0 disables memoization. Rounded up to a power of two.
+	SolveMemoSize int
+	// MemoQuantum is the quantization step applied to the continuous memo key
+	// components: buffer seconds and predicted Mb/s are rounded to the
+	// nearest multiple before lookup, and the planning problem is solved at
+	// the quantized state so the cached decision is a pure function of the
+	// key (see DESIGN.md §7). 0 keys on exact floats, which virtually never
+	// recur on real buffer trajectories and so disables reuse in practice.
+	MemoQuantum float64
 }
 
 // DefaultConfig returns the tuned production configuration used throughout
@@ -89,6 +107,8 @@ func DefaultConfig() Config {
 		Epsilon:           0.2,
 		Distortion:        DistortionLog,
 		CapToThroughput:   true,
+		SolveMemoSize:     512,
+		MemoQuantum:       0.01,
 	}
 }
 
@@ -115,6 +135,15 @@ func (c Config) Validate() error {
 	if c.Distortion != DistortionInverse && c.Distortion != DistortionLog {
 		return fmt.Errorf("core: unknown distortion %d", int(c.Distortion))
 	}
+	if c.SolveMemoSize < 0 {
+		return fmt.Errorf("core: negative solve memo size %d", c.SolveMemoSize)
+	}
+	if c.SolveMemoSize > 1<<20 {
+		return fmt.Errorf("core: solve memo size %d exceeds 2^20", c.SolveMemoSize)
+	}
+	if c.MemoQuantum < 0 {
+		return fmt.Errorf("core: negative memo quantum %v", c.MemoQuantum)
+	}
 	return nil
 }
 
@@ -137,6 +166,20 @@ type CostModel struct {
 	// would make single-step switches nearly free while a 4-rung mobile
 	// ladder makes them expensive, and no single gamma would transfer.
 	gapInv float64
+	// rate[i] is v[i]·Δt/mbps[i]: selecting rung i costs exactly ω̂·rate[i]
+	// in distortion, before buffer and switching charges. rateMin[i] is the
+	// prefix minimum over rungs j <= i — the cheapest per-unit-throughput
+	// distortion any rung at or below i can achieve. Both feed the
+	// admissible lower bounds of the branch-and-bound solver (buffer and
+	// switching costs are non-negative and bounded by zero).
+	rate    []float64
+	rateMin []float64
+	// noPrune disables the branch-and-bound cut (Config.DisablePruning).
+	noPrune bool
+	// scratch and stats are the solver's reusable search state and work
+	// counters; like the model itself they are not safe for concurrent use.
+	scratch solveScratch
+	stats   SolveStats
 }
 
 func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel {
@@ -176,6 +219,17 @@ func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel
 		m.gapInv = float64(n - 1)
 	} else {
 		m.gapInv = 1
+	}
+	m.noPrune = cfg.DisablePruning
+	m.rate = make([]float64, ladder.Len())
+	m.rateMin = make([]float64, ladder.Len())
+	running := math.Inf(1)
+	for i := 0; i < ladder.Len(); i++ {
+		m.rate[i] = m.v[i] * m.dt / ladder.Mbps(i)
+		if m.rate[i] < running {
+			running = m.rate[i]
+		}
+		m.rateMin[i] = running
 	}
 	return m
 }

@@ -17,6 +17,27 @@ type Controller struct {
 	model   *CostModel // rebuilt lazily when the buffer cap changes
 	capFor  float64
 	scratch [1]float64 // constant-prediction slice, reused across decisions
+
+	// memo is the Decide-level decision cache: a direct-mapped, fixed-size
+	// table keyed on the quantized planning state, valid across consecutive
+	// receding-horizon ticks (the buffer moves slowly relative to the
+	// quantum in steady state) and flushed on Reset and buffer cap changes.
+	// nil when Config.SolveMemoSize is 0.
+	memo        []memoEntry
+	memoMask    uint32
+	memoLookups uint64
+	memoHits    uint64
+}
+
+// memoEntry is one direct-mapped cache slot. The full (quantized) key is
+// stored so hash collisions are detected and treated as misses.
+type memoEntry struct {
+	qx, qw  float64
+	prev    int32
+	k       int32
+	maxRung int32
+	rung    int32
+	used    bool
 }
 
 func init() {
@@ -36,15 +57,73 @@ func New(cfg Config, ladder video.Ladder) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Controller{cfg: cfg, ladder: ladder}
+	c := &Controller{cfg: cfg, ladder: ladder}
+	if cfg.SolveMemoSize > 0 {
+		size := 1
+		for size < cfg.SolveMemoSize {
+			size <<= 1
+		}
+		c.memo = make([]memoEntry, size)
+		c.memoMask = uint32(size - 1)
+	}
+	return c
 }
 
 // Name implements abr.Controller.
 func (c *Controller) Name() string { return "soda" }
 
 // Reset implements abr.Controller. SODA keeps no cross-decision state beyond
-// the previous rung, which the harness supplies in the context.
-func (c *Controller) Reset() {}
+// the previous rung (supplied in the context) and the decision memo, which
+// must not leak across sessions and is flushed here.
+func (c *Controller) Reset() {
+	c.flushMemo()
+}
+
+func (c *Controller) flushMemo() {
+	for i := range c.memo {
+		c.memo[i] = memoEntry{}
+	}
+}
+
+// SolveStats reports the solver work counters of the active cost model plus
+// this controller's memo traffic. Counters accumulate across Decide calls
+// until ResetSolveStats.
+func (c *Controller) SolveStats() SolveStats {
+	var s SolveStats
+	if c.model != nil {
+		s = c.model.stats
+	}
+	s.MemoLookups, s.MemoHits = c.memoLookups, c.memoHits
+	return s
+}
+
+// ResetSolveStats zeroes the solver and memo work counters.
+func (c *Controller) ResetSolveStats() {
+	if c.model != nil {
+		c.model.ResetSolveStats()
+	}
+	c.memoLookups, c.memoHits = 0, 0
+}
+
+// quantize rounds x to the nearest multiple of step (identity when step <= 0).
+func quantize(x, step float64) float64 {
+	if step <= 0 {
+		return x
+	}
+	return math.Round(x/step) * step
+}
+
+// memoHash mixes the key fields into a table index (SplitMix64 finalizer).
+func memoHash(qx, qw float64, prev, k, maxRung int) uint32 {
+	z := math.Float64bits(qx)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	z ^= math.Float64bits(qw) + (z << 6) + (z >> 2)
+	z ^= uint64(prev+1) + (z << 6) + (z >> 2)
+	z ^= uint64(k) + (z << 6) + (z >> 2)
+	z ^= uint64(maxRung) + (z << 6) + (z >> 2)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return uint32(z>>32) ^ uint32(z)
+}
 
 // horizon returns the effective K for this decision: the configured horizon,
 // clamped by the 10-second prediction-validity cap (§5.2) and by the number
@@ -69,6 +148,9 @@ func (c *Controller) modelFor(bufferCap float64) *CostModel {
 	if c.model == nil || c.capFor != bufferCap {
 		c.model = newCostModel(c.cfg, c.ladder, bufferCap)
 		c.capFor = bufferCap
+		// The memo key does not include the buffer cap (it is fixed per
+		// session in every harness), so a cap change invalidates the cache.
+		c.flushMemo()
 	}
 	return c.model
 }
@@ -87,6 +169,14 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 
 	k := c.horizon(ctx)
 	omega := ctx.PredictSafe(float64(k) * m.dt)
+	x0 := ctx.Buffer
+	if c.memo != nil {
+		// Solve at the quantized state so the cached decision is a pure
+		// function of the memo key: hits and misses agree by construction,
+		// and replaying a context stream is order-independent.
+		omega = quantize(omega, c.cfg.MemoQuantum)
+		x0 = quantize(x0, c.cfg.MemoQuantum)
+	}
 	c.scratch[0] = omega
 	omegas := c.scratch[:]
 
@@ -105,24 +195,46 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 		}
 	}
 
+	var entry *memoEntry
+	if c.memo != nil {
+		c.memoLookups++
+		h := memoHash(x0, omega, ctx.PrevRung, k, maxRung)
+		entry = &c.memo[h&c.memoMask]
+		if entry.used && entry.qx == x0 && entry.qw == omega &&
+			entry.prev == int32(ctx.PrevRung) && entry.k == int32(k) &&
+			entry.maxRung == int32(maxRung) {
+			c.memoHits++
+			return abr.Decision{Rung: int(entry.rung)}
+		}
+	}
+
 	// With overflow clamped in the plan (see CostModel.stepCost), the only
 	// way every plan can be infeasible is buffer starvation: even r_min
 	// cannot keep the trajectory above zero over the full horizon. Shorter
 	// horizons are tried first (the tail of the plan is the unreachable
 	// part); a fully infeasible one-step problem falls back to the lowest
 	// rung, the fastest possible refill.
-	res := solveResult{rung: -1}
+	rung := 0
 	for h := k; h >= 1; h-- {
+		var res solveResult
 		if c.cfg.UseBruteForce {
-			res = m.bruteForce(omegas, ctx.Buffer, ctx.PrevRung, h, maxRung)
+			res = m.bruteForce(omegas, x0, ctx.PrevRung, h, maxRung)
 		} else {
-			res = m.searchMonotonic(omegas, ctx.Buffer, ctx.PrevRung, h, maxRung)
+			res = m.searchMonotonic(omegas, x0, ctx.PrevRung, h, maxRung)
 		}
 		if res.rung >= 0 {
-			return abr.Decision{Rung: res.rung}
+			rung = res.rung
+			break
 		}
 	}
-	return abr.Decision{Rung: 0}
+	if entry != nil {
+		*entry = memoEntry{
+			qx: x0, qw: omega,
+			prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
+			rung: int32(rung), used: true,
+		}
+	}
+	return abr.Decision{Rung: rung}
 }
 
 // DiagramCell is one sample of the Figure 5 decision diagram.
@@ -224,8 +336,27 @@ func Grid(lo, hi float64, n int) []float64 {
 // the Figure 8 experiment. Situations draw buffer uniformly in (0, cap),
 // previous rung uniformly, and throughput uniformly in [rmin/2, 2·rmax].
 func MismatchProbability(cfg Config, ladder video.Ladder, bufferCap float64, samples int, seed uint64) float64 {
+	return MismatchProbabilityStats(cfg, ladder, bufferCap, samples, seed).Probability
+}
+
+// MismatchStats extends MismatchProbability with the monotone solver's work
+// counters, so the Figure 8 drivers and benchmarks can report the
+// branch-and-bound win alongside the approximation quality.
+type MismatchStats struct {
+	Probability float64
+	Samples     int
+	// NodesPerSolve is the mean number of (rung, state) expansions the
+	// monotone solver evaluated per planning problem.
+	NodesPerSolve float64
+	// PrunedPerSolve is the mean number of expansions cut by the bound.
+	PrunedPerSolve float64
+}
+
+// MismatchProbabilityStats runs the Figure 8 sampling and also reports the
+// monotone solver's per-solve work.
+func MismatchProbabilityStats(cfg Config, ladder video.Ladder, bufferCap float64, samples int, seed uint64) MismatchStats {
 	if samples <= 0 {
-		return 0
+		return MismatchStats{}
 	}
 	m := newCostModel(cfg, ladder, bufferCap)
 	rng := newSplitMix(seed)
@@ -254,10 +385,16 @@ func MismatchProbability(cfg Config, ladder video.Ladder, bufferCap float64, sam
 			}
 		}
 	}
-	if evaluated == 0 {
-		return 0
+	st := m.SolveStats()
+	out := MismatchStats{Samples: samples}
+	if st.Solves > 0 {
+		out.NodesPerSolve = float64(st.Nodes) / float64(st.Solves)
+		out.PrunedPerSolve = float64(st.Pruned) / float64(st.Solves)
 	}
-	return float64(mismatches) / float64(evaluated)
+	if evaluated > 0 {
+		out.Probability = float64(mismatches) / float64(evaluated)
+	}
+	return out
 }
 
 // splitMix is a tiny deterministic PRNG (SplitMix64) so MismatchProbability

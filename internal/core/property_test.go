@@ -81,6 +81,44 @@ func TestSolversIdenticalAtK1(t *testing.T) {
 	}
 }
 
+// Property: the branch-and-bound solver is exact — identical first rung and
+// objective to the retained recursive reference, with and without pruning,
+// including per-step (non-constant) bandwidth forecasts and caps below the
+// previous rung.
+func TestSolverMatchesReference(t *testing.T) {
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	noPruneCfg := DefaultConfig()
+	noPruneCfg.DisablePruning = true
+	plain := NewCostModel(noPruneCfg, video.YouTube4K(), 20)
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		x0 := rng.Float64() * 20
+		prev := rng.IntN(7) - 1 // includes session start
+		k := 1 + rng.IntN(6)
+		maxRung := rng.IntN(6)
+		omegas := make([]float64, 1+rng.IntN(3))
+		for i := range omegas {
+			omegas[i] = 0.3 + rng.Float64()*90
+		}
+		ref := m.searchMonotonicRef(omegas, x0, prev, k, maxRung)
+		for _, got := range []solveResult{
+			m.searchMonotonic(omegas, x0, prev, k, maxRung),
+			plain.searchMonotonic(omegas, x0, prev, k, maxRung),
+		} {
+			if got.rung != ref.rung {
+				return false
+			}
+			if ref.rung >= 0 && math.Abs(got.obj-ref.obj) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: Decide always returns a rung in range or a wait with positive
 // duration, for any state the player can legally present.
 func TestDecideTotalOverStateSpace(t *testing.T) {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+)
+
+// This file preserves the seed repository's recursive monotone solver,
+// verbatim up to renaming, as the reference implementation for differential
+// testing. The production solver (the iterative branch-and-bound in
+// solver.go) must return bit-identical first rungs and objectives;
+// FuzzSolverEquivalence and TestSolverMatchesReference enforce that.
+
+// searchMonotonicRef is the original recursive Algorithm 1 search.
+func (m *CostModel) searchMonotonicRef(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+	if k <= 0 || len(omegas) == 0 {
+		return solveResult{rung: -1}
+	}
+	if prevRung < 0 {
+		// No previous bitrate: any first rung, then monotone either way.
+		best := solveResult{rung: -1, obj: math.Inf(1)}
+		for r := 0; r <= maxRung; r++ {
+			c, x1, ok := m.stepCost(r, -1, x0, omegaAt(omegas, 0))
+			if !ok {
+				continue
+			}
+			rest, ok := m.bestContinuationRef(omegas, x1, r, 1, k-1, maxRung)
+			if !ok {
+				continue
+			}
+			if c+rest < best.obj {
+				best = solveResult{rung: r, obj: c + rest}
+			}
+		}
+		return best
+	}
+	upObj, up := m.searchDirRef(omegas, x0, prevRung, 0, k, maxRung, +1)
+	downObj, down := m.searchDirRef(omegas, x0, prevRung, 0, k, maxRung, -1)
+	switch {
+	case up.rung >= 0 && (down.rung < 0 || upObj < downObj):
+		return solveResult{rung: up.rung, obj: upObj}
+	case down.rung >= 0:
+		return solveResult{rung: down.rung, obj: downObj}
+	default:
+		return solveResult{rung: -1}
+	}
+}
+
+// bestContinuationRef returns the cheapest monotone continuation of length k
+// at planning depth, after committing rung r (either direction), or ok=false
+// when none is feasible. k may be 0, in which case it costs nothing.
+func (m *CostModel) bestContinuationRef(omegas []float64, x float64, r, depth, k, maxRung int) (float64, bool) {
+	if k == 0 {
+		return 0, true
+	}
+	upObj, up := m.searchDirRef(omegas, x, r, depth, k, maxRung, +1)
+	downObj, down := m.searchDirRef(omegas, x, r, depth, k, maxRung, -1)
+	switch {
+	case up.rung >= 0 && (down.rung < 0 || upObj < downObj):
+		return upObj, true
+	case down.rung >= 0:
+		return downObj, true
+	default:
+		return 0, false
+	}
+}
+
+// searchDirRef is SearchUp (dir=+1) / SearchDown (dir=-1) from Algorithm 1:
+// recursively extend the plan with rungs that keep the sequence monotone in
+// the given direction (equality allowed, so flat sequences are reachable from
+// both directions). It returns the total objective and the first rung chosen.
+func (m *CostModel) searchDirRef(omegas []float64, x0 float64, prevRung, depth, k, maxRung, dir int) (float64, solveResult) {
+	bestObj := math.Inf(1)
+	best := solveResult{rung: -1}
+	lo, hi := prevRung, maxRung // up: r in [prevRung, maxRung]
+	if dir < 0 {
+		lo, hi = 0, prevRung // down: r in [0, min(prevRung, maxRung)]
+		if hi > maxRung {
+			hi = maxRung
+		}
+	}
+	for r := lo; r <= hi; r++ {
+		c, x1, ok := m.stepCost(r, prevRung, x0, omegaAt(omegas, depth))
+		if !ok {
+			continue
+		}
+		total := c
+		if k > 1 {
+			restObj, rest := m.searchDirRef(omegas, x1, r, depth+1, k-1, maxRung, dir)
+			if rest.rung < 0 {
+				continue
+			}
+			total += restObj
+		}
+		if total < bestObj {
+			bestObj = total
+			best = solveResult{rung: r, obj: total}
+		}
+	}
+	return bestObj, best
+}

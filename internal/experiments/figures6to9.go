@@ -171,7 +171,10 @@ type Figure08Result struct {
 	// Mismatch[k][w] is the probability for Horizons[k] and
 	// RelativeWeights[w].
 	Mismatch [][]float64
-	Samples  int
+	// NodesPerSolve[k][w] is the mean number of nodes the branch-and-bound
+	// monotone solver expanded per planning problem in the same sweep.
+	NodesPerSolve [][]float64
+	Samples       int
 }
 
 // relativeWeightUnit converts the figure's x-axis "relative switching cost
@@ -190,13 +193,17 @@ func Figure08(scale Scale) *Figure08Result {
 	}
 	for _, k := range horizons {
 		row := make([]float64, len(weights))
+		nodes := make([]float64, len(weights))
 		for wi, w := range weights {
 			cfg := core.DefaultConfig()
 			cfg.Horizon = k
 			cfg.Gamma = w * relativeWeightUnit
-			row[wi] = core.MismatchProbability(cfg, video.YouTube4K(), 20, scale.SolverSamples, scale.Seed+uint64(k))
+			st := core.MismatchProbabilityStats(cfg, video.YouTube4K(), 20, scale.SolverSamples, scale.Seed+uint64(k))
+			row[wi] = st.Probability
+			nodes[wi] = st.NodesPerSolve
 		}
 		res.Mismatch = append(res.Mismatch, row)
+		res.NodesPerSolve = append(res.NodesPerSolve, nodes)
 	}
 	return res
 }
@@ -216,6 +223,16 @@ func (r *Figure08Result) Render() string {
 			fmt.Fprintf(&b, " %6.4f", p)
 		}
 		b.WriteString("\n")
+	}
+	if len(r.NodesPerSolve) == len(r.Horizons) {
+		b.WriteString("  branch-and-bound nodes/solve:\n")
+		for ki, k := range r.Horizons {
+			fmt.Fprintf(&b, "  K=%d:      ", k)
+			for _, n := range r.NodesPerSolve[ki] {
+				fmt.Fprintf(&b, " %6.1f", n)
+			}
+			b.WriteString("\n")
+		}
 	}
 	series := make([]textplot.Series, 0, len(r.Horizons))
 	for ki, k := range r.Horizons {
