@@ -1,0 +1,28 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all lint test bench fuzz build
+
+all: lint test
+
+build:
+	$(GO) build ./...
+
+# lint runs gofmt (fail on any unformatted file) and soda-vet, which bundles
+# the repository's custom analyzers (detrange, purecontroller, unitsafe) with
+# the standard go vet passes. See DESIGN.md "Static invariants".
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) run ./cmd/soda-vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSolverEquivalence -fuzztime 20s ./internal/core

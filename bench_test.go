@@ -16,6 +16,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -300,7 +301,7 @@ func BenchmarkSolverPruned(b *testing.B) {
 					ladder := lad.build()
 					m := core.NewCostModel(cfg, ladder, 20)
 					maxRung := ladder.Len() - 1
-					omegas := []float64{lad.omega}
+					omegas := []units.Mbps{units.Mbps(lad.omega)}
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {

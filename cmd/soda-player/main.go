@@ -19,6 +19,7 @@ import (
 	_ "repro/internal/core"
 
 	"repro/internal/proto"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -36,8 +37,10 @@ func main() {
 		fatal(err)
 	}
 	manifest := probe.Manifest()
-	probe.Close()
-	ladder := video.NewLadder(manifest.BitratesMbps, manifest.SegmentSeconds)
+	if err := probe.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "soda-player: closing manifest probe: %v\n", err)
+	}
+	ladder := video.NewLadder(manifest.BitratesMbps, units.Seconds(manifest.SegmentSeconds))
 
 	ctrl, err := abr.New(*controller, ladder)
 	if err != nil {

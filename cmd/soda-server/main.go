@@ -56,16 +56,7 @@ func main() {
 		logger.Fatal(err)
 	}
 	if *writeMPD != "" {
-		mediaDur := time.Duration(float64(*segments) * ladder.SegmentSeconds * float64(time.Second))
-		f, err := os.Create(*writeMPD)
-		if err != nil {
-			logger.Fatal(err)
-		}
-		if err := dash.FromLadder(ladder, mediaDur).Write(f); err != nil {
-			f.Close()
-			logger.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeMPDFile(*writeMPD, ladder, *segments); err != nil {
 			logger.Fatal(err)
 		}
 		logger.Printf("wrote MPD to %s", *writeMPD)
@@ -74,22 +65,9 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	var listener net.Listener = ln
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			logger.Fatal(err)
-		}
-		tr, err := trace.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			logger.Fatal(err)
-		}
-		scale := *timeScale
-		listener = netem.NewListener(ln, func() (*netem.Shaper, error) {
-			return netem.NewShaper(tr, scale)
-		})
-		logger.Printf("shaping with %s (%.1f Mb/s mean, %gx time)", *traceFile, tr.MeanMbps(), scale)
+	listener, err := shapedListener(ln, *traceFile, *timeScale, logger)
+	if err != nil {
+		logger.Fatal(err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -99,4 +77,41 @@ func main() {
 		logger.Fatal(err)
 	}
 	logger.Print("shut down")
+}
+
+// writeMPDFile writes an MPEG-DASH MPD describing the stream to path.
+func writeMPDFile(path string, ladder video.Ladder, segments int) error {
+	mediaDur := time.Duration(float64(segments) * float64(ladder.SegmentSeconds) * float64(time.Second))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := dash.FromLadder(ladder, mediaDur).Write(f); err != nil {
+		_ = f.Close() // best effort; the write error is the one to report
+		return err
+	}
+	return f.Close()
+}
+
+// shapedListener wraps ln so each connection is paced by the trace in
+// traceFile; with no trace file the listener is returned unshaped.
+func shapedListener(ln net.Listener, traceFile string, timeScale float64, logger *log.Logger) (net.Listener, error) {
+	if traceFile == "" {
+		return ln, nil
+	}
+	f, err := os.Open(traceFile)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.ReadCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	logger.Printf("shaping with %s (%.1f Mb/s mean, %gx time)", traceFile, tr.MeanMbps(), timeScale)
+	return netem.NewListener(ln, func() (*netem.Shaper, error) {
+		return netem.NewShaper(tr, timeScale)
+	}), nil
 }

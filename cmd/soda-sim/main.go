@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	_ "repro/internal/baseline"
@@ -41,54 +42,77 @@ func main() {
 		fatal(err)
 	}
 
-	var traces []*trace.Trace
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		tr, err := trace.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		traces = []*trace.Trace{tr}
-		if *sessionSeconds > tr.Duration() {
-			*sessionSeconds = tr.Duration()
-		}
-	} else {
-		profile, err := pickProfile(*dataset)
-		if err != nil {
-			fatal(err)
-		}
-		ds, err := tracegen.Generate(profile, *sessions, *sessionSeconds, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		traces = ds.Sessions
-		fmt.Printf("dataset %s: %d sessions, mean %.1f Mb/s, RSD %.1f%%\n",
-			*dataset, len(traces), ds.MeanMbps(), 100*ds.RSD())
+	traces, sessSeconds, err := buildTraces(*traceFile, *dataset, *sessions, *sessionSeconds, *seed)
+	if err != nil {
+		fatal(err)
 	}
 
 	for _, name := range strings.Split(*controllers, ",") {
 		name = strings.TrimSpace(name)
-		if _, err := abr.New(name, ladder); err != nil {
+		if err := runController(name, ladder, traces, units.Seconds(*bufferCap), sessSeconds); err != nil {
 			fatal(err)
 		}
-		factory := func() (abr.Controller, predictor.Predictor) {
-			c, _ := abr.New(name, ladder)
-			return c, predictor.NewEMA(4)
-		}
-		metrics, err := sim.RunDataset(traces, factory, sim.Config{
-			Ladder:         ladder,
-			BufferCap:      *bufferCap,
-			SessionSeconds: *sessionSeconds,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(qoe.Aggregated(name, metrics).String())
 	}
+}
+
+// buildTraces loads the single CSV trace, or generates a dataset when no
+// trace file is given. The returned session length is clamped to a loaded
+// trace's duration.
+func buildTraces(traceFile, dataset string, sessions int, sessionSeconds float64, seed uint64) ([]*trace.Trace, units.Seconds, error) {
+	if traceFile != "" {
+		tr, err := loadTrace(traceFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		sess := units.Seconds(sessionSeconds)
+		if sess > tr.Duration() {
+			sess = tr.Duration()
+		}
+		return []*trace.Trace{tr}, sess, nil
+	}
+	profile, err := pickProfile(dataset)
+	if err != nil {
+		return nil, 0, err
+	}
+	ds, err := tracegen.Generate(profile, sessions, sessionSeconds, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	fmt.Printf("dataset %s: %d sessions, mean %.1f Mb/s, RSD %.1f%%\n",
+		dataset, len(ds.Sessions), ds.MeanMbps(), 100*ds.RSD())
+	return ds.Sessions, units.Seconds(sessionSeconds), nil
+}
+
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.ReadCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return tr, err
+}
+
+func runController(name string, ladder video.Ladder, traces []*trace.Trace, bufferCap, sessionSeconds units.Seconds) error {
+	if _, err := abr.New(name, ladder); err != nil {
+		return err
+	}
+	factory := func() (abr.Controller, predictor.Predictor) {
+		c, _ := abr.New(name, ladder)
+		return c, predictor.NewEMA(4)
+	}
+	metrics, err := sim.RunDataset(traces, factory, sim.Config{
+		Ladder:         ladder,
+		BufferCap:      bufferCap,
+		SessionSeconds: sessionSeconds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(qoe.Aggregated(name, metrics).String())
+	return nil
 }
 
 func pickProfile(name string) (tracegen.Profile, error) {

@@ -50,7 +50,7 @@ func main() {
 			fatal(err)
 		}
 		if err := tr.WriteCSV(f); err != nil {
-			f.Close()
+			_ = f.Close() // best effort; the write error is the one to report
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

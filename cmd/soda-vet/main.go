@@ -1,0 +1,65 @@
+// Command soda-vet runs the repository's custom static analyzers —
+// detrange, purecontroller and unitsafe — alongside the standard go vet
+// passes, and exits non-zero on any finding. It is the lint gate CI runs on
+// every push:
+//
+//	go run ./cmd/soda-vet ./...
+//
+// Pass -novet to skip the standard vet passes (useful when iterating on the
+// custom analyzers alone). See internal/lint and DESIGN.md ("Static
+// invariants") for what each analyzer enforces and why.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"repro/internal/lint"
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/purecontroller"
+	"repro/internal/lint/unitsafe"
+)
+
+var analyzers = []*lint.Analyzer{
+	detrange.Analyzer,
+	purecontroller.Analyzer,
+	unitsafe.Analyzer,
+}
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the standard go vet passes")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if failed || len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -35,8 +35,8 @@ func main() {
 			}
 			res, err := repro.Simulate(tr, repro.SimulationConfig{
 				Ladder:         ladder,
-				BufferCap:      20, // live: stay close to the broadcast edge
-				SessionSeconds: 600,
+				BufferCap:      repro.Seconds(20), // live: stay close to the broadcast edge
+				SessionSeconds: repro.Seconds(600),
 				Controller:     ctrl,
 				Predictor:      repro.NewEMAPredictor(4),
 			})

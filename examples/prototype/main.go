@@ -19,9 +19,9 @@ func main() {
 	// A challenged network around 1 Mb/s with a deep fade, like the
 	// low-bandwidth Puffer sessions the paper selects.
 	tr := repro.NewTrace([]repro.Sample{
-		{Duration: 60, Mbps: 1.6},
-		{Duration: 40, Mbps: 0.45},
-		{Duration: 80, Mbps: 1.2},
+		{Duration: repro.Seconds(60), Mbps: repro.Mbps(1.6)},
+		{Duration: repro.Seconds(40), Mbps: repro.Mbps(0.45)},
+		{Duration: repro.Seconds(80), Mbps: repro.Mbps(1.2)},
 	})
 
 	soda, err := repro.NewController("soda", ladder)

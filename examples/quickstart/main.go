@@ -21,14 +21,14 @@ func main() {
 
 	// A simple network: 35 Mb/s with a dip to 6 Mb/s in the middle.
 	tr := repro.NewTrace([]repro.Sample{
-		{Duration: 120, Mbps: 35},
-		{Duration: 60, Mbps: 6},
-		{Duration: 120, Mbps: 35},
+		{Duration: repro.Seconds(120), Mbps: repro.Mbps(35)},
+		{Duration: repro.Seconds(60), Mbps: repro.Mbps(6)},
+		{Duration: repro.Seconds(120), Mbps: repro.Mbps(35)},
 	})
 
 	res, err := repro.Simulate(tr, repro.SimulationConfig{
 		Ladder:     ladder,
-		BufferCap:  20,
+		BufferCap:  repro.Seconds(20),
 		Controller: soda,
 		Predictor:  repro.NewEMAPredictor(4),
 	})

@@ -68,11 +68,11 @@ type Context struct {
 // bitrate so controllers degrade conservatively during startup.
 func (c *Context) PredictSafe(horizonSeconds float64) float64 {
 	if c.Predict == nil {
-		return c.Ladder.Min()
+		return float64(c.Ladder.Min())
 	}
 	p := c.Predict(horizonSeconds)
 	if p <= 0 {
-		return c.Ladder.Min()
+		return float64(c.Ladder.Min())
 	}
 	return p
 }

@@ -76,11 +76,11 @@ func TestContextValidate(t *testing.T) {
 
 func TestPredictSafe(t *testing.T) {
 	ctx := &Context{Ladder: video.Mobile()}
-	if got := ctx.PredictSafe(2); got != ctx.Ladder.Min() {
+	if got := ctx.PredictSafe(2); got != float64(ctx.Ladder.Min()) {
 		t.Errorf("nil predictor fallback = %v", got)
 	}
 	ctx.Predict = func(float64) float64 { return 0 }
-	if got := ctx.PredictSafe(2); got != ctx.Ladder.Min() {
+	if got := ctx.PredictSafe(2); got != float64(ctx.Ladder.Min()) {
 		t.Errorf("zero prediction fallback = %v", got)
 	}
 	ctx.Predict = func(float64) float64 { return 9 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -219,22 +220,22 @@ func concurrentInstances(t *testing.T, factory Factory) {
 func survivesHostile(t *testing.T, factory Factory) {
 	t.Helper()
 	traces := map[string]*trace.Trace{
-		"collapse": trace.New([]trace.Sample{{Duration: 30, Mbps: 40}, {Duration: 90, Mbps: 0.3}}),
+		"collapse": trace.New([]trace.Sample{{Duration: units.Seconds(30), Mbps: units.Mbps(40)}, {Duration: units.Seconds(90), Mbps: units.Mbps(0.3)}}),
 		"sawtooth": trace.New([]trace.Sample{
-			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
-			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
-			{Duration: 10, Mbps: 30}, {Duration: 10, Mbps: 2},
+			{Duration: units.Seconds(10), Mbps: units.Mbps(30)}, {Duration: units.Seconds(10), Mbps: units.Mbps(2)},
+			{Duration: units.Seconds(10), Mbps: units.Mbps(30)}, {Duration: units.Seconds(10), Mbps: units.Mbps(2)},
+			{Duration: units.Seconds(10), Mbps: units.Mbps(30)}, {Duration: units.Seconds(10), Mbps: units.Mbps(2)},
 		}),
 		"spikes": trace.New([]trace.Sample{
-			{Duration: 25, Mbps: 3}, {Duration: 2, Mbps: 200},
-			{Duration: 25, Mbps: 3}, {Duration: 2, Mbps: 200},
-			{Duration: 26, Mbps: 3},
+			{Duration: units.Seconds(25), Mbps: units.Mbps(3)}, {Duration: units.Seconds(2), Mbps: units.Mbps(200)},
+			{Duration: units.Seconds(25), Mbps: units.Mbps(3)}, {Duration: units.Seconds(2), Mbps: units.Mbps(200)},
+			{Duration: units.Seconds(26), Mbps: units.Mbps(3)},
 		}),
 	}
 	for tname, tr := range traces {
 		res, err := sim.Run(tr, sim.Config{
 			Ladder:         video.Mobile(),
-			BufferCap:      20,
+			BufferCap:      units.Seconds(20),
 			SessionSeconds: tr.Duration(),
 			Controller:     factory(video.Mobile()),
 			Predictor:      predictor.NewEMA(4),

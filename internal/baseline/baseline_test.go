@@ -114,7 +114,7 @@ func TestHYBFollowsThroughput(t *testing.T) {
 	// below r_min the floor rung is all it has).
 	for _, omega := range []float64{3, 6, 10, 30, 70} {
 		d := h.Decide(ctxWith(16, 0, omega))
-		if video.YouTube4K().Mbps(d.Rung) > omega {
+		if float64(video.YouTube4K().Mbps(d.Rung)) > omega {
 			t.Errorf("HYB exceeded throughput: rung %d at ω=%v", d.Rung, omega)
 		}
 	}

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -24,7 +25,7 @@ type BBA struct {
 func NewBBA(ladder video.Ladder) *BBA {
 	return &BBA{
 		ladder:           ladder,
-		ReservoirSeconds: 2 * ladder.SegmentSeconds,
+		ReservoirSeconds: 2 * float64(ladder.SegmentSeconds),
 		CushionFraction:  0.8,
 	}
 }
@@ -46,7 +47,7 @@ func (b *BBA) Decide(ctx *abr.Context) abr.Decision {
 		return abr.Decision{Rung: b.ladder.Len() - 1}
 	}
 	frac := (ctx.Buffer - reservoir) / cushion
-	target := b.ladder.Min() + frac*(b.ladder.Max()-b.ladder.Min())
+	target := b.ladder.Min() + units.Mbps(frac)*(b.ladder.Max()-b.ladder.Min())
 	return abr.Decision{Rung: b.ladder.MaxSustainable(target)}
 }
 

@@ -83,7 +83,7 @@ func (b *BOLA) derive(stable, bufferCap float64) {
 	n := b.ladder.Len()
 	b.utilities = make([]float64, n)
 	for i := 0; i < n; i++ {
-		b.utilities[i] = math.Log(b.ladder.Mbps(i) / b.ladder.Min())
+		b.utilities[i] = math.Log(float64(b.ladder.Mbps(i) / b.ladder.Min()))
 	}
 	// Shift so the lowest utility is 1 (dash.js convention).
 	for i := range b.utilities {
@@ -91,7 +91,7 @@ func (b *BOLA) derive(stable, bufferCap float64) {
 	}
 	bufferTime := math.Max(stable, minimumBufferSeconds+minimumBufferPerLevelSeconds*float64(n))
 	if bufferCap > 0 {
-		if reachable := bufferCap - b.ladder.SegmentSeconds; bufferTime > reachable {
+		if reachable := bufferCap - float64(b.ladder.SegmentSeconds); bufferTime > reachable {
 			bufferTime = math.Max(reachable, minimumBufferSeconds+1)
 		}
 	}
@@ -113,7 +113,7 @@ func (b *BOLA) Reset() {}
 // Score returns BOLA's objective for rung i at the given buffer level; the
 // decision is the argmax. Exposed for the Figure 2 boundary experiment.
 func (b *BOLA) Score(i int, buffer float64) float64 {
-	return (b.vp*(b.utilities[i]+b.gp) - buffer) / b.ladder.Mbps(i)
+	return (b.vp*(b.utilities[i]+b.gp) - buffer) / float64(b.ladder.Mbps(i))
 }
 
 // DecideBuffer returns BOLA's rung for a buffer level (the pure decision

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -48,7 +49,7 @@ func NewDynamic(ladder video.Ladder) *Dynamic {
 		SwitchOnBufferSeconds:  10,
 		SwitchOffBufferSeconds: 8,
 		ThroughputSafety:       0.9,
-		LowBufferSeconds:       2 * ladder.SegmentSeconds,
+		LowBufferSeconds:       2 * float64(ladder.SegmentSeconds),
 		LowBufferSafety:        0.5,
 		MaxUpStep:              1,
 		UpSwitchPatience:       1,
@@ -76,7 +77,7 @@ func (d *Dynamic) Decide(ctx *abr.Context) abr.Decision {
 		d.inBufferMode = true
 	}
 
-	omega := ctx.PredictSafe(d.ladder.SegmentSeconds)
+	omega := ctx.PredictSafe(float64(d.ladder.SegmentSeconds))
 	var rung int
 	if d.inBufferMode {
 		rung = d.bola.Decide(ctx).Rung
@@ -84,18 +85,18 @@ func (d *Dynamic) Decide(ctx *abr.Context) abr.Decision {
 		// what the network sustains, hold the previous rung instead of
 		// oscillating.
 		if ctx.PrevRung >= 0 && rung > ctx.PrevRung {
-			sustainable := d.ladder.MaxSustainable(d.ThroughputSafety * omega)
+			sustainable := d.ladder.MaxSustainable(units.Mbps(d.ThroughputSafety * omega))
 			if rung > sustainable {
 				rung = maxInt(ctx.PrevRung, sustainable)
 			}
 		}
 	} else {
-		rung = d.ladder.MaxSustainable(d.ThroughputSafety * omega)
+		rung = d.ladder.MaxSustainable(units.Mbps(d.ThroughputSafety * omega))
 	}
 
 	// Low-buffer safety.
 	if ctx.Buffer < d.LowBufferSeconds {
-		if safe := d.ladder.MaxSustainable(d.LowBufferSafety * omega); rung > safe {
+		if safe := d.ladder.MaxSustainable(units.Mbps(d.LowBufferSafety * omega)); rung > safe {
 			rung = safe
 		}
 	}
@@ -129,7 +130,7 @@ var _ abr.Controller = (*Dynamic)(nil)
 func NewProductionBaseline(ladder video.Ladder) abr.Controller {
 	d := NewDynamic(ladder)
 	d.ThroughputSafety = 0.80
-	d.LowBufferSeconds = 3 * ladder.SegmentSeconds
+	d.LowBufferSeconds = 3 * float64(ladder.SegmentSeconds)
 	d.LowBufferSafety = 0.6
 	d.UpSwitchPatience = 4
 	return &renamed{Controller: d, name: "prod-baseline"}

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -34,14 +35,14 @@ func (h *HYB) Reset() {}
 
 // Decide implements abr.Controller.
 func (h *HYB) Decide(ctx *abr.Context) abr.Decision {
-	omega := ctx.PredictSafe(h.ladder.SegmentSeconds)
+	omega := ctx.PredictSafe(float64(h.ladder.SegmentSeconds))
 	best := 0
 	for i := 0; i < h.ladder.Len(); i++ {
 		r := h.ladder.Mbps(i)
-		if r > h.SafetyFactor*omega {
+		if r > units.Mbps(h.SafetyFactor*omega) {
 			break
 		}
-		downloadTime := r * h.ladder.SegmentSeconds / omega
+		downloadTime := float64(r.MegabitsIn(h.ladder.SegmentSeconds)) / omega
 		if downloadTime <= h.BufferFraction*ctx.Buffer {
 			best = i
 		}

@@ -47,7 +47,7 @@ func NewMPC(ladder video.Ladder, robust bool) *MPC {
 		robust:       robust,
 		Horizon:      5,
 		LambdaSwitch: 1,
-		MuRebuffer:   10 / ladder.SegmentSeconds,
+		MuRebuffer:   10 / float64(ladder.SegmentSeconds),
 		ErrorWindow:  5,
 	}
 }
@@ -92,7 +92,7 @@ func (m *MPC) maxRecentError() float64 {
 // Decide implements abr.Controller.
 func (m *MPC) Decide(ctx *abr.Context) abr.Decision {
 	m.observeError(ctx.LastThroughputMbps)
-	omega := ctx.PredictSafe(float64(m.Horizon) * m.ladder.SegmentSeconds)
+	omega := ctx.PredictSafe(float64(m.Horizon) * float64(m.ladder.SegmentSeconds))
 	m.lastPrediction = omega
 	if m.robust {
 		omega = omega / (1 + m.maxRecentError())
@@ -144,8 +144,8 @@ func (m *MPC) plan(omega, buffer, cap_ float64, prevRung, k int) (int, float64) 
 // segmentObjective scores downloading one segment at rung r from the given
 // buffer, returning the contribution and the next buffer level.
 func (m *MPC) segmentObjective(r, prev int, buffer, cap_, omega float64) (float64, float64) {
-	l := m.ladder.SegmentSeconds
-	downloadTime := m.ladder.Mbps(r) * l / omega
+	l := float64(m.ladder.SegmentSeconds)
+	downloadTime := float64(m.ladder.Mbps(r)) * l / omega
 	stall := math.Max(0, downloadTime-buffer)
 	nextBuf := math.Max(buffer-downloadTime, 0) + l
 	if nextBuf > cap_ {
@@ -183,7 +183,7 @@ func (f *Fugu) Name() string { return "fugu" }
 
 // Decide implements abr.Controller.
 func (f *Fugu) Decide(ctx *abr.Context) abr.Decision {
-	horizon := float64(f.Horizon) * f.ladder.SegmentSeconds
+	horizon := float64(f.Horizon) * float64(f.ladder.SegmentSeconds)
 	omega := ctx.PredictSafe(horizon)
 	if ctx.PredictQuantile != nil {
 		if q := ctx.PredictQuantile(f.StallQuantile, horizon); q > 0 {

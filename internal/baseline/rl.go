@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -30,7 +31,7 @@ func NewRLSim(ladder video.Ladder) *RLSim {
 	return &RLSim{
 		ladder:          ladder,
 		Aggressiveness:  0.95,
-		ReserveSeconds:  2 * ladder.SegmentSeconds,
+		ReserveSeconds:  2 * float64(ladder.SegmentSeconds),
 		DefensiveFactor: 0.6,
 	}
 }
@@ -43,14 +44,14 @@ func (r *RLSim) Reset() {}
 
 // Decide implements abr.Controller.
 func (r *RLSim) Decide(ctx *abr.Context) abr.Decision {
-	omega := ctx.PredictSafe(r.ladder.SegmentSeconds)
+	omega := ctx.PredictSafe(float64(r.ladder.SegmentSeconds))
 	factor := r.Aggressiveness
 	if ctx.Buffer < r.ReserveSeconds {
 		// Defensive mode: scale down proportionally to the buffer deficit.
 		frac := ctx.Buffer / r.ReserveSeconds
 		factor = r.DefensiveFactor * frac
 	}
-	return abr.Decision{Rung: r.ladder.MaxSustainable(factor * omega)}
+	return abr.Decision{Rung: r.ladder.MaxSustainable(units.Mbps(factor * omega))}
 }
 
 var _ abr.Controller = (*RLSim)(nil)

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -43,14 +44,14 @@ type Config struct {
 	// K·Δt never exceeds MaxHorizonSeconds (§5.2 limits predictions to 10 s).
 	Horizon int
 	// MaxHorizonSeconds caps the planning window in wall-clock terms.
-	MaxHorizonSeconds float64
+	MaxHorizonSeconds units.Seconds
 	// Beta weights the buffer-stability cost b(x).
 	Beta float64
 	// Gamma weights the switching cost c(r, r').
 	Gamma float64
-	// TargetBuffer is x̄, the buffer level the controller steers toward, in
-	// seconds. Zero means "derive from the buffer cap" (TargetFraction).
-	TargetBuffer float64
+	// TargetBuffer is x̄, the buffer level the controller steers toward.
+	// Zero means "derive from the buffer cap" (TargetFraction).
+	TargetBuffer units.Seconds
 	// TargetFraction sets x̄ = TargetFraction · xmax when TargetBuffer is 0.
 	TargetFraction float64
 	// Epsilon is the ε < 1 roll-off of the buffer cost above the target.
@@ -100,7 +101,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Horizon:           5,
-		MaxHorizonSeconds: 10,
+		MaxHorizonSeconds: units.Seconds(10),
 		Beta:              0.15,
 		Gamma:             5,
 		TargetFraction:    0.60,
@@ -153,9 +154,9 @@ func (c Config) Validate() error {
 // cost function choices are flexible (§3.1).
 type CostModel struct {
 	ladder video.Ladder
-	dt     float64
-	xmax   float64
-	target float64
+	dt     units.Seconds
+	xmax   units.Seconds
+	target units.Seconds
 	beta   float64
 	gamma  float64
 	eps    float64
@@ -182,10 +183,10 @@ type CostModel struct {
 	stats   SolveStats
 }
 
-func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel {
+func newCostModel(cfg Config, ladder video.Ladder, bufferCap units.Seconds) *CostModel {
 	target := cfg.TargetBuffer
 	if target == 0 {
-		target = cfg.TargetFraction * bufferCap
+		target = units.Seconds(cfg.TargetFraction * float64(bufferCap))
 	}
 	m := &CostModel{
 		ladder: ladder,
@@ -197,12 +198,12 @@ func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel
 		eps:    cfg.Epsilon,
 		v:      make([]float64, ladder.Len()),
 	}
-	raw := func(r float64) float64 {
+	raw := func(r units.Mbps) float64 {
 		switch cfg.Distortion {
 		case DistortionLog:
-			return math.Log(ladder.Max() / r)
+			return math.Log(float64(ladder.Max() / r))
 		default:
-			return 1 / r
+			return 1 / float64(r)
 		}
 	}
 	lo, hi := raw(ladder.Max()), raw(ladder.Min())
@@ -225,7 +226,7 @@ func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel
 	m.rateMin = make([]float64, ladder.Len())
 	running := math.Inf(1)
 	for i := 0; i < ladder.Len(); i++ {
-		m.rate[i] = m.v[i] * m.dt / ladder.Mbps(i)
+		m.rate[i] = m.v[i] * float64(m.dt) / float64(ladder.Mbps(i))
 		if m.rate[i] < running {
 			running = m.rate[i]
 		}
@@ -236,8 +237,8 @@ func newCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel
 
 // bufferCost is b(x) of §3.1: a quadratic well around the target with a
 // gentler ε roll-off above it.
-func (m *CostModel) bufferCost(x float64) float64 {
-	d := x - m.target
+func (m *CostModel) bufferCost(x units.Seconds) float64 {
+	d := float64(x - m.target)
 	if d <= 0 {
 		return d * d
 	}
@@ -246,8 +247,8 @@ func (m *CostModel) bufferCost(x float64) float64 {
 
 // nextBuffer advances the buffer dynamics one interval:
 // x1 = x0 + ω̂Δt/r − Δt.
-func (m *CostModel) nextBuffer(x0, omega float64, rung int) float64 {
-	return x0 + omega*m.dt/m.ladder.Mbps(rung) - m.dt
+func (m *CostModel) nextBuffer(x0 units.Seconds, omega units.Mbps, rung int) units.Seconds {
+	return x0 + omega.MegabitsIn(m.dt).AtRate(m.ladder.Mbps(rung)) - m.dt
 }
 
 // stepCost evaluates one term of the objective for selecting rung after
@@ -264,7 +265,7 @@ func (m *CostModel) nextBuffer(x0, omega float64, rung int) float64 {
 // in-the-wild throughput routinely exceeds the top rung, and treating
 // overflow as infeasible would forbid the smooth "park at a sustainable rung
 // and idle" behaviour the controller needs there.
-func (m *CostModel) stepCost(rung, prevRung int, x0, omega float64) (cost, x1 float64, feasible bool) {
+func (m *CostModel) stepCost(rung, prevRung int, x0 units.Seconds, omega units.Mbps) (cost float64, x1 units.Seconds, feasible bool) {
 	x1 = m.nextBuffer(x0, omega, rung)
 	if x1 < 0 {
 		return 0, x1, false
@@ -272,8 +273,9 @@ func (m *CostModel) stepCost(rung, prevRung int, x0, omega float64) (cost, x1 fl
 	if x1 > m.xmax {
 		x1 = m.xmax
 	}
-	downloaded := omega * m.dt / m.ladder.Mbps(rung) // seconds of video fetched
-	cost = m.v[rung]*downloaded + m.beta*m.bufferCost(x1)
+	// Seconds of video fetched in one interval.
+	downloaded := omega.MegabitsIn(m.dt).AtRate(m.ladder.Mbps(rung))
+	cost = m.v[rung]*float64(downloaded) + m.beta*m.bufferCost(x1)
 	if prevRung >= 0 {
 		dv := (m.v[rung] - m.v[prevRung]) * m.gapInv
 		cost += m.gamma * dv * dv
@@ -284,7 +286,7 @@ func (m *CostModel) stepCost(rung, prevRung int, x0, omega float64) (cost, x1 fl
 // sequenceCost evaluates a full K-step rung sequence from (x0, prevRung)
 // under per-step bandwidth predictions, returning +Inf when any step is
 // infeasible. Used by tests and the brute-force solver.
-func (m *CostModel) sequenceCost(rungs []int, prevRung int, x0 float64, omegas []float64) float64 {
+func (m *CostModel) sequenceCost(rungs []int, prevRung int, x0 units.Seconds, omegas []units.Mbps) float64 {
 	total := 0.0
 	x := x0
 	prev := prevRung

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -15,8 +16,8 @@ type Controller struct {
 	cfg     Config
 	ladder  video.Ladder
 	model   *CostModel // rebuilt lazily when the buffer cap changes
-	capFor  float64
-	scratch [1]float64 // constant-prediction slice, reused across decisions
+	capFor  units.Seconds
+	scratch [1]units.Mbps // constant-prediction slice, reused across decisions
 
 	// memo is the Decide-level decision cache: a direct-mapped, fixed-size
 	// table keyed on the quantized planning state, valid across consecutive
@@ -144,7 +145,7 @@ func (c *Controller) horizon(ctx *abr.Context) int {
 	return k
 }
 
-func (c *Controller) modelFor(bufferCap float64) *CostModel {
+func (c *Controller) modelFor(bufferCap units.Seconds) *CostModel {
 	if c.model == nil || c.capFor != bufferCap {
 		c.model = newCostModel(c.cfg, c.ladder, bufferCap)
 		c.capFor = bufferCap
@@ -158,24 +159,26 @@ func (c *Controller) modelFor(bufferCap float64) *CostModel {
 // Decide implements abr.Controller: solve the K-step predictive problem and
 // commit the first decision (§3.3).
 func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
-	m := c.modelFor(ctx.BufferCap)
+	// abr.Context is a float64 boundary (see internal/units): type the
+	// quantities the moment they enter the controller.
+	m := c.modelFor(units.Seconds(ctx.BufferCap))
 
 	// No room for another segment: idle until the buffer drains — the blank
 	// no-download region of Fig. 5. (Player harnesses typically enforce this
 	// themselves; the check keeps direct API use safe.)
-	if over := ctx.Buffer + m.dt - ctx.BufferCap; over > 1e-9 {
-		return abr.Wait(over)
+	if over := units.Seconds(ctx.Buffer) + m.dt - units.Seconds(ctx.BufferCap); over > 1e-9 {
+		return abr.Wait(float64(over))
 	}
 
 	k := c.horizon(ctx)
-	omega := ctx.PredictSafe(float64(k) * m.dt)
-	x0 := ctx.Buffer
+	omega := units.Mbps(ctx.PredictSafe(float64(k) * float64(m.dt)))
+	x0 := units.Seconds(ctx.Buffer)
 	if c.memo != nil {
 		// Solve at the quantized state so the cached decision is a pure
 		// function of the memo key: hits and misses agree by construction,
 		// and replaying a context stream is order-independent.
-		omega = quantize(omega, c.cfg.MemoQuantum)
-		x0 = quantize(x0, c.cfg.MemoQuantum)
+		omega = units.Mbps(quantize(float64(omega), c.cfg.MemoQuantum))
+		x0 = units.Seconds(quantize(float64(x0), c.cfg.MemoQuantum))
 	}
 	c.scratch[0] = omega
 	omegas := c.scratch[:]
@@ -198,9 +201,9 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	var entry *memoEntry
 	if c.memo != nil {
 		c.memoLookups++
-		h := memoHash(x0, omega, ctx.PrevRung, k, maxRung)
+		h := memoHash(float64(x0), float64(omega), ctx.PrevRung, k, maxRung)
 		entry = &c.memo[h&c.memoMask]
-		if entry.used && entry.qx == x0 && entry.qw == omega &&
+		if entry.used && entry.qx == float64(x0) && entry.qw == float64(omega) &&
 			entry.prev == int32(ctx.PrevRung) && entry.k == int32(k) &&
 			entry.maxRung == int32(maxRung) {
 			c.memoHits++
@@ -229,7 +232,7 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	}
 	if entry != nil {
 		*entry = memoEntry{
-			qx: x0, qw: omega,
+			qx: float64(x0), qw: float64(omega),
 			prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
 			rung: int32(rung), used: true,
 		}
@@ -248,7 +251,7 @@ type DiagramCell struct {
 // DecisionDiagram evaluates SODA's decision over a (buffer level, predicted
 // throughput) grid, reproducing Figure 5. prevRung seeds the switching cost;
 // use -1 for the unconditioned diagram.
-func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap float64,
+func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap units.Seconds,
 	buffers, omegas []float64, prevRung int) []DiagramCell {
 	ctrl := New(cfg, ladder)
 	cells := make([]DiagramCell, 0, len(buffers)*len(omegas))
@@ -257,7 +260,7 @@ func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap float64,
 			omega := w
 			ctx := &abr.Context{
 				Buffer:    b,
-				BufferCap: bufferCap,
+				BufferCap: float64(bufferCap),
 				PrevRung:  prevRung,
 				Ladder:    ladder,
 				Predict:   func(float64) float64 { return omega },
@@ -335,7 +338,7 @@ func Grid(lo, hi float64, n int) []float64 {
 // often the monotonic solver's committed decision differs from brute force —
 // the Figure 8 experiment. Situations draw buffer uniformly in (0, cap),
 // previous rung uniformly, and throughput uniformly in [rmin/2, 2·rmax].
-func MismatchProbability(cfg Config, ladder video.Ladder, bufferCap float64, samples int, seed uint64) float64 {
+func MismatchProbability(cfg Config, ladder video.Ladder, bufferCap units.Seconds, samples int, seed uint64) float64 {
 	return MismatchProbabilityStats(cfg, ladder, bufferCap, samples, seed).Probability
 }
 
@@ -354,7 +357,7 @@ type MismatchStats struct {
 
 // MismatchProbabilityStats runs the Figure 8 sampling and also reports the
 // monotone solver's per-solve work.
-func MismatchProbabilityStats(cfg Config, ladder video.Ladder, bufferCap float64, samples int, seed uint64) MismatchStats {
+func MismatchProbabilityStats(cfg Config, ladder video.Ladder, bufferCap units.Seconds, samples int, seed uint64) MismatchStats {
 	if samples <= 0 {
 		return MismatchStats{}
 	}
@@ -365,12 +368,12 @@ func MismatchProbabilityStats(cfg Config, ladder video.Ladder, bufferCap float64
 	maxRung := ladder.Len() - 1
 	k := cfg.Horizon
 	for i := 0; i < samples; i++ {
-		x0 := rng.float() * bufferCap
+		x0 := units.Seconds(rng.float() * float64(bufferCap))
 		prev := int(rng.float() * float64(ladder.Len()))
 		if prev >= ladder.Len() {
 			prev = ladder.Len() - 1
 		}
-		omegas := []float64{ladder.Min()/2 + rng.float()*(2*ladder.Max()-ladder.Min()/2)}
+		omegas := []units.Mbps{ladder.Min()/2 + units.Mbps(rng.float())*(2*ladder.Max()-ladder.Min()/2)}
 		fast := m.searchMonotonic(omegas, x0, prev, k, maxRung)
 		slow := m.bruteForce(omegas, x0, prev, k, maxRung)
 		if fast.rung < 0 && slow.rung < 0 {

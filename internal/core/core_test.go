@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -87,12 +88,12 @@ func TestBufferDynamics(t *testing.T) {
 	// x1 = x0 + ωΔt/r − Δt. With ω = r, buffer is flat.
 	for i := 0; i < m.ladder.Len(); i++ {
 		r := m.ladder.Mbps(i)
-		if got := m.nextBuffer(10, r, i); math.Abs(got-10) > 1e-12 {
+		if got := m.nextBuffer(10, r, i); math.Abs(float64(got)-10) > 1e-12 {
 			t.Errorf("rung %d: ω=r should hold buffer, got %v", i, got)
 		}
 	}
 	// ω = 2r doubles the download rate: buffer grows by Δt.
-	if got := m.nextBuffer(10, 24, 2); math.Abs(got-(10+2*24.0/7.5-2)) > 1e-12 {
+	if got := m.nextBuffer(10, 24, 2); math.Abs(float64(got)-(10+2*24.0/7.5-2)) > 1e-12 {
 		t.Errorf("nextBuffer = %v", got)
 	}
 }
@@ -113,7 +114,7 @@ func TestStepCostFeasibility(t *testing.T) {
 	if !ok || c < 0 {
 		t.Errorf("feasible step rejected: cost=%v ok=%v", c, ok)
 	}
-	if math.Abs(x1-12) > 1e-12 {
+	if math.Abs(float64(x1)-12) > 1e-12 {
 		t.Errorf("x1 = %v", x1)
 	}
 }
@@ -141,9 +142,9 @@ func TestBruteForceIsLowerBound(t *testing.T) {
 		{30, 12, 3, 4}, {5, 5, 5, 4}, {60, 18, 0, 3}, {2, 2, 2, 5}, {10, 10, -1, 4},
 	}
 	for _, c := range cases {
-		omegas := []float64{c.omega}
-		fast := m.searchMonotonic(omegas, c.x0, c.prev, c.k, m.ladder.Len()-1)
-		slow := m.bruteForce(omegas, c.x0, c.prev, c.k, m.ladder.Len()-1)
+		omegas := []units.Mbps{units.Mbps(c.omega)}
+		fast := m.searchMonotonic(omegas, units.Seconds(c.x0), c.prev, c.k, m.ladder.Len()-1)
+		slow := m.bruteForce(omegas, units.Seconds(c.x0), c.prev, c.k, m.ladder.Len()-1)
 		if (fast.rung < 0) != (slow.rung < 0) {
 			t.Errorf("case %+v: feasibility disagreement fast=%d slow=%d", c, fast.rung, slow.rung)
 			continue
@@ -377,7 +378,7 @@ func TestSolverCapBelowPrevRung(t *testing.T) {
 	// Throughput collapse: cap sits below the previous rung; the solver must
 	// still return a feasible (downward) plan.
 	m := defaultModel()
-	res := m.searchMonotonic([]float64{2}, 10, 5, 4, video.YouTube4K().CapIndex(2))
+	res := m.searchMonotonic([]units.Mbps{2}, 10, 5, 4, video.YouTube4K().CapIndex(2))
 	if res.rung < 0 || res.rung > 1 {
 		t.Errorf("collapse decision = %d", res.rung)
 	}
@@ -418,7 +419,7 @@ func TestRecedingHorizonBoundaryReplay(t *testing.T) {
 	// replay to clamp (stepCostUnchecked).
 	cfg := DefaultConfig()
 	m := NewCostModel(cfg, video.Mobile(), 20)
-	omegas := []float64{6, 6, 6, 200, 200, 6, 6, 6, 6, 6}
+	omegas := []units.Mbps{6, 6, 6, 200, 200, 6, 6, 6, 6, 6}
 	cost, seq, err := RecedingHorizonCost(m, omegas, 18, 3, false)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -18,7 +19,7 @@ import (
 //
 // OfflineSolve runs the DP and returns the approximate optimal total cost and
 // the optimal rung sequence.
-func OfflineSolve(m *CostModel, omegas []float64, x0 float64, startRung, gridN int) (float64, []int, error) {
+func OfflineSolve(m *CostModel, omegas []units.Mbps, x0 units.Seconds, startRung, gridN int) (float64, []int, error) {
 	n := len(omegas)
 	if n == 0 {
 		return 0, nil, fmt.Errorf("core: empty horizon")
@@ -27,8 +28,8 @@ func OfflineSolve(m *CostModel, omegas []float64, x0 float64, startRung, gridN i
 		return 0, nil, fmt.Errorf("core: grid too coarse (%d)", gridN)
 	}
 	nr := m.ladder.Len()
-	bucketOf := func(x float64) int {
-		b := int(x / m.xmax * float64(gridN-1))
+	bucketOf := func(x units.Seconds) int {
+		b := int(float64(x) / float64(m.xmax) * float64(gridN-1))
 		if b < 0 {
 			b = 0
 		}
@@ -37,7 +38,7 @@ func OfflineSolve(m *CostModel, omegas []float64, x0 float64, startRung, gridN i
 		}
 		return b
 	}
-	xOf := func(b int) float64 { return float64(b) / float64(gridN-1) * m.xmax }
+	xOf := func(b int) units.Seconds { return units.Seconds(float64(b) / float64(gridN-1) * float64(m.xmax)) }
 
 	const inf = math.MaxFloat64 / 4
 	// value[t][r][b]: cost-to-go from the start of step t with previous rung
@@ -112,7 +113,7 @@ func OfflineSolve(m *CostModel, omegas []float64, x0 float64, startRung, gridN i
 		_, x1, ok := m.stepCost(int(r), prevToRung(prev, nr), x, omegas[t])
 		if !ok {
 			// The discretized policy can brush the boundary; clamp.
-			x1 = math.Max(0, math.Min(m.xmax, m.nextBuffer(x, omegas[t], int(r))))
+			x1 = units.Seconds(math.Max(0, math.Min(float64(m.xmax), float64(m.nextBuffer(x, omegas[t], int(r))))))
 		}
 		x = x1
 		prev = int(r)
@@ -133,7 +134,7 @@ func prevToRung(idx, nr int) int {
 // experiments. When terminal is true, each planning problem strengthens the
 // pull toward the target buffer, approximating the Algorithm 2 terminal
 // constraint.
-func RecedingHorizonCost(m *CostModel, omegas []float64, x0 float64, k int, terminal bool) (float64, []int, error) {
+func RecedingHorizonCost(m *CostModel, omegas []units.Mbps, x0 units.Seconds, k int, terminal bool) (float64, []int, error) {
 	n := len(omegas)
 	if n == 0 {
 		return 0, nil, fmt.Errorf("core: empty horizon")
@@ -164,7 +165,7 @@ func RecedingHorizonCost(m *CostModel, omegas []float64, x0 float64, k int, term
 		}
 		c, x1, ok := m.stepCost(res.rung, prev, x, omegas[t])
 		if !ok {
-			x1 = math.Max(0, math.Min(m.xmax, m.nextBuffer(x, omegas[t], res.rung)))
+			x1 = units.Seconds(math.Max(0, math.Min(float64(m.xmax), float64(m.nextBuffer(x, omegas[t], res.rung)))))
 			c, _, _ = m.stepCostUnchecked(res.rung, prev, x, omegas[t])
 		}
 		total += c
@@ -178,10 +179,10 @@ func RecedingHorizonCost(m *CostModel, omegas []float64, x0 float64, k int, term
 // stepCostUnchecked evaluates the step cost without the feasibility check,
 // used only when replaying a committed decision whose realized buffer
 // brushed the boundary.
-func (m *CostModel) stepCostUnchecked(rung, prevRung int, x0, omega float64) (cost, x1 float64, feasible bool) {
+func (m *CostModel) stepCostUnchecked(rung, prevRung int, x0 units.Seconds, omega units.Mbps) (cost float64, x1 units.Seconds, feasible bool) {
 	x1 = m.nextBuffer(x0, omega, rung)
-	downloaded := omega * m.dt / m.ladder.Mbps(rung)
-	cost = m.v[rung]*downloaded + m.beta*m.bufferCost(x1)
+	downloaded := omega.MegabitsIn(m.dt).AtRate(m.ladder.Mbps(rung))
+	cost = m.v[rung]*float64(downloaded) + m.beta*m.bufferCost(x1)
 	if prevRung >= 0 {
 		dv := (m.v[rung] - m.v[prevRung]) * m.gapInv
 		cost += m.gamma * dv * dv
@@ -193,7 +194,7 @@ func (m *CostModel) stepCostUnchecked(rung, prevRung int, x0, omega float64) (co
 // terminal preference pulling the final buffer toward the target x̄. The
 // indicator terminal cost of the theory is softened into a stiff quadratic so
 // the discrete search remains total.
-func (m *CostModel) searchMonotonicTerminal(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+func (m *CostModel) searchMonotonicTerminal(omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) solveResult {
 	saved := m.beta
 	defer func() { m.beta = saved }()
 	// A stiffer pull toward the target approximates the terminal constraint
@@ -205,7 +206,7 @@ func (m *CostModel) searchMonotonicTerminal(omegas []float64, x0 float64, prevRu
 // NewCostModel exposes the internal cost model for the theory experiments
 // and benches that need to evaluate Equation 1 directly. The returned model
 // is not safe for concurrent use.
-func NewCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel {
+func NewCostModel(cfg Config, ladder video.Ladder, bufferCap units.Seconds) *CostModel {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -215,6 +216,6 @@ func NewCostModel(cfg Config, ladder video.Ladder, bufferCap float64) *CostModel
 // SequenceCost evaluates Equation 1 for a committed rung sequence under
 // per-step bandwidths, returning +Inf when the trajectory leaves the buffer
 // range.
-func (m *CostModel) SequenceCost(rungs []int, prevRung int, x0 float64, omegas []float64) float64 {
+func (m *CostModel) SequenceCost(rungs []int, prevRung int, x0 units.Seconds, omegas []units.Mbps) float64 {
 	return m.sequenceCost(rungs, prevRung, x0, omegas)
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -17,10 +18,10 @@ func TestSolverFirstStepAlwaysFeasible(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 1))
-		x0 := rng.Float64() * 20
+		x0 := units.Seconds(rng.Float64() * 20)
 		prev := rng.IntN(6)
-		omega := 0.5 + rng.Float64()*100
-		res := m.searchMonotonic([]float64{omega}, x0, prev, 5, 5)
+		omega := units.Mbps(0.5 + rng.Float64()*100)
+		res := m.searchMonotonic([]units.Mbps{omega}, x0, prev, 5, 5)
 		if res.rung < 0 {
 			return true // infeasible is an acceptable answer; Decide handles it
 		}
@@ -38,9 +39,9 @@ func TestSolverNeverBeatsBruteForce(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 2))
-		x0 := rng.Float64() * 20
+		x0 := units.Seconds(rng.Float64() * 20)
 		prev := rng.IntN(4)
-		omega := []float64{0.5 + rng.Float64()*30}
+		omega := []units.Mbps{units.Mbps(0.5 + rng.Float64()*30)}
 		k := 1 + rng.IntN(5)
 		fast := m.searchMonotonic(omega, x0, prev, k, 3)
 		slow := m.bruteForce(omega, x0, prev, k, 3)
@@ -63,9 +64,9 @@ func TestSolversIdenticalAtK1(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 3))
-		x0 := rng.Float64() * 20
+		x0 := units.Seconds(rng.Float64() * 20)
 		prev := rng.IntN(6)
-		omega := []float64{0.5 + rng.Float64()*100}
+		omega := []units.Mbps{units.Mbps(0.5 + rng.Float64()*100)}
 		fast := m.searchMonotonic(omega, x0, prev, 1, 5)
 		slow := m.bruteForce(omega, x0, prev, 1, 5)
 		if fast.rung != slow.rung {
@@ -92,13 +93,13 @@ func TestSolverMatchesReference(t *testing.T) {
 	plain := NewCostModel(noPruneCfg, video.YouTube4K(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 7))
-		x0 := rng.Float64() * 20
+		x0 := units.Seconds(rng.Float64() * 20)
 		prev := rng.IntN(7) - 1 // includes session start
 		k := 1 + rng.IntN(6)
 		maxRung := rng.IntN(6)
-		omegas := make([]float64, 1+rng.IntN(3))
+		omegas := make([]units.Mbps, 1+rng.IntN(3))
 		for i := range omegas {
-			omegas[i] = 0.3 + rng.Float64()*90
+			omegas[i] = units.Mbps(0.3 + rng.Float64()*90)
 		}
 		ref := m.searchMonotonicRef(omegas, x0, prev, k, maxRung)
 		for _, got := range []solveResult{
@@ -150,10 +151,10 @@ func TestStepCostNonNegativeFinite(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 5))
-		x0 := rng.Float64() * 20
+		x0 := units.Seconds(rng.Float64() * 20)
 		rung := rng.IntN(4)
 		prev := rng.IntN(5) - 1
-		omega := 0.1 + rng.Float64()*60
+		omega := units.Mbps(0.1 + rng.Float64()*60)
 		c, x1, ok := m.stepCost(rung, prev, x0, omega)
 		if !ok {
 			return true
@@ -171,9 +172,9 @@ func TestSequenceCostAdditive(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 6))
-		x0 := 5 + rng.Float64()*10
+		x0 := units.Seconds(5 + rng.Float64()*10)
 		prev := rng.IntN(4)
-		omega := []float64{4 + rng.Float64()*10}
+		omega := []units.Mbps{units.Mbps(4 + rng.Float64()*10)}
 		seq := make([]int, 1+rng.IntN(4))
 		for i := range seq {
 			seq[i] = rng.IntN(4)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+
+	"repro/internal/units"
 )
 
 // solveResult is a solver's answer for one planning problem.
@@ -49,12 +51,12 @@ func (m *CostModel) ResetSolveStats() { m.stats = SolveStats{} }
 // steady-state solve path performs no allocations. Slices grow monotonically
 // to the largest horizon seen by this model.
 type solveScratch struct {
-	cur   []int     // next rung to try at each depth (the DFS cursor)
-	rung  []int     // committed rung per depth on the current path
-	stepC []float64 // cost of the committed step per depth
-	x     []float64 // buffer level entering each depth; x[0] = x0
-	pref  []float64 // left-associated prefix cost of steps [0, d)
-	wsum  []float64 // suffix sums of ω̂: wsum[d] = Σ_{j>=d} omegaAt(omegas, j)
+	cur   []int           // next rung to try at each depth (the DFS cursor)
+	rung  []int           // committed rung per depth on the current path
+	stepC []float64       // cost of the committed step per depth
+	x     []units.Seconds // buffer level entering each depth; x[0] = x0
+	pref  []float64       // left-associated prefix cost of steps [0, d)
+	wsum  []units.Mbps    // suffix sums of ω̂: wsum[d] = Σ_{j>=d} omegaAt(omegas, j)
 }
 
 func (s *solveScratch) ensure(k int) {
@@ -64,15 +66,15 @@ func (s *solveScratch) ensure(k int) {
 	s.cur = make([]int, k)
 	s.rung = make([]int, k)
 	s.stepC = make([]float64, k)
-	s.x = make([]float64, k+1)
+	s.x = make([]units.Seconds, k+1)
 	s.pref = make([]float64, k+1)
-	s.wsum = make([]float64, k+1)
+	s.wsum = make([]units.Mbps, k+1)
 }
 
 // omegaAt returns the bandwidth prediction for planning step depth. A
 // constant predictor passes a single-element slice; the theory experiments
 // pass per-step exact predictions (§3.2 allows piecewise-constant forecasts).
-func omegaAt(omegas []float64, depth int) float64 {
+func omegaAt(omegas []units.Mbps, depth int) units.Mbps {
 	if depth < len(omegas) {
 		return omegas[depth]
 	}
@@ -97,7 +99,7 @@ func omegaAt(omegas []float64, depth int) float64 {
 // ladder.Len()-1 to disable. prevRung < 0 (session start) admits any first
 // rung with no switching charge, then monotonic continuations in both
 // directions.
-func (m *CostModel) searchMonotonic(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+func (m *CostModel) searchMonotonic(omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) solveResult {
 	if k <= 0 || len(omegas) == 0 || maxRung < 0 {
 		return solveResult{rung: -1}
 	}
@@ -128,7 +130,7 @@ func (m *CostModel) searchMonotonic(omegas []float64, x0 float64, prevRung, k, m
 			// The continuation may go either way, so the remainder bound uses
 			// the full rung range [0, maxRung].
 			if !m.noPrune && best.rung >= 0 &&
-				c+m.rateMin[maxRung]*s.wsum[1] >= best.obj+pruneGuard {
+				c+m.rateMin[maxRung]*float64(s.wsum[1]) >= best.obj+pruneGuard {
 				m.stats.Pruned++
 				continue
 			}
@@ -187,12 +189,12 @@ func dirRange(prev, maxRung, dir int) (lo, hi int) {
 // min_{r' ≤ hi} (v[r']·Δt/mbps[r']) · Σ remaining ω̂. The per-rung minimum is
 // precomputed as rateMin (a prefix minimum, tight because the distortion rate
 // is non-increasing in the rung index).
-func (m *CostModel) remainderBound(r, maxRung, dir int, wsumRest float64) float64 {
+func (m *CostModel) remainderBound(r, maxRung, dir int, wsumRest units.Mbps) float64 {
 	hi := maxRung
 	if dir < 0 && r < hi {
 		hi = r
 	}
-	return m.rateMin[hi] * wsumRest
+	return m.rateMin[hi] * float64(wsumRest)
 }
 
 // searchDirBB is the iterative branch-and-bound core shared by both
@@ -203,7 +205,7 @@ func (m *CostModel) remainderBound(r, maxRung, dir int, wsumRest float64) float6
 // upper bound on the optimal objective used only to tighten pruning (the
 // flat-plan cost, or +Inf); the incumbent itself is updated exclusively from
 // evaluated leaves so ties resolve in reference order.
-func (m *CostModel) searchDirBB(omegas []float64, basePrev, startDepth, k, maxRung, dir int, seed float64, best *solveResult) {
+func (m *CostModel) searchDirBB(omegas []units.Mbps, basePrev, startDepth, k, maxRung, dir int, seed float64, best *solveResult) {
 	s := &m.scratch
 	prune := !m.noPrune
 	d := startDepth
@@ -238,7 +240,7 @@ func (m *CostModel) searchDirBB(omegas []float64, basePrev, startDepth, k, maxRu
 			// ω̂·rate[r] in distortion and at least its switching charge;
 			// the buffer term and the remainder are bounded below. When even
 			// that exceeds the threshold, skip without evaluating the step.
-			opt := s.pref[d] + omegaAt(omegas, d)*m.rate[r]
+			opt := s.pref[d] + float64(omegaAt(omegas, d))*m.rate[r]
 			dv := (m.v[r] - m.v[prev]) * m.gapInv
 			opt += m.gamma * dv * dv
 			opt += m.remainderBound(r, maxRung, dir, s.wsum[d+1])
@@ -287,14 +289,14 @@ func (m *CostModel) searchDirBB(omegas []float64, basePrev, startDepth, k, maxRu
 // plan was feasible. It is the exported entry point for benchmarks and
 // downstream tools; the controller's Decide wraps it with the §5.1 cap,
 // horizon fallback, and the decision memo.
-func (m *CostModel) Solve(omegas []float64, x0 float64, prevRung, k, maxRung int) (rung int, obj float64, ok bool) {
+func (m *CostModel) Solve(omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) (rung int, obj float64, ok bool) {
 	res := m.searchMonotonic(omegas, x0, prevRung, k, maxRung)
 	return res.rung, res.obj, res.rung >= 0
 }
 
 // bruteForce enumerates every rung sequence of length k (the exponential
 // reference solver) under the same cap, returning the best first rung.
-func (m *CostModel) bruteForce(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+func (m *CostModel) bruteForce(omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) solveResult {
 	if k <= 0 || len(omegas) == 0 {
 		return solveResult{rung: -1}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -55,11 +56,11 @@ func FuzzSolverEquivalence(f *testing.F) {
 			t.Skip("non-finite input")
 		}
 		const bufferCap = 20.0
-		x0 := math.Min(1, math.Max(0, xFrac)) * bufferCap
+		x0 := units.Seconds(math.Min(1, math.Max(0, xFrac)) * bufferCap)
 		clampOmega := func(w float64) float64 {
 			return math.Min(1000, math.Max(0.05, math.Abs(w)))
 		}
-		omegas := []float64{clampOmega(omega0), clampOmega(omega1)}
+		omegas := []units.Mbps{units.Mbps(clampOmega(omega0)), units.Mbps(clampOmega(omega1))}
 		prev := int(prevRaw)
 		if prev < -1 {
 			prev = -1

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+
+	"repro/internal/units"
 )
 
 // This file preserves the seed repository's recursive monotone solver,
@@ -11,7 +13,7 @@ import (
 // FuzzSolverEquivalence and TestSolverMatchesReference enforce that.
 
 // searchMonotonicRef is the original recursive Algorithm 1 search.
-func (m *CostModel) searchMonotonicRef(omegas []float64, x0 float64, prevRung, k, maxRung int) solveResult {
+func (m *CostModel) searchMonotonicRef(omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) solveResult {
 	if k <= 0 || len(omegas) == 0 {
 		return solveResult{rung: -1}
 	}
@@ -48,7 +50,7 @@ func (m *CostModel) searchMonotonicRef(omegas []float64, x0 float64, prevRung, k
 // bestContinuationRef returns the cheapest monotone continuation of length k
 // at planning depth, after committing rung r (either direction), or ok=false
 // when none is feasible. k may be 0, in which case it costs nothing.
-func (m *CostModel) bestContinuationRef(omegas []float64, x float64, r, depth, k, maxRung int) (float64, bool) {
+func (m *CostModel) bestContinuationRef(omegas []units.Mbps, x units.Seconds, r, depth, k, maxRung int) (float64, bool) {
 	if k == 0 {
 		return 0, true
 	}
@@ -68,7 +70,7 @@ func (m *CostModel) bestContinuationRef(omegas []float64, x float64, r, depth, k
 // recursively extend the plan with rungs that keep the sequence monotone in
 // the given direction (equality allowed, so flat sequences are reachable from
 // both directions). It returns the total objective and the first rung chosen.
-func (m *CostModel) searchDirRef(omegas []float64, x0 float64, prevRung, depth, k, maxRung, dir int) (float64, solveResult) {
+func (m *CostModel) searchDirRef(omegas []units.Mbps, x0 units.Seconds, prevRung, depth, k, maxRung, dir int) (float64, solveResult) {
 	bestObj := math.Inf(1)
 	best := solveResult{rung: -1}
 	lo, hi := prevRung, maxRung // up: r in [prevRung, maxRung]

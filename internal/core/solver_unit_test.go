@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -64,10 +65,10 @@ func TestCountMonotonicSequencesTable(t *testing.T) {
 }
 
 func TestOmegaAtClamping(t *testing.T) {
-	omegas := []float64{10, 20, 30}
+	omegas := []units.Mbps{10, 20, 30}
 	cases := []struct {
 		depth int
-		want  float64
+		want  units.Mbps
 	}{
 		{0, 10},
 		{1, 20},
@@ -80,7 +81,7 @@ func TestOmegaAtClamping(t *testing.T) {
 			t.Errorf("omegaAt(%v, %d) = %v, want %v", omegas, c.depth, got, c.want)
 		}
 	}
-	single := []float64{7.5}
+	single := []units.Mbps{7.5}
 	for _, depth := range []int{0, 1, 9} {
 		if got := omegaAt(single, depth); got != 7.5 {
 			t.Errorf("omegaAt(single, %d) = %v, want 7.5", depth, got)
@@ -129,12 +130,12 @@ func TestPruningNodeReduction(t *testing.T) {
 	const k, samples = 5, 3000
 	maxRung := on.ladder.Len() - 1
 	for i := 0; i < samples; i++ {
-		x0 := rng.float() * 20
+		x0 := units.Seconds(rng.float() * 20)
 		prev := int(rng.float() * 6)
 		if prev > 5 {
 			prev = 5
 		}
-		omegas := []float64{0.75 + rng.float()*119}
+		omegas := []units.Mbps{units.Mbps(0.75 + rng.float()*119)}
 		a := on.searchMonotonic(omegas, x0, prev, k, maxRung)
 		b := off.searchMonotonic(omegas, x0, prev, k, maxRung)
 		if a.rung != b.rung || a.obj != b.obj {
@@ -163,7 +164,7 @@ func TestPruningNodeReduction(t *testing.T) {
 // TestSolveStatsReset checks the counters zero cleanly.
 func TestSolveStatsReset(t *testing.T) {
 	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
-	m.searchMonotonic([]float64{8}, 10, 2, 4, 3)
+	m.searchMonotonic([]units.Mbps{8}, 10, 2, 4, 3)
 	if st := m.SolveStats(); st.Solves == 0 || st.Nodes == 0 {
 		t.Fatalf("stats not accumulating: %+v", st)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -254,12 +255,12 @@ func meanOf(xs []float64) float64 {
 
 // syntheticOmegas builds a bounded, varying bandwidth sequence for the regret
 // experiments: a sinusoid with a step, within [3, 11] Mb/s.
-func syntheticOmegas(n int) []float64 {
-	out := make([]float64, n)
+func syntheticOmegas(n int) []units.Mbps {
+	out := make([]units.Mbps, n)
 	for i := range out {
-		out[i] = 7 + 4*math.Sin(float64(i)/4)
+		out[i] = units.Mbps(7 + 4*math.Sin(float64(i)/4))
 		if i > n/2 {
-			out[i] = math.Max(3, out[i]-2)
+			out[i] = units.Mbps(math.Max(3, float64(out[i])-2))
 		}
 	}
 	return out

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -73,7 +74,7 @@ func FromLadder(ladder video.Ladder, mediaDuration time.Duration) *MPD {
 		Media:     "segment-$Number$-$RepresentationID$.m4s",
 		Init:      "init-$RepresentationID$.mp4",
 		Timescale: 1000,
-		Duration:  int(ladder.SegmentSeconds * 1000),
+		Duration:  int(ladder.SegmentSeconds.Milliseconds()),
 	}
 	set := AdaptationSet{
 		MimeType:        "video/mp4",
@@ -83,7 +84,7 @@ func FromLadder(ladder video.Ladder, mediaDuration time.Duration) *MPD {
 	for i, r := range ladder.Rungs {
 		set.Representations = append(set.Representations, Representation{
 			ID:        fmt.Sprintf("v%d", i),
-			Bandwidth: int(r.Mbps * 1e6),
+			Bandwidth: int(r.Mbps.Bps()),
 			Width:     r.Width,
 			Height:    r.Height,
 		})
@@ -97,7 +98,7 @@ func FromLadder(ladder video.Ladder, mediaDuration time.Duration) *MPD {
 		mpd.MediaPresentationDur = isoDuration(mediaDuration)
 	} else {
 		mpd.Type = "dynamic"
-		mpd.MinimumUpdatePeriod = isoDuration(time.Duration(ladder.SegmentSeconds * float64(time.Second)))
+		mpd.MinimumUpdatePeriod = isoDuration(time.Duration(float64(ladder.SegmentSeconds) * float64(time.Second)))
 	}
 	return mpd
 }
@@ -141,7 +142,7 @@ func (m *MPD) Ladder() (video.Ladder, error) {
 	if len(mbps) == 0 {
 		return video.Ladder{}, fmt.Errorf("dash: no representations")
 	}
-	ladder := video.NewLadder(mbps, segSeconds)
+	ladder := video.NewLadder(mbps, units.Seconds(segSeconds))
 	for i, r := range reps {
 		ladder.Rungs[i].Width, ladder.Rungs[i].Height = r.Width, r.Height
 	}

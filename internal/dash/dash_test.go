@@ -44,7 +44,7 @@ func TestRoundTripStatic(t *testing.T) {
 		t.Fatalf("rungs = %d", got.Len())
 	}
 	for i := range ladder.Rungs {
-		if math.Abs(got.Mbps(i)-ladder.Mbps(i)) > 1e-9 {
+		if math.Abs(float64(got.Mbps(i)-ladder.Mbps(i))) > 1e-9 {
 			t.Errorf("rung %d = %v, want %v", i, got.Mbps(i), ladder.Mbps(i))
 		}
 		if got.Rungs[i].Width != ladder.Rungs[i].Width {

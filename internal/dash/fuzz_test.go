@@ -30,10 +30,10 @@ func FuzzRead(f *testing.F) {
 		}
 		prev := 0.0
 		for _, r := range ladder.Rungs {
-			if r.Mbps <= prev {
+			if float64(r.Mbps) <= prev {
 				t.Fatalf("ladder not ascending: %v", ladder.Bitrates())
 			}
-			prev = r.Mbps
+			prev = float64(r.Mbps)
 		}
 	})
 }

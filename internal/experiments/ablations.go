@@ -10,6 +10,7 @@ import (
 	"repro/internal/qoe"
 	"repro/internal/sim"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -52,7 +53,7 @@ func runSODAVariant(label string, cfg core.Config, scale Scale, simCfg sim.Confi
 	if base.BufferCap == 0 {
 		base.BufferCap = 20
 	}
-	base.SessionSeconds = scale.SessionSeconds
+	base.SessionSeconds = units.Seconds(scale.SessionSeconds)
 	metrics, err := sim.RunDataset(ds.Sessions, factory, base)
 	if err != nil {
 		return AblationPoint{}, err
@@ -172,10 +173,10 @@ func UltraLowLatency(scale Scale) (*UltraLowLatencyResult, error) {
 			}
 			metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 				Ladder:                ladder,
-				BufferCap:             budget,
+				BufferCap:             units.Seconds(budget),
 				Live:                  true,
-				LiveEdgeOffsetSeconds: budget,
-				SessionSeconds:        scale.SessionSeconds,
+				LiveEdgeOffsetSeconds: units.Seconds(budget),
+				SessionSeconds:        units.Seconds(scale.SessionSeconds),
 			})
 			if err != nil {
 				return nil, err
@@ -190,7 +191,8 @@ func UltraLowLatency(scale Scale) (*UltraLowLatencyResult, error) {
 func (r *UltraLowLatencyResult) Render() string {
 	var b strings.Builder
 	b.WriteString("Ultra-low-latency study (§8): QoE vs live budget (buffer cap = edge offset)\n")
-	for name, aggs := range r.PerController {
+	for _, name := range sortedKeys(r.PerController) {
+		aggs := r.PerController[name]
 		fmt.Fprintf(&b, "  %s:\n", name)
 		for i, agg := range aggs {
 			fmt.Fprintf(&b, "    %4.0fs budget: %s\n", r.Budgets[i], agg.String())
@@ -227,8 +229,8 @@ func AblationPredictor(scale Scale) (*AblationResult, error) {
 		}
 		metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 			Ladder:         ladder,
-			BufferCap:      20,
-			SessionSeconds: scale.SessionSeconds,
+			BufferCap:      units.Seconds(20),
+			SessionSeconds: units.Seconds(scale.SessionSeconds),
 		})
 		if err != nil {
 			return nil, err

@@ -13,6 +13,7 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"repro/internal/abr"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	// Controller registrations.
@@ -100,8 +102,8 @@ func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace
 	}
 	return sim.RunDataset(sessions, factory, sim.Config{
 		Ladder:         ladder,
-		BufferCap:      bufferCap,
-		SessionSeconds: sessionSeconds,
+		BufferCap:      units.Seconds(bufferCap),
+		SessionSeconds: units.Seconds(sessionSeconds),
 	})
 }
 
@@ -122,3 +124,15 @@ func datasetSpecs() []datasetSpec {
 
 // pct formats a fraction as a percentage.
 func pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// sortedKeys returns m's keys in ascending order. Every map iteration whose
+// effects are observable (report text, tie-breaking) must go through this so
+// runs are reproducible; the detrange analyzer enforces it.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

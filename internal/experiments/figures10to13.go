@@ -12,6 +12,7 @@ import (
 	"repro/internal/textplot"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	"repro/internal/player"
@@ -79,8 +80,8 @@ func Figure10(scale Scale) (*Figure10Result, error) {
 // Best returns the controller with the highest mean QoE in a bucket.
 func (r *Figure10Result) Best(bucket string) string {
 	best, bestScore := "", -1e18
-	for name, agg := range r.Aggregates[bucket] {
-		if agg.Score.Mean > bestScore {
+	for _, name := range sortedKeys(r.Aggregates[bucket]) {
+		if agg := r.Aggregates[bucket][name]; agg.Score.Mean > bestScore {
 			best, bestScore = name, agg.Score.Mean
 		}
 	}
@@ -154,8 +155,8 @@ func Figure11(scale Scale) (*Figure11Result, error) {
 			}
 			metrics, err := runNoisyDataset(sessions, factory, sim.Config{
 				Ladder:         ladder,
-				BufferCap:      20,
-				SessionSeconds: scale.SessionSeconds,
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: units.Seconds(scale.SessionSeconds),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("figure11: %s noise %v: %w", name, lvl, err)
@@ -277,7 +278,7 @@ func Figure12(scale Scale) (*Figure12Result, error) {
 		AR:          0.9,
 	}
 	ladder := video.Prototype()
-	sessionSeconds := float64(scale.PrototypeSegments) * ladder.SegmentSeconds
+	sessionSeconds := float64(scale.PrototypeSegments) * float64(ladder.SegmentSeconds)
 	ds, err := tracegen.Generate(profile, scale.PrototypeSessions, sessionSeconds+30, scale.Seed+55)
 	if err != nil {
 		return nil, err
@@ -322,8 +323,8 @@ func Figure12(scale Scale) (*Figure12Result, error) {
 // Best returns the controller with the highest mean QoE.
 func (r *Figure12Result) Best() string {
 	best, bestScore := "", -1e18
-	for name, agg := range r.Aggregates {
-		if agg.Score.Mean > bestScore {
+	for _, name := range sortedKeys(r.Aggregates) {
+		if agg := r.Aggregates[name]; agg.Score.Mean > bestScore {
 			best, bestScore = name, agg.Score.Mean
 		}
 	}

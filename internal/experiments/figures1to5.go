@@ -13,6 +13,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/textplot"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -186,8 +187,8 @@ func Figure03() (*Figure03Result, error) {
 	run := func(c abr.Controller) (sim.Result, error) {
 		return sim.Run(tr, sim.Config{
 			Ladder:           ladder,
-			BufferCap:        20,
-			SessionSeconds:   260,
+			BufferCap:        units.Seconds(20),
+			SessionSeconds:   units.Seconds(260),
 			Controller:       c,
 			Predictor:        evalPredictor(),
 			RecordTrajectory: true,
@@ -253,18 +254,18 @@ func Figure04() (*Figure04Result, error) {
 	tr := traceFigure4()
 	res := &Figure04Result{}
 	for i := 0; i < 4; i++ {
-		res.TimeBased = append(res.TimeBased, tr.MeanOver(float64(i), 1))
+		res.TimeBased = append(res.TimeBased, float64(tr.MeanOver(units.Seconds(i), units.Seconds(1))))
 	}
 	// Segment-based: r1 = 2 Mb/s (2 Mb segment), r2 = 2.5 Mb/s (2.5 Mb).
-	dt1, err := tr.DownloadTime(0, 2.0)
+	dt1, err := tr.DownloadTime(units.Seconds(0), units.Megabits(2.0))
 	if err != nil {
 		return nil, err
 	}
-	dt2, err := tr.DownloadTime(dt1, 2.5)
+	dt2, err := tr.DownloadTime(dt1, units.Megabits(2.5))
 	if err != nil {
 		return nil, err
 	}
-	res.SegmentBased = []float64{2.0 / dt1, 2.5 / dt2}
+	res.SegmentBased = []float64{float64(units.Megabits(2.0).Over(dt1)), float64(units.Megabits(2.5).Over(dt2))}
 	return res, nil
 }
 
@@ -288,7 +289,7 @@ type Figure05Result struct {
 func Figure05() *Figure05Result {
 	buffers := core.Grid(0.5, 19.9, 16)
 	omegas := core.Grid(1, 90, 24)
-	cells := core.DecisionDiagram(core.DefaultConfig(), video.YouTube4K(), 20, buffers, omegas, abr.NoRung)
+	cells := core.DecisionDiagram(core.DefaultConfig(), video.YouTube4K(), units.Seconds(20), buffers, omegas, abr.NoRung)
 	waits := 0
 	for _, c := range cells {
 		if c.Rung < 0 {

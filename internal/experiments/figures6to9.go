@@ -10,12 +10,13 @@ import (
 	"repro/internal/textplot"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
 // traceFigure4 is the throughput function of the paper's Figure 4.
 func traceFigure4() *trace.Trace {
-	return trace.New([]trace.Sample{{Duration: 1, Mbps: 4}, {Duration: 1, Mbps: 1}, {Duration: 2, Mbps: 2}})
+	return trace.New([]trace.Sample{{Duration: units.Seconds(1), Mbps: units.Mbps(4)}, {Duration: units.Seconds(1), Mbps: units.Mbps(1)}, {Duration: units.Seconds(2), Mbps: units.Mbps(2)}})
 }
 
 // Figure06Result reproduces Figure 6: the exponentially decaying
@@ -114,17 +115,17 @@ func Figure07(scale Scale) (*Figure07Result, error) {
 				p := f.make()
 				// Walk the session in 2 s steps, observing realized
 				// throughput like a player would.
-				for t := 0.0; t+32 < tr.Duration(); t += 2 {
-					observed := tr.MeanOver(t, 2)
-					p.Observe(predictor.Sample{Mbps: observed, Duration: 2, EndTime: t + 2})
+				for t := 0.0; units.Seconds(t+32) < tr.Duration(); t += 2 {
+					observed := tr.MeanOver(units.Seconds(t), units.Seconds(2))
+					p.Observe(predictor.Sample{Mbps: float64(observed), Duration: 2, EndTime: t + 2})
 					est := p.Predict(t+2, 2)
 					if est <= 0 {
 						continue
 					}
 					for hi, h := range horizons {
-						actual := tr.MeanOver(t+2+h-2, 2) // the 2 s interval ending h ahead
+						actual := tr.MeanOver(units.Seconds(t+2+h-2), units.Seconds(2)) // the 2 s interval ending h ahead
 						preds[hi] = append(preds[hi], est)
-						actuals[hi] = append(actuals[hi], actual)
+						actuals[hi] = append(actuals[hi], float64(actual))
 					}
 				}
 			}
@@ -198,7 +199,7 @@ func Figure08(scale Scale) *Figure08Result {
 			cfg := core.DefaultConfig()
 			cfg.Horizon = k
 			cfg.Gamma = w * relativeWeightUnit
-			st := core.MismatchProbabilityStats(cfg, video.YouTube4K(), 20, scale.SolverSamples, scale.Seed+uint64(k))
+			st := core.MismatchProbabilityStats(cfg, video.YouTube4K(), units.Seconds(20), scale.SolverSamples, scale.Seed+uint64(k))
 			row[wi] = st.Probability
 			nodes[wi] = st.NodesPerSolve
 		}

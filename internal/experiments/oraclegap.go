@@ -11,6 +11,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -42,8 +43,8 @@ func OracleGap(scale Scale) (*OracleGapResult, error) {
 	for _, tr := range ds.Sessions {
 		o, err := oracle.Solve(tr, oracle.Config{
 			Ladder:         ladder,
-			BufferCap:      20,
-			SessionSeconds: scale.SessionSeconds,
+			BufferCap:      units.Seconds(20),
+			SessionSeconds: units.Seconds(scale.SessionSeconds),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("oraclegap: %w", err)
@@ -62,8 +63,8 @@ func OracleGap(scale Scale) (*OracleGapResult, error) {
 		}
 		metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 			Ladder:         ladder,
-			BufferCap:      20,
-			SessionSeconds: scale.SessionSeconds,
+			BufferCap:      units.Seconds(20),
+			SessionSeconds: units.Seconds(scale.SessionSeconds),
 		})
 		if err != nil {
 			return nil, err

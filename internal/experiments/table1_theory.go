@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -48,14 +49,14 @@ func Table01(fig10 *Figure10Result, fig12 *Figure12Result) *Table01Result {
 	bucketMin := map[string]float64{}
 	for _, bucket := range fig10.Buckets {
 		lo := math.Inf(1)
-		for _, agg := range fig10.Aggregates[bucket] {
-			lo = math.Min(lo, agg.SwitchRate.Mean)
+		for _, name := range sortedKeys(fig10.Aggregates[bucket]) {
+			lo = math.Min(lo, fig10.Aggregates[bucket][name].SwitchRate.Mean)
 		}
 		bucketMin[bucket] = lo
 	}
 	fig12Min := math.Inf(1)
-	for _, agg := range fig12.Aggregates {
-		fig12Min = math.Min(fig12Min, agg.SwitchRate.Mean)
+	for _, name := range sortedKeys(fig12.Aggregates) {
+		fig12Min = math.Min(fig12Min, fig12.Aggregates[name].SwitchRate.Mean)
 	}
 
 	res := &Table01Result{}
@@ -148,22 +149,22 @@ type TheoremRegretResult struct {
 func TheoremRegret() (*TheoremRegretResult, error) {
 	cfg := core.DefaultConfig()
 	cfg.Gamma = 1
-	m := core.NewCostModel(cfg, video.Mobile(), 20)
+	m := core.NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 	n := 80
-	omegas := make([]float64, n)
+	omegas := make([]units.Mbps, n)
 	for i := range omegas {
-		omegas[i] = 7 + 4*math.Sin(float64(i)/4)
+		omegas[i] = units.Mbps(7 + 4*math.Sin(float64(i)/4))
 		if i > n/2 {
-			omegas[i] = math.Max(3, omegas[i]-2)
+			omegas[i] = units.Mbps(math.Max(3, float64(omegas[i])-2))
 		}
 	}
-	opt, _, err := core.OfflineSolve(m, omegas, 10, -1, 400)
+	opt, _, err := core.OfflineSolve(m, omegas, units.Seconds(10), -1, 400)
 	if err != nil {
 		return nil, err
 	}
 	res := &TheoremRegretResult{OfflineOptimal: opt}
 	for _, k := range []int{1, 2, 3, 4, 6, 8, 10} {
-		cost, _, err := core.RecedingHorizonCost(m, omegas, 10, k, false)
+		cost, _, err := core.RecedingHorizonCost(m, omegas, units.Seconds(10), k, false)
 		if err != nil {
 			return nil, err
 		}

@@ -45,7 +45,7 @@ func NewServer(ladder video.Ladder, sizes video.SizeModel, totalSegments int) (*
 	if sizes == nil {
 		sizes = video.CBR{Ladder: ladder}
 	}
-	mediaDur := time.Duration(float64(totalSegments) * ladder.SegmentSeconds * float64(time.Second))
+	mediaDur := time.Duration(float64(totalSegments) * float64(ladder.SegmentSeconds) * float64(time.Second))
 	var sb strings.Builder
 	if err := dash.FromLadder(ladder, mediaDur).Write(&sb); err != nil {
 		return nil, err
@@ -62,7 +62,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/manifest.mpd":
 		w.Header().Set("Content-Type", "application/dash+xml")
-		w.Write(s.mpd)
+		_, _ = w.Write(s.mpd) // a failed write means the client hung up; nothing to do mid-response
 	case strings.HasPrefix(r.URL.Path, "/segment/"):
 		s.serveSegment(w, r)
 	default:
@@ -90,7 +90,7 @@ func (s *Server) serveSegment(w http.ResponseWriter, r *http.Request) {
 	payload := proto.EncodeSegment(proto.SegmentRequest{Index: index, Rung: rung}, int(megabits*1e6/8))
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
-	w.Write(payload)
+	_, _ = w.Write(payload) // a failed write means the client hung up; nothing to do mid-response
 }
 
 // Client fetches the stream over HTTP; it implements the player's Fetcher
@@ -128,13 +128,17 @@ func Dial(baseURL string, timeout time.Duration) (*Client, error) {
 		return nil, err
 	}
 	// Recover the segment count from the advertised media duration.
-	segs, err := segmentsFromMPD(mpd, ladder.SegmentSeconds)
+	segs, err := segmentsFromMPD(mpd, float64(ladder.SegmentSeconds))
 	if err != nil {
 		return nil, err
 	}
+	mbps := make([]float64, ladder.Len())
+	for i := range mbps {
+		mbps[i] = float64(ladder.Mbps(i))
+	}
 	c.manifest = proto.Manifest{
-		BitratesMbps:   ladder.Bitrates(),
-		SegmentSeconds: ladder.SegmentSeconds,
+		BitratesMbps:   mbps,
+		SegmentSeconds: float64(ladder.SegmentSeconds),
 		TotalSegments:  segs,
 	}
 	return c, nil

@@ -1,0 +1,139 @@
+// Package detrange flags nondeterministic iteration in the deterministic
+// core of the SODA reproduction.
+//
+// The paper's controller is a pure function of its inputs: identical traces
+// and configs must reproduce identical decisions, metrics and figures (that
+// is what the golden-file experiment tests pin). Go deliberately randomizes
+// two things that silently break this:
+//
+//   - iteration order of `range` over a map, and
+//   - the case chosen by `select` when several communications are ready.
+//
+// Inside the deterministic packages (core, sim, oracle, qoe, baseline,
+// experiments) detrange reports every map range whose body does anything
+// beyond collecting keys into a slice, and every select with two or more
+// communication clauses. The collect-keys idiom is exempt because its result
+// order is laundered through an explicit sort before use — the repository's
+// registry Names() pattern:
+//
+//	for name := range registry {   // allowed
+//		names = append(names, name)
+//	}
+//	sort.Strings(names)
+//
+// Ranging over the map's values, or doing any other work in the body,
+// executes effects in random order and is reported.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the detrange analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "detrange",
+	Doc: "flags range-over-map and multi-way select in the deterministic core; " +
+		"key-collection into a slice (for later sorting) is allowed",
+	Run: run,
+}
+
+// deterministicPackages are the final import-path elements of the packages
+// whose behaviour must be bit-reproducible.
+var deterministicPackages = map[string]bool{
+	"core":        true,
+	"sim":         true,
+	"oracle":      true,
+	"qoe":         true,
+	"baseline":    true,
+	"experiments": true,
+}
+
+func run(pass *lint.Pass) error {
+	if !deterministicPackages[path.Base(pass.Pkg.Path())] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRange reports ranges over map-typed expressions unless they are the
+// allowed key-collection idiom.
+func checkRange(pass *lint.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if isKeyCollection(rng) {
+		return
+	}
+	pass.Reportf(rng.For,
+		"range over map in deterministic package %s: iteration order is random; collect keys into a slice and sort, then index the map",
+		path.Base(pass.Pkg.Path()))
+}
+
+// isKeyCollection reports whether the range is the allowed idiom: key-only
+// iteration whose body is exactly one append of the key to a slice.
+func isKeyCollection(rng *ast.RangeStmt) bool {
+	if rng.Value != nil && !isBlank(rng.Value) {
+		return false // the value's processing order would leak
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	return ok && arg.Name == key.Name
+}
+
+// checkSelect reports selects that can race between two or more ready
+// communications (a lone case, with or without default, cannot).
+func checkSelect(pass *lint.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Select,
+			"select with %d communication cases in deterministic package %s: the ready case is chosen at random",
+			comms, path.Base(pass.Pkg.Path()))
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,16 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	linttest.Run(t, detrange.Analyzer, "core")
+}
+
+func TestOutsideCoreIsExempt(t *testing.T) {
+	linttest.Run(t, detrange.Analyzer, "other")
+}

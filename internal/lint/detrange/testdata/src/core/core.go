@@ -1,0 +1,67 @@
+// Package core is a detrange fixture mimicking the deterministic solver
+// package: its import path ends in "core", so every rule applies.
+package core
+
+import "sort"
+
+var registry = map[string]int{"soda": 1, "bola": 2}
+
+// SortedNames is the allowed idiom: key-only collection into a slice, then
+// an explicit sort. No diagnostic.
+func SortedNames() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SumValues iterates map values directly: the accumulation order is random.
+func SumValues() int {
+	sum := 0
+	for _, v := range registry { // want `range over map in deterministic package core`
+		sum += v
+	}
+	return sum
+}
+
+// FirstKey does extra work in a key-only body, so order still leaks.
+func FirstKey() string {
+	first := ""
+	for name := range registry { // want `range over map in deterministic package core`
+		if first == "" || name < first {
+			first = name
+		}
+	}
+	return first
+}
+
+// SliceRange iterates a slice: always ordered, no diagnostic.
+func SliceRange(xs []int) int {
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}
+
+// Race selects between two ready channels: the winner is random.
+func Race(a, b chan int) int {
+	select { // want `select with 2 communication cases in deterministic package core`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// NonBlocking is a single-case select with default: deterministic, allowed.
+func NonBlocking(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,25 @@
+// Package other is outside the deterministic core (its import path base is
+// not in the deterministic set), so detrange must stay silent even on map
+// ranges and multi-way selects.
+package other
+
+var m = map[string]int{"a": 1}
+
+// Sum map-ranges freely: allowed outside the deterministic packages.
+func Sum() int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Race is likewise allowed here.
+func Race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -1,0 +1,55 @@
+// Package lint is a small static-analysis framework in the style of
+// golang.org/x/tools/go/analysis, built on the standard library only.
+//
+// The repository enforces three SODA-specific invariants that go vet cannot
+// express — determinism of the core (no map-iteration order leaking into
+// decisions), purity of ABR controllers (Decide/Reset must be deterministic,
+// side-effect-free functions of their inputs), and unit safety (no silent
+// mixing of seconds, megabits and Mb/s). Each invariant is an Analyzer in a
+// subpackage (detrange, purecontroller, unitsafe); cmd/soda-vet runs them all
+// alongside the standard vet passes.
+//
+// An Analyzer receives one type-checked package at a time via a Pass and
+// reports findings through Pass.Report. Packages are loaded with
+// `go list -export -deps -json`, so dependency type information comes from
+// the compiler's export data rather than from re-type-checking the world
+// (see load.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test source files only
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

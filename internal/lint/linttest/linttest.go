@@ -1,0 +1,244 @@
+// Package linttest runs lint analyzers over fixture packages, in the style
+// of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <analyzer>/testdata/src/<importpath>/ and carry
+// expectations as trailing comments of the form
+//
+//	x = append(x, v) // want `regexp`
+//
+// Each expectation must be matched by exactly one diagnostic on the same
+// line, and every diagnostic must match an expectation; any mismatch fails
+// the test. Lines without a want comment double as the
+// false-positive-avoidance cases.
+//
+// Fixture packages may import sibling fixture packages (resolved from
+// testdata/src and type-checked from source) and the standard library
+// (resolved via `go list -export`, i.e. compiler export data).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads testdata/src/<pkgpath> relative to the test's working directory,
+// applies the analyzer, and checks diagnostics against // want comments.
+func Run(t *testing.T, a *lint.Analyzer, pkgpath string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*fixturePkg),
+	}
+	fp, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var got []lint.Finding
+	pass := &lint.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report: func(d lint.Diagnostic) {
+			got = append(got, lint.Finding{
+				Pos:      ld.fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	want, err := collectWants(ld.fset, fp.files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, got, want)
+}
+
+// expectation is one // want comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// collectWants extracts // want expectations from the fixture sources.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					pos := fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// check pairs diagnostics with expectations and reports both directions of
+// mismatch.
+func check(t *testing.T, got []lint.Finding, want []*expectation) {
+	t.Helper()
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].Pos.Filename != got[j].Pos.Filename {
+			return got[i].Pos.Filename < got[j].Pos.Filename
+		}
+		return got[i].Pos.Line < got[j].Pos.Line
+	})
+	for _, d := range got {
+		found := false
+		for _, w := range want {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic %s: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages from testdata/src, resolving
+// stdlib imports through compiler export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+	std     types.Importer
+}
+
+// Import implements types.Importer: sibling fixtures from source, everything
+// else from stdlib export data.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, path); isDir(dir) {
+		fp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	if l.std == nil {
+		imp, err := stdImporter(l.fset)
+		if err != nil {
+			return nil, err
+		}
+		l.std = imp
+	}
+	return l.std.Import(path)
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck fixture %s: %v", path, err)
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+// stdImporter builds a gc importer over export data for the whole standard
+// library, produced once per test binary by `go list -export`.
+func stdImporter(fset *token.FileSet) (types.Importer, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-f",
+		"{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}", "std")
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export std: %v", err)
+	}
+	exports := make(map[string]string)
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			exports[fields[0]] = fields[1]
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

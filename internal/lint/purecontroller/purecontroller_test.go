@@ -1,0 +1,12 @@
+package purecontroller_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/purecontroller"
+)
+
+func TestControllerPurity(t *testing.T) {
+	linttest.Run(t, purecontroller.Analyzer, "ctrl")
+}

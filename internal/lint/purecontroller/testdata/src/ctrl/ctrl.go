@@ -1,0 +1,81 @@
+// Package ctrl is a purecontroller fixture: types with both Decide and Reset
+// methods are controllers; everything reachable from those methods in this
+// package is checked.
+package ctrl
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"time"
+)
+
+// Context is a stand-in for the decision context.
+type Context struct{ Buffer float64 }
+
+// decisions is package-level state no controller may write.
+var decisions int
+
+// Impure trips every rule.
+type Impure struct{ last float64 }
+
+func (c *Impure) Decide(ctx *Context) int {
+	start := time.Now() // want `call to time.Now in controller path \(Impure\).Decide`
+	_ = start
+	r := rand.Float64()     // want `call to shared math/rand in controller path \(Impure\).Decide`
+	decisions++             // want `write to package-level variable decisions in controller path \(Impure\).Decide`
+	fmt.Println("deciding") // want `fmt.Println writes to stdout in controller path \(Impure\).Decide`
+	go func() {}()          // want `goroutine launched in controller path \(Impure\).Decide`
+	c.last = ctx.Buffer     // receiver-field write: allowed
+	return int(r)
+}
+
+func (c *Impure) Reset() {
+	os.Remove("state") // want `call into package os in controller path \(Impure\).Reset`
+}
+
+// Leaky hides the impurity behind a same-package helper, which the
+// transitive walk must still reach.
+type Leaky struct{}
+
+func (Leaky) Decide(ctx *Context) int { return helper() }
+func (Leaky) Reset()                  {}
+
+func helper() int {
+	return int(time.Now().Unix()) // want `call to time.Now in controller path \(Leaky\).Decide`
+}
+
+// Pure is the false-positive-avoidance case: receiver state, seeded
+// randomness built in the constructor, and time arithmetic on values passed
+// in are all legitimate.
+type Pure struct {
+	memo map[int]int
+	rng  *rand.Rand
+}
+
+// NewPure builds a controller with an explicitly-seeded generator; rand.New
+// and rand.NewPCG are constructors, not draws from shared state — and this
+// function is not reachable from Decide/Reset anyway.
+func NewPure(seed uint64) *Pure {
+	return &Pure{memo: map[int]int{}, rng: rand.New(rand.NewPCG(seed, 0))}
+}
+
+func (p *Pure) Decide(ctx *Context) int {
+	if v, ok := p.memo[int(ctx.Buffer)]; ok {
+		return v
+	}
+	v := int(ctx.Buffer * float64(p.rng.IntN(3))) // receiver-held seeded rng: allowed
+	p.memo[int(ctx.Buffer)] = v                   // receiver map write: allowed
+	return v
+}
+
+func (p *Pure) Reset() {
+	p.memo = map[int]int{}
+	d := 2 * time.Second // duration arithmetic is not a clock read
+	_ = d
+}
+
+// NotAController has Decide but no Reset, so its clock read is out of scope.
+type NotAController struct{}
+
+func (NotAController) Decide(ctx *Context) int { return int(time.Now().Unix()) }

@@ -1,0 +1,83 @@
+// Package core is the unitsafe fixture: it consumes the fixture units
+// package the way the solver consumes repro/internal/units.
+package core
+
+import "units"
+
+// Config mirrors a typed configuration struct.
+type Config struct {
+	BufferCap units.Seconds
+	Rate      units.Mbps
+	Label     string
+}
+
+// Plan takes typed parameters.
+func Plan(cap units.Seconds, omega units.Mbps) float64 {
+	return float64(cap) * float64(omega)
+}
+
+// Describe takes variadic unit values.
+func Describe(caps ...units.Seconds) int { return len(caps) }
+
+// BadConversion converts between unit types directly: compiles, but the
+// milliseconds value is reinterpreted as seconds, 1000x off.
+func BadConversion(ms units.Milliseconds) units.Seconds {
+	return units.Seconds(ms) // want `direct conversion Seconds\(Milliseconds\) drops the scale factor`
+}
+
+// GoodConversion uses the named method: the scale is applied exactly once.
+func GoodConversion(ms units.Milliseconds) units.Seconds {
+	return ms.Seconds()
+}
+
+// BadLaunderedAdd hides a dimension error behind float64 casts: seconds plus
+// megabits-per-second is not a quantity.
+func BadLaunderedAdd(buf units.Seconds, rate units.Mbps) float64 {
+	return float64(buf) + float64(rate) // want `Seconds \+ Mbps mixes units through float64 conversions`
+}
+
+// BadLaunderedCompare orders across dimensions.
+func BadLaunderedCompare(buf units.Seconds, rate units.Mbps) bool {
+	return float64(buf) < float64(rate) // want `Seconds < Mbps mixes units through float64 conversions`
+}
+
+// GoodLaundered is dimensionless arithmetic on a single unit, and forming a
+// new dimension by multiplication: both sanctioned float64 exits.
+func GoodLaundered(buf units.Seconds, rate units.Mbps) (float64, float64) {
+	sameUnit := float64(buf) + float64(units.Seconds(3))
+	newDimension := float64(rate) * float64(buf) // rate x time: megabits
+	return sameUnit, newDimension
+}
+
+// BadLiterals passes and stores raw numbers where units are expected: the
+// reader cannot tell 20 seconds from 20 megabits.
+func BadLiterals() (float64, Config) {
+	x := Plan(20, units.Mbps(6)) // want `untyped literal 20 for parameter of unit type Seconds`
+	cfg := Config{
+		BufferCap: 20, // want `untyped literal 20 for struct field of unit type Seconds`
+		Rate:      units.Mbps(6),
+		Label:     "ok",
+	}
+	return x, cfg
+}
+
+// BadPositionalLiteral hits the same rule through an unkeyed struct literal
+// and a variadic parameter.
+func BadPositionalLiteral() (Config, int) {
+	cfg := Config{
+		4.5, // want `untyped literal 4.5 for struct field of unit type Seconds`
+		units.Mbps(6),
+		"ok",
+	}
+	n := Describe(units.Seconds(1), 2) // want `untyped literal 2 for parameter of unit type Seconds`
+	return cfg, n
+}
+
+// GoodLiterals spells every unit: conversions are the fix, not a finding,
+// and unit-typed collection literals name the element type once.
+func GoodLiterals() (float64, Config, []units.Mbps) {
+	x := Plan(units.Seconds(20), units.Mbps(6))
+	cfg := Config{BufferCap: units.Seconds(20), Rate: units.Mbps(6), Label: "ok"}
+	ladder := []units.Mbps{1.5, 4, 10, 20, 35, 60} // element type covers the slice
+	return x, cfg, ladder
+}

@@ -1,0 +1,22 @@
+// Package units is a fixture mirror of repro/internal/units: its import
+// path ends in "units", so its defined float64 types are unit types to the
+// unitsafe analyzer.
+package units
+
+// Seconds is a duration in seconds.
+type Seconds float64
+
+// Milliseconds is a duration in milliseconds.
+type Milliseconds float64
+
+// Mbps is a rate in megabits per second.
+type Mbps float64
+
+// Megabits is a size in megabits.
+type Megabits float64
+
+// Seconds converts milliseconds to seconds, applying the scale once.
+func (ms Milliseconds) Seconds() Seconds { return Seconds(ms / 1e3) }
+
+// MegabitsIn is rate x time = size.
+func (r Mbps) MegabitsIn(d Seconds) Megabits { return Megabits(float64(r) * float64(d)) }

@@ -1,0 +1,261 @@
+// Package unitsafe closes the loopholes the type system leaves open after
+// the internal/units migration.
+//
+// internal/units gives every dimensioned quantity (seconds, megabits, Mb/s,
+// ...) its own defined type over float64, so mixing dimensions in arithmetic
+// is already a compile error. Three holes remain, and each is a real ABR bug
+// class — a scale or dimension slip that stays perfectly type-correct:
+//
+//  1. Direct conversion between two unit types. Seconds(ms) compiles because
+//     both have underlying float64, and is silently off by 1000x. Same-
+//     dimension conversions must go through the named methods
+//     (ms.Seconds(), r.Kbps(), b.Bits()), which apply the scale exactly once.
+//
+//  2. Mixing dimensions after laundering through float64. float64(x) is the
+//     sanctioned exit into dimensionless arithmetic, but
+//     float64(buf) + float64(rate) adds seconds to Mb/s — the cast defeats
+//     the checker without changing the physics. Additive and ordering
+//     operators whose two operands are float64-conversions of *different*
+//     unit types are reported. (Multiplying or dividing them is legitimate:
+//     that is how new dimensions are formed.)
+//
+//  3. Raw untyped literals where a unit type is expected. BufferCap: 20
+//     type-checks via implicit conversion but records no unit on the number
+//     the reader sees; the next maintainer cannot tell 20 seconds from
+//     20 megabits. Call arguments and struct-literal fields must spell it:
+//     units.Seconds(20). Composite literals of unit-typed slices, arrays and
+//     maps are exempt — []units.Mbps{6, 6, 200} names the unit once for the
+//     whole collection.
+//
+// A unit type is any defined type with underlying float64 declared in a
+// package whose import path ends in "units".
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer is the unitsafe analyzer.
+var Analyzer = &lint.Analyzer{
+	Name: "unitsafe",
+	Doc: "flags direct conversions between unit types, dimension mixing laundered " +
+		"through float64, and raw untyped literals where a unit type is expected",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	// The units package itself is exempt: it is where the named conversion
+	// methods legitimately apply raw scale factors.
+	if strings.HasSuffix(pass.Pkg.Path(), "units") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+				checkCallLiterals(pass, n)
+			case *ast.BinaryExpr:
+				checkLaunderedMix(pass, n)
+			case *ast.CompositeLit:
+				checkStructLiterals(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitType returns the named unit type of t, or nil. Unit types are defined
+// float64 types from a package named units.
+func unitType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "units") {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); !ok || basic.Kind() != types.Float64 {
+		return nil
+	}
+	return named
+}
+
+// checkConversion flags T(x) where T and x's type are different unit types:
+// the scale factor between them is silently dropped.
+func checkConversion(pass *lint.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	dst := unitType(tv.Type)
+	if dst == nil {
+		return
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	src := unitType(argTV.Type)
+	if src == nil || types.Identical(src, dst) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct conversion %s(%s) drops the scale factor between units; use the named conversion method or go through float64 deliberately",
+		dst.Obj().Name(), src.Obj().Name())
+}
+
+// launderedUnit returns the unit type inside a float64(x) conversion, or nil.
+func launderedUnit(pass *lint.Pass, e ast.Expr) *types.Named {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil
+	}
+	if basic, ok := tv.Type.(*types.Basic); !ok || basic.Kind() != types.Float64 {
+		return nil
+	}
+	argTV, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return nil
+	}
+	return unitType(argTV.Type)
+}
+
+// additiveOrOrdering reports operators for which both operands must share a
+// dimension. Multiplicative operators legitimately combine dimensions.
+func additiveOrOrdering(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// checkLaunderedMix flags float64(a) + float64(b) where a and b carry
+// different units: the casts hide a dimension error.
+func checkLaunderedMix(pass *lint.Pass, bin *ast.BinaryExpr) {
+	if !additiveOrOrdering(bin.Op) {
+		return
+	}
+	left := launderedUnit(pass, bin.X)
+	right := launderedUnit(pass, bin.Y)
+	if left == nil || right == nil || types.Identical(left, right) {
+		return
+	}
+	pass.Reportf(bin.OpPos,
+		"%s %s %s mixes units through float64 conversions; convert one side to the other's unit first",
+		left.Obj().Name(), bin.Op, right.Obj().Name())
+}
+
+// checkCallLiterals flags untyped numeric literals passed where a function
+// parameter has a unit type. Conversions are exempt: units.Seconds(2) is the
+// fix, not a finding.
+func checkCallLiterals(pass *lint.Pass, call *ast.CallExpr) {
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || tv.IsType() {
+		return
+	}
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		lit := untypedNumericLit(arg)
+		if lit == nil {
+			continue
+		}
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramType = slice.Elem()
+		case i < sig.Params().Len():
+			paramType = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if u := unitType(paramType); u != nil {
+			pass.Reportf(arg.Pos(),
+				"untyped literal %s for parameter of unit type %s; write %s(%s) so the unit is visible",
+				litText(lit), u.Obj().Name(), u.Obj().Name(), litText(lit))
+		}
+	}
+}
+
+// checkStructLiterals flags untyped numeric literals as struct-literal field
+// values of unit type. Slice/array/map composite literals are exempt: the
+// element type names the unit once for the whole collection.
+func checkStructLiterals(pass *lint.Pass, cl *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok {
+		return
+	}
+	strct, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		var value ast.Expr
+		var fieldType types.Type
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			value = kv.Value
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			fieldType = obj.Type()
+		} else {
+			value = elt
+			if i >= strct.NumFields() {
+				continue
+			}
+			fieldType = strct.Field(i).Type()
+		}
+		lit := untypedNumericLit(value)
+		if lit == nil {
+			continue
+		}
+		if u := unitType(fieldType); u != nil {
+			pass.Reportf(value.Pos(),
+				"untyped literal %s for struct field of unit type %s; write %s(%s) so the unit is visible",
+				litText(lit), u.Obj().Name(), u.Obj().Name(), litText(lit))
+		}
+	}
+}
+
+// untypedNumericLit unwraps e to a numeric BasicLit, looking through parens
+// and a leading +/-. Returns nil for anything else (conversions, consts,
+// expressions), which this analyzer deliberately leaves alone.
+func untypedNumericLit(e ast.Expr) *ast.BasicLit {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil
+	}
+	return lit
+}
+
+func litText(lit *ast.BasicLit) string { return lit.Value }

@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/unitsafe"
+)
+
+func TestUnitSafety(t *testing.T) {
+	linttest.Run(t, unitsafe.Analyzer, "core")
+}

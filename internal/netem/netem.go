@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // Shaper meters bytes against a bandwidth trace. It is a token bucket whose
@@ -35,13 +36,13 @@ import (
 // an unrealistic instantaneous burst.)
 type Shaper struct {
 	tr        *trace.Trace
-	timeScale float64
+	timeScale float64 // dimensionless wall-clock compression factor
 	chunk     int
-	burstSec  float64
+	burst     units.Seconds
 
 	mu       sync.Mutex
 	start    time.Time
-	consumed float64 // megabits already granted
+	consumed units.Megabits // capacity already granted
 	started  bool
 }
 
@@ -55,7 +56,7 @@ func NewShaper(tr *trace.Trace, timeScale float64) (*Shaper, error) {
 	if timeScale <= 0 {
 		timeScale = 1
 	}
-	return &Shaper{tr: tr, timeScale: timeScale, chunk: 16 * 1024, burstSec: 0.3}, nil
+	return &Shaper{tr: tr, timeScale: timeScale, chunk: 16 * 1024, burst: units.Seconds(0.3)}, nil
 }
 
 // Start pins the shaper's time origin. The first Wait starts the clock
@@ -70,13 +71,13 @@ func (s *Shaper) Start(now time.Time) {
 }
 
 // StreamTime converts a wall-clock instant into stream (trace) time.
-func (s *Shaper) StreamTime(now time.Time) float64 {
+func (s *Shaper) StreamTime(now time.Time) units.Seconds {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.started {
 		return 0
 	}
-	return now.Sub(s.start).Seconds() * s.timeScale
+	return units.Seconds(now.Sub(s.start).Seconds() * s.timeScale)
 }
 
 // Wait blocks until n bytes may be sent, according to the trace. It returns
@@ -88,13 +89,13 @@ func (s *Shaper) Wait(n int) time.Duration {
 	now := time.Now()
 	s.Start(now)
 
-	megabits := float64(n) * 8 / 1e6
+	megabits := units.Bits(8 * n).Megabits()
 	s.mu.Lock()
 	// Enforce the burst bound: forfeit credit accumulated while idle beyond
-	// burstSec (stream time) of capacity.
-	streamNow := now.Sub(s.start).Seconds() * s.timeScale
-	accrued := s.tr.TransferableMegabits(0, streamNow)
-	if bank := s.tr.BandwidthAt(streamNow) * s.burstSec; s.consumed < accrued-bank {
+	// burst (stream time) of capacity.
+	streamNow := units.Seconds(now.Sub(s.start).Seconds() * s.timeScale)
+	accrued := s.tr.TransferableMegabits(units.Seconds(0), streamNow)
+	if bank := s.tr.BandwidthAt(streamNow).MegabitsIn(s.burst); s.consumed < accrued-bank {
 		s.consumed = accrued - bank
 	}
 	target := s.consumed + megabits
@@ -105,7 +106,7 @@ func (s *Shaper) Wait(n int) time.Duration {
 	// Find the stream time at which the trace has carried `target` megabits,
 	// then sleep until the corresponding wall-clock instant.
 	streamSec := s.timeUntilTransferred(target)
-	due := start.Add(time.Duration(streamSec / s.timeScale * float64(time.Second)))
+	due := start.Add(time.Duration(float64(streamSec) / s.timeScale * float64(time.Second)))
 	wait := time.Until(due)
 	if wait > 0 {
 		time.Sleep(wait)
@@ -116,8 +117,8 @@ func (s *Shaper) Wait(n int) time.Duration {
 
 // timeUntilTransferred returns the stream time needed for the trace to carry
 // the given megabits from stream time zero.
-func (s *Shaper) timeUntilTransferred(megabits float64) float64 {
-	dt, err := s.tr.DownloadTime(0, megabits)
+func (s *Shaper) timeUntilTransferred(megabits units.Megabits) units.Seconds {
+	dt, err := s.tr.DownloadTime(units.Seconds(0), megabits)
 	if err != nil {
 		// All-zero trace: report an arbitrarily distant time.
 		return 1e12
@@ -174,7 +175,7 @@ func (l *Listener) Accept() (net.Conn, error) {
 	}
 	s, err := l.factory()
 	if err != nil {
-		c.Close()
+		_ = c.Close() // best effort; the factory error is the one to report
 		return nil, err
 	}
 	return NewConn(c, s), nil

@@ -17,15 +17,16 @@ import (
 
 	"repro/internal/qoe"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
 // Config parameterizes the oracle.
 type Config struct {
 	Ladder    video.Ladder
-	BufferCap float64
+	BufferCap units.Seconds
 	// SessionSeconds is the stream length; 0 uses the trace duration.
-	SessionSeconds float64
+	SessionSeconds units.Seconds
 	// GridN is the buffer discretization (default 240).
 	GridN int
 	// Weights are the QoE weights (zero value = paper defaults).
@@ -84,8 +85,8 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 	// downloads are priced at the bandwidth around that approximate clock.
 	// The approximation is exact on constant-rate spans and good when
 	// bandwidth varies on multi-second scales, which the generated traces do.
-	bucketOf := func(x float64) int {
-		b := int(x / cfg.BufferCap * float64(gridN-1))
+	bucketOf := func(x units.Seconds) int {
+		b := int(x / cfg.BufferCap * units.Seconds(gridN-1))
 		if b < 0 {
 			b = 0
 		}
@@ -94,7 +95,7 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 		return b
 	}
-	xOf := func(b int) float64 { return float64(b) / float64(gridN-1) * cfg.BufferCap }
+	xOf := func(b int) units.Seconds { return units.Seconds(b) / units.Seconds(gridN-1) * cfg.BufferCap }
 
 	const neg = -math.MaxFloat64 / 4
 	// value[r][b]: best attainable future score from segment seg with
@@ -113,9 +114,9 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 	}
 
-	segScore := func(seg, rung, prev int, buffer float64) (float64, float64, bool) {
+	segScore := func(seg, rung, prev int, buffer units.Seconds) (float64, units.Seconds, bool) {
 		// Approximate stream clock at this state.
-		clock := float64(seg)*l - buffer
+		clock := units.Seconds(seg)*l - buffer
 		if clock < 0 {
 			clock = 0
 		}
@@ -124,13 +125,13 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		if err != nil {
 			return 0, 0, false
 		}
-		stall := math.Max(0, dl-buffer)
-		nb := math.Max(buffer-dl, 0) + l
+		stall := units.Seconds(math.Max(0, float64(dl-buffer)))
+		nb := units.Seconds(math.Max(float64(buffer-dl), 0)) + l
 		if nb > cfg.BufferCap {
 			nb = cfg.BufferCap // the player idles at the cap
 		}
 		score := utility(rung) / float64(n)
-		score -= weights.Beta * stall / (float64(n) * l)
+		score -= weights.Beta * float64(stall) / (float64(n) * float64(l))
 		if prev >= 0 && prev != rung && n > 1 {
 			score -= weights.Gamma / float64(n-1)
 		}
@@ -168,8 +169,8 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 	// Replay the policy with exact continuous state to extract the schedule
 	// and its true metrics.
 	var tally qoe.SessionTally
-	buffer := 0.0
-	clock := 0.0
+	buffer := units.Seconds(0)
+	clock := units.Seconds(0)
 	playing := false
 	prev := -1
 	rungs := make([]int, 0, n)
@@ -177,7 +178,7 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		if over := buffer + l - cfg.BufferCap; over > 1e-9 {
 			clock += over
 			buffer -= over
-			tally.AddPlayback(over)
+			tally.AddPlayback(float64(over))
 		}
 		idx := prev
 		if prev < 0 {
@@ -191,14 +192,14 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 		clock += dl
 		if !playing {
-			tally.AddStartup(dl)
+			tally.AddStartup(float64(dl))
 			playing = true
 		} else {
-			played := math.Min(dl, buffer)
+			played := units.Seconds(math.Min(float64(dl), float64(buffer)))
 			buffer -= played
-			tally.AddPlayback(played)
+			tally.AddPlayback(float64(played))
 			if stall := dl - played; stall > 1e-12 {
-				tally.AddRebuffer(stall)
+				tally.AddRebuffer(float64(stall))
 			}
 		}
 		buffer += l
@@ -206,6 +207,6 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		prev = rung
 		rungs = append(rungs, rung)
 	}
-	tally.AddPlayback(buffer)
+	tally.AddPlayback(float64(buffer))
 	return Result{Rungs: rungs, Metrics: tally.Finalize(weights)}, nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/proto"
 	"repro/internal/qoe"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -88,7 +89,7 @@ func Play(cfg Config) (Result, error) {
 	}
 
 	manifest := fetcher.Manifest()
-	ladder := video.NewLadder(manifest.BitratesMbps, manifest.SegmentSeconds)
+	ladder := video.NewLadder(manifest.BitratesMbps, units.Seconds(manifest.SegmentSeconds))
 	total := manifest.TotalSegments
 	if cfg.MaxSegments > 0 && cfg.MaxSegments < total {
 		total = cfg.MaxSegments
@@ -151,7 +152,7 @@ func Play(cfg Config) (Result, error) {
 		}
 	}
 
-	l := ladder.SegmentSeconds
+	l := float64(ladder.SegmentSeconds)
 	for seg := 0; seg < total; seg++ {
 		now := settle()
 		// Idle at the buffer cap.

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // Sample is one observed download: mean throughput over a duration that
@@ -281,7 +282,7 @@ func (p *Perfect) Predict(now, horizon float64) float64 {
 	if horizon <= 0 {
 		horizon = 1e-3
 	}
-	return p.Trace.MeanOver(now, horizon)
+	return float64(p.Trace.MeanOver(units.Seconds(now), units.Seconds(horizon)))
 }
 
 // Reset implements Predictor.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	// The default arms ("soda", "prod-baseline") are resolved by name from
@@ -237,8 +238,8 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 				}
 				res, err := sim.Run(ds.Sessions[i], sim.Config{
 					Ladder:         ladder,
-					BufferCap:      cfg.BufferCap,
-					SessionSeconds: cfg.SessionSeconds,
+					BufferCap:      units.Seconds(cfg.BufferCap),
+					SessionSeconds: units.Seconds(cfg.SessionSeconds),
 					Controller:     ctrl,
 					Predictor:      predictor.NewSlidingWindow(12),
 				})
@@ -280,7 +281,7 @@ func meanBitrate(ladder video.Ladder, rungs []int) float64 {
 	}
 	sum := 0.0
 	for _, r := range rungs {
-		sum += ladder.Mbps(r)
+		sum += float64(ladder.Mbps(r))
 	}
 	return sum / float64(len(rungs))
 }

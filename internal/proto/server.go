@@ -54,9 +54,13 @@ func NewServer(ladder video.Ladder, sizes video.SizeModel, totalSegments int, lo
 
 // Manifest returns the manifest the server advertises.
 func (s *Server) Manifest() Manifest {
+	mbps := make([]float64, s.ladder.Len())
+	for i, r := range s.ladder.Bitrates() {
+		mbps[i] = float64(r)
+	}
 	return Manifest{
-		BitratesMbps:   s.ladder.Bitrates(),
-		SegmentSeconds: s.ladder.SegmentSeconds,
+		BitratesMbps:   mbps,
+		SegmentSeconds: float64(s.ladder.SegmentSeconds),
 		TotalSegments:  s.total,
 	}
 }

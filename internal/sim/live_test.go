@@ -7,6 +7,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -47,7 +48,7 @@ func TestLiveDefaultOffsetIsBufferCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(ra.Duration-rb.Duration) > 2.1 {
+	if math.Abs(float64(ra.Duration-rb.Duration)) > 2.1 {
 		t.Errorf("durations diverge: %v vs %v", ra.Duration, rb.Duration)
 	}
 	if ra.Metrics.RebufferSec != rb.Metrics.RebufferSec {
@@ -121,9 +122,9 @@ func TestUltraLowLatencyHarderThanTraditionalLive(t *testing.T) {
 			}
 			cfg := Config{
 				Ladder:                video.Mobile(),
-				BufferCap:             cap,
+				BufferCap:             units.Seconds(cap),
 				Live:                  true,
-				LiveEdgeOffsetSeconds: offset,
+				LiveEdgeOffsetSeconds: units.Seconds(offset),
 				SessionSeconds:        300,
 				Controller:            ctrl,
 				Predictor:             predictor.NewEMA(4),

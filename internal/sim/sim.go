@@ -21,6 +21,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/qoe"
 	"repro/internal/trace"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -30,13 +31,13 @@ type Config struct {
 	Ladder video.Ladder
 	// Sizes produces per-segment encoded sizes; nil means CBR.
 	Sizes video.SizeModel
-	// BufferCap is the maximum buffer in seconds (e.g. 20 for live).
-	BufferCap float64
+	// BufferCap is the maximum buffer (e.g. 20 s for live).
+	BufferCap units.Seconds
 	// StartupSegments is how many segments must be buffered before playback
 	// starts; at least 1.
 	StartupSegments int
 	// LatencySeconds is the per-request latency added to every download.
-	LatencySeconds float64
+	LatencySeconds units.Seconds
 	// Live enables live-edge segment availability: segment i only becomes
 	// downloadable at stream time i*L - LiveEdgeOffsetSeconds, so the player
 	// can never run further ahead of the broadcast than the offset. With the
@@ -46,16 +47,15 @@ type Config struct {
 	Live bool
 	// LiveEdgeOffsetSeconds is how far behind the live edge playback starts;
 	// 0 defaults to BufferCap.
-	LiveEdgeOffsetSeconds float64
+	LiveEdgeOffsetSeconds units.Seconds
 	// Abandonment enables dash.js-style segment abandonment: when an
 	// in-flight download is going to outlast the remaining buffer, the
 	// player aborts it once the buffer runs dry and refetches the segment at
 	// the lowest rung. This bounds the damage of a mid-download throughput
 	// collapse (one oversized segment can otherwise eat a whole live buffer).
 	Abandonment bool
-	// SessionSeconds is the stream length in seconds; 0 uses the trace
-	// duration.
-	SessionSeconds float64
+	// SessionSeconds is the stream length; 0 uses the trace duration.
+	SessionSeconds units.Seconds
 	// Controller picks bitrates. Required.
 	Controller abr.Controller
 	// Predictor forecasts throughput. Required.
@@ -72,10 +72,10 @@ type Config struct {
 
 // TrajectoryPoint is one per-segment snapshot of the session state.
 type TrajectoryPoint struct {
-	Time        float64 // stream clock when the segment finished downloading
-	Buffer      float64 // buffer level after the segment was appended
+	Time        units.Seconds // stream clock when the segment finished downloading
+	Buffer      units.Seconds // buffer level after the segment was appended
 	Rung        int
-	RebufferSec float64 // stall charged to this segment's download
+	RebufferSec units.Seconds // stall charged to this segment's download
 }
 
 // Result is the outcome of one simulated session.
@@ -85,7 +85,7 @@ type Result struct {
 	Trajectory []TrajectoryPoint // nil unless Config.RecordTrajectory
 	Waits      int               // controller-initiated idle periods
 	Abandons   int               // downloads aborted by segment abandonment
-	Duration   float64           // stream-clock session length including stalls
+	Duration   units.Seconds     // stream-clock session length including stalls
 }
 
 // ErrStuck is returned when the controller wedges the session (e.g. waiting
@@ -153,24 +153,24 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	var (
 		tally    qoe.SessionTally
 		result   Result
-		now      float64 // stream clock
-		buffer   float64 // seconds of video buffered
+		now      units.Seconds // stream clock
+		buffer   units.Seconds // video buffered
 		playing  bool
 		prevRung = abr.NoRung
-		lastMbps float64
-		segStall float64 // stall charged since the last segment completed
+		lastMbps units.Mbps
+		segStall units.Seconds // stall charged since the last segment completed
 	)
 	quantile, _ := cfg.Predictor.(predictor.QuantilePredictor)
 
 	// advance moves the stream clock while the player is (possibly) playing,
 	// charging playback, rebuffering or startup as appropriate.
-	advance := func(dt float64) {
+	advance := func(dt units.Seconds) {
 		if dt <= 0 {
 			return
 		}
 		now += dt
 		if !playing {
-			tally.AddStartup(dt)
+			tally.AddStartup(float64(dt))
 			return
 		}
 		played := dt
@@ -178,9 +178,9 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			played = buffer
 		}
 		buffer -= played
-		tally.AddPlayback(played)
+		tally.AddPlayback(float64(played))
 		if stall := dt - played; stall > 1e-12 {
-			tally.AddRebuffer(stall)
+			tally.AddRebuffer(float64(stall))
 			segStall += stall
 		}
 	}
@@ -194,17 +194,19 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			advance(over)
 		}
 
+		// abr.Context is a float64 boundary (see internal/units): controllers
+		// receive plain numbers and re-type what they consume.
 		ctx := &abr.Context{
-			Now:                now,
-			Buffer:             buffer,
-			BufferCap:          cfg.BufferCap,
+			Now:                float64(now),
+			Buffer:             float64(buffer),
+			BufferCap:          float64(cfg.BufferCap),
 			PrevRung:           prevRung,
 			Ladder:             ladder,
 			SegmentIndex:       seg,
 			TotalSegments:      totalSegments,
-			LastThroughputMbps: lastMbps,
+			LastThroughputMbps: float64(lastMbps),
 		}
-		capturedNow := now
+		capturedNow := float64(now)
 		ctx.Predict = func(h float64) float64 { return cfg.Predictor.Predict(capturedNow, h) }
 		if quantile != nil {
 			ctx.PredictQuantile = func(q, h float64) float64 { return quantile.Quantile(capturedNow, h, q) }
@@ -221,7 +223,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 				decision.Rung = 0
 			} else {
 				result.Waits++
-				wait := decision.WaitSeconds
+				wait := units.Seconds(decision.WaitSeconds)
 				if wait <= 0 || wait > l {
 					wait = l / 2
 				}
@@ -242,7 +244,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			if offset <= 0 {
 				offset = cfg.BufferCap
 			}
-			if avail := float64(seg)*l - offset; now < avail {
+			if avail := units.Seconds(seg)*l - offset; now < avail {
 				advance(avail - now)
 			}
 		}
@@ -274,8 +276,8 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			playing = true
 		}
 
-		lastMbps = size / dlTime
-		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: dlTime, EndTime: now})
+		lastMbps = size.Over(dlTime)
+		cfg.Predictor.Observe(predictor.Sample{Mbps: float64(lastMbps), Duration: float64(dlTime), EndTime: float64(now)})
 		tally.AddSegment(rung, utility(rung))
 		prevRung = rung
 		if cfg.RecordTrajectory {
@@ -290,7 +292,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	}
 	// Drain the remaining buffer to finish the session.
 	if playing {
-		tally.AddPlayback(buffer)
+		tally.AddPlayback(float64(buffer))
 		now += buffer
 		buffer = 0
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/qoe"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	// Register the SODA and baseline controllers in the abr registry.
@@ -106,7 +107,7 @@ func TestOverdrivenRungRebuffers(t *testing.T) {
 	}
 	// Duration = play + stalls (startup tracked separately).
 	wantDur := res.Metrics.PlaySec + res.Metrics.RebufferSec + res.Metrics.StartupSec
-	if math.Abs(res.Duration-wantDur) > 1e-6 {
+	if math.Abs(float64(res.Duration)-wantDur) > 1e-6 {
 		t.Errorf("duration %v != play+stall+startup %v", res.Duration, wantDur)
 	}
 }
@@ -335,7 +336,7 @@ func TestTrajectoryRecording(t *testing.T) {
 	if len(res.Trajectory) != res.Metrics.Segments {
 		t.Fatalf("trajectory %d points for %d segments", len(res.Trajectory), res.Metrics.Segments)
 	}
-	prevTime := -1.0
+	prevTime := units.Seconds(-1)
 	for _, p := range res.Trajectory {
 		if p.Time <= prevTime {
 			t.Fatalf("trajectory time not increasing at %v", p.Time)

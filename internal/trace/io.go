@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/units"
 )
 
 // jsonTrace is the JSON interchange shape: {"samples":[{"duration_s":..,
@@ -21,7 +23,7 @@ type jsonSample struct {
 func (t *Trace) WriteJSON(w io.Writer) error {
 	out := jsonTrace{Samples: make([]jsonSample, len(t.samples))}
 	for i, s := range t.samples {
-		out.Samples[i] = jsonSample{DurationS: s.Duration, Mbps: s.Mbps}
+		out.Samples[i] = jsonSample{DurationS: float64(s.Duration), Mbps: float64(s.Mbps)}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
@@ -42,7 +44,7 @@ func ReadJSON(r io.Reader) (*Trace, error) {
 		if s.DurationS <= 0 || s.Mbps < 0 {
 			return nil, fmt.Errorf("trace: JSON sample %d invalid (%g s, %g Mbps)", i, s.DurationS, s.Mbps)
 		}
-		t.Append(Sample{Duration: s.DurationS, Mbps: s.Mbps})
+		t.Append(Sample{Duration: units.Seconds(s.DurationS), Mbps: units.Mbps(s.Mbps)})
 	}
 	return t, nil
 }

@@ -20,7 +20,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Len() != tr.Len() || math.Abs(back.Duration()-tr.Duration()) > 1e-9 {
+	if back.Len() != tr.Len() || math.Abs(float64(back.Duration()-tr.Duration())) > 1e-9 {
 		t.Fatalf("round trip: %d samples, %v s", back.Len(), back.Duration())
 	}
 	for i := range back.Samples() {
@@ -48,7 +48,7 @@ func TestConcat(t *testing.T) {
 	a := Constant(5, 10)
 	b := Constant(10, 10)
 	c := a.Concat(b, Constant(1, 5))
-	if math.Abs(c.Duration()-25) > 1e-9 {
+	if math.Abs(float64(c.Duration())-25) > 1e-9 {
 		t.Fatalf("duration = %v", c.Duration())
 	}
 	if c.BandwidthAt(5) != 5 || c.BandwidthAt(15) != 10 || c.BandwidthAt(22) != 1 {
@@ -62,7 +62,7 @@ func TestConcat(t *testing.T) {
 
 func TestRepeat(t *testing.T) {
 	tr := figure4Trace().Repeat(3)
-	if math.Abs(tr.Duration()-12) > 1e-9 {
+	if math.Abs(float64(tr.Duration())-12) > 1e-9 {
 		t.Fatalf("duration = %v", tr.Duration())
 	}
 	if tr.BandwidthAt(4.5) != 4 { // second copy starts at t=4

@@ -27,20 +27,21 @@ import (
 	"strings"
 
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // Sample is one piecewise-constant span of a trace: the link sustains Mbps
 // for Duration seconds.
 type Sample struct {
-	Duration float64 // seconds, > 0
-	Mbps     float64 // megabits per second, >= 0
+	Duration units.Seconds // > 0
+	Mbps     units.Mbps    // >= 0
 }
 
 // Trace is a piecewise-constant bandwidth function of time.
 // The zero value is an empty trace; use New or Append to build one.
 type Trace struct {
 	samples []Sample
-	total   float64 // cached total duration in seconds
+	total   units.Seconds // cached total duration
 }
 
 // New builds a trace from samples. It panics if any sample is invalid;
@@ -54,7 +55,7 @@ func New(samples []Sample) *Trace {
 }
 
 // Constant returns a trace holding mbps for the given duration.
-func Constant(mbps, duration float64) *Trace {
+func Constant(mbps units.Mbps, duration units.Seconds) *Trace {
 	return New([]Sample{{Duration: duration, Mbps: mbps}})
 }
 
@@ -64,7 +65,7 @@ func (t *Trace) Append(s Sample) {
 	if s.Duration <= 0 {
 		panic(fmt.Sprintf("trace: non-positive sample duration %v", s.Duration))
 	}
-	if s.Mbps < 0 || math.IsNaN(s.Mbps) || math.IsInf(s.Mbps, 0) {
+	if s.Mbps < 0 || math.IsNaN(float64(s.Mbps)) || math.IsInf(float64(s.Mbps), 0) {
 		panic(fmt.Sprintf("trace: invalid bandwidth %v", s.Mbps))
 	}
 	t.samples = append(t.samples, s)
@@ -77,17 +78,17 @@ func (t *Trace) Samples() []Sample { return t.samples }
 // Len returns the number of samples.
 func (t *Trace) Len() int { return len(t.samples) }
 
-// Duration returns the total duration of the trace in seconds.
-func (t *Trace) Duration() float64 { return t.total }
+// Duration returns the total duration of the trace.
+func (t *Trace) Duration() units.Seconds { return t.total }
 
-// BandwidthAt returns the bandwidth in Mbps at time tsec. The trace wraps:
+// BandwidthAt returns the bandwidth at time tsec. The trace wraps:
 // times beyond Duration() map back into the trace, and negative times map
 // from the end. An empty trace reports 0.
-func (t *Trace) BandwidthAt(tsec float64) float64 {
+func (t *Trace) BandwidthAt(tsec units.Seconds) units.Mbps {
 	if len(t.samples) == 0 || t.total == 0 {
 		return 0
 	}
-	tt := math.Mod(tsec, t.total)
+	tt := units.Seconds(math.Mod(float64(tsec), float64(t.total)))
 	if tt < 0 {
 		tt += t.total
 	}
@@ -102,21 +103,20 @@ func (t *Trace) BandwidthAt(tsec float64) float64 {
 
 // MeanOver returns the average bandwidth over [start, start+length), with
 // wrap-around. It returns 0 for an empty trace or non-positive length.
-func (t *Trace) MeanOver(start, length float64) float64 {
+func (t *Trace) MeanOver(start, length units.Seconds) units.Mbps {
 	if len(t.samples) == 0 || length <= 0 {
 		return 0
 	}
-	megabits := t.TransferableMegabits(start, length)
-	return megabits / length
+	return t.TransferableMegabits(start, length).Over(length)
 }
 
 // TransferableMegabits integrates bandwidth over [start, start+length),
 // returning the number of megabits the link can carry in that window.
-func (t *Trace) TransferableMegabits(start, length float64) float64 {
+func (t *Trace) TransferableMegabits(start, length units.Seconds) units.Megabits {
 	if len(t.samples) == 0 || length <= 0 || t.total == 0 {
 		return 0
 	}
-	pos := math.Mod(start, t.total)
+	pos := units.Seconds(math.Mod(float64(start), float64(t.total)))
 	if pos < 0 {
 		pos += t.total
 	}
@@ -128,14 +128,14 @@ func (t *Trace) TransferableMegabits(start, length float64) float64 {
 		idx++
 	}
 	remaining := length
-	megabits := 0.0
+	megabits := units.Megabits(0)
 	for remaining > 0 {
 		s := t.samples[idx]
 		span := s.Duration - off
 		if span > remaining {
 			span = remaining
 		}
-		megabits += s.Mbps * span
+		megabits += s.Mbps.MegabitsIn(span)
 		remaining -= span
 		off = 0
 		idx++
@@ -154,14 +154,14 @@ var ErrStalled = errors.New("trace: zero-bandwidth trace cannot complete transfe
 // DownloadTime returns the number of seconds needed to transfer megabits of
 // data starting at time start, integrating the piecewise-constant bandwidth
 // with wrap-around.
-func (t *Trace) DownloadTime(start, megabits float64) (float64, error) {
+func (t *Trace) DownloadTime(start units.Seconds, megabits units.Megabits) (units.Seconds, error) {
 	if megabits <= 0 {
 		return 0, nil
 	}
 	if len(t.samples) == 0 || t.total == 0 {
 		return 0, ErrStalled
 	}
-	pos := math.Mod(start, t.total)
+	pos := units.Seconds(math.Mod(float64(start), float64(t.total)))
 	if pos < 0 {
 		pos += t.total
 	}
@@ -171,17 +171,17 @@ func (t *Trace) DownloadTime(start, megabits float64) (float64, error) {
 		off -= t.samples[idx].Duration
 		idx++
 	}
-	elapsed := 0.0
+	elapsed := units.Seconds(0)
 	remaining := megabits
-	zeroRun := 0.0 // consecutive seconds of zero bandwidth observed
+	zeroRun := units.Seconds(0) // consecutive time of zero bandwidth observed
 	for {
 		s := t.samples[idx]
 		span := s.Duration - off
 		if s.Mbps > 0 {
 			zeroRun = 0
-			capacity := s.Mbps * span
+			capacity := s.Mbps.MegabitsIn(span)
 			if capacity >= remaining {
-				return elapsed + remaining/s.Mbps, nil
+				return elapsed + remaining.AtRate(s.Mbps), nil
 			}
 			remaining -= capacity
 		} else {
@@ -201,12 +201,12 @@ func (t *Trace) DownloadTime(start, megabits float64) (float64, error) {
 
 // Slice returns a copy of the trace covering [start, start+length), with
 // wrap-around. The result has its own sample storage.
-func (t *Trace) Slice(start, length float64) *Trace {
+func (t *Trace) Slice(start, length units.Seconds) *Trace {
 	out := &Trace{}
 	if len(t.samples) == 0 || length <= 0 {
 		return out
 	}
-	pos := math.Mod(start, t.total)
+	pos := units.Seconds(math.Mod(float64(start), float64(t.total)))
 	if pos < 0 {
 		pos += t.total
 	}
@@ -238,14 +238,14 @@ func (t *Trace) Slice(start, length float64) *Trace {
 // each, discarding any final partial session, mirroring the paper's dataset
 // preparation (§6.1.1: sessions shorter than the window are filtered out and
 // long captures are divided into consecutive fixed-length sessions).
-func (t *Trace) SplitSessions(sessionSeconds float64) []*Trace {
-	if sessionSeconds <= 0 || t.total < sessionSeconds {
+func (t *Trace) SplitSessions(session units.Seconds) []*Trace {
+	if session <= 0 || t.total < session {
 		return nil
 	}
-	n := int(t.total / sessionSeconds)
+	n := int(t.total / session)
 	out := make([]*Trace, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, t.Slice(float64(i)*sessionSeconds, sessionSeconds))
+		out = append(out, t.Slice(units.Seconds(i)*session, session))
 	}
 	return out
 }
@@ -254,21 +254,21 @@ func (t *Trace) SplitSessions(sessionSeconds float64) []*Trace {
 func (t *Trace) Scale(f float64) *Trace {
 	out := &Trace{}
 	for _, s := range t.samples {
-		out.Append(Sample{Duration: s.Duration, Mbps: s.Mbps * f})
+		out.Append(Sample{Duration: s.Duration, Mbps: s.Mbps * units.Mbps(f)})
 	}
 	return out
 }
 
 // MeanMbps returns the duration-weighted mean bandwidth of the whole trace.
-func (t *Trace) MeanMbps() float64 {
+func (t *Trace) MeanMbps() units.Mbps {
 	if t.total == 0 {
 		return 0
 	}
-	sum := 0.0
+	sum := units.Megabits(0)
 	for _, s := range t.samples {
-		sum += s.Mbps * s.Duration
+		sum += s.Mbps.MegabitsIn(s.Duration)
 	}
-	return sum / t.total
+	return sum.Over(t.total)
 }
 
 // RSD returns the duration-weighted relative standard deviation of bandwidth:
@@ -281,14 +281,14 @@ func (t *Trace) RSD() float64 {
 	}
 	ss := 0.0
 	for _, s := range t.samples {
-		d := s.Mbps - m
-		ss += d * d * s.Duration
+		d := float64(s.Mbps - m)
+		ss += d * d * float64(s.Duration)
 	}
-	return math.Sqrt(ss/t.total) / m
+	return math.Sqrt(ss/float64(t.total)) / float64(m)
 }
 
 // MinMbps returns the smallest bandwidth in the trace, or 0 when empty.
-func (t *Trace) MinMbps() float64 {
+func (t *Trace) MinMbps() units.Mbps {
 	if len(t.samples) == 0 {
 		return 0
 	}
@@ -304,17 +304,17 @@ func (t *Trace) MinMbps() float64 {
 // Validate checks the trace invariants (positive durations, finite
 // non-negative bandwidths, cached total consistent with the samples).
 func (t *Trace) Validate() error {
-	sum := 0.0
+	sum := units.Seconds(0)
 	for i, s := range t.samples {
 		if s.Duration <= 0 {
 			return fmt.Errorf("trace: sample %d has non-positive duration %v", i, s.Duration)
 		}
-		if s.Mbps < 0 || math.IsNaN(s.Mbps) || math.IsInf(s.Mbps, 0) {
+		if s.Mbps < 0 || math.IsNaN(float64(s.Mbps)) || math.IsInf(float64(s.Mbps), 0) {
 			return fmt.Errorf("trace: sample %d has invalid bandwidth %v", i, s.Mbps)
 		}
 		sum += s.Duration
 	}
-	if math.Abs(sum-t.total) > 1e-6 {
+	if math.Abs(float64(sum-t.total)) > 1e-6 {
 		return fmt.Errorf("trace: cached duration %v != sum %v", t.total, sum)
 	}
 	return nil
@@ -327,7 +327,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 		return err
 	}
 	for _, s := range t.samples {
-		if _, err := fmt.Fprintf(bw, "%g,%g\n", s.Duration, s.Mbps); err != nil {
+		if _, err := fmt.Fprintf(bw, "%g,%g\n", float64(s.Duration), float64(s.Mbps)); err != nil {
 			return err
 		}
 	}
@@ -364,7 +364,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if dur <= 0 || mbps < 0 {
 			return nil, fmt.Errorf("trace: line %d: invalid sample (%g s, %g Mbps)", lineNo, dur, mbps)
 		}
-		t.Append(Sample{Duration: dur, Mbps: mbps})
+		t.Append(Sample{Duration: units.Seconds(dur), Mbps: units.Mbps(mbps)})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -377,7 +377,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 func (t *Trace) Bandwidths() []float64 {
 	out := make([]float64, len(t.samples))
 	for i, s := range t.samples {
-		out[i] = s.Mbps
+		out[i] = float64(s.Mbps)
 	}
 	return out
 }

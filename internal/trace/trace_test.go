@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
 func figure4Trace() *Trace {
@@ -20,8 +22,8 @@ func TestFigure4TimeBasedThroughput(t *testing.T) {
 	// Time-based formulation with Δt = 1 s: ω1=4, ω2=1, ω3=ω4=2.
 	want := []float64{4, 1, 2, 2}
 	for i, w := range want {
-		got := tr.MeanOver(float64(i), 1)
-		if math.Abs(got-w) > 1e-12 {
+		got := tr.MeanOver(units.Seconds(i), 1)
+		if math.Abs(float64(got)-w) > 1e-12 {
 			t.Errorf("ω_%d = %v, want %v", i+1, got, w)
 		}
 	}
@@ -34,17 +36,17 @@ func TestFigure4SegmentBasedBias(t *testing.T) {
 	// r2 = 2.5 Mb/s the second segment (2.5 Mb) takes 1 s (0.5 s at 4 Mb/s
 	// gives 2 Mb, then 0.5 s at 1 Mb/s gives 0.5 Mb), so ω2 = 2.5 Mb/s.
 	dt1, err := tr.DownloadTime(0, 2.0)
-	if err != nil || math.Abs(dt1-0.5) > 1e-12 {
+	if err != nil || math.Abs(float64(dt1)-0.5) > 1e-12 {
 		t.Fatalf("segment 1 download time = %v, %v; want 0.5", dt1, err)
 	}
 	dt2, err := tr.DownloadTime(0.5, 2.5)
-	if err != nil || math.Abs(dt2-1.0) > 1e-12 {
+	if err != nil || math.Abs(float64(dt2)-1.0) > 1e-12 {
 		t.Fatalf("segment 2 download time = %v, %v; want 1.0", dt2, err)
 	}
-	if w1 := 2.0 / dt1; math.Abs(w1-4) > 1e-12 {
+	if w1 := 2.0 / float64(dt1); math.Abs(w1-4) > 1e-12 {
 		t.Errorf("segment-based ω1 = %v, want 4", w1)
 	}
-	if w2 := 2.5 / dt2; math.Abs(w2-2.5) > 1e-12 {
+	if w2 := 2.5 / float64(dt2); math.Abs(w2-2.5) > 1e-12 {
 		t.Errorf("segment-based ω2 = %v, want 2.5", w2)
 	}
 }
@@ -55,7 +57,7 @@ func TestBandwidthAt(t *testing.T) {
 	for _, c := range []struct{ at, want float64 }{
 		{0, 4}, {0.99, 4}, {1, 1}, {1.5, 1}, {2, 2}, {3.9, 2}, {4, 4}, {-0.5, 2},
 	} {
-		if got := tr.BandwidthAt(c.at); got != c.want {
+		if got := tr.BandwidthAt(units.Seconds(c.at)); float64(got) != c.want {
 			t.Errorf("BandwidthAt(%v) = %v, want %v", c.at, got, c.want)
 		}
 	}
@@ -68,7 +70,7 @@ func TestBandwidthAt(t *testing.T) {
 func TestDownloadTimeWrap(t *testing.T) {
 	tr := New([]Sample{{1, 8}}) // 8 Mb/s forever
 	dt, err := tr.DownloadTime(0.9, 16)
-	if err != nil || math.Abs(dt-2.0) > 1e-9 {
+	if err != nil || math.Abs(float64(dt)-2.0) > 1e-9 {
 		t.Errorf("DownloadTime = %v, %v; want 2", dt, err)
 	}
 	if dt, err := tr.DownloadTime(5, 0); err != nil || dt != 0 {
@@ -88,21 +90,21 @@ func TestDownloadTimeStalled(t *testing.T) {
 	// Zero spans followed by capacity must still complete.
 	mix := New([]Sample{{2, 0}, {1, 10}})
 	dt, err := mix.DownloadTime(0, 5)
-	if err != nil || math.Abs(dt-2.5) > 1e-9 {
+	if err != nil || math.Abs(float64(dt)-2.5) > 1e-9 {
 		t.Errorf("mixed trace DownloadTime = %v, %v; want 2.5", dt, err)
 	}
 }
 
 func TestTransferableMegabits(t *testing.T) {
 	tr := figure4Trace()
-	if got := tr.TransferableMegabits(0, 4); math.Abs(got-9) > 1e-12 {
+	if got := tr.TransferableMegabits(0, 4); math.Abs(float64(got)-9) > 1e-12 {
 		t.Errorf("full trace capacity = %v, want 9", got)
 	}
-	if got := tr.TransferableMegabits(0.5, 1); math.Abs(got-2.5) > 1e-12 {
+	if got := tr.TransferableMegabits(0.5, 1); math.Abs(float64(got)-2.5) > 1e-12 {
 		t.Errorf("capacity over [0.5,1.5) = %v, want 2.5", got)
 	}
 	// Wrap-around window.
-	if got := tr.TransferableMegabits(3.5, 1); math.Abs(got-(1+2)) > 1e-12 {
+	if got := tr.TransferableMegabits(3.5, 1); math.Abs(float64(got)-(1+2)) > 1e-12 {
 		t.Errorf("wrapping capacity = %v, want 3", got)
 	}
 }
@@ -110,7 +112,7 @@ func TestTransferableMegabits(t *testing.T) {
 func TestMeanAndRSD(t *testing.T) {
 	tr := figure4Trace()
 	wantMean := 9.0 / 4.0
-	if got := tr.MeanMbps(); math.Abs(got-wantMean) > 1e-12 {
+	if got := tr.MeanMbps(); math.Abs(float64(got)-wantMean) > 1e-12 {
 		t.Errorf("MeanMbps = %v, want %v", got, wantMean)
 	}
 	if c := Constant(5, 10); c.RSD() != 0 {
@@ -127,10 +129,10 @@ func TestMeanAndRSD(t *testing.T) {
 func TestSliceAndSplit(t *testing.T) {
 	tr := figure4Trace()
 	s := tr.Slice(0.5, 2)
-	if math.Abs(s.Duration()-2) > 1e-9 {
+	if math.Abs(float64(s.Duration())-2) > 1e-9 {
 		t.Fatalf("slice duration = %v", s.Duration())
 	}
-	if got := s.MeanOver(0, 2); math.Abs(got-tr.MeanOver(0.5, 2)) > 1e-9 {
+	if got := s.MeanOver(0, 2); math.Abs(float64(got-tr.MeanOver(0.5, 2))) > 1e-9 {
 		t.Errorf("slice mean = %v, want %v", got, tr.MeanOver(0.5, 2))
 	}
 	sessions := tr.SplitSessions(2)
@@ -138,7 +140,7 @@ func TestSliceAndSplit(t *testing.T) {
 		t.Fatalf("sessions = %d, want 2", len(sessions))
 	}
 	for i, ss := range sessions {
-		if math.Abs(ss.Duration()-2) > 1e-9 {
+		if math.Abs(float64(ss.Duration())-2) > 1e-9 {
 			t.Errorf("session %d duration = %v", i, ss.Duration())
 		}
 		if err := ss.Validate(); err != nil {
@@ -152,7 +154,7 @@ func TestSliceAndSplit(t *testing.T) {
 
 func TestScale(t *testing.T) {
 	tr := figure4Trace().Scale(2)
-	if got := tr.MeanMbps(); math.Abs(got-4.5) > 1e-12 {
+	if got := tr.MeanMbps(); math.Abs(float64(got)-4.5) > 1e-12 {
 		t.Errorf("scaled mean = %v", got)
 	}
 	if tr.Len() != 3 {
@@ -170,7 +172,7 @@ func TestCSVRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Len() != tr.Len() || math.Abs(back.Duration()-tr.Duration()) > 1e-9 {
+	if back.Len() != tr.Len() || math.Abs(float64(back.Duration()-tr.Duration())) > 1e-9 {
 		t.Fatalf("round trip mismatch: %d samples, %v s", back.Len(), back.Duration())
 	}
 	for i, s := range back.Samples() {
@@ -216,7 +218,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestAppendPanics(t *testing.T) {
-	for _, s := range []Sample{{0, 1}, {-1, 1}, {1, -1}, {1, math.NaN()}, {1, math.Inf(1)}} {
+	for _, s := range []Sample{{0, 1}, {-1, 1}, {1, -1}, {1, units.Mbps(math.NaN())}, {1, units.Mbps(math.Inf(1))}} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -238,18 +240,18 @@ func TestDownloadTimeConsistency(t *testing.T) {
 		n := 1 + rng.IntN(20)
 		for i := 0; i < n; i++ {
 			tr.Append(Sample{
-				Duration: 0.1 + rng.Float64()*3,
-				Mbps:     0.5 + rng.Float64()*50,
+				Duration: units.Seconds(0.1 + rng.Float64()*3),
+				Mbps:     units.Mbps(0.5 + rng.Float64()*50),
 			})
 		}
-		start := rng.Float64() * 100
-		size := 0.1 + rng.Float64()*200
+		start := units.Seconds(rng.Float64() * 100)
+		size := units.Megabits(0.1 + rng.Float64()*200)
 		dt, err := tr.DownloadTime(start, size)
 		if err != nil {
 			return false
 		}
 		got := tr.TransferableMegabits(start, dt)
-		return math.Abs(got-size) < 1e-6*math.Max(1, size)
+		return math.Abs(float64(got-size)) < 1e-6*math.Max(1, float64(size))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
@@ -263,10 +265,10 @@ func TestMeanOverFullWrap(t *testing.T) {
 		tr := &Trace{}
 		n := 1 + rng.IntN(10)
 		for i := 0; i < n; i++ {
-			tr.Append(Sample{Duration: 0.2 + rng.Float64(), Mbps: rng.Float64() * 20})
+			tr.Append(Sample{Duration: units.Seconds(0.2 + rng.Float64()), Mbps: units.Mbps(rng.Float64() * 20)})
 		}
-		start := rng.Float64() * 7
-		return math.Abs(tr.MeanOver(start, tr.Duration())-tr.MeanMbps()) < 1e-6
+		start := units.Seconds(rng.Float64() * 7)
+		return math.Abs(float64(tr.MeanOver(start, tr.Duration())-tr.MeanMbps())) < 1e-6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
 // State is one link regime with a relative mean bandwidth (rescaled during
@@ -263,7 +264,7 @@ func (p Profile) Session(seconds float64, seed uint64, index int) (*trace.Trace,
 			dur = remaining
 		}
 		bw := effMean * math.Exp(logX)
-		tr.Append(trace.Sample{Duration: dur, Mbps: bw})
+		tr.Append(trace.Sample{Duration: units.Seconds(dur), Mbps: units.Mbps(bw)})
 		remaining -= dur
 
 		// Evolve regime (with a smooth transition ramp) and multiplier.
@@ -311,15 +312,16 @@ func Generate(p Profile, sessions int, sessionSeconds float64, seed uint64) (*Da
 
 // MeanMbps returns the pooled mean bandwidth across all sessions.
 func (d *Dataset) MeanMbps() float64 {
-	var sum, dur float64
+	var sum units.Megabits
+	var dur units.Seconds
 	for _, s := range d.Sessions {
-		sum += s.MeanMbps() * s.Duration()
+		sum += s.MeanMbps().MegabitsIn(s.Duration())
 		dur += s.Duration()
 	}
 	if dur == 0 {
 		return 0
 	}
-	return sum / dur
+	return float64(sum.Over(dur))
 }
 
 // RSD returns the pooled relative standard deviation of bandwidth across all
@@ -332,9 +334,9 @@ func (d *Dataset) RSD() float64 {
 	var ss, dur float64
 	for _, s := range d.Sessions {
 		for _, sample := range s.Samples() {
-			dv := sample.Mbps - mean
-			ss += dv * dv * sample.Duration
-			dur += sample.Duration
+			dv := float64(sample.Mbps) - mean
+			ss += dv * dv * float64(sample.Duration)
+			dur += float64(sample.Duration)
 		}
 	}
 	if dur == 0 {
@@ -385,7 +387,7 @@ func (d *Dataset) Subset(k int, seed uint64) []*trace.Trace {
 func (d *Dataset) FilterMeanBelow(mbps float64) []*trace.Trace {
 	var out []*trace.Trace
 	for _, s := range d.Sessions {
-		if s.MeanMbps() < mbps {
+		if s.MeanMbps() < units.Mbps(mbps) {
 			out = append(out, s)
 		}
 	}
@@ -398,7 +400,7 @@ func (d *Dataset) FilterMeanBelow(mbps float64) []*trace.Trace {
 // switching down and rebuffering.
 func StepDown(highMbps, lowMbps, headSeconds, tailSeconds float64) *trace.Trace {
 	return trace.New([]trace.Sample{
-		{Duration: headSeconds, Mbps: highMbps},
-		{Duration: tailSeconds, Mbps: lowMbps},
+		{Duration: units.Seconds(headSeconds), Mbps: units.Mbps(highMbps)},
+		{Duration: units.Seconds(tailSeconds), Mbps: units.Mbps(lowMbps)},
 	})
 }

@@ -176,7 +176,7 @@ func TestSessionDurationAndPositivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(tr.Duration()-601.5) > 1e-9 {
+	if math.Abs(float64(tr.Duration())-601.5) > 1e-9 {
 		t.Errorf("duration = %v", tr.Duration())
 	}
 	if err := tr.Validate(); err != nil {
@@ -271,7 +271,7 @@ func TestFilterMeanBelow(t *testing.T) {
 
 func TestStepDown(t *testing.T) {
 	tr := StepDown(10, 1, 60, 140)
-	if math.Abs(tr.Duration()-200) > 1e-9 {
+	if math.Abs(float64(tr.Duration())-200) > 1e-9 {
 		t.Errorf("duration = %v", tr.Duration())
 	}
 	if tr.BandwidthAt(30) != 10 || tr.BandwidthAt(100) != 1 {

@@ -1,0 +1,90 @@
+// Package units defines the dimensioned scalar types shared by the SODA
+// core, simulator and trace layers, so that bitrates, data sizes and
+// durations cannot be mixed silently.
+//
+// The classic ABR bug class is a unit mix-up: the paper's objective combines
+// bitrates in Mb/s, buffer levels in seconds and segment sizes in megabits,
+// and a bits-vs-bytes or seconds-vs-milliseconds slip corrupts every
+// downstream decision while remaining perfectly type-correct float64
+// arithmetic. Each quantity here is a defined type over float64, so
+//
+//   - arithmetic between *different* unit types does not compile,
+//   - conversions between units of the same dimension go through the named
+//     methods below (Seconds.Milliseconds, Mbps.Kbps, Megabits.Bits, ...),
+//     which apply the scale factor exactly once, and
+//   - dimension-changing operations (rate x time = size, size / rate = time)
+//     are spelled as methods whose names state the result.
+//
+// The static twin of this package is the `unitsafe` analyzer
+// (internal/lint/unitsafe), which additionally flags the two remaining
+// loopholes the type system leaves open: direct conversions between two unit
+// types (e.g. Seconds(ms) — compiles because the underlying type matches,
+// silently off by 1000x) and raw untyped literals passed where a unit type
+// is expected.
+//
+// Converting to and from plain float64 is always allowed — float64(x) is the
+// sanctioned exit into dimensionless arithmetic (cost functions, utilities,
+// statistics) and into the not-yet-migrated float64 boundaries (abr.Context,
+// predictor). Keep the dimensioned form as long as the value has a unit.
+//
+// All types use float64 underneath and incur zero runtime cost: the
+// conversions and helper methods compile to the identical floating-point
+// operations the untyped code performed, in the same order, so migrating an
+// expression to units never changes its bits.
+package units
+
+// Seconds is a duration or buffer level in seconds of (video) time.
+type Seconds float64
+
+// Milliseconds is a duration in milliseconds; used at network-emulation and
+// HTTP boundaries where latencies are natively quoted in ms.
+type Milliseconds float64
+
+// Mbps is a data rate in megabits per second — the native unit of bitrate
+// ladders and throughput traces in this repository.
+type Mbps float64
+
+// Kbps is a data rate in kilobits per second; used at boundaries (DASH
+// manifests, logs) where bitrates are natively quoted in Kbps.
+type Kbps float64
+
+// Megabits is a data size in megabits — the native unit of segment sizes.
+type Megabits float64
+
+// Bits is a data size in bits; used at wire/manifest boundaries.
+type Bits float64
+
+// Milliseconds converts seconds to milliseconds.
+func (s Seconds) Milliseconds() Milliseconds { return Milliseconds(s * 1e3) }
+
+// Seconds converts milliseconds to seconds.
+func (ms Milliseconds) Seconds() Seconds { return Seconds(ms / 1e3) }
+
+// Kbps converts a rate in Mb/s to Kb/s.
+func (r Mbps) Kbps() Kbps { return Kbps(r * 1e3) }
+
+// Mbps converts a rate in Kb/s to Mb/s.
+func (r Kbps) Mbps() Mbps { return Mbps(r / 1e3) }
+
+// Bits converts megabits to bits.
+func (b Megabits) Bits() Bits { return Bits(b * 1e6) }
+
+// Megabits converts bits to megabits.
+func (b Bits) Megabits() Megabits { return Megabits(b / 1e6) }
+
+// Bps returns the rate's magnitude in bits per second, for wire formats
+// (e.g. the DASH MPD @bandwidth attribute) that are natively
+// bits-per-second integers.
+func (r Mbps) Bps() float64 { return float64(r) * 1e6 }
+
+// MegabitsIn returns the data volume carried at rate r over duration d:
+// rate x time = size.
+func (r Mbps) MegabitsIn(d Seconds) Megabits { return Megabits(float64(r) * float64(d)) }
+
+// AtRate returns the time needed to transfer b at rate r: size / rate = time.
+// Callers must ensure r > 0.
+func (b Megabits) AtRate(r Mbps) Seconds { return Seconds(float64(b) / float64(r)) }
+
+// Over returns the mean rate that transfers b in duration d:
+// size / time = rate. Callers must ensure d > 0.
+func (b Megabits) Over(d Seconds) Mbps { return Mbps(float64(b) / float64(d)) }

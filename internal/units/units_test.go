@@ -1,0 +1,64 @@
+package units_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestScaleConversions(t *testing.T) {
+	if got := units.Seconds(2.5).Milliseconds(); got != 2500 {
+		t.Errorf("Seconds(2.5).Milliseconds() = %v, want 2500", got)
+	}
+	if got := units.Milliseconds(250).Seconds(); got != 0.25 {
+		t.Errorf("Milliseconds(250).Seconds() = %v, want 0.25", got)
+	}
+	if got := units.Mbps(1.5).Kbps(); got != 1500 {
+		t.Errorf("Mbps(1.5).Kbps() = %v, want 1500", got)
+	}
+	if got := units.Kbps(800).Mbps(); got != 0.8 {
+		t.Errorf("Kbps(800).Mbps() = %v, want 0.8", got)
+	}
+	if got := units.Megabits(12).Bits(); got != 12e6 {
+		t.Errorf("Megabits(12).Bits() = %v, want 12e6", got)
+	}
+	if got := units.Bits(4e6).Megabits(); got != 4 {
+		t.Errorf("Bits(4e6).Megabits() = %v, want 4", got)
+	}
+}
+
+func TestDimensionChangingOps(t *testing.T) {
+	// A 4 Mb/s link over a 2 s segment carries 8 megabits.
+	if got := units.Mbps(4).MegabitsIn(units.Seconds(2)); got != 8 {
+		t.Errorf("Mbps(4).MegabitsIn(2s) = %v, want 8", got)
+	}
+	// 8 megabits at 4 Mb/s takes 2 s.
+	if got := units.Megabits(8).AtRate(units.Mbps(4)); got != 2 {
+		t.Errorf("Megabits(8).AtRate(4) = %v, want 2", got)
+	}
+	// 8 megabits in 2 s is 4 Mb/s.
+	if got := units.Megabits(8).Over(units.Seconds(2)); got != 4 {
+		t.Errorf("Megabits(8).Over(2s) = %v, want 4", got)
+	}
+}
+
+// TestBitExactness pins the zero-cost claim of the package doc: the helper
+// methods must produce the identical bits as the raw float64 expressions they
+// replace, for awkward values too.
+func TestBitExactness(t *testing.T) {
+	for _, tc := range []struct{ r, d float64 }{
+		{1.5, 2}, {7.5, 1.0 / 3}, {0.2, 600}, {60, 1e-9},
+	} {
+		want := tc.r * tc.d
+		got := float64(units.Mbps(tc.r).MegabitsIn(units.Seconds(tc.d)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("MegabitsIn(%v, %v): bits differ: %v vs %v", tc.r, tc.d, got, want)
+		}
+		wantT := want / tc.r
+		gotT := float64(units.Megabits(want).AtRate(units.Mbps(tc.r)))
+		if math.Float64bits(gotT) != math.Float64bits(wantT) {
+			t.Errorf("AtRate(%v, %v): bits differ: %v vs %v", want, tc.r, gotT, wantT)
+		}
+	}
+}

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+
+	"repro/internal/units"
 )
 
 // Rung is one encoding of the video: a bitrate and its nominal resolution.
 type Rung struct {
-	Mbps   float64
+	Mbps   units.Mbps
 	Width  int
 	Height int
 }
@@ -21,13 +23,13 @@ type Rung struct {
 // Ladders are immutable after construction.
 type Ladder struct {
 	Rungs          []Rung
-	SegmentSeconds float64
+	SegmentSeconds units.Seconds
 }
 
 // NewLadder builds a ladder from ascending bitrates with the given segment
 // duration. It panics on empty, non-ascending or non-positive input; ladders
 // are program constants, so misconfiguration is a programming error.
-func NewLadder(mbps []float64, segmentSeconds float64) Ladder {
+func NewLadder(mbps []float64, segmentSeconds units.Seconds) Ladder {
 	if len(mbps) == 0 {
 		panic("video: empty ladder")
 	}
@@ -40,7 +42,7 @@ func NewLadder(mbps []float64, segmentSeconds float64) Ladder {
 		if r <= prev {
 			panic(fmt.Sprintf("video: ladder must be strictly ascending and positive, got %v after %v", r, prev))
 		}
-		rungs[i] = Rung{Mbps: r}
+		rungs[i] = Rung{Mbps: units.Mbps(r)}
 		prev = r
 	}
 	return Ladder{Rungs: rungs, SegmentSeconds: segmentSeconds}
@@ -50,7 +52,7 @@ func NewLadder(mbps []float64, segmentSeconds float64) Ladder {
 // numerical simulations (§6.1.1): YouTube-recommended bitrates
 // 1.5, 4, 7.5, 12, 24 and 60 Mb/s with 2-second segments.
 func YouTube4K() Ladder {
-	l := NewLadder([]float64{1.5, 4, 7.5, 12, 24, 60}, 2)
+	l := NewLadder([]float64{1.5, 4, 7.5, 12, 24, 60}, units.Seconds(2))
 	res := [][2]int{{640, 360}, {1280, 720}, {1920, 1080}, {2560, 1440}, {3840, 2160}, {3840, 2160}}
 	for i := range l.Rungs {
 		l.Rungs[i].Width, l.Rungs[i].Height = res[i][0], res[i][1]
@@ -69,7 +71,7 @@ func Mobile() Ladder {
 // clip in five resolutions from 426x240 to 1920x1080 at constant rate factor
 // 26, whose highest rung averages about 2 Mb/s, with 2-second segments.
 func Prototype() Ladder {
-	l := NewLadder([]float64{0.2, 0.4, 0.8, 1.3, 2.0}, 2)
+	l := NewLadder([]float64{0.2, 0.4, 0.8, 1.3, 2.0}, units.Seconds(2))
 	res := [][2]int{{426, 240}, {640, 360}, {854, 480}, {1280, 720}, {1920, 1080}}
 	for i := range l.Rungs {
 		l.Rungs[i].Width, l.Rungs[i].Height = res[i][0], res[i][1]
@@ -80,24 +82,24 @@ func Prototype() Ladder {
 // PrimeVideo returns the production bitrate ladder of §6.3:
 // {0.2, 0.45, 0.8, 1.2, 1.8, 2, 4, 5, 6.5, 8.0} Mb/s.
 func PrimeVideo() Ladder {
-	return NewLadder([]float64{0.2, 0.45, 0.8, 1.2, 1.8, 2, 4, 5, 6.5, 8.0}, 2)
+	return NewLadder([]float64{0.2, 0.45, 0.8, 1.2, 1.8, 2, 4, 5, 6.5, 8.0}, units.Seconds(2))
 }
 
 // Len returns the number of rungs.
 func (l Ladder) Len() int { return len(l.Rungs) }
 
 // Mbps returns the bitrate of rung i.
-func (l Ladder) Mbps(i int) float64 { return l.Rungs[i].Mbps }
+func (l Ladder) Mbps(i int) units.Mbps { return l.Rungs[i].Mbps }
 
 // Min and Max return the lowest and highest bitrates.
-func (l Ladder) Min() float64 { return l.Rungs[0].Mbps }
+func (l Ladder) Min() units.Mbps { return l.Rungs[0].Mbps }
 
 // Max returns the highest bitrate of the ladder.
-func (l Ladder) Max() float64 { return l.Rungs[len(l.Rungs)-1].Mbps }
+func (l Ladder) Max() units.Mbps { return l.Rungs[len(l.Rungs)-1].Mbps }
 
 // Bitrates returns a copy of the bitrates in ascending order.
-func (l Ladder) Bitrates() []float64 {
-	out := make([]float64, len(l.Rungs))
+func (l Ladder) Bitrates() []units.Mbps {
+	out := make([]units.Mbps, len(l.Rungs))
 	for i, r := range l.Rungs {
 		out[i] = r.Mbps
 	}
@@ -106,7 +108,7 @@ func (l Ladder) Bitrates() []float64 {
 
 // MaxSustainable returns the index of the highest rung whose bitrate does not
 // exceed mbps, or 0 when even the lowest rung exceeds it.
-func (l Ladder) MaxSustainable(mbps float64) int {
+func (l Ladder) MaxSustainable(mbps units.Mbps) int {
 	best := 0
 	for i, r := range l.Rungs {
 		if r.Mbps <= mbps {
@@ -120,7 +122,7 @@ func (l Ladder) MaxSustainable(mbps float64) int {
 // cap "select a bitrate no higher than the smallest rung at or above the
 // predicted throughput". When mbps exceeds every rung, the top rung index is
 // returned.
-func (l Ladder) CapIndex(mbps float64) int {
+func (l Ladder) CapIndex(mbps units.Mbps) int {
 	for i, r := range l.Rungs {
 		if r.Mbps >= mbps {
 			return i
@@ -140,10 +142,9 @@ func (l Ladder) ClampIndex(i int) int {
 	return i
 }
 
-// SegmentMegabits returns the nominal (CBR) size in megabits of one segment
-// at rung i.
-func (l Ladder) SegmentMegabits(i int) float64 {
-	return l.Rungs[i].Mbps * l.SegmentSeconds
+// SegmentMegabits returns the nominal (CBR) size of one segment at rung i.
+func (l Ladder) SegmentMegabits(i int) units.Megabits {
+	return l.Rungs[i].Mbps.MegabitsIn(l.SegmentSeconds)
 }
 
 // LogUtility returns the commonly-used normalized logarithmic utility of §6:
@@ -154,7 +155,7 @@ func (l Ladder) LogUtility(i int) float64 {
 	if rmin == rmax {
 		return 1
 	}
-	u := math.Log(l.Rungs[i].Mbps/rmin) / math.Log(rmax/rmin)
+	u := math.Log(float64(l.Rungs[i].Mbps/rmin)) / math.Log(float64(rmax/rmin))
 	if u < 0 {
 		return 0
 	}
@@ -167,8 +168,8 @@ func (l Ladder) LogUtility(i int) float64 {
 // SizeModel produces per-segment encoded sizes. Implementations must be safe
 // to call with any rung index in range and any non-negative segment index.
 type SizeModel interface {
-	// SegmentMegabits returns the size of segment segIdx at rung i in megabits.
-	SegmentMegabits(i, segIdx int) float64
+	// SegmentMegabits returns the size of segment segIdx at rung i.
+	SegmentMegabits(i, segIdx int) units.Megabits
 }
 
 // CBR is a constant-bitrate size model: every segment at rung i has exactly
@@ -176,7 +177,7 @@ type SizeModel interface {
 type CBR struct{ Ladder Ladder }
 
 // SegmentMegabits implements SizeModel.
-func (c CBR) SegmentMegabits(i, _ int) float64 { return c.Ladder.SegmentMegabits(i) }
+func (c CBR) SegmentMegabits(i, _ int) units.Megabits { return c.Ladder.SegmentMegabits(i) }
 
 // VBR models variable-bitrate encodings: segment sizes vary around the
 // nominal size by a log-normal factor shared across rungs for a given segment
@@ -190,10 +191,10 @@ type VBR struct {
 }
 
 // SegmentMegabits implements SizeModel.
-func (v VBR) SegmentMegabits(i, segIdx int) float64 {
+func (v VBR) SegmentMegabits(i, segIdx int) units.Megabits {
 	rng := rand.New(rand.NewPCG(v.Seed, uint64(segIdx)+1))
 	factor := math.Exp(rng.NormFloat64()*v.Sigma - v.Sigma*v.Sigma/2)
-	return v.Ladder.SegmentMegabits(i) * factor
+	return v.Ladder.SegmentMegabits(i) * units.Megabits(factor)
 }
 
 // SSIMModel maps bitrate to structural-similarity quality, the utility used
@@ -205,22 +206,22 @@ func (v VBR) SegmentMegabits(i, segIdx int) float64 {
 // with defaults calibrated so a 0.2 Mb/s news-clip encode scores ~0.90 and a
 // 2 Mb/s encode ~0.98, matching typical Puffer SSIM ranges.
 type SSIMModel struct {
-	D0      float64 // distortion at the reference bitrate
-	Q       float64 // decay exponent
-	RefMbps float64 // reference bitrate
+	D0      float64    // distortion at the reference bitrate
+	Q       float64    // decay exponent
+	RefMbps units.Mbps // reference bitrate
 }
 
 // DefaultSSIM returns the calibrated prototype SSIM model.
 func DefaultSSIM() SSIMModel {
-	return SSIMModel{D0: 0.10, Q: math.Log(5) / math.Log(10), RefMbps: 0.2}
+	return SSIMModel{D0: 0.10, Q: math.Log(5) / math.Log(10), RefMbps: units.Mbps(0.2)}
 }
 
 // SSIM returns the modeled SSIM at bitrate mbps, clamped to [0, 1].
-func (m SSIMModel) SSIM(mbps float64) float64 {
+func (m SSIMModel) SSIM(mbps units.Mbps) float64 {
 	if mbps <= 0 {
 		return 0
 	}
-	s := 1 - m.D0*math.Pow(mbps/m.RefMbps, -m.Q)
+	s := 1 - m.D0*math.Pow(float64(mbps/m.RefMbps), -m.Q)
 	if s < 0 {
 		return 0
 	}
@@ -232,7 +233,7 @@ func (m SSIMModel) SSIM(mbps float64) float64 {
 
 // NormalizedUtility returns SSIM(mbps)/SSIM(maxMbps): the v = SSIM/SSIMmax
 // utility of §6.2.3.
-func (m SSIMModel) NormalizedUtility(mbps, maxMbps float64) float64 {
+func (m SSIMModel) NormalizedUtility(mbps, maxMbps units.Mbps) float64 {
 	denom := m.SSIM(maxMbps)
 	if denom <= 0 {
 		return 0

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
 func TestLadderConstruction(t *testing.T) {
@@ -39,7 +41,7 @@ func TestNewLadderPanics(t *testing.T) {
 					t.Errorf("NewLadder(%v, %v) should panic", c.mbps, c.seg)
 				}
 			}()
-			NewLadder(c.mbps, c.seg)
+			NewLadder(c.mbps, units.Seconds(c.seg))
 		}()
 	}
 }
@@ -75,7 +77,7 @@ func TestMaxSustainable(t *testing.T) {
 		{0.1, 0}, {1.5, 0}, {3.9, 0}, {4.0, 1}, {11, 2}, {60, 5}, {500, 5},
 	}
 	for _, c := range cases {
-		if got := l.MaxSustainable(c.mbps); got != c.want {
+		if got := l.MaxSustainable(units.Mbps(c.mbps)); got != c.want {
 			t.Errorf("MaxSustainable(%v) = %d, want %d", c.mbps, got, c.want)
 		}
 	}
@@ -90,7 +92,7 @@ func TestCapIndex(t *testing.T) {
 		{0.1, 0}, {1.5, 0}, {1.6, 1}, {4, 1}, {30, 5}, {60, 5}, {100, 5},
 	}
 	for _, c := range cases {
-		if got := l.CapIndex(c.mbps); got != c.want {
+		if got := l.CapIndex(units.Mbps(c.mbps)); got != c.want {
 			t.Errorf("CapIndex(%v) = %d, want %d", c.mbps, got, c.want)
 		}
 	}
@@ -149,17 +151,17 @@ func TestVBRProperties(t *testing.T) {
 	// Complexity factor shared across rungs for a given segment.
 	f0 := m.SegmentMegabits(0, 5) / l.SegmentMegabits(0)
 	f5 := m.SegmentMegabits(5, 5) / l.SegmentMegabits(5)
-	if math.Abs(f0-f5) > 1e-12 {
+	if math.Abs(float64(f0-f5)) > 1e-12 {
 		t.Errorf("VBR factor differs across rungs: %v vs %v", f0, f5)
 	}
 	// Mean over many segments is close to nominal (factor has mean 1).
-	sum := 0.0
+	sum := units.Megabits(0)
 	n := 4000
 	for i := 0; i < n; i++ {
 		sum += m.SegmentMegabits(3, i)
 	}
-	mean := sum / float64(n)
-	if math.Abs(mean-l.SegmentMegabits(3)) > 0.02*l.SegmentMegabits(3) {
+	mean := sum / units.Megabits(n)
+	if math.Abs(float64(mean-l.SegmentMegabits(3))) > 0.02*float64(l.SegmentMegabits(3)) {
 		t.Errorf("VBR mean = %v, nominal %v", mean, l.SegmentMegabits(3))
 	}
 	// Sizes are always positive.
@@ -182,7 +184,7 @@ func TestSSIMModel(t *testing.T) {
 	}
 	// Monotone increasing.
 	prev := -1.0
-	for r := 0.1; r <= 60; r *= 1.5 {
+	for r := units.Mbps(0.1); r <= 60; r *= 1.5 {
 		s := m.SSIM(r)
 		if s <= prev {
 			t.Errorf("SSIM not increasing at %v", r)

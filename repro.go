@@ -28,6 +28,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
+	"repro/internal/units"
 	"repro/internal/video"
 
 	// Register every controller.
@@ -57,6 +58,12 @@ type (
 	Predictor = predictor.Predictor
 	// DatasetProfile describes a synthetic network dataset.
 	DatasetProfile = tracegen.Profile
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// Mbps is a throughput in megabits per second.
+	Mbps = units.Mbps
+	// Megabits is a data size in megabits.
+	Megabits = units.Megabits
 )
 
 // Ladders used throughout the paper's evaluation.
@@ -107,7 +114,9 @@ func GenerateDataset(p DatasetProfile, sessions int, sessionSeconds float64, see
 }
 
 // ConstantTrace returns a fixed-bandwidth trace.
-func ConstantTrace(mbps, seconds float64) *Trace { return trace.Constant(mbps, seconds) }
+func ConstantTrace(mbps, seconds float64) *Trace {
+	return trace.Constant(units.Mbps(mbps), units.Seconds(seconds))
+}
 
 // NewTrace builds a trace from samples.
 func NewTrace(samples []Sample) *Trace { return trace.New(samples) }
