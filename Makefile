@@ -1,17 +1,22 @@
-# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml);
+# `make ci` reproduces the full pipeline locally, in the same order.
 
 GO ?= go
+GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all lint test bench fuzz build
+.PHONY: all ci lint test bench bench-gate fuzz build vuln
 
 all: lint test
+
+ci: lint build test fuzz bench-gate vuln
 
 build:
 	$(GO) build ./...
 
 # lint runs gofmt (fail on any unformatted file) and soda-vet, which bundles
-# the repository's custom analyzers (detrange, purecontroller, unitsafe) with
-# the standard go vet passes. See DESIGN.md "Static invariants".
+# the repository's custom analyzers (detrange, purecontroller, unitsafe,
+# nofloat64wire) with the standard go vet passes, over source and test files.
+# See DESIGN.md "Static invariants".
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
@@ -23,6 +28,23 @@ test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-gate runs the BenchmarkSolver* suite with a fixed iteration budget,
+# writes BENCH_pr3.json, and fails if nodes/solve regresses more than 10%
+# against the committed bench_baseline.json.
+bench-gate:
+	$(GO) run ./cmd/soda-bench -out BENCH_pr3.json
+
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSolverEquivalence -fuzztime 20s ./internal/core
+
+# vuln mirrors the CI govulncheck step: pinned version, and a visible skip
+# instead of a failure when the module proxy is unreachable (hermetic hosts).
+vuln:
+	@if ! $(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION); then \
+		echo "notice: govulncheck skipped: module proxy unreachable; vulnerability scan not performed"; \
+	else \
+		govulncheck ./... || { \
+			echo "notice: govulncheck failed; if this host is offline the vulnerability database is unreachable"; \
+			exit 1; }; \
+	fi

@@ -299,13 +299,13 @@ func BenchmarkSolverPruned(b *testing.B) {
 					cfg := core.DefaultConfig()
 					cfg.DisablePruning = !pruned
 					ladder := lad.build()
-					m := core.NewCostModel(cfg, ladder, 20)
+					m := core.NewCostModel(cfg, ladder, units.Seconds(20))
 					maxRung := ladder.Len() - 1
 					omegas := []units.Mbps{units.Mbps(lad.omega)}
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						m.Solve(omegas, 11, 3, k, maxRung)
+						m.Solve(omegas, units.Seconds(11), 3, k, maxRung)
 					}
 					b.StopTimer()
 					st := m.SolveStats()
@@ -356,11 +356,11 @@ func byK(k int) string {
 func benchCtx() *abr.Context {
 	ladder := video.YouTube4K()
 	return &abr.Context{
-		Buffer:    11,
-		BufferCap: 20,
+		Buffer:    units.Seconds(11),
+		BufferCap: units.Seconds(20),
 		PrevRung:  3,
 		Ladder:    ladder,
-		Predict:   func(float64) float64 { return 30 },
+		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(30) },
 	}
 }
 

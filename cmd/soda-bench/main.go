@@ -1,0 +1,197 @@
+// Command soda-bench is the solver benchmark regression gate. It runs the
+// BenchmarkSolver* benchmarks with a fixed iteration budget, writes the
+// parsed results as JSON, and fails when the branch-and-bound solver's
+// nodes-per-solve counters regress against the committed baseline:
+//
+//	go run ./cmd/soda-bench -out BENCH_pr3.json
+//
+// nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks) is
+// the gate metric because it is a deterministic property of the pruning
+// logic — unlike ns/op it does not move with runner hardware, so a hermetic
+// CI runner can enforce a tight threshold on it. ns/op and allocs/op are
+// recorded in the JSON for human inspection but not gated.
+//
+// The baseline (bench_baseline.json) carries the nodes counters recorded in
+// CHANGES.md when the branch-and-bound solver landed. A measured value more
+// than -tolerance (default 10%) above baseline fails the gate, as does a
+// baseline entry that no longer appears in the benchmark output: a silently
+// vanished benchmark must not read as a pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the aggregated measurement of one benchmark across -count runs.
+type Result struct {
+	Name          string  `json:"name"`
+	Samples       int     `json:"samples"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	NodesPerSolve float64 `json:"nodes_per_solve,omitempty"`
+}
+
+// Report is the schema of the JSON artifact.
+type Report struct {
+	Pattern    string   `json:"pattern"`
+	Benchtime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	pattern := flag.String("pattern", "BenchmarkSolver", "benchmark name pattern to run")
+	benchtime := flag.String("benchtime", "100x", "fixed per-benchmark iteration budget")
+	count := flag.Int("count", 3, "repetitions per benchmark")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed nodes/solve baseline")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *pattern, "-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count), ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: go test -bench: %v\n%s", err, raw)
+		os.Exit(2)
+	}
+	os.Stdout.Write(raw)
+
+	report := parse(string(raw))
+	report.Pattern = *pattern
+	report.Benchtime = *benchtime
+	report.Count = *count
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("soda-bench: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if failures := gate(report, baseline, *tolerance); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "soda-bench: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("soda-bench: nodes/solve within %.0f%% of baseline for all %d gated benchmarks\n",
+		*tolerance*100, len(baseline))
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkSolverMonotonic-8   100   31.0 ns/op   24.0 nodes/solve   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// parse aggregates benchmark output lines into per-name mean results.
+func parse(out string) Report {
+	type acc struct {
+		n                 int
+		ns, allocs, nodes float64
+		nodeSamples       int
+	}
+	accs := make(map[string]*acc)
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.n++
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.ns += v
+			case "allocs/op":
+				a.allocs += v
+			case "nodes/solve", "nodes/op":
+				a.nodes += v
+				a.nodeSamples++
+			}
+		}
+	}
+	var rep Report
+	for _, name := range order {
+		a := accs[name]
+		r := Result{
+			Name:        name,
+			Samples:     a.n,
+			NsPerOp:     a.ns / float64(a.n),
+			AllocsPerOp: a.allocs / float64(a.n),
+		}
+		if a.nodeSamples > 0 {
+			r.NodesPerSolve = a.nodes / float64(a.nodeSamples)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep
+}
+
+// readBaseline loads the committed name -> nodes/solve map.
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baseline map[string]float64
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return baseline, nil
+}
+
+// gate compares measured nodes/solve against the baseline and returns the
+// failure messages, sorted for stable output.
+func gate(rep Report, baseline map[string]float64, tolerance float64) []string {
+	measured := make(map[string]float64)
+	for _, r := range rep.Benchmarks {
+		if r.NodesPerSolve > 0 {
+			measured[r.Name] = r.NodesPerSolve
+		}
+	}
+	var failures []string
+	for name, base := range baseline {
+		got, ok := measured[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in benchmark output", name))
+			continue
+		}
+		if got > base*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: nodes/solve %.2f exceeds baseline %.2f by more than %.0f%%",
+				name, got, base, tolerance*100))
+		}
+	}
+	sort.Strings(failures)
+	return failures
+}

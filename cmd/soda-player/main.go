@@ -50,7 +50,7 @@ func main() {
 		Addr:        *addr,
 		Controller:  ctrl,
 		Predictor:   predictor.NewSafeEMA(),
-		BufferCap:   *bufferCap,
+		BufferCap:   units.Seconds(*bufferCap),
 		TimeScale:   *timeScale,
 		MaxSegments: *maxSegments,
 	})

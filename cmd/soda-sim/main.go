@@ -74,7 +74,7 @@ func buildTraces(traceFile, dataset string, sessions int, sessionSeconds float64
 	if err != nil {
 		return nil, 0, err
 	}
-	ds, err := tracegen.Generate(profile, sessions, sessionSeconds, seed)
+	ds, err := tracegen.Generate(profile, sessions, units.Seconds(sessionSeconds), seed)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -101,7 +101,7 @@ func runController(name string, ladder video.Ladder, traces []*trace.Trace, buff
 	}
 	factory := func() (abr.Controller, predictor.Predictor) {
 		c, _ := abr.New(name, ladder)
-		return c, predictor.NewEMA(4)
+		return c, predictor.NewEMA(units.Seconds(4))
 	}
 	metrics, err := sim.RunDataset(traces, factory, sim.Config{
 		Ladder:         ladder,

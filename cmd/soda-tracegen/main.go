@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/tracegen"
+	"repro/internal/units"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 		fatal(fmt.Errorf("unknown dataset %q", *dataset))
 	}
 
-	ds, err := tracegen.Generate(profile, *sessions, *sessionSeconds, *seed)
+	ds, err := tracegen.Generate(profile, *sessions, units.Seconds(*sessionSeconds), *seed)
 	if err != nil {
 		fatal(err)
 	}

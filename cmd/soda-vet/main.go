@@ -1,9 +1,12 @@
 // Command soda-vet runs the repository's custom static analyzers —
-// detrange, purecontroller and unitsafe — alongside the standard go vet
-// passes, and exits non-zero on any finding. It is the lint gate CI runs on
-// every push:
+// detrange, purecontroller, unitsafe and nofloat64wire — alongside the
+// standard go vet passes, and exits non-zero on any finding. It is the lint
+// gate CI runs on every push:
 //
 //	go run ./cmd/soda-vet ./...
+//
+// The analyzers cover test files too: packages are loaded with their test
+// sources, so the invariants hold over the test corpus as well.
 //
 // Pass -novet to skip the standard vet passes (useful when iterating on the
 // custom analyzers alone). See internal/lint and DESIGN.md ("Static
@@ -18,6 +21,7 @@ import (
 
 	"repro/internal/lint"
 	"repro/internal/lint/detrange"
+	"repro/internal/lint/nofloat64wire"
 	"repro/internal/lint/purecontroller"
 	"repro/internal/lint/unitsafe"
 )
@@ -26,6 +30,7 @@ var analyzers = []*lint.Analyzer{
 	detrange.Analyzer,
 	purecontroller.Analyzer,
 	unitsafe.Analyzer,
+	nofloat64wire.Analyzer,
 }
 
 func main() {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"repro"
+
+	"repro/internal/units"
 )
 
 // ExampleSimulate runs SODA over a constant 12 Mb/s link with the mobile
@@ -13,9 +15,9 @@ func ExampleSimulate() {
 	soda := repro.NewSODA(repro.DefaultSODAConfig(), ladder)
 	res, err := repro.Simulate(repro.ConstantTrace(12, 120), repro.SimulationConfig{
 		Ladder:     ladder,
-		BufferCap:  20,
+		BufferCap:  units.Seconds(20),
 		Controller: soda,
-		Predictor:  repro.NewEMAPredictor(4),
+		Predictor:  repro.NewEMAPredictor(units.Seconds(4)),
 	})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -39,7 +41,7 @@ func ExampleNewController() {
 // ExampleGenerateDataset synthesizes sessions calibrated to the paper's 4G
 // dataset.
 func ExampleGenerateDataset() {
-	ds, err := repro.GenerateDataset(repro.Profile4G(), 3, 60, 1)
+	ds, err := repro.GenerateDataset(repro.Profile4G(), 3, units.Seconds(60), 1)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -10,12 +10,13 @@ import (
 	"log"
 
 	"repro/internal/prod"
+	"repro/internal/units"
 )
 
 func main() {
 	cfg := prod.DefaultConfig()
 	cfg.SessionsPerArm = 20
-	cfg.SessionSeconds = 400
+	cfg.SessionLength = units.Seconds(400)
 
 	fmt.Println("running the device-family A/B experiment (SODA vs fine-tuned baseline)...")
 	reports, err := prod.Run(cfg)

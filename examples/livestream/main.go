@@ -17,7 +17,7 @@ func main() {
 
 	// Ten 4G sessions of ten minutes each, calibrated to the paper's 4G
 	// dataset (13 Mb/s mean, 80.6% relative standard deviation).
-	ds, err := repro.GenerateDataset(repro.Profile4G(), 10, 600, 1)
+	ds, err := repro.GenerateDataset(repro.Profile4G(), 10, repro.Seconds(600), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func main() {
 				BufferCap:      repro.Seconds(20), // live: stay close to the broadcast edge
 				SessionSeconds: repro.Seconds(600),
 				Controller:     ctrl,
-				Predictor:      repro.NewEMAPredictor(4),
+				Predictor:      repro.NewEMAPredictor(repro.Seconds(4)),
 			})
 			if err != nil {
 				log.Fatal(err)

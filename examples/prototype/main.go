@@ -35,7 +35,7 @@ func main() {
 		Predictor:     repro.NewSafeEMAPredictor(),
 		Ladder:        ladder,
 		TotalSegments: 90,
-		BufferCap:     15, // Puffer's cap
+		BufferCap:     repro.Seconds(15), // Puffer's cap
 		TimeScale:     20,
 	})
 	if err != nil {

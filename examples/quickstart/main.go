@@ -30,7 +30,7 @@ func main() {
 		Ladder:     ladder,
 		BufferCap:  repro.Seconds(20),
 		Controller: soda,
-		Predictor:  repro.NewEMAPredictor(4),
+		Predictor:  repro.NewEMAPredictor(repro.Seconds(4)),
 	})
 	if err != nil {
 		log.Fatal(err)

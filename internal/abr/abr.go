@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -27,36 +28,39 @@ type Decision struct {
 	Rung int
 	// WaitSeconds suggests how long to idle when Rung is NoRung. The player
 	// may clamp it. Ignored when Rung >= 0.
-	WaitSeconds float64
+	WaitSeconds units.Seconds
 }
 
 // Wait returns a no-download decision with the suggested idle time.
-func Wait(seconds float64) Decision { return Decision{Rung: NoRung, WaitSeconds: seconds} }
+func Wait(d units.Seconds) Decision { return Decision{Rung: NoRung, WaitSeconds: d} }
 
 // Context carries the player state visible to a controller at decision time.
+// Every dimensioned quantity is expressed in the internal/units types, so the
+// whole decision path — harness, context, controller, predictor — is
+// statically unit-checked end to end.
 type Context struct {
-	// Now is the current stream clock in seconds.
-	Now float64
+	// Now is the current stream clock.
+	Now units.Seconds
 	// Buffer is the current buffer level in seconds of video.
-	Buffer float64
+	Buffer units.Seconds
 	// BufferCap is the maximum buffer the player may hold (e.g. 20 s for the
 	// paper's live configuration).
-	BufferCap float64
+	BufferCap units.Seconds
 	// PrevRung is the rung of the previously downloaded segment, or NoRung
 	// before the first download.
 	PrevRung int
 	// Ladder is the available bitrate ladder.
 	Ladder video.Ladder
-	// Predict returns the predicted mean throughput in Mb/s over the next
-	// horizon seconds. It is never nil during simulation.
-	Predict func(horizonSeconds float64) float64
+	// Predict returns the predicted mean throughput over the next horizon.
+	// It is never nil during simulation.
+	Predict func(horizon units.Seconds) units.Mbps
 	// PredictQuantile returns a throughput quantile forecast, or nil when the
 	// configured predictor has no distributional support.
-	PredictQuantile func(q, horizonSeconds float64) float64
-	// LastThroughputMbps is the measured mean throughput of the previous
+	PredictQuantile func(q float64, horizon units.Seconds) units.Mbps
+	// LastThroughput is the measured mean throughput of the previous
 	// segment download, or 0 before the first download. RobustMPC uses it to
 	// track its own prediction errors.
-	LastThroughputMbps float64
+	LastThroughput units.Mbps
 	// SegmentIndex is the index of the segment about to be selected.
 	SegmentIndex int
 	// TotalSegments is the session length in segments (0 when unknown/live).
@@ -66,13 +70,13 @@ type Context struct {
 // PredictSafe returns the point prediction, treating a nil Predict or
 // non-positive forecast as "unknown" and falling back to the lowest rung's
 // bitrate so controllers degrade conservatively during startup.
-func (c *Context) PredictSafe(horizonSeconds float64) float64 {
+func (c *Context) PredictSafe(horizon units.Seconds) units.Mbps {
 	if c.Predict == nil {
-		return float64(c.Ladder.Min())
+		return c.Ladder.Min()
 	}
-	p := c.Predict(horizonSeconds)
+	p := c.Predict(horizon)
 	if p <= 0 {
-		return float64(c.Ladder.Min())
+		return c.Ladder.Min()
 	}
 	return p
 }

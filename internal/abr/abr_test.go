@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -49,14 +50,14 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 }
 
 func TestWaitDecision(t *testing.T) {
-	d := Wait(1.5)
+	d := Wait(units.Seconds(1.5))
 	if d.Rung != NoRung || d.WaitSeconds != 1.5 {
 		t.Errorf("Wait = %+v", d)
 	}
 }
 
 func TestContextValidate(t *testing.T) {
-	good := &Context{Buffer: 5, BufferCap: 20, PrevRung: NoRung, Ladder: video.Mobile()}
+	good := &Context{Buffer: units.Seconds(5), BufferCap: units.Seconds(20), PrevRung: NoRung, Ladder: video.Mobile()}
 	if err := good.Validate(); err != nil {
 		t.Errorf("valid context rejected: %v", err)
 	}
@@ -76,15 +77,15 @@ func TestContextValidate(t *testing.T) {
 
 func TestPredictSafe(t *testing.T) {
 	ctx := &Context{Ladder: video.Mobile()}
-	if got := ctx.PredictSafe(2); got != float64(ctx.Ladder.Min()) {
+	if got := ctx.PredictSafe(units.Seconds(2)); got != ctx.Ladder.Min() {
 		t.Errorf("nil predictor fallback = %v", got)
 	}
-	ctx.Predict = func(float64) float64 { return 0 }
-	if got := ctx.PredictSafe(2); got != float64(ctx.Ladder.Min()) {
+	ctx.Predict = func(units.Seconds) units.Mbps { return 0 }
+	if got := ctx.PredictSafe(units.Seconds(2)); got != ctx.Ladder.Min() {
 		t.Errorf("zero prediction fallback = %v", got)
 	}
-	ctx.Predict = func(float64) float64 { return 9 }
-	if got := ctx.PredictSafe(2); got != 9 {
+	ctx.Predict = func(units.Seconds) units.Mbps { return units.Mbps(9) }
+	if got := ctx.PredictSafe(units.Seconds(2)); got != 9 {
 		t.Errorf("PredictSafe = %v", got)
 	}
 }

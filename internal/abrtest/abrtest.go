@@ -41,17 +41,17 @@ func decisionsTotal(t *testing.T, c abr.Controller) {
 	ladder := video.YouTube4K()
 	rng := rand.New(rand.NewPCG(11, 13))
 	for i := 0; i < 500; i++ {
-		omega := 0.2 + rng.Float64()*120
+		omega := units.Mbps(0.2 + rng.Float64()*120)
 		ctx := &abr.Context{
-			Now:                rng.Float64() * 600,
-			Buffer:             rng.Float64() * 20,
-			BufferCap:          20,
-			PrevRung:           rng.IntN(ladder.Len()+1) - 1,
-			Ladder:             ladder,
-			SegmentIndex:       i,
-			TotalSegments:      600,
-			LastThroughputMbps: omega * (0.5 + rng.Float64()),
-			Predict:            func(float64) float64 { return omega },
+			Now:            units.Seconds(rng.Float64() * 600),
+			Buffer:         units.Seconds(rng.Float64() * 20),
+			BufferCap:      units.Seconds(20),
+			PrevRung:       rng.IntN(ladder.Len()+1) - 1,
+			Ladder:         ladder,
+			SegmentIndex:   i,
+			TotalSegments:  600,
+			LastThroughput: omega.Scale(0.5 + rng.Float64()),
+			Predict:        func(units.Seconds) units.Mbps { return omega },
 		}
 		d := c.Decide(ctx)
 		if d.Rung == abr.NoRung {
@@ -77,15 +77,15 @@ func resetRestores(t *testing.T, factory Factory) {
 		out := make([]*abr.Context, 40)
 		prev := abr.NoRung
 		for i := range out {
-			omega := 1 + rng.Float64()*14
+			omega := units.Mbps(1 + rng.Float64()*14)
 			out[i] = &abr.Context{
-				Buffer:        rng.Float64() * 20,
-				BufferCap:     20,
+				Buffer:        units.Seconds(rng.Float64() * 20),
+				BufferCap:     units.Seconds(20),
 				PrevRung:      prev,
 				Ladder:        ladder,
 				SegmentIndex:  i,
 				TotalSegments: 40,
-				Predict:       func(float64) float64 { return omega },
+				Predict:       func(units.Seconds) units.Mbps { return omega },
 			}
 			prev = rng.IntN(ladder.Len())
 		}
@@ -119,17 +119,17 @@ func contextStream(ladder video.Ladder, seed uint64, n int) []*abr.Context {
 	out := make([]*abr.Context, n)
 	prev := abr.NoRung
 	for i := range out {
-		omega := 0.5 + rng.Float64()*40
+		omega := units.Mbps(0.5 + rng.Float64()*40)
 		out[i] = &abr.Context{
-			Now:                float64(i) * 4,
-			Buffer:             rng.Float64() * 20,
-			BufferCap:          20,
-			PrevRung:           prev,
-			Ladder:             ladder,
-			SegmentIndex:       i,
-			TotalSegments:      n,
-			LastThroughputMbps: omega * (0.6 + rng.Float64()*0.8),
-			Predict:            func(float64) float64 { return omega },
+			Now:            units.Seconds(float64(i) * 4),
+			Buffer:         units.Seconds(rng.Float64() * 20),
+			BufferCap:      units.Seconds(20),
+			PrevRung:       prev,
+			Ladder:         ladder,
+			SegmentIndex:   i,
+			TotalSegments:  n,
+			LastThroughput: omega.Scale(0.6 + rng.Float64()*0.8),
+			Predict:        func(units.Seconds) units.Mbps { return omega },
 		}
 		prev = rng.IntN(ladder.Len())
 	}
@@ -238,7 +238,7 @@ func survivesHostile(t *testing.T, factory Factory) {
 			BufferCap:      units.Seconds(20),
 			SessionSeconds: tr.Duration(),
 			Controller:     factory(video.Mobile()),
-			Predictor:      predictor.NewEMA(4),
+			Predictor:      predictor.NewEMA(units.Seconds(4)),
 		})
 		if err != nil {
 			t.Fatalf("%s: %v", tname, err)

@@ -5,16 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
 func ctxWith(buffer float64, prev int, omega float64) *abr.Context {
 	return &abr.Context{
-		Buffer:    buffer,
-		BufferCap: 20,
+		Buffer:    units.Seconds(buffer),
+		BufferCap: units.Seconds(20),
 		PrevRung:  prev,
 		Ladder:    video.YouTube4K(),
-		Predict:   func(float64) float64 { return omega },
+		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(omega) },
 	}
 }
 
@@ -37,17 +38,17 @@ func TestRegistryHasAllBaselines(t *testing.T) {
 }
 
 func TestBOLAMonotoneInBuffer(t *testing.T) {
-	b := NewBOLA(video.YouTube4K(), 20)
+	b := NewBOLA(video.YouTube4K(), units.Seconds(20))
 	prev := -1
-	for buf := 0.0; buf <= 20; buf += 0.25 {
+	for buf := units.Seconds(0); buf <= 20; buf += 0.25 {
 		r := b.DecideBuffer(buf)
 		if r < prev {
 			t.Fatalf("BOLA decision dropped from %d to %d as buffer grew to %v", prev, r, buf)
 		}
 		prev = r
 	}
-	if b.DecideBuffer(0) != 0 {
-		t.Errorf("empty buffer should select the lowest rung, got %d", b.DecideBuffer(0))
+	if b.DecideBuffer(units.Seconds(0)) != 0 {
+		t.Errorf("empty buffer should select the lowest rung, got %d", b.DecideBuffer(units.Seconds(0)))
 	}
 }
 
@@ -55,20 +56,20 @@ func TestBOLAFigure2BoundarySpacing(t *testing.T) {
 	// Figure 2: with a 120 s on-demand buffer the decision thresholds are
 	// spread far apart; with a 20 s live buffer they compress so small buffer
 	// deviations change the decision.
-	thresholds := func(stable float64) []float64 {
+	thresholds := func(stable units.Seconds) []float64 {
 		b := NewBOLA(video.YouTube4K(), stable)
 		var out []float64
-		prev := b.DecideBuffer(0)
-		for buf := 0.0; buf <= stable; buf += 0.05 {
+		prev := b.DecideBuffer(units.Seconds(0))
+		for buf := units.Seconds(0); buf <= stable; buf += 0.05 {
 			if r := b.DecideBuffer(buf); r != prev {
-				out = append(out, buf)
+				out = append(out, float64(buf))
 				prev = r
 			}
 		}
 		return out
 	}
-	onDemand := thresholds(120)
-	live := thresholds(20)
+	onDemand := thresholds(units.Seconds(120))
+	live := thresholds(units.Seconds(20))
 	if len(onDemand) == 0 || len(live) == 0 {
 		t.Fatalf("no thresholds found: od=%v live=%v", onDemand, live)
 	}
@@ -93,7 +94,7 @@ func TestBOLAFigure2BoundarySpacing(t *testing.T) {
 }
 
 func TestBOLADerivesFromBufferCapWhenLive(t *testing.T) {
-	b := NewBOLA(video.YouTube4K(), 0)
+	b := NewBOLA(video.YouTube4K(), units.Seconds(0))
 	ctx := ctxWith(15, 2, 20)
 	d := b.Decide(ctx)
 	if d.Rung < 0 {
@@ -226,7 +227,7 @@ func TestRobustMPCDiscountsAfterErrors(t *testing.T) {
 	d1 := r.Decide(ctxWith(12, 3, 24))
 	// Feed a large over-prediction: predicted 24, realized 6.
 	ctx := ctxWith(12, d1.Rung, 24)
-	ctx.LastThroughputMbps = 6
+	ctx.LastThroughput = 6
 	d2 := r.Decide(ctx)
 	if d2.Rung >= d1.Rung && d1.Rung > 0 {
 		t.Errorf("RobustMPC did not back off after 4x over-prediction: %d -> %d", d1.Rung, d2.Rung)
@@ -245,7 +246,7 @@ func TestRobustMPCErrorWindowRolls(t *testing.T) {
 	r.ErrorWindow = 3
 	for i := 0; i < 10; i++ {
 		ctx := ctxWith(12, 3, 24)
-		ctx.LastThroughputMbps = 20
+		ctx.LastThroughput = 20
 		r.Decide(ctx)
 	}
 	if len(r.relErrors) > 3 {
@@ -258,7 +259,7 @@ func TestFuguUsesQuantilePredictor(t *testing.T) {
 	// Point estimate says 24 Mb/s, but the 15th percentile says 3 Mb/s:
 	// Fugu must plan against the pessimistic tail, unlike MPC.
 	ctx := ctxWith(6, 4, 24)
-	ctx.PredictQuantile = func(q, _ float64) float64 {
+	ctx.PredictQuantile = func(q float64, _ units.Seconds) units.Mbps {
 		if q <= 0.2 {
 			return 3
 		}
@@ -301,11 +302,11 @@ func TestProductionBaselineNameAndBehaviour(t *testing.T) {
 		t.Errorf("name = %q", p.Name())
 	}
 	ctx := &abr.Context{
-		Buffer:    10,
-		BufferCap: 20,
+		Buffer:    units.Seconds(10),
+		BufferCap: units.Seconds(20),
 		PrevRung:  4,
 		Ladder:    video.PrimeVideo(),
-		Predict:   func(float64) float64 { return 5 },
+		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(5) },
 	}
 	d := p.Decide(ctx)
 	if d.Rung < 0 || d.Rung >= video.PrimeVideo().Len() {

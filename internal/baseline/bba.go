@@ -13,8 +13,8 @@ import (
 // of the buffer level, snapped down to a ladder rung.
 type BBA struct {
 	ladder video.Ladder
-	// ReservoirSeconds is the protective low-buffer region.
-	ReservoirSeconds float64
+	// Reservoir is the protective low-buffer region.
+	Reservoir units.Seconds
 	// CushionFraction sets the cushion as a fraction of (cap − reservoir);
 	// the upper knee sits at reservoir + cushion.
 	CushionFraction float64
@@ -24,9 +24,9 @@ type BBA struct {
 // on-demand tuning (90 s cushion) is scaled into the session's cap.
 func NewBBA(ladder video.Ladder) *BBA {
 	return &BBA{
-		ladder:           ladder,
-		ReservoirSeconds: 2 * float64(ladder.SegmentSeconds),
-		CushionFraction:  0.8,
+		ladder:          ladder,
+		Reservoir:       2 * ladder.SegmentSeconds,
+		CushionFraction: 0.8,
 	}
 }
 
@@ -38,16 +38,16 @@ func (b *BBA) Reset() {}
 
 // Decide implements abr.Controller.
 func (b *BBA) Decide(ctx *abr.Context) abr.Decision {
-	reservoir := b.ReservoirSeconds
-	cushion := b.CushionFraction * (ctx.BufferCap - reservoir)
+	reservoir := b.Reservoir
+	cushion := (ctx.BufferCap - reservoir).Scale(b.CushionFraction)
 	switch {
 	case ctx.Buffer <= reservoir:
 		return abr.Decision{Rung: 0}
 	case ctx.Buffer >= reservoir+cushion:
 		return abr.Decision{Rung: b.ladder.Len() - 1}
 	}
-	frac := (ctx.Buffer - reservoir) / cushion
-	target := b.ladder.Min() + units.Mbps(frac)*(b.ladder.Max()-b.ladder.Min())
+	frac := float64((ctx.Buffer - reservoir) / cushion)
+	target := b.ladder.Min() + (b.ladder.Max() - b.ladder.Min()).Scale(frac)
 	return abr.Decision{Rung: b.ladder.MaxSustainable(target)}
 }
 

@@ -23,11 +23,12 @@ import (
 	"math"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
 func init() {
-	abr.Register("bola", func(l video.Ladder) abr.Controller { return NewBOLA(l, 0) })
+	abr.Register("bola", func(l video.Ladder) abr.Controller { return NewBOLA(l, units.Seconds(0)) })
 	abr.Register("hyb", func(l video.Ladder) abr.Controller { return NewHYB(l) })
 	abr.Register("dynamic", func(l video.Ladder) abr.Controller { return NewDynamic(l) })
 	abr.Register("mpc", func(l video.Ladder) abr.Controller { return NewMPC(l, false) })
@@ -46,14 +47,14 @@ func init() {
 // for an on-demand (120 s) versus live (20 s) stable buffer.
 type BOLA struct {
 	ladder video.Ladder
-	// StableBufferSeconds is the buffer level at which BOLA is willing to
-	// stream the top rung. Zero derives it from the decision context's
-	// buffer cap at first use (live behaviour).
-	StableBufferSeconds float64
+	// StableBuffer is the buffer level at which BOLA is willing to stream
+	// the top rung. Zero derives it from the decision context's buffer cap
+	// at first use (live behaviour).
+	StableBuffer units.Seconds
 
 	utilities []float64
 	gp, vp    float64
-	derivedAt float64
+	derivedAt units.Seconds
 }
 
 // minimumBufferSeconds mirrors dash.js's MINIMUM_BUFFER_S.
@@ -63,13 +64,13 @@ const minimumBufferSeconds = 10
 // MINIMUM_BUFFER_PER_BITRATE_LEVEL_S.
 const minimumBufferPerLevelSeconds = 2
 
-// NewBOLA builds a BOLA controller. stableBufferSeconds = 0 derives the
-// target from the session's buffer cap (suitable for live streaming); pass
-// e.g. 120 for the on-demand configuration of Figure 2.
-func NewBOLA(ladder video.Ladder, stableBufferSeconds float64) *BOLA {
-	b := &BOLA{ladder: ladder, StableBufferSeconds: stableBufferSeconds}
-	if stableBufferSeconds > 0 {
-		b.derive(stableBufferSeconds, 0)
+// NewBOLA builds a BOLA controller. stableBuffer = 0 derives the target from
+// the session's buffer cap (suitable for live streaming); pass e.g. 120 s for
+// the on-demand configuration of Figure 2.
+func NewBOLA(ladder video.Ladder, stableBuffer units.Seconds) *BOLA {
+	b := &BOLA{ladder: ladder, StableBuffer: stableBuffer}
+	if stableBuffer > 0 {
+		b.derive(stableBuffer, units.Seconds(0))
 	}
 	return b
 }
@@ -79,7 +80,7 @@ func NewBOLA(ladder video.Ladder, stableBufferSeconds float64) *BOLA {
 // the range the player can actually reach: with a dense ladder the dash.js
 // formula (10 s + 2 s per rung) can exceed a live buffer cap entirely, which
 // would leave the top rungs permanently unreachable.
-func (b *BOLA) derive(stable, bufferCap float64) {
+func (b *BOLA) derive(stable, bufferCap units.Seconds) {
 	n := b.ladder.Len()
 	b.utilities = make([]float64, n)
 	for i := 0; i < n; i++ {
@@ -89,9 +90,11 @@ func (b *BOLA) derive(stable, bufferCap float64) {
 	for i := range b.utilities {
 		b.utilities[i] += 1
 	}
-	bufferTime := math.Max(stable, minimumBufferSeconds+minimumBufferPerLevelSeconds*float64(n))
+	// The dash.js derivation below is plain scalar algebra; drop to float64
+	// once here (gp and vp are the dimensionless BolaRule parameters).
+	bufferTime := math.Max(float64(stable), minimumBufferSeconds+minimumBufferPerLevelSeconds*float64(n))
 	if bufferCap > 0 {
-		if reachable := bufferCap - float64(b.ladder.SegmentSeconds); bufferTime > reachable {
+		if reachable := float64(bufferCap - b.ladder.SegmentSeconds); bufferTime > reachable {
 			bufferTime = math.Max(reachable, minimumBufferSeconds+1)
 		}
 	}
@@ -112,13 +115,13 @@ func (b *BOLA) Reset() {}
 
 // Score returns BOLA's objective for rung i at the given buffer level; the
 // decision is the argmax. Exposed for the Figure 2 boundary experiment.
-func (b *BOLA) Score(i int, buffer float64) float64 {
-	return (b.vp*(b.utilities[i]+b.gp) - buffer) / float64(b.ladder.Mbps(i))
+func (b *BOLA) Score(i int, buffer units.Seconds) float64 {
+	return (b.vp*(b.utilities[i]+b.gp) - float64(buffer)) / float64(b.ladder.Mbps(i))
 }
 
 // DecideBuffer returns BOLA's rung for a buffer level (the pure decision
 // function plotted in Figure 2).
-func (b *BOLA) DecideBuffer(buffer float64) int {
+func (b *BOLA) DecideBuffer(buffer units.Seconds) int {
 	best, bestScore := 0, math.Inf(-1)
 	for i := 0; i < b.ladder.Len(); i++ {
 		if s := b.Score(i, buffer); s > bestScore {
@@ -130,7 +133,7 @@ func (b *BOLA) DecideBuffer(buffer float64) int {
 
 // Decide implements abr.Controller.
 func (b *BOLA) Decide(ctx *abr.Context) abr.Decision {
-	if b.utilities == nil || (b.StableBufferSeconds == 0 && b.derivedAt != ctx.BufferCap) {
+	if b.utilities == nil || (b.StableBuffer == 0 && b.derivedAt != ctx.BufferCap) {
 		b.derive(ctx.BufferCap, ctx.BufferCap)
 	}
 	return abr.Decision{Rung: b.DecideBuffer(ctx.Buffer)}

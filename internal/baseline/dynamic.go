@@ -20,14 +20,14 @@ type Dynamic struct {
 	ladder video.Ladder
 	bola   *BOLA
 
-	// SwitchOnBufferSeconds enters buffer (BOLA) mode at or above this level.
-	SwitchOnBufferSeconds float64
-	// SwitchOffBufferSeconds leaves buffer mode below this level (hysteresis).
-	SwitchOffBufferSeconds float64
+	// SwitchOnBuffer enters buffer (BOLA) mode at or above this level.
+	SwitchOnBuffer units.Seconds
+	// SwitchOffBuffer leaves buffer mode below this level (hysteresis).
+	SwitchOffBuffer units.Seconds
 	// ThroughputSafety discounts ω̂ in throughput mode.
 	ThroughputSafety float64
-	// LowBufferSeconds triggers the low-buffer safety cap.
-	LowBufferSeconds float64
+	// LowBuffer triggers the low-buffer safety cap.
+	LowBuffer units.Seconds
 	// LowBufferSafety is the ω̂ discount under low-buffer safety.
 	LowBufferSafety float64
 	// MaxUpStep bounds how many rungs a single decision may move up.
@@ -44,15 +44,15 @@ type Dynamic struct {
 // NewDynamic returns Dynamic with dash.js-flavoured defaults.
 func NewDynamic(ladder video.Ladder) *Dynamic {
 	return &Dynamic{
-		ladder:                 ladder,
-		bola:                   NewBOLA(ladder, 0),
-		SwitchOnBufferSeconds:  10,
-		SwitchOffBufferSeconds: 8,
-		ThroughputSafety:       0.9,
-		LowBufferSeconds:       2 * float64(ladder.SegmentSeconds),
-		LowBufferSafety:        0.5,
-		MaxUpStep:              1,
-		UpSwitchPatience:       1,
+		ladder:           ladder,
+		bola:             NewBOLA(ladder, units.Seconds(0)),
+		SwitchOnBuffer:   units.Seconds(10),
+		SwitchOffBuffer:  units.Seconds(8),
+		ThroughputSafety: 0.9,
+		LowBuffer:        2 * ladder.SegmentSeconds,
+		LowBufferSafety:  0.5,
+		MaxUpStep:        1,
+		UpSwitchPatience: 1,
 	}
 }
 
@@ -70,14 +70,14 @@ func (d *Dynamic) Reset() {
 func (d *Dynamic) Decide(ctx *abr.Context) abr.Decision {
 	// Mode selection with hysteresis.
 	if d.inBufferMode {
-		if ctx.Buffer < d.SwitchOffBufferSeconds {
+		if ctx.Buffer < d.SwitchOffBuffer {
 			d.inBufferMode = false
 		}
-	} else if ctx.Buffer >= d.SwitchOnBufferSeconds {
+	} else if ctx.Buffer >= d.SwitchOnBuffer {
 		d.inBufferMode = true
 	}
 
-	omega := ctx.PredictSafe(float64(d.ladder.SegmentSeconds))
+	omega := ctx.PredictSafe(d.ladder.SegmentSeconds)
 	var rung int
 	if d.inBufferMode {
 		rung = d.bola.Decide(ctx).Rung
@@ -85,18 +85,18 @@ func (d *Dynamic) Decide(ctx *abr.Context) abr.Decision {
 		// what the network sustains, hold the previous rung instead of
 		// oscillating.
 		if ctx.PrevRung >= 0 && rung > ctx.PrevRung {
-			sustainable := d.ladder.MaxSustainable(units.Mbps(d.ThroughputSafety * omega))
+			sustainable := d.ladder.MaxSustainable(omega.Scale(d.ThroughputSafety))
 			if rung > sustainable {
 				rung = maxInt(ctx.PrevRung, sustainable)
 			}
 		}
 	} else {
-		rung = d.ladder.MaxSustainable(units.Mbps(d.ThroughputSafety * omega))
+		rung = d.ladder.MaxSustainable(omega.Scale(d.ThroughputSafety))
 	}
 
 	// Low-buffer safety.
-	if ctx.Buffer < d.LowBufferSeconds {
-		if safe := d.ladder.MaxSustainable(units.Mbps(d.LowBufferSafety * omega)); rung > safe {
+	if ctx.Buffer < d.LowBuffer {
+		if safe := d.ladder.MaxSustainable(omega.Scale(d.LowBufferSafety)); rung > safe {
 			rung = safe
 		}
 	}
@@ -130,7 +130,7 @@ var _ abr.Controller = (*Dynamic)(nil)
 func NewProductionBaseline(ladder video.Ladder) abr.Controller {
 	d := NewDynamic(ladder)
 	d.ThroughputSafety = 0.80
-	d.LowBufferSeconds = 3 * float64(ladder.SegmentSeconds)
+	d.LowBuffer = 3 * ladder.SegmentSeconds
 	d.LowBufferSafety = 0.6
 	d.UpSwitchPatience = 4
 	return &renamed{Controller: d, name: "prod-baseline"}

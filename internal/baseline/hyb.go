@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"repro/internal/abr"
-	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -35,15 +34,15 @@ func (h *HYB) Reset() {}
 
 // Decide implements abr.Controller.
 func (h *HYB) Decide(ctx *abr.Context) abr.Decision {
-	omega := ctx.PredictSafe(float64(h.ladder.SegmentSeconds))
+	omega := ctx.PredictSafe(h.ladder.SegmentSeconds)
 	best := 0
 	for i := 0; i < h.ladder.Len(); i++ {
 		r := h.ladder.Mbps(i)
-		if r > units.Mbps(h.SafetyFactor*omega) {
+		if r > omega.Scale(h.SafetyFactor) {
 			break
 		}
-		downloadTime := float64(r.MegabitsIn(h.ladder.SegmentSeconds)) / omega
-		if downloadTime <= h.BufferFraction*ctx.Buffer {
+		downloadTime := r.MegabitsIn(h.ladder.SegmentSeconds).AtRate(omega)
+		if downloadTime <= ctx.Buffer.Scale(h.BufferFraction) {
 			best = i
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/abr"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -35,7 +36,7 @@ type MPC struct {
 	// ErrorWindow is the number of recent predictions RobustMPC considers.
 	ErrorWindow int
 
-	lastPrediction float64
+	lastPrediction units.Mbps
 	relErrors      []float64
 }
 
@@ -68,11 +69,11 @@ func (m *MPC) Reset() {
 
 // observeError tracks the realized error of the previous prediction, the
 // signal RobustMPC discounts by.
-func (m *MPC) observeError(actualMbps float64) {
-	if m.lastPrediction <= 0 || actualMbps <= 0 {
+func (m *MPC) observeError(actual units.Mbps) {
+	if m.lastPrediction <= 0 || actual <= 0 {
 		return
 	}
-	rel := math.Abs(m.lastPrediction-actualMbps) / actualMbps
+	rel := math.Abs(float64(m.lastPrediction-actual)) / float64(actual)
 	m.relErrors = append(m.relErrors, rel)
 	if len(m.relErrors) > m.ErrorWindow {
 		m.relErrors = m.relErrors[len(m.relErrors)-m.ErrorWindow:]
@@ -91,11 +92,11 @@ func (m *MPC) maxRecentError() float64 {
 
 // Decide implements abr.Controller.
 func (m *MPC) Decide(ctx *abr.Context) abr.Decision {
-	m.observeError(ctx.LastThroughputMbps)
-	omega := ctx.PredictSafe(float64(m.Horizon) * float64(m.ladder.SegmentSeconds))
+	m.observeError(ctx.LastThroughput)
+	omega := ctx.PredictSafe(m.ladder.SegmentSeconds.Scale(float64(m.Horizon)))
 	m.lastPrediction = omega
 	if m.robust {
-		omega = omega / (1 + m.maxRecentError())
+		omega = units.Mbps(float64(omega) / (1 + m.maxRecentError()))
 	}
 	k := m.Horizon
 	if ctx.TotalSegments > 0 {
@@ -116,8 +117,11 @@ func (m *MPC) Decide(ctx *abr.Context) abr.Decision {
 // plan searches all |R|^k sequences via DFS, returning the best first rung
 // and its objective. omega drives the predicted buffer dynamics and stall
 // risk; utility depends only on the rung. The Fugu-style controller passes a
-// conservative quantile here instead of the point estimate.
-func (m *MPC) plan(omega, buffer, cap_ float64, prevRung, k int) (int, float64) {
+// conservative quantile here instead of the point estimate. The DFS itself
+// runs on float64 locals (the accumulator mixes utility, stall and switching
+// terms, all dimensionless).
+func (m *MPC) plan(omegaRate units.Mbps, bufferLevel, bufferCap units.Seconds, prevRung, k int) (int, float64) {
+	omega, buffer, cap_ := float64(omegaRate), float64(bufferLevel), float64(bufferCap)
 	bestRung, bestObj := -1, math.Inf(-1)
 	var dfs func(depth int, buf float64, prev int, acc float64, first int)
 	dfs = func(depth int, buf float64, prev int, acc float64, first int) {
@@ -183,7 +187,7 @@ func (f *Fugu) Name() string { return "fugu" }
 
 // Decide implements abr.Controller.
 func (f *Fugu) Decide(ctx *abr.Context) abr.Decision {
-	horizon := float64(f.Horizon) * float64(f.ladder.SegmentSeconds)
+	horizon := f.ladder.SegmentSeconds.Scale(float64(f.Horizon))
 	omega := ctx.PredictSafe(horizon)
 	if ctx.PredictQuantile != nil {
 		if q := ctx.PredictQuantile(f.StallQuantile, horizon); q > 0 {

@@ -19,9 +19,8 @@ type RLSim struct {
 	// Aggressiveness scales the throughput estimate when the buffer is
 	// healthy (RL policies learn to ride close to capacity).
 	Aggressiveness float64
-	// ReserveSeconds is the buffer level below which the policy becomes
-	// defensive.
-	ReserveSeconds float64
+	// Reserve is the buffer level below which the policy becomes defensive.
+	Reserve units.Seconds
 	// DefensiveFactor scales ω̂ when below the reserve.
 	DefensiveFactor float64
 }
@@ -31,7 +30,7 @@ func NewRLSim(ladder video.Ladder) *RLSim {
 	return &RLSim{
 		ladder:          ladder,
 		Aggressiveness:  0.95,
-		ReserveSeconds:  2 * float64(ladder.SegmentSeconds),
+		Reserve:         2 * ladder.SegmentSeconds,
 		DefensiveFactor: 0.6,
 	}
 }
@@ -44,14 +43,14 @@ func (r *RLSim) Reset() {}
 
 // Decide implements abr.Controller.
 func (r *RLSim) Decide(ctx *abr.Context) abr.Decision {
-	omega := ctx.PredictSafe(float64(r.ladder.SegmentSeconds))
+	omega := ctx.PredictSafe(r.ladder.SegmentSeconds)
 	factor := r.Aggressiveness
-	if ctx.Buffer < r.ReserveSeconds {
+	if ctx.Buffer < r.Reserve {
 		// Defensive mode: scale down proportionally to the buffer deficit.
-		frac := ctx.Buffer / r.ReserveSeconds
+		frac := float64(ctx.Buffer / r.Reserve)
 		factor = r.DefensiveFactor * frac
 	}
-	return abr.Decision{Rung: r.ladder.MaxSustainable(units.Mbps(factor * omega))}
+	return abr.Decision{Rung: r.ladder.MaxSustainable(omega.Scale(factor))}
 }
 
 var _ abr.Controller = (*RLSim)(nil)

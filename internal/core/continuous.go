@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/units"
 )
 
 // ContinuousProblem is the continuous relaxation of the finite-time optimal
@@ -17,14 +19,19 @@ import (
 // This is what the theory experiments solve: the exponentially decaying
 // perturbation property (Fig. 6), the monotone structure of Lemma A.10
 // (WDistortion = Beta = 0) and its Theorem 4.3 approximation bound.
+// The buffer-state quantities (X0, Target, Xmax) are seconds of video and the
+// bandwidths are Mb/s; the actions u = 1/r are inverse rates in the Δt = 1
+// normalization of Appendix A and deliberately stay dimensionless float64
+// (U0, UMin, UMax), as does the objective value.
 type ContinuousProblem struct {
-	Omega       []float64 // per-step bandwidth, length K
-	X0, U0      float64
+	Omega       []units.Mbps // per-step bandwidth, length K
+	X0          units.Seconds
+	U0          float64
 	Beta        float64
 	Gamma       float64
 	Epsilon     float64
-	Target      float64 // x̄
-	Xmax        float64
+	Target      units.Seconds // x̄
+	Xmax        units.Seconds
 	UMin, UMax  float64
 	WDistortion float64 // weight on the ω·u² distortion term (1 = paper)
 	// Terminal, when non-nil, pins the final state (indicator terminal cost
@@ -35,14 +42,14 @@ type ContinuousProblem struct {
 
 // Terminal is the (σ, ν) pair of Algorithm 2's indicator terminal cost.
 type Terminal struct {
-	X float64
+	X units.Seconds
 	U float64
 }
 
 // ContinuousSolution is the optimizer's trajectory.
 type ContinuousSolution struct {
-	U   []float64 // length K
-	X   []float64 // length K, X[t] after action U[t]
+	U   []float64       // length K
+	X   []units.Seconds // length K, X[t] after action U[t]
 	Obj float64
 }
 
@@ -76,22 +83,27 @@ const penaltyWeight = 1e5
 // with respect to u (grad may be nil).
 func (p *ContinuousProblem) objective(u []float64, grad []float64) float64 {
 	k := len(u)
+	// The relaxation is solved in the normalized Δt = 1 coordinates of
+	// Appendix A, so the dimensioned boundary fields drop to float64 once
+	// here and all inner arithmetic is dimensionless.
+	target := float64(p.Target)
+	xmax := float64(p.Xmax)
 	x := make([]float64, k)
 	// Forward pass: buffer trajectory.
-	prev := p.X0
+	prev := float64(p.X0)
 	for t := 0; t < k; t++ {
-		x[t] = prev + p.Omega[t]*u[t] - 1
+		x[t] = prev + float64(p.Omega[t])*u[t] - 1
 		prev = x[t]
 	}
 	bufferDeriv := func(xt float64) float64 {
-		d := xt - p.Target
+		d := xt - target
 		if d <= 0 {
 			return 2 * d
 		}
 		return 2 * p.Epsilon * d
 	}
 	bufferCost := func(xt float64) float64 {
-		d := xt - p.Target
+		d := xt - target
 		if d <= 0 {
 			return d * d
 		}
@@ -101,15 +113,15 @@ func (p *ContinuousProblem) objective(u []float64, grad []float64) float64 {
 	// dObj/dx_t accumulated for the chain rule (x_t depends on u_1..u_t).
 	dx := make([]float64, k)
 	for t := 0; t < k; t++ {
-		obj += p.WDistortion * p.Omega[t] * u[t] * u[t]
+		obj += p.WDistortion * float64(p.Omega[t]) * u[t] * u[t]
 		obj += p.Beta * bufferCost(x[t])
 		dx[t] += p.Beta * bufferDeriv(x[t])
 		// Soft box constraints on x.
 		if x[t] < 0 {
 			obj += penaltyWeight * x[t] * x[t]
 			dx[t] += 2 * penaltyWeight * x[t]
-		} else if x[t] > p.Xmax {
-			over := x[t] - p.Xmax
+		} else if x[t] > xmax {
+			over := x[t] - xmax
 			obj += penaltyWeight * over * over
 			dx[t] += 2 * penaltyWeight * over
 		}
@@ -117,7 +129,7 @@ func (p *ContinuousProblem) objective(u []float64, grad []float64) float64 {
 		obj += p.Gamma * du * du
 	}
 	if p.Terminal != nil {
-		dT := x[k-1] - p.Terminal.X
+		dT := x[k-1] - float64(p.Terminal.X)
 		obj += penaltyWeight * dT * dT
 		dx[k-1] += 2 * penaltyWeight * dT
 		duT := p.Terminal.U - u[k-1]
@@ -128,7 +140,7 @@ func (p *ContinuousProblem) objective(u []float64, grad []float64) float64 {
 		suffix := 0.0
 		for t := k - 1; t >= 0; t-- {
 			suffix += dx[t]
-			grad[t] = 2*p.WDistortion*p.Omega[t]*u[t] + suffix*p.Omega[t]
+			grad[t] = 2*p.WDistortion*float64(p.Omega[t])*u[t] + suffix*float64(p.Omega[t])
 			grad[t] += 2 * p.Gamma * (u[t] - p.uPrev(u, t))
 			if t+1 < k {
 				grad[t] -= 2 * p.Gamma * (u[t+1] - u[t])
@@ -197,11 +209,12 @@ func (p *ContinuousProblem) Solve(iters int) (ContinuousSolution, error) {
 		obj = p.objective(u, grad)
 	}
 	// Final forward pass for the trajectory.
-	x := make([]float64, k)
-	prev := p.X0
+	x := make([]units.Seconds, k)
+	prev := float64(p.X0)
 	for t := 0; t < k; t++ {
-		x[t] = prev + p.Omega[t]*u[t] - 1
-		prev = x[t]
+		xt := prev + float64(p.Omega[t])*u[t] - 1
+		x[t] = units.Seconds(xt)
+		prev = xt
 	}
 	return ContinuousSolution{U: u, X: x, Obj: p.objective(u, nil)}, nil
 }
@@ -228,7 +241,7 @@ func IsMonotone(u0 float64, u []float64, tol float64) bool {
 // (x0, u0) pairs and returns the per-step trajectory distance
 // |x_t − x'_t| + |u_t − u'_t| — the quantity Figure 6 illustrates decaying
 // exponentially.
-func PerturbationDecay(p ContinuousProblem, x0b, u0b float64, iters int) ([]float64, error) {
+func PerturbationDecay(p ContinuousProblem, x0b units.Seconds, u0b float64, iters int) ([]float64, error) {
 	a, err := p.Solve(iters)
 	if err != nil {
 		return nil, err
@@ -241,7 +254,7 @@ func PerturbationDecay(p ContinuousProblem, x0b, u0b float64, iters int) ([]floa
 	}
 	out := make([]float64, len(a.U))
 	for t := range out {
-		out[t] = math.Abs(a.X[t]-b.X[t]) + math.Abs(a.U[t]-b.U[t])
+		out[t] = math.Abs(float64(a.X[t]-b.X[t])) + math.Abs(a.U[t]-b.U[t])
 	}
 	return out, nil
 }

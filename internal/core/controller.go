@@ -33,7 +33,8 @@ type Controller struct {
 // memoEntry is one direct-mapped cache slot. The full (quantized) key is
 // stored so hash collisions are detected and treated as misses.
 type memoEntry struct {
-	qx, qw  float64
+	qx      units.Seconds
+	qw      units.Mbps
 	prev    int32
 	k       int32
 	maxRung int32
@@ -106,18 +107,19 @@ func (c *Controller) ResetSolveStats() {
 	c.memoLookups, c.memoHits = 0, 0
 }
 
-// quantize rounds x to the nearest multiple of step (identity when step <= 0).
-func quantize(x, step float64) float64 {
+// quantize rounds x to the nearest multiple of step (identity when step <= 0),
+// preserving the unit type of its argument.
+func quantize[T ~float64](x T, step float64) T {
 	if step <= 0 {
 		return x
 	}
-	return math.Round(x/step) * step
+	return T(math.Round(float64(x)/step) * step)
 }
 
 // memoHash mixes the key fields into a table index (SplitMix64 finalizer).
-func memoHash(qx, qw float64, prev, k, maxRung int) uint32 {
-	z := math.Float64bits(qx)*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
-	z ^= math.Float64bits(qw) + (z << 6) + (z >> 2)
+func memoHash(qx units.Seconds, qw units.Mbps, prev, k, maxRung int) uint32 {
+	z := math.Float64bits(float64(qx))*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019
+	z ^= math.Float64bits(float64(qw)) + (z << 6) + (z >> 2)
 	z ^= uint64(prev+1) + (z << 6) + (z >> 2)
 	z ^= uint64(k) + (z << 6) + (z >> 2)
 	z ^= uint64(maxRung) + (z << 6) + (z >> 2)
@@ -159,26 +161,24 @@ func (c *Controller) modelFor(bufferCap units.Seconds) *CostModel {
 // Decide implements abr.Controller: solve the K-step predictive problem and
 // commit the first decision (§3.3).
 func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
-	// abr.Context is a float64 boundary (see internal/units): type the
-	// quantities the moment they enter the controller.
-	m := c.modelFor(units.Seconds(ctx.BufferCap))
+	m := c.modelFor(ctx.BufferCap)
 
 	// No room for another segment: idle until the buffer drains — the blank
 	// no-download region of Fig. 5. (Player harnesses typically enforce this
 	// themselves; the check keeps direct API use safe.)
-	if over := units.Seconds(ctx.Buffer) + m.dt - units.Seconds(ctx.BufferCap); over > 1e-9 {
-		return abr.Wait(float64(over))
+	if over := ctx.Buffer + m.dt - ctx.BufferCap; over > 1e-9 {
+		return abr.Wait(over)
 	}
 
 	k := c.horizon(ctx)
-	omega := units.Mbps(ctx.PredictSafe(float64(k) * float64(m.dt)))
-	x0 := units.Seconds(ctx.Buffer)
+	omega := ctx.PredictSafe(m.dt.Scale(float64(k)))
+	x0 := ctx.Buffer
 	if c.memo != nil {
 		// Solve at the quantized state so the cached decision is a pure
 		// function of the memo key: hits and misses agree by construction,
 		// and replaying a context stream is order-independent.
-		omega = units.Mbps(quantize(float64(omega), c.cfg.MemoQuantum))
-		x0 = units.Seconds(quantize(float64(x0), c.cfg.MemoQuantum))
+		omega = quantize(omega, c.cfg.MemoQuantum)
+		x0 = quantize(x0, c.cfg.MemoQuantum)
 	}
 	c.scratch[0] = omega
 	omegas := c.scratch[:]
@@ -201,9 +201,9 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	var entry *memoEntry
 	if c.memo != nil {
 		c.memoLookups++
-		h := memoHash(float64(x0), float64(omega), ctx.PrevRung, k, maxRung)
+		h := memoHash(x0, omega, ctx.PrevRung, k, maxRung)
 		entry = &c.memo[h&c.memoMask]
-		if entry.used && entry.qx == float64(x0) && entry.qw == float64(omega) &&
+		if entry.used && entry.qx == x0 && entry.qw == omega &&
 			entry.prev == int32(ctx.PrevRung) && entry.k == int32(k) &&
 			entry.maxRung == int32(maxRung) {
 			c.memoHits++
@@ -232,7 +232,7 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	}
 	if entry != nil {
 		*entry = memoEntry{
-			qx: float64(x0), qw: float64(omega),
+			qx: x0, qw: omega,
 			prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
 			rung: int32(rung), used: true,
 		}
@@ -242,8 +242,8 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 
 // DiagramCell is one sample of the Figure 5 decision diagram.
 type DiagramCell struct {
-	Buffer float64
-	Omega  float64
+	Buffer units.Seconds
+	Omega  units.Mbps
 	// Rung is the committed decision, or -1 for the blank no-download region.
 	Rung int
 }
@@ -252,7 +252,7 @@ type DiagramCell struct {
 // throughput) grid, reproducing Figure 5. prevRung seeds the switching cost;
 // use -1 for the unconditioned diagram.
 func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap units.Seconds,
-	buffers, omegas []float64, prevRung int) []DiagramCell {
+	buffers []units.Seconds, omegas []units.Mbps, prevRung int) []DiagramCell {
 	ctrl := New(cfg, ladder)
 	cells := make([]DiagramCell, 0, len(buffers)*len(omegas))
 	for _, b := range buffers {
@@ -260,10 +260,10 @@ func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap units.Seconds,
 			omega := w
 			ctx := &abr.Context{
 				Buffer:    b,
-				BufferCap: float64(bufferCap),
+				BufferCap: bufferCap,
 				PrevRung:  prevRung,
 				Ladder:    ladder,
-				Predict:   func(float64) float64 { return omega },
+				Predict:   func(units.Seconds) units.Mbps { return omega },
 			}
 			d := ctrl.Decide(ctx)
 			cells = append(cells, DiagramCell{Buffer: b, Omega: w, Rung: d.Rung})
@@ -275,7 +275,7 @@ func DecisionDiagram(cfg Config, ladder video.Ladder, bufferCap units.Seconds,
 // RenderDiagram formats a decision diagram as an ASCII heat map with buffers
 // as rows (descending) and throughputs as columns; rung indices print as
 // digits and the no-download region as '.'.
-func RenderDiagram(cells []DiagramCell, buffers, omegas []float64) string {
+func RenderDiagram(cells []DiagramCell, buffers []units.Seconds, omegas []units.Mbps) string {
 	grid := make(map[[2]int]int, len(cells))
 	bIndex := indexOf(buffers)
 	wIndex := indexOf(omegas)
@@ -303,8 +303,8 @@ func RenderDiagram(cells []DiagramCell, buffers, omegas []float64) string {
 	return out
 }
 
-func indexOf(xs []float64) map[float64]int {
-	m := make(map[float64]int, len(xs))
+func indexOf[T comparable](xs []T) map[T]int {
+	m := make(map[T]int, len(xs))
 	for i, x := range xs {
 		m[x] = i
 	}
@@ -319,18 +319,19 @@ func repeat(s string, n int) string {
 	return out
 }
 
-// Grid returns n evenly spaced values covering [lo, hi] inclusive.
-func Grid(lo, hi float64, n int) []float64 {
+// Grid returns n evenly spaced values covering [lo, hi] inclusive, preserving
+// the unit type of the endpoints.
+func Grid[T ~float64](lo, hi float64, n int) []T {
 	if n < 2 {
-		return []float64{lo}
+		return []T{T(lo)}
 	}
-	out := make([]float64, n)
+	out := make([]T, n)
 	step := (hi - lo) / float64(n-1)
 	for i := range out {
-		out[i] = lo + float64(i)*step
+		out[i] = T(lo + float64(i)*step)
 	}
 	// Guard against accumulation error on the final point.
-	out[n-1] = hi
+	out[n-1] = T(hi)
 	return out
 }
 

@@ -10,7 +10,7 @@ import (
 )
 
 func defaultModel() *CostModel {
-	return NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	return NewCostModel(DefaultConfig(), video.YouTube4K(), units.Seconds(20))
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -47,7 +47,7 @@ func TestBufferCostShape(t *testing.T) {
 	if m.target != 12 {
 		t.Fatalf("target = %v", m.target)
 	}
-	if got := m.bufferCost(12); got != 0 {
+	if got := m.bufferCost(units.Seconds(12)); got != 0 {
 		t.Errorf("b(target) = %v", got)
 	}
 	// Below target: full quadratic; above: epsilon roll-off.
@@ -68,7 +68,7 @@ func TestDistortionNormalization(t *testing.T) {
 	for _, d := range []Distortion{DistortionInverse, DistortionLog} {
 		cfg := DefaultConfig()
 		cfg.Distortion = d
-		m := NewCostModel(cfg, video.YouTube4K(), 20)
+		m := NewCostModel(cfg, video.YouTube4K(), units.Seconds(20))
 		if math.Abs(m.v[0]-1) > 1e-12 {
 			t.Errorf("distortion %d: v[rmin] = %v, want 1", d, m.v[0])
 		}
@@ -88,12 +88,12 @@ func TestBufferDynamics(t *testing.T) {
 	// x1 = x0 + ωΔt/r − Δt. With ω = r, buffer is flat.
 	for i := 0; i < m.ladder.Len(); i++ {
 		r := m.ladder.Mbps(i)
-		if got := m.nextBuffer(10, r, i); math.Abs(float64(got)-10) > 1e-12 {
+		if got := m.nextBuffer(units.Seconds(10), r, i); math.Abs(float64(got)-10) > 1e-12 {
 			t.Errorf("rung %d: ω=r should hold buffer, got %v", i, got)
 		}
 	}
 	// ω = 2r doubles the download rate: buffer grows by Δt.
-	if got := m.nextBuffer(10, 24, 2); math.Abs(float64(got)-(10+2*24.0/7.5-2)) > 1e-12 {
+	if got := m.nextBuffer(units.Seconds(10), units.Mbps(24), 2); math.Abs(float64(got)-(10+2*24.0/7.5-2)) > 1e-12 {
 		t.Errorf("nextBuffer = %v", got)
 	}
 }
@@ -101,16 +101,16 @@ func TestBufferDynamics(t *testing.T) {
 func TestStepCostFeasibility(t *testing.T) {
 	m := defaultModel()
 	// Draining below zero is infeasible: buffer 1 s, ω tiny, top rung.
-	if _, _, ok := m.stepCost(5, 5, 1, 0.1); ok {
+	if _, _, ok := m.stepCost(5, 5, units.Seconds(1), units.Mbps(0.1)); ok {
 		t.Error("starving step accepted")
 	}
 	// Overflow clamps to the cap (the player idles there) rather than
 	// failing: buffer 19.5 s, huge ω, lowest rung.
-	if _, x1, ok := m.stepCost(0, 0, 19.5, 60); !ok || x1 != 20 {
+	if _, x1, ok := m.stepCost(0, 0, units.Seconds(19.5), units.Mbps(60)); !ok || x1 != 20 {
 		t.Errorf("overflow step should clamp to the cap, got x1=%v ok=%v", x1, ok)
 	}
 	// Feasible middle.
-	c, x1, ok := m.stepCost(3, 3, 12, 12)
+	c, x1, ok := m.stepCost(3, 3, units.Seconds(12), units.Mbps(12))
 	if !ok || c < 0 {
 		t.Errorf("feasible step rejected: cost=%v ok=%v", c, ok)
 	}
@@ -121,13 +121,13 @@ func TestStepCostFeasibility(t *testing.T) {
 
 func TestSwitchingCostOnlyOnChange(t *testing.T) {
 	m := defaultModel()
-	stay, _, _ := m.stepCost(3, 3, 12, 12)
-	first, _, _ := m.stepCost(3, -1, 12, 12)
+	stay, _, _ := m.stepCost(3, 3, units.Seconds(12), units.Mbps(12))
+	first, _, _ := m.stepCost(3, -1, units.Seconds(12), units.Mbps(12))
 	if math.Abs(stay-first) > 1e-12 {
 		t.Errorf("no-switch cost %v != no-previous cost %v", stay, first)
 	}
-	moved, _, _ := m.stepCost(2, 3, 12, 12)
-	flat, _, _ := m.stepCost(2, 2, 12, 12)
+	moved, _, _ := m.stepCost(2, 3, units.Seconds(12), units.Mbps(12))
+	flat, _, _ := m.stepCost(2, 2, units.Seconds(12), units.Mbps(12))
 	if moved <= flat {
 		t.Errorf("switching must cost extra: moved=%v flat=%v", moved, flat)
 	}
@@ -162,7 +162,7 @@ func TestMonotonicMatchesBruteForceHighGamma(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Gamma = 1000 // strong smoothing: Theorem 4.3 regime
 	cfg.Horizon = 2
-	p := MismatchProbability(cfg, video.YouTube4K(), 20, 1500, 11)
+	p := MismatchProbability(cfg, video.YouTube4K(), units.Seconds(20), 1500, 11)
 	if p > 0.02 {
 		t.Errorf("high-gamma mismatch probability = %v, want ~0", p)
 	}
@@ -176,7 +176,7 @@ func TestMismatchProbabilityDecreasesWithGamma(t *testing.T) {
 		cfg := DefaultConfig()
 		cfg.Gamma = gamma
 		cfg.Horizon = 3
-		probs = append(probs, MismatchProbability(cfg, video.YouTube4K(), 20, 1500, 5))
+		probs = append(probs, MismatchProbability(cfg, video.YouTube4K(), units.Seconds(20), 1500, 5))
 	}
 	if !(probs[0] > probs[1] && probs[1] >= probs[2]) {
 		t.Errorf("mismatch not shrinking in gamma: %v", probs)
@@ -188,7 +188,7 @@ func TestMismatchProbabilityDecreasesWithGamma(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Gamma = 0.3
 	cfg.Horizon = 2
-	k2 := MismatchProbability(cfg, video.YouTube4K(), 20, 1500, 5)
+	k2 := MismatchProbability(cfg, video.YouTube4K(), units.Seconds(20), 1500, 5)
 	if k2 > probs[1] {
 		t.Errorf("K=2 mismatch %v should be below K=3 mismatch %v", k2, probs[1])
 	}
@@ -196,11 +196,11 @@ func TestMismatchProbabilityDecreasesWithGamma(t *testing.T) {
 
 func newCtx(buffer, cap_ float64, prev int, omega float64) *abr.Context {
 	return &abr.Context{
-		Buffer:    buffer,
-		BufferCap: cap_,
+		Buffer:    units.Seconds(buffer),
+		BufferCap: units.Seconds(cap_),
 		PrevRung:  prev,
 		Ladder:    video.YouTube4K(),
-		Predict:   func(float64) float64 { return omega },
+		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(omega) },
 	}
 }
 
@@ -219,7 +219,7 @@ func TestControllerBasicDecisions(t *testing.T) {
 	// Thin bandwidth from a low previous rung: the §5.1 cap forbids moving
 	// up past min{r >= ω̂}.
 	d = c.Decide(newCtx(12, 20, 0, 2))
-	if d.Rung > video.YouTube4K().CapIndex(2) {
+	if d.Rung > video.YouTube4K().CapIndex(units.Mbps(2)) {
 		t.Errorf("cap heuristic violated: rung %d for ω=2", d.Rung)
 	}
 	// The cap never forces a down-switch: from a high previous rung the
@@ -314,17 +314,17 @@ func TestDecisionDiagramStructure(t *testing.T) {
 	// Figure 5: decisions grow more aggressive with buffer and throughput;
 	// the rightmost (high-buffer) region is blank.
 	cfg := DefaultConfig()
-	buffers := Grid(1, 19.9, 10)
-	omegas := Grid(1, 70, 12)
-	cells := DecisionDiagram(cfg, video.YouTube4K(), 20, buffers, omegas, 3)
+	buffers := Grid[units.Seconds](1, 19.9, 10)
+	omegas := Grid[units.Mbps](1, 70, 12)
+	cells := DecisionDiagram(cfg, video.YouTube4K(), units.Seconds(20), buffers, omegas, 3)
 	byKey := map[[2]float64]int{}
 	for _, c := range cells {
-		byKey[[2]float64{c.Buffer, c.Omega}] = c.Rung
+		byKey[[2]float64{float64(c.Buffer), float64(c.Omega)}] = c.Rung
 	}
 	// Monotone in omega for fixed healthy buffer (among download decisions).
 	prev := -2
 	for _, w := range omegas {
-		r := byKey[[2]float64{buffers[5], w}]
+		r := byKey[[2]float64{float64(buffers[5]), float64(w)}]
 		if r >= 0 && prev >= 0 && r < prev-1 {
 			t.Errorf("rung drops sharply with rising ω at buffer %v: %d -> %d", buffers[5], prev, r)
 		}
@@ -335,7 +335,7 @@ func TestDecisionDiagramStructure(t *testing.T) {
 	// There exists a blank (wait) region at the top buffer row for high ω.
 	blank := false
 	for _, w := range omegas {
-		if byKey[[2]float64{buffers[len(buffers)-1], w}] == abr.NoRung {
+		if byKey[[2]float64{float64(buffers[len(buffers)-1]), float64(w)}] == abr.NoRung {
 			blank = true
 		}
 	}
@@ -349,14 +349,14 @@ func TestDecisionDiagramStructure(t *testing.T) {
 }
 
 func TestGrid(t *testing.T) {
-	g := Grid(0, 10, 5)
+	g := Grid[float64](0, 10, 5)
 	want := []float64{0, 2.5, 5, 7.5, 10}
 	for i := range want {
 		if math.Abs(g[i]-want[i]) > 1e-12 {
 			t.Errorf("Grid[%d] = %v", i, g[i])
 		}
 	}
-	if g := Grid(3, 9, 1); len(g) != 1 || g[0] != 3 {
+	if g := Grid[float64](3, 9, 1); len(g) != 1 || g[0] != 3 {
 		t.Errorf("degenerate grid = %v", g)
 	}
 }
@@ -378,7 +378,7 @@ func TestSolverCapBelowPrevRung(t *testing.T) {
 	// Throughput collapse: cap sits below the previous rung; the solver must
 	// still return a feasible (downward) plan.
 	m := defaultModel()
-	res := m.searchMonotonic([]units.Mbps{2}, 10, 5, 4, video.YouTube4K().CapIndex(2))
+	res := m.searchMonotonic([]units.Mbps{2}, units.Seconds(10), 5, 4, video.YouTube4K().CapIndex(units.Mbps(2)))
 	if res.rung < 0 || res.rung > 1 {
 		t.Errorf("collapse decision = %d", res.rung)
 	}
@@ -393,8 +393,8 @@ func TestRegistryFactories(t *testing.T) {
 		}
 		c.Reset()
 		d := c.Decide(&abr.Context{
-			Buffer: 10, BufferCap: 20, PrevRung: 1, Ladder: video.Mobile(),
-			Predict: func(float64) float64 { return 8 },
+			Buffer: units.Seconds(10), BufferCap: units.Seconds(20), PrevRung: 1, Ladder: video.Mobile(),
+			Predict: func(units.Seconds) units.Mbps { return units.Mbps(8) },
 		})
 		if d.Rung < 0 || d.Rung >= video.Mobile().Len() {
 			t.Errorf("%s: decision %+v", name, d)
@@ -410,7 +410,7 @@ func TestNewCostModelPanicsOnBadConfig(t *testing.T) {
 	}()
 	cfg := DefaultConfig()
 	cfg.Epsilon = 2
-	NewCostModel(cfg, video.Mobile(), 20)
+	NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 }
 
 func TestRecedingHorizonBoundaryReplay(t *testing.T) {
@@ -418,9 +418,9 @@ func TestRecedingHorizonBoundaryReplay(t *testing.T) {
 	// bandwidth surge the committed decision cannot absorb forces the exact
 	// replay to clamp (stepCostUnchecked).
 	cfg := DefaultConfig()
-	m := NewCostModel(cfg, video.Mobile(), 20)
+	m := NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 	omegas := []units.Mbps{6, 6, 6, 200, 200, 6, 6, 6, 6, 6}
-	cost, seq, err := RecedingHorizonCost(m, omegas, 18, 3, false)
+	cost, seq, err := RecedingHorizonCost(m, omegas, units.Seconds(18), 3, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 // feasible plan — replaying [rung, rung...] or the solver's own search never
 // drops the buffer below zero on the first step.
 func TestSolverFirstStepAlwaysFeasible(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 1))
 		x0 := units.Seconds(rng.Float64() * 20)
@@ -36,7 +36,7 @@ func TestSolverFirstStepAlwaysFeasible(t *testing.T) {
 // Property: the monotonic solver never reports a better objective than brute
 // force (brute force is exhaustive), and both agree on feasibility.
 func TestSolverNeverBeatsBruteForce(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	m := NewCostModel(DefaultConfig(), video.Mobile(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 2))
 		x0 := units.Seconds(rng.Float64() * 20)
@@ -61,7 +61,7 @@ func TestSolverNeverBeatsBruteForce(t *testing.T) {
 // Property: with a single-step horizon the monotonic search IS brute force:
 // identical objectives.
 func TestSolversIdenticalAtK1(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 3))
 		x0 := units.Seconds(rng.Float64() * 20)
@@ -87,10 +87,10 @@ func TestSolversIdenticalAtK1(t *testing.T) {
 // including per-step (non-constant) bandwidth forecasts and caps below the
 // previous rung.
 func TestSolverMatchesReference(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.YouTube4K(), 20)
+	m := NewCostModel(DefaultConfig(), video.YouTube4K(), units.Seconds(20))
 	noPruneCfg := DefaultConfig()
 	noPruneCfg.DisablePruning = true
-	plain := NewCostModel(noPruneCfg, video.YouTube4K(), 20)
+	plain := NewCostModel(noPruneCfg, video.YouTube4K(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 7))
 		x0 := units.Seconds(rng.Float64() * 20)
@@ -128,11 +128,11 @@ func TestDecideTotalOverStateSpace(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 4))
 		ctx := &abr.Context{
-			Buffer:    rng.Float64() * 20,
-			BufferCap: 20,
+			Buffer:    units.Seconds(rng.Float64() * 20),
+			BufferCap: units.Seconds(20),
 			PrevRung:  rng.IntN(ladder.Len()+1) - 1, // includes NoRung
 			Ladder:    ladder,
-			Predict:   func(float64) float64 { return rng.Float64() * 40 },
+			Predict:   func(units.Seconds) units.Mbps { return units.Mbps(rng.Float64() * 40) },
 		}
 		d := ctrl.Decide(ctx)
 		if d.Rung == abr.NoRung {
@@ -148,7 +148,7 @@ func TestDecideTotalOverStateSpace(t *testing.T) {
 // Property: the cost model's step cost is non-negative and finite for every
 // feasible transition.
 func TestStepCostNonNegativeFinite(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	m := NewCostModel(DefaultConfig(), video.Mobile(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 5))
 		x0 := units.Seconds(rng.Float64() * 20)
@@ -169,7 +169,7 @@ func TestStepCostNonNegativeFinite(t *testing.T) {
 // Property: sequenceCost is additive — the cost of a sequence equals the sum
 // of its step costs along the induced buffer trajectory.
 func TestSequenceCostAdditive(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
+	m := NewCostModel(DefaultConfig(), video.Mobile(), units.Seconds(20))
 	f := func(seed uint64) bool {
 		rng := rand.New(rand.NewPCG(seed, 6))
 		x0 := units.Seconds(5 + rng.Float64()*10)

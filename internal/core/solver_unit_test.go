@@ -70,11 +70,11 @@ func TestOmegaAtClamping(t *testing.T) {
 		depth int
 		want  units.Mbps
 	}{
-		{0, 10},
-		{1, 20},
-		{2, 30},
-		{3, 30},   // past the forecast: clamp to the last entry
-		{100, 30}, // far past: still the last entry
+		{0, units.Mbps(10)},
+		{1, units.Mbps(20)},
+		{2, units.Mbps(30)},
+		{3, units.Mbps(30)},   // past the forecast: clamp to the last entry
+		{100, units.Mbps(30)}, // far past: still the last entry
 	}
 	for _, c := range cases {
 		if got := omegaAt(omegas, c.depth); got != c.want {
@@ -124,8 +124,8 @@ func TestPruningNodeReduction(t *testing.T) {
 	cfg := DefaultConfig()
 	offCfg := cfg
 	offCfg.DisablePruning = true
-	on := NewCostModel(cfg, video.YouTube4K(), 20)
-	off := NewCostModel(offCfg, video.YouTube4K(), 20)
+	on := NewCostModel(cfg, video.YouTube4K(), units.Seconds(20))
+	off := NewCostModel(offCfg, video.YouTube4K(), units.Seconds(20))
 	rng := newSplitMix(7)
 	const k, samples = 5, 3000
 	maxRung := on.ladder.Len() - 1
@@ -163,8 +163,8 @@ func TestPruningNodeReduction(t *testing.T) {
 
 // TestSolveStatsReset checks the counters zero cleanly.
 func TestSolveStatsReset(t *testing.T) {
-	m := NewCostModel(DefaultConfig(), video.Mobile(), 20)
-	m.searchMonotonic([]units.Mbps{8}, 10, 2, 4, 3)
+	m := NewCostModel(DefaultConfig(), video.Mobile(), units.Seconds(20))
+	m.searchMonotonic([]units.Mbps{8}, units.Seconds(10), 2, 4, 3)
 	if st := m.SolveStats(); st.Solves == 0 || st.Nodes == 0 {
 		t.Fatalf("stats not accumulating: %+v", st)
 	}
@@ -184,11 +184,11 @@ func TestDecideSteadyStateZeroAlloc(t *testing.T) {
 		}
 		c := New(cfg, video.YouTube4K())
 		ctx := &abr.Context{
-			Buffer:    11,
-			BufferCap: 20,
+			Buffer:    units.Seconds(11),
+			BufferCap: units.Seconds(20),
 			PrevRung:  3,
 			Ladder:    video.YouTube4K(),
-			Predict:   func(float64) float64 { return 30 },
+			Predict:   func(units.Seconds) units.Mbps { return units.Mbps(30) },
 		}
 		c.Decide(ctx) // warmup: grows the solver scratch once
 		allocs := testing.AllocsPerRun(200, func() {
@@ -213,8 +213,8 @@ func TestDecideMemo(t *testing.T) {
 
 	ctx := func(buf, omega float64, prev int) *abr.Context {
 		return &abr.Context{
-			Buffer: buf, BufferCap: 20, PrevRung: prev, Ladder: ladder,
-			Predict: func(float64) float64 { return omega },
+			Buffer: units.Seconds(buf), BufferCap: units.Seconds(20), PrevRung: prev, Ladder: ladder,
+			Predict: func(units.Seconds) units.Mbps { return units.Mbps(omega) },
 		}
 	}
 
@@ -252,8 +252,8 @@ func TestDecideMemo(t *testing.T) {
 	memoed.Decide(ctx(10.001, 24.001, 4)) // hit at cap 20
 	hits := memoed.SolveStats().MemoHits
 	d := memoed.Decide(&abr.Context{
-		Buffer: 10, BufferCap: 40, PrevRung: 4, Ladder: ladder,
-		Predict: func(float64) float64 { return 24 },
+		Buffer: units.Seconds(10), BufferCap: units.Seconds(40), PrevRung: 4, Ladder: ladder,
+		Predict: func(units.Seconds) units.Mbps { return units.Mbps(24) },
 	})
 	if d.Rung < 0 || d.Rung >= ladder.Len() {
 		t.Fatalf("cap-change decision %+v", d)
@@ -270,8 +270,8 @@ func TestMemoQuantumZeroExactKeys(t *testing.T) {
 	cfg.MemoQuantum = 0
 	c := New(cfg, video.Mobile())
 	ctx := &abr.Context{
-		Buffer: 9.125, BufferCap: 20, PrevRung: 2, Ladder: video.Mobile(),
-		Predict: func(float64) float64 { return 6.5 },
+		Buffer: units.Seconds(9.125), BufferCap: units.Seconds(20), PrevRung: 2, Ladder: video.Mobile(),
+		Predict: func(units.Seconds) units.Mbps { return units.Mbps(6.5) },
 	}
 	first := c.Decide(ctx)
 	second := c.Decide(ctx)

@@ -9,19 +9,19 @@ import (
 )
 
 func baseProblem(k int) ContinuousProblem {
-	omega := make([]float64, k)
+	omega := make([]units.Mbps, k)
 	for i := range omega {
-		omega[i] = 8
+		omega[i] = units.Mbps(8)
 	}
 	return ContinuousProblem{
 		Omega:       omega,
-		X0:          10,
+		X0:          units.Seconds(10),
 		U0:          1.0 / 8,
 		Beta:        0.5,
 		Gamma:       1,
 		Epsilon:     0.2,
-		Target:      12,
-		Xmax:        20,
+		Target:      units.Seconds(12),
+		Xmax:        units.Seconds(20),
 		UMin:        1.0 / 12,
 		UMax:        1.0 / 1.5,
 		WDistortion: 1,
@@ -35,7 +35,7 @@ func TestContinuousValidate(t *testing.T) {
 	}
 	bad := []func(*ContinuousProblem){
 		func(p *ContinuousProblem) { p.Omega = nil },
-		func(p *ContinuousProblem) { p.Omega = []float64{1, -2} },
+		func(p *ContinuousProblem) { p.Omega = []units.Mbps{1, -2} },
 		func(p *ContinuousProblem) { p.UMin = 0 },
 		func(p *ContinuousProblem) { p.UMax = p.UMin / 2 },
 		func(p *ContinuousProblem) { p.Xmax = 0 },
@@ -97,7 +97,7 @@ func TestContinuousGradient(t *testing.T) {
 
 func TestContinuousGradientWithTerminal(t *testing.T) {
 	p := baseProblem(4)
-	p.Terminal = &Terminal{X: 12, U: 0.125}
+	p.Terminal = &Terminal{X: units.Seconds(12), U: 0.125}
 	u := []float64{0.1, 0.2, 0.15, 0.3}
 	grad := make([]float64, len(u))
 	p.objective(u, grad)
@@ -119,19 +119,19 @@ func TestLemmaA10MonotoneStructure(t *testing.T) {
 	// monotone. Forced-movement scenario: u0 far above 1/ω̂ with a growing
 	// buffer, so the solution must descend toward 1/ω̂, monotonically.
 	k := 10
-	omega := make([]float64, k)
+	omega := make([]units.Mbps, k)
 	for i := range omega {
-		omega[i] = 10
+		omega[i] = units.Mbps(10)
 	}
 	p := ContinuousProblem{
 		Omega:       omega,
-		X0:          15,
+		X0:          units.Seconds(15),
 		U0:          0.5, // r = 2: buffer grows by ω·u − 1 = 4 s per step
 		Beta:        0,
 		Gamma:       1,
 		Epsilon:     0.2,
-		Target:      12,
-		Xmax:        20,
+		Target:      units.Seconds(12),
+		Xmax:        units.Seconds(20),
 		UMin:        1.0 / 12,
 		UMax:        0.6,
 		WDistortion: 0,
@@ -152,9 +152,9 @@ func TestLemmaA10MonotoneStructure(t *testing.T) {
 	p2 := p
 	p2.X0 = 2
 	p2.U0 = 1.0 / 12 // r = 12: buffer drains by 1 − 10/12 ≈ 0.17/step... make it drain harder
-	p2.Omega = make([]float64, k)
+	p2.Omega = make([]units.Mbps, k)
 	for i := range p2.Omega {
-		p2.Omega[i] = 4 // u0·ω − 1 = 4/12 − 1 < 0: buffer drains
+		p2.Omega[i] = units.Mbps(4) // u0·ω − 1 = 4/12 − 1 < 0: buffer drains
 	}
 	sol2, err := p2.Solve(4000)
 	if err != nil {
@@ -198,7 +198,7 @@ func TestTheorem43MonotoneApproximation(t *testing.T) {
 	// shrink as γ grows.
 	bound := func(gamma float64) float64 {
 		p := baseProblem(8)
-		stuff := 8*(1/(1.5*1.5)-1/(12.0*12.0)) + p.Beta*math.Max(p.Target*p.Target, p.Epsilon*(p.Xmax-p.Target)*(p.Xmax-p.Target))
+		stuff := 8*(1/(1.5*1.5)-1/(12.0*12.0)) + p.Beta*math.Max(float64(p.Target)*float64(p.Target), p.Epsilon*float64(p.Xmax-p.Target)*float64(p.Xmax-p.Target))
 		return 8 * math.Sqrt(stuff/gamma)
 	}
 	lo := violation(0.01)
@@ -222,7 +222,7 @@ func TestFigure6PerturbationDecay(t *testing.T) {
 	// Figure 6 / Theorem A.1: optimal trajectories from different initial
 	// (x0, u0) pairs converge toward each other; the per-step distance decays.
 	p := baseProblem(15)
-	d, err := PerturbationDecay(p, 4, 0.4, 4000)
+	d, err := PerturbationDecay(p, units.Seconds(4), 0.4, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,9 +269,9 @@ func syntheticOmegas(n int) []units.Mbps {
 func TestOfflineSolveSanity(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Gamma = 1
-	m := NewCostModel(cfg, video.Mobile(), 20)
+	m := NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 	omegas := syntheticOmegas(30)
-	opt, seq, err := OfflineSolve(m, omegas, 10, -1, 300)
+	opt, seq, err := OfflineSolve(m, omegas, units.Seconds(10), -1, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestOfflineSolveSanity(t *testing.T) {
 	}
 	// The DP's own sequence, replayed exactly, must cost close to the DP
 	// value (bucketing error only).
-	replay := m.SequenceCost(seq, -1, 10, omegas)
+	replay := m.SequenceCost(seq, -1, units.Seconds(10), omegas)
 	if math.IsInf(replay, 1) {
 		t.Fatal("offline sequence infeasible on exact replay")
 	}
@@ -296,15 +296,15 @@ func TestOfflineSolveSanity(t *testing.T) {
 		for i := range constSeq {
 			constSeq[i] = r
 		}
-		c := m.SequenceCost(constSeq, -1, 10, omegas)
+		c := m.SequenceCost(constSeq, -1, units.Seconds(10), omegas)
 		if c < opt-0.05*opt {
 			t.Errorf("constant rung %d beats DP: %v < %v", r, c, opt)
 		}
 	}
-	if _, _, err := OfflineSolve(m, nil, 10, -1, 300); err == nil {
+	if _, _, err := OfflineSolve(m, nil, units.Seconds(10), -1, 300); err == nil {
 		t.Error("empty horizon accepted")
 	}
-	if _, _, err := OfflineSolve(m, omegas, 10, -1, 5); err == nil {
+	if _, _, err := OfflineSolve(m, omegas, units.Seconds(10), -1, 5); err == nil {
 		t.Error("coarse grid accepted")
 	}
 }
@@ -314,15 +314,15 @@ func TestTheorem41RegretShrinksWithHorizon(t *testing.T) {
 	// (exponentially) in K and the competitive ratio approaches 1.
 	cfg := DefaultConfig()
 	cfg.Gamma = 1
-	m := NewCostModel(cfg, video.Mobile(), 20)
+	m := NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 	omegas := syntheticOmegas(60)
-	opt, _, err := OfflineSolve(m, omegas, 10, -1, 400)
+	opt, _, err := OfflineSolve(m, omegas, units.Seconds(10), -1, 400)
 	if err != nil {
 		t.Fatal(err)
 	}
 	regret := map[int]float64{}
 	for _, k := range []int{1, 3, 8} {
-		cost, _, err := RecedingHorizonCost(m, omegas, 10, k, false)
+		cost, _, err := RecedingHorizonCost(m, omegas, units.Seconds(10), k, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -345,16 +345,16 @@ func TestTheorem41RegretShrinksWithHorizon(t *testing.T) {
 
 func TestRecedingHorizonTerminalVariant(t *testing.T) {
 	cfg := DefaultConfig()
-	m := NewCostModel(cfg, video.Mobile(), 20)
+	m := NewCostModel(cfg, video.Mobile(), units.Seconds(20))
 	omegas := syntheticOmegas(40)
-	c1, seq1, err := RecedingHorizonCost(m, omegas, 10, 4, true)
+	c1, seq1, err := RecedingHorizonCost(m, omegas, units.Seconds(10), 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(seq1) != 40 || c1 <= 0 {
 		t.Fatalf("terminal variant: cost=%v len=%d", c1, len(seq1))
 	}
-	if _, _, err := RecedingHorizonCost(m, nil, 10, 4, true); err == nil {
+	if _, _, err := RecedingHorizonCost(m, nil, units.Seconds(10), 4, true); err == nil {
 		t.Error("empty horizon accepted")
 	}
 }

@@ -9,6 +9,8 @@
 // duration/timescale), and one Representation per bitrate rung. Round trips
 // through this package preserve that information exactly; everything else in
 // a real MPD is out of scope.
+//
+//soda:wire-boundary
 package dash
 
 import (

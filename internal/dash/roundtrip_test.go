@@ -1,0 +1,49 @@
+package dash
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/video"
+)
+
+// TestMPDRoundTripLossless pins the wire-boundary contract for the DASH
+// manifest: a typed ladder pushed through the MPD's integer wire fields
+// (bandwidth in b/s, segment duration in timescale ticks) and parsed back
+// must reproduce the exact unit values. The repository's ladders are all
+// millisecond/bit-exact, so the quantization must be invisible.
+func TestMPDRoundTripLossless(t *testing.T) {
+	ladders := map[string]video.Ladder{
+		"youtube4k": video.YouTube4K(),
+		"mobile":    video.Mobile(),
+		"prototype": video.Prototype(),
+		"prime":     video.PrimeVideo(),
+	}
+	for name, ladder := range ladders {
+		mpd := FromLadder(ladder, 10*time.Minute)
+		var buf bytes.Buffer
+		if err := mpd.Write(&buf); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		got, err := back.Ladder()
+		if err != nil {
+			t.Fatalf("%s: ladder: %v", name, err)
+		}
+		if got.Len() != ladder.Len() {
+			t.Fatalf("%s: rungs = %d, want %d", name, got.Len(), ladder.Len())
+		}
+		for i := range ladder.Rungs {
+			if got.Mbps(i) != ladder.Mbps(i) {
+				t.Errorf("%s: rung %d = %v, want %v (exact)", name, i, got.Mbps(i), ladder.Mbps(i))
+			}
+		}
+		if got.SegmentSeconds != ladder.SegmentSeconds {
+			t.Errorf("%s: segment duration = %v, want %v (exact)", name, got.SegmentSeconds, ladder.SegmentSeconds)
+		}
+	}
+}

@@ -21,6 +21,8 @@ package engagement
 import (
 	"math"
 	"math/rand/v2"
+
+	"repro/internal/units"
 )
 
 // Model is a quality-dependent abandonment hazard.
@@ -55,27 +57,30 @@ func (m Model) HazardPerMin(switchRate, rebufferRatio float64) float64 {
 
 // ExpectedViewingMinutes returns the expected watch time of a stream of the
 // given length under the hazard: E[min(T, L)] with T ~ Exp(h).
-func (m Model) ExpectedViewingMinutes(switchRate, rebufferRatio, streamMinutes float64) float64 {
+//
+// The switching rate and rebuffering ratio are dimensionless session
+// statistics; only the durations carry a unit.
+func (m Model) ExpectedViewingMinutes(switchRate, rebufferRatio float64, stream units.Minutes) units.Minutes {
 	h := m.HazardPerMin(switchRate, rebufferRatio)
-	return (1 - math.Exp(-h*streamMinutes)) / h
+	return units.Minutes((1 - math.Exp(-h*float64(stream))) / h)
 }
 
 // ExpectedViewingFraction returns ExpectedViewingMinutes normalized by the
 // stream length — the y-axis of Figure 1.
-func (m Model) ExpectedViewingFraction(switchRate, rebufferRatio, streamMinutes float64) float64 {
-	if streamMinutes <= 0 {
+func (m Model) ExpectedViewingFraction(switchRate, rebufferRatio float64, stream units.Minutes) float64 {
+	if stream <= 0 {
 		return 0
 	}
-	return m.ExpectedViewingMinutes(switchRate, rebufferRatio, streamMinutes) / streamMinutes
+	return float64(m.ExpectedViewingMinutes(switchRate, rebufferRatio, stream) / stream)
 }
 
 // SampleViewingMinutes draws one stochastic viewing duration for a session,
 // used by the production A/B simulator.
-func (m Model) SampleViewingMinutes(switchRate, rebufferRatio, streamMinutes float64, rng *rand.Rand) float64 {
+func (m Model) SampleViewingMinutes(switchRate, rebufferRatio float64, stream units.Minutes, rng *rand.Rand) units.Minutes {
 	h := m.HazardPerMin(switchRate, rebufferRatio)
-	t := rng.ExpFloat64() / h
-	if t > streamMinutes {
-		return streamMinutes
+	t := units.Minutes(rng.ExpFloat64() / h)
+	if t > stream {
+		return stream
 	}
 	return t
 }
@@ -84,8 +89,8 @@ func (m Model) SampleViewingMinutes(switchRate, rebufferRatio, streamMinutes flo
 // minutes caused by one percentage point (0.01) of additional rebuffering,
 // evaluated at the given operating point. Used to verify the "-3 minutes per
 // 1% rebuffering" calibration anchor.
-func (m Model) MarginalMinutesPerRebufferPoint(switchRate, rebufferRatio, streamMinutes float64) float64 {
-	base := m.ExpectedViewingMinutes(switchRate, rebufferRatio, streamMinutes)
-	bumped := m.ExpectedViewingMinutes(switchRate, rebufferRatio+0.01, streamMinutes)
+func (m Model) MarginalMinutesPerRebufferPoint(switchRate, rebufferRatio float64, stream units.Minutes) units.Minutes {
+	base := m.ExpectedViewingMinutes(switchRate, rebufferRatio, stream)
+	bumped := m.ExpectedViewingMinutes(switchRate, rebufferRatio+0.01, stream)
 	return bumped - base
 }

@@ -4,17 +4,19 @@ import (
 	"math"
 	"math/rand/v2"
 	"testing"
+
+	"repro/internal/units"
 )
 
 func TestFigure1Anchor(t *testing.T) {
 	// Users watch < 10% of the stream when switching rate > 20% (Fig. 1),
 	// evaluated on a 2-hour sports stream with no rebuffering.
 	m := Default()
-	if frac := m.ExpectedViewingFraction(0.21, 0, 120); frac >= 0.10 {
+	if frac := m.ExpectedViewingFraction(0.21, 0, units.Minutes(120)); frac >= 0.10 {
 		t.Errorf("viewing fraction at 21%% switching = %v, want < 0.10", frac)
 	}
 	// A perfectly smooth session is mostly watched.
-	if frac := m.ExpectedViewingFraction(0, 0, 120); frac < 0.5 {
+	if frac := m.ExpectedViewingFraction(0, 0, units.Minutes(120)); frac < 0.5 {
 		t.Errorf("smooth-session viewing fraction = %v, want > 0.5", frac)
 	}
 }
@@ -23,11 +25,11 @@ func TestRebufferingAnchor(t *testing.T) {
 	// ~3 minutes of viewing lost per 1% of rebuffering, near the typical
 	// live operating point (low switching, low rebuffering, long stream).
 	m := Default()
-	d := m.MarginalMinutesPerRebufferPoint(0.02, 0.005, 180)
+	d := m.MarginalMinutesPerRebufferPoint(0.02, 0.005, units.Minutes(180))
 	if d >= 0 {
 		t.Fatalf("rebuffering should reduce viewing, delta = %v", d)
 	}
-	if math.Abs(-d-3) > 2 {
+	if math.Abs(float64(-d-3)) > 2 {
 		t.Errorf("minutes lost per rebuffering point = %v, want ~3", -d)
 	}
 }
@@ -36,7 +38,7 @@ func TestViewingFractionMonotone(t *testing.T) {
 	m := Default()
 	prev := math.Inf(1)
 	for s := 0.0; s <= 0.5; s += 0.05 {
-		f := m.ExpectedViewingFraction(s, 0, 120)
+		f := m.ExpectedViewingFraction(s, 0, units.Minutes(120))
 		if f >= prev {
 			t.Fatalf("viewing fraction not decreasing in switching at %v", s)
 		}
@@ -49,10 +51,10 @@ func TestViewingFractionMonotone(t *testing.T) {
 
 func TestExpectedViewingBounds(t *testing.T) {
 	m := Default()
-	if v := m.ExpectedViewingMinutes(0, 0, 60); v <= 0 || v > 60 {
+	if v := m.ExpectedViewingMinutes(0, 0, units.Minutes(60)); v <= 0 || v > 60 {
 		t.Errorf("expected viewing = %v", v)
 	}
-	if f := m.ExpectedViewingFraction(0, 0, 0); f != 0 {
+	if f := m.ExpectedViewingFraction(0, 0, units.Minutes(0)); f != 0 {
 		t.Errorf("zero-length stream fraction = %v", f)
 	}
 	// Hazard floor keeps the model defined even with absurd inputs.
@@ -67,13 +69,13 @@ func TestSampleMatchesExpectation(t *testing.T) {
 	const n = 60000
 	sum := 0.0
 	for i := 0; i < n; i++ {
-		v := m.SampleViewingMinutes(0.05, 0.002, 120, rng)
+		v := float64(m.SampleViewingMinutes(0.05, 0.002, units.Minutes(120), rng))
 		if v < 0 || v > 120 {
 			t.Fatalf("sample out of range: %v", v)
 		}
 		sum += v
 	}
-	want := m.ExpectedViewingMinutes(0.05, 0.002, 120)
+	want := float64(m.ExpectedViewingMinutes(0.05, 0.002, units.Minutes(120)))
 	if got := sum / n; math.Abs(got-want) > 0.5 {
 		t.Errorf("sample mean %v, analytic %v", got, want)
 	}

@@ -46,14 +46,14 @@ func runSODAVariant(label string, cfg core.Config, scale Scale, simCfg sim.Confi
 	}
 	ladder := video.Mobile()
 	factory := func() (abr.Controller, predictor.Predictor) {
-		return core.New(cfg, ladder), predictor.NewEMA(4)
+		return core.New(cfg, ladder), predictor.NewEMA(units.Seconds(4))
 	}
 	base := simCfg
 	base.Ladder = ladder
 	if base.BufferCap == 0 {
 		base.BufferCap = 20
 	}
-	base.SessionSeconds = units.Seconds(scale.SessionSeconds)
+	base.SessionSeconds = scale.SessionSeconds
 	metrics, err := sim.RunDataset(ds.Sessions, factory, base)
 	if err != nil {
 		return AblationPoint{}, err
@@ -169,14 +169,14 @@ func UltraLowLatency(scale Scale) (*UltraLowLatencyResult, error) {
 		for _, budget := range budgets {
 			factory := func() (abr.Controller, predictor.Predictor) {
 				c, _ := abr.New(name, ladder)
-				return c, predictor.NewEMA(4)
+				return c, predictor.NewEMA(units.Seconds(4))
 			}
 			metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 				Ladder:                ladder,
 				BufferCap:             units.Seconds(budget),
 				Live:                  true,
 				LiveEdgeOffsetSeconds: units.Seconds(budget),
-				SessionSeconds:        units.Seconds(scale.SessionSeconds),
+				SessionSeconds:        scale.SessionSeconds,
 			})
 			if err != nil {
 				return nil, err
@@ -216,9 +216,9 @@ func AblationPredictor(scale Scale) (*AblationResult, error) {
 		label string
 		make  func() predictor.Predictor
 	}{
-		{"ema(4s)", func() predictor.Predictor { return predictor.NewEMA(4) }},
+		{"ema(4s)", func() predictor.Predictor { return predictor.NewEMA(units.Seconds(4)) }},
 		{"safe-ema", func() predictor.Predictor { return predictor.NewSafeEMA() }},
-		{"sliding(12s)", func() predictor.Predictor { return predictor.NewSlidingWindow(12) }},
+		{"sliding(12s)", func() predictor.Predictor { return predictor.NewSlidingWindow(units.Seconds(12)) }},
 		{"harmonic(5)", func() predictor.Predictor { return predictor.NewHarmonicMean(5) }},
 		{"ma(4)", func() predictor.Predictor { return predictor.NewMovingAverage(4) }},
 	}
@@ -230,7 +230,7 @@ func AblationPredictor(scale Scale) (*AblationResult, error) {
 		metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 			Ladder:         ladder,
 			BufferCap:      units.Seconds(20),
-			SessionSeconds: units.Seconds(scale.SessionSeconds),
+			SessionSeconds: scale.SessionSeconds,
 		})
 		if err != nil {
 			return nil, err

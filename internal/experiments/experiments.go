@@ -36,7 +36,7 @@ type Scale struct {
 	SessionsPerDataset int
 	// SessionSeconds is the per-session stream length (the paper uses
 	// 10-minute sessions).
-	SessionSeconds float64
+	SessionSeconds units.Seconds
 	// SolverSamples is the per-configuration sample count for the Fig. 8
 	// solver-mismatch study (10^6 in the paper).
 	SolverSamples int
@@ -58,7 +58,7 @@ type Scale struct {
 func DefaultScale() Scale {
 	s := Scale{
 		SessionsPerDataset: 40,
-		SessionSeconds:     600,
+		SessionSeconds:     units.Seconds(600),
 		SolverSamples:      4000,
 		NoiseSessions:      30,
 		PrototypeSessions:  8,
@@ -88,11 +88,11 @@ var PrototypeControllers = []string{"soda", "hyb", "bola", "dynamic", "mpc", "fu
 // evalPredictor returns the standard predictor of the simulation harness:
 // the plain EMA that dash.js ships as its default and the paper adopts for
 // the numerical simulations (§6.1.1).
-func evalPredictor() predictor.Predictor { return predictor.NewEMA(4) }
+func evalPredictor() predictor.Predictor { return predictor.NewEMA(units.Seconds(4)) }
 
 // runControllerOnSessions simulates every session under a named controller
 // and returns the per-session metrics.
-func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace.Trace, sessionSeconds, bufferCap float64) ([]qoe.Metrics, error) {
+func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace.Trace, sessionLength, bufferCap units.Seconds) ([]qoe.Metrics, error) {
 	if _, err := abr.New(name, ladder); err != nil {
 		return nil, err
 	}
@@ -102,8 +102,8 @@ func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace
 	}
 	return sim.RunDataset(sessions, factory, sim.Config{
 		Ladder:         ladder,
-		BufferCap:      units.Seconds(bufferCap),
-		SessionSeconds: units.Seconds(sessionSeconds),
+		BufferCap:      bufferCap,
+		SessionSeconds: sessionLength,
 	})
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/units"
 )
 
 // testScale is a reduced workload keeping the suite fast while preserving
@@ -11,7 +13,7 @@ import (
 func testScale() Scale {
 	return Scale{
 		SessionsPerDataset: 10,
-		SessionSeconds:     600,
+		SessionSeconds:     units.Seconds(600),
 		SolverSamples:      400,
 		NoiseSessions:      6,
 		PrototypeSessions:  2,

@@ -67,7 +67,7 @@ func Figure10(scale Scale) (*Figure10Result, error) {
 		res.Buckets = append(res.Buckets, bk.name)
 		res.Aggregates[bk.name] = map[string]qoe.Aggregate{}
 		for _, name := range res.Controllers {
-			metrics, err := runControllerOnSessions(name, bk.ladder, bk.sessions, scale.SessionSeconds, 20)
+			metrics, err := runControllerOnSessions(name, bk.ladder, bk.sessions, scale.SessionSeconds, units.Seconds(20))
 			if err != nil {
 				return nil, fmt.Errorf("figure10: %s/%s: %w", bk.name, name, err)
 			}
@@ -156,7 +156,7 @@ func Figure11(scale Scale) (*Figure11Result, error) {
 			metrics, err := runNoisyDataset(sessions, factory, sim.Config{
 				Ladder:         ladder,
 				BufferCap:      units.Seconds(20),
-				SessionSeconds: units.Seconds(scale.SessionSeconds),
+				SessionSeconds: scale.SessionSeconds,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("figure11: %s noise %v: %w", name, lvl, err)
@@ -192,7 +192,7 @@ func (p *perfectShim) Observe(s predictor.Sample) {
 }
 
 // Predict implements predictor.Predictor.
-func (p *perfectShim) Predict(now, horizon float64) float64 {
+func (p *perfectShim) Predict(now, horizon units.Seconds) units.Mbps {
 	if p.inner == nil {
 		return 0
 	}
@@ -278,8 +278,8 @@ func Figure12(scale Scale) (*Figure12Result, error) {
 		AR:          0.9,
 	}
 	ladder := video.Prototype()
-	sessionSeconds := float64(scale.PrototypeSegments) * float64(ladder.SegmentSeconds)
-	ds, err := tracegen.Generate(profile, scale.PrototypeSessions, sessionSeconds+30, scale.Seed+55)
+	sessionLength := ladder.SegmentSeconds.Scale(float64(scale.PrototypeSegments))
+	ds, err := tracegen.Generate(profile, scale.PrototypeSessions, sessionLength+30, scale.Seed+55)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +307,7 @@ func Figure12(scale Scale) (*Figure12Result, error) {
 				Player: player.Config{
 					Controller: ctrl,
 					Predictor:  p,
-					BufferCap:  15, // Puffer's cap (§6.2)
+					BufferCap:  units.Seconds(15), // Puffer's cap (§6.2)
 				},
 			})
 			if err != nil {
@@ -350,7 +350,7 @@ type Figure13Result struct {
 func Figure13(scale Scale) (*Figure13Result, error) {
 	cfg := prod.DefaultConfig()
 	cfg.SessionsPerArm = scale.ProdSessionsPerArm
-	cfg.SessionSeconds = scale.SessionSeconds
+	cfg.SessionLength = scale.SessionSeconds
 	cfg.Seed = scale.Seed
 	reports, err := prod.Run(cfg)
 	if err != nil {

@@ -42,12 +42,12 @@ func Figure01(scale Scale) (*Figure01Result, error) {
 	model := engagement.Default()
 	rng := rand.New(rand.NewPCG(scale.Seed, 0xf16))
 	res := &Figure01Result{}
-	const streamMinutes = 150 // multi-hour sports event
+	const streamMinutes = units.Minutes(150) // multi-hour sports event
 
 	// A population of controllers produces the diversity of switching rates
 	// a production fleet exhibits.
 	for _, name := range []string{"soda", "dynamic", "bola", "hyb", "rl", "mpc"} {
-		metrics, err := runControllerOnSessions(name, video.YouTube4K(), ds.Sessions, scale.SessionSeconds, 20)
+		metrics, err := runControllerOnSessions(name, video.YouTube4K(), ds.Sessions, scale.SessionSeconds, units.Seconds(20))
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +56,7 @@ func Figure01(scale Scale) (*Figure01Result, error) {
 			if m.RebufferRatio > 0 || m.MeanUtility < 0.5 {
 				continue
 			}
-			viewed := model.SampleViewingMinutes(m.SwitchRate, m.RebufferRatio, streamMinutes, rng) / streamMinutes
+			viewed := float64(model.SampleViewingMinutes(m.SwitchRate, m.RebufferRatio, streamMinutes, rng) / streamMinutes)
 			// Paper filter: short-lived sessions (< 25% of stream viewed).
 			if viewed >= 0.25 {
 				continue
@@ -94,30 +94,30 @@ type Figure02Result struct {
 // Figure02 computes the threshold buffer levels at which BOLA's decision
 // steps up a rung.
 func Figure02() *Figure02Result {
-	thresholds := func(stable, cap float64) []float64 {
+	thresholds := func(stable, cap units.Seconds) []float64 {
 		b := baseline.NewBOLA(video.YouTube4K(), stable)
 		if stable == 0 {
 			// Live derivation from the cap.
-			b.Decide(&abr.Context{Buffer: 0, BufferCap: cap, PrevRung: abr.NoRung,
-				Ladder: video.YouTube4K(), Predict: func(float64) float64 { return 1 }})
+			b.Decide(&abr.Context{Buffer: units.Seconds(0), BufferCap: cap, PrevRung: abr.NoRung,
+				Ladder: video.YouTube4K(), Predict: func(units.Seconds) units.Mbps { return units.Mbps(1) }})
 		}
 		var out []float64
-		prev := b.DecideBuffer(0)
+		prev := b.DecideBuffer(units.Seconds(0))
 		limit := stable
 		if limit == 0 {
 			limit = cap
 		}
-		for buf := 0.0; buf <= limit; buf += 0.02 {
+		for buf := units.Seconds(0); buf <= limit; buf += 0.02 {
 			if r := b.DecideBuffer(buf); r != prev {
-				out = append(out, buf)
+				out = append(out, float64(buf))
 				prev = r
 			}
 		}
 		return out
 	}
 	res := &Figure02Result{
-		OnDemandThresholds: thresholds(120, 0),
-		LiveThresholds:     thresholds(0, 20),
+		OnDemandThresholds: thresholds(units.Seconds(120), units.Seconds(0)),
+		LiveThresholds:     thresholds(units.Seconds(0), units.Seconds(20)),
 	}
 	res.OnDemandSpread = spread(res.OnDemandThresholds)
 	res.LiveSpread = spread(res.LiveThresholds)
@@ -209,9 +209,9 @@ func Figure03() (*Figure03Result, error) {
 
 	res := &Figure03Result{
 		MPCRebufferEvents:  mpcRes.Metrics.RebufferEvents,
-		MPCRebufferSec:     mpcRes.Metrics.RebufferSec,
+		MPCRebufferSec:     float64(mpcRes.Metrics.RebufferSec),
 		SODARebufferEvents: sodaRes.Metrics.RebufferEvents,
-		SODARebufferSec:    sodaRes.Metrics.RebufferSec,
+		SODARebufferSec:    float64(sodaRes.Metrics.RebufferSec),
 		SODASwitches:       sodaRes.Metrics.Switches,
 		SessionSeconds:     300,
 	}
@@ -278,8 +278,8 @@ func (r *Figure04Result) Render() string {
 // Figure05Result reproduces Figure 5: SODA's decision as a function of
 // buffer level and predicted throughput.
 type Figure05Result struct {
-	Buffers []float64
-	Omegas  []float64
+	Buffers []units.Seconds
+	Omegas  []units.Mbps
 	Cells   []core.DiagramCell
 	// WaitCells counts the blank no-download region.
 	WaitCells int
@@ -287,8 +287,8 @@ type Figure05Result struct {
 
 // Figure05 evaluates the decision diagram on a grid.
 func Figure05() *Figure05Result {
-	buffers := core.Grid(0.5, 19.9, 16)
-	omegas := core.Grid(1, 90, 24)
+	buffers := core.Grid[units.Seconds](0.5, 19.9, 16)
+	omegas := core.Grid[units.Mbps](1, 90, 24)
 	cells := core.DecisionDiagram(core.DefaultConfig(), video.YouTube4K(), units.Seconds(20), buffers, omegas, abr.NoRung)
 	waits := 0
 	for _, c := range cells {
@@ -310,7 +310,7 @@ func (r *Figure05Result) Render() string {
 func (r *Figure05Result) MeanRungByOmega() []float64 {
 	sums := make([]float64, len(r.Omegas))
 	counts := make([]int, len(r.Omegas))
-	index := map[float64]int{}
+	index := map[units.Mbps]int{}
 	for i, w := range r.Omegas {
 		index[w] = i
 	}

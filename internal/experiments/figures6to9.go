@@ -31,24 +31,24 @@ type Figure06Result struct {
 // Figure06 solves the continuous problem from two initial conditions.
 func Figure06() (*Figure06Result, error) {
 	k := 18
-	omega := make([]float64, k)
+	omega := make([]units.Mbps, k)
 	for i := range omega {
-		omega[i] = 8
+		omega[i] = units.Mbps(8)
 	}
 	p := core.ContinuousProblem{
 		Omega:       omega,
-		X0:          10,
+		X0:          units.Seconds(10),
 		U0:          1.0 / 8,
 		Beta:        0.5,
 		Gamma:       1,
 		Epsilon:     0.2,
-		Target:      12,
-		Xmax:        20,
+		Target:      units.Seconds(12),
+		Xmax:        units.Seconds(20),
 		UMin:        1.0 / 12,
 		UMax:        1.0 / 1.5,
 		WDistortion: 1,
 	}
-	d, err := core.PerturbationDecay(p, 3, 0.5, 4000)
+	d, err := core.PerturbationDecay(p, units.Seconds(3), 0.5, 4000)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func Figure07(scale Scale) (*Figure07Result, error) {
 	}
 	factories := []predFactory{
 		{"ma", func() predictor.Predictor { return predictor.NewMovingAverage(4) }},
-		{"ema", func() predictor.Predictor { return predictor.NewEMA(4) }},
+		{"ema", func() predictor.Predictor { return predictor.NewEMA(units.Seconds(4)) }},
 	}
 	res := &Figure07Result{HorizonsSeconds: horizons}
 
@@ -115,16 +115,16 @@ func Figure07(scale Scale) (*Figure07Result, error) {
 				p := f.make()
 				// Walk the session in 2 s steps, observing realized
 				// throughput like a player would.
-				for t := 0.0; units.Seconds(t+32) < tr.Duration(); t += 2 {
-					observed := tr.MeanOver(units.Seconds(t), units.Seconds(2))
-					p.Observe(predictor.Sample{Mbps: float64(observed), Duration: 2, EndTime: t + 2})
-					est := p.Predict(t+2, 2)
+				for t := units.Seconds(0); t+32 < tr.Duration(); t += 2 {
+					observed := tr.MeanOver(t, units.Seconds(2))
+					p.Observe(predictor.Sample{Mbps: observed, Duration: units.Seconds(2), EndTime: t + 2})
+					est := p.Predict(t+2, units.Seconds(2))
 					if est <= 0 {
 						continue
 					}
 					for hi, h := range horizons {
-						actual := tr.MeanOver(units.Seconds(t+2+h-2), units.Seconds(2)) // the 2 s interval ending h ahead
-						preds[hi] = append(preds[hi], est)
+						actual := tr.MeanOver(t+2+units.Seconds(h)-2, units.Seconds(2)) // the 2 s interval ending h ahead
+						preds[hi] = append(preds[hi], float64(est))
 						actuals[hi] = append(actuals[hi], float64(actual))
 					}
 				}
@@ -276,7 +276,7 @@ func Figure09(scale Scale) (*Figure09Result, error) {
 		}
 		res.Names = append(res.Names, float64ByName{
 			Name:     spec.name,
-			MeanMbps: ds.MeanMbps(),
+			MeanMbps: float64(ds.MeanMbps()),
 			RSD:      ds.RSD(),
 			Sessions: len(ds.Sessions),
 		})

@@ -44,7 +44,7 @@ func OracleGap(scale Scale) (*OracleGapResult, error) {
 		o, err := oracle.Solve(tr, oracle.Config{
 			Ladder:         ladder,
 			BufferCap:      units.Seconds(20),
-			SessionSeconds: units.Seconds(scale.SessionSeconds),
+			SessionSeconds: scale.SessionSeconds,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("oraclegap: %w", err)
@@ -59,12 +59,12 @@ func OracleGap(scale Scale) (*OracleGapResult, error) {
 		}
 		factory := func() (abr.Controller, predictor.Predictor) {
 			c, _ := abr.New(name, ladder)
-			return c, predictor.NewEMA(4)
+			return c, predictor.NewEMA(units.Seconds(4))
 		}
 		metrics, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
 			Ladder:         ladder,
 			BufferCap:      units.Seconds(20),
-			SessionSeconds: units.Seconds(scale.SessionSeconds),
+			SessionSeconds: scale.SessionSeconds,
 		})
 		if err != nil {
 			return nil, err

@@ -197,13 +197,13 @@ type TheoremMonotoneResult struct {
 // TheoremMonotone sweeps gamma on the continuous relaxation.
 func TheoremMonotone() (*TheoremMonotoneResult, error) {
 	k := 8
-	omega := make([]float64, k)
+	omega := make([]units.Mbps, k)
 	for i := range omega {
-		omega[i] = 8
+		omega[i] = units.Mbps(8)
 	}
 	base := core.ContinuousProblem{
-		Omega: omega, X0: 5, U0: 1.0 / 8,
-		Beta: 0.5, Gamma: 1, Epsilon: 0.2, Target: 12, Xmax: 20,
+		Omega: omega, X0: units.Seconds(5), U0: 1.0 / 8,
+		Beta: 0.5, Gamma: 1, Epsilon: 0.2, Target: units.Seconds(12), Xmax: units.Seconds(20),
 		UMin: 1.0 / 12, UMax: 1.0 / 1.5, WDistortion: 1,
 	}
 	res := &TheoremMonotoneResult{}
@@ -226,7 +226,7 @@ func TheoremMonotone() (*TheoremMonotoneResult, error) {
 			prev = u
 		}
 		viol := math.Min(up, down)
-		stuff := 8*(1/(1.5*1.5)-1/(12.0*12.0)) + p.Beta*math.Max(p.Target*p.Target, p.Epsilon*(p.Xmax-p.Target)*(p.Xmax-p.Target))
+		stuff := 8*(1/(1.5*1.5)-1/(12.0*12.0)) + p.Beta*math.Max(float64(p.Target)*float64(p.Target), p.Epsilon*float64(p.Xmax-p.Target)*float64(p.Xmax-p.Target))
 		bound := float64(k) * math.Sqrt(stuff/gamma)
 		res.Gammas = append(res.Gammas, gamma)
 		res.Violations = append(res.Violations, viol)

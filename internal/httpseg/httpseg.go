@@ -11,6 +11,8 @@
 // The server composes with internal/netem's shaped listeners exactly like
 // the binary-protocol server, so both transports see identical delivery
 // dynamics.
+//
+//soda:wire-boundary
 package httpseg
 
 import (

@@ -16,6 +16,8 @@ import (
 	"repro/internal/video"
 
 	_ "repro/internal/core"
+
+	"repro/internal/units"
 )
 
 func TestNewServerValidation(t *testing.T) {
@@ -131,7 +133,7 @@ func TestPlayerOverShapedHTTP(t *testing.T) {
 	}
 	const scale = 20
 	shaped := netem.NewListener(ln, func() (*netem.Shaper, error) {
-		return netem.NewShaper(trace.Constant(4, 4000), scale)
+		return netem.NewShaper(trace.Constant(units.Mbps(4), units.Seconds(4000)), scale)
 	})
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(shaped)
@@ -151,7 +153,7 @@ func TestPlayerOverShapedHTTP(t *testing.T) {
 		Fetcher:    client,
 		Controller: soda,
 		Predictor:  predictor.NewSafeEMA(),
-		BufferCap:  15,
+		BufferCap:  units.Seconds(15),
 		TimeScale:  scale,
 	})
 	if err != nil {

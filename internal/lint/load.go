@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 )
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -23,6 +24,8 @@ type listedPackage struct {
 	GoFiles    []string
 	Export     string
 	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
 }
 
 // Loaded is one parsed, type-checked package ready for analysis.
@@ -37,14 +40,20 @@ type Loaded struct {
 // Load resolves patterns (as `go list` would, e.g. "./...") in dir, then
 // parses and type-checks every matched package. Dependency types are read
 // from compiler export data produced by `go list -export`, so only the
-// matched packages themselves are type-checked from source. Test files are
-// excluded: the invariants guard production code, and fixtures/tests
-// legitimately use shortcuts (untyped literals, map ranges) the analyzers
-// reject.
+// matched packages themselves are type-checked from source.
+//
+// Test files are included: packages are listed with -test, so a package
+// with in-package tests is analyzed as its test-augmented variant
+// ("pkg [pkg.test]", superseding the plain package to avoid duplicate
+// findings on the shared files), and external test packages ("pkg_test")
+// are analyzed as targets of their own. The generated test-main binaries
+// ("pkg.test") are skipped. The invariants the analyzers enforce hold over
+// the test corpus too — a dimension slip in an expectation hides real bugs
+// just as well as one in the solver.
 func Load(dir string, patterns ...string) ([]*Loaded, error) {
 	args := append([]string{
-		"list", "-export", "-deps",
-		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly",
+		"list", "-export", "-deps", "-test",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly,ForTest,ImportMap",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -57,6 +66,7 @@ func Load(dir string, patterns ...string) ([]*Loaded, error) {
 
 	var targets []*listedPackage
 	exports := make(map[string]string)
+	augmented := make(map[string]bool) // plain paths superseded by a test variant
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listedPackage
@@ -68,25 +78,23 @@ func Load(dir string, patterns ...string) ([]*Loaded, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			pkg := p
-			targets = append(targets, &pkg)
+		if p.DepOnly || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // dependencies and generated test-main binaries
 		}
+		if p.ForTest != "" && p.ForTest == normalizePath(p.ImportPath) {
+			augmented[p.ForTest] = true
+		}
+		pkg := p
+		targets = append(targets, &pkg)
 	}
 
 	fset := token.NewFileSet()
-	lookup := func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(file)
-	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
-
 	var out []*Loaded
 	for _, p := range targets {
-		l, err := checkPackage(fset, imp, p)
+		if p.ForTest == "" && augmented[p.ImportPath] {
+			continue // the test variant carries this package's files too
+		}
+		l, err := checkPackage(fset, exports, p)
 		if err != nil {
 			return nil, err
 		}
@@ -95,8 +103,20 @@ func Load(dir string, patterns ...string) ([]*Loaded, error) {
 	return out, nil
 }
 
-// checkPackage parses and type-checks one listed package.
-func checkPackage(fset *token.FileSet, imp types.Importer, p *listedPackage) (*Loaded, error) {
+// normalizePath strips the " [pkg.test]" disambiguation suffix go list
+// appends to test-variant import paths.
+func normalizePath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// checkPackage parses and type-checks one listed package. Each package gets
+// its own importer so that its ImportMap (which redirects imports of the
+// package under test to the test-augmented variant's export data) cannot
+// leak into other packages through the importer's cache.
+func checkPackage(fset *token.FileSet, exports map[string]string, p *listedPackage) (*Loaded, error) {
 	files := make([]*ast.File, 0, len(p.GoFiles))
 	for _, name := range p.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
@@ -105,14 +125,26 @@ func checkPackage(fset *token.FileSet, imp types.Importer, p *listedPackage) (*L
 		}
 		files = append(files, f)
 	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := p.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
 	info := NewTypesInfo()
 	conf := types.Config{Importer: imp}
-	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	path := normalizePath(p.ImportPath)
+	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
 	}
 	return &Loaded{
-		ImportPath: p.ImportPath,
+		ImportPath: path,
 		Fset:       fset,
 		Files:      files,
 		Pkg:        pkg,

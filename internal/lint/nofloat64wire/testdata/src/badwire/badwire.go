@@ -1,0 +1,8 @@
+// Package badwire tags itself as a wire boundary without being in the
+// sanctioned list: self-granted laundering licenses are findings.
+//
+//soda:wire-boundary
+package badwire // want `package badwire carries //soda:wire-boundary but is not in the sanctioned wire-boundary list`
+
+// Sink consumes a raw number.
+func Sink(x float64) float64 { return x }

@@ -1,0 +1,95 @@
+// Package core is the nofloat64wire fixture: a controller-side package that
+// launders unit values through float64 in both sanctioned and unsanctioned
+// directions.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"proto"
+	"sink"
+	"units"
+)
+
+// LocalState is an in-package struct with a raw float64 field: in-package
+// laundering is allowed, the unit is one screen away.
+type LocalState struct {
+	BufferSeconds float64
+}
+
+// BadCall ships a laundered unit into a foreign package as a call argument.
+func BadCall(buf units.Seconds) float64 {
+	return sink.Consume(float64(buf)) // want `float64\(Seconds\) crosses into package sink, which is not a wire boundary`
+}
+
+// BadVariadicCall hits the same rule through a variadic parameter.
+func BadVariadicCall(buf units.Seconds, rate units.Mbps) int {
+	return sink.ConsumeMany(1.5, float64(rate)) // want `float64\(Mbps\) crosses into package sink, which is not a wire boundary`
+}
+
+// BadCompositeLit stores a laundered unit into a foreign struct literal.
+func BadCompositeLit(buf units.Seconds) sink.Config {
+	return sink.Config{
+		TimeoutSeconds: float64(buf), // want `float64\(Seconds\) crosses into sink\.Config, which is not a wire boundary`
+		Label:          "ok",
+	}
+}
+
+// BadFieldAssign writes a laundered unit into a foreign field.
+func BadFieldAssign(cfg *sink.Config, buf units.Seconds) {
+	cfg.TimeoutSeconds = float64(buf) // want `float64\(Seconds\) assigned to sink field TimeoutSeconds, which is not a wire boundary`
+}
+
+// GoodWireCall launders at the sanctioned boundary: proto is a tagged wire
+// package, the other end is a byte format.
+func GoodWireCall(seg units.Seconds, rate units.Mbps) proto.Manifest {
+	return proto.Encode(float64(seg), float64(rate))
+}
+
+// GoodWireLiteral fills a wire struct directly.
+func GoodWireLiteral(seg units.Seconds) proto.Manifest {
+	m := proto.Manifest{SegmentSeconds: float64(seg)}
+	m.RateMbps = float64(units.Mbps(6))
+	return m
+}
+
+// GoodMath uses package math on a laundered unit: dimensionless numerics is
+// math's whole job.
+func GoodMath(buf units.Seconds) float64 {
+	return math.Abs(float64(buf))
+}
+
+// GoodUnitsHelper calls back into the units package.
+func GoodUnitsHelper(buf units.Seconds) float64 {
+	return units.Clamp(float64(buf))
+}
+
+// GoodInterfaceParam formats a laundered unit: interface-typed parameters
+// consume values reflectively, no quantity arithmetic on the far side.
+func GoodInterfaceParam(buf units.Seconds) string {
+	fmt.Sprintln(float64(buf))
+	return sink.Describe(float64(buf))
+}
+
+// GoodInPackage keeps laundering local: same-package calls, literals and
+// assignments are allowed.
+func GoodInPackage(buf units.Seconds) LocalState {
+	st := LocalState{BufferSeconds: float64(buf)}
+	st.BufferSeconds = float64(buf) + 1
+	consumeLocal(float64(buf))
+	return st
+}
+
+func consumeLocal(x float64) float64 { return x }
+
+// GoodDerived passes derived dimensionless arithmetic, not a bare laundered
+// unit: ratios and products are new quantities, out of scope.
+func GoodDerived(buf units.Seconds, total units.Seconds) float64 {
+	return sink.Consume(float64(buf) / float64(total))
+}
+
+// GoodBuiltin appends into a local slice: builtins have no package.
+func GoodBuiltin(buf units.Seconds, xs []float64) []float64 {
+	return append(xs, float64(buf))
+}

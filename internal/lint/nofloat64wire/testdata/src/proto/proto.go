@@ -1,0 +1,18 @@
+// Package proto is a fixture wire-boundary package: its base name is in the
+// sanctioned list and its package comment carries the directive, so
+// float64-laundered units may legitimately flow into (and inside) it.
+//
+//soda:wire-boundary
+package proto
+
+// Manifest mirrors a wire struct: raw float64 fields, because the other end
+// of this package is a byte format.
+type Manifest struct {
+	SegmentSeconds float64
+	RateMbps       float64
+}
+
+// Encode consumes raw numbers at the boundary.
+func Encode(segmentSeconds, rateMbps float64) Manifest {
+	return Manifest{SegmentSeconds: segmentSeconds, RateMbps: rateMbps}
+}

@@ -1,0 +1,18 @@
+// Package sink is an ordinary non-wire fixture package: float64-laundered
+// unit values must not cross into it.
+package sink
+
+// Config mirrors a foreign configuration struct with raw float64 fields.
+type Config struct {
+	TimeoutSeconds float64
+	Label          string
+}
+
+// Consume takes a raw float64.
+func Consume(x float64) float64 { return x }
+
+// ConsumeMany is variadic.
+func ConsumeMany(xs ...float64) int { return len(xs) }
+
+// Describe takes an interface: fmt-style reflective consumption.
+func Describe(v any) string { _ = v; return "" }

@@ -1,0 +1,6 @@
+// Package trace is a fixture wire-boundary package whose package comment
+// forgot the directive: the tag set and the allow list must not drift.
+package trace // want `package trace is a sanctioned wire boundary but its package comment lacks the //soda:wire-boundary directive`
+
+// ParseBandwidth consumes a raw number at the boundary.
+func ParseBandwidth(mbps float64) float64 { return mbps }

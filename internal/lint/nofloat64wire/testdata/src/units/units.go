@@ -1,0 +1,22 @@
+// Package units is a fixture mirror of repro/internal/units: its import
+// path ends in "units", so its defined float64 types are unit types to the
+// nofloat64wire analyzer.
+package units
+
+// Seconds is a duration in seconds.
+type Seconds float64
+
+// Mbps is a rate in megabits per second.
+type Mbps float64
+
+// Megabits is a size in megabits.
+type Megabits float64
+
+// Clamp is a units-package helper taking a raw float64: calls into the
+// units package are exempt destinations.
+func Clamp(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
+}

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/trace"
+
+	"repro/internal/units"
 )
 
 func TestShaperValidation(t *testing.T) {
@@ -22,7 +24,7 @@ func TestShaperValidation(t *testing.T) {
 
 func TestShaperPacesToTraceRate(t *testing.T) {
 	// 8 Mb/s trace: 1 MB (8 Mb) should take about one second.
-	s, err := NewShaper(trace.Constant(8, 100), 1)
+	s, err := NewShaper(trace.Constant(units.Mbps(8), units.Seconds(100)), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func TestShaperPacesToTraceRate(t *testing.T) {
 
 func TestShaperTimeScale(t *testing.T) {
 	// Same transfer with 10x compression should take about 0.1 s.
-	s, err := NewShaper(trace.Constant(8, 100), 10)
+	s, err := NewShaper(trace.Constant(units.Mbps(8), units.Seconds(100)), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +64,7 @@ func TestShaperTimeScale(t *testing.T) {
 }
 
 func TestStreamTime(t *testing.T) {
-	s, _ := NewShaper(trace.Constant(8, 100), 5)
+	s, _ := NewShaper(trace.Constant(units.Mbps(8), units.Seconds(100)), 5)
 	if got := s.StreamTime(time.Now()); got != 0 {
 		t.Errorf("stream time before start = %v", got)
 	}
@@ -79,7 +81,7 @@ func TestStreamTime(t *testing.T) {
 }
 
 func TestWaitZeroBytes(t *testing.T) {
-	s, _ := NewShaper(trace.Constant(8, 100), 1)
+	s, _ := NewShaper(trace.Constant(units.Mbps(8), units.Seconds(100)), 1)
 	if d := s.Wait(0); d != 0 {
 		t.Errorf("Wait(0) slept %v", d)
 	}
@@ -99,7 +101,7 @@ func TestShapedConnEndToEnd(t *testing.T) {
 	defer ln.Close()
 
 	shaped := NewListener(ln, func() (*Shaper, error) {
-		return NewShaper(trace.Constant(16, 1000), 4)
+		return NewShaper(trace.Constant(units.Mbps(16), units.Seconds(1000)), 4)
 	})
 
 	payload := bytes.Repeat([]byte{0xAB}, 512*1024)
@@ -169,7 +171,7 @@ func TestListenerFactoryErrorClosesConn(t *testing.T) {
 func TestSharedShaperSplitsCapacity(t *testing.T) {
 	// Two concurrent senders through one 16 Mb/s shaper: together they are
 	// paced at the link rate, and neither starves (rough fairness).
-	s, err := NewShaper(trace.Constant(16, 1000), 1)
+	s, err := NewShaper(trace.Constant(units.Mbps(16), units.Seconds(1000)), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +214,7 @@ func TestSharedListenerContention(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	shaper, err := NewShaper(trace.Constant(32, 1000), 4) // 128 Mb/s wall
+	shaper, err := NewShaper(trace.Constant(units.Mbps(32), units.Seconds(1000)), 4) // 128 Mb/s wall
 	if err != nil {
 		t.Fatal(err)
 	}

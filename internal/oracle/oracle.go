@@ -178,7 +178,7 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		if over := buffer + l - cfg.BufferCap; over > 1e-9 {
 			clock += over
 			buffer -= over
-			tally.AddPlayback(float64(over))
+			tally.AddPlayback(over)
 		}
 		idx := prev
 		if prev < 0 {
@@ -192,14 +192,14 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 		clock += dl
 		if !playing {
-			tally.AddStartup(float64(dl))
+			tally.AddStartup(dl)
 			playing = true
 		} else {
 			played := units.Seconds(math.Min(float64(dl), float64(buffer)))
 			buffer -= played
-			tally.AddPlayback(float64(played))
+			tally.AddPlayback(played)
 			if stall := dl - played; stall > 1e-12 {
-				tally.AddRebuffer(float64(stall))
+				tally.AddRebuffer(stall)
 			}
 		}
 		buffer += l
@@ -207,6 +207,6 @@ func Solve(tr *trace.Trace, cfg Config) (Result, error) {
 		prev = rung
 		rungs = append(rungs, rung)
 	}
-	tally.AddPlayback(float64(buffer))
+	tally.AddPlayback(buffer)
 	return Result{Rungs: rungs, Metrics: tally.Finalize(weights)}, nil
 }

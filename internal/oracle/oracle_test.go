@@ -12,17 +12,19 @@ import (
 
 	_ "repro/internal/baseline"
 	_ "repro/internal/core"
+
+	"repro/internal/units"
 )
 
 func TestOracleValidation(t *testing.T) {
-	tr := trace.Constant(10, 100)
-	if _, err := Solve(tr, Config{BufferCap: 20}); err == nil {
+	tr := trace.Constant(units.Mbps(10), units.Seconds(100))
+	if _, err := Solve(tr, Config{BufferCap: units.Seconds(20)}); err == nil {
 		t.Error("empty ladder accepted")
 	}
-	if _, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: 1}); err == nil {
+	if _, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: units.Seconds(1)}); err == nil {
 		t.Error("tiny cap accepted")
 	}
-	if _, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: 20, SessionSeconds: 0.5}); err == nil {
+	if _, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: units.Seconds(20), SessionSeconds: units.Seconds(0.5)}); err == nil {
 		t.Error("sub-segment session accepted")
 	}
 }
@@ -35,8 +37,8 @@ func TestOracleConstantLinkIsObvious(t *testing.T) {
 	// oracle finding this duty-cycle is evidence it optimizes the metric as
 	// defined (and quantifies why the paper argues the switching term
 	// under-prices real viewer annoyance, Fig. 1).
-	tr := trace.Constant(9, 400)
-	res, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: 20, SessionSeconds: 300})
+	tr := trace.Constant(units.Mbps(9), units.Seconds(400))
+	res, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: units.Seconds(20), SessionSeconds: units.Seconds(300)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,13 +62,13 @@ func TestOracleConstantLinkIsObvious(t *testing.T) {
 func TestOracleUpperBoundsControllers(t *testing.T) {
 	// The clairvoyant score must (weakly) dominate every online controller
 	// on the same sessions.
-	ds, err := tracegen.Generate(tracegen.FourG(), 6, 300, 5)
+	ds, err := tracegen.Generate(tracegen.FourG(), 6, units.Seconds(300), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ladder := video.Mobile()
 	for _, tr := range ds.Sessions {
-		oracleRes, err := Solve(tr, Config{Ladder: ladder, BufferCap: 20, SessionSeconds: 300})
+		oracleRes, err := Solve(tr, Config{Ladder: ladder, BufferCap: units.Seconds(20), SessionSeconds: units.Seconds(300)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,10 +79,10 @@ func TestOracleUpperBoundsControllers(t *testing.T) {
 			}
 			online, err := sim.Run(tr, sim.Config{
 				Ladder:         ladder,
-				BufferCap:      20,
-				SessionSeconds: 300,
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: units.Seconds(300),
 				Controller:     ctrl,
-				Predictor:      predictor.NewEMA(4),
+				Predictor:      predictor.NewEMA(units.Seconds(4)),
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -99,8 +101,8 @@ func TestOracleUpperBoundsControllers(t *testing.T) {
 func TestOracleAdaptsThroughFade(t *testing.T) {
 	// Comfortable then collapsed bandwidth: the oracle must pre-position
 	// (switch down before or at the fade) and avoid almost all stalls.
-	tr := trace.New([]trace.Sample{{Duration: 60, Mbps: 12}, {Duration: 120, Mbps: 1.8}})
-	res, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: 20})
+	tr := trace.New([]trace.Sample{{Duration: units.Seconds(60), Mbps: units.Mbps(12)}, {Duration: units.Seconds(120), Mbps: units.Mbps(1.8)}})
+	res, err := Solve(tr, Config{Ladder: video.Mobile(), BufferCap: units.Seconds(20)})
 	if err != nil {
 		t.Fatal(err)
 	}

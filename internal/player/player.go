@@ -42,8 +42,8 @@ type Config struct {
 	Controller abr.Controller
 	// Predictor forecasts throughput. Required.
 	Predictor predictor.Predictor
-	// BufferCap is the maximum buffer in seconds (15 s in Puffer, §6.2).
-	BufferCap float64
+	// BufferCap is the maximum buffer (15 s in Puffer, §6.2).
+	BufferCap units.Seconds
 	// TimeScale is the stream-time compression factor shared with the
 	// server's shaper; >= 1. Defaults to 1.
 	TimeScale float64
@@ -112,19 +112,19 @@ func Play(cfg Config) (Result, error) {
 	var (
 		tally      qoe.SessionTally
 		result     Result
-		buffer     float64
+		buffer     units.Seconds
 		playing    bool
 		prevRung   = abr.NoRung
-		lastMbps   float64
+		lastMbps   units.Mbps
 		wallStart  = time.Now()
-		lastStream = 0.0
+		lastStream units.Seconds
 	)
 	result.Manifest = manifest
-	streamNow := func() float64 { return time.Since(wallStart).Seconds() * scale }
+	streamNow := func() units.Seconds { return units.Seconds(time.Since(wallStart).Seconds() * scale) }
 
 	// settle advances the accounting to the current stream time: the buffer
 	// drains in real (scaled) time while the player does anything else.
-	settle := func() float64 {
+	settle := func() units.Seconds {
 		now := streamNow()
 		dt := now - lastStream
 		lastStream = now
@@ -146,13 +146,13 @@ func Play(cfg Config) (Result, error) {
 		}
 		return now
 	}
-	sleepStream := func(streamSec float64) {
-		if streamSec > 0 {
-			time.Sleep(time.Duration(streamSec / scale * float64(time.Second)))
+	sleepStream := func(d units.Seconds) {
+		if d > 0 {
+			time.Sleep(time.Duration(float64(d) / scale * float64(time.Second)))
 		}
 	}
 
-	l := float64(ladder.SegmentSeconds)
+	l := ladder.SegmentSeconds
 	for seg := 0; seg < total; seg++ {
 		now := settle()
 		// Idle at the buffer cap.
@@ -162,19 +162,21 @@ func Play(cfg Config) (Result, error) {
 		}
 
 		ctx := &abr.Context{
-			Now:                now,
-			Buffer:             buffer,
-			BufferCap:          cfg.BufferCap,
-			PrevRung:           prevRung,
-			Ladder:             ladder,
-			SegmentIndex:       seg,
-			TotalSegments:      total,
-			LastThroughputMbps: lastMbps,
+			Now:            now,
+			Buffer:         buffer,
+			BufferCap:      cfg.BufferCap,
+			PrevRung:       prevRung,
+			Ladder:         ladder,
+			SegmentIndex:   seg,
+			TotalSegments:  total,
+			LastThroughput: lastMbps,
 		}
 		capturedNow := now
-		ctx.Predict = func(h float64) float64 { return cfg.Predictor.Predict(capturedNow, h) }
+		ctx.Predict = func(h units.Seconds) units.Mbps { return cfg.Predictor.Predict(capturedNow, h) }
 		if quantile != nil {
-			ctx.PredictQuantile = func(q, h float64) float64 { return quantile.Quantile(capturedNow, h, q) }
+			ctx.PredictQuantile = func(q float64, h units.Seconds) units.Mbps {
+				return quantile.Quantile(capturedNow, h, q)
+			}
 		}
 		decision := cfg.Controller.Decide(ctx)
 		if decision.Rung == abr.NoRung {
@@ -206,8 +208,8 @@ func Play(cfg Config) (Result, error) {
 		if streamElapsed <= 0 {
 			streamElapsed = 1e-6
 		}
-		lastMbps = float64(nBytes) * 8 / 1e6 / streamElapsed
-		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: streamElapsed, EndTime: lastStream})
+		lastMbps = units.Mbps(float64(nBytes) * 8 / 1e6 / streamElapsed)
+		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: units.Seconds(streamElapsed), EndTime: lastStream})
 		tally.AddSegment(rung, utility(rung))
 		prevRung = rung
 	}

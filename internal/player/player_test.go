@@ -12,6 +12,8 @@ import (
 
 	_ "repro/internal/baseline"
 	_ "repro/internal/core"
+
+	"repro/internal/units"
 )
 
 type fixedController struct{ rung int }
@@ -24,13 +26,13 @@ func TestPlayValidation(t *testing.T) {
 	if _, err := Play(Config{}); err == nil {
 		t.Error("nil controller accepted")
 	}
-	if _, err := Play(Config{Controller: &fixedController{}, Predictor: predictor.NewEMA(4)}); err == nil {
+	if _, err := Play(Config{Controller: &fixedController{}, Predictor: predictor.NewEMA(units.Seconds(4))}); err == nil {
 		t.Error("zero buffer cap accepted")
 	}
 	if _, err := Play(Config{
 		Controller: &fixedController{},
-		Predictor:  predictor.NewEMA(4),
-		BufferCap:  15,
+		Predictor:  predictor.NewEMA(units.Seconds(4)),
+		BufferCap:  units.Seconds(15),
 		Addr:       "127.0.0.1:1",
 	}); err == nil {
 		t.Error("dead server address accepted")
@@ -41,7 +43,7 @@ func TestRunSessionValidation(t *testing.T) {
 	if _, err := RunSession(SessionSpec{}); err == nil {
 		t.Error("empty spec accepted")
 	}
-	if _, err := RunSession(SessionSpec{Trace: trace.Constant(5, 60), Ladder: video.Prototype()}); err == nil {
+	if _, err := RunSession(SessionSpec{Trace: trace.Constant(units.Mbps(5), units.Seconds(60)), Ladder: video.Prototype()}); err == nil {
 		t.Error("zero segments accepted")
 	}
 }
@@ -51,14 +53,14 @@ func TestPrototypeSteadySession(t *testing.T) {
 	// stalls and full utility, over real TCP at 20x compression
 	// (30 stream-minutes in ~hundreds of wall milliseconds of transfer).
 	res, err := RunSession(SessionSpec{
-		Trace:         trace.Constant(5, 4000),
+		Trace:         trace.Constant(units.Mbps(5), units.Seconds(4000)),
 		Ladder:        video.Prototype(),
 		TotalSegments: 40,
 		TimeScale:     20,
 		Player: Config{
 			Controller: &fixedController{rung: 4},
-			Predictor:  predictor.NewEMA(4),
-			BufferCap:  15,
+			Predictor:  predictor.NewEMA(units.Seconds(4)),
+			BufferCap:  units.Seconds(15),
 		},
 	})
 	if err != nil {
@@ -85,14 +87,14 @@ func TestPrototypeUnderprovisionedStalls(t *testing.T) {
 	// 0.9 Mb/s link, fixed 2 Mb/s rung: downloads take ~2.2x real time, so
 	// the session must accumulate substantial rebuffering.
 	res, err := RunSession(SessionSpec{
-		Trace:         trace.Constant(0.9, 4000),
+		Trace:         trace.Constant(units.Mbps(0.9), units.Seconds(4000)),
 		Ladder:        video.Prototype(),
 		TotalSegments: 15,
 		TimeScale:     25,
 		Player: Config{
 			Controller: &fixedController{rung: 4},
-			Predictor:  predictor.NewEMA(4),
-			BufferCap:  15,
+			Predictor:  predictor.NewEMA(units.Seconds(4)),
+			BufferCap:  units.Seconds(15),
 		},
 	})
 	if err != nil {
@@ -106,7 +108,7 @@ func TestPrototypeUnderprovisionedStalls(t *testing.T) {
 func TestPrototypeSODAAdapts(t *testing.T) {
 	// A link that collapses from 3 Mb/s to 0.5 Mb/s mid-session: SODA must
 	// move down the ladder rather than stalling through the fade.
-	tr := trace.New([]trace.Sample{{Duration: 40, Mbps: 3}, {Duration: 120, Mbps: 0.5}})
+	tr := trace.New([]trace.Sample{{Duration: units.Seconds(40), Mbps: units.Mbps(3)}, {Duration: units.Seconds(120), Mbps: units.Mbps(0.5)}})
 	ctrl, err := abr.New("soda", video.Prototype())
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +121,7 @@ func TestPrototypeSODAAdapts(t *testing.T) {
 		Player: Config{
 			Controller: ctrl,
 			Predictor:  predictor.NewSafeEMA(),
-			BufferCap:  15,
+			BufferCap:  units.Seconds(15),
 		},
 	})
 	if err != nil {
@@ -142,14 +144,14 @@ func TestPrototypeSODAAdapts(t *testing.T) {
 
 func TestPlayRespectsMaxSegments(t *testing.T) {
 	res, err := RunSession(SessionSpec{
-		Trace:         trace.Constant(5, 1000),
+		Trace:         trace.Constant(units.Mbps(5), units.Seconds(1000)),
 		Ladder:        video.Prototype(),
 		TotalSegments: 50,
 		TimeScale:     25,
 		Player: Config{
 			Controller:  &fixedController{rung: 0},
-			Predictor:   predictor.NewEMA(4),
-			BufferCap:   15,
+			Predictor:   predictor.NewEMA(units.Seconds(4)),
+			BufferCap:   units.Seconds(15),
 			MaxSegments: 8,
 			DialTimeout: 30 * time.Second,
 		},
@@ -174,11 +176,11 @@ func TestSharedSessionsFairness(t *testing.T) {
 		return Config{
 			Controller: ctrl,
 			Predictor:  predictor.NewSafeEMA(),
-			BufferCap:  15,
+			BufferCap:  units.Seconds(15),
 		}
 	}
 	results, err := RunSharedSessions(SharedSessionSpec{
-		Trace:         trace.Constant(3, 4000),
+		Trace:         trace.Constant(units.Mbps(3), units.Seconds(4000)),
 		Ladder:        video.Prototype(),
 		TotalSegments: 40,
 		TimeScale:     15,
@@ -229,7 +231,7 @@ func TestSharedSessionsValidation(t *testing.T) {
 		t.Error("empty spec accepted")
 	}
 	if _, err := RunSharedSessions(SharedSessionSpec{
-		Trace:         trace.Constant(3, 100),
+		Trace:         trace.Constant(units.Mbps(3), units.Seconds(100)),
 		Ladder:        video.Prototype(),
 		TotalSegments: 10,
 	}); err == nil {

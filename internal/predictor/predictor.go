@@ -12,9 +12,11 @@
 //     stochastic predictor (§6.2.2; see DESIGN.md substitutions).
 //
 // Predictors observe per-download throughput samples and answer point (and
-// optionally quantile) predictions for a future horizon. SODA deliberately
-// works with simple predictors (§5.2): there is no systematic-bias
-// correction, no learned model, no device-specific tuning.
+// optionally quantile) predictions for a future horizon. All quantities are
+// expressed in the internal/units types, so a predictor cannot silently mix
+// seconds and Mb/s. SODA deliberately works with simple predictors (§5.2):
+// there is no systematic-bias correction, no learned model, no
+// device-specific tuning.
 package predictor
 
 import (
@@ -29,18 +31,18 @@ import (
 // Sample is one observed download: mean throughput over a duration that
 // ended at the given stream time.
 type Sample struct {
-	Mbps     float64
-	Duration float64 // seconds the observation spanned
-	EndTime  float64 // stream time at which the observation completed
+	Mbps     units.Mbps
+	Duration units.Seconds // span of the observation
+	EndTime  units.Seconds // stream time at which the observation completed
 }
 
 // Predictor forecasts near-future throughput.
 type Predictor interface {
 	// Observe folds a completed download measurement into the predictor.
 	Observe(s Sample)
-	// Predict returns the predicted mean throughput in Mbps over
-	// [now, now+horizon]. History-based predictors ignore both arguments.
-	Predict(now, horizon float64) float64
+	// Predict returns the predicted mean throughput over [now, now+horizon].
+	// History-based predictors ignore both arguments.
+	Predict(now, horizon units.Seconds) units.Mbps
 	// Reset clears all history.
 	Reset()
 }
@@ -50,7 +52,7 @@ type Predictor interface {
 type QuantilePredictor interface {
 	Predictor
 	// Quantile returns the q-th quantile (0..1) of predicted throughput.
-	Quantile(now, horizon, q float64) float64
+	Quantile(now, horizon units.Seconds, q float64) units.Mbps
 }
 
 // EMA is an exponential moving average over throughput samples, the default
@@ -58,18 +60,18 @@ type QuantilePredictor interface {
 // simulations (§6.1.1). The smoothing weight of each observation scales with
 // its duration via the configured half-life.
 type EMA struct {
-	HalfLifeSeconds float64
-	estimate        float64
-	weight          float64
+	HalfLife units.Seconds
+	estimate units.Mbps
+	weight   float64
 }
 
-// NewEMA returns an EMA with the given half-life in seconds. dash.js uses a
-// fast/slow half-life pair of 3 s and 8 s; 4 s is a reasonable single value.
-func NewEMA(halfLife float64) *EMA {
+// NewEMA returns an EMA with the given half-life. dash.js uses a fast/slow
+// half-life pair of 3 s and 8 s; 4 s is a reasonable single value.
+func NewEMA(halfLife units.Seconds) *EMA {
 	if halfLife <= 0 {
 		panic("predictor: non-positive EMA half-life")
 	}
-	return &EMA{HalfLifeSeconds: halfLife}
+	return &EMA{HalfLife: halfLife}
 }
 
 // Observe implements Predictor.
@@ -77,18 +79,19 @@ func (e *EMA) Observe(s Sample) {
 	if s.Duration <= 0 || s.Mbps < 0 {
 		return
 	}
-	alpha := math.Pow(0.5, s.Duration/e.HalfLifeSeconds)
-	e.estimate = alpha*e.estimate + (1-alpha)*s.Mbps
+	alpha := math.Pow(0.5, float64(s.Duration/e.HalfLife))
+	e.estimate = e.estimate.Scale(alpha) + s.Mbps.Scale(1-alpha)
 	e.weight = alpha*e.weight + (1 - alpha)
 }
 
 // Predict implements Predictor. Before any observation it returns 0.
-func (e *EMA) Predict(_, _ float64) float64 {
+func (e *EMA) Predict(_, _ units.Seconds) units.Mbps {
 	if e.weight == 0 {
 		return 0
 	}
-	// Bias-corrected estimate (zero-initialization correction).
-	return e.estimate / e.weight
+	// Bias-corrected estimate (zero-initialization correction). Plain
+	// division, not Scale(1/w): the reciprocal would round differently.
+	return units.Mbps(float64(e.estimate) / e.weight)
 }
 
 // Reset implements Predictor.
@@ -103,12 +106,12 @@ func (e *EMA) Reset() { e.estimate, e.weight = 0, 0 }
 type SafeEMA struct {
 	fast *EMA
 	slow *EMA
-	last float64
+	last units.Mbps
 }
 
 // NewSafeEMA returns a SafeEMA with the dash.js half-life pair (3 s, 8 s).
 func NewSafeEMA() *SafeEMA {
-	return &SafeEMA{fast: NewEMA(3), slow: NewEMA(8)}
+	return &SafeEMA{fast: NewEMA(units.Seconds(3)), slow: NewEMA(units.Seconds(8))}
 }
 
 // Observe implements Predictor.
@@ -122,8 +125,8 @@ func (s *SafeEMA) Observe(sm Sample) {
 }
 
 // Predict implements Predictor.
-func (s *SafeEMA) Predict(now, horizon float64) float64 {
-	est := math.Min(s.fast.Predict(now, horizon), s.slow.Predict(now, horizon))
+func (s *SafeEMA) Predict(now, horizon units.Seconds) units.Mbps {
+	est := min(s.fast.Predict(now, horizon), s.slow.Predict(now, horizon))
 	if s.last > 0 && s.last < est {
 		// A fresh sample below the averages is the earliest possible signal
 		// of a collapse; trust it.
@@ -143,7 +146,7 @@ func (s *SafeEMA) Reset() {
 // average predictor" profiled in Figure 7.
 type MovingAverage struct {
 	Window  int
-	samples []float64
+	samples []units.Mbps
 }
 
 // NewMovingAverage returns a MovingAverage over the last window samples.
@@ -166,34 +169,34 @@ func (m *MovingAverage) Observe(s Sample) {
 }
 
 // Predict implements Predictor.
-func (m *MovingAverage) Predict(_, _ float64) float64 {
+func (m *MovingAverage) Predict(_, _ units.Seconds) units.Mbps {
 	if len(m.samples) == 0 {
 		return 0
 	}
-	sum := 0.0
+	var sum units.Mbps
 	for _, x := range m.samples {
 		sum += x
 	}
-	return sum / float64(len(m.samples))
+	return units.Mbps(float64(sum) / float64(len(m.samples)))
 }
 
 // Reset implements Predictor.
 func (m *MovingAverage) Reset() { m.samples = m.samples[:0] }
 
 // SlidingWindow predicts the duration-weighted mean throughput over the most
-// recent WindowSeconds of observations: the "simple sliding window-based
+// recent Window of observations: the "simple sliding window-based
 // throughput predictor" SODA used on all production platforms (§6.3).
 type SlidingWindow struct {
-	WindowSeconds float64
-	samples       []Sample
+	Window  units.Seconds
+	samples []Sample
 }
 
-// NewSlidingWindow returns a SlidingWindow over the trailing window seconds.
-func NewSlidingWindow(windowSeconds float64) *SlidingWindow {
-	if windowSeconds <= 0 {
+// NewSlidingWindow returns a SlidingWindow over the trailing window.
+func NewSlidingWindow(window units.Seconds) *SlidingWindow {
+	if window <= 0 {
 		panic("predictor: non-positive sliding window")
 	}
-	return &SlidingWindow{WindowSeconds: windowSeconds}
+	return &SlidingWindow{Window: window}
 }
 
 // Observe implements Predictor.
@@ -202,7 +205,7 @@ func (w *SlidingWindow) Observe(s Sample) {
 		return
 	}
 	w.samples = append(w.samples, s)
-	cutoff := s.EndTime - w.WindowSeconds
+	cutoff := s.EndTime - w.Window
 	i := 0
 	for i < len(w.samples) && w.samples[i].EndTime < cutoff {
 		i++
@@ -211,16 +214,17 @@ func (w *SlidingWindow) Observe(s Sample) {
 }
 
 // Predict implements Predictor.
-func (w *SlidingWindow) Predict(_, _ float64) float64 {
-	var num, den float64
+func (w *SlidingWindow) Predict(_, _ units.Seconds) units.Mbps {
+	var num units.Megabits
+	var den units.Seconds
 	for _, s := range w.samples {
-		num += s.Mbps * s.Duration
+		num += s.Mbps.MegabitsIn(s.Duration)
 		den += s.Duration
 	}
 	if den == 0 {
 		return 0
 	}
-	return num / den
+	return num.Over(den)
 }
 
 // Reset implements Predictor.
@@ -230,7 +234,7 @@ func (w *SlidingWindow) Reset() { w.samples = w.samples[:0] }
 // predictor proposed for MPC by Yin et al. (robust to outlier spikes).
 type HarmonicMean struct {
 	Window  int
-	samples []float64
+	samples []units.Mbps
 }
 
 // NewHarmonicMean returns a HarmonicMean over the last window samples.
@@ -253,15 +257,15 @@ func (h *HarmonicMean) Observe(s Sample) {
 }
 
 // Predict implements Predictor.
-func (h *HarmonicMean) Predict(_, _ float64) float64 {
+func (h *HarmonicMean) Predict(_, _ units.Seconds) units.Mbps {
 	if len(h.samples) == 0 {
 		return 0
 	}
-	inv := 0.0
+	inv := 0.0 // accumulated in 1/Mbps, a dimension units does not name
 	for _, x := range h.samples {
-		inv += 1 / x
+		inv += 1 / float64(x)
 	}
-	return float64(len(h.samples)) / inv
+	return units.Mbps(float64(len(h.samples)) / inv)
 }
 
 // Reset implements Predictor.
@@ -278,11 +282,11 @@ type Perfect struct {
 func (p *Perfect) Observe(Sample) {}
 
 // Predict implements Predictor.
-func (p *Perfect) Predict(now, horizon float64) float64 {
+func (p *Perfect) Predict(now, horizon units.Seconds) units.Mbps {
 	if horizon <= 0 {
-		horizon = 1e-3
+		horizon = units.Seconds(1e-3)
 	}
-	return float64(p.Trace.MeanOver(units.Seconds(now), units.Seconds(horizon)))
+	return p.Trace.MeanOver(now, horizon)
 }
 
 // Reset implements Predictor.
@@ -307,7 +311,7 @@ func NewNoisy(base Predictor, noiseLevel float64, seed uint64) *Noisy {
 func (n *Noisy) Observe(s Sample) { n.Base.Observe(s) }
 
 // Predict implements Predictor.
-func (n *Noisy) Predict(now, horizon float64) float64 {
+func (n *Noisy) Predict(now, horizon units.Seconds) units.Mbps {
 	base := n.Base.Predict(now, horizon)
 	if base <= 0 {
 		return base
@@ -316,7 +320,7 @@ func (n *Noisy) Predict(now, horizon float64) float64 {
 	if factor < 0.05 {
 		factor = 0.05
 	}
-	return base * factor
+	return base.Scale(factor)
 }
 
 // Reset implements Predictor.
@@ -329,7 +333,7 @@ func (n *Noisy) Reset() { n.Base.Reset() }
 // which captures the same "plan against uncertainty" capability.
 type EmpiricalQuantile struct {
 	Window  int
-	samples []float64
+	samples []units.Mbps
 }
 
 // NewEmpiricalQuantile returns an EmpiricalQuantile over the last window
@@ -353,18 +357,18 @@ func (e *EmpiricalQuantile) Observe(s Sample) {
 }
 
 // Predict implements Predictor, returning the median.
-func (e *EmpiricalQuantile) Predict(now, horizon float64) float64 {
+func (e *EmpiricalQuantile) Predict(now, horizon units.Seconds) units.Mbps {
 	return e.Quantile(now, horizon, 0.5)
 }
 
 // Quantile implements QuantilePredictor.
-func (e *EmpiricalQuantile) Quantile(_, _, q float64) float64 {
+func (e *EmpiricalQuantile) Quantile(_, _ units.Seconds, q float64) units.Mbps {
 	if len(e.samples) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(e.samples))
+	sorted := make([]units.Mbps, len(e.samples))
 	copy(sorted, e.samples)
-	sort.Float64s(sorted)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -377,7 +381,7 @@ func (e *EmpiricalQuantile) Quantile(_, _, q float64) float64 {
 	if lo+1 >= len(sorted) {
 		return sorted[lo]
 	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return sorted[lo].Scale(1-frac) + sorted[lo+1].Scale(frac)
 }
 
 // Reset implements Predictor.

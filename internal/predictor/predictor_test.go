@@ -7,36 +7,39 @@ import (
 	"testing/quick"
 
 	"repro/internal/trace"
+	"repro/internal/units"
 )
 
-func obs(mbps float64) Sample { return Sample{Mbps: mbps, Duration: 2, EndTime: 0} }
+func obs(mbps float64) Sample {
+	return Sample{Mbps: units.Mbps(mbps), Duration: units.Seconds(2), EndTime: units.Seconds(0)}
+}
 
 func TestEMAConvergesToConstant(t *testing.T) {
-	e := NewEMA(4)
+	e := NewEMA(units.Seconds(4))
 	for i := 0; i < 50; i++ {
 		e.Observe(obs(10))
 	}
-	if got := e.Predict(0, 2); math.Abs(got-10) > 1e-6 {
+	if got := e.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-10)) > 1e-6 {
 		t.Errorf("EMA of constant stream = %v, want 10", got)
 	}
 }
 
 func TestEMABiasCorrectionFirstSample(t *testing.T) {
-	e := NewEMA(4)
+	e := NewEMA(units.Seconds(4))
 	e.Observe(obs(8))
 	// With bias correction a single observation should predict itself.
-	if got := e.Predict(0, 2); math.Abs(got-8) > 1e-9 {
+	if got := e.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-8)) > 1e-9 {
 		t.Errorf("EMA after one sample = %v, want 8", got)
 	}
 }
 
 func TestEMAWeighting(t *testing.T) {
-	e := NewEMA(4)
+	e := NewEMA(units.Seconds(4))
 	for i := 0; i < 30; i++ {
 		e.Observe(obs(2))
 	}
 	e.Observe(obs(20))
-	got := e.Predict(0, 2)
+	got := e.Predict(units.Seconds(0), units.Seconds(2))
 	// Newer sample should pull the estimate noticeably above 2 but far
 	// below 20 (half-life 4 s, sample duration 2 s => alpha ~ 0.707).
 	if got < 5 || got > 10 {
@@ -45,113 +48,113 @@ func TestEMAWeighting(t *testing.T) {
 }
 
 func TestEMAEmptyAndReset(t *testing.T) {
-	e := NewEMA(4)
-	if e.Predict(0, 2) != 0 {
+	e := NewEMA(units.Seconds(4))
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("empty EMA should predict 0")
 	}
 	e.Observe(obs(5))
 	e.Reset()
-	if e.Predict(0, 2) != 0 {
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("reset EMA should predict 0")
 	}
-	e.Observe(Sample{Mbps: -1, Duration: 2})
-	e.Observe(Sample{Mbps: 1, Duration: 0})
-	if e.Predict(0, 2) != 0 {
+	e.Observe(Sample{Mbps: units.Mbps(-1), Duration: units.Seconds(2)})
+	e.Observe(Sample{Mbps: units.Mbps(1), Duration: units.Seconds(0)})
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("invalid samples should be ignored")
 	}
 }
 
 func TestMovingAverage(t *testing.T) {
 	m := NewMovingAverage(3)
-	if m.Predict(0, 2) != 0 {
+	if m.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("empty MA should predict 0")
 	}
 	for _, v := range []float64{1, 2, 3, 4, 5} {
 		m.Observe(obs(v))
 	}
-	if got := m.Predict(0, 2); math.Abs(got-4) > 1e-12 {
+	if got := m.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-4)) > 1e-12 {
 		t.Errorf("MA = %v, want mean(3,4,5)=4", got)
 	}
 	m.Reset()
-	if m.Predict(0, 2) != 0 {
+	if m.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("reset MA should predict 0")
 	}
 }
 
 func TestSlidingWindow(t *testing.T) {
-	w := NewSlidingWindow(10)
-	w.Observe(Sample{Mbps: 100, Duration: 2, EndTime: 2})
-	w.Observe(Sample{Mbps: 10, Duration: 2, EndTime: 20})
+	w := NewSlidingWindow(units.Seconds(10))
+	w.Observe(Sample{Mbps: units.Mbps(100), Duration: units.Seconds(2), EndTime: units.Seconds(2)})
+	w.Observe(Sample{Mbps: units.Mbps(10), Duration: units.Seconds(2), EndTime: units.Seconds(20)})
 	// The first observation fell out of the 10 s window ending at t=20.
-	if got := w.Predict(20, 2); math.Abs(got-10) > 1e-12 {
+	if got := w.Predict(units.Seconds(20), units.Seconds(2)); math.Abs(float64(got-10)) > 1e-12 {
 		t.Errorf("sliding window = %v, want 10", got)
 	}
 	// Duration weighting.
 	w.Reset()
-	w.Observe(Sample{Mbps: 4, Duration: 3, EndTime: 5})
-	w.Observe(Sample{Mbps: 10, Duration: 1, EndTime: 6})
+	w.Observe(Sample{Mbps: units.Mbps(4), Duration: units.Seconds(3), EndTime: units.Seconds(5)})
+	w.Observe(Sample{Mbps: units.Mbps(10), Duration: units.Seconds(1), EndTime: units.Seconds(6)})
 	want := (4*3 + 10*1) / 4.0
-	if got := w.Predict(6, 2); math.Abs(got-want) > 1e-12 {
+	if got := w.Predict(units.Seconds(6), units.Seconds(2)); math.Abs(float64(got)-want) > 1e-12 {
 		t.Errorf("weighted sliding window = %v, want %v", got, want)
 	}
 }
 
 func TestHarmonicMean(t *testing.T) {
 	h := NewHarmonicMean(5)
-	if h.Predict(0, 2) != 0 {
+	if h.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("empty harmonic mean should predict 0")
 	}
 	h.Observe(obs(2))
 	h.Observe(obs(8))
 	want := 2 / (1/2.0 + 1/8.0)
-	if got := h.Predict(0, 2); math.Abs(got-want) > 1e-12 {
+	if got := h.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got)-want) > 1e-12 {
 		t.Errorf("harmonic mean = %v, want %v", got, want)
 	}
 	// Harmonic mean is dominated by the smallest sample: robust to spikes.
 	h.Observe(obs(1000))
-	if got := h.Predict(0, 2); got > 10 {
+	if got := h.Predict(units.Seconds(0), units.Seconds(2)); got > 10 {
 		t.Errorf("harmonic mean after spike = %v, should stay small", got)
 	}
 	// Zero samples ignored rather than poisoning the mean.
-	h.Observe(Sample{Mbps: 0, Duration: 2})
-	if math.IsInf(h.Predict(0, 2), 0) || math.IsNaN(h.Predict(0, 2)) {
+	h.Observe(Sample{Mbps: units.Mbps(0), Duration: units.Seconds(2)})
+	if math.IsInf(float64(h.Predict(units.Seconds(0), units.Seconds(2))), 0) || math.IsNaN(float64(h.Predict(units.Seconds(0), units.Seconds(2)))) {
 		t.Error("zero sample poisoned harmonic mean")
 	}
 }
 
 func TestPerfect(t *testing.T) {
-	tr := trace.New([]trace.Sample{{Duration: 1, Mbps: 4}, {Duration: 1, Mbps: 1}, {Duration: 2, Mbps: 2}})
+	tr := trace.New([]trace.Sample{{Duration: units.Seconds(1), Mbps: units.Mbps(4)}, {Duration: units.Seconds(1), Mbps: units.Mbps(1)}, {Duration: units.Seconds(2), Mbps: units.Mbps(2)}})
 	p := &Perfect{Trace: tr}
-	if got := p.Predict(0, 1); math.Abs(got-4) > 1e-12 {
+	if got := p.Predict(units.Seconds(0), units.Seconds(1)); math.Abs(float64(got-4)) > 1e-12 {
 		t.Errorf("Perfect(0,1) = %v", got)
 	}
-	if got := p.Predict(0, 2); math.Abs(got-2.5) > 1e-12 {
+	if got := p.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-2.5)) > 1e-12 {
 		t.Errorf("Perfect(0,2) = %v", got)
 	}
 	p.Observe(obs(999)) // no-op
 	p.Reset()           // no-op
-	if got := p.Predict(0, 1); math.Abs(got-4) > 1e-12 {
+	if got := p.Predict(units.Seconds(0), units.Seconds(1)); math.Abs(float64(got-4)) > 1e-12 {
 		t.Errorf("Perfect after Observe/Reset = %v", got)
 	}
 }
 
 func TestNoisyZeroNoiseIsExact(t *testing.T) {
-	tr := trace.Constant(6, 100)
+	tr := trace.Constant(units.Mbps(6), units.Seconds(100))
 	n := NewNoisy(&Perfect{Trace: tr}, 0, 1)
 	for i := 0; i < 10; i++ {
-		if got := n.Predict(float64(i), 2); math.Abs(got-6) > 1e-12 {
+		if got := n.Predict(units.Seconds(i), units.Seconds(2)); math.Abs(float64(got-6)) > 1e-12 {
 			t.Errorf("zero-noise prediction = %v", got)
 		}
 	}
 }
 
 func TestNoisyStatistics(t *testing.T) {
-	tr := trace.Constant(10, 1000)
+	tr := trace.Constant(units.Mbps(10), units.Seconds(1000))
 	n := NewNoisy(&Perfect{Trace: tr}, 0.3, 7)
 	var sum, sumSq float64
 	const k = 20000
 	for i := 0; i < k; i++ {
-		v := n.Predict(0, 2)
+		v := float64(n.Predict(units.Seconds(0), units.Seconds(2)))
 		if v <= 0 {
 			t.Fatalf("noisy prediction non-positive: %v", v)
 		}
@@ -170,29 +173,29 @@ func TestNoisyStatistics(t *testing.T) {
 
 func TestEmpiricalQuantile(t *testing.T) {
 	e := NewEmpiricalQuantile(10)
-	if e.Predict(0, 2) != 0 {
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("empty quantile predictor should predict 0")
 	}
 	for _, v := range []float64{1, 2, 3, 4, 5} {
 		e.Observe(obs(v))
 	}
-	if got := e.Quantile(0, 2, 0); got != 1 {
+	if got := e.Quantile(units.Seconds(0), units.Seconds(2), 0); got != 1 {
 		t.Errorf("q0 = %v", got)
 	}
-	if got := e.Quantile(0, 2, 1); got != 5 {
+	if got := e.Quantile(units.Seconds(0), units.Seconds(2), 1); got != 5 {
 		t.Errorf("q1 = %v", got)
 	}
-	if got := e.Predict(0, 2); math.Abs(got-3) > 1e-12 {
+	if got := e.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-3)) > 1e-12 {
 		t.Errorf("median = %v", got)
 	}
-	if got := e.Quantile(0, 2, 0.25); math.Abs(got-2) > 1e-12 {
+	if got := e.Quantile(units.Seconds(0), units.Seconds(2), 0.25); math.Abs(float64(got-2)) > 1e-12 {
 		t.Errorf("q25 = %v", got)
 	}
 	// Window trimming keeps the most recent samples.
 	for _, v := range []float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10} {
 		e.Observe(obs(v))
 	}
-	if got := e.Quantile(0, 2, 0); got != 10 {
+	if got := e.Quantile(units.Seconds(0), units.Seconds(2), 0); got != 10 {
 		t.Errorf("after window roll, q0 = %v", got)
 	}
 }
@@ -207,7 +210,7 @@ func TestQuantileMonotone(t *testing.T) {
 		}
 		prev := -1.0
 		for q := 0.0; q <= 1.0; q += 0.1 {
-			v := e.Quantile(0, 2, q)
+			v := float64(e.Quantile(units.Seconds(0), units.Seconds(2), q))
 			if v < prev-1e-9 {
 				return false
 			}
@@ -222,9 +225,9 @@ func TestQuantileMonotone(t *testing.T) {
 
 func TestConstructorPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
-		"EMA":       func() { NewEMA(0) },
+		"EMA":       func() { NewEMA(units.Seconds(0)) },
 		"MA":        func() { NewMovingAverage(0) },
-		"Sliding":   func() { NewSlidingWindow(-1) },
+		"Sliding":   func() { NewSlidingWindow(units.Seconds(-1)) },
 		"Harmonic":  func() { NewHarmonicMean(0) },
 		"Empirical": func() { NewEmpiricalQuantile(0) },
 	} {
@@ -242,17 +245,17 @@ func TestConstructorPanics(t *testing.T) {
 // Property: history predictors track a constant stream exactly after warmup.
 func TestPredictorsTrackConstant(t *testing.T) {
 	preds := map[string]Predictor{
-		"ema":      NewEMA(4),
+		"ema":      NewEMA(units.Seconds(4)),
 		"ma":       NewMovingAverage(5),
-		"sliding":  NewSlidingWindow(20),
+		"sliding":  NewSlidingWindow(units.Seconds(20)),
 		"harmonic": NewHarmonicMean(5),
 		"quantile": NewEmpiricalQuantile(16),
 	}
 	for name, p := range preds {
 		for i := 0; i < 40; i++ {
-			p.Observe(Sample{Mbps: 7.5, Duration: 2, EndTime: float64(2 * (i + 1))})
+			p.Observe(Sample{Mbps: units.Mbps(7.5), Duration: units.Seconds(2), EndTime: units.Seconds(2 * (i + 1))})
 		}
-		if got := p.Predict(80, 2); math.Abs(got-7.5) > 1e-6 {
+		if got := p.Predict(units.Seconds(80), units.Seconds(2)); math.Abs(float64(got-7.5)) > 1e-6 {
 			t.Errorf("%s: constant-stream prediction = %v, want 7.5", name, got)
 		}
 	}
@@ -260,36 +263,36 @@ func TestPredictorsTrackConstant(t *testing.T) {
 
 func TestSafeEMATracksAndCollapses(t *testing.T) {
 	s := NewSafeEMA()
-	if s.Predict(0, 2) != 0 {
+	if s.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("empty SafeEMA should predict 0")
 	}
 	// Steady stream: estimates the true rate.
 	for i := 0; i < 30; i++ {
-		s.Observe(Sample{Mbps: 20, Duration: 2, EndTime: float64(2 * (i + 1))})
+		s.Observe(Sample{Mbps: units.Mbps(20), Duration: units.Seconds(2), EndTime: units.Seconds(2 * (i + 1))})
 	}
-	if got := s.Predict(60, 2); math.Abs(got-20) > 0.5 {
+	if got := s.Predict(units.Seconds(60), units.Seconds(2)); math.Abs(float64(got-20)) > 0.5 {
 		t.Errorf("steady SafeEMA = %v, want ~20", got)
 	}
 	// A single collapsed sample must dominate immediately (the min-with-last
 	// safety rule): one 10-second download at 1.5 Mb/s.
-	s.Observe(Sample{Mbps: 1.5, Duration: 10, EndTime: 72})
-	if got := s.Predict(72, 2); got > 1.6 {
+	s.Observe(Sample{Mbps: units.Mbps(1.5), Duration: units.Seconds(10), EndTime: units.Seconds(72)})
+	if got := s.Predict(units.Seconds(72), units.Seconds(2)); got > 1.6 {
 		t.Errorf("SafeEMA after collapse = %v, want <= 1.5", got)
 	}
 	// Recovery is conservative: one fast sample must NOT restore the old
 	// estimate instantly.
-	s.Observe(Sample{Mbps: 40, Duration: 0.5, EndTime: 73})
-	if got := s.Predict(73, 2); got > 20 {
+	s.Observe(Sample{Mbps: units.Mbps(40), Duration: units.Seconds(0.5), EndTime: units.Seconds(73)})
+	if got := s.Predict(units.Seconds(73), units.Seconds(2)); got > 20 {
 		t.Errorf("SafeEMA after one recovery sample = %v, want conservative", got)
 	}
 	s.Reset()
-	if s.Predict(0, 2) != 0 {
+	if s.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("reset SafeEMA should predict 0")
 	}
 	// Invalid samples ignored.
-	s.Observe(Sample{Mbps: -1, Duration: 2})
-	s.Observe(Sample{Mbps: 5, Duration: 0})
-	if s.Predict(0, 2) != 0 {
+	s.Observe(Sample{Mbps: units.Mbps(-1), Duration: units.Seconds(2)})
+	s.Observe(Sample{Mbps: units.Mbps(5), Duration: units.Seconds(0)})
+	if s.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("invalid samples should be ignored")
 	}
 }
@@ -297,35 +300,35 @@ func TestSafeEMATracksAndCollapses(t *testing.T) {
 func TestSafeEMANeverAboveComponents(t *testing.T) {
 	// The safe estimate is min(fast, slow, last-if-lower): it can never
 	// exceed a plain EMA fed the same stream with either half-life.
-	fast := NewEMA(3)
-	slow := NewEMA(8)
+	fast := NewEMA(units.Seconds(3))
+	slow := NewEMA(units.Seconds(8))
 	s := NewSafeEMA()
 	stream := []float64{10, 14, 3, 22, 8, 30, 2, 18, 25, 6}
 	for i, mbps := range stream {
-		sm := Sample{Mbps: mbps, Duration: 2, EndTime: float64(2 * (i + 1))}
+		sm := Sample{Mbps: units.Mbps(mbps), Duration: units.Seconds(2), EndTime: units.Seconds(2 * (i + 1))}
 		fast.Observe(sm)
 		slow.Observe(sm)
 		s.Observe(sm)
-		safe := s.Predict(0, 2)
-		if safe > fast.Predict(0, 2)+1e-9 || safe > slow.Predict(0, 2)+1e-9 {
-			t.Fatalf("step %d: safe %v above components (%v, %v)", i, safe, fast.Predict(0, 2), slow.Predict(0, 2))
+		safe := s.Predict(units.Seconds(0), units.Seconds(2))
+		if safe > fast.Predict(units.Seconds(0), units.Seconds(2))+1e-9 || safe > slow.Predict(units.Seconds(0), units.Seconds(2))+1e-9 {
+			t.Fatalf("step %d: safe %v above components (%v, %v)", i, safe, fast.Predict(units.Seconds(0), units.Seconds(2)), slow.Predict(units.Seconds(0), units.Seconds(2)))
 		}
 	}
 }
 
 func TestNoisyResetDelegates(t *testing.T) {
-	base := NewEMA(4)
+	base := NewEMA(units.Seconds(4))
 	n := NewNoisy(base, 0.1, 3)
 	n.Observe(obs(12))
-	if base.Predict(0, 2) == 0 {
+	if base.Predict(units.Seconds(0), units.Seconds(2)) == 0 {
 		t.Error("Noisy.Observe did not reach the base predictor")
 	}
 	n.Reset()
-	if base.Predict(0, 2) != 0 {
+	if base.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("Noisy.Reset did not reset the base predictor")
 	}
 	// Zero/negative base passes through unperturbed.
-	if got := n.Predict(0, 2); got != 0 {
+	if got := n.Predict(units.Seconds(0), units.Seconds(2)); got != 0 {
 		t.Errorf("noisy prediction on empty base = %v", got)
 	}
 }
@@ -334,33 +337,33 @@ func TestEmpiricalQuantileReset(t *testing.T) {
 	e := NewEmpiricalQuantile(8)
 	e.Observe(obs(5))
 	e.Reset()
-	if e.Predict(0, 2) != 0 {
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("reset quantile predictor should predict 0")
 	}
-	e.Observe(Sample{Mbps: -2, Duration: 2})
-	if e.Predict(0, 2) != 0 {
+	e.Observe(Sample{Mbps: units.Mbps(-2), Duration: units.Seconds(2)})
+	if e.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("invalid sample accepted")
 	}
 }
 
 func TestMovingAverageIgnoresInvalid(t *testing.T) {
 	m := NewMovingAverage(3)
-	m.Observe(Sample{Mbps: -1, Duration: 2})
-	m.Observe(Sample{Mbps: 5, Duration: 0})
-	if m.Predict(0, 2) != 0 {
+	m.Observe(Sample{Mbps: units.Mbps(-1), Duration: units.Seconds(2)})
+	m.Observe(Sample{Mbps: units.Mbps(5), Duration: units.Seconds(0)})
+	if m.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("invalid samples accepted")
 	}
 }
 
 func TestSlidingWindowReset(t *testing.T) {
-	w := NewSlidingWindow(10)
-	w.Observe(Sample{Mbps: 9, Duration: 2, EndTime: 2})
+	w := NewSlidingWindow(units.Seconds(10))
+	w.Observe(Sample{Mbps: units.Mbps(9), Duration: units.Seconds(2), EndTime: units.Seconds(2)})
 	w.Reset()
-	if w.Predict(2, 2) != 0 {
+	if w.Predict(units.Seconds(2), units.Seconds(2)) != 0 {
 		t.Error("reset sliding window should predict 0")
 	}
-	w.Observe(Sample{Mbps: -3, Duration: 2, EndTime: 4})
-	if w.Predict(4, 2) != 0 {
+	w.Observe(Sample{Mbps: units.Mbps(-3), Duration: units.Seconds(2), EndTime: units.Seconds(4)})
+	if w.Predict(units.Seconds(4), units.Seconds(2)) != 0 {
 		t.Error("invalid sample accepted")
 	}
 }
@@ -369,7 +372,7 @@ func TestHarmonicMeanReset(t *testing.T) {
 	h := NewHarmonicMean(4)
 	h.Observe(obs(6))
 	h.Reset()
-	if h.Predict(0, 2) != 0 {
+	if h.Predict(units.Seconds(0), units.Seconds(2)) != 0 {
 		t.Error("reset harmonic mean should predict 0")
 	}
 }

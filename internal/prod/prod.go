@@ -91,13 +91,13 @@ func Families() []DeviceFamily {
 type Config struct {
 	// SessionsPerArm is the number of sessions per controller arm per family.
 	SessionsPerArm int
-	// SessionSeconds is the simulated session length.
-	SessionSeconds float64
-	// StreamMinutes is the live event length used for viewing durations
+	// SessionLength is the simulated session length.
+	SessionLength units.Seconds
+	// StreamLength is the live event length used for viewing durations
 	// (sports events routinely span multiple hours, §6.3).
-	StreamMinutes float64
+	StreamLength units.Minutes
 	// BufferCap is the live buffer bound (20 s in the deployment).
-	BufferCap float64
+	BufferCap units.Seconds
 	// Treatment and Control name the registered controllers for the two
 	// arms ("soda" and "prod-baseline" by default).
 	Treatment, Control string
@@ -110,9 +110,9 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		SessionsPerArm: 40,
-		SessionSeconds: 600,
-		StreamMinutes:  150,
-		BufferCap:      20,
+		SessionLength:  units.Seconds(600),
+		StreamLength:   units.Minutes(150),
+		BufferCap:      units.Seconds(20),
 		Treatment:      "soda",
 		Control:        "prod-baseline",
 		Seed:           2024,
@@ -121,12 +121,12 @@ func DefaultConfig() Config {
 
 // ArmStats are the per-arm session aggregates.
 type ArmStats struct {
-	Controller      string
-	ViewingMinutes  float64
-	MeanBitrateMbps float64
-	RebufferRatio   float64
-	SwitchRate      float64
-	Sessions        int
+	Controller    string
+	Viewing       units.Minutes
+	MeanBitrate   units.Mbps
+	RebufferRatio float64
+	SwitchRate    float64
+	Sessions      int
 }
 
 // FamilyReport is one device family's A/B outcome: the Figure 13 bars.
@@ -156,7 +156,7 @@ func Run(cfg Config) ([]FamilyReport, error) {
 	model := engagement.Default()
 	var reports []FamilyReport
 	for fi, fam := range Families() {
-		ds, err := tracegen.Generate(fam.Profile, cfg.SessionsPerArm, cfg.SessionSeconds, cfg.Seed+uint64(fi)*1000)
+		ds, err := tracegen.Generate(fam.Profile, cfg.SessionsPerArm, cfg.SessionLength, cfg.Seed+uint64(fi)*1000)
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s: %w", fam.Name, err)
 		}
@@ -177,8 +177,8 @@ func Run(cfg Config) ([]FamilyReport, error) {
 			Family:        fam.Name,
 			Treatment:     treat,
 			Control:       control,
-			ViewingDelta:  rel(treat.ViewingMinutes, control.ViewingMinutes),
-			BitrateDelta:  rel(treat.MeanBitrateMbps, control.MeanBitrateMbps),
+			ViewingDelta:  rel(treat.Viewing, control.Viewing),
+			BitrateDelta:  rel(treat.MeanBitrate, control.MeanBitrate),
 			RebufferDelta: relRebuffer(treat.RebufferRatio, control.RebufferRatio),
 			SwitchDelta:   rel(treat.SwitchRate, control.SwitchRate),
 		})
@@ -196,14 +196,14 @@ func relRebuffer(treat, control float64) float64 {
 	return rel(treat, control)
 }
 
-func rel(treat, control float64) float64 {
+func rel[T ~float64](treat, control T) float64 {
 	if control == 0 {
 		if treat == 0 {
 			return 0
 		}
 		return 1
 	}
-	return (treat - control) / control
+	return float64((treat - control) / control)
 }
 
 // runArm simulates every session of the dataset under one controller and
@@ -212,8 +212,10 @@ func rel(treat, control float64) float64 {
 func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64) (ArmStats, error) {
 	n := len(ds.Sessions)
 	type out struct {
-		viewing, bitrate, rebuf, sw float64
-		err                         error
+		viewing   units.Minutes
+		bitrate   units.Mbps
+		rebuf, sw float64
+		err       error
 	}
 	results := make([]out, n)
 	var wg sync.WaitGroup
@@ -238,10 +240,10 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 				}
 				res, err := sim.Run(ds.Sessions[i], sim.Config{
 					Ladder:         ladder,
-					BufferCap:      units.Seconds(cfg.BufferCap),
-					SessionSeconds: units.Seconds(cfg.SessionSeconds),
+					BufferCap:      cfg.BufferCap,
+					SessionSeconds: cfg.SessionLength,
 					Controller:     ctrl,
-					Predictor:      predictor.NewSlidingWindow(12),
+					Predictor:      predictor.NewSlidingWindow(units.Seconds(12)),
 				})
 				if err != nil {
 					results[i].err = err
@@ -249,7 +251,7 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 				}
 				m := res.Metrics
 				rng := rand.New(rand.NewPCG(seed, uint64(i)))
-				results[i].viewing = model.SampleViewingMinutes(m.SwitchRate, m.RebufferRatio, cfg.StreamMinutes, rng)
+				results[i].viewing = model.SampleViewingMinutes(m.SwitchRate, m.RebufferRatio, cfg.StreamLength, rng)
 				results[i].bitrate = meanBitrate(ladder, res.Rungs)
 				results[i].rebuf = m.RebufferRatio
 				results[i].sw = m.SwitchRate
@@ -262,26 +264,26 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 		if results[i].err != nil {
 			return ArmStats{}, results[i].err
 		}
-		stats.ViewingMinutes += results[i].viewing
-		stats.MeanBitrateMbps += results[i].bitrate
+		stats.Viewing += results[i].viewing
+		stats.MeanBitrate += results[i].bitrate
 		stats.RebufferRatio += results[i].rebuf
 		stats.SwitchRate += results[i].sw
 	}
 	f := float64(n)
-	stats.ViewingMinutes /= f
-	stats.MeanBitrateMbps /= f
+	stats.Viewing = units.Minutes(float64(stats.Viewing) / f)
+	stats.MeanBitrate = units.Mbps(float64(stats.MeanBitrate) / f)
 	stats.RebufferRatio /= f
 	stats.SwitchRate /= f
 	return stats, nil
 }
 
-func meanBitrate(ladder video.Ladder, rungs []int) float64 {
+func meanBitrate(ladder video.Ladder, rungs []int) units.Mbps {
 	if len(rungs) == 0 {
 		return 0
 	}
-	sum := 0.0
+	var sum units.Mbps
 	for _, r := range rungs {
-		sum += float64(ladder.Mbps(r))
+		sum += ladder.Mbps(r)
 	}
-	return sum / float64(len(rungs))
+	return units.Mbps(float64(sum) / float64(len(rungs)))
 }

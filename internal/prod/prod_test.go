@@ -35,7 +35,7 @@ func TestRunValidation(t *testing.T) {
 	cfg = DefaultConfig()
 	cfg.Treatment = "no-such-controller"
 	cfg.SessionsPerArm = 2
-	cfg.SessionSeconds = 60
+	cfg.SessionLength = 60
 	if _, err := Run(cfg); err == nil {
 		t.Error("unknown treatment controller accepted")
 	}
@@ -47,7 +47,7 @@ func TestABExperimentShape(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.SessionsPerArm = 10
-	cfg.SessionSeconds = 300
+	cfg.SessionLength = 300
 	reports, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -75,10 +75,10 @@ func TestABExperimentShape(t *testing.T) {
 }
 
 func TestRelHelper(t *testing.T) {
-	if rel(110, 100) != 0.1 {
-		t.Errorf("rel = %v", rel(110, 100))
+	if rel(110.0, 100.0) != 0.1 {
+		t.Errorf("rel = %v", rel(110.0, 100.0))
 	}
-	if rel(0, 0) != 0 || rel(5, 0) != 1 {
+	if rel(0.0, 0.0) != 0 || rel(5.0, 0.0) != 1 {
 		t.Error("degenerate rel cases")
 	}
 }

@@ -12,6 +12,8 @@
 // count (JSON payload; it is sent once and small). Segment payloads are
 // deterministic filler bytes sized according to the requested rung — the
 // prototype measures delivery dynamics, not codec output.
+//
+//soda:wire-boundary
 package proto
 
 import (

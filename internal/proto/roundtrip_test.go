@@ -1,0 +1,53 @@
+package proto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// TestManifestRoundTripLossless pins the wire-boundary contract: converting
+// the typed ladder to the manifest's raw float64 fields, encoding, decoding
+// and re-typing must reproduce the original unit values bit for bit.
+// float64(units.Mbps) is a free conversion (same representation), and the
+// JSON encoder emits shortest round-trip decimals, so nothing may move.
+func TestManifestRoundTripLossless(t *testing.T) {
+	ladders := map[string]video.Ladder{
+		"youtube4k": video.YouTube4K(),
+		"mobile":    video.Mobile(),
+		"prototype": video.Prototype(),
+		"prime":     video.PrimeVideo(),
+	}
+	for name, ladder := range ladders {
+		// Launder exactly as Server.Manifest does: this package is the
+		// sanctioned wire boundary.
+		mbps := make([]float64, ladder.Len())
+		for i, r := range ladder.Bitrates() {
+			mbps[i] = float64(r)
+		}
+		m := Manifest{
+			BitratesMbps:   mbps,
+			SegmentSeconds: float64(ladder.SegmentSeconds),
+			TotalSegments:  100,
+		}
+		payload, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodeManifest(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		for i := range mbps {
+			got := units.Mbps(back.BitratesMbps[i])
+			if math.Float64bits(float64(got)) != math.Float64bits(float64(ladder.Mbps(i))) {
+				t.Errorf("%s: rung %d = %v, want %v (bit-exact)", name, i, got, ladder.Mbps(i))
+			}
+		}
+		if got := units.Seconds(back.SegmentSeconds); math.Float64bits(float64(got)) != math.Float64bits(float64(ladder.SegmentSeconds)) {
+			t.Errorf("%s: segment duration = %v, want %v (bit-exact)", name, got, ladder.SegmentSeconds)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/stats"
+	"repro/internal/units"
 )
 
 // Weights are the linear QoE combination weights. The paper uses β = 10 to
@@ -27,7 +28,9 @@ type Weights struct {
 // DefaultWeights returns the paper's weights (β = 10, γ = 1).
 func DefaultWeights() Weights { return Weights{Beta: 10, Gamma: 1} }
 
-// Metrics are the per-session QoE components plus the combined score.
+// Metrics are the per-session QoE components plus the combined score. The
+// utility, ratio and score components are dimensionless; wall-clock totals
+// carry their unit type.
 type Metrics struct {
 	MeanUtility    float64
 	RebufferRatio  float64
@@ -35,9 +38,9 @@ type Metrics struct {
 	Score          float64
 	Switches       int
 	Segments       int
-	RebufferSec    float64
-	PlaySec        float64
-	StartupSec     float64
+	RebufferSec    units.Seconds
+	PlaySec        units.Seconds
+	StartupSec     units.Seconds
 	RebufferEvents int
 }
 
@@ -46,9 +49,9 @@ type Metrics struct {
 type SessionTally struct {
 	utilities   []float64
 	rungs       []int
-	rebufferSec float64
-	playSec     float64
-	startupSec  float64
+	rebufferSec units.Seconds
+	playSec     units.Seconds
+	startupSec  units.Seconds
 	rebufEvents int
 	inRebuffer  bool
 }
@@ -60,34 +63,34 @@ func (s *SessionTally) AddSegment(rung int, utility float64) {
 	s.rungs = append(s.rungs, rung)
 }
 
-// AddRebuffer records stall time in seconds. Consecutive calls without an
-// intervening AddPlayback are counted as a single rebuffering event.
-func (s *SessionTally) AddRebuffer(sec float64) {
-	if sec <= 0 {
+// AddRebuffer records stall time. Consecutive calls without an intervening
+// AddPlayback are counted as a single rebuffering event.
+func (s *SessionTally) AddRebuffer(d units.Seconds) {
+	if d <= 0 {
 		return
 	}
-	s.rebufferSec += sec
+	s.rebufferSec += d
 	if !s.inRebuffer {
 		s.rebufEvents++
 		s.inRebuffer = true
 	}
 }
 
-// AddPlayback records smooth playback time in seconds.
-func (s *SessionTally) AddPlayback(sec float64) {
-	if sec <= 0 {
+// AddPlayback records smooth playback time.
+func (s *SessionTally) AddPlayback(d units.Seconds) {
+	if d <= 0 {
 		return
 	}
-	s.playSec += sec
+	s.playSec += d
 	s.inRebuffer = false
 }
 
 // AddStartup records initial startup delay (before the first frame); startup
 // is tracked separately and not charged as rebuffering, matching common
 // practice and the Sabre accounting.
-func (s *SessionTally) AddStartup(sec float64) {
-	if sec > 0 {
-		s.startupSec += sec
+func (s *SessionTally) AddStartup(d units.Seconds) {
+	if d > 0 {
+		s.startupSec += d
 	}
 }
 
@@ -110,7 +113,7 @@ func (s *SessionTally) Finalize(w Weights) Metrics {
 		m.MeanUtility = stats.Mean(s.utilities)
 	}
 	if total := s.playSec + s.rebufferSec; total > 0 {
-		m.RebufferRatio = s.rebufferSec / total
+		m.RebufferRatio = float64(s.rebufferSec / total)
 	}
 	m.Switches = CountSwitches(s.rungs)
 	if len(s.rungs) > 1 {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
 func TestCountSwitches(t *testing.T) {
@@ -33,9 +35,9 @@ func TestFinalizeBasics(t *testing.T) {
 	s.AddSegment(1, 0.5)
 	s.AddSegment(1, 0.5)
 	s.AddSegment(2, 1.0)
-	s.AddPlayback(90)
-	s.AddRebuffer(10)
-	s.AddStartup(2)
+	s.AddPlayback(units.Seconds(90))
+	s.AddRebuffer(units.Seconds(10))
+	s.AddStartup(units.Seconds(2))
 
 	m := s.Finalize(DefaultWeights())
 	if m.Segments != 4 {
@@ -64,17 +66,17 @@ func TestFinalizeBasics(t *testing.T) {
 
 func TestRebufferEventCounting(t *testing.T) {
 	var s SessionTally
-	s.AddRebuffer(1)
-	s.AddRebuffer(2) // same event: no playback in between
-	s.AddPlayback(10)
-	s.AddRebuffer(0.5) // second event
-	s.AddPlayback(5)
-	s.AddRebuffer(0) // ignored
+	s.AddRebuffer(units.Seconds(1))
+	s.AddRebuffer(units.Seconds(2)) // same event: no playback in between
+	s.AddPlayback(units.Seconds(10))
+	s.AddRebuffer(units.Seconds(0.5)) // second event
+	s.AddPlayback(units.Seconds(5))
+	s.AddRebuffer(units.Seconds(0)) // ignored
 	m := s.Finalize(DefaultWeights())
 	if m.RebufferEvents != 2 {
 		t.Errorf("RebufferEvents = %d, want 2", m.RebufferEvents)
 	}
-	if math.Abs(m.RebufferSec-3.5) > 1e-12 {
+	if math.Abs(float64(m.RebufferSec-3.5)) > 1e-12 {
 		t.Errorf("RebufferSec = %v", m.RebufferSec)
 	}
 }
@@ -90,7 +92,7 @@ func TestEmptySession(t *testing.T) {
 func TestSingleSegmentNoSwitchRate(t *testing.T) {
 	var s SessionTally
 	s.AddSegment(3, 0.8)
-	s.AddPlayback(2)
+	s.AddPlayback(units.Seconds(2))
 	m := s.Finalize(DefaultWeights())
 	if m.SwitchRate != 0 {
 		t.Errorf("single-segment switch rate = %v", m.SwitchRate)
@@ -99,9 +101,9 @@ func TestSingleSegmentNoSwitchRate(t *testing.T) {
 
 func TestNegativeInputsIgnored(t *testing.T) {
 	var s SessionTally
-	s.AddPlayback(-5)
-	s.AddRebuffer(-2)
-	s.AddStartup(-1)
+	s.AddPlayback(units.Seconds(-5))
+	s.AddRebuffer(units.Seconds(-2))
+	s.AddStartup(units.Seconds(-1))
 	m := s.Finalize(DefaultWeights())
 	if m.PlaySec != 0 || m.RebufferSec != 0 || m.StartupSec != 0 {
 		t.Errorf("negative inputs leaked: %+v", m)
@@ -118,8 +120,8 @@ func TestMetricsBoundsAndIdentity(t *testing.T) {
 		for i := 0; i < n; i++ {
 			s.AddSegment(rng.IntN(6), rng.Float64())
 		}
-		s.AddPlayback(float64(n) * 2)
-		s.AddRebuffer(rng.Float64() * 20)
+		s.AddPlayback(units.Seconds(n) * 2)
+		s.AddRebuffer(units.Seconds(rng.Float64() * 20))
 		w := DefaultWeights()
 		m := s.Finalize(w)
 		inUnit := func(x float64) bool { return x >= 0 && x <= 1 }

@@ -14,7 +14,7 @@ import (
 func TestLiveEdgeBoundsBuffer(t *testing.T) {
 	// Fast link, low rung, live availability with a 6 s edge offset: the
 	// buffer can never exceed ~6 s because segments simply do not exist yet.
-	tr := trace.Constant(100, 400)
+	tr := trace.Constant(units.Mbps(100), units.Seconds(400))
 	cfg := baseConfig(&fixedController{rung: 0})
 	cfg.Live = true
 	cfg.LiveEdgeOffsetSeconds = 6
@@ -36,7 +36,7 @@ func TestLiveEdgeBoundsBuffer(t *testing.T) {
 func TestLiveDefaultOffsetIsBufferCap(t *testing.T) {
 	// With the default offset (= cap), live availability must not change a
 	// session that the cap already constrains.
-	tr := trace.Constant(50, 300)
+	tr := trace.Constant(units.Mbps(50), units.Seconds(300))
 	a := baseConfig(&fixedController{rung: 1})
 	b := baseConfig(&fixedController{rung: 1})
 	b.Live = true
@@ -60,7 +60,7 @@ func TestLiveValidation(t *testing.T) {
 	cfg := baseConfig(&fixedController{})
 	cfg.Live = true
 	cfg.LiveEdgeOffsetSeconds = -1
-	if _, err := Run(trace.Constant(10, 100), cfg); err == nil {
+	if _, err := Run(trace.Constant(units.Mbps(10), units.Seconds(100)), cfg); err == nil {
 		t.Error("negative live-edge offset accepted")
 	}
 }
@@ -69,7 +69,7 @@ func TestAbandonmentCutsFadeOnsetStall(t *testing.T) {
 	// Comfortable bandwidth, then a collapse to 0.5 Mb/s: a 24 Mb top-rung
 	// segment in flight at the collapse would take 48 s. With abandonment the
 	// player aborts it when the buffer dries and refetches the lowest rung.
-	tr := trace.New([]trace.Sample{{Duration: 60, Mbps: 20}, {Duration: 120, Mbps: 0.5}})
+	tr := trace.New([]trace.Sample{{Duration: units.Seconds(60), Mbps: units.Mbps(20)}, {Duration: units.Seconds(120), Mbps: units.Mbps(0.5)}})
 	mk := func(abandon bool) Result {
 		cfg := baseConfig(&fixedController{rung: 3}) // 12 Mb/s fixed: worst case
 		cfg.Abandonment = abandon
@@ -95,7 +95,7 @@ func TestAbandonmentCutsFadeOnsetStall(t *testing.T) {
 }
 
 func TestAbandonmentNeverTriggersOnHealthySession(t *testing.T) {
-	tr := trace.Constant(12, 300)
+	tr := trace.Constant(units.Mbps(12), units.Seconds(300))
 	cfg := baseConfig(&fixedController{rung: 2})
 	cfg.Abandonment = true
 	res, err := Run(tr, cfg)
@@ -110,7 +110,7 @@ func TestAbandonmentNeverTriggersOnHealthySession(t *testing.T) {
 func TestUltraLowLatencyHarderThanTraditionalLive(t *testing.T) {
 	// §8: with buffer lengths of a few seconds it is harder to prevent
 	// rebuffering and switching. Same traces, SODA, 4 s vs 20 s budget.
-	ds, err := tracegen.Generate(tracegen.FourG(), 8, 300, 17)
+	ds, err := tracegen.Generate(tracegen.FourG(), 8, units.Seconds(300), 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,9 +125,9 @@ func TestUltraLowLatencyHarderThanTraditionalLive(t *testing.T) {
 				BufferCap:             units.Seconds(cap),
 				Live:                  true,
 				LiveEdgeOffsetSeconds: units.Seconds(offset),
-				SessionSeconds:        300,
+				SessionSeconds:        units.Seconds(300),
 				Controller:            ctrl,
-				Predictor:             predictor.NewEMA(4),
+				Predictor:             predictor.NewEMA(units.Seconds(4)),
 			}
 			res, err := Run(tr, cfg)
 			if err != nil {

@@ -170,7 +170,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 		now += dt
 		if !playing {
-			tally.AddStartup(float64(dt))
+			tally.AddStartup(dt)
 			return
 		}
 		played := dt
@@ -178,9 +178,9 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			played = buffer
 		}
 		buffer -= played
-		tally.AddPlayback(float64(played))
+		tally.AddPlayback(played)
 		if stall := dt - played; stall > 1e-12 {
-			tally.AddRebuffer(float64(stall))
+			tally.AddRebuffer(stall)
 			segStall += stall
 		}
 	}
@@ -194,22 +194,22 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			advance(over)
 		}
 
-		// abr.Context is a float64 boundary (see internal/units): controllers
-		// receive plain numbers and re-type what they consume.
 		ctx := &abr.Context{
-			Now:                float64(now),
-			Buffer:             float64(buffer),
-			BufferCap:          float64(cfg.BufferCap),
-			PrevRung:           prevRung,
-			Ladder:             ladder,
-			SegmentIndex:       seg,
-			TotalSegments:      totalSegments,
-			LastThroughputMbps: float64(lastMbps),
+			Now:            now,
+			Buffer:         buffer,
+			BufferCap:      cfg.BufferCap,
+			PrevRung:       prevRung,
+			Ladder:         ladder,
+			SegmentIndex:   seg,
+			TotalSegments:  totalSegments,
+			LastThroughput: lastMbps,
 		}
-		capturedNow := float64(now)
-		ctx.Predict = func(h float64) float64 { return cfg.Predictor.Predict(capturedNow, h) }
+		capturedNow := now
+		ctx.Predict = func(h units.Seconds) units.Mbps { return cfg.Predictor.Predict(capturedNow, h) }
 		if quantile != nil {
-			ctx.PredictQuantile = func(q, h float64) float64 { return quantile.Quantile(capturedNow, h, q) }
+			ctx.PredictQuantile = func(q float64, h units.Seconds) units.Mbps {
+				return quantile.Quantile(capturedNow, h, q)
+			}
 		}
 
 		decision := cfg.Controller.Decide(ctx)
@@ -223,7 +223,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 				decision.Rung = 0
 			} else {
 				result.Waits++
-				wait := units.Seconds(decision.WaitSeconds)
+				wait := decision.WaitSeconds
 				if wait <= 0 || wait > l {
 					wait = l / 2
 				}
@@ -277,7 +277,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 		}
 
 		lastMbps = size.Over(dlTime)
-		cfg.Predictor.Observe(predictor.Sample{Mbps: float64(lastMbps), Duration: float64(dlTime), EndTime: float64(now)})
+		cfg.Predictor.Observe(predictor.Sample{Mbps: lastMbps, Duration: dlTime, EndTime: now})
 		tally.AddSegment(rung, utility(rung))
 		prevRung = rung
 		if cfg.RecordTrajectory {
@@ -292,7 +292,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	}
 	// Drain the remaining buffer to finish the session.
 	if playing {
-		tally.AddPlayback(float64(buffer))
+		tally.AddPlayback(buffer)
 		now += buffer
 		buffer = 0
 	}

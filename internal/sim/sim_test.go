@@ -32,7 +32,7 @@ func (w *waitOnceController) Name() string { return "wait-once" }
 func (w *waitOnceController) Decide(ctx *abr.Context) abr.Decision {
 	if !w.waited && ctx.Buffer > 1 {
 		w.waited = true
-		return abr.Wait(0.5)
+		return abr.Wait(units.Seconds(0.5))
 	}
 	return abr.Decision{Rung: 0}
 }
@@ -43,24 +43,24 @@ func (w *waitOnceController) Reset() {}
 type alwaysWaitController struct{}
 
 func (alwaysWaitController) Name() string                     { return "always-wait" }
-func (alwaysWaitController) Decide(*abr.Context) abr.Decision { return abr.Wait(1) }
+func (alwaysWaitController) Decide(*abr.Context) abr.Decision { return abr.Wait(units.Seconds(1)) }
 func (alwaysWaitController) Reset()                           {}
 
 func baseConfig(ctrl abr.Controller) Config {
 	return Config{
 		Ladder:          video.Mobile(),
-		BufferCap:       20,
+		BufferCap:       units.Seconds(20),
 		StartupSegments: 1,
-		SessionSeconds:  120,
+		SessionSeconds:  units.Seconds(120),
 		Controller:      ctrl,
-		Predictor:       predictor.NewEMA(4),
+		Predictor:       predictor.NewEMA(units.Seconds(4)),
 	}
 }
 
 func TestSteadyStateNoRebufferNoSwitch(t *testing.T) {
 	// Constant 12 Mb/s link, fixed rung 2 (7.5 Mb/s): downloads faster than
 	// real time, no stalls, no switches, buffer pinned at the cap.
-	tr := trace.Constant(12, 300)
+	tr := trace.Constant(units.Mbps(12), units.Seconds(300))
 	cfg := baseConfig(&fixedController{rung: 2})
 	res, err := Run(tr, cfg)
 	if err != nil {
@@ -80,7 +80,7 @@ func TestSteadyStateNoRebufferNoSwitch(t *testing.T) {
 		t.Errorf("utility = %v, want %v", res.Metrics.MeanUtility, wantUtil)
 	}
 	// Total played video must equal the session length.
-	if math.Abs(res.Metrics.PlaySec-120) > 1e-6 {
+	if math.Abs(float64(res.Metrics.PlaySec-120)) > 1e-6 {
 		t.Errorf("played %v s, want 120", res.Metrics.PlaySec)
 	}
 }
@@ -88,7 +88,7 @@ func TestSteadyStateNoRebufferNoSwitch(t *testing.T) {
 func TestOverdrivenRungRebuffers(t *testing.T) {
 	// 4 Mb/s link, fixed top rung (12 Mb/s): every segment takes 3x real
 	// time; the session must stall heavily.
-	tr := trace.Constant(4, 2000)
+	tr := trace.Constant(units.Mbps(4), units.Seconds(2000))
 	cfg := baseConfig(&fixedController{rung: 3})
 	cfg.SessionSeconds = 60
 	res, err := Run(tr, cfg)
@@ -102,18 +102,18 @@ func TestOverdrivenRungRebuffers(t *testing.T) {
 		t.Error("no rebuffer events recorded")
 	}
 	// Conservation: played seconds equal the video length.
-	if math.Abs(res.Metrics.PlaySec-60) > 1e-6 {
+	if math.Abs(float64(res.Metrics.PlaySec-60)) > 1e-6 {
 		t.Errorf("played %v s, want 60", res.Metrics.PlaySec)
 	}
 	// Duration = play + stalls (startup tracked separately).
 	wantDur := res.Metrics.PlaySec + res.Metrics.RebufferSec + res.Metrics.StartupSec
-	if math.Abs(float64(res.Duration)-wantDur) > 1e-6 {
+	if math.Abs(float64(res.Duration-wantDur)) > 1e-6 {
 		t.Errorf("duration %v != play+stall+startup %v", res.Duration, wantDur)
 	}
 }
 
 func TestStartupNotChargedAsRebuffering(t *testing.T) {
-	tr := trace.Constant(4, 300)
+	tr := trace.Constant(units.Mbps(4), units.Seconds(300))
 	cfg := baseConfig(&fixedController{rung: 0})
 	cfg.StartupSegments = 3
 	res, err := Run(tr, cfg)
@@ -131,7 +131,7 @@ func TestStartupNotChargedAsRebuffering(t *testing.T) {
 func TestBufferNeverExceedsCap(t *testing.T) {
 	// Very fast link, low rung: the player must idle at the cap rather than
 	// overfill.
-	tr := trace.Constant(100, 400)
+	tr := trace.Constant(units.Mbps(100), units.Seconds(400))
 	cfg := baseConfig(&fixedController{rung: 0})
 	cfg.RecordTrajectory = true
 	res, err := Run(tr, cfg)
@@ -146,7 +146,7 @@ func TestBufferNeverExceedsCap(t *testing.T) {
 }
 
 func TestControllerWaitIsHonored(t *testing.T) {
-	tr := trace.Constant(20, 300)
+	tr := trace.Constant(units.Mbps(20), units.Seconds(300))
 	ctrl := &waitOnceController{}
 	cfg := baseConfig(ctrl)
 	res, err := Run(tr, cfg)
@@ -162,7 +162,7 @@ func TestControllerWaitIsHonored(t *testing.T) {
 }
 
 func TestAlwaysWaitDoesNotDeadlock(t *testing.T) {
-	tr := trace.Constant(20, 300)
+	tr := trace.Constant(units.Mbps(20), units.Seconds(300))
 	cfg := baseConfig(alwaysWaitController{})
 	cfg.SessionSeconds = 20
 	// The empty-buffer override forces rung 0 on the first segment; after
@@ -177,7 +177,7 @@ func TestAlwaysWaitDoesNotDeadlock(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	tr := trace.Constant(10, 100)
+	tr := trace.Constant(units.Mbps(10), units.Seconds(100))
 	good := baseConfig(&fixedController{})
 	cases := []func(*Config){
 		func(c *Config) { c.Controller = nil },
@@ -197,19 +197,19 @@ func TestValidation(t *testing.T) {
 }
 
 func TestZeroBandwidthTraceErrors(t *testing.T) {
-	tr := trace.Constant(0, 100)
+	tr := trace.Constant(units.Mbps(0), units.Seconds(100))
 	if _, err := Run(tr, baseConfig(&fixedController{})); err == nil {
 		t.Error("zero-bandwidth trace should fail")
 	}
 }
 
 func TestLatencyIncreasesDownloadTime(t *testing.T) {
-	tr := trace.Constant(8, 400)
+	tr := trace.Constant(units.Mbps(8), units.Seconds(400))
 	fast := baseConfig(&fixedController{rung: 2})
 	slow := fast
 	slow.LatencySeconds = 0.5
 	slow.Controller = &fixedController{rung: 2}
-	slow.Predictor = predictor.NewEMA(4)
+	slow.Predictor = predictor.NewEMA(units.Seconds(4))
 	rf, err := Run(tr, fast)
 	if err != nil {
 		t.Fatal(err)
@@ -230,15 +230,15 @@ func TestLatencyIncreasesDownloadTime(t *testing.T) {
 }
 
 func TestPredictorReceivesObservations(t *testing.T) {
-	tr := trace.Constant(16, 200)
-	p := predictor.NewEMA(4)
+	tr := trace.Constant(units.Mbps(16), units.Seconds(200))
+	p := predictor.NewEMA(units.Seconds(4))
 	cfg := baseConfig(&fixedController{rung: 1})
 	cfg.Predictor = p
 	if _, err := Run(tr, cfg); err != nil {
 		t.Fatal(err)
 	}
 	// 4 Mb/s rung over a 16 Mb/s link: measured throughput 16 Mb/s.
-	if got := p.Predict(0, 2); math.Abs(got-16) > 0.5 {
+	if got := p.Predict(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-16)) > 0.5 {
 		t.Errorf("predictor learned %v, want ~16", got)
 	}
 }
@@ -247,7 +247,7 @@ func TestSODASessionHealthy(t *testing.T) {
 	// End-to-end smoke: SODA over a volatile generated trace must produce a
 	// sane session (no deadlock, low stalls, utilities within range).
 	p := tracegen.FourG()
-	tr, err := p.Session(300, 42, 0)
+	tr, err := p.Session(units.Seconds(300), 42, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestSODASessionHealthy(t *testing.T) {
 
 func TestRunDatasetParallelOrderAndDeterminism(t *testing.T) {
 	prof := tracegen.FourG()
-	ds, err := tracegen.Generate(prof, 8, 120, 9)
+	ds, err := tracegen.Generate(prof, 8, units.Seconds(120), 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,9 +289,9 @@ func TestRunDatasetParallelOrderAndDeterminism(t *testing.T) {
 	}
 	factory := func() (abr.Controller, predictor.Predictor) {
 		c, _ := abr.New("dynamic", video.Mobile())
-		return c, predictor.NewEMA(4)
+		return c, predictor.NewEMA(units.Seconds(4))
 	}
-	base := Config{Ladder: video.Mobile(), BufferCap: 20, SessionSeconds: 120}
+	base := Config{Ladder: video.Mobile(), BufferCap: units.Seconds(20), SessionSeconds: units.Seconds(120)}
 	m1, err := RunDataset(ds.Sessions, factory, base)
 	if err != nil {
 		t.Fatal(err)
@@ -315,18 +315,18 @@ func TestRunDatasetParallelOrderAndDeterminism(t *testing.T) {
 }
 
 func TestRunDatasetPropagatesErrors(t *testing.T) {
-	dead := trace.Constant(0, 120)
+	dead := trace.Constant(units.Mbps(0), units.Seconds(120))
 	factory := func() (abr.Controller, predictor.Predictor) {
-		return &fixedController{}, predictor.NewEMA(4)
+		return &fixedController{}, predictor.NewEMA(units.Seconds(4))
 	}
-	base := Config{Ladder: video.Mobile(), BufferCap: 20, SessionSeconds: 120}
+	base := Config{Ladder: video.Mobile(), BufferCap: units.Seconds(20), SessionSeconds: units.Seconds(120)}
 	if _, err := RunDataset([]*trace.Trace{dead}, factory, base); err == nil {
 		t.Error("dataset error not propagated")
 	}
 }
 
 func TestTrajectoryRecording(t *testing.T) {
-	tr := trace.Constant(10, 200)
+	tr := trace.Constant(units.Mbps(10), units.Seconds(200))
 	cfg := baseConfig(&fixedController{rung: 1})
 	cfg.RecordTrajectory = true
 	res, err := Run(tr, cfg)
@@ -349,7 +349,7 @@ func TestTrajectoryRecording(t *testing.T) {
 }
 
 func TestVBRSizesAffectDownloads(t *testing.T) {
-	tr := trace.Constant(9, 400)
+	tr := trace.Constant(units.Mbps(9), units.Seconds(400))
 	cbr := baseConfig(&fixedController{rung: 2})
 	vbr := baseConfig(&fixedController{rung: 2})
 	vbr.Sizes = video.VBR{Ladder: video.Mobile(), Sigma: 0.4, Seed: 3}

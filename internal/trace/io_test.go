@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/units"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -45,13 +47,13 @@ func TestReadJSONErrors(t *testing.T) {
 }
 
 func TestConcat(t *testing.T) {
-	a := Constant(5, 10)
-	b := Constant(10, 10)
-	c := a.Concat(b, Constant(1, 5))
+	a := Constant(units.Mbps(5), units.Seconds(10))
+	b := Constant(units.Mbps(10), units.Seconds(10))
+	c := a.Concat(b, Constant(units.Mbps(1), units.Seconds(5)))
 	if math.Abs(float64(c.Duration())-25) > 1e-9 {
 		t.Fatalf("duration = %v", c.Duration())
 	}
-	if c.BandwidthAt(5) != 5 || c.BandwidthAt(15) != 10 || c.BandwidthAt(22) != 1 {
+	if c.BandwidthAt(units.Seconds(5)) != 5 || c.BandwidthAt(units.Seconds(15)) != 10 || c.BandwidthAt(units.Seconds(22)) != 1 {
 		t.Error("concat order wrong")
 	}
 	// Originals untouched.
@@ -65,7 +67,7 @@ func TestRepeat(t *testing.T) {
 	if math.Abs(float64(tr.Duration())-12) > 1e-9 {
 		t.Fatalf("duration = %v", tr.Duration())
 	}
-	if tr.BandwidthAt(4.5) != 4 { // second copy starts at t=4
+	if tr.BandwidthAt(units.Seconds(4.5)) != 4 { // second copy starts at t=4
 		t.Error("repeat content wrong")
 	}
 	if empty := figure4Trace().Repeat(0); empty.Len() != 0 {

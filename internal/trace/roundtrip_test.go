@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// awkwardTrace carries values with no short decimal representation, so the
+// round trips below prove the writers emit shortest-uniquely-decodable
+// decimals rather than truncating.
+func awkwardTrace() *Trace {
+	return New([]Sample{
+		{Duration: units.Seconds(1.0 / 3.0), Mbps: units.Mbps(math.Pi)},
+		{Duration: units.Seconds(0.145), Mbps: units.Mbps(57.3)},
+		{Duration: units.Seconds(2), Mbps: units.Mbps(0.2)},
+		{Duration: units.Seconds(math.Nextafter(4, 5)), Mbps: units.Mbps(1e-3)},
+	})
+}
+
+// assertBitIdentical compares two traces sample by sample at the bit level:
+// the typed->float64->typed trip through a wire format must not move any
+// value, because float64(unit) and unit(float64) share the representation.
+func assertBitIdentical(t *testing.T, format string, got, want *Trace) {
+	t.Helper()
+	gs, ws := got.Samples(), want.Samples()
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: %d samples, want %d", format, len(gs), len(ws))
+	}
+	for i := range ws {
+		if math.Float64bits(float64(gs[i].Duration)) != math.Float64bits(float64(ws[i].Duration)) {
+			t.Errorf("%s: sample %d duration = %v, want %v (bit-exact)", format, i, gs[i].Duration, ws[i].Duration)
+		}
+		if math.Float64bits(float64(gs[i].Mbps)) != math.Float64bits(float64(ws[i].Mbps)) {
+			t.Errorf("%s: sample %d mbps = %v, want %v (bit-exact)", format, i, gs[i].Mbps, ws[i].Mbps)
+		}
+	}
+}
+
+// TestCSVRoundTripLossless pins the wire-boundary contract for the CSV
+// interchange format.
+func TestCSVRoundTripLossless(t *testing.T) {
+	orig := awkwardTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "csv", back, orig)
+}
+
+// TestJSONRoundTripLossless pins the same contract for the JSON format.
+func TestJSONRoundTripLossless(t *testing.T) {
+	orig := awkwardTrace()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "json", back, orig)
+}

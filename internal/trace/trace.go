@@ -15,6 +15,8 @@
 // Traces wrap around: a download that runs past the end of the trace continues
 // from the beginning, mirroring the behaviour of the Sabre simulator the
 // paper's evaluation is built on.
+//
+//soda:wire-boundary
 package trace
 
 import (

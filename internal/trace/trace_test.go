@@ -14,7 +14,7 @@ import (
 func figure4Trace() *Trace {
 	// The throughput function of the paper's Figure 4:
 	// 4 Mb/s for 1 s, 1 Mb/s for 1 s, then 2 Mb/s for 2 s.
-	return New([]Sample{{1, 4}, {1, 1}, {2, 2}})
+	return New([]Sample{{units.Seconds(1), units.Mbps(4)}, {units.Seconds(1), units.Mbps(1)}, {units.Seconds(2), units.Mbps(2)}})
 }
 
 func TestFigure4TimeBasedThroughput(t *testing.T) {
@@ -22,7 +22,7 @@ func TestFigure4TimeBasedThroughput(t *testing.T) {
 	// Time-based formulation with Δt = 1 s: ω1=4, ω2=1, ω3=ω4=2.
 	want := []float64{4, 1, 2, 2}
 	for i, w := range want {
-		got := tr.MeanOver(units.Seconds(i), 1)
+		got := tr.MeanOver(units.Seconds(i), units.Seconds(1))
 		if math.Abs(float64(got)-w) > 1e-12 {
 			t.Errorf("ω_%d = %v, want %v", i+1, got, w)
 		}
@@ -35,11 +35,11 @@ func TestFigure4SegmentBasedBias(t *testing.T) {
 	// segment (2 Mb) downloads in 0.5 s at 4 Mb/s, so ω1 = 4 Mb/s; with
 	// r2 = 2.5 Mb/s the second segment (2.5 Mb) takes 1 s (0.5 s at 4 Mb/s
 	// gives 2 Mb, then 0.5 s at 1 Mb/s gives 0.5 Mb), so ω2 = 2.5 Mb/s.
-	dt1, err := tr.DownloadTime(0, 2.0)
+	dt1, err := tr.DownloadTime(units.Seconds(0), units.Megabits(2.0))
 	if err != nil || math.Abs(float64(dt1)-0.5) > 1e-12 {
 		t.Fatalf("segment 1 download time = %v, %v; want 0.5", dt1, err)
 	}
-	dt2, err := tr.DownloadTime(0.5, 2.5)
+	dt2, err := tr.DownloadTime(units.Seconds(0.5), units.Megabits(2.5))
 	if err != nil || math.Abs(float64(dt2)-1.0) > 1e-12 {
 		t.Fatalf("segment 2 download time = %v, %v; want 1.0", dt2, err)
 	}
@@ -62,34 +62,34 @@ func TestBandwidthAt(t *testing.T) {
 		}
 	}
 	var empty Trace
-	if empty.BandwidthAt(1) != 0 {
+	if empty.BandwidthAt(units.Seconds(1)) != 0 {
 		t.Error("empty trace should report 0 bandwidth")
 	}
 }
 
 func TestDownloadTimeWrap(t *testing.T) {
-	tr := New([]Sample{{1, 8}}) // 8 Mb/s forever
-	dt, err := tr.DownloadTime(0.9, 16)
+	tr := New([]Sample{{units.Seconds(1), units.Mbps(8)}}) // 8 Mb/s forever
+	dt, err := tr.DownloadTime(units.Seconds(0.9), units.Megabits(16))
 	if err != nil || math.Abs(float64(dt)-2.0) > 1e-9 {
 		t.Errorf("DownloadTime = %v, %v; want 2", dt, err)
 	}
-	if dt, err := tr.DownloadTime(5, 0); err != nil || dt != 0 {
+	if dt, err := tr.DownloadTime(units.Seconds(5), units.Megabits(0)); err != nil || dt != 0 {
 		t.Errorf("zero-size transfer = %v, %v", dt, err)
 	}
 }
 
 func TestDownloadTimeStalled(t *testing.T) {
-	tr := New([]Sample{{5, 0}})
-	if _, err := tr.DownloadTime(0, 1); err != ErrStalled {
+	tr := New([]Sample{{units.Seconds(5), units.Mbps(0)}})
+	if _, err := tr.DownloadTime(units.Seconds(0), units.Megabits(1)); err != ErrStalled {
 		t.Errorf("want ErrStalled, got %v", err)
 	}
 	var empty Trace
-	if _, err := empty.DownloadTime(0, 1); err != ErrStalled {
+	if _, err := empty.DownloadTime(units.Seconds(0), units.Megabits(1)); err != ErrStalled {
 		t.Errorf("empty trace: want ErrStalled, got %v", err)
 	}
 	// Zero spans followed by capacity must still complete.
-	mix := New([]Sample{{2, 0}, {1, 10}})
-	dt, err := mix.DownloadTime(0, 5)
+	mix := New([]Sample{{units.Seconds(2), units.Mbps(0)}, {units.Seconds(1), units.Mbps(10)}})
+	dt, err := mix.DownloadTime(units.Seconds(0), units.Megabits(5))
 	if err != nil || math.Abs(float64(dt)-2.5) > 1e-9 {
 		t.Errorf("mixed trace DownloadTime = %v, %v; want 2.5", dt, err)
 	}
@@ -97,14 +97,14 @@ func TestDownloadTimeStalled(t *testing.T) {
 
 func TestTransferableMegabits(t *testing.T) {
 	tr := figure4Trace()
-	if got := tr.TransferableMegabits(0, 4); math.Abs(float64(got)-9) > 1e-12 {
+	if got := tr.TransferableMegabits(units.Seconds(0), units.Seconds(4)); math.Abs(float64(got)-9) > 1e-12 {
 		t.Errorf("full trace capacity = %v, want 9", got)
 	}
-	if got := tr.TransferableMegabits(0.5, 1); math.Abs(float64(got)-2.5) > 1e-12 {
+	if got := tr.TransferableMegabits(units.Seconds(0.5), units.Seconds(1)); math.Abs(float64(got)-2.5) > 1e-12 {
 		t.Errorf("capacity over [0.5,1.5) = %v, want 2.5", got)
 	}
 	// Wrap-around window.
-	if got := tr.TransferableMegabits(3.5, 1); math.Abs(float64(got)-(1+2)) > 1e-12 {
+	if got := tr.TransferableMegabits(units.Seconds(3.5), units.Seconds(1)); math.Abs(float64(got)-(1+2)) > 1e-12 {
 		t.Errorf("wrapping capacity = %v, want 3", got)
 	}
 }
@@ -115,7 +115,7 @@ func TestMeanAndRSD(t *testing.T) {
 	if got := tr.MeanMbps(); math.Abs(float64(got)-wantMean) > 1e-12 {
 		t.Errorf("MeanMbps = %v, want %v", got, wantMean)
 	}
-	if c := Constant(5, 10); c.RSD() != 0 {
+	if c := Constant(units.Mbps(5), units.Seconds(10)); c.RSD() != 0 {
 		t.Errorf("constant trace RSD = %v", c.RSD())
 	}
 	if tr.RSD() <= 0 {
@@ -128,14 +128,14 @@ func TestMeanAndRSD(t *testing.T) {
 
 func TestSliceAndSplit(t *testing.T) {
 	tr := figure4Trace()
-	s := tr.Slice(0.5, 2)
+	s := tr.Slice(units.Seconds(0.5), units.Seconds(2))
 	if math.Abs(float64(s.Duration())-2) > 1e-9 {
 		t.Fatalf("slice duration = %v", s.Duration())
 	}
-	if got := s.MeanOver(0, 2); math.Abs(float64(got-tr.MeanOver(0.5, 2))) > 1e-9 {
-		t.Errorf("slice mean = %v, want %v", got, tr.MeanOver(0.5, 2))
+	if got := s.MeanOver(units.Seconds(0), units.Seconds(2)); math.Abs(float64(got-tr.MeanOver(units.Seconds(0.5), units.Seconds(2)))) > 1e-9 {
+		t.Errorf("slice mean = %v, want %v", got, tr.MeanOver(units.Seconds(0.5), units.Seconds(2)))
 	}
-	sessions := tr.SplitSessions(2)
+	sessions := tr.SplitSessions(units.Seconds(2))
 	if len(sessions) != 2 {
 		t.Fatalf("sessions = %d, want 2", len(sessions))
 	}
@@ -147,7 +147,7 @@ func TestSliceAndSplit(t *testing.T) {
 			t.Errorf("session %d invalid: %v", i, err)
 		}
 	}
-	if got := tr.SplitSessions(10); got != nil {
+	if got := tr.SplitSessions(units.Seconds(10)); got != nil {
 		t.Errorf("oversized split should be nil, got %d sessions", len(got))
 	}
 }
@@ -207,18 +207,18 @@ func TestValidate(t *testing.T) {
 	if err := tr.Validate(); err != nil {
 		t.Errorf("valid trace rejected: %v", err)
 	}
-	bad := &Trace{samples: []Sample{{Duration: 1, Mbps: 2}}, total: 99}
+	bad := &Trace{samples: []Sample{{Duration: units.Seconds(1), Mbps: units.Mbps(2)}}, total: units.Seconds(99)}
 	if err := bad.Validate(); err == nil {
 		t.Error("inconsistent total not caught")
 	}
-	bad2 := &Trace{samples: []Sample{{Duration: -1, Mbps: 2}}, total: -1}
+	bad2 := &Trace{samples: []Sample{{Duration: units.Seconds(-1), Mbps: units.Mbps(2)}}, total: units.Seconds(-1)}
 	if err := bad2.Validate(); err == nil {
 		t.Error("negative duration not caught")
 	}
 }
 
 func TestAppendPanics(t *testing.T) {
-	for _, s := range []Sample{{0, 1}, {-1, 1}, {1, -1}, {1, units.Mbps(math.NaN())}, {1, units.Mbps(math.Inf(1))}} {
+	for _, s := range []Sample{{units.Seconds(0), units.Mbps(1)}, {units.Seconds(-1), units.Mbps(1)}, {units.Seconds(1), units.Mbps(-1)}, {units.Seconds(1), units.Mbps(math.NaN())}, {units.Seconds(1), units.Mbps(math.Inf(1))}} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -232,12 +232,13 @@ func (p Profile) AnalyticMoments() (mean, rsd float64, err error) {
 // Session generates one session trace of the given duration. Sessions with
 // different indices are statistically independent; the same (profile, seed,
 // index) always yields the same trace.
-func (p Profile) Session(seconds float64, seed uint64, index int) (*trace.Trace, error) {
+func (p Profile) Session(length units.Seconds, seed uint64, index int) (*trace.Trace, error) {
 	cal, err := p.calibrate()
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(seed, uint64(index)*0x9e3779b97f4a7c15+1))
+	seconds := float64(length)
 	steps := int(math.Ceil(seconds / p.StepSeconds))
 	tr := &trace.Trace{}
 
@@ -294,14 +295,14 @@ type Dataset struct {
 }
 
 // Generate produces a dataset of the given number of sessions, each
-// sessionSeconds long (the paper uses 10-minute sessions).
-func Generate(p Profile, sessions int, sessionSeconds float64, seed uint64) (*Dataset, error) {
+// sessionLength long (the paper uses 10-minute sessions).
+func Generate(p Profile, sessions int, sessionLength units.Seconds, seed uint64) (*Dataset, error) {
 	if sessions <= 0 {
 		return nil, fmt.Errorf("tracegen: non-positive session count %d", sessions)
 	}
 	ds := &Dataset{Name: p.Name, Sessions: make([]*trace.Trace, 0, sessions)}
 	for i := 0; i < sessions; i++ {
-		tr, err := p.Session(sessionSeconds, seed, i)
+		tr, err := p.Session(sessionLength, seed, i)
 		if err != nil {
 			return nil, err
 		}
@@ -311,7 +312,7 @@ func Generate(p Profile, sessions int, sessionSeconds float64, seed uint64) (*Da
 }
 
 // MeanMbps returns the pooled mean bandwidth across all sessions.
-func (d *Dataset) MeanMbps() float64 {
+func (d *Dataset) MeanMbps() units.Mbps {
 	var sum units.Megabits
 	var dur units.Seconds
 	for _, s := range d.Sessions {
@@ -321,13 +322,13 @@ func (d *Dataset) MeanMbps() float64 {
 	if dur == 0 {
 		return 0
 	}
-	return float64(sum.Over(dur))
+	return sum.Over(dur)
 }
 
 // RSD returns the pooled relative standard deviation of bandwidth across all
 // sessions.
 func (d *Dataset) RSD() float64 {
-	mean := d.MeanMbps()
+	mean := float64(d.MeanMbps())
 	if mean == 0 {
 		return 0
 	}

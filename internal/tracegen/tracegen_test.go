@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+
+	"repro/internal/units"
 )
 
 func TestProfilesValidate(t *testing.T) {
@@ -97,7 +99,7 @@ func TestCalibrationInfeasible(t *testing.T) {
 	p := Puffer()
 	// Target RSD far below the regime spread is infeasible.
 	p.TargetRSD = 0.01
-	if _, err := p.Session(60, 1, 0); err == nil {
+	if _, err := p.Session(units.Seconds(60), 1, 0); err == nil {
 		t.Error("infeasible calibration not detected")
 	}
 	if _, _, err := p.AnalyticMoments(); err == nil {
@@ -110,11 +112,11 @@ func TestDatasetMatchesCalibrationTargets(t *testing.T) {
 	// tolerance. This is the core guarantee of the substitution documented
 	// in DESIGN.md.
 	for _, p := range Profiles() {
-		ds, err := Generate(p, 60, 600, 12345)
+		ds, err := Generate(p, 60, units.Seconds(600), 12345)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name, err)
 		}
-		mean := ds.MeanMbps()
+		mean := float64(ds.MeanMbps())
 		rsd := ds.RSD()
 		if math.Abs(mean-p.TargetMeanMbps)/p.TargetMeanMbps > 0.10 {
 			t.Errorf("%s: mean = %.2f Mb/s, target %.2f", p.Name, mean, p.TargetMeanMbps)
@@ -128,9 +130,9 @@ func TestDatasetMatchesCalibrationTargets(t *testing.T) {
 func TestDatasetOrdering(t *testing.T) {
 	// The paper's datasets are strictly ordered: Puffer has the best network
 	// conditions, then 5G, then 4G by mean; 5G is the most volatile.
-	puffer, _ := Generate(Puffer(), 30, 600, 7)
-	fiveG, _ := Generate(FiveG(), 30, 600, 7)
-	fourG, _ := Generate(FourG(), 30, 600, 7)
+	puffer, _ := Generate(Puffer(), 30, units.Seconds(600), 7)
+	fiveG, _ := Generate(FiveG(), 30, units.Seconds(600), 7)
+	fourG, _ := Generate(FourG(), 30, units.Seconds(600), 7)
 	if !(puffer.MeanMbps() > fiveG.MeanMbps() && fiveG.MeanMbps() > fourG.MeanMbps()) {
 		t.Errorf("mean ordering violated: %v %v %v", puffer.MeanMbps(), fiveG.MeanMbps(), fourG.MeanMbps())
 	}
@@ -141,11 +143,11 @@ func TestDatasetOrdering(t *testing.T) {
 
 func TestSessionDeterminism(t *testing.T) {
 	p := FourG()
-	a, err := p.Session(120, 99, 3)
+	a, err := p.Session(units.Seconds(120), 99, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := p.Session(120, 99, 3)
+	b, _ := p.Session(units.Seconds(120), 99, 3)
 	if a.Len() != b.Len() {
 		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
 	}
@@ -154,7 +156,7 @@ func TestSessionDeterminism(t *testing.T) {
 			t.Fatalf("sample %d differs", i)
 		}
 	}
-	c, _ := p.Session(120, 99, 4)
+	c, _ := p.Session(units.Seconds(120), 99, 4)
 	same := a.Len() == c.Len()
 	if same {
 		identical := true
@@ -172,7 +174,7 @@ func TestSessionDeterminism(t *testing.T) {
 
 func TestSessionDurationAndPositivity(t *testing.T) {
 	p := FiveG()
-	tr, err := p.Session(601.5, 5, 0)
+	tr, err := p.Session(units.Seconds(601.5), 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,18 +190,18 @@ func TestSessionDurationAndPositivity(t *testing.T) {
 }
 
 func TestGenerateErrors(t *testing.T) {
-	if _, err := Generate(Puffer(), 0, 600, 1); err == nil {
+	if _, err := Generate(Puffer(), 0, units.Seconds(600), 1); err == nil {
 		t.Error("zero sessions not rejected")
 	}
 	bad := Puffer()
 	bad.TargetRSD = 0.001
-	if _, err := Generate(bad, 2, 600, 1); err == nil {
+	if _, err := Generate(bad, 2, units.Seconds(600), 1); err == nil {
 		t.Error("calibration error not propagated")
 	}
 }
 
 func TestQuartilesByRSD(t *testing.T) {
-	ds, err := Generate(Puffer(), 40, 300, 21)
+	ds, err := Generate(Puffer(), 40, units.Seconds(300), 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +242,7 @@ func TestQuartilesByRSD(t *testing.T) {
 }
 
 func TestSubset(t *testing.T) {
-	ds, _ := Generate(FourG(), 20, 120, 3)
+	ds, _ := Generate(FourG(), 20, units.Seconds(120), 3)
 	sub := ds.Subset(5, 9)
 	if len(sub) != 5 {
 		t.Fatalf("subset size = %d", len(sub))
@@ -259,9 +261,9 @@ func TestSubset(t *testing.T) {
 
 func TestFilterMeanBelow(t *testing.T) {
 	ds := &Dataset{Sessions: []*trace.Trace{
-		trace.Constant(1, 10),
-		trace.Constant(5, 10),
-		trace.Constant(1.5, 10),
+		trace.Constant(units.Mbps(1), units.Seconds(10)),
+		trace.Constant(units.Mbps(5), units.Seconds(10)),
+		trace.Constant(units.Mbps(1.5), units.Seconds(10)),
 	}}
 	got := ds.FilterMeanBelow(2)
 	if len(got) != 2 {
@@ -274,7 +276,7 @@ func TestStepDown(t *testing.T) {
 	if math.Abs(float64(tr.Duration())-200) > 1e-9 {
 		t.Errorf("duration = %v", tr.Duration())
 	}
-	if tr.BandwidthAt(30) != 10 || tr.BandwidthAt(100) != 1 {
+	if tr.BandwidthAt(units.Seconds(30)) != 10 || tr.BandwidthAt(units.Seconds(100)) != 1 {
 		t.Error("step-down shape wrong")
 	}
 }

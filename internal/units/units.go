@@ -22,10 +22,13 @@
 // silently off by 1000x) and raw untyped literals passed where a unit type
 // is expected.
 //
-// Converting to and from plain float64 is always allowed — float64(x) is the
-// sanctioned exit into dimensionless arithmetic (cost functions, utilities,
-// statistics) and into the not-yet-migrated float64 boundaries (abr.Context,
-// predictor). Keep the dimensioned form as long as the value has a unit.
+// Converting to and from plain float64 is allowed for dimensionless
+// arithmetic (cost functions, utilities, statistics) and at serialization
+// boundaries. The decision path (abr.Context, the predictors, qoe, the
+// player and production harnesses) is fully typed; only packages tagged as
+// wire boundaries (proto, httpseg, dash, trace — see the `nofloat64wire`
+// analyzer) may launder unit values into foreign float64 APIs. Keep the
+// dimensioned form as long as the value has a unit.
 //
 // All types use float64 underneath and incur zero runtime cost: the
 // conversions and helper methods compile to the identical floating-point
@@ -35,6 +38,11 @@ package units
 
 // Seconds is a duration or buffer level in seconds of (video) time.
 type Seconds float64
+
+// Minutes is a duration in minutes; used by the engagement model and the
+// production A/B study, where viewing durations and live-event lengths are
+// natively quoted in minutes.
+type Minutes float64
 
 // Milliseconds is a duration in milliseconds; used at network-emulation and
 // HTTP boundaries where latencies are natively quoted in ms.
@@ -60,6 +68,12 @@ func (s Seconds) Milliseconds() Milliseconds { return Milliseconds(s * 1e3) }
 // Seconds converts milliseconds to seconds.
 func (ms Milliseconds) Seconds() Seconds { return Seconds(ms / 1e3) }
 
+// Minutes converts seconds to minutes.
+func (s Seconds) Minutes() Minutes { return Minutes(s / 60) }
+
+// Seconds converts minutes to seconds.
+func (m Minutes) Seconds() Seconds { return Seconds(m * 60) }
+
 // Kbps converts a rate in Mb/s to Kb/s.
 func (r Mbps) Kbps() Kbps { return Kbps(r * 1e3) }
 
@@ -71,6 +85,16 @@ func (b Megabits) Bits() Bits { return Bits(b * 1e6) }
 
 // Megabits converts bits to megabits.
 func (b Bits) Megabits() Megabits { return Megabits(b / 1e6) }
+
+// Scale returns the duration scaled by a dimensionless factor.
+func (s Seconds) Scale(f float64) Seconds { return Seconds(float64(s) * f) }
+
+// Scale returns the rate scaled by a dimensionless factor (safety margins,
+// discounts, noise): f·r has the same dimension as r.
+func (r Mbps) Scale(f float64) Mbps { return Mbps(float64(r) * f) }
+
+// Scale returns the size scaled by a dimensionless factor.
+func (b Megabits) Scale(f float64) Megabits { return Megabits(float64(b) * f) }
 
 // Bps returns the rate's magnitude in bits per second, for wire formats
 // (e.g. the DASH MPD @bandwidth attribute) that are natively

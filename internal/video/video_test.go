@@ -9,7 +9,7 @@ import (
 )
 
 func TestLadderConstruction(t *testing.T) {
-	l := NewLadder([]float64{1, 2, 4}, 2)
+	l := NewLadder([]float64{1, 2, 4}, units.Seconds(2))
 	if l.Len() != 3 || l.Min() != 1 || l.Max() != 4 {
 		t.Errorf("ladder %+v", l)
 	}
@@ -124,7 +124,7 @@ func TestLogUtility(t *testing.T) {
 		}
 		prev = u
 	}
-	single := NewLadder([]float64{3}, 2)
+	single := NewLadder([]float64{3}, units.Seconds(2))
 	if single.LogUtility(0) != 1 {
 		t.Errorf("single-rung utility = %v", single.LogUtility(0))
 	}
@@ -173,14 +173,14 @@ func TestVBRProperties(t *testing.T) {
 
 func TestSSIMModel(t *testing.T) {
 	m := DefaultSSIM()
-	if got := m.SSIM(0.2); math.Abs(got-0.90) > 1e-9 {
+	if got := m.SSIM(units.Mbps(0.2)); math.Abs(got-0.90) > 1e-9 {
 		t.Errorf("SSIM(0.2) = %v, want 0.90", got)
 	}
-	if got := m.SSIM(2.0); math.Abs(got-0.98) > 1e-9 {
+	if got := m.SSIM(units.Mbps(2.0)); math.Abs(got-0.98) > 1e-9 {
 		t.Errorf("SSIM(2.0) = %v, want 0.98", got)
 	}
-	if m.SSIM(0) != 0 {
-		t.Errorf("SSIM(0) = %v", m.SSIM(0))
+	if m.SSIM(units.Mbps(0)) != 0 {
+		t.Errorf("SSIM(0) = %v", m.SSIM(units.Mbps(0)))
 	}
 	// Monotone increasing.
 	prev := -1.0
@@ -195,8 +195,8 @@ func TestSSIMModel(t *testing.T) {
 		prev = s
 	}
 	// Concavity in bitrate: marginal gains shrink.
-	d1 := m.SSIM(0.4) - m.SSIM(0.2)
-	d2 := m.SSIM(0.6) - m.SSIM(0.4)
+	d1 := m.SSIM(units.Mbps(0.4)) - m.SSIM(units.Mbps(0.2))
+	d2 := m.SSIM(units.Mbps(0.6)) - m.SSIM(units.Mbps(0.4))
 	if d2 >= d1 {
 		t.Errorf("SSIM not concave: %v then %v", d1, d2)
 	}
@@ -204,13 +204,13 @@ func TestSSIMModel(t *testing.T) {
 
 func TestNormalizedUtility(t *testing.T) {
 	m := DefaultSSIM()
-	if got := m.NormalizedUtility(2.0, 2.0); math.Abs(got-1) > 1e-12 {
+	if got := m.NormalizedUtility(units.Mbps(2.0), units.Mbps(2.0)); math.Abs(got-1) > 1e-12 {
 		t.Errorf("top-rung normalized utility = %v", got)
 	}
-	if got := m.NormalizedUtility(0.2, 2.0); got <= 0 || got >= 1 {
+	if got := m.NormalizedUtility(units.Mbps(0.2), units.Mbps(2.0)); got <= 0 || got >= 1 {
 		t.Errorf("bottom-rung normalized utility = %v", got)
 	}
-	if got := m.NormalizedUtility(1, 0); got != 0 {
+	if got := m.NormalizedUtility(units.Mbps(1), units.Mbps(0)); got != 0 {
 		t.Errorf("degenerate normalization = %v", got)
 	}
 }

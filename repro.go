@@ -95,22 +95,22 @@ func NewController(name string, ladder Ladder) (Controller, error) { return abr.
 func Controllers() []string { return abr.Names() }
 
 // NewEMAPredictor returns the dash.js-default EMA throughput predictor.
-func NewEMAPredictor(halfLifeSeconds float64) Predictor { return predictor.NewEMA(halfLifeSeconds) }
+func NewEMAPredictor(halfLife Seconds) Predictor { return predictor.NewEMA(halfLife) }
 
 // NewSafeEMAPredictor returns the pessimistic fast/slow EMA predictor.
 func NewSafeEMAPredictor() Predictor { return predictor.NewSafeEMA() }
 
 // NewSlidingWindowPredictor returns the production sliding-window predictor.
-func NewSlidingWindowPredictor(windowSeconds float64) Predictor {
-	return predictor.NewSlidingWindow(windowSeconds)
+func NewSlidingWindowPredictor(window Seconds) Predictor {
+	return predictor.NewSlidingWindow(window)
 }
 
 // Simulate runs one session over the trace.
 func Simulate(tr *Trace, cfg SimulationConfig) (SimulationResult, error) { return sim.Run(tr, cfg) }
 
 // GenerateDataset synthesizes sessions from a calibrated profile.
-func GenerateDataset(p DatasetProfile, sessions int, sessionSeconds float64, seed uint64) (*tracegen.Dataset, error) {
-	return tracegen.Generate(p, sessions, sessionSeconds, seed)
+func GenerateDataset(p DatasetProfile, sessions int, sessionLength Seconds, seed uint64) (*tracegen.Dataset, error) {
+	return tracegen.Generate(p, sessions, sessionLength, seed)
 }
 
 // ConstantTrace returns a fixed-bandwidth trace.
@@ -129,8 +129,8 @@ type TCPSessionConfig struct {
 	// Ladder and TotalSegments define the stream.
 	Ladder        Ladder
 	TotalSegments int
-	// BufferCap is the playback buffer bound in seconds.
-	BufferCap float64
+	// BufferCap is the playback buffer bound.
+	BufferCap Seconds
 	// TimeScale compresses stream time (>= 1); 1 plays in real time.
 	TimeScale float64
 	// DialTimeout bounds connection setup and each fetch.

@@ -29,9 +29,9 @@ func TestFacadeSimulate(t *testing.T) {
 	soda := NewSODA(DefaultSODAConfig(), LadderMobile())
 	res, err := Simulate(ConstantTrace(10, 120), SimulationConfig{
 		Ladder:     LadderMobile(),
-		BufferCap:  20,
+		BufferCap:  Seconds(20),
 		Controller: soda,
-		Predictor:  NewEMAPredictor(4),
+		Predictor:  NewEMAPredictor(Seconds(4)),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -45,20 +45,20 @@ func TestFacadeSimulate(t *testing.T) {
 }
 
 func TestFacadeDataset(t *testing.T) {
-	ds, err := GenerateDataset(Profile4G(), 5, 120, 3)
+	ds, err := GenerateDataset(Profile4G(), 5, Seconds(120), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ds.Sessions) != 5 {
 		t.Fatalf("sessions = %d", len(ds.Sessions))
 	}
-	if math.Abs(ds.MeanMbps()-13)/13 > 0.5 {
+	if math.Abs(float64(ds.MeanMbps()-13))/13 > 0.5 {
 		t.Errorf("4G mean = %v", ds.MeanMbps())
 	}
 }
 
 func TestFacadeTrace(t *testing.T) {
-	tr := NewTrace([]Sample{{Duration: 2, Mbps: 5}, {Duration: 2, Mbps: 15}})
+	tr := NewTrace([]Sample{{Duration: Seconds(2), Mbps: Mbps(5)}, {Duration: Seconds(2), Mbps: Mbps(15)}})
 	if tr.MeanMbps() != 10 {
 		t.Errorf("mean = %v", tr.MeanMbps())
 	}
@@ -77,7 +77,7 @@ func TestFacadeStreamOverTCP(t *testing.T) {
 		Predictor:     NewSafeEMAPredictor(),
 		Ladder:        LadderPrototype(),
 		TotalSegments: 20,
-		BufferCap:     15,
+		BufferCap:     Seconds(15),
 		TimeScale:     25,
 	})
 	if err != nil {
