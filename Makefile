@@ -4,11 +4,11 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test bench bench-gate fuzz build vuln
+.PHONY: all ci lint test conformance bench bench-gate fuzz build vuln
 
 all: lint test
 
-ci: lint build test fuzz bench-gate vuln
+ci: lint build test conformance fuzz bench-gate vuln
 
 build:
 	$(GO) build ./...
@@ -25,14 +25,22 @@ lint:
 test:
 	$(GO) test -race ./...
 
+# conformance re-runs the shared solve-cache bit-identity contract under the
+# race detector on its own, so a cache regression fails with a named step
+# even though `make test` also covers it as part of the full suite.
+conformance:
+	$(GO) test -race -run 'TestSodaSharedCache' ./internal/abrtest
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-gate runs the BenchmarkSolver* suite with a fixed iteration budget,
-# writes BENCH_pr3.json, and fails if nodes/solve regresses more than 10%
-# against the committed bench_baseline.json.
+# bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache
+# benchmarks with fixed iteration budgets and writes BENCH_pr4.json. It fails
+# if nodes/solve regresses more than 10% against the committed
+# bench_baseline.json, if allocs/op regresses at all, or if the dataset-scale
+# shared cache stops cutting solver invocations by at least 2x.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr3.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr4.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

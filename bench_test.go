@@ -11,11 +11,16 @@ package repro
 // regenerates the artifact exactly.
 
 import (
+	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/predictor"
+	"repro/internal/sim"
+	"repro/internal/tracegen"
 	"repro/internal/units"
 	"repro/internal/video"
 )
@@ -361,6 +366,158 @@ func benchCtx() *abr.Context {
 		PrevRung:  3,
 		Ladder:    ladder,
 		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(30) },
+	}
+}
+
+// --- Shared solve cache ---------------------------------------------------
+
+// benchStream precomputes n deterministic decision contexts spanning many
+// quantized planning states, so the cache benchmarks measure Decide and not
+// context construction.
+func benchStream(ladder video.Ladder, n int) []*abr.Context {
+	rng := rand.New(rand.NewPCG(77, 101))
+	out := make([]*abr.Context, n)
+	for i := range out {
+		omega := units.Mbps(1 + rng.Float64()*55)
+		out[i] = &abr.Context{
+			Buffer:        units.Seconds(rng.Float64() * 17),
+			BufferCap:     units.Seconds(20),
+			PrevRung:      rng.IntN(ladder.Len()+1) - 1,
+			Ladder:        ladder,
+			SegmentIndex:  i % 300,
+			TotalSegments: 300,
+			Predict:       func(units.Seconds) units.Mbps { return omega },
+		}
+	}
+	return out
+}
+
+// BenchmarkSharedCacheParallel measures the shared cache under concurrent
+// decision traffic: a pool of pre-warmed controllers (as a fleet of sessions
+// would be) decides over a fixed context stream via b.RunParallel. The cache
+// is warmed before the timer starts, so the loop exercises the steady state —
+// lookups and hits across the shard mutexes, allocation-free.
+func BenchmarkSharedCacheParallel(b *testing.B) {
+	ladder := video.YouTube4K()
+	cache := core.NewSolveCache(1 << 15)
+	cfg := core.DefaultConfig()
+	cfg.SharedCache = cache
+	const streamMask = 1<<12 - 1
+	ctxs := benchStream(ladder, streamMask+1)
+	warm := core.New(cfg, ladder)
+	for _, ctx := range ctxs {
+		warm.Decide(ctx)
+	}
+	pool := make(chan *core.Controller, 32)
+	for i := 0; i < cap(pool); i++ {
+		pool <- core.New(cfg, ladder)
+	}
+	warmSt := cache.Stats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctrl := <-pool
+		defer func() { pool <- ctrl }()
+		i := 0
+		for pb.Next() {
+			ctrl.Decide(ctxs[i&streamMask])
+			i++
+		}
+	})
+	b.StopTimer()
+	// Report the timed loop's own traffic, net of the warm-up pass.
+	st := cache.Stats()
+	if lookups := st.Lookups - warmSt.Lookups; lookups > 0 {
+		b.ReportMetric(100*float64(st.Hits-warmSt.Hits)/float64(lookups), "shared-hit-%")
+	}
+	b.ReportMetric(float64(st.Conflicts-warmSt.Conflicts), "shared-conflicts")
+}
+
+// datasetSolveTally sums per-session solver work across a dataset run; the
+// sim.RunDataset result hook runs on worker goroutines, hence the lock.
+type datasetSolveTally struct {
+	mu        sync.Mutex
+	sessions  int
+	decisions uint64
+	stats     core.SolveStats
+}
+
+func (t *datasetSolveTally) hook(_ int, ctrl abr.Controller, res sim.Result) {
+	c, ok := ctrl.(*core.Controller)
+	if !ok {
+		return
+	}
+	s := c.SolveStats()
+	t.mu.Lock()
+	t.sessions++
+	t.decisions += uint64(len(res.Rungs))
+	t.stats.Add(s)
+	t.mu.Unlock()
+}
+
+// fleetQuantum is the memo quantization the dataset benchmark fleet runs at:
+// 0.5 s of buffer and 0.5 Mb/s of prediction. The default 0.01 quantum keys
+// states so finely that sessions rarely land on each other's entries (the
+// shared cache still helps, but only ~6% at default Scale); a fleet that
+// wants cross-session reuse coarsens the quantum, which is safe because the
+// controller solves *at* the quantized state (decisions stay a pure function
+// of the key) and SODA is robust to far larger prediction error than 0.5 Mb/s
+// (Figure 11). Both arms of the benchmark use the same quantum, so the
+// reduction isolates the cache, not the quantization.
+const fleetQuantum = 0.5
+
+// BenchmarkDatasetSharedCache is the dataset-scale on/off comparison: the
+// default-Scale Puffer bucket simulated end to end by SODA sessions, without
+// ("off") and with ("on") a fleet-wide solve cache, both at fleetQuantum.
+// The headline metrics are solves/session (the work the cache eliminates —
+// the soda-bench gate asserts the on-arm needs at most half the off-arm's
+// solves) and ns/decision at dataset scale; decisions are bit-identical
+// between the two arms per the internal/abrtest shared-cache conformance
+// contract.
+func BenchmarkDatasetSharedCache(b *testing.B) {
+	scale := scaleForBench()
+	ds, err := tracegen.Generate(tracegen.Puffer(), scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ladder := video.YouTube4K()
+	for _, mode := range []string{"off", "on"} {
+		shared := mode == "on"
+		b.Run(mode, func(b *testing.B) {
+			var tally *datasetSolveTally
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var cache *core.SolveCache
+				if shared {
+					cache = core.NewSolveCache(1 << 16)
+				}
+				tally = &datasetSolveTally{}
+				factory := func() (abr.Controller, predictor.Predictor) {
+					cfg := core.DefaultConfig()
+					cfg.MemoQuantum = fleetQuantum
+					cfg.SharedCache = cache
+					return core.New(cfg, ladder), predictor.NewEMA(units.Seconds(4))
+				}
+				if _, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
+					Ladder:         ladder,
+					BufferCap:      units.Seconds(20),
+					SessionSeconds: scale.SessionSeconds,
+					OnResult:       tally.hook,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if tally.sessions > 0 {
+				b.ReportMetric(float64(tally.stats.Solves)/float64(tally.sessions), "solves/session")
+			}
+			if tally.decisions > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(tally.decisions)/float64(b.N), "ns/decision")
+			}
+			if tally.stats.SharedLookups > 0 {
+				b.ReportMetric(100*float64(tally.stats.SharedHits)/float64(tally.stats.SharedLookups), "shared-hit-%")
+			}
+		})
 	}
 }
 

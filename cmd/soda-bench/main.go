@@ -1,21 +1,31 @@
-// Command soda-bench is the solver benchmark regression gate. It runs the
-// BenchmarkSolver* benchmarks with a fixed iteration budget, writes the
-// parsed results as JSON, and fails when the branch-and-bound solver's
-// nodes-per-solve counters regress against the committed baseline:
+// Command soda-bench is the benchmark regression gate. It runs the
+// BenchmarkSolver* benchmarks with a fixed iteration budget, runs the shared
+// solve-cache benchmarks with their own budget, writes the parsed results as
+// JSON, and fails when a deterministic performance property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr3.json
+//	go run ./cmd/soda-bench -out BENCH_pr4.json
 //
-// nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks) is
-// the gate metric because it is a deterministic property of the pruning
-// logic — unlike ns/op it does not move with runner hardware, so a hermetic
-// CI runner can enforce a tight threshold on it. ns/op and allocs/op are
-// recorded in the JSON for human inspection but not gated.
+// Three gates are enforced:
 //
-// The baseline (bench_baseline.json) carries the nodes counters recorded in
-// CHANGES.md when the branch-and-bound solver landed. A measured value more
-// than -tolerance (default 10%) above baseline fails the gate, as does a
-// baseline entry that no longer appears in the benchmark output: a silently
-// vanished benchmark must not read as a pass.
+//   - nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks)
+//     must stay within -tolerance (default 10%) of the committed baseline —
+//     it is a deterministic property of the pruning logic, so a hermetic CI
+//     runner can hold a tight threshold on it.
+//   - allocs/op of the gated benchmarks must not exceed the baseline at all
+//     (zero tolerance): the solver hot path is allocation-free by design and
+//     allocation counts are deterministic, so any increase is a regression.
+//   - the dataset-scale shared-cache benchmark's on-arm must need at most
+//     1/-min-cache-reduction (default 1/2) of the off-arm's solver
+//     invocations per session — the cross-session cache must keep earning
+//     its place.
+//
+// ns/op is recorded in the JSON for human inspection but never gated: it
+// moves with runner hardware.
+//
+// The baseline (bench_baseline.json) maps benchmark name to its gated
+// {nodes_per_solve, allocs_per_op}. A baseline entry that no longer appears
+// in the benchmark output fails the gate: a silently vanished benchmark must
+// not read as a pass.
 package main
 
 import (
@@ -37,40 +47,55 @@ type Result struct {
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
 	NodesPerSolve float64 `json:"nodes_per_solve,omitempty"`
+	// Shared solve-cache metrics (cache benchmarks only).
+	SolvesPerSession float64 `json:"solves_per_session,omitempty"`
+	NsPerDecision    float64 `json:"ns_per_decision,omitempty"`
+	SharedHitPct     float64 `json:"shared_hit_pct,omitempty"`
 }
 
 // Report is the schema of the JSON artifact.
 type Report struct {
-	Pattern    string   `json:"pattern"`
-	Benchtime  string   `json:"benchtime"`
-	Count      int      `json:"count"`
-	Benchmarks []Result `json:"benchmarks"`
+	Pattern        string   `json:"pattern"`
+	Benchtime      string   `json:"benchtime"`
+	Count          int      `json:"count"`
+	CachePattern   string   `json:"cache_pattern,omitempty"`
+	CacheBenchtime string   `json:"cache_benchtime,omitempty"`
+	Benchmarks     []Result `json:"benchmarks"`
+}
+
+// BaselineEntry carries the gated metrics of one benchmark.
+type BaselineEntry struct {
+	NodesPerSolve float64 `json:"nodes_per_solve"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
 }
 
 func main() {
 	pattern := flag.String("pattern", "BenchmarkSolver", "benchmark name pattern to run")
 	benchtime := flag.String("benchtime", "100x", "fixed per-benchmark iteration budget")
 	count := flag.Int("count", 3, "repetitions per benchmark")
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
-	baselinePath := flag.String("baseline", "bench_baseline.json", "committed nodes/solve baseline")
+	cachePattern := flag.String("cache-pattern", "BenchmarkSharedCacheParallel$|BenchmarkDatasetSharedCache",
+		"shared-cache benchmark pattern (empty skips the cache run and its gate)")
+	cacheBenchtime := flag.String("cache-benchtime", "20x", "iteration budget for the cache benchmarks")
+	minCacheReduction := flag.Float64("min-cache-reduction", 2.0,
+		"required off/on solver-invocation ratio of the dataset shared-cache benchmark (0 disables)")
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", *pattern, "-benchtime", *benchtime,
-		"-count", strconv.Itoa(*count), ".")
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "soda-bench: go test -bench: %v\n%s", err, raw)
-		os.Exit(2)
-	}
-	os.Stdout.Write(raw)
-
-	report := parse(string(raw))
+	raw := runBench(*pattern, *benchtime, *count)
+	report := parse(raw)
 	report.Pattern = *pattern
 	report.Benchtime = *benchtime
 	report.Count = *count
+	if *cachePattern != "" {
+		cacheRaw := runBench(*cachePattern, *cacheBenchtime, 1)
+		cacheReport := parse(cacheRaw)
+		report.CachePattern = *cachePattern
+		report.CacheBenchtime = *cacheBenchtime
+		report.Benchmarks = append(report.Benchmarks, cacheReport.Benchmarks...)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
@@ -87,14 +112,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
 		os.Exit(2)
 	}
-	if failures := gate(report, baseline, *tolerance); len(failures) > 0 {
+	failures := gate(report, baseline, *tolerance)
+	if *cachePattern != "" && *minCacheReduction > 0 {
+		failures = append(failures, gateCacheReduction(report, *minCacheReduction)...)
+	}
+	if len(failures) > 0 {
+		sort.Strings(failures)
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "soda-bench: FAIL %s\n", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("soda-bench: nodes/solve within %.0f%% of baseline for all %d gated benchmarks\n",
+	fmt.Printf("soda-bench: nodes/solve within %.0f%% of baseline and allocs/op unregressed for all %d gated benchmarks\n",
 		*tolerance*100, len(baseline))
+	if *cachePattern != "" && *minCacheReduction > 0 {
+		fmt.Printf("soda-bench: shared cache cuts solver invocations by >= %.1fx\n", *minCacheReduction)
+	}
+}
+
+// runBench executes one `go test -bench` invocation and returns its output,
+// which is also echoed to stdout.
+func runBench(pattern, benchtime string, count int) string {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: go test -bench %s: %v\n%s", pattern, err, raw)
+		os.Exit(2)
+	}
+	os.Stdout.Write(raw)
+	return string(raw)
 }
 
 // benchLine matches one `go test -bench` result line:
@@ -108,6 +157,10 @@ func parse(out string) Report {
 		n                 int
 		ns, allocs, nodes float64
 		nodeSamples       int
+		solves, nsDec     float64
+		solveSamples      int
+		hitPct            float64
+		hitSamples        int
 	}
 	accs := make(map[string]*acc)
 	var order []string
@@ -138,6 +191,14 @@ func parse(out string) Report {
 			case "nodes/solve", "nodes/op":
 				a.nodes += v
 				a.nodeSamples++
+			case "solves/session":
+				a.solves += v
+				a.solveSamples++
+			case "ns/decision":
+				a.nsDec += v
+			case "shared-hit-%":
+				a.hitPct += v
+				a.hitSamples++
 			}
 		}
 	}
@@ -153,32 +214,37 @@ func parse(out string) Report {
 		if a.nodeSamples > 0 {
 			r.NodesPerSolve = a.nodes / float64(a.nodeSamples)
 		}
+		if a.solveSamples > 0 {
+			r.SolvesPerSession = a.solves / float64(a.solveSamples)
+			r.NsPerDecision = a.nsDec / float64(a.solveSamples)
+		}
+		if a.hitSamples > 0 {
+			r.SharedHitPct = a.hitPct / float64(a.hitSamples)
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
 	return rep
 }
 
-// readBaseline loads the committed name -> nodes/solve map.
-func readBaseline(path string) (map[string]float64, error) {
+// readBaseline loads the committed name -> gated-metrics map.
+func readBaseline(path string) (map[string]BaselineEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var baseline map[string]float64
+	var baseline map[string]BaselineEntry
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	return baseline, nil
 }
 
-// gate compares measured nodes/solve against the baseline and returns the
-// failure messages, sorted for stable output.
-func gate(rep Report, baseline map[string]float64, tolerance float64) []string {
-	measured := make(map[string]float64)
+// gate compares measured nodes/solve and allocs/op against the baseline and
+// returns the failure messages.
+func gate(rep Report, baseline map[string]BaselineEntry, tolerance float64) []string {
+	measured := make(map[string]Result)
 	for _, r := range rep.Benchmarks {
-		if r.NodesPerSolve > 0 {
-			measured[r.Name] = r.NodesPerSolve
-		}
+		measured[r.Name] = r
 	}
 	var failures []string
 	for name, base := range baseline {
@@ -187,11 +253,41 @@ func gate(rep Report, baseline map[string]float64, tolerance float64) []string {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but not in benchmark output", name))
 			continue
 		}
-		if got > base*(1+tolerance) {
+		if got.NodesPerSolve > base.NodesPerSolve*(1+tolerance) {
 			failures = append(failures, fmt.Sprintf("%s: nodes/solve %.2f exceeds baseline %.2f by more than %.0f%%",
-				name, got, base, tolerance*100))
+				name, got.NodesPerSolve, base.NodesPerSolve, tolerance*100))
+		}
+		// Zero tolerance on allocations: counts are deterministic, so any
+		// increase over the committed value is a hot-path regression.
+		if got.AllocsPerOp > base.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.2f exceeds baseline %.2f (zero tolerance)",
+				name, got.AllocsPerOp, base.AllocsPerOp))
 		}
 	}
-	sort.Strings(failures)
 	return failures
+}
+
+// gateCacheReduction enforces the dataset-scale shared-cache win: the on-arm
+// must perform at most 1/minReduction of the off-arm's solver invocations
+// per session.
+func gateCacheReduction(rep Report, minReduction float64) []string {
+	var off, on *Result
+	for i := range rep.Benchmarks {
+		switch rep.Benchmarks[i].Name {
+		case "BenchmarkDatasetSharedCache/off":
+			off = &rep.Benchmarks[i]
+		case "BenchmarkDatasetSharedCache/on":
+			on = &rep.Benchmarks[i]
+		}
+	}
+	if off == nil || on == nil || off.SolvesPerSession == 0 || on.SolvesPerSession == 0 {
+		return []string{"BenchmarkDatasetSharedCache: off/on solves/session metrics missing from benchmark output"}
+	}
+	ratio := off.SolvesPerSession / on.SolvesPerSession
+	if ratio < minReduction {
+		return []string{fmt.Sprintf(
+			"BenchmarkDatasetSharedCache: shared cache cuts solves/session only %.2fx (%.1f -> %.1f), need >= %.1fx",
+			ratio, off.SolvesPerSession, on.SolvesPerSession, minReduction)}
+	}
+	return nil
 }

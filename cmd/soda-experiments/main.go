@@ -4,6 +4,7 @@
 // Usage:
 //
 //	soda-experiments [-only fig10,fig12] [-out results/] [-scale 2]
+//	soda-experiments -only fig10 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -14,13 +15,21 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated subset (fig1..fig13, table1, regret, monotone)")
 	out := flag.String("out", "", "directory to write per-experiment reports (default: stdout)")
 	scaleFactor := flag.Float64("scale", 0, "workload multiplier (overrides SODA_EXPERIMENT_SCALE)")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *scaleFactor > 0 {
 		os.Setenv("SODA_EXPERIMENT_SCALE", fmt.Sprint(*scaleFactor))
@@ -110,7 +119,8 @@ func main() {
 		}
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			failed = true
+			break
 		}
 		path := filepath.Join(*out, r.name+".txt")
 		if err := os.WriteFile(path, []byte(report), 0o644); err != nil {
@@ -119,6 +129,10 @@ func main() {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

@@ -5,6 +5,7 @@
 //
 //	soda-sim -dataset 4g -sessions 50 -controllers soda,bola,mpc
 //	soda-sim -trace mytrace.csv -controllers soda
+//	soda-sim -dataset puffer -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/predictor"
+	"repro/internal/profiling"
 	"repro/internal/qoe"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -35,24 +37,41 @@ func main() {
 	ladderName := flag.String("ladder", "", "ladder: youtube4k, mobile, prototype, prime (default: per dataset)")
 	controllers := flag.String("controllers", "soda,hyb,bola,dynamic,mpc", "comma-separated controllers")
 	seed := flag.Uint64("seed", 42, "generator seed")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
-	ladder, err := pickLadder(*ladderName, *dataset)
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		fatal(err)
 	}
 
-	traces, sessSeconds, err := buildTraces(*traceFile, *dataset, *sessions, *sessionSeconds, *seed)
+	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *seed)
+	if err := stopProfiles(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+func run(ladderName, dataset, traceFile, controllers string, sessions int, sessionSeconds, bufferCap float64, seed uint64) error {
+	ladder, err := pickLadder(ladderName, dataset)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	for _, name := range strings.Split(*controllers, ",") {
+	traces, sessSeconds, err := buildTraces(traceFile, dataset, sessions, sessionSeconds, seed)
+	if err != nil {
+		return err
+	}
+
+	for _, name := range strings.Split(controllers, ",") {
 		name = strings.TrimSpace(name)
-		if err := runController(name, ladder, traces, units.Seconds(*bufferCap), sessSeconds); err != nil {
-			fatal(err)
+		if err := runController(name, ladder, traces, units.Seconds(bufferCap), sessSeconds); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // buildTraces loads the single CSV trace, or generates a dataset when no

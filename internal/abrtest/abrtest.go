@@ -9,6 +9,7 @@ package abrtest
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -32,6 +33,67 @@ func Conformance(t *testing.T, name string, factory Factory) {
 	t.Run(name+"/decide-deterministic", func(t *testing.T) { decideDeterministic(t, factory) })
 	t.Run(name+"/concurrent-instances", func(t *testing.T) { concurrentInstances(t, factory) })
 	t.Run(name+"/survives-hostile-traces", func(t *testing.T) { survivesHostile(t, factory) })
+}
+
+// SharedStateConformance checks a controller wired to cross-session shared
+// state (e.g. a fleet-wide solve cache) against the bit-identity contract:
+// for every registered ladder, instances built by `shared` must reproduce the
+// decision sequences of instances built by `plain` exactly — while the shared
+// state is cold and being filled by concurrent racing instances, again once
+// it is warm, and serially. The concurrent passes repeat under several
+// GOMAXPROCS settings; run the contract with -race to also prove the shared
+// state is correctly synchronised.
+func SharedStateConformance(t *testing.T, name string, plain, shared Factory) {
+	t.Helper()
+	for _, nl := range video.NamedLadders() {
+		nl := nl
+		t.Run(name+"/shared-bit-identical/"+nl.Name, func(t *testing.T) {
+			const sessions, steps = 6, 80
+			streams := make([][]*abr.Context, sessions)
+			want := make([][]int, sessions)
+			for i := range streams {
+				streams[i] = contextStream(nl.Ladder, 1000+uint64(i)*13, steps)
+				want[i] = replay(plain(nl.Ladder), streams[i])
+			}
+			check := func(pass string, got [][]int) {
+				t.Helper()
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("%s: stream %d decision %d: shared %d != plain %d",
+								pass, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+			concurrent := func() [][]int {
+				got := make([][]int, sessions)
+				var wg sync.WaitGroup
+				for i := range streams {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						got[i] = replay(shared(nl.Ladder), streams[i])
+					}(i)
+				}
+				wg.Wait()
+				return got
+			}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				check("cold/warm concurrent", concurrent())
+				check("warm concurrent", concurrent())
+			}
+			runtime.GOMAXPROCS(prev)
+			serial := make([][]int, sessions)
+			for i := range streams {
+				serial[i] = replay(shared(nl.Ladder), streams[i])
+			}
+			check("warm serial", serial)
+		})
+	}
 }
 
 // decisionsTotal checks the controller returns an in-range rung or a

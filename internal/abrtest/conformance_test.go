@@ -4,10 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/core"
 	"repro/internal/video"
 
 	_ "repro/internal/baseline"
-	_ "repro/internal/core"
 )
 
 // TestAllRegisteredControllersConform runs the conformance suite over every
@@ -26,4 +26,54 @@ func TestAllRegisteredControllersConform(t *testing.T) {
 			return c
 		})
 	}
+}
+
+// sodaPlain builds the registry-default SODA controller.
+func sodaPlain(ladder video.Ladder) abr.Controller {
+	c, err := abr.New("soda", ladder)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// sodaShared builds the same controller attached to the given fleet cache.
+func sodaShared(cache *core.SolveCache) Factory {
+	return func(ladder video.Ladder) abr.Controller {
+		cfg := core.DefaultConfig()
+		cfg.SharedCache = cache
+		return core.New(cfg, ladder)
+	}
+}
+
+// TestSodaSharedCacheBitIdentical is the shared-cache conformance contract:
+// SODA with a fleet-wide solve cache must reproduce the cache-free decision
+// sequences bit-for-bit on every registered ladder, concurrently and
+// serially. One cache instance is shared across all ladders on purpose — the
+// model fingerprint must keep their entries apart.
+func TestSodaSharedCacheBitIdentical(t *testing.T) {
+	cache := core.NewSolveCache(1 << 14)
+	SharedStateConformance(t, "soda", sodaPlain, sodaShared(cache))
+	if st := cache.Stats(); st.Lookups == 0 || st.Hits == 0 {
+		t.Fatalf("contract exercised no cache traffic: %s", st.String())
+	}
+}
+
+// TestSodaSharedCacheBitIdenticalUnderPressure repeats the contract with a
+// deliberately undersized single-shard cache, so evictions and probe-window
+// collisions happen constantly; decisions must be unaffected.
+func TestSodaSharedCacheBitIdenticalUnderPressure(t *testing.T) {
+	cache := core.NewSolveCacheSharded(32, 1)
+	SharedStateConformance(t, "soda-tiny-cache", sodaPlain, sodaShared(cache))
+	if st := cache.Stats(); st.Evictions == 0 {
+		t.Fatalf("undersized cache saw no evictions: %s", st.String())
+	}
+}
+
+// TestSodaSharedCacheFullSuite runs the whole conformance suite on a
+// shared-cache SODA: the cross-session cache must not break Reset semantics,
+// determinism, or instance independence.
+func TestSodaSharedCacheFullSuite(t *testing.T) {
+	cache := core.NewSolveCache(1 << 14)
+	Conformance(t, "soda-shared-cache", sodaShared(cache))
 }

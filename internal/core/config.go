@@ -83,6 +83,16 @@ type Config struct {
 	// key (see DESIGN.md §7). 0 keys on exact floats, which virtually never
 	// recur on real buffer trajectories and so disables reuse in practice.
 	MemoQuantum float64
+	// SharedCache optionally connects the controller to a fleet-wide solve
+	// cache (see NewSolveCache), consulted between the per-controller memo
+	// and the solver. The cache is keyed on the exact (possibly quantized)
+	// state handed to the solver plus a model fingerprint, so decisions are
+	// bit-identical with or without it — the shared-cache conformance
+	// contract in internal/abrtest pins this. The same cache may be shared
+	// by any number of controllers, including controllers with different
+	// configurations (the fingerprint keeps them apart) and across sessions
+	// (unlike the memo it is not flushed by Reset). nil disables sharing.
+	SharedCache *SolveCache
 }
 
 // DefaultConfig returns the tuned production configuration used throughout

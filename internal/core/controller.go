@@ -28,6 +28,15 @@ type Controller struct {
 	memoMask    uint32
 	memoLookups uint64
 	memoHits    uint64
+
+	// shared is the optional fleet-wide solve cache (Config.SharedCache),
+	// consulted after a local memo miss. fp is the model fingerprint that
+	// scopes this controller's shared-cache keys; it is recomputed alongside
+	// the cost model because it covers the buffer cap.
+	shared        *SolveCache
+	fp            uint64
+	sharedLookups uint64
+	sharedHits    uint64
 }
 
 // memoEntry is one direct-mapped cache slot. The full (quantized) key is
@@ -59,7 +68,7 @@ func New(cfg Config, ladder video.Ladder) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{cfg: cfg, ladder: ladder}
+	c := &Controller{cfg: cfg, ladder: ladder, shared: cfg.SharedCache}
 	if cfg.SolveMemoSize > 0 {
 		size := 1
 		for size < cfg.SolveMemoSize {
@@ -96,6 +105,7 @@ func (c *Controller) SolveStats() SolveStats {
 		s = c.model.stats
 	}
 	s.MemoLookups, s.MemoHits = c.memoLookups, c.memoHits
+	s.SharedLookups, s.SharedHits = c.sharedLookups, c.sharedHits
 	return s
 }
 
@@ -105,6 +115,7 @@ func (c *Controller) ResetSolveStats() {
 		c.model.ResetSolveStats()
 	}
 	c.memoLookups, c.memoHits = 0, 0
+	c.sharedLookups, c.sharedHits = 0, 0
 }
 
 // quantize rounds x to the nearest multiple of step (identity when step <= 0),
@@ -154,6 +165,11 @@ func (c *Controller) modelFor(bufferCap units.Seconds) *CostModel {
 		// The memo key does not include the buffer cap (it is fixed per
 		// session in every harness), so a cap change invalidates the cache.
 		c.flushMemo()
+		if c.shared != nil {
+			// The shared-cache key must include the cap, and does so through
+			// the fingerprint — which therefore tracks the model rebuilds.
+			c.fp = modelFingerprint(c.cfg, c.ladder, bufferCap)
+		}
 	}
 	return c.model
 }
@@ -211,6 +227,31 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 		}
 	}
 
+	// After a local memo miss, consult the fleet-wide cache. The key holds
+	// exactly the values the solver below would receive, so a hit returns
+	// precisely what a miss would compute — decisions are bit-identical with
+	// the shared cache on or off. A hit also back-fills the local memo slot,
+	// keeping subsequent ticks of this session off the shared mutexes.
+	var key cacheKey
+	if c.shared != nil {
+		key = cacheKey{
+			fp: c.fp, x: x0, w: omega,
+			prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
+		}
+		c.sharedLookups++
+		if r, ok := c.shared.get(key); ok {
+			c.sharedHits++
+			if entry != nil {
+				*entry = memoEntry{
+					qx: x0, qw: omega,
+					prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
+					rung: r, used: true,
+				}
+			}
+			return abr.Decision{Rung: int(r)}
+		}
+	}
+
 	// With overflow clamped in the plan (see CostModel.stepCost), the only
 	// way every plan can be infeasible is buffer starvation: even r_min
 	// cannot keep the trajectory above zero over the full horizon. Shorter
@@ -236,6 +277,9 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 			prev: int32(ctx.PrevRung), k: int32(k), maxRung: int32(maxRung),
 			rung: int32(rung), used: true,
 		}
+	}
+	if c.shared != nil {
+		c.shared.put(key, int32(rung))
 	}
 	return abr.Decision{Rung: rung}
 }

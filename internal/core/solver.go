@@ -39,6 +39,24 @@ type SolveStats struct {
 	// populated by Controller.SolveStats; CostModel itself never memoizes.
 	MemoLookups uint64
 	MemoHits    uint64
+	// SharedLookups / SharedHits count this controller's traffic against the
+	// fleet-wide Config.SharedCache (consulted after a local memo miss). Like
+	// the memo counters they are populated by Controller.SolveStats only.
+	SharedLookups uint64
+	SharedHits    uint64
+}
+
+// Add accumulates another counter snapshot into s, so harnesses can sum the
+// per-session controller stats of a dataset run.
+func (s *SolveStats) Add(o SolveStats) {
+	s.Solves += o.Solves
+	s.Nodes += o.Nodes
+	s.Leaves += o.Leaves
+	s.Pruned += o.Pruned
+	s.MemoLookups += o.MemoLookups
+	s.MemoHits += o.MemoHits
+	s.SharedLookups += o.SharedLookups
+	s.SharedHits += o.SharedHits
 }
 
 // SolveStats returns the work counters accumulated by this model's solver.

@@ -15,8 +15,10 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/abr"
+	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/qoe"
 	"repro/internal/sim"
@@ -27,7 +29,6 @@ import (
 
 	// Controller registrations.
 	_ "repro/internal/baseline"
-	_ "repro/internal/core"
 )
 
 // Scale sets the workload sizes of the experiment drivers.
@@ -105,6 +106,61 @@ func runControllerOnSessions(name string, ladder video.Ladder, sessions []*trace
 		BufferCap:      bufferCap,
 		SessionSeconds: sessionLength,
 	})
+}
+
+// sharedCacheEntries sizes the per-bucket fleet solve cache of the Figure 10
+// SODA runs — large enough that the quantized states of a dataset bucket
+// never evict each other at the default MemoQuantum.
+const sharedCacheEntries = 1 << 16
+
+// solveTally sums per-session SODA solver statistics across a dataset run.
+// Its hook runs on the sim.RunDataset worker goroutines, hence the lock.
+type solveTally struct {
+	mu       sync.Mutex
+	sessions int
+	stats    core.SolveStats
+}
+
+func (t *solveTally) hook(_ int, ctrl abr.Controller, _ sim.Result) {
+	c, ok := ctrl.(*core.Controller)
+	if !ok {
+		return
+	}
+	s := c.SolveStats()
+	t.mu.Lock()
+	t.sessions++
+	t.stats.Add(s)
+	t.mu.Unlock()
+}
+
+// solvesPerSession is the mean number of CostModel solves one session ran —
+// the quantity the shared cache exists to shrink.
+func (t *solveTally) solvesPerSession() float64 {
+	if t.sessions == 0 {
+		return 0
+	}
+	return float64(t.stats.Solves) / float64(t.sessions)
+}
+
+// runSodaOnSessions is runControllerOnSessions for the SODA arm with a
+// fleet-wide solve cache attached (nil runs uncached), returning the summed
+// per-session solver statistics alongside the metrics. Decisions — and hence
+// metrics — are bit-identical to the uncached runControllerOnSessions path;
+// the shared-cache conformance contract in internal/abrtest pins this.
+func runSodaOnSessions(ladder video.Ladder, sessions []*trace.Trace, sessionLength, bufferCap units.Seconds, cache *core.SolveCache) ([]qoe.Metrics, *solveTally, error) {
+	tally := &solveTally{}
+	factory := func() (abr.Controller, predictor.Predictor) {
+		cfg := core.DefaultConfig()
+		cfg.SharedCache = cache
+		return core.New(cfg, ladder), evalPredictor()
+	}
+	metrics, err := sim.RunDataset(sessions, factory, sim.Config{
+		Ladder:         ladder,
+		BufferCap:      bufferCap,
+		SessionSeconds: sessionLength,
+		OnResult:       tally.hook,
+	})
+	return metrics, tally, err
 }
 
 // datasetSpec pairs a generated dataset with the ladder the paper uses on it.

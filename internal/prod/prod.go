@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/abr"
+	"repro/internal/core"
 	"repro/internal/engagement"
 	"repro/internal/predictor"
 	"repro/internal/sim"
@@ -25,10 +26,9 @@ import (
 	"repro/internal/units"
 	"repro/internal/video"
 
-	// The default arms ("soda", "prod-baseline") are resolved by name from
-	// the abr registry, so the implementations must be linked in.
+	// The control arm ("prod-baseline") is resolved by name from the abr
+	// registry, so the implementation must be linked in.
 	_ "repro/internal/baseline"
-	_ "repro/internal/core"
 )
 
 // DeviceFamily describes one device population and its network conditions.
@@ -101,6 +101,12 @@ type Config struct {
 	// Treatment and Control name the registered controllers for the two
 	// arms ("soda" and "prod-baseline" by default).
 	Treatment, Control string
+	// SharedCacheEntries sizes the fleet-wide solve cache each SODA arm's
+	// sessions share (one cache per family per arm, as a deployment would
+	// shard per ladder/config). 0 disables sharing. Decisions are
+	// bit-identical either way, so the A/B outcome is unaffected; the knob
+	// only changes how much solver work the arm performs.
+	SharedCacheEntries int
 	// Seed makes the experiment reproducible.
 	Seed uint64
 }
@@ -109,13 +115,14 @@ type Config struct {
 // bench.
 func DefaultConfig() Config {
 	return Config{
-		SessionsPerArm: 40,
-		SessionLength:  units.Seconds(600),
-		StreamLength:   units.Minutes(150),
-		BufferCap:      units.Seconds(20),
-		Treatment:      "soda",
-		Control:        "prod-baseline",
-		Seed:           2024,
+		SessionsPerArm:     40,
+		SessionLength:      units.Seconds(600),
+		StreamLength:       units.Minutes(150),
+		BufferCap:          units.Seconds(20),
+		Treatment:          "soda",
+		Control:            "prod-baseline",
+		SharedCacheEntries: 1 << 15,
+		Seed:               2024,
 	}
 }
 
@@ -127,6 +134,9 @@ type ArmStats struct {
 	RebufferRatio float64
 	SwitchRate    float64
 	Sessions      int
+	// Cache is the arm's shared solve-cache traffic; zero-valued (Lookups 0)
+	// when the arm ran without one.
+	Cache core.CacheStats
 }
 
 // FamilyReport is one device family's A/B outcome: the Figure 13 bars.
@@ -165,11 +175,11 @@ func Run(cfg Config) ([]FamilyReport, error) {
 		// viewing-duration delta reflects the quality difference rather than
 		// sampling noise — the standard variance-reduction device for paired
 		// A/B comparisons.
-		treat, err := runArm(cfg, cfg.Treatment, ladder, ds, model, cfg.Seed+77)
+		treat, err := runArm(cfg, cfg.Treatment, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Treatment))
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Treatment, err)
 		}
-		control, err := runArm(cfg, cfg.Control, ladder, ds, model, cfg.Seed+77)
+		control, err := runArm(cfg, cfg.Control, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Control))
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Control, err)
 		}
@@ -206,10 +216,33 @@ func rel[T ~float64](treat, control T) float64 {
 	return float64((treat - control) / control)
 }
 
+// armCache builds the fleet solve cache for one arm of one family, or nil
+// when sharing is disabled or the arm's controller cannot use one ("soda" is
+// the only registered controller with a shared-cache hook).
+func armCache(cfg Config, controller string) *core.SolveCache {
+	if cfg.SharedCacheEntries <= 0 || controller != "soda" {
+		return nil
+	}
+	return core.NewSolveCache(cfg.SharedCacheEntries)
+}
+
+// newArmController builds a fresh per-session controller for the arm,
+// attaching the shared solve cache when one applies. The cached construction
+// is the registry's "soda" configuration plus the cache, so the two paths
+// decide identically.
+func newArmController(controller string, ladder video.Ladder, cache *core.SolveCache) (abr.Controller, error) {
+	if cache != nil {
+		ccfg := core.DefaultConfig()
+		ccfg.SharedCache = cache
+		return core.New(ccfg, ladder), nil
+	}
+	return abr.New(controller, ladder)
+}
+
 // runArm simulates every session of the dataset under one controller and
 // aggregates the arm statistics. Sessions run in parallel; the engagement
 // draw is deterministic per (seed, session).
-func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64) (ArmStats, error) {
+func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64, cache *core.SolveCache) (ArmStats, error) {
 	n := len(ds.Sessions)
 	type out struct {
 		viewing   units.Minutes
@@ -233,7 +266,7 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				ctrl, err := abr.New(controller, ladder)
+				ctrl, err := newArmController(controller, ladder, cache)
 				if err != nil {
 					results[i].err = err
 					continue
@@ -274,6 +307,9 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 	stats.MeanBitrate = units.Mbps(float64(stats.MeanBitrate) / f)
 	stats.RebufferRatio /= f
 	stats.SwitchRate /= f
+	if cache != nil {
+		stats.Cache = cache.Stats()
+	}
 	return stats, nil
 }
 

@@ -1,0 +1,67 @@
+// Package profiling adds the conventional -cpuprofile and -memprofile flags
+// to the repository's command-line tools, so a regression flagged by
+// cmd/soda-bench can be chased down with `go tool pprof` against a real
+// workload instead of a micro-benchmark.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the registered profile destinations.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// Register installs -cpuprofile and -memprofile on fs (typically
+// flag.CommandLine, before flag.Parse).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function ends the CPU profile and, when -memprofile was given, writes the
+// heap profile. Call stop exactly once on every exit path — os.Exit skips
+// deferred calls, so the mains invoke it explicitly before exiting.
+func (f *Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *f.mem == "" {
+			return nil
+		}
+		memFile, err := os.Create(*f.mem)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // flush recently freed objects out of the heap profile
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			memFile.Close()
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+		return memFile.Close()
+	}, nil
+}

@@ -1,0 +1,56 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesProfiles runs the full flag -> Start -> stop cycle and
+// checks both profile files come out non-empty.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s: empty profile", path)
+		}
+	}
+}
+
+// TestStartNoFlagsIsNoOp checks that without flags, Start and stop do nothing
+// and touch no files.
+func TestStartNoFlagsIsNoOp(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

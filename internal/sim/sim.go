@@ -68,6 +68,13 @@ type Config struct {
 	// RecordTrajectory retains the per-segment buffer/rung trajectory
 	// (needed by the Figure 3 pathology plot).
 	RecordTrajectory bool
+	// OnResult, when non-nil, is invoked by RunDataset once per completed
+	// session with the trace index, the controller that ran it, and the
+	// session Result — the hook harnesses use to collect per-session solver
+	// statistics before the controller is discarded. It runs on the worker
+	// goroutines, so it must be safe for concurrent use. Run itself ignores
+	// it (a single-session caller already holds both values).
+	OnResult func(index int, ctrl abr.Controller, res Result)
 }
 
 // TrajectoryPoint is one per-segment snapshot of the session state.
@@ -337,6 +344,9 @@ func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]q
 		res, err := Run(traces[i], cfg)
 		if err != nil {
 			return qoe.Metrics{}, err
+		}
+		if base.OnResult != nil {
+			base.OnResult(i, cfg.Controller, res)
 		}
 		return res.Metrics, nil
 	}

@@ -85,6 +85,24 @@ func PrimeVideo() Ladder {
 	return NewLadder([]float64{0.2, 0.45, 0.8, 1.2, 1.8, 2, 4, 5, 6.5, 8.0}, units.Seconds(2))
 }
 
+// NamedLadder pairs a registered ladder with its evaluation name, for
+// harnesses that iterate every ladder in use (conformance contracts, fuzz
+// corpora).
+type NamedLadder struct {
+	Name   string
+	Ladder Ladder
+}
+
+// NamedLadders returns every ladder of the evaluation, in a fixed order.
+func NamedLadders() []NamedLadder {
+	return []NamedLadder{
+		{Name: "youtube4k", Ladder: YouTube4K()},
+		{Name: "mobile", Ladder: Mobile()},
+		{Name: "prototype", Ladder: Prototype()},
+		{Name: "primevideo", Ladder: PrimeVideo()},
+	}
+}
+
 // Len returns the number of rungs.
 func (l Ladder) Len() int { return len(l.Rungs) }
 

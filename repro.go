@@ -50,6 +50,11 @@ type (
 	Metrics = qoe.Metrics
 	// SODAConfig parameterizes the SODA controller.
 	SODAConfig = core.Config
+	// SolveCache is the sharded cross-session solve cache that any number
+	// of SODA controllers may share via SODAConfig.SharedCache.
+	SolveCache = core.SolveCache
+	// CacheStats reports a SolveCache's hit/conflict/eviction counters.
+	CacheStats = core.CacheStats
 	// SimulationConfig parameterizes a simulated session.
 	SimulationConfig = sim.Config
 	// SimulationResult is a simulated session's outcome.
@@ -86,6 +91,17 @@ func DefaultSODAConfig() SODAConfig { return core.DefaultConfig() }
 
 // NewSODA builds a SODA controller with the given configuration.
 func NewSODA(cfg SODAConfig, ladder Ladder) Controller { return core.New(cfg, ladder) }
+
+// NewSolveCache builds a shared solve cache with the given entry capacity
+// (see DESIGN.md §5b and the README's sizing notes). Decisions are
+// bit-identical with or without one.
+func NewSolveCache(capacity int) *SolveCache { return core.NewSolveCache(capacity) }
+
+// NewSolveCacheSharded is NewSolveCache with an explicit shard count
+// (default: GOMAXPROCS rounded up to a power of two).
+func NewSolveCacheSharded(capacity, shards int) *SolveCache {
+	return core.NewSolveCacheSharded(capacity, shards)
+}
 
 // NewController builds any registered controller by name: "soda", "bola",
 // "dynamic", "hyb", "mpc", "robustmpc", "fugu", "rl" or "prod-baseline".
