@@ -4,11 +4,11 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test conformance bench bench-gate fuzz build vuln
+.PHONY: all ci lint test conformance smoke bench bench-gate fuzz build vuln
 
 all: lint test
 
-ci: lint build test conformance fuzz bench-gate vuln
+ci: lint build test conformance smoke fuzz bench-gate vuln
 
 build:
 	$(GO) build ./...
@@ -25,22 +25,32 @@ lint:
 test:
 	$(GO) test -race ./...
 
-# conformance re-runs the shared solve-cache bit-identity contract under the
-# race detector on its own, so a cache regression fails with a named step
-# even though `make test` also covers it as part of the full suite.
+# conformance re-runs the shared solve-cache and telemetry bit-identity
+# contracts under the race detector on their own, so a cache or telemetry
+# regression fails with a named step even though `make test` also covers
+# them as part of the full suite.
 conformance:
-	$(GO) test -race -run 'TestSodaSharedCache' ./internal/abrtest
+	$(GO) test -race -run 'TestSodaSharedCache|TestSodaTelemetry' ./internal/abrtest
+
+# smoke boots the soda-server introspection mux against a test manifest,
+# drives /decide sessions, and validates that /metrics serves parseable
+# Prometheus text exposition (no duplicate families) and /debug/decisions
+# streams JSONL.
+smoke:
+	$(GO) test -race -run 'TestServerEndpointSmoke' ./cmd/soda-server
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache
-# benchmarks with fixed iteration budgets and writes BENCH_pr4.json. It fails
-# if nodes/solve regresses more than 10% against the committed
-# bench_baseline.json, if allocs/op regresses at all, or if the dataset-scale
-# shared cache stops cutting solver invocations by at least 2x.
+# bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache and
+# telemetry benchmarks with fixed iteration budgets and writes
+# BENCH_pr5.json. It fails if nodes/solve regresses more than 10% against
+# the committed bench_baseline.json, if allocs/op regresses at all (the
+# telemetry hot-path ops are pinned at 0), if the dataset-scale shared cache
+# stops cutting solver invocations by at least 2x, or if attaching telemetry
+# costs more than 5% ns/decision at dataset scale.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr4.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr5.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

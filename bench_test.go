@@ -11,15 +11,19 @@ package repro
 // regenerates the artifact exactly.
 
 import (
+	"math"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/predictor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracegen"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -518,6 +522,145 @@ func BenchmarkDatasetSharedCache(b *testing.B) {
 				b.ReportMetric(100*float64(tally.stats.SharedHits)/float64(tally.stats.SharedLookups), "shared-hit-%")
 			}
 		})
+	}
+}
+
+// --- Telemetry hot path ---------------------------------------------------
+
+// The telemetry instruments sit on the per-decision hot path of every
+// instrumented harness, so they must not allocate. The four micro-benchmarks
+// below are gated at exactly 0 allocs/op by cmd/soda-bench (bench_baseline
+// entries telemetry-*), and BenchmarkTelemetryOverhead bounds the end-to-end
+// cost at <=5% of the uninstrumented decision loop.
+
+func BenchmarkTelemetryCounter(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_events_total", "benchmark counter", telemetry.None)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_level_seconds", "benchmark histogram", telemetry.USeconds,
+		[]float64{0.5, 1, 2, 4, 8, 16})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&31) * 0.6)
+	}
+}
+
+func BenchmarkTelemetryRingAppend(b *testing.B) {
+	ring := telemetry.NewRing(telemetry.DefaultRingCapacity)
+	ev := telemetry.DecisionEvent{Session: 1, Rung: 3, Buffer: units.Seconds(11), Throughput: units.Mbps(30), Bitrate: units.Mbps(8.1)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Segment = int32(i)
+		ring.Append(ev)
+	}
+}
+
+func BenchmarkTelemetryRecorder(b *testing.B) {
+	col := telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
+	rec := col.StartSession(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := rec.Start()
+		ev.Segment = int32(i)
+		ev.Rung = 3
+		ev.Buffer = 11
+		ev.Throughput = 30
+		ev.Bitrate = 8.1
+		rec.Commit()
+	}
+}
+
+// BenchmarkTelemetryOverhead runs the same default-Scale Puffer dataset as
+// BenchmarkDatasetSharedCache with telemetry detached ("off") and attached
+// ("on"). The arms are PAIRED inside one timed loop, alternating which runs
+// first, so slow drift on a shared machine cancels instead of drowning a
+// few-percent signal. The headline "overhead-%" metric — what the soda-bench
+// gate bounds at 5% — compares the MINIMUM ns/decision of each arm: timer
+// noise, GC pauses and scheduler stalls only ever inflate a sample, so over
+// enough alternating runs each arm's min converges to its true floor and a
+// stall landing in any single run cannot move the gate. The median of the
+// per-pair overheads is reported alongside as a dispersion check (a median
+// far from the min-based figure means the run count was too low to trust).
+// internal/abrtest.TelemetryConformance separately proves the decisions
+// themselves are bit-identical.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	scale := scaleForBench()
+	ds, err := tracegen.Generate(tracegen.Puffer(), scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ladder := video.YouTube4K()
+	// Each arm sample runs the dataset several times back to back: one pass
+	// is ~tens of milliseconds, short enough that a single scheduler-steal
+	// burst on a shared runner moves a pair by several percent. Averaging
+	// inside the sample shrinks that variance where robust statistics over
+	// noisy pairs cannot.
+	const passesPerArm = 3
+	runArm := func(col *telemetry.Collector) (decisions uint64, elapsed time.Duration) {
+		tally := &datasetSolveTally{}
+		factory := func() (abr.Controller, predictor.Predictor) {
+			return core.New(core.DefaultConfig(), ladder), predictor.NewEMA(units.Seconds(4))
+		}
+		start := time.Now()
+		for pass := 0; pass < passesPerArm; pass++ {
+			if _, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
+				Ladder:         ladder,
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: scale.SessionSeconds,
+				OnResult:       tally.hook,
+				Telemetry:      col,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tally.decisions, time.Since(start)
+	}
+	// One long-lived collector for the whole benchmark, as a fleet would run.
+	col := telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
+	perDecision := func(d uint64, e time.Duration) float64 {
+		return float64(e.Nanoseconds()) / float64(d)
+	}
+	minOff, minOn := math.Inf(1), math.Inf(1)
+	var pairOverheads []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var off, on float64
+		if i%2 == 0 {
+			off = perDecision(runArm(nil))
+			on = perDecision(runArm(col))
+		} else {
+			on = perDecision(runArm(col))
+			off = perDecision(runArm(nil))
+		}
+		minOff = math.Min(minOff, off)
+		minOn = math.Min(minOn, on)
+		pairOverheads = append(pairOverheads, 100*(on-off)/off)
+		if col.Decisions.Value() == 0 {
+			b.Fatal("telemetry attached but no decisions recorded")
+		}
+	}
+	b.StopTimer()
+	if n := len(pairOverheads); n > 0 {
+		sort.Float64s(pairOverheads)
+		median := pairOverheads[n/2]
+		if n%2 == 0 {
+			median = (pairOverheads[n/2-1] + pairOverheads[n/2]) / 2
+		}
+		b.ReportMetric(minOff, "ns/decision-off")
+		b.ReportMetric(minOn, "ns/decision-on")
+		b.ReportMetric(100*(minOn-minOff)/minOff, "overhead-%")
+		b.ReportMetric(median, "overhead-median-%")
 	}
 }
 

@@ -1,11 +1,12 @@
 // Command soda-bench is the benchmark regression gate. It runs the
 // BenchmarkSolver* benchmarks with a fixed iteration budget, runs the shared
-// solve-cache benchmarks with their own budget, writes the parsed results as
-// JSON, and fails when a deterministic performance property regresses:
+// solve-cache and telemetry benchmarks with their own budgets, writes the
+// parsed results as JSON, and fails when a deterministic performance
+// property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr4.json
+//	go run ./cmd/soda-bench -out BENCH_pr5.json
 //
-// Three gates are enforced:
+// Four gates are enforced:
 //
 //   - nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks)
 //     must stay within -tolerance (default 10%) of the committed baseline —
@@ -14,10 +15,16 @@
 //   - allocs/op of the gated benchmarks must not exceed the baseline at all
 //     (zero tolerance): the solver hot path is allocation-free by design and
 //     allocation counts are deterministic, so any increase is a regression.
+//     The telemetry micro-benchmarks (counter, histogram, ring append,
+//     session recorder) sit in the baseline at 0 allocs/op, so any
+//     allocation on the telemetry hot path fails here too.
 //   - the dataset-scale shared-cache benchmark's on-arm must need at most
 //     1/-min-cache-reduction (default 1/2) of the off-arm's solver
 //     invocations per session — the cross-session cache must keep earning
 //     its place.
+//   - BenchmarkTelemetryOverhead's paired telemetry-on arm must cost at most
+//     -max-telemetry-overhead percent (default 5%) more ns/decision than the
+//     telemetry-off arm at dataset scale.
 //
 // ns/op is recorded in the JSON for human inspection but never gated: it
 // moves with runner hardware.
@@ -51,16 +58,25 @@ type Result struct {
 	SolvesPerSession float64 `json:"solves_per_session,omitempty"`
 	NsPerDecision    float64 `json:"ns_per_decision,omitempty"`
 	SharedHitPct     float64 `json:"shared_hit_pct,omitempty"`
+	// Telemetry-overhead metrics (BenchmarkTelemetryOverhead only).
+	NsPerDecisionOff     float64 `json:"ns_per_decision_off,omitempty"`
+	NsPerDecisionOn      float64 `json:"ns_per_decision_on,omitempty"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct,omitempty"`
+	// TelemetryOverheadMedianPct is the median per-pair overhead, reported
+	// as a dispersion check next to the gated min-vs-min figure.
+	TelemetryOverheadMedianPct float64 `json:"telemetry_overhead_median_pct,omitempty"`
 }
 
 // Report is the schema of the JSON artifact.
 type Report struct {
-	Pattern        string   `json:"pattern"`
-	Benchtime      string   `json:"benchtime"`
-	Count          int      `json:"count"`
-	CachePattern   string   `json:"cache_pattern,omitempty"`
-	CacheBenchtime string   `json:"cache_benchtime,omitempty"`
-	Benchmarks     []Result `json:"benchmarks"`
+	Pattern            string   `json:"pattern"`
+	Benchtime          string   `json:"benchtime"`
+	Count              int      `json:"count"`
+	CachePattern       string   `json:"cache_pattern,omitempty"`
+	CacheBenchtime     string   `json:"cache_benchtime,omitempty"`
+	TelemetryPattern   string   `json:"telemetry_pattern,omitempty"`
+	TelemetryBenchtime string   `json:"telemetry_benchtime,omitempty"`
+	Benchmarks         []Result `json:"benchmarks"`
 }
 
 // BaselineEntry carries the gated metrics of one benchmark.
@@ -78,7 +94,13 @@ func main() {
 	cacheBenchtime := flag.String("cache-benchtime", "20x", "iteration budget for the cache benchmarks")
 	minCacheReduction := flag.Float64("min-cache-reduction", 2.0,
 		"required off/on solver-invocation ratio of the dataset shared-cache benchmark (0 disables)")
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	telemetryPattern := flag.String("telemetry-pattern",
+		"BenchmarkTelemetry(Counter|Histogram|RingAppend|Recorder)$",
+		"zero-alloc telemetry hot-path benchmark pattern (empty skips the telemetry runs and their gates)")
+	telemetryBenchtime := flag.String("telemetry-benchtime", "10000x", "iteration budget for the telemetry micro-benchmarks")
+	maxTelemetryOverhead := flag.Float64("max-telemetry-overhead", 5.0,
+		"allowed telemetry-on vs telemetry-off ns/decision overhead percent of BenchmarkTelemetryOverhead (0 disables)")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
@@ -94,6 +116,22 @@ func main() {
 		report.CachePattern = *cachePattern
 		report.CacheBenchtime = *cacheBenchtime
 		report.Benchmarks = append(report.Benchmarks, cacheReport.Benchmarks...)
+	}
+	if *telemetryPattern != "" {
+		// The micro-benchmarks take the fixed budget; the paired dataset-scale
+		// overhead benchmark folds a min-estimator over its own iterations, so
+		// a small count suffices.
+		telemetryRaw := runBench(*telemetryPattern, *telemetryBenchtime, *count)
+		telemetryReport := parse(telemetryRaw)
+		report.TelemetryPattern = *telemetryPattern
+		report.TelemetryBenchtime = *telemetryBenchtime
+		report.Benchmarks = append(report.Benchmarks, telemetryReport.Benchmarks...)
+		if *maxTelemetryOverhead > 0 {
+			// 30 alternating-order pairs: the gate compares per-arm minima,
+			// which need enough runs to shake scheduler noise out of both arms.
+			overheadRaw := runBench("BenchmarkTelemetryOverhead$", "30x", 1)
+			report.Benchmarks = append(report.Benchmarks, parse(overheadRaw).Benchmarks...)
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
@@ -116,6 +154,9 @@ func main() {
 	if *cachePattern != "" && *minCacheReduction > 0 {
 		failures = append(failures, gateCacheReduction(report, *minCacheReduction)...)
 	}
+	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
+		failures = append(failures, gateTelemetryOverhead(report, *maxTelemetryOverhead)...)
+	}
 	if len(failures) > 0 {
 		sort.Strings(failures)
 		for _, f := range failures {
@@ -127,6 +168,9 @@ func main() {
 		*tolerance*100, len(baseline))
 	if *cachePattern != "" && *minCacheReduction > 0 {
 		fmt.Printf("soda-bench: shared cache cuts solver invocations by >= %.1fx\n", *minCacheReduction)
+	}
+	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
+		fmt.Printf("soda-bench: telemetry ns/decision overhead within %.1f%%\n", *maxTelemetryOverhead)
 	}
 }
 
@@ -161,6 +205,9 @@ func parse(out string) Report {
 		solveSamples      int
 		hitPct            float64
 		hitSamples        int
+		nsOff, nsOn, ovh  float64
+		ovhMedian         float64
+		ovhSamples        int
 	}
 	accs := make(map[string]*acc)
 	var order []string
@@ -199,6 +246,15 @@ func parse(out string) Report {
 			case "shared-hit-%":
 				a.hitPct += v
 				a.hitSamples++
+			case "ns/decision-off":
+				a.nsOff += v
+			case "ns/decision-on":
+				a.nsOn += v
+			case "overhead-%":
+				a.ovh += v
+				a.ovhSamples++
+			case "overhead-median-%":
+				a.ovhMedian += v
 			}
 		}
 	}
@@ -220,6 +276,12 @@ func parse(out string) Report {
 		}
 		if a.hitSamples > 0 {
 			r.SharedHitPct = a.hitPct / float64(a.hitSamples)
+		}
+		if a.ovhSamples > 0 {
+			r.NsPerDecisionOff = a.nsOff / float64(a.ovhSamples)
+			r.NsPerDecisionOn = a.nsOn / float64(a.ovhSamples)
+			r.TelemetryOverheadPct = a.ovh / float64(a.ovhSamples)
+			r.TelemetryOverheadMedianPct = a.ovhMedian / float64(a.ovhSamples)
 		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 	}
@@ -290,4 +352,27 @@ func gateCacheReduction(rep Report, minReduction float64) []string {
 			ratio, off.SolvesPerSession, on.SolvesPerSession, minReduction)}
 	}
 	return nil
+}
+
+// gateTelemetryOverhead enforces the telemetry cost budget: at dataset
+// scale, attaching a collector must cost at most maxPct percent ns/decision
+// over the bare loop (BenchmarkTelemetryOverhead alternates paired arms and
+// compares per-arm minimum ns/decision, so scheduler stalls and GC pauses —
+// which only ever inflate a sample — cannot move the gated figure).
+func gateTelemetryOverhead(rep Report, maxPct float64) []string {
+	for _, r := range rep.Benchmarks {
+		if r.Name != "BenchmarkTelemetryOverhead" {
+			continue
+		}
+		if r.NsPerDecisionOff <= 0 || r.NsPerDecisionOn <= 0 {
+			return []string{"BenchmarkTelemetryOverhead: ns/decision-off / ns/decision-on metrics missing from benchmark output"}
+		}
+		if r.TelemetryOverheadPct > maxPct {
+			return []string{fmt.Sprintf(
+				"BenchmarkTelemetryOverhead: telemetry adds %.2f%% ns/decision (%.0f -> %.0f), budget %.1f%%",
+				r.TelemetryOverheadPct, r.NsPerDecisionOff, r.NsPerDecisionOn, maxPct)}
+		}
+		return nil
+	}
+	return []string{"BenchmarkTelemetryOverhead: missing from benchmark output"}
 }

@@ -35,6 +35,7 @@ func main() {
 		os.Setenv("SODA_EXPERIMENT_SCALE", fmt.Sprint(*scaleFactor))
 	}
 	scale := experiments.DefaultScale()
+	scale.Telemetry = prof.Collector()
 
 	selected := map[string]bool{}
 	if *only != "" {

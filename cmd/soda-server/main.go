@@ -1,27 +1,38 @@
 // Command soda-server runs the prototype segment server on a TCP address,
 // optionally shaping delivery with a bandwidth trace — one half of the local
-// client-server deployment of the prototype evaluation (§6.2).
+// client-server deployment of the prototype evaluation (§6.2). The -http
+// flag adds an HTTP listener with the DASH transport (/manifest.mpd,
+// /segment/...), server-side decisions (/decide) and live introspection
+// (/metrics in Prometheus text format, /debug/decisions as JSONL).
 //
 // Usage:
 //
 //	soda-server -addr :9000 -segments 300
 //	soda-server -addr :9000 -trace 4g.csv -timescale 10
+//	soda-server -addr :9000 -http :9090
+//	curl http://localhost:9090/metrics
+//	curl 'http://localhost:9090/debug/decisions?limit=20'
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/dash"
+	"repro/internal/httpseg"
 	"repro/internal/netem"
+	"repro/internal/profiling"
 	"repro/internal/proto"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/video"
 )
@@ -33,9 +44,16 @@ func main() {
 	timeScale := flag.Float64("timescale", 1, "stream-time compression factor")
 	ladderName := flag.String("ladder", "prototype", "ladder: youtube4k, mobile, prototype, prime")
 	writeMPD := flag.String("write-mpd", "", "also write an MPEG-DASH MPD describing the stream to this file")
+	httpAddr := flag.String("http", "", "also serve HTTP: DASH transport, /decide, /metrics, /debug/decisions")
+	decideCache := flag.Int("decide-cache", 1<<16, "shared solve-cache entries for /decide sessions (0 disables)")
+	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "soda-server: ", log.LstdFlags)
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		logger.Fatal(err)
+	}
 
 	var ladder video.Ladder
 	switch *ladderName {
@@ -72,11 +90,68 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		// -telemetry reuses the same collector, so the exit snapshot matches
+		// what /metrics served.
+		col := prof.Collector()
+		if col == nil {
+			col = telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
+		}
+		mux, err := introspectionMux(ladder, *segments, *decideCache, col)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		httpLn, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		httpSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("http: %v", err)
+			}
+		}()
+		fmt.Printf("introspection on http://%s (/manifest.mpd /segment /decide /metrics /debug/decisions)\n", httpLn.Addr())
+	}
+
 	fmt.Printf("serving %d segments of the %s ladder on %s\n", *segments, *ladderName, ln.Addr())
-	if err := srv.Serve(ctx, listener); err != nil && ctx.Err() == nil {
-		logger.Fatal(err)
+	serveErr := srv.Serve(ctx, listener)
+	if httpSrv != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = httpSrv.Shutdown(shutCtx)
+		cancel()
+	}
+	if err := stopProfiles(); err != nil {
+		logger.Print(err)
+	}
+	if serveErr != nil && ctx.Err() == nil {
+		logger.Fatal(serveErr)
 	}
 	logger.Print("shut down")
+}
+
+// introspectionMux assembles the HTTP surface: the DASH segment transport at
+// the root, server-side SODA at /decide, and the live introspection
+// endpoints. All decision recording happens in the /decide handler after the
+// controller returns; /metrics only reads, plus pull-only gauge refreshes.
+func introspectionMux(ladder video.Ladder, segments, decideCacheEntries int, col *telemetry.Collector) (*http.ServeMux, error) {
+	seg, err := httpseg.NewServer(ladder, nil, segments)
+	if err != nil {
+		return nil, err
+	}
+	seg.Instrument(col.Registry)
+	svc, err := httpseg.NewDecideService(ladder, decideCacheEntries, col)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", seg)
+	mux.Handle("/decide", svc)
+	mux.Handle("/metrics", telemetry.MetricsHandler(col.Registry, svc.RefreshMetrics))
+	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(col.Ring))
+	return mux, nil
 }
 
 // writeMPDFile writes an MPEG-DASH MPD describing the stream to path.

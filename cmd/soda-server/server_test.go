@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/video"
+)
+
+// TestServerEndpointSmoke boots the introspection mux, drives a few /decide
+// sessions through it, and checks that /metrics serves valid Prometheus text
+// exposition covering the solver, the shared cache, and per-session
+// buffer/bitrate histograms — and that /debug/decisions streams parseable
+// JSONL. This is the CI smoke gate for the observability surface.
+func TestServerEndpointSmoke(t *testing.T) {
+	col := telemetry.NewCollector(nil, 256)
+	mux, err := introspectionMux(video.Prototype(), 30, 1<<12, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	// The DASH transport is mounted at the root.
+	resp, mpd := get("/manifest.mpd")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/manifest.mpd: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(mpd, "<MPD") {
+		t.Fatalf("/manifest.mpd does not look like an MPD:\n%s", mpd)
+	}
+	if resp, _ := get("/segment/0/0"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/segment/0/0: status %d", resp.StatusCode)
+	}
+
+	// Drive two sessions through enough decisions to touch the solver,
+	// the memo, and the shared cache. Each session key must map to one
+	// stable numeric id, distinct across keys.
+	ids := map[string]int{}
+	for i := 0; i < 8; i++ {
+		for _, sess := range []string{"alice", "bob"} {
+			resp, body := get(fmt.Sprintf("/decide?session=%s&buffer=%g&throughput=12", sess, 2.0+float64(i)))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/decide: status %d: %s", resp.StatusCode, body)
+			}
+			var reply struct {
+				Session int     `json:"session"`
+				Rung    int     `json:"rung"`
+				Bitrate float64 `json:"bitrate_mbps"`
+			}
+			if err := json.Unmarshal([]byte(body), &reply); err != nil {
+				t.Fatalf("/decide reply not JSON: %v\n%s", err, body)
+			}
+			if prev, ok := ids[sess]; ok && prev != reply.Session {
+				t.Fatalf("session %q id changed %d -> %d", sess, prev, reply.Session)
+			}
+			ids[sess] = reply.Session
+		}
+	}
+	if ids["alice"] == ids["bob"] {
+		t.Fatalf("distinct session keys share id %d", ids["alice"])
+	}
+
+	// /metrics must be valid Prometheus text exposition.
+	resp, exposition := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	families, err := telemetry.ParseExposition(strings.NewReader(exposition))
+	if err != nil {
+		t.Fatalf("/metrics is not valid exposition: %v\n%s", err, exposition)
+	}
+	for _, family := range []string{
+		"soda_decisions_total",
+		"soda_solver_solves_total",
+		"soda_solver_nodes_total",
+		"soda_shared_cache_lookups_total",
+		"soda_server_shared_cache_entries",
+		"soda_server_sessions",
+		"soda_buffer_level_seconds",
+		"soda_decided_bitrate_mbps",
+		"soda_decide_latency_seconds",
+		"soda_http_manifest_requests_total",
+		"soda_http_segment_requests_total",
+	} {
+		if _, ok := families[family]; !ok {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	// /debug/decisions streams one JSON object per line, newest window last.
+	resp, jsonl := get("/debug/decisions?limit=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/decisions: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("/debug/decisions Content-Type = %q", ct)
+	}
+	lines := 0
+	sc := bufio.NewScanner(strings.NewReader(jsonl))
+	for sc.Scan() {
+		var ev telemetry.DecisionEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("/debug/decisions line %d not JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if ev.Rung < 0 || ev.Bitrate <= 0 {
+			t.Errorf("/debug/decisions line %d: rung %d bitrate %g", lines, ev.Rung, ev.Bitrate)
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Fatalf("/debug/decisions?limit=5 returned %d lines", lines)
+	}
+
+	if resp, _ := get("/debug/decisions?limit=oops"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d, want 400", resp.StatusCode)
+	}
+}

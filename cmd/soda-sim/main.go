@@ -6,6 +6,7 @@
 //	soda-sim -dataset 4g -sessions 50 -controllers soda,bola,mpc
 //	soda-sim -trace mytrace.csv -controllers soda
 //	soda-sim -dataset puffer -cpuprofile cpu.pprof -memprofile mem.pprof
+//	soda-sim -dataset 4g -controllers soda -telemetry telemetry.json
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/qoe"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/units"
@@ -45,7 +47,7 @@ func main() {
 		fatal(err)
 	}
 
-	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *seed)
+	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *seed, prof.Collector())
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -54,7 +56,7 @@ func main() {
 	}
 }
 
-func run(ladderName, dataset, traceFile, controllers string, sessions int, sessionSeconds, bufferCap float64, seed uint64) error {
+func run(ladderName, dataset, traceFile, controllers string, sessions int, sessionSeconds, bufferCap float64, seed uint64, col *telemetry.Collector) error {
 	ladder, err := pickLadder(ladderName, dataset)
 	if err != nil {
 		return err
@@ -67,7 +69,7 @@ func run(ladderName, dataset, traceFile, controllers string, sessions int, sessi
 
 	for _, name := range strings.Split(controllers, ",") {
 		name = strings.TrimSpace(name)
-		if err := runController(name, ladder, traces, units.Seconds(bufferCap), sessSeconds); err != nil {
+		if err := runController(name, ladder, traces, units.Seconds(bufferCap), sessSeconds, col); err != nil {
 			return err
 		}
 	}
@@ -114,7 +116,7 @@ func loadTrace(path string) (*trace.Trace, error) {
 	return tr, err
 }
 
-func runController(name string, ladder video.Ladder, traces []*trace.Trace, bufferCap, sessionSeconds units.Seconds) error {
+func runController(name string, ladder video.Ladder, traces []*trace.Trace, bufferCap, sessionSeconds units.Seconds, col *telemetry.Collector) error {
 	if _, err := abr.New(name, ladder); err != nil {
 		return err
 	}
@@ -126,6 +128,7 @@ func runController(name string, ladder video.Ladder, traces []*trace.Trace, buff
 		Ladder:         ladder,
 		BufferCap:      bufferCap,
 		SessionSeconds: sessionSeconds,
+		Telemetry:      col,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/predictor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -276,12 +277,10 @@ func concurrentInstances(t *testing.T, factory Factory) {
 	}
 }
 
-// survivesHostile runs full sessions over adversarial traces: a collapse to
-// near-zero, a sawtooth, and a spike train. The session must complete
-// without error.
-func survivesHostile(t *testing.T, factory Factory) {
-	t.Helper()
-	traces := map[string]*trace.Trace{
+// hostileTraces are the adversarial sessions the harness contracts replay: a
+// collapse to near-zero, a sawtooth, and a spike train.
+func hostileTraces() map[string]*trace.Trace {
+	return map[string]*trace.Trace{
 		"collapse": trace.New([]trace.Sample{{Duration: units.Seconds(30), Mbps: units.Mbps(40)}, {Duration: units.Seconds(90), Mbps: units.Mbps(0.3)}}),
 		"sawtooth": trace.New([]trace.Sample{
 			{Duration: units.Seconds(10), Mbps: units.Mbps(30)}, {Duration: units.Seconds(10), Mbps: units.Mbps(2)},
@@ -294,7 +293,13 @@ func survivesHostile(t *testing.T, factory Factory) {
 			{Duration: units.Seconds(26), Mbps: units.Mbps(3)},
 		}),
 	}
-	for tname, tr := range traces {
+}
+
+// survivesHostile runs full sessions over the hostile traces. The session
+// must complete without error.
+func survivesHostile(t *testing.T, factory Factory) {
+	t.Helper()
+	for tname, tr := range hostileTraces() {
 		res, err := sim.Run(tr, sim.Config{
 			Ladder:         video.Mobile(),
 			BufferCap:      units.Seconds(20),
@@ -308,5 +313,81 @@ func survivesHostile(t *testing.T, factory Factory) {
 		if res.Metrics.Segments == 0 {
 			t.Fatalf("%s: no segments played", tname)
 		}
+	}
+}
+
+// TelemetryConformance is the telemetry purity contract: attaching a live
+// collector to a simulated session must leave the session bit-identical to
+// running bare — same decision sequence, waits, abandons and QoE metrics —
+// because recording is pull-based and never feeds back into the controller.
+// It also cross-checks the collector's books against the session result
+// (one event per Decide, one session, segment and stall totals matching).
+func TelemetryConformance(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	for tname, tr := range hostileTraces() {
+		tname, tr := tname, tr
+		t.Run(name+"/telemetry-bit-identical/"+tname, func(t *testing.T) {
+			cfg := sim.Config{
+				Ladder:         video.Mobile(),
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: tr.Duration(),
+				Abandonment:    true,
+			}
+
+			bareCfg := cfg
+			bareCfg.Controller = factory(video.Mobile())
+			bareCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+			bare, err := sim.Run(tr, bareCfg)
+			if err != nil {
+				t.Fatalf("bare run: %v", err)
+			}
+
+			col := telemetry.NewCollector(nil, 1<<12)
+			telCfg := cfg
+			telCfg.Controller = factory(video.Mobile())
+			telCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+			telCfg.Telemetry = col
+			instrumented, err := sim.Run(tr, telCfg)
+			if err != nil {
+				t.Fatalf("instrumented run: %v", err)
+			}
+
+			if len(bare.Rungs) != len(instrumented.Rungs) {
+				t.Fatalf("rung counts differ: bare %d, instrumented %d", len(bare.Rungs), len(instrumented.Rungs))
+			}
+			for i := range bare.Rungs {
+				if bare.Rungs[i] != instrumented.Rungs[i] {
+					t.Fatalf("decision %d: bare %d, instrumented %d", i, bare.Rungs[i], instrumented.Rungs[i])
+				}
+			}
+			if bare.Waits != instrumented.Waits || bare.Abandons != instrumented.Abandons {
+				t.Fatalf("waits/abandons differ: bare %d/%d, instrumented %d/%d",
+					bare.Waits, bare.Abandons, instrumented.Waits, instrumented.Abandons)
+			}
+			if bare.Metrics != instrumented.Metrics {
+				t.Fatalf("metrics differ:\nbare:         %+v\ninstrumented: %+v", bare.Metrics, instrumented.Metrics)
+			}
+
+			wantDecisions := len(instrumented.Rungs) + instrumented.Waits
+			if got := col.Decisions.Value(); got != float64(wantDecisions) {
+				t.Errorf("collector decisions = %g, want %d (rungs+waits)", got, wantDecisions)
+			}
+			if got := col.Waits.Value(); got != float64(instrumented.Waits) {
+				t.Errorf("collector waits = %g, want %d", got, instrumented.Waits)
+			}
+			if got := col.Ring.Total(); got != uint64(wantDecisions) {
+				t.Errorf("ring total = %d, want %d", got, wantDecisions)
+			}
+			if got := col.Sessions.Value(); got != 1 {
+				t.Errorf("collector sessions = %g, want 1", got)
+			}
+			if got := col.Segments.Value(); got != float64(instrumented.Metrics.Segments) {
+				t.Errorf("collector segments = %g, want %d", got, instrumented.Metrics.Segments)
+			}
+			if got := col.RebufferSeconds.Value(); got != float64(instrumented.Metrics.RebufferSec) {
+				t.Errorf("collector rebuffer seconds = %g, want %g",
+					got, float64(instrumented.Metrics.RebufferSec))
+			}
+		})
 	}
 }

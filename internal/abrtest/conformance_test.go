@@ -77,3 +77,19 @@ func TestSodaSharedCacheFullSuite(t *testing.T) {
 	cache := core.NewSolveCache(1 << 14)
 	Conformance(t, "soda-shared-cache", sodaShared(cache))
 }
+
+// TestSodaTelemetryBitIdentical is the telemetry purity contract for the
+// registry-default SODA: a session with a live collector attached must be
+// bit-identical to a bare one (telemetry is pull-based and outside the
+// decision path), with the collector's totals matching the session result.
+func TestSodaTelemetryBitIdentical(t *testing.T) {
+	TelemetryConformance(t, "soda", sodaPlain)
+}
+
+// TestSodaTelemetryBitIdenticalWithSharedCache repeats the telemetry purity
+// contract with the fleet cache attached, so the solver-stats snapshotting
+// covers the shared-lookup counters too.
+func TestSodaTelemetryBitIdenticalWithSharedCache(t *testing.T) {
+	cache := core.NewSolveCache(1 << 14)
+	TelemetryConformance(t, "soda-shared-cache", sodaShared(cache))
+}

@@ -80,7 +80,7 @@ type Config struct {
 	// components: buffer seconds and predicted Mb/s are rounded to the
 	// nearest multiple before lookup, and the planning problem is solved at
 	// the quantized state so the cached decision is a pure function of the
-	// key (see DESIGN.md §7). 0 keys on exact floats, which virtually never
+	// key (see DESIGN.md §5b). 0 keys on exact floats, which virtually never
 	// recur on real buffer trajectories and so disables reuse in practice.
 	MemoQuantum float64
 	// SharedCache optionally connects the controller to a fleet-wide solve

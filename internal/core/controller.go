@@ -109,6 +109,17 @@ func (c *Controller) SolveStats() SolveStats {
 	return s
 }
 
+// SolveWork returns the four cumulative work counters the telemetry layer
+// snapshots around every Decide call. It exists alongside SolveStats because
+// the full eight-field struct costs two 64-byte copies per decision on the
+// simulator's hot loop; four scalars come back in registers.
+func (c *Controller) SolveWork() (solves, nodes, memoHits, sharedHits uint64) {
+	if c.model != nil {
+		solves, nodes = c.model.stats.Solves, c.model.stats.Nodes
+	}
+	return solves, nodes, c.memoHits, c.sharedHits
+}
+
 // ResetSolveStats zeroes the solver and memo work counters.
 func (c *Controller) ResetSolveStats() {
 	if c.model != nil {

@@ -59,6 +59,22 @@ func (s *SolveStats) Add(o SolveStats) {
 	s.SharedHits += o.SharedHits
 }
 
+// Delta returns the per-counter difference s−o, for telemetry call sites
+// that snapshot cumulative stats around a Decide and want that decision's
+// work. o must be an earlier snapshot of the same counters.
+func (s SolveStats) Delta(o SolveStats) SolveStats {
+	return SolveStats{
+		Solves:        s.Solves - o.Solves,
+		Nodes:         s.Nodes - o.Nodes,
+		Leaves:        s.Leaves - o.Leaves,
+		Pruned:        s.Pruned - o.Pruned,
+		MemoLookups:   s.MemoLookups - o.MemoLookups,
+		MemoHits:      s.MemoHits - o.MemoHits,
+		SharedLookups: s.SharedLookups - o.SharedLookups,
+		SharedHits:    s.SharedHits - o.SharedHits,
+	}
+}
+
 // SolveStats returns the work counters accumulated by this model's solver.
 func (m *CostModel) SolveStats() SolveStats { return m.stats }
 

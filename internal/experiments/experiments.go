@@ -22,6 +22,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/qoe"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 	"repro/internal/units"
@@ -52,6 +53,11 @@ type Scale struct {
 	ProdSessionsPerArm int
 	// Seed drives all generators.
 	Seed uint64
+	// Telemetry, when non-nil, collects decision events and solver/QoE
+	// aggregates from the SODA arms of the drivers (cmd/soda-experiments
+	// attaches one for its -telemetry flag). Recording never changes driver
+	// output — sessions are bit-identical with or without it.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultScale returns the reduced default workload, honoring the
@@ -147,7 +153,7 @@ func (t *solveTally) solvesPerSession() float64 {
 // per-session solver statistics alongside the metrics. Decisions — and hence
 // metrics — are bit-identical to the uncached runControllerOnSessions path;
 // the shared-cache conformance contract in internal/abrtest pins this.
-func runSodaOnSessions(ladder video.Ladder, sessions []*trace.Trace, sessionLength, bufferCap units.Seconds, cache *core.SolveCache) ([]qoe.Metrics, *solveTally, error) {
+func runSodaOnSessions(ladder video.Ladder, sessions []*trace.Trace, sessionLength, bufferCap units.Seconds, cache *core.SolveCache, col *telemetry.Collector) ([]qoe.Metrics, *solveTally, error) {
 	tally := &solveTally{}
 	factory := func() (abr.Controller, predictor.Predictor) {
 		cfg := core.DefaultConfig()
@@ -159,6 +165,7 @@ func runSodaOnSessions(ladder video.Ladder, sessions []*trace.Trace, sessionLeng
 		BufferCap:      bufferCap,
 		SessionSeconds: sessionLength,
 		OnResult:       tally.hook,
+		Telemetry:      col,
 	})
 	return metrics, tally, err
 }

@@ -84,7 +84,7 @@ func Figure10(scale Scale) (*Figure10Result, error) {
 				// would per ladder/config; the hit rate lands in the report.
 				cache := core.NewSolveCache(sharedCacheEntries)
 				var tally *solveTally
-				metrics, tally, err = runSodaOnSessions(bk.ladder, bk.sessions, scale.SessionSeconds, units.Seconds(20), cache)
+				metrics, tally, err = runSodaOnSessions(bk.ladder, bk.sessions, scale.SessionSeconds, units.Seconds(20), cache, scale.Telemetry)
 				if err == nil {
 					res.Cache[bk.name] = cache.Stats()
 					res.SodaSolvesPerSession[bk.name] = tally.solvesPerSession()
@@ -380,6 +380,9 @@ func Figure13(scale Scale) (*Figure13Result, error) {
 	cfg.SessionsPerArm = scale.ProdSessionsPerArm
 	cfg.SessionLength = scale.SessionSeconds
 	cfg.Seed = scale.Seed
+	if scale.Telemetry != nil {
+		cfg.Telemetry = scale.Telemetry.Registry
+	}
 	reports, err := prod.Run(cfg)
 	if err != nil {
 		return nil, err

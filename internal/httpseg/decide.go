@@ -1,0 +1,243 @@
+package httpseg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/abr"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+// maxDecideSessions bounds the per-session controller table; the oldest
+// session is evicted FIFO once the table is full, so an id churn attack
+// cannot grow server memory without bound.
+const maxDecideSessions = 1024
+
+// DecideService runs server-side SODA: clients report their playback state
+// (`GET /decide?session=...&buffer=...&throughput=...`) and receive the rung
+// the controller picks. Each session id gets its own controller so decisions
+// stay a pure function of that session's history; all sessions share one
+// fleet solve cache. Every decision is recorded on the telemetry collector —
+// from here, the call site, after Decide returns — which is what makes
+// soda-server's /metrics and /debug/decisions show live solver traffic.
+type DecideService struct {
+	ladder video.Ladder
+	cache  *core.SolveCache
+	col    *telemetry.Collector
+
+	mu       sync.Mutex
+	sessions map[string]*decideSession
+	order    []string // insertion order, for FIFO eviction
+	nextID   int
+
+	cacheEntries  *telemetry.Gauge
+	cacheCapacity *telemetry.Gauge
+	liveSessions  *telemetry.Gauge
+}
+
+type decideSession struct {
+	id       int
+	ctrl     *core.Controller
+	prevRung int
+	segment  int
+}
+
+// NewDecideService builds the service. cacheEntries sizes the shared solve
+// cache (non-positive disables sharing); col may be nil to run unobserved.
+func NewDecideService(ladder video.Ladder, cacheEntries int, col *telemetry.Collector) (*DecideService, error) {
+	if ladder.Len() == 0 {
+		return nil, fmt.Errorf("httpseg: decide service needs a non-empty ladder")
+	}
+	s := &DecideService{
+		ladder:   ladder,
+		col:      col,
+		sessions: map[string]*decideSession{},
+	}
+	if cacheEntries > 0 {
+		s.cache = core.NewSolveCache(cacheEntries)
+	}
+	if col != nil {
+		s.cacheEntries = col.Registry.Gauge("soda_server_shared_cache_entries",
+			"live entries in the server's shared solve cache", telemetry.None)
+		s.cacheCapacity = col.Registry.Gauge("soda_server_shared_cache_capacity",
+			"capacity of the server's shared solve cache", telemetry.None)
+		s.liveSessions = col.Registry.Gauge("soda_server_sessions",
+			"decision sessions currently tracked", telemetry.None)
+	}
+	return s, nil
+}
+
+// RefreshMetrics updates the pull-only gauges (cache occupancy, live session
+// count); MetricsHandler runs it as an onScrape hook.
+func (s *DecideService) RefreshMetrics() {
+	if s.col == nil {
+		return
+	}
+	if s.cache != nil {
+		st := s.cache.Stats()
+		s.cacheEntries.Set(float64(st.Entries))
+		s.cacheCapacity.Set(float64(st.Capacity))
+	}
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	s.liveSessions.Set(float64(n))
+}
+
+// decideReply is the JSON response of one /decide call.
+type decideReply struct {
+	Session     int     `json:"session"`
+	Segment     int     `json:"segment"`
+	Rung        int     `json:"rung"`
+	BitrateMbps float64 `json:"bitrate_mbps"`
+	WaitSeconds float64 `json:"wait_s,omitempty"`
+}
+
+// ServeHTTP implements the /decide endpoint.
+func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	sessionKey := q.Get("session")
+	if sessionKey == "" {
+		http.Error(w, "missing session parameter", http.StatusBadRequest)
+		return
+	}
+	buffer, err := parseNonNegative(q.Get("buffer"))
+	if err != nil {
+		http.Error(w, "buffer: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	throughput, err := parseNonNegative(q.Get("throughput"))
+	if err != nil {
+		http.Error(w, "throughput: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	bufferCap := 20.0
+	if v := q.Get("cap"); v != "" {
+		if bufferCap, err = parseNonNegative(v); err != nil || bufferCap <= 0 {
+			http.Error(w, "cap must be a positive number", http.StatusBadRequest)
+			return
+		}
+	}
+
+	// The whole decide runs under the session-table lock: controllers are
+	// single-threaded state and decisions must serialise per session anyway.
+	// The solver is sub-microsecond, so the lock is not a throughput concern
+	// at the prototype's scale.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess := s.session(sessionKey)
+	if v := q.Get("segment"); v != "" {
+		seg, err := strconv.Atoi(v)
+		if err != nil || seg < 0 {
+			http.Error(w, "segment must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		sess.segment = seg
+	}
+	if v := q.Get("prev"); v != "" {
+		prev, err := strconv.Atoi(v)
+		if err != nil || prev < abr.NoRung || prev >= s.ladder.Len() {
+			http.Error(w, "prev out of range", http.StatusBadRequest)
+			return
+		}
+		sess.prevRung = prev
+	}
+
+	omega := units.Mbps(throughput)
+	ctx := &abr.Context{
+		Buffer:         units.Seconds(buffer),
+		BufferCap:      units.Seconds(bufferCap),
+		PrevRung:       sess.prevRung,
+		Ladder:         s.ladder,
+		SegmentIndex:   sess.segment,
+		TotalSegments:  1 << 20, // an open-ended live stream
+		LastThroughput: omega,
+		Predict:        func(units.Seconds) units.Mbps { return omega },
+	}
+
+	before := sess.ctrl.SolveStats()
+	t0 := time.Now()
+	decision := sess.ctrl.Decide(ctx)
+	elapsed := time.Since(t0)
+
+	reply := decideReply{Session: sess.id, Segment: sess.segment, Rung: decision.Rung}
+	ev := telemetry.DecisionEvent{
+		Session:      int32(sess.id),
+		Segment:      int32(sess.segment),
+		Rung:         int16(decision.Rung),
+		PrevRung:     int16(sess.prevRung),
+		Buffer:       units.Seconds(buffer),
+		Throughput:   omega,
+		SolveSeconds: units.Seconds(elapsed.Seconds()),
+		Timed:        true,
+	}
+	if decision.Rung == abr.NoRung {
+		reply.WaitSeconds = float64(decision.WaitSeconds)
+		ev.WaitSeconds = decision.WaitSeconds
+	} else {
+		rung := s.ladder.ClampIndex(decision.Rung)
+		reply.Rung = rung
+		reply.BitrateMbps = float64(s.ladder.Mbps(rung))
+		ev.Rung = int16(rung)
+		ev.Bitrate = s.ladder.Mbps(rung)
+		sess.prevRung = rung
+		sess.segment++
+	}
+	d := sess.ctrl.SolveStats().Delta(before)
+	ev.Solves, ev.Nodes = uint32(d.Solves), uint32(d.Nodes)
+	ev.MemoHits, ev.SharedHits = uint32(d.MemoHits), uint32(d.SharedHits)
+	s.col.RecordDecision(ev)
+	s.col.RecordSolverStats(telemetry.SolverStats{
+		Solves: d.Solves, Nodes: d.Nodes,
+		MemoLookups: d.MemoLookups, MemoHits: d.MemoHits,
+		SharedLookups: d.SharedLookups, SharedHits: d.SharedHits,
+	})
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply) // a failed write means the client hung up
+}
+
+// session returns the state for key, creating (and FIFO-evicting) as needed.
+// Callers hold s.mu.
+func (s *DecideService) session(key string) *decideSession {
+	if sess, ok := s.sessions[key]; ok {
+		return sess
+	}
+	if len(s.order) >= maxDecideSessions {
+		delete(s.sessions, s.order[0])
+		s.order = s.order[1:]
+	}
+	cfg := core.DefaultConfig()
+	cfg.SharedCache = s.cache
+	sess := &decideSession{
+		id:       s.nextID,
+		ctrl:     core.New(cfg, s.ladder),
+		prevRung: abr.NoRung,
+	}
+	s.nextID++
+	s.sessions[key] = sess
+	s.order = append(s.order, key)
+	return sess
+}
+
+func parseNonNegative(raw string) (float64, error) {
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter")
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("must be a non-negative number")
+	}
+	return v, nil
+}

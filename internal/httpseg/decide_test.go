@@ -1,0 +1,117 @@
+package httpseg
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/video"
+)
+
+func decideGet(t *testing.T, svc *DecideService, query string) decideReply {
+	t.Helper()
+	rw := httptest.NewRecorder()
+	svc.ServeHTTP(rw, httptest.NewRequest("GET", "/decide?"+query, nil))
+	if rw.Code != 200 {
+		t.Fatalf("GET /decide?%s = %d: %s", query, rw.Code, rw.Body.String())
+	}
+	var reply decideReply
+	if err := json.Unmarshal(rw.Body.Bytes(), &reply); err != nil {
+		t.Fatalf("reply does not parse: %v", err)
+	}
+	return reply
+}
+
+func TestDecideServiceSessions(t *testing.T) {
+	col := telemetry.NewCollector(nil, 256)
+	svc, err := NewDecideService(video.Mobile(), 1<<12, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A healthy session: ample throughput and a full buffer climbs the ladder.
+	var last decideReply
+	for i := 0; i < 12; i++ {
+		last = decideGet(t, svc, "session=a&buffer=18&throughput=40")
+	}
+	if last.Rung <= 0 {
+		t.Errorf("rich session stuck at rung %d", last.Rung)
+	}
+	if last.BitrateMbps <= 0 {
+		t.Errorf("reply bitrate = %g, want > 0", last.BitrateMbps)
+	}
+
+	// A starved session stays low and must not inherit session a's state.
+	poor := decideGet(t, svc, "session=b&buffer=0.5&throughput=0.4")
+	if poor.Rung > 0 && poor.WaitSeconds == 0 {
+		t.Errorf("starved fresh session picked rung %d", poor.Rung)
+	}
+	if poor.Session == last.Session {
+		t.Error("distinct session keys share an id")
+	}
+
+	// Segment indices advance per session on downloads.
+	next := decideGet(t, svc, "session=a&buffer=18&throughput=40")
+	if next.Segment != last.Segment+1 {
+		t.Errorf("segment advanced %d -> %d, want +1", last.Segment, next.Segment)
+	}
+
+	// Telemetry saw every decision, from the call site.
+	if got := col.Decisions.Value(); got < 14 {
+		t.Errorf("collector decisions = %g, want >= 14", got)
+	}
+	if got := col.Solves.Value(); got == 0 {
+		t.Error("collector saw no solver work")
+	}
+	svc.RefreshMetrics()
+	if got := svc.liveSessions.Value(); got != 2 {
+		t.Errorf("live sessions gauge = %g, want 2", got)
+	}
+	if got := svc.cacheCapacity.Value(); got == 0 {
+		t.Error("cache capacity gauge not populated")
+	}
+}
+
+func TestDecideServiceValidation(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, query := range []string{
+		"",                                      // missing session
+		"session=a",                             // missing buffer/throughput
+		"session=a&buffer=-1&throughput=5",      // negative buffer
+		"session=a&buffer=5&throughput=bogus",   // non-numeric
+		"session=a&buffer=5&throughput=5&cap=0", // non-positive cap
+		"session=a&buffer=5&throughput=5&prev=99", // prev out of range
+	} {
+		rw := httptest.NewRecorder()
+		svc.ServeHTTP(rw, httptest.NewRequest("GET", "/decide?"+query, nil))
+		if rw.Code != 400 {
+			t.Errorf("GET /decide?%s = %d, want 400", query, rw.Code)
+		}
+	}
+	rw := httptest.NewRecorder()
+	svc.ServeHTTP(rw, httptest.NewRequest("POST", "/decide?session=a&buffer=5&throughput=5", nil))
+	if rw.Code != 405 {
+		t.Errorf("POST = %d, want 405", rw.Code)
+	}
+}
+
+func TestDecideServiceEviction(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxDecideSessions+10; i++ {
+		decideGet(t, svc, fmt.Sprintf("session=s%d&buffer=10&throughput=8", i))
+	}
+	if got := len(svc.sessions); got != maxDecideSessions {
+		t.Fatalf("session table holds %d entries, want capped at %d", got, maxDecideSessions)
+	}
+	if _, ok := svc.sessions["s0"]; ok {
+		t.Error("oldest session survived eviction")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/dash"
 	"repro/internal/proto"
+	"repro/internal/telemetry"
 	"repro/internal/video"
 )
 
@@ -34,6 +35,19 @@ type Server struct {
 	sizes  video.SizeModel
 	total  int
 	mpd    []byte
+
+	// Per-route request counters; nil until Instrument is called.
+	manifestHits *telemetry.Counter
+	segmentHits  *telemetry.Counter
+}
+
+// Instrument registers per-route request counters on reg so /metrics covers
+// transport traffic. Call once before serving.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	s.manifestHits = reg.Counter("soda_http_manifest_requests_total",
+		"manifest.mpd requests served", telemetry.None)
+	s.segmentHits = reg.Counter("soda_http_segment_requests_total",
+		"segment requests served", telemetry.None)
 }
 
 // NewServer builds the handler. sizes may be nil for CBR.
@@ -63,9 +77,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case r.URL.Path == "/manifest.mpd":
+		if s.manifestHits != nil {
+			s.manifestHits.Inc()
+		}
 		w.Header().Set("Content-Type", "application/dash+xml")
 		_, _ = w.Write(s.mpd) // a failed write means the client hung up; nothing to do mid-response
 	case strings.HasPrefix(r.URL.Path, "/segment/"):
+		if s.segmentHits != nil {
+			s.segmentHits.Inc()
+		}
 		s.serveSegment(w, r)
 	default:
 		http.NotFound(w, r)

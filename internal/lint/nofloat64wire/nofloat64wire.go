@@ -12,10 +12,14 @@
 // — the serialization surfaces where quantities genuinely must become plain
 // numbers because the other end is a byte format, not Go:
 //
-//	internal/proto    binary segment-streaming protocol (JSON manifest)
-//	internal/httpseg  HTTP/DASH segment transport
-//	internal/dash     MPEG-DASH MPD reader/writer
-//	internal/trace    trace CSV reader/writer
+//	internal/proto      binary segment-streaming protocol (JSON manifest)
+//	internal/httpseg    HTTP/DASH segment transport
+//	internal/dash       MPEG-DASH MPD reader/writer
+//	internal/trace      trace CSV reader/writer
+//	internal/telemetry  metrics exposition and decision-trace export (the
+//	                    registry enforces unit-suffixed metric names, so the
+//	                    dimension survives in the name even though the wire
+//	                    value is a bare number)
 //
 // Each wire package carries the machine-checked doc directive
 //
@@ -63,7 +67,7 @@ const Directive = "//soda:wire-boundary"
 // element of their import path (fixture packages mirror real ones by base
 // name, like the unitsafe "units" suffix rule). A package's external test
 // package shares its boundary status.
-var WirePackages = []string{"proto", "httpseg", "dash", "trace"}
+var WirePackages = []string{"proto", "httpseg", "dash", "trace", "telemetry"}
 
 // Analyzer is the nofloat64wire analyzer.
 var Analyzer = &lint.Analyzer{

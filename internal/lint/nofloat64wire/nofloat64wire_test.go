@@ -33,6 +33,7 @@ func TestIsWireBoundary(t *testing.T) {
 		{"repro/internal/dash", true},
 		{"repro/internal/trace", true},
 		{"repro/internal/trace_test", true},
+		{"repro/internal/telemetry", true},
 		{"repro/internal/tracegen", false},
 		{"repro/internal/core", false},
 		{"proto", true},

@@ -79,3 +79,37 @@ func (p *Pure) Reset() {
 type NotAController struct{}
 
 func (NotAController) Decide(ctx *Context) int { return int(time.Now().Unix()) }
+
+// telemetrySink stands in for a metrics registry: package-level state a
+// push-style instrumented controller would write from the decision path.
+var telemetrySink struct {
+	decisions int
+	lastRung  int
+}
+
+// Instrumented pushes telemetry from inside Decide via a same-package
+// helper — the exact anti-pattern the telemetry layer's pull-based design
+// exists to avoid. The transitive walk must attribute the helper's global
+// writes to (Instrumented).Decide.
+type Instrumented struct{ solves int }
+
+func (c *Instrumented) Decide(ctx *Context) int {
+	rung := int(ctx.Buffer)
+	c.solves++ // receiver-field write: allowed
+	recordDecision(rung)
+	return rung
+}
+
+func (c *Instrumented) Reset() { c.solves = 0 }
+
+func recordDecision(rung int) {
+	telemetrySink.decisions++     // want `write to package-level variable telemetrySink in controller path \(Instrumented\).Decide`
+	telemetrySink.lastRung = rung // want `write to package-level variable telemetrySink in controller path \(Instrumented\).Decide`
+}
+
+// snapshotStats is the pull-based pattern: a harness calls it AFTER Decide
+// returns and copies receiver state out to the registry. It is not reachable
+// from Decide/Reset, so its global write is out of scope — no finding.
+func snapshotStats(c *Instrumented) {
+	telemetrySink.decisions = c.solves
+}

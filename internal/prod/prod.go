@@ -22,6 +22,7 @@ import (
 	"repro/internal/engagement"
 	"repro/internal/predictor"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tracegen"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -109,6 +110,12 @@ type Config struct {
 	SharedCacheEntries int
 	// Seed makes the experiment reproducible.
 	Seed uint64
+	// Telemetry, when non-nil, receives per-arm gauges (viewing, bitrate,
+	// rebuffer/switch rates, cache hit ratio) labelled by family and arm as
+	// each family completes, so a live A/B divergence is visible on /metrics
+	// before the run finishes. Recording happens after the arms ran — it can
+	// never perturb the experiment.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the experiment configuration used by the Figure 13
@@ -137,6 +144,34 @@ type ArmStats struct {
 	// Cache is the arm's shared solve-cache traffic; zero-valued (Lookups 0)
 	// when the arm ran without one.
 	Cache core.CacheStats
+}
+
+// Record publishes the arm aggregates as gauges on reg, labelled by device
+// family and arm ("treatment"/"control"). Harnesses call it after the arm
+// completed — the pull-based pattern the telemetry purity contract requires.
+func (s ArmStats) Record(reg *telemetry.Registry, family, arm string) {
+	if reg == nil {
+		return
+	}
+	labels := []telemetry.Label{
+		{Key: "family", Value: family},
+		{Key: "arm", Value: arm},
+		{Key: "controller", Value: s.Controller},
+	}
+	reg.Gauge("soda_ab_viewing_minutes", "mean viewing duration of the arm",
+		telemetry.UMinutes, labels...).Set(float64(s.Viewing))
+	reg.Gauge("soda_ab_bitrate_mbps", "mean delivered bitrate of the arm",
+		telemetry.UMbps, labels...).Set(float64(s.MeanBitrate))
+	reg.Gauge("soda_ab_rebuffer_ratio", "mean rebuffer ratio of the arm",
+		telemetry.None, labels...).Set(s.RebufferRatio)
+	reg.Gauge("soda_ab_switch_rate", "mean rung-switch rate of the arm",
+		telemetry.None, labels...).Set(s.SwitchRate)
+	reg.Gauge("soda_ab_sessions", "sessions simulated in the arm",
+		telemetry.None, labels...).Set(float64(s.Sessions))
+	if s.Cache.Lookups > 0 {
+		reg.Gauge("soda_ab_shared_cache_hit_ratio", "shared solve-cache hit ratio of the arm",
+			telemetry.None, labels...).Set(s.Cache.HitRate())
+	}
 }
 
 // FamilyReport is one device family's A/B outcome: the Figure 13 bars.
@@ -183,6 +218,8 @@ func Run(cfg Config) ([]FamilyReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Control, err)
 		}
+		treat.Record(cfg.Telemetry, fam.Name, "treatment")
+		control.Record(cfg.Telemetry, fam.Name, "control")
 		reports = append(reports, FamilyReport{
 			Family:        fam.Name,
 			Treatment:     treat,

@@ -1,7 +1,10 @@
-// Package profiling adds the conventional -cpuprofile and -memprofile flags
-// to the repository's command-line tools, so a regression flagged by
-// cmd/soda-bench can be chased down with `go tool pprof` against a real
-// workload instead of a micro-benchmark.
+// Package profiling is the shared observability flag surface of the
+// repository's command-line tools: the conventional -cpuprofile and
+// -memprofile flags (so a regression flagged by cmd/soda-bench can be chased
+// down with `go tool pprof` against a real workload) plus the -telemetry
+// flag, which attaches a telemetry.Collector to the run and writes its
+// snapshot JSON at exit. The three binaries register all of it through one
+// helper instead of duplicating the setup.
 package profiling
 
 import (
@@ -10,27 +13,48 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+
+	"repro/internal/telemetry"
 )
 
-// Flags holds the registered profile destinations.
+// Flags holds the registered profile and telemetry destinations.
 type Flags struct {
-	cpu *string
-	mem *string
+	cpu       *string
+	mem       *string
+	telemetry *string
+
+	collector *telemetry.Collector
 }
 
-// Register installs -cpuprofile and -memprofile on fs (typically
+// Register installs -cpuprofile, -memprofile and -telemetry on fs (typically
 // flag.CommandLine, before flag.Parse).
 func Register(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file"),
-		mem: fs.String("memprofile", "", "write a heap profile to this file at exit"),
+		cpu:       fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:       fs.String("memprofile", "", "write a heap profile to this file at exit"),
+		telemetry: fs.String("telemetry", "", "record run telemetry and write a snapshot JSON to this file at exit"),
 	}
 }
 
+// Collector returns the run's telemetry collector: a live one when
+// -telemetry was given, nil otherwise. Callers thread the result through
+// unconditionally — a nil collector records nothing at zero cost. Call after
+// flag.Parse.
+func (f *Flags) Collector() *telemetry.Collector {
+	if *f.telemetry == "" {
+		return nil
+	}
+	if f.collector == nil {
+		f.collector = telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
+	}
+	return f.collector
+}
+
 // Start begins CPU profiling when -cpuprofile was given. The returned stop
-// function ends the CPU profile and, when -memprofile was given, writes the
-// heap profile. Call stop exactly once on every exit path — os.Exit skips
-// deferred calls, so the mains invoke it explicitly before exiting.
+// function ends the CPU profile, writes the heap profile when -memprofile
+// was given, and writes the telemetry snapshot when -telemetry was given.
+// Call stop exactly once on every exit path — os.Exit skips deferred calls,
+// so the mains invoke it explicitly before exiting.
 func (f *Flags) Start() (stop func() error, err error) {
 	var cpuFile *os.File
 	if *f.cpu != "" {
@@ -48,6 +72,11 @@ func (f *Flags) Start() (stop func() error, err error) {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
 				return err
+			}
+		}
+		if *f.telemetry != "" {
+			if err := f.Collector().WriteSnapshotFile(*f.telemetry); err != nil {
+				return fmt.Errorf("write telemetry snapshot: %w", err)
 			}
 		}
 		if *f.mem == "" {

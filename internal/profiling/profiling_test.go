@@ -1,10 +1,14 @@
 package profiling
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
 )
 
 // TestStartWritesProfiles runs the full flag -> Start -> stop cycle and
@@ -38,13 +42,16 @@ func TestStartWritesProfiles(t *testing.T) {
 	}
 }
 
-// TestStartNoFlagsIsNoOp checks that without flags, Start and stop do nothing
-// and touch no files.
+// TestStartNoFlagsIsNoOp checks that without flags, Start and stop do
+// nothing, touch no files, and hand out no collector.
 func TestStartNoFlagsIsNoOp(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	f := Register(fs)
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
+	}
+	if f.Collector() != nil {
+		t.Fatal("collector handed out without -telemetry")
 	}
 	stop, err := f.Start()
 	if err != nil {
@@ -52,5 +59,49 @@ func TestStartNoFlagsIsNoOp(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTelemetryFlagWritesSnapshot checks -telemetry hands out one stable
+// collector and stop writes its snapshot file.
+func TestTelemetryFlagWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "telemetry.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-telemetry", path}); err != nil {
+		t.Fatal(err)
+	}
+	col := f.Collector()
+	if col == nil {
+		t.Fatal("no collector despite -telemetry")
+	}
+	if f.Collector() != col {
+		t.Fatal("Collector is not stable across calls")
+	}
+	col.RecordSession(42, units.Seconds(1.5))
+
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name == "soda_segments_total" && m.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing the recorded session aggregates: %s", data)
 	}
 }

@@ -16,10 +16,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/abr"
+	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/qoe"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -75,6 +78,16 @@ type Config struct {
 	// goroutines, so it must be safe for concurrent use. Run itself ignores
 	// it (a single-session caller already holds both values).
 	OnResult func(index int, ctrl abr.Controller, res Result)
+	// Telemetry, when non-nil, receives one DecisionEvent per Decide plus
+	// per-session solver/QoE aggregates. Recording is strictly pull-based —
+	// the simulator snapshots SolveStats around each Decide and feeds the
+	// collector from outside the controller — and never changes the decision
+	// sequence; the TelemetryConformance contract in internal/abrtest pins
+	// that bit-identity. Nil disables telemetry at zero cost.
+	Telemetry *telemetry.Collector
+	// TelemetrySession labels this session's events (the trace index of a
+	// dataset run). RunDataset sets it automatically.
+	TelemetrySession int
 }
 
 // TrajectoryPoint is one per-segment snapshot of the session state.
@@ -157,6 +170,27 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	cfg.Controller.Reset()
 	cfg.Predictor.Reset()
 
+	// Telemetry is recorded from outside the controller: stats are
+	// snapshotted around Decide and events buffered on a per-session
+	// recorder, so a nil collector costs nothing and a live one never
+	// changes the decision sequence.
+	rec := cfg.Telemetry.StartSession(cfg.TelemetrySession)
+	// statsCore is the devirtualised fast path (core.Controller's SolveWork
+	// returns the four gated counters in registers); statser covers any
+	// other controller exposing SolveStats. The prev* counters roll forward
+	// so each decision costs one snapshot, not two.
+	var statsCore *core.Controller
+	var statser interface{ SolveStats() core.SolveStats }
+	var prevSolves, prevNodes, prevMemoHits, prevSharedHits uint64
+	if rec != nil {
+		if statsCore, _ = cfg.Controller.(*core.Controller); statsCore != nil {
+			prevSolves, prevNodes, prevMemoHits, prevSharedHits = statsCore.SolveWork()
+		} else if statser, _ = cfg.Controller.(interface{ SolveStats() core.SolveStats }); statser != nil {
+			s := statser.SolveStats()
+			prevSolves, prevNodes, prevMemoHits, prevSharedHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits
+		}
+	}
+
 	var (
 		tally    qoe.SessionTally
 		result   Result
@@ -219,9 +253,47 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			}
 		}
 
+		var (
+			ev    *telemetry.DecisionEvent
+			timed bool
+			t0    time.Time
+		)
+		if rec != nil {
+			if timed = rec.SampleLatency(); timed {
+				t0 = time.Now()
+			}
+		}
 		decision := cfg.Controller.Decide(ctx)
 		if iters++; iters > maxIters {
 			return Result{}, fmt.Errorf("%w at segment %d", ErrStuck, seg)
+		}
+		if rec != nil {
+			// Fill the recorder's buffer slot in place (Start/Commit); a
+			// build-then-copy of the ~100-byte event is measurable against
+			// the sub-microsecond decision loop.
+			ev = rec.Start()
+			ev.Segment = int32(seg)
+			ev.PrevRung = int16(prevRung)
+			ev.Buffer = buffer
+			ev.Throughput = lastMbps
+			ev.Timed = timed
+			if timed {
+				ev.SolveSeconds = units.Seconds(time.Since(t0).Seconds())
+			}
+			if statsCore != nil || statser != nil {
+				var solves, nodes, memoHits, sharedHits uint64
+				if statsCore != nil {
+					solves, nodes, memoHits, sharedHits = statsCore.SolveWork()
+				} else {
+					s := statser.SolveStats()
+					solves, nodes, memoHits, sharedHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits
+				}
+				ev.Solves = uint32(solves - prevSolves)
+				ev.Nodes = uint32(nodes - prevNodes)
+				ev.MemoHits = uint32(memoHits - prevMemoHits)
+				ev.SharedHits = uint32(sharedHits - prevSharedHits)
+				prevSolves, prevNodes, prevMemoHits, prevSharedHits = solves, nodes, memoHits, sharedHits
+			}
 		}
 		if decision.Rung == abr.NoRung {
 			if buffer <= 1e-9 {
@@ -237,12 +309,22 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 				if wait > buffer {
 					wait = buffer
 				}
+				if rec != nil {
+					ev.Rung = abr.NoRung
+					ev.WaitSeconds = wait
+					rec.Commit()
+				}
 				advance(wait)
 				seg-- // retry the same segment index after idling
 				continue
 			}
 		}
 		rung := ladder.ClampIndex(decision.Rung)
+		if rec != nil {
+			ev.Rung = int16(rung)
+			ev.Bitrate = ladder.Mbps(rung)
+			rec.Commit()
+		}
 
 		// Live-edge availability: the broadcast has not produced this
 		// segment yet; idle until it appears.
@@ -307,6 +389,25 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	result.Metrics = tally.Finalize(weights)
 	result.Rungs = append([]int(nil), tally.Rungs()...)
 	result.Duration = now
+	if rec != nil {
+		var total telemetry.SolverStats
+		if statsCore != nil || statser != nil {
+			// One full snapshot per session: the lookup counters are not in
+			// the per-decision SolveWork fast path.
+			var s core.SolveStats
+			if statsCore != nil {
+				s = statsCore.SolveStats()
+			} else {
+				s = statser.SolveStats()
+			}
+			total = telemetry.SolverStats{
+				Solves: s.Solves, Nodes: s.Nodes,
+				MemoLookups: s.MemoLookups, MemoHits: s.MemoHits,
+				SharedLookups: s.SharedLookups, SharedHits: s.SharedHits,
+			}
+		}
+		rec.Finish(total, result.Metrics.Segments, result.Metrics.RebufferSec)
+	}
 	return result, nil
 }
 
@@ -341,6 +442,7 @@ func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]q
 		}()
 		cfg := base
 		cfg.Controller, cfg.Predictor = factory()
+		cfg.TelemetrySession = i
 		res, err := Run(traces[i], cfg)
 		if err != nil {
 			return qoe.Metrics{}, err

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// DecisionEvent is one Decide call as recorded by a harness after the
+// controller returned — the unit of the /debug/decisions trace and the JSONL
+// export. Field names carry their unit (the typed-wire-schema convention);
+// the values themselves are the repository's units.* scalars, which encode
+// as plain JSON numbers.
+// The narrow integer fields are deliberate: the event is copied on every
+// ring append and sits 256-deep in each recorder's pending batch, so its
+// size is hot-path cache traffic. int32/int16/uint32 keep it at 72 bytes
+// (vs 112 with machine-word fields) without losing range — sessions and
+// segments stay far below 2^31, ladders below 2^15, and per-decision solver
+// deltas below 2^32.
+type DecisionEvent struct {
+	// Session labels the originating session (the trace index of a dataset
+	// run, or the DecideService's per-session id).
+	Session int32 `json:"session"`
+	// Segment is the segment index the decision was made for.
+	Segment int32 `json:"segment"`
+	// Rung is the chosen ladder rung; -1 is a wait (no download).
+	Rung int16 `json:"rung"`
+	// PrevRung is the previously committed rung (-1 before the first).
+	PrevRung int16 `json:"prev_rung"`
+	// Timed reports whether SolveSeconds holds a measured Decide latency
+	// (latency is sampled, not measured every decision, to keep the hot
+	// path inside the telemetry overhead budget). Declared here so it
+	// packs into the leading integer word.
+	Timed bool `json:"timed,omitempty"`
+	// Buffer is the playback buffer level when Decide was called.
+	Buffer units.Seconds `json:"buffer_s"`
+	// Throughput is the last measured segment throughput fed to the
+	// controller (the predictor input; 0 before the first download).
+	Throughput units.Mbps `json:"throughput_mbps"`
+	// Bitrate is the chosen rung's nominal rate (0 on wait).
+	Bitrate units.Mbps `json:"bitrate_mbps,omitempty"`
+	// WaitSeconds is the idle duration of a wait decision.
+	WaitSeconds units.Seconds `json:"wait_s,omitempty"`
+	// Solves/Nodes/MemoHits/SharedHits are the solver-work deltas this
+	// decision cost, snapshotted from SolveStats after Decide returned
+	// (zero for controllers that expose no stats).
+	Solves     uint32 `json:"solves,omitempty"`
+	Nodes      uint32 `json:"nodes,omitempty"`
+	MemoHits   uint32 `json:"memo_hits,omitempty"`
+	SharedHits uint32 `json:"shared_hits,omitempty"`
+	// SolveSeconds is the measured Decide latency; only meaningful when
+	// Timed is set.
+	SolveSeconds units.Seconds `json:"solve_s,omitempty"`
+}
+
+// Ring is a fixed-capacity overwrite-oldest buffer of decision events. A
+// single mutex guards it: appends copy one event under the lock and the
+// recorder batch path amortises the lock over many events, so the ring never
+// allocates after construction.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []DecisionEvent
+	mask uint64
+	next uint64 // total events ever appended
+}
+
+// DefaultRingCapacity holds ~a minute of fleet decision traffic at the
+// simulator's decision rates; see DESIGN.md §6 for the sizing argument.
+const DefaultRingCapacity = 4096
+
+// NewRing builds a ring holding the last capacity events (rounded up to a
+// power of two; non-positive capacities get DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{buf: make([]DecisionEvent, n), mask: uint64(n - 1)}
+}
+
+// Append records one event, overwriting the oldest once full.
+func (r *Ring) Append(ev DecisionEvent) {
+	r.mu.Lock()
+	r.buf[r.next&r.mask] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// AppendBatch records a slice of events under one lock acquisition — the
+// SessionRecorder flush path.
+func (r *Ring) AppendBatch(evs []DecisionEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	for i := range evs {
+		r.buf[r.next&r.mask] = evs[i]
+		r.next++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.held()
+}
+
+// Total returns the number of events ever appended.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+func (r *Ring) held() int {
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Snapshot copies the held events, oldest first.
+func (r *Ring) Snapshot() []DecisionEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.held()
+	out := make([]DecisionEvent, n)
+	start := r.next - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+uint64(i))&r.mask]
+	}
+	return out
+}
+
+// WriteJSONL writes held events as one JSON object per line, oldest first.
+// A positive max keeps only the newest max events.
+func (r *Ring) WriteJSONL(w io.Writer, max int) error {
+	events := r.Snapshot()
+	if max > 0 && len(events) > max {
+		events = events[len(events)-max:]
+	}
+	enc := json.NewEncoder(w)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

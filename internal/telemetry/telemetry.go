@@ -1,0 +1,415 @@
+// Package telemetry is the observability layer of the reproduction: a
+// stdlib-only metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with Prometheus text exposition), a per-decision trace ring
+// buffer with JSONL export, and a Collector bundling the standard SODA
+// instruments.
+//
+// Two contracts shape the design:
+//
+//   - Purity: controllers never see the telemetry layer. Recording is
+//     pull-based — harnesses (sim, prod, httpseg, the cmd binaries) snapshot
+//     SolveStats/CacheStats after Decide returns and feed the collector from
+//     the call site, so the purecontroller analyzer keeps holding.
+//   - Zero allocation on the hot path: counter/gauge/histogram updates and
+//     ring appends allocate nothing in steady state (gated by cmd/soda-bench),
+//     and the per-session recorder batches its flushes so a dataset-scale
+//     simulation pays well under 5% per decision.
+//
+// Metric names carry their units.* dimension as a suffix (_seconds, _mbps,
+// ...), enforced at registration — the first step of the ROADMAP "typed wire
+// schemas" item. The exposition encoder and the JSONL trace export speak raw
+// float64 on purpose; the package is a sanctioned laundering site:
+//
+//soda:wire-boundary
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Unit names the units.* dimension a metric's values are denominated in.
+// Registration enforces that a unit-carrying metric name ends in the unit's
+// suffix (before the _total suffix for counters), so the exposition remains
+// self-describing even though the wire format is unitless float64.
+type Unit string
+
+// The units the repository's typed scalars map onto.
+const (
+	None      Unit = ""
+	USeconds  Unit = "seconds"
+	UMinutes  Unit = "minutes"
+	UMbps     Unit = "mbps"
+	UMegabits Unit = "megabits"
+)
+
+// Label is one key=value metric dimension. Labels are fixed at registration;
+// there is no dynamic label allocation on the update path.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// atomicFloat is a float64 updated via CAS on its bit pattern, so counters
+// and gauges take float64 increments without locks or allocation.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds v; negative increments panic (counters are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		panic(fmt.Sprintf("telemetry: negative counter increment %g", v))
+	}
+	c.v.Add(v)
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.Store(v) }
+
+// Add moves the gauge by v.
+func (g *Gauge) Add(v float64) { g.v.Add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: per-bucket atomic counts plus an
+// atomic sum. The bucket layout is fixed at registration, so Observe is a
+// bounds scan and two atomic updates — no locks, no allocation.
+type Histogram struct {
+	upper  []float64 // ascending finite upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// bucketIndex returns the index of the bucket v falls into; len(upper) is
+// the +Inf bucket. Buckets are few (≤ ~20), so a linear scan beats binary
+// search in practice and stays branch-predictable for clustered values.
+func (h *Histogram) bucketIndex(v float64) int {
+	for i, ub := range h.upper {
+		if v <= ub {
+			return i
+		}
+	}
+	return len(h.upper)
+}
+
+// addBatch folds a locally accumulated bucket tally into the histogram —
+// the SessionRecorder flush path. counts must be parallel to the histogram's
+// buckets (including the +Inf slot).
+func (h *Histogram) addBatch(counts []uint64, sum float64) {
+	for i, c := range counts {
+		if c > 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(sum)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// series is one label-set instance of a metric family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one metric name: kind, unit, help and its per-label-set series.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	unit    Unit
+	buckets []float64
+	order   []string
+	series  map[string]*series
+}
+
+// Registry holds metric families and hands out instruments. Registration is
+// get-or-create: asking for the same name and label set again returns the
+// existing instrument; re-registering a name with a different kind, unit or
+// bucket layout panics (it is a programming error, not a runtime condition).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or fetches) a counter. The name must end in _total; a
+// unit-carrying counter must end in _<unit>_total.
+func (r *Registry) Counter(name, help string, unit Unit, labels ...Label) *Counter {
+	s := r.lookup(name, help, kindCounter, unit, nil, labels)
+	return s.c
+}
+
+// Gauge registers (or fetches) a gauge. A unit-carrying gauge must end in
+// _<unit>.
+func (r *Registry) Gauge(name, help string, unit Unit, labels ...Label) *Gauge {
+	s := r.lookup(name, help, kindGauge, unit, nil, labels)
+	return s.g
+}
+
+// Histogram registers (or fetches) a histogram with the given ascending
+// finite bucket upper bounds (the +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, unit Unit, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("telemetry: histogram %s registered with no buckets", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s buckets not strictly ascending at %d", name, i))
+		}
+	}
+	s := r.lookup(name, help, kindHistogram, unit, buckets, labels)
+	return s.h
+}
+
+func (r *Registry) lookup(name, help string, k kind, unit Unit, buckets []float64, labels []Label) *series {
+	if err := CheckName(name, k == kindCounter, unit); err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	for _, l := range labels {
+		if !nameOK(l.Key) {
+			panic(fmt.Sprintf("telemetry: metric %s has invalid label key %q", name, l.Key))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{
+			name: name, help: help, kind: k, unit: unit,
+			buckets: append([]float64(nil), buckets...),
+			series:  map[string]*series{},
+		}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+	} else {
+		if fam.kind != k || fam.unit != unit || !sameBuckets(fam.buckets, buckets) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s/%q (was %s/%q)",
+				name, k, unit, fam.kind, fam.unit))
+		}
+	}
+	key := labelKey(labels)
+	s := fam.series[key]
+	if s == nil {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = &Histogram{
+				upper:  fam.buckets,
+				counts: make([]atomic.Uint64, len(fam.buckets)+1),
+			}
+		}
+		fam.series[key] = s
+		fam.order = append(fam.order, key)
+	}
+	return s
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, l := range labels {
+		sb.WriteString(l.Key)
+		sb.WriteByte('\x00')
+		sb.WriteString(l.Value)
+		sb.WriteByte('\x01')
+	}
+	return sb.String()
+}
+
+// nameOK reports whether s is a legal metric or label-key name.
+func nameOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// CheckName validates a metric name against the registry's naming rule:
+// legal identifier characters, counters end in _total, and a unit-carrying
+// metric ends in _<unit> (immediately before _total for counters). It is
+// exported so tests outside the package can assert the rule over a wired-up
+// registry snapshot.
+func CheckName(name string, counter bool, unit Unit) error {
+	if !nameOK(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	base := name
+	if counter {
+		if !strings.HasSuffix(base, "_total") {
+			return fmt.Errorf("counter %s must end in _total", name)
+		}
+		base = strings.TrimSuffix(base, "_total")
+	}
+	if unit != None && !strings.HasSuffix(base, "_"+string(unit)) {
+		return fmt.Errorf("metric %s carries unit %q but lacks the _%s suffix", name, unit, unit)
+	}
+	return nil
+}
+
+// BucketCount is one cumulative histogram bucket of a snapshot; the +Inf
+// bucket is omitted (MetricSnapshot.Count carries the total), keeping the
+// snapshot JSON-encodable.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// MetricSnapshot is one series' point-in-time state, the unit of both the
+// -telemetry snapshot file and the unit-suffix tests.
+type MetricSnapshot struct {
+	Name    string        `json:"name"`
+	Kind    string        `json:"kind"`
+	Unit    Unit          `json:"unit,omitempty"`
+	Help    string        `json:"help,omitempty"`
+	Labels  []Label       `json:"labels,omitempty"`
+	Value   float64       `json:"value,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Count   uint64        `json:"count,omitempty"`
+}
+
+// Snapshot returns the state of every registered series, families sorted by
+// name, series in registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	// The registry lock covers the family/series maps for the whole walk;
+	// instrument values are atomics, so holding it while loading them is
+	// cheap and keeps the walk consistent with concurrent registration.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.order))
+	for _, n := range r.order {
+		fams = append(fams, r.families[n])
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []MetricSnapshot
+	for _, fam := range fams {
+		for _, key := range fam.order {
+			s := fam.series[key]
+			snap := MetricSnapshot{
+				Name:   fam.name,
+				Kind:   fam.kind.String(),
+				Unit:   fam.unit,
+				Help:   fam.help,
+				Labels: s.labels,
+			}
+			switch fam.kind {
+			case kindCounter:
+				snap.Value = s.c.Value()
+			case kindGauge:
+				snap.Value = s.g.Value()
+			case kindHistogram:
+				var cum uint64
+				snap.Buckets = make([]BucketCount, len(s.h.upper))
+				for i, ub := range s.h.upper {
+					cum += s.h.counts[i].Load()
+					snap.Buckets[i] = BucketCount{UpperBound: ub, Count: cum}
+				}
+				snap.Count = cum + s.h.counts[len(s.h.upper)].Load()
+				snap.Sum = s.h.Sum()
+			}
+			out = append(out, snap)
+		}
+	}
+	return out
+}
