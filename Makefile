@@ -4,11 +4,11 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test conformance smoke bench bench-gate fuzz build vuln
+.PHONY: all ci lint test conformance smoke cover bench bench-gate fuzz build vuln
 
 all: lint test
 
-ci: lint build test conformance smoke fuzz bench-gate vuln
+ci: lint build test conformance smoke cover fuzz bench-gate vuln
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,12 @@ lint:
 test:
 	$(GO) test -race ./...
 
-# conformance re-runs the shared solve-cache and telemetry bit-identity
-# contracts under the race detector on their own, so a cache or telemetry
-# regression fails with a named step even though `make test` also covers
-# them as part of the full suite.
+# conformance re-runs the shared solve-cache, decision-table and telemetry
+# bit-identity contracts under the race detector on their own, so a cache,
+# table or telemetry regression fails with a named step even though
+# `make test` also covers them as part of the full suite.
 conformance:
-	$(GO) test -race -run 'TestSodaSharedCache|TestSodaTelemetry' ./internal/abrtest
+	$(GO) test -race -run 'TestSodaSharedCache|TestSodaDecisionTable|TestSodaTelemetry' ./internal/abrtest
 
 # smoke boots the soda-server introspection mux against a test manifest,
 # drives /decide sessions, and validates that /metrics serves parseable
@@ -39,18 +39,25 @@ conformance:
 smoke:
 	$(GO) test -race -run 'TestServerEndpointSmoke' ./cmd/soda-server
 
+# cover fails when the statement coverage of a package listed in
+# cover_baseline.json drops below its committed floor.
+cover:
+	$(GO) run ./cmd/soda-cover
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache and
-# telemetry benchmarks with fixed iteration budgets and writes
-# BENCH_pr5.json. It fails if nodes/solve regresses more than 10% against
-# the committed bench_baseline.json, if allocs/op regresses at all (the
-# telemetry hot-path ops are pinned at 0), if the dataset-scale shared cache
-# stops cutting solver invocations by at least 2x, or if attaching telemetry
-# costs more than 5% ns/decision at dataset scale.
+# bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache,
+# decision-table and telemetry benchmarks with fixed iteration budgets and
+# writes BENCH_pr6.json. It fails if nodes/solve regresses more than 10%
+# against the committed bench_baseline.json, if allocs/op regresses at all
+# (the telemetry and decision-table hot paths are pinned at 0), if the
+# dataset-scale shared cache stops cutting solver invocations by at least
+# 2x, if attaching telemetry costs more than 5% ns/decision at dataset
+# scale, or if the compiled decision table stops beating the cached path by
+# at least 5x per decision.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr5.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr6.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

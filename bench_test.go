@@ -437,6 +437,78 @@ func BenchmarkSharedCacheParallel(b *testing.B) {
 	b.ReportMetric(float64(st.Conflicts-warmSt.Conflicts), "shared-conflicts")
 }
 
+// BenchmarkDecisionTable compares the warm cached decision path (per-session
+// memo plus the fleet solve cache, the dataset steady state) against the
+// compiled decision-table path at the same fleetQuantum, over the same
+// pre-warmed context stream and controller-pool setup as
+// BenchmarkSharedCacheParallel. Controllers Reset at every session boundary
+// (the stream's 300-segment period), as the dataset fleet does: each cached
+// session restarts memo-cold and pays the state-key hash plus a shard
+// lookup on most decisions, while the table arm quantizes and reads one
+// int8 from a flat array regardless of session age. Reset flushes the memo
+// in place, so both timed loops stay allocation-free. soda-bench gates the
+// ns/op ratio (table must be at least -min-table-speedup times faster) and
+// both arms at 0 allocs/op; internal/abrtest.TableConformance separately
+// proves the two paths decide bit-identically.
+func BenchmarkDecisionTable(b *testing.B) {
+	ladder := video.YouTube4K()
+	const streamMask = 1<<12 - 1
+	ctxs := benchStream(ladder, streamMask+1)
+	arms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"cached", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.MemoQuantum = fleetQuantum
+			cfg.SharedCache = core.NewSolveCache(1 << 15)
+			return cfg
+		}()},
+		{"table", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.DecisionTable = core.NewDecisionTables()
+			cfg.TableQuantum = fleetQuantum
+			return cfg
+		}()},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			warm := core.New(arm.cfg, ladder)
+			for _, ctx := range ctxs {
+				warm.Decide(ctx)
+			}
+			pool := make(chan *core.Controller, 32)
+			for i := 0; i < cap(pool); i++ {
+				ctrl := core.New(arm.cfg, ladder)
+				ctrl.Decide(ctxs[0]) // bind shared state outside the timed loop
+				pool <- ctrl
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctrl := <-pool
+				defer func() { pool <- ctrl }()
+				i := 0
+				for pb.Next() {
+					if i%300 == 0 {
+						ctrl.Reset() // session boundary: next session starts memo-cold
+					}
+					ctrl.Decide(ctxs[i&streamMask])
+					i++
+				}
+			})
+			b.StopTimer()
+			var st core.SolveStats
+			for i := 0; i < cap(pool); i++ {
+				st.Add((<-pool).SolveStats())
+			}
+			if st.TableLookups > 0 {
+				b.ReportMetric(100*float64(st.TableHits)/float64(st.TableLookups), "table-hit-%")
+			}
+		})
+	}
+}
+
 // datasetSolveTally sums per-session solver work across a dataset run; the
 // sim.RunDataset result hook runs on worker goroutines, hence the lock.
 type datasetSolveTally struct {
@@ -470,14 +542,17 @@ func (t *datasetSolveTally) hook(_ int, ctrl abr.Controller, res sim.Result) {
 // reduction isolates the cache, not the quantization.
 const fleetQuantum = 0.5
 
-// BenchmarkDatasetSharedCache is the dataset-scale on/off comparison: the
+// BenchmarkDatasetSharedCache is the dataset-scale comparison: the
 // default-Scale Puffer bucket simulated end to end by SODA sessions, without
-// ("off") and with ("on") a fleet-wide solve cache, both at fleetQuantum.
-// The headline metrics are solves/session (the work the cache eliminates —
-// the soda-bench gate asserts the on-arm needs at most half the off-arm's
-// solves) and ns/decision at dataset scale; decisions are bit-identical
-// between the two arms per the internal/abrtest shared-cache conformance
-// contract.
+// ("off") and with ("on") a fleet-wide solve cache, and with a compiled
+// decision table ("table"), all at fleetQuantum. The headline metrics are
+// solves/session (the work the cache or table eliminates — the soda-bench
+// gate asserts the on-arm needs at most half the off-arm's solves) and
+// ns/decision at dataset scale; decisions are bit-identical across all three
+// arms per the internal/abrtest shared-cache and decision-table conformance
+// contracts. The caches start cold inside the timed loop (warming is what
+// they do at fleet scale); the table arm compiles eagerly outside it, as a
+// fleet deployment compiles at boot via CompileTable.
 func BenchmarkDatasetSharedCache(b *testing.B) {
 	scale := scaleForBench()
 	ds, err := tracegen.Generate(tracegen.Puffer(), scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed)
@@ -485,14 +560,23 @@ func BenchmarkDatasetSharedCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	ladder := video.YouTube4K()
-	for _, mode := range []string{"off", "on"} {
-		shared := mode == "on"
+	for _, mode := range []string{"off", "on", "table"} {
+		mode := mode
 		b.Run(mode, func(b *testing.B) {
+			var tables *core.DecisionTables
+			if mode == "table" {
+				tables = core.NewDecisionTables()
+				cfg := core.DefaultConfig()
+				cfg.TableQuantum = fleetQuantum
+				if _, err := tables.CompileTable(cfg, ladder, units.Seconds(20)); err != nil {
+					b.Fatal(err)
+				}
+			}
 			var tally *datasetSolveTally
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var cache *core.SolveCache
-				if shared {
+				if mode == "on" {
 					cache = core.NewSolveCache(1 << 16)
 				}
 				tally = &datasetSolveTally{}
@@ -500,6 +584,10 @@ func BenchmarkDatasetSharedCache(b *testing.B) {
 					cfg := core.DefaultConfig()
 					cfg.MemoQuantum = fleetQuantum
 					cfg.SharedCache = cache
+					if tables != nil {
+						cfg.DecisionTable = tables
+						cfg.TableQuantum = fleetQuantum
+					}
 					return core.New(cfg, ladder), predictor.NewEMA(units.Seconds(4))
 				}
 				if _, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
@@ -520,6 +608,9 @@ func BenchmarkDatasetSharedCache(b *testing.B) {
 			}
 			if tally.stats.SharedLookups > 0 {
 				b.ReportMetric(100*float64(tally.stats.SharedHits)/float64(tally.stats.SharedLookups), "shared-hit-%")
+			}
+			if tally.stats.TableLookups > 0 {
+				b.ReportMetric(100*float64(tally.stats.TableHits)/float64(tally.stats.TableLookups), "table-hit-%")
 			}
 		})
 	}

@@ -4,9 +4,9 @@
 // parsed results as JSON, and fails when a deterministic performance
 // property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr5.json
+//	go run ./cmd/soda-bench -out BENCH_pr6.json
 //
-// Four gates are enforced:
+// Five gates are enforced:
 //
 //   - nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks)
 //     must stay within -tolerance (default 10%) of the committed baseline —
@@ -25,6 +25,12 @@
 //   - BenchmarkTelemetryOverhead's paired telemetry-on arm must cost at most
 //     -max-telemetry-overhead percent (default 5%) more ns/decision than the
 //     telemetry-off arm at dataset scale.
+//   - the compiled-table decision path (BenchmarkDecisionTable/table ns/op)
+//     must be at least -min-table-speedup times (default 5x) faster than the
+//     dataset-scale cached decision path (BenchmarkDatasetSharedCache/on
+//     ns/decision) measured in the same run — the steady state the tables
+//     replace. Both figures are parallel wall-time per decision on the same
+//     runner, so the ratio is portable where raw ns/op is not.
 //
 // ns/op is recorded in the JSON for human inspection but never gated: it
 // moves with runner hardware.
@@ -58,6 +64,9 @@ type Result struct {
 	SolvesPerSession float64 `json:"solves_per_session,omitempty"`
 	NsPerDecision    float64 `json:"ns_per_decision,omitempty"`
 	SharedHitPct     float64 `json:"shared_hit_pct,omitempty"`
+	// TableHitPct is the compiled decision-table hit rate (table benchmarks
+	// only).
+	TableHitPct float64 `json:"table_hit_pct,omitempty"`
 	// Telemetry-overhead metrics (BenchmarkTelemetryOverhead only).
 	NsPerDecisionOff     float64 `json:"ns_per_decision_off,omitempty"`
 	NsPerDecisionOn      float64 `json:"ns_per_decision_on,omitempty"`
@@ -76,6 +85,8 @@ type Report struct {
 	CacheBenchtime     string   `json:"cache_benchtime,omitempty"`
 	TelemetryPattern   string   `json:"telemetry_pattern,omitempty"`
 	TelemetryBenchtime string   `json:"telemetry_benchtime,omitempty"`
+	TablePattern       string   `json:"table_pattern,omitempty"`
+	TableBenchtime     string   `json:"table_benchtime,omitempty"`
 	Benchmarks         []Result `json:"benchmarks"`
 }
 
@@ -100,7 +111,12 @@ func main() {
 	telemetryBenchtime := flag.String("telemetry-benchtime", "10000x", "iteration budget for the telemetry micro-benchmarks")
 	maxTelemetryOverhead := flag.Float64("max-telemetry-overhead", 5.0,
 		"allowed telemetry-on vs telemetry-off ns/decision overhead percent of BenchmarkTelemetryOverhead (0 disables)")
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	tablePattern := flag.String("table-pattern", "BenchmarkDecisionTable$",
+		"compiled decision-table benchmark pattern (empty skips the table run and its gate)")
+	tableBenchtime := flag.String("table-benchtime", "50000x", "iteration budget for the decision-table benchmark")
+	minTableSpeedup := flag.Float64("min-table-speedup", 5.0,
+		"required cached-path ns/decision over table-path ns/op ratio (0 disables)")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
@@ -133,6 +149,12 @@ func main() {
 			report.Benchmarks = append(report.Benchmarks, parse(overheadRaw).Benchmarks...)
 		}
 	}
+	if *tablePattern != "" {
+		tableRaw := runBench(*tablePattern, *tableBenchtime, *count)
+		report.TablePattern = *tablePattern
+		report.TableBenchtime = *tableBenchtime
+		report.Benchmarks = append(report.Benchmarks, parse(tableRaw).Benchmarks...)
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -157,6 +179,9 @@ func main() {
 	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
 		failures = append(failures, gateTelemetryOverhead(report, *maxTelemetryOverhead)...)
 	}
+	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
+		failures = append(failures, gateTableSpeedup(report, *minTableSpeedup)...)
+	}
 	if len(failures) > 0 {
 		sort.Strings(failures)
 		for _, f := range failures {
@@ -171,6 +196,9 @@ func main() {
 	}
 	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
 		fmt.Printf("soda-bench: telemetry ns/decision overhead within %.1f%%\n", *maxTelemetryOverhead)
+	}
+	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
+		fmt.Printf("soda-bench: compiled decision table beats the cached path by >= %.1fx per decision\n", *minTableSpeedup)
 	}
 }
 
@@ -205,6 +233,8 @@ func parse(out string) Report {
 		solveSamples      int
 		hitPct            float64
 		hitSamples        int
+		tableHitPct       float64
+		tableHitSamples   int
 		nsOff, nsOn, ovh  float64
 		ovhMedian         float64
 		ovhSamples        int
@@ -246,6 +276,9 @@ func parse(out string) Report {
 			case "shared-hit-%":
 				a.hitPct += v
 				a.hitSamples++
+			case "table-hit-%":
+				a.tableHitPct += v
+				a.tableHitSamples++
 			case "ns/decision-off":
 				a.nsOff += v
 			case "ns/decision-on":
@@ -276,6 +309,9 @@ func parse(out string) Report {
 		}
 		if a.hitSamples > 0 {
 			r.SharedHitPct = a.hitPct / float64(a.hitSamples)
+		}
+		if a.tableHitSamples > 0 {
+			r.TableHitPct = a.tableHitPct / float64(a.tableHitSamples)
 		}
 		if a.ovhSamples > 0 {
 			r.NsPerDecisionOff = a.nsOff / float64(a.ovhSamples)
@@ -350,6 +386,35 @@ func gateCacheReduction(rep Report, minReduction float64) []string {
 		return []string{fmt.Sprintf(
 			"BenchmarkDatasetSharedCache: shared cache cuts solves/session only %.2fx (%.1f -> %.1f), need >= %.1fx",
 			ratio, off.SolvesPerSession, on.SolvesPerSession, minReduction)}
+	}
+	return nil
+}
+
+// gateTableSpeedup enforces the compiled-table win: the table decision path
+// (BenchmarkDecisionTable/table, warm, parallel) must cost at most
+// 1/minSpeedup of the dataset-scale cached decision path
+// (BenchmarkDatasetSharedCache/on) per decision. Both figures are measured
+// in this run on this runner — wall time per decision under parallel load —
+// so the ratio compares like with like even though absolute ns/op moves
+// with hardware.
+func gateTableSpeedup(rep Report, minSpeedup float64) []string {
+	var cached, table *Result
+	for i := range rep.Benchmarks {
+		switch rep.Benchmarks[i].Name {
+		case "BenchmarkDatasetSharedCache/on":
+			cached = &rep.Benchmarks[i]
+		case "BenchmarkDecisionTable/table":
+			table = &rep.Benchmarks[i]
+		}
+	}
+	if cached == nil || cached.NsPerDecision == 0 || table == nil || table.NsPerOp == 0 {
+		return []string{"BenchmarkDecisionTable: cached ns/decision or table ns/op missing from benchmark output"}
+	}
+	speedup := cached.NsPerDecision / table.NsPerOp
+	if speedup < minSpeedup {
+		return []string{fmt.Sprintf(
+			"BenchmarkDecisionTable: table path only %.2fx faster than the cached path (%.0f -> %.1f ns), need >= %.1fx",
+			speedup, cached.NsPerDecision, table.NsPerOp, minSpeedup)}
 	}
 	return nil
 }

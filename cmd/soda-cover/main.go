@@ -1,0 +1,129 @@
+// Command soda-cover is the statement-coverage regression gate. It runs
+// `go test -cover` for every package named in the committed baseline
+// (cover_baseline.json, package import path -> floor percent) and fails when
+// a package's statement coverage drops below its floor:
+//
+//	go run ./cmd/soda-cover
+//
+// Floors are set just below the coverage measured when the package's test
+// suite last grew, so the gate never flakes on the deterministic coverage
+// profile but catches tests being deleted or large untested code landing.
+// Raise a package's floor in the baseline when its suite grows; a package
+// listed in the baseline that no longer reports coverage (deleted, build
+// failure, no tests) fails the gate rather than reading as a pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// coverLine matches the `go test -cover` summary for one package:
+//
+//	ok  	repro/internal/core	4.351s	coverage: 93.4% of statements
+var coverLine = regexp.MustCompile(`^ok\s+(\S+)\s+\S+\s+coverage: ([0-9.]+)% of statements`)
+
+func main() {
+	baselinePath := flag.String("baseline", "cover_baseline.json", "committed package -> coverage-floor map")
+	flag.Parse()
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-cover: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs := make([]string, 0, len(baseline))
+	for pkg := range baseline {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+
+	measured, err := runCover(pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-cover: %v\n", err)
+		os.Exit(2)
+	}
+
+	var failures []string
+	for _, pkg := range pkgs {
+		floor := baseline[pkg]
+		got, ok := measured[pkg]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but reported no coverage", pkg))
+			continue
+		}
+		fmt.Printf("soda-cover: %s %.1f%% (floor %.1f%%)\n", pkg, got, floor)
+		if got < floor {
+			failures = append(failures, fmt.Sprintf("%s: coverage %.1f%% fell below the %.1f%% floor", pkg, got, floor))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "soda-cover: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("soda-cover: statement coverage at or above the floor for all %d gated packages\n", len(pkgs))
+}
+
+// runCover executes one `go test -cover` invocation over the packages and
+// returns the parsed per-package coverage percentages.
+func runCover(pkgs []string) (map[string]float64, error) {
+	args := append([]string{"test", "-cover", "-count=1"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	os.Stdout.Write(raw)
+	if err != nil {
+		return nil, fmt.Errorf("go test -cover: %v", err)
+	}
+	measured := map[string]float64{}
+	for _, line := range splitLines(string(raw)) {
+		m := coverLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		measured[m[1]] = v
+	}
+	return measured, nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func readBaseline(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var baseline map[string]float64
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(baseline) == 0 {
+		return nil, fmt.Errorf("%s: empty baseline", path)
+	}
+	return baseline, nil
+}

@@ -46,6 +46,7 @@ func main() {
 	writeMPD := flag.String("write-mpd", "", "also write an MPEG-DASH MPD describing the stream to this file")
 	httpAddr := flag.String("http", "", "also serve HTTP: DASH transport, /decide, /metrics, /debug/decisions")
 	decideCache := flag.Int("decide-cache", 1<<16, "shared solve-cache entries for /decide sessions (0 disables)")
+	tableQuantum := flag.Float64("decide-table-quantum", 0.5, "compiled decision-table quantum for /decide sessions, seconds and Mb/s per cell (0 disables)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -99,7 +100,7 @@ func main() {
 		if col == nil {
 			col = telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
 		}
-		mux, err := introspectionMux(ladder, *segments, *decideCache, col)
+		mux, err := introspectionMux(ladder, *segments, *decideCache, *tableQuantum, col)
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -136,13 +137,13 @@ func main() {
 // the root, server-side SODA at /decide, and the live introspection
 // endpoints. All decision recording happens in the /decide handler after the
 // controller returns; /metrics only reads, plus pull-only gauge refreshes.
-func introspectionMux(ladder video.Ladder, segments, decideCacheEntries int, col *telemetry.Collector) (*http.ServeMux, error) {
+func introspectionMux(ladder video.Ladder, segments, decideCacheEntries int, tableQuantum float64, col *telemetry.Collector) (*http.ServeMux, error) {
 	seg, err := httpseg.NewServer(ladder, nil, segments)
 	if err != nil {
 		return nil, err
 	}
 	seg.Instrument(col.Registry)
-	svc, err := httpseg.NewDecideService(ladder, decideCacheEntries, col)
+	svc, err := httpseg.NewDecideService(ladder, decideCacheEntries, tableQuantum, col)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -21,7 +22,7 @@ import (
 // JSONL. This is the CI smoke gate for the observability surface.
 func TestServerEndpointSmoke(t *testing.T) {
 	col := telemetry.NewCollector(nil, 256)
-	mux, err := introspectionMux(video.Prototype(), 30, 1<<12, col)
+	mux, err := introspectionMux(video.Prototype(), 30, 1<<12, 0.5, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,6 +83,17 @@ func TestServerEndpointSmoke(t *testing.T) {
 		t.Fatalf("distinct session keys share id %d", ids["alice"])
 	}
 
+	// A third session at in-domain throughput: the Prototype ladder tops out
+	// near 2 Mb/s, so the 12 Mb/s sessions above land outside the compiled
+	// table's domain (fallbacks) while this one lands inside it (hits). Both
+	// counters must end up nonzero below.
+	for i := 0; i < 8; i++ {
+		resp, body := get(fmt.Sprintf("/decide?session=carol&buffer=%g&throughput=1.5", 2.0+float64(i)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/decide: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
 	// /metrics must be valid Prometheus text exposition.
 	resp, exposition := get("/metrics")
 	if resp.StatusCode != http.StatusOK {
@@ -106,10 +118,46 @@ func TestServerEndpointSmoke(t *testing.T) {
 		"soda_decide_latency_seconds",
 		"soda_http_manifest_requests_total",
 		"soda_http_segment_requests_total",
+		"soda_decision_table_lookups_total",
+		"soda_decision_table_hits_total",
+		"soda_decision_table_fallbacks_total",
+		"soda_server_decision_tables",
+		"soda_server_decision_table_cells",
 	} {
 		if _, ok := families[family]; !ok {
 			t.Errorf("/metrics missing family %s", family)
 		}
+	}
+
+	// The table counters must reflect the traffic above: the in-domain
+	// session hit the table, the over-the-top sessions fell back, and the
+	// scrape hook published the resident table set.
+	metric := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(exposition, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				if err != nil {
+					t.Fatalf("metric %s has unparseable value %q", name, rest)
+				}
+				return v
+			}
+		}
+		t.Fatalf("metric %s has no sample line", name)
+		return 0
+	}
+	hits, fallbacks := metric("soda_decision_table_hits_total"), metric("soda_decision_table_fallbacks_total")
+	if hits == 0 || fallbacks == 0 {
+		t.Errorf("table traffic hits/fallbacks = %g/%g, want both nonzero", hits, fallbacks)
+	}
+	if lookups := metric("soda_decision_table_lookups_total"); lookups != hits+fallbacks {
+		t.Errorf("table lookups %g != hits %g + fallbacks %g", lookups, hits, fallbacks)
+	}
+	if n := metric("soda_server_decision_tables"); n < 1 {
+		t.Errorf("soda_server_decision_tables = %g, want >= 1", n)
+	}
+	if cells := metric("soda_server_decision_table_cells"); cells <= 0 {
+		t.Errorf("soda_server_decision_table_cells = %g, want > 0", cells)
 	}
 
 	// /debug/decisions streams one JSON object per line, newest window last.
@@ -120,7 +168,7 @@ func TestServerEndpointSmoke(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("/debug/decisions Content-Type = %q", ct)
 	}
-	lines := 0
+	lines, sawTableHit := 0, false
 	sc := bufio.NewScanner(strings.NewReader(jsonl))
 	for sc.Scan() {
 		var ev telemetry.DecisionEvent
@@ -130,10 +178,16 @@ func TestServerEndpointSmoke(t *testing.T) {
 		if ev.Rung < 0 || ev.Bitrate <= 0 {
 			t.Errorf("/debug/decisions line %d: rung %d bitrate %g", lines, ev.Rung, ev.Bitrate)
 		}
+		sawTableHit = sawTableHit || ev.TableHits > 0
 		lines++
 	}
 	if lines != 5 {
 		t.Fatalf("/debug/decisions?limit=5 returned %d lines", lines)
+	}
+	// The newest window is the in-domain session's, so its events must carry
+	// the table_hits attribution through the JSONL round-trip.
+	if !sawTableHit {
+		t.Errorf("no event in the newest window reports table hits:\n%s", jsonl)
 	}
 
 	if resp, _ := get("/debug/decisions?limit=oops"); resp.StatusCode != http.StatusBadRequest {

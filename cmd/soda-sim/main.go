@@ -27,7 +27,7 @@ import (
 	"repro/internal/video"
 
 	_ "repro/internal/baseline"
-	_ "repro/internal/core"
+	"repro/internal/core"
 )
 
 func main() {
@@ -38,6 +38,7 @@ func main() {
 	bufferCap := flag.Float64("buffer", 20, "buffer cap in seconds (live: 20)")
 	ladderName := flag.String("ladder", "", "ladder: youtube4k, mobile, prototype, prime (default: per dataset)")
 	controllers := flag.String("controllers", "soda,hyb,bola,dynamic,mpc", "comma-separated controllers")
+	tableQuantum := flag.Float64("table-quantum", 0, "compiled decision-table quantum for the soda controller, seconds and Mb/s per cell (0 disables)")
 	seed := flag.Uint64("seed", 42, "generator seed")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 		fatal(err)
 	}
 
-	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *seed, prof.Collector())
+	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *tableQuantum, *seed, prof.Collector())
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -56,7 +57,7 @@ func main() {
 	}
 }
 
-func run(ladderName, dataset, traceFile, controllers string, sessions int, sessionSeconds, bufferCap float64, seed uint64, col *telemetry.Collector) error {
+func run(ladderName, dataset, traceFile, controllers string, sessions int, sessionSeconds, bufferCap, tableQuantum float64, seed uint64, col *telemetry.Collector) error {
 	ladder, err := pickLadder(ladderName, dataset)
 	if err != nil {
 		return err
@@ -69,7 +70,7 @@ func run(ladderName, dataset, traceFile, controllers string, sessions int, sessi
 
 	for _, name := range strings.Split(controllers, ",") {
 		name = strings.TrimSpace(name)
-		if err := runController(name, ladder, traces, units.Seconds(bufferCap), sessSeconds, col); err != nil {
+		if err := runController(name, ladder, traces, units.Seconds(bufferCap), sessSeconds, tableQuantum, col); err != nil {
 			return err
 		}
 	}
@@ -116,11 +117,27 @@ func loadTrace(path string) (*trace.Trace, error) {
 	return tr, err
 }
 
-func runController(name string, ladder video.Ladder, traces []*trace.Trace, bufferCap, sessionSeconds units.Seconds, col *telemetry.Collector) error {
+func runController(name string, ladder video.Ladder, traces []*trace.Trace, bufferCap, sessionSeconds units.Seconds, tableQuantum float64, col *telemetry.Collector) error {
 	if _, err := abr.New(name, ladder); err != nil {
 		return err
 	}
+	// -table-quantum compiles the soda decision map once and shares it across
+	// every session of the dataset run; other controllers have no table hook
+	// and run unchanged.
+	var tables *core.DecisionTables
+	if name == "soda" && tableQuantum > 0 {
+		tables = core.NewDecisionTables()
+		info, err := tables.CompileTable(tableConfig(tables, tableQuantum), ladder, bufferCap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("soda decision table: %dx%dx%d cells, quantum %.2f, horizon %d\n",
+			info.Planes, info.XBins, info.WBins, info.Quantum, info.Horizon)
+	}
 	factory := func() (abr.Controller, predictor.Predictor) {
+		if tables != nil {
+			return core.New(tableConfig(tables, tableQuantum), ladder), predictor.NewEMA(units.Seconds(4))
+		}
 		c, _ := abr.New(name, ladder)
 		return c, predictor.NewEMA(units.Seconds(4))
 	}
@@ -134,7 +151,20 @@ func runController(name string, ladder video.Ladder, traces []*trace.Trace, buff
 		return err
 	}
 	fmt.Println(qoe.Aggregated(name, metrics).String())
+	if tables != nil {
+		fmt.Printf("  %s\n", tables.Stats())
+	}
 	return nil
+}
+
+// tableConfig is the registry's "soda" configuration plus the table knobs —
+// the construction runController repeats per session so every controller
+// binds the same compiled set.
+func tableConfig(tables *core.DecisionTables, quantum float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DecisionTable = tables
+	cfg.TableQuantum = quantum
+	return cfg
 }
 
 func pickProfile(name string) (tracegen.Profile, error) {

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/core"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -93,6 +94,94 @@ func SharedStateConformance(t *testing.T, name string, plain, shared Factory) {
 				serial[i] = replay(shared(nl.Ladder), streams[i])
 			}
 			check("warm serial", serial)
+		})
+	}
+}
+
+// TableConformance checks a controller wired to fleet-wide compiled decision
+// tables (core.DecisionTables) against the bit-identity contract: for every
+// registered ladder, instances built by `tabled` must reproduce the decision
+// sequences of instances built by `plain` exactly — while the table is cold
+// and compiled under concurrent racing instances, again once it is warm, and
+// serially. The factories must solve at the same quantum (the table's
+// TableQuantum equal to the plain controller's MemoQuantum), because the
+// contract is bit-identity at the table's quantum, not across quanta. The
+// concurrent passes repeat under several GOMAXPROCS settings; run with -race
+// to also prove table compilation and binding are correctly synchronised.
+//
+// The serial pass additionally audits the table traffic through SolveStats:
+// lookups must equal hits plus fallbacks, and both hits and fallbacks must
+// occur — the context streams cover in-domain states and (via throughputs
+// beyond 2x the smaller ladders' top rung and session-tail horizons)
+// out-of-domain states, so a table that never hits or a domain check that
+// clamps instead of falling back both fail loudly.
+func TableConformance(t *testing.T, name string, plain, tabled Factory) {
+	t.Helper()
+	for _, nl := range video.NamedLadders() {
+		nl := nl
+		t.Run(name+"/table-bit-identical/"+nl.Name, func(t *testing.T) {
+			const sessions, steps = 6, 80
+			streams := make([][]*abr.Context, sessions)
+			want := make([][]int, sessions)
+			for i := range streams {
+				streams[i] = contextStream(nl.Ladder, 5000+uint64(i)*19, steps)
+				want[i] = replay(plain(nl.Ladder), streams[i])
+			}
+			check := func(pass string, got [][]int) {
+				t.Helper()
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("%s: stream %d decision %d: tabled %d != plain %d",
+								pass, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+			concurrent := func() [][]int {
+				got := make([][]int, sessions)
+				var wg sync.WaitGroup
+				for i := range streams {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						got[i] = replay(tabled(nl.Ladder), streams[i])
+					}(i)
+				}
+				wg.Wait()
+				return got
+			}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				check("cold/warm concurrent", concurrent())
+				check("warm concurrent", concurrent())
+			}
+			runtime.GOMAXPROCS(prev)
+			serial := make([][]int, sessions)
+			var traffic core.SolveStats
+			for i := range streams {
+				c := tabled(nl.Ladder)
+				serial[i] = replay(c, streams[i])
+				if sc, ok := c.(interface{ SolveStats() core.SolveStats }); ok {
+					traffic.Add(sc.SolveStats())
+				}
+			}
+			check("warm serial", serial)
+			if traffic.TableLookups == 0 {
+				t.Fatal("tabled controllers performed no table lookups; factory is not table-backed")
+			}
+			if traffic.TableLookups != traffic.TableHits+traffic.TableFallbacks {
+				t.Fatalf("table traffic books broken: %d lookups != %d hits + %d fallbacks",
+					traffic.TableLookups, traffic.TableHits, traffic.TableFallbacks)
+			}
+			if traffic.TableHits == 0 {
+				t.Fatal("no table hits: the in-domain states never reached the table")
+			}
+			if traffic.TableFallbacks == 0 {
+				t.Fatal("no table fallbacks: the stream never left the domain, so the fallback path went unchecked")
+			}
 		})
 	}
 }

@@ -78,6 +78,78 @@ func TestSodaSharedCacheFullSuite(t *testing.T) {
 	Conformance(t, "soda-shared-cache", sodaShared(cache))
 }
 
+// tableQuantum is the quantization step the table conformance contracts run
+// at — the fleet quantum of the dataset benchmarks. Coarser than the default
+// MemoQuantum on purpose: the contract is bit-identity at the table's
+// quantum, so both factories must solve at the same step.
+const tableQuantum = 0.5
+
+// sodaAtQuantum builds a table-free SODA solving at the given memo quantum.
+func sodaAtQuantum(quantum float64) Factory {
+	return func(ladder video.Ladder) abr.Controller {
+		cfg := core.DefaultConfig()
+		cfg.MemoQuantum = quantum
+		return core.New(cfg, ladder)
+	}
+}
+
+// sodaTabled builds the same controller attached to the given compiled-table
+// set at the same quantum.
+func sodaTabled(tables *core.DecisionTables, quantum float64) Factory {
+	return func(ladder video.Ladder) abr.Controller {
+		cfg := core.DefaultConfig()
+		cfg.DecisionTable = tables
+		cfg.TableQuantum = quantum
+		return core.New(cfg, ladder)
+	}
+}
+
+// TestSodaDecisionTableBitIdentical is the decision-table conformance
+// contract: SODA reading compiled decision tables must reproduce the
+// table-free decision sequences bit-for-bit on every registered ladder,
+// while the tables are cold (compiling under concurrent sessions) and warm,
+// concurrently and serially. One table set is shared across all ladders on
+// purpose — the table identity must keep them apart.
+func TestSodaDecisionTableBitIdentical(t *testing.T) {
+	tables := core.NewDecisionTables()
+	TableConformance(t, "soda", sodaAtQuantum(tableQuantum), sodaTabled(tables, tableQuantum))
+	st := tables.Stats()
+	if want := len(video.NamedLadders()); st.Tables != want {
+		t.Fatalf("table set compiled %d tables, want one per registered ladder (%d): %s", st.Tables, want, st)
+	}
+	if st.Stubs != 0 {
+		t.Fatalf("registered-ladder tables must all be compilable, got stubs: %s", st)
+	}
+}
+
+// TestSodaDecisionTableWithSharedCacheBitIdentical layers the fleet solve
+// cache under the tables, so table fallbacks flow through the shared-cache
+// path; the combination must still be bit-identical to the plain controller
+// at the same quantum.
+func TestSodaDecisionTableWithSharedCacheBitIdentical(t *testing.T) {
+	tables := core.NewDecisionTables()
+	cache := core.NewSolveCache(1 << 14)
+	combined := func(ladder video.Ladder) abr.Controller {
+		cfg := core.DefaultConfig()
+		cfg.DecisionTable = tables
+		cfg.TableQuantum = tableQuantum
+		cfg.SharedCache = cache
+		return core.New(cfg, ladder)
+	}
+	TableConformance(t, "soda-table-cache", sodaAtQuantum(tableQuantum), combined)
+	if st := cache.Stats(); st.Lookups == 0 {
+		t.Fatalf("fallbacks never consulted the shared cache: %s", st.String())
+	}
+}
+
+// TestSodaDecisionTableFullSuite runs the whole conformance suite on a
+// table-backed SODA: the cross-session compiled state must not break Reset
+// semantics, determinism, instance independence, or hostile-trace survival.
+func TestSodaDecisionTableFullSuite(t *testing.T) {
+	tables := core.NewDecisionTables()
+	Conformance(t, "soda-table", sodaTabled(tables, tableQuantum))
+}
+
 // TestSodaTelemetryBitIdentical is the telemetry purity contract for the
 // registry-default SODA: a session with a live collector attached must be
 // bit-identical to a bare one (telemetry is pull-based and outside the

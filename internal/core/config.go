@@ -93,6 +93,25 @@ type Config struct {
 	// configurations (the fingerprint keeps them apart) and across sessions
 	// (unlike the memo it is not flushed by Reset). nil disables sharing.
 	SharedCache *SolveCache
+	// DecisionTable optionally connects the controller to a fleet-wide set of
+	// compiled decision tables (see NewDecisionTables), consulted before the
+	// memo and the shared cache. A table precomputes the committed decision
+	// for every quantized (buffer, predicted throughput, previous rung) state
+	// inside its domain; states outside it — session-tail horizons, buffers or
+	// predictions off the grid, non-finite predictor outputs — fall back to
+	// the ordinary solve path, never clamping into the table. Decisions are
+	// bit-identical with the table on or off (the TableConformance contract
+	// in internal/abrtest pins this). Like the shared cache, one set may back
+	// controllers with different configurations: the table identity covers
+	// the model fingerprint, the quantum, the steady-state horizon and the
+	// §5.1 cap mode. nil disables tables.
+	DecisionTable *DecisionTables
+	// TableQuantum overrides MemoQuantum as the quantization step of a
+	// table-backed controller. Tables quantize both grid axes at this step,
+	// so it trades table size and compile time against decision granularity;
+	// the fleet experiments use 0.5 (0.5 s × 0.5 Mb/s cells). 0 means "use
+	// MemoQuantum". Ignored when DecisionTable is nil.
+	TableQuantum float64
 }
 
 // DefaultConfig returns the tuned production configuration used throughout
@@ -154,6 +173,12 @@ func (c Config) Validate() error {
 	}
 	if c.MemoQuantum < 0 {
 		return fmt.Errorf("core: negative memo quantum %v", c.MemoQuantum)
+	}
+	if c.TableQuantum < 0 || math.IsInf(c.TableQuantum, 0) || math.IsNaN(c.TableQuantum) {
+		return fmt.Errorf("core: invalid table quantum %v", c.TableQuantum)
+	}
+	if c.DecisionTable != nil && c.tableQuantum() <= 0 {
+		return fmt.Errorf("core: decision table needs a positive quantum (TableQuantum or MemoQuantum)")
 	}
 	return nil
 }

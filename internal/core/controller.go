@@ -37,6 +37,18 @@ type Controller struct {
 	fp            uint64
 	sharedLookups uint64
 	sharedHits    uint64
+
+	// tables is the optional fleet-wide compiled-table set
+	// (Config.DecisionTable); table is the compiled table bound for the
+	// current buffer cap, re-bound alongside the cost model. tq is the
+	// quantization step in effect (TableQuantum when a table is attached,
+	// MemoQuantum otherwise).
+	tables         *DecisionTables
+	table          *decisionTable
+	tq             float64
+	tableLookups   uint64
+	tableHits      uint64
+	tableFallbacks uint64
 }
 
 // memoEntry is one direct-mapped cache slot. The full (quantized) key is
@@ -68,7 +80,11 @@ func New(cfg Config, ladder video.Ladder) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{cfg: cfg, ladder: ladder, shared: cfg.SharedCache}
+	c := &Controller{cfg: cfg, ladder: ladder, shared: cfg.SharedCache, tables: cfg.DecisionTable}
+	c.tq = cfg.MemoQuantum
+	if c.tables != nil {
+		c.tq = cfg.tableQuantum()
+	}
 	if cfg.SolveMemoSize > 0 {
 		size := 1
 		for size < cfg.SolveMemoSize {
@@ -106,18 +122,19 @@ func (c *Controller) SolveStats() SolveStats {
 	}
 	s.MemoLookups, s.MemoHits = c.memoLookups, c.memoHits
 	s.SharedLookups, s.SharedHits = c.sharedLookups, c.sharedHits
+	s.TableLookups, s.TableHits, s.TableFallbacks = c.tableLookups, c.tableHits, c.tableFallbacks
 	return s
 }
 
-// SolveWork returns the four cumulative work counters the telemetry layer
+// SolveWork returns the five cumulative work counters the telemetry layer
 // snapshots around every Decide call. It exists alongside SolveStats because
-// the full eight-field struct costs two 64-byte copies per decision on the
-// simulator's hot loop; four scalars come back in registers.
-func (c *Controller) SolveWork() (solves, nodes, memoHits, sharedHits uint64) {
+// the full multi-field struct costs two 64-byte-plus copies per decision on
+// the simulator's hot loop; five scalars come back in registers.
+func (c *Controller) SolveWork() (solves, nodes, memoHits, sharedHits, tableHits uint64) {
 	if c.model != nil {
 		solves, nodes = c.model.stats.Solves, c.model.stats.Nodes
 	}
-	return solves, nodes, c.memoHits, c.sharedHits
+	return solves, nodes, c.memoHits, c.sharedHits, c.tableHits
 }
 
 // ResetSolveStats zeroes the solver and memo work counters.
@@ -127,6 +144,7 @@ func (c *Controller) ResetSolveStats() {
 	}
 	c.memoLookups, c.memoHits = 0, 0
 	c.sharedLookups, c.sharedHits = 0, 0
+	c.tableLookups, c.tableHits, c.tableFallbacks = 0, 0, 0
 }
 
 // quantize rounds x to the nearest multiple of step (identity when step <= 0),
@@ -176,10 +194,15 @@ func (c *Controller) modelFor(bufferCap units.Seconds) *CostModel {
 		// The memo key does not include the buffer cap (it is fixed per
 		// session in every harness), so a cap change invalidates the cache.
 		c.flushMemo()
-		if c.shared != nil {
-			// The shared-cache key must include the cap, and does so through
-			// the fingerprint — which therefore tracks the model rebuilds.
+		if c.shared != nil || c.tables != nil {
+			// The shared-cache key and the table identity must include the
+			// cap, and do so through the fingerprint — which therefore tracks
+			// the model rebuilds.
 			c.fp = modelFingerprint(c.cfg, c.ladder, bufferCap)
+		}
+		if c.tables != nil {
+			// Bind (compiling on first use) the table for the new cap.
+			c.table = c.tables.tableFor(c.fp, c.cfg, c.ladder, bufferCap)
 		}
 	}
 	return c.model
@@ -200,12 +223,12 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	k := c.horizon(ctx)
 	omega := ctx.PredictSafe(m.dt.Scale(float64(k)))
 	x0 := ctx.Buffer
-	if c.memo != nil {
-		// Solve at the quantized state so the cached decision is a pure
-		// function of the memo key: hits and misses agree by construction,
-		// and replaying a context stream is order-independent.
-		omega = quantize(omega, c.cfg.MemoQuantum)
-		x0 = quantize(x0, c.cfg.MemoQuantum)
+	if c.memo != nil || c.table != nil {
+		// Solve at the quantized state so the cached (or compiled) decision
+		// is a pure function of the memo/table key: hits and misses agree by
+		// construction, and replaying a context stream is order-independent.
+		omega = quantize(omega, c.tq)
+		x0 = quantize(x0, c.tq)
 	}
 	c.scratch[0] = omega
 	omegas := c.scratch[:]
@@ -223,6 +246,20 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 		if ctx.PrevRung > maxRung {
 			maxRung = ctx.PrevRung
 		}
+	}
+
+	// Compiled-table fast path: for in-domain states the committed decision
+	// was precomputed by the identical solver path at this exact quantized
+	// state, so the lookup is the whole decision. Out-of-domain states fall
+	// through to the memo/shared-cache/solver pipeline on the same quantized
+	// values — the fallback is literally the table-free path.
+	if c.table != nil {
+		c.tableLookups++
+		if r, ok := c.table.lookup(x0, omega, ctx.PrevRung, k); ok {
+			c.tableHits++
+			return abr.Decision{Rung: r}
+		}
+		c.tableFallbacks++
 	}
 
 	var entry *memoEntry
@@ -263,25 +300,7 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 		}
 	}
 
-	// With overflow clamped in the plan (see CostModel.stepCost), the only
-	// way every plan can be infeasible is buffer starvation: even r_min
-	// cannot keep the trajectory above zero over the full horizon. Shorter
-	// horizons are tried first (the tail of the plan is the unreachable
-	// part); a fully infeasible one-step problem falls back to the lowest
-	// rung, the fastest possible refill.
-	rung := 0
-	for h := k; h >= 1; h-- {
-		var res solveResult
-		if c.cfg.UseBruteForce {
-			res = m.bruteForce(omegas, x0, ctx.PrevRung, h, maxRung)
-		} else {
-			res = m.searchMonotonic(omegas, x0, ctx.PrevRung, h, maxRung)
-		}
-		if res.rung >= 0 {
-			rung = res.rung
-			break
-		}
-	}
+	rung := solveFirstRung(m, c.cfg.UseBruteForce, omegas, x0, ctx.PrevRung, k, maxRung)
 	if entry != nil {
 		*entry = memoEntry{
 			qx: x0, qw: omega,
@@ -293,6 +312,32 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 		c.shared.put(key, int32(rung))
 	}
 	return abr.Decision{Rung: rung}
+}
+
+// solveFirstRung commits the first decision of the K-step predictive problem
+// — the receding-horizon core shared by Decide and the decision-table
+// compiler, so compiled cells are bit-identical to live solves by
+// construction.
+//
+// With overflow clamped in the plan (see CostModel.stepCost), the only way
+// every plan can be infeasible is buffer starvation: even r_min cannot keep
+// the trajectory above zero over the full horizon. Shorter horizons are
+// tried first (the tail of the plan is the unreachable part); a fully
+// infeasible one-step problem falls back to the lowest rung, the fastest
+// possible refill.
+func solveFirstRung(m *CostModel, bruteForce bool, omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) int {
+	for h := k; h >= 1; h-- {
+		var res solveResult
+		if bruteForce {
+			res = m.bruteForce(omegas, x0, prevRung, h, maxRung)
+		} else {
+			res = m.searchMonotonic(omegas, x0, prevRung, h, maxRung)
+		}
+		if res.rung >= 0 {
+			return res.rung
+		}
+	}
+	return 0
 }
 
 // DiagramCell is one sample of the Figure 5 decision diagram.

@@ -44,6 +44,14 @@ type SolveStats struct {
 	// the memo counters they are populated by Controller.SolveStats only.
 	SharedLookups uint64
 	SharedHits    uint64
+	// TableLookups / TableHits / TableFallbacks count this controller's
+	// traffic against the fleet-wide Config.DecisionTable (consulted before
+	// the memo). A fallback is a lookup outside the table's domain that fell
+	// through to the solve pipeline; lookups = hits + fallbacks. Populated by
+	// Controller.SolveStats only.
+	TableLookups   uint64
+	TableHits      uint64
+	TableFallbacks uint64
 }
 
 // Add accumulates another counter snapshot into s, so harnesses can sum the
@@ -57,6 +65,9 @@ func (s *SolveStats) Add(o SolveStats) {
 	s.MemoHits += o.MemoHits
 	s.SharedLookups += o.SharedLookups
 	s.SharedHits += o.SharedHits
+	s.TableLookups += o.TableLookups
+	s.TableHits += o.TableHits
+	s.TableFallbacks += o.TableFallbacks
 }
 
 // Delta returns the per-counter difference s−o, for telemetry call sites
@@ -64,14 +75,17 @@ func (s *SolveStats) Add(o SolveStats) {
 // work. o must be an earlier snapshot of the same counters.
 func (s SolveStats) Delta(o SolveStats) SolveStats {
 	return SolveStats{
-		Solves:        s.Solves - o.Solves,
-		Nodes:         s.Nodes - o.Nodes,
-		Leaves:        s.Leaves - o.Leaves,
-		Pruned:        s.Pruned - o.Pruned,
-		MemoLookups:   s.MemoLookups - o.MemoLookups,
-		MemoHits:      s.MemoHits - o.MemoHits,
-		SharedLookups: s.SharedLookups - o.SharedLookups,
-		SharedHits:    s.SharedHits - o.SharedHits,
+		Solves:         s.Solves - o.Solves,
+		Nodes:          s.Nodes - o.Nodes,
+		Leaves:         s.Leaves - o.Leaves,
+		Pruned:         s.Pruned - o.Pruned,
+		MemoLookups:    s.MemoLookups - o.MemoLookups,
+		MemoHits:       s.MemoHits - o.MemoHits,
+		SharedLookups:  s.SharedLookups - o.SharedLookups,
+		SharedHits:     s.SharedHits - o.SharedHits,
+		TableLookups:   s.TableLookups - o.TableLookups,
+		TableHits:      s.TableHits - o.TableHits,
+		TableFallbacks: s.TableFallbacks - o.TableFallbacks,
 	}
 }
 

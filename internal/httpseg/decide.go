@@ -20,6 +20,10 @@ import (
 // cannot grow server memory without bound.
 const maxDecideSessions = 1024
 
+// defaultBufferCap is the buffer cap (seconds) a /decide request gets when it
+// does not pass cap=; the decision table for it is compiled at service start.
+const defaultBufferCap = 20.0
+
 // DecideService runs server-side SODA: clients report their playback state
 // (`GET /decide?session=...&buffer=...&throughput=...`) and receive the rung
 // the controller picks. Each session id gets its own controller so decisions
@@ -28,9 +32,11 @@ const maxDecideSessions = 1024
 // from here, the call site, after Decide returns — which is what makes
 // soda-server's /metrics and /debug/decisions show live solver traffic.
 type DecideService struct {
-	ladder video.Ladder
-	cache  *core.SolveCache
-	col    *telemetry.Collector
+	ladder       video.Ladder
+	cache        *core.SolveCache
+	tables       *core.DecisionTables
+	tableQuantum float64
+	col          *telemetry.Collector
 
 	mu       sync.Mutex
 	sessions map[string]*decideSession
@@ -40,6 +46,8 @@ type DecideService struct {
 	cacheEntries  *telemetry.Gauge
 	cacheCapacity *telemetry.Gauge
 	liveSessions  *telemetry.Gauge
+	tableCount    *telemetry.Gauge
+	tableCells    *telemetry.Gauge
 }
 
 type decideSession struct {
@@ -50,18 +58,33 @@ type decideSession struct {
 }
 
 // NewDecideService builds the service. cacheEntries sizes the shared solve
-// cache (non-positive disables sharing); col may be nil to run unobserved.
-func NewDecideService(ladder video.Ladder, cacheEntries int, col *telemetry.Collector) (*DecideService, error) {
+// cache (non-positive disables sharing); tableQuantum enables the compiled
+// decision tables at that quantization step (non-positive disables them);
+// col may be nil to run unobserved. With tables enabled, the table for the
+// handler's default buffer cap is compiled eagerly here so the first session
+// does not pay the compile on its first request; per-request caps compile
+// lazily (bounded by the table budget — excess identities become
+// fallback-only stubs, so cap churn cannot grow server memory or CPU
+// without bound).
+func NewDecideService(ladder video.Ladder, cacheEntries int, tableQuantum float64, col *telemetry.Collector) (*DecideService, error) {
 	if ladder.Len() == 0 {
 		return nil, fmt.Errorf("httpseg: decide service needs a non-empty ladder")
 	}
 	s := &DecideService{
-		ladder:   ladder,
-		col:      col,
-		sessions: map[string]*decideSession{},
+		ladder:       ladder,
+		tableQuantum: tableQuantum,
+		col:          col,
+		sessions:     map[string]*decideSession{},
 	}
 	if cacheEntries > 0 {
 		s.cache = core.NewSolveCache(cacheEntries)
+	}
+	if tableQuantum > 0 {
+		s.tables = core.NewDecisionTables()
+		cfg := s.sessionConfig()
+		if _, err := s.tables.CompileTable(cfg, ladder, units.Seconds(defaultBufferCap)); err != nil {
+			return nil, fmt.Errorf("httpseg: compiling decision table: %w", err)
+		}
 	}
 	if col != nil {
 		s.cacheEntries = col.Registry.Gauge("soda_server_shared_cache_entries",
@@ -70,8 +93,22 @@ func NewDecideService(ladder video.Ladder, cacheEntries int, col *telemetry.Coll
 			"capacity of the server's shared solve cache", telemetry.None)
 		s.liveSessions = col.Registry.Gauge("soda_server_sessions",
 			"decision sessions currently tracked", telemetry.None)
+		s.tableCount = col.Registry.Gauge("soda_server_decision_tables",
+			"compiled decision tables resident in the server's table set", telemetry.None)
+		s.tableCells = col.Registry.Gauge("soda_server_decision_table_cells",
+			"total compiled decision-table cells resident", telemetry.None)
 	}
 	return s, nil
+}
+
+// sessionConfig is the controller configuration every decide session runs:
+// the production defaults plus this service's shared cache and table set.
+func (s *DecideService) sessionConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.SharedCache = s.cache
+	cfg.DecisionTable = s.tables
+	cfg.TableQuantum = s.tableQuantum
+	return cfg
 }
 
 // RefreshMetrics updates the pull-only gauges (cache occupancy, live session
@@ -84,6 +121,11 @@ func (s *DecideService) RefreshMetrics() {
 		st := s.cache.Stats()
 		s.cacheEntries.Set(float64(st.Entries))
 		s.cacheCapacity.Set(float64(st.Capacity))
+	}
+	if s.tables != nil {
+		st := s.tables.Stats()
+		s.tableCount.Set(float64(st.Tables))
+		s.tableCells.Set(float64(st.Cells))
 	}
 	s.mu.Lock()
 	n := len(s.sessions)
@@ -122,7 +164,7 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "throughput: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	bufferCap := 20.0
+	bufferCap := defaultBufferCap
 	if v := q.Get("cap"); v != "" {
 		if bufferCap, err = parseNonNegative(v); err != nil || bufferCap <= 0 {
 			http.Error(w, "cap must be a positive number", http.StatusBadRequest)
@@ -197,11 +239,14 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	d := sess.ctrl.SolveStats().Delta(before)
 	ev.Solves, ev.Nodes = uint32(d.Solves), uint32(d.Nodes)
 	ev.MemoHits, ev.SharedHits = uint32(d.MemoHits), uint32(d.SharedHits)
+	ev.TableHits = uint32(d.TableHits)
 	s.col.RecordDecision(ev)
 	s.col.RecordSolverStats(telemetry.SolverStats{
 		Solves: d.Solves, Nodes: d.Nodes,
 		MemoLookups: d.MemoLookups, MemoHits: d.MemoHits,
 		SharedLookups: d.SharedLookups, SharedHits: d.SharedHits,
+		TableLookups: d.TableLookups, TableHits: d.TableHits,
+		TableFallbacks: d.TableFallbacks,
 	})
 
 	w.Header().Set("Content-Type", "application/json")
@@ -218,11 +263,9 @@ func (s *DecideService) session(key string) *decideSession {
 		delete(s.sessions, s.order[0])
 		s.order = s.order[1:]
 	}
-	cfg := core.DefaultConfig()
-	cfg.SharedCache = s.cache
 	sess := &decideSession{
 		id:       s.nextID,
-		ctrl:     core.New(cfg, s.ladder),
+		ctrl:     core.New(s.sessionConfig(), s.ladder),
 		prevRung: abr.NoRung,
 	}
 	s.nextID++

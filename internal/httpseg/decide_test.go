@@ -26,7 +26,7 @@ func decideGet(t *testing.T, svc *DecideService, query string) decideReply {
 
 func TestDecideServiceSessions(t *testing.T) {
 	col := telemetry.NewCollector(nil, 256)
-	svc, err := NewDecideService(video.Mobile(), 1<<12, col)
+	svc, err := NewDecideService(video.Mobile(), 1<<12, 0, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestDecideServiceSessions(t *testing.T) {
 }
 
 func TestDecideServiceValidation(t *testing.T) {
-	svc, err := NewDecideService(video.Mobile(), 0, nil)
+	svc, err := NewDecideService(video.Mobile(), 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestDecideServiceValidation(t *testing.T) {
 }
 
 func TestDecideServiceEviction(t *testing.T) {
-	svc, err := NewDecideService(video.Mobile(), 0, nil)
+	svc, err := NewDecideService(video.Mobile(), 0, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

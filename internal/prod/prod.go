@@ -108,6 +108,14 @@ type Config struct {
 	// bit-identical either way, so the A/B outcome is unaffected; the knob
 	// only changes how much solver work the arm performs.
 	SharedCacheEntries int
+	// TableQuantum enables compiled decision tables on the SODA arm at that
+	// quantization step (one table set per family per arm, beside the solve
+	// cache). Tables change where decisions come from, not what they are —
+	// in-domain states read the compiled map, everything else solves — so the
+	// A/B outcome at a given quantum is a function of the quantum alone.
+	// 0 disables tables and keeps the arm on the exact MemoQuantum path the
+	// Figure 13 goldens were recorded with.
+	TableQuantum float64
 	// Seed makes the experiment reproducible.
 	Seed uint64
 	// Telemetry, when non-nil, receives per-arm gauges (viewing, bitrate,
@@ -210,11 +218,11 @@ func Run(cfg Config) ([]FamilyReport, error) {
 		// viewing-duration delta reflects the quality difference rather than
 		// sampling noise — the standard variance-reduction device for paired
 		// A/B comparisons.
-		treat, err := runArm(cfg, cfg.Treatment, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Treatment))
+		treat, err := runArm(cfg, cfg.Treatment, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Treatment), armTables(cfg, cfg.Treatment))
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Treatment, err)
 		}
-		control, err := runArm(cfg, cfg.Control, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Control))
+		control, err := runArm(cfg, cfg.Control, ladder, ds, model, cfg.Seed+77, armCache(cfg, cfg.Control), armTables(cfg, cfg.Control))
 		if err != nil {
 			return nil, fmt.Errorf("prod: %s/%s: %w", fam.Name, cfg.Control, err)
 		}
@@ -263,14 +271,26 @@ func armCache(cfg Config, controller string) *core.SolveCache {
 	return core.NewSolveCache(cfg.SharedCacheEntries)
 }
 
+// armTables builds the compiled-table set for one arm of one family, or nil
+// when tables are disabled or the arm's controller has no table hook.
+func armTables(cfg Config, controller string) *core.DecisionTables {
+	if cfg.TableQuantum <= 0 || controller != "soda" {
+		return nil
+	}
+	return core.NewDecisionTables()
+}
+
 // newArmController builds a fresh per-session controller for the arm,
-// attaching the shared solve cache when one applies. The cached construction
-// is the registry's "soda" configuration plus the cache, so the two paths
-// decide identically.
-func newArmController(controller string, ladder video.Ladder, cache *core.SolveCache) (abr.Controller, error) {
-	if cache != nil {
+// attaching the shared solve cache and table set when they apply. The
+// augmented construction is the registry's "soda" configuration plus the
+// fleet state, so the two paths decide identically (tables additionally
+// move the arm to TableQuantum).
+func newArmController(controller string, ladder video.Ladder, cache *core.SolveCache, tables *core.DecisionTables, tableQuantum float64) (abr.Controller, error) {
+	if cache != nil || tables != nil {
 		ccfg := core.DefaultConfig()
 		ccfg.SharedCache = cache
+		ccfg.DecisionTable = tables
+		ccfg.TableQuantum = tableQuantum
 		return core.New(ccfg, ladder), nil
 	}
 	return abr.New(controller, ladder)
@@ -279,7 +299,7 @@ func newArmController(controller string, ladder video.Ladder, cache *core.SolveC
 // runArm simulates every session of the dataset under one controller and
 // aggregates the arm statistics. Sessions run in parallel; the engagement
 // draw is deterministic per (seed, session).
-func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64, cache *core.SolveCache) (ArmStats, error) {
+func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dataset, model engagement.Model, seed uint64, cache *core.SolveCache, tables *core.DecisionTables) (ArmStats, error) {
 	n := len(ds.Sessions)
 	type out struct {
 		viewing   units.Minutes
@@ -303,7 +323,7 @@ func runArm(cfg Config, controller string, ladder video.Ladder, ds *tracegen.Dat
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				ctrl, err := newArmController(controller, ladder, cache)
+				ctrl, err := newArmController(controller, ladder, cache, tables, cfg.TableQuantum)
 				if err != nil {
 					results[i].err = err
 					continue

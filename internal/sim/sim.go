@@ -176,18 +176,18 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 	// changes the decision sequence.
 	rec := cfg.Telemetry.StartSession(cfg.TelemetrySession)
 	// statsCore is the devirtualised fast path (core.Controller's SolveWork
-	// returns the four gated counters in registers); statser covers any
+	// returns the five gated counters in registers); statser covers any
 	// other controller exposing SolveStats. The prev* counters roll forward
 	// so each decision costs one snapshot, not two.
 	var statsCore *core.Controller
 	var statser interface{ SolveStats() core.SolveStats }
-	var prevSolves, prevNodes, prevMemoHits, prevSharedHits uint64
+	var prevSolves, prevNodes, prevMemoHits, prevSharedHits, prevTableHits uint64
 	if rec != nil {
 		if statsCore, _ = cfg.Controller.(*core.Controller); statsCore != nil {
-			prevSolves, prevNodes, prevMemoHits, prevSharedHits = statsCore.SolveWork()
+			prevSolves, prevNodes, prevMemoHits, prevSharedHits, prevTableHits = statsCore.SolveWork()
 		} else if statser, _ = cfg.Controller.(interface{ SolveStats() core.SolveStats }); statser != nil {
 			s := statser.SolveStats()
-			prevSolves, prevNodes, prevMemoHits, prevSharedHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits
+			prevSolves, prevNodes, prevMemoHits, prevSharedHits, prevTableHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits, s.TableHits
 		}
 	}
 
@@ -281,18 +281,19 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 				ev.SolveSeconds = units.Seconds(time.Since(t0).Seconds())
 			}
 			if statsCore != nil || statser != nil {
-				var solves, nodes, memoHits, sharedHits uint64
+				var solves, nodes, memoHits, sharedHits, tableHits uint64
 				if statsCore != nil {
-					solves, nodes, memoHits, sharedHits = statsCore.SolveWork()
+					solves, nodes, memoHits, sharedHits, tableHits = statsCore.SolveWork()
 				} else {
 					s := statser.SolveStats()
-					solves, nodes, memoHits, sharedHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits
+					solves, nodes, memoHits, sharedHits, tableHits = s.Solves, s.Nodes, s.MemoHits, s.SharedHits, s.TableHits
 				}
 				ev.Solves = uint32(solves - prevSolves)
 				ev.Nodes = uint32(nodes - prevNodes)
 				ev.MemoHits = uint32(memoHits - prevMemoHits)
 				ev.SharedHits = uint32(sharedHits - prevSharedHits)
-				prevSolves, prevNodes, prevMemoHits, prevSharedHits = solves, nodes, memoHits, sharedHits
+				ev.TableHits = uint32(tableHits - prevTableHits)
+				prevSolves, prevNodes, prevMemoHits, prevSharedHits, prevTableHits = solves, nodes, memoHits, sharedHits, tableHits
 			}
 		}
 		if decision.Rung == abr.NoRung {
@@ -404,6 +405,8 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 				Solves: s.Solves, Nodes: s.Nodes,
 				MemoLookups: s.MemoLookups, MemoHits: s.MemoHits,
 				SharedLookups: s.SharedLookups, SharedHits: s.SharedHits,
+				TableLookups: s.TableLookups, TableHits: s.TableHits,
+				TableFallbacks: s.TableFallbacks,
 			}
 		}
 		rec.Finish(total, result.Metrics.Segments, result.Metrics.RebufferSec)

@@ -12,12 +12,15 @@ import (
 // telemetry layer free of controller dependencies (harnesses copy the fields
 // at the call site). All counters are per-session deltas.
 type SolverStats struct {
-	Solves        uint64
-	Nodes         uint64
-	MemoLookups   uint64
-	MemoHits      uint64
-	SharedLookups uint64
-	SharedHits    uint64
+	Solves         uint64
+	Nodes          uint64
+	MemoLookups    uint64
+	MemoHits       uint64
+	SharedLookups  uint64
+	SharedHits     uint64
+	TableLookups   uint64
+	TableHits      uint64
+	TableFallbacks uint64
 }
 
 // Collector bundles the standard SODA instruments on one registry plus the
@@ -46,12 +49,15 @@ type Collector struct {
 	RebufferSeconds *Counter
 
 	// Solver-work counters, flushed from SolveStats deltas.
-	Solves        *Counter
-	Nodes         *Counter
-	MemoLookups   *Counter
-	MemoHits      *Counter
-	SharedLookups *Counter
-	SharedHits    *Counter
+	Solves         *Counter
+	Nodes          *Counter
+	MemoLookups    *Counter
+	MemoHits       *Counter
+	SharedLookups  *Counter
+	SharedHits     *Counter
+	TableLookups   *Counter
+	TableHits      *Counter
+	TableFallbacks *Counter
 }
 
 // Default bucket layouts. Buffer levels live in [0, ~20 s] (the live cap),
@@ -93,6 +99,10 @@ func NewCollector(reg *Registry, ringCapacity int) *Collector {
 		MemoHits:      reg.Counter("soda_solver_memo_hits_total", "decide-level memo hits", None),
 		SharedLookups: reg.Counter("soda_shared_cache_lookups_total", "fleet solve-cache lookups", None),
 		SharedHits:    reg.Counter("soda_shared_cache_hits_total", "fleet solve-cache hits", None),
+
+		TableLookups:   reg.Counter("soda_decision_table_lookups_total", "compiled decision-table lookups", None),
+		TableHits:      reg.Counter("soda_decision_table_hits_total", "compiled decision-table hits", None),
+		TableFallbacks: reg.Counter("soda_decision_table_fallbacks_total", "decision-table lookups outside the domain that fell back to the solver", None),
 	}
 }
 
@@ -128,6 +138,9 @@ func (c *Collector) RecordSolverStats(s SolverStats) {
 	addCounter(c.MemoHits, s.MemoHits)
 	addCounter(c.SharedLookups, s.SharedLookups)
 	addCounter(c.SharedHits, s.SharedHits)
+	addCounter(c.TableLookups, s.TableLookups)
+	addCounter(c.TableHits, s.TableHits)
+	addCounter(c.TableFallbacks, s.TableFallbacks)
 }
 
 // RecordSession records one completed session's aggregates.

@@ -15,8 +15,8 @@ import (
 // as plain JSON numbers.
 // The narrow integer fields are deliberate: the event is copied on every
 // ring append and sits 256-deep in each recorder's pending batch, so its
-// size is hot-path cache traffic. int32/int16/uint32 keep it at 72 bytes
-// (vs 112 with machine-word fields) without losing range — sessions and
+// size is hot-path cache traffic. int32/int16/uint32 keep it at 80 bytes
+// (vs 128 with machine-word fields) without losing range — sessions and
 // segments stay far below 2^31, ladders below 2^15, and per-decision solver
 // deltas below 2^32.
 type DecisionEvent struct {
@@ -50,6 +50,9 @@ type DecisionEvent struct {
 	Nodes      uint32 `json:"nodes,omitempty"`
 	MemoHits   uint32 `json:"memo_hits,omitempty"`
 	SharedHits uint32 `json:"shared_hits,omitempty"`
+	// TableHits counts compiled decision-table hits this decision cost (1 on
+	// a table-served decision, 0 on a fallback or for untabled controllers).
+	TableHits uint32 `json:"table_hits,omitempty"`
 	// SolveSeconds is the measured Decide latency; only meaningful when
 	// Timed is set.
 	SolveSeconds units.Seconds `json:"solve_s,omitempty"`

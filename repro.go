@@ -55,6 +55,13 @@ type (
 	SolveCache = core.SolveCache
 	// CacheStats reports a SolveCache's hit/conflict/eviction counters.
 	CacheStats = core.CacheStats
+	// DecisionTables is a set of compiled decision tables that any number
+	// of SODA controllers may share via SODAConfig.DecisionTable.
+	DecisionTables = core.DecisionTables
+	// TableInfo describes one compiled decision table's geometry.
+	TableInfo = core.TableInfo
+	// TableStats reports a DecisionTables set's compile counters.
+	TableStats = core.TableStats
 	// SimulationConfig parameterizes a simulated session.
 	SimulationConfig = sim.Config
 	// SimulationResult is a simulated session's outcome.
@@ -101,6 +108,17 @@ func NewSolveCache(capacity int) *SolveCache { return core.NewSolveCache(capacit
 // (default: GOMAXPROCS rounded up to a power of two).
 func NewSolveCacheSharded(capacity, shards int) *SolveCache {
 	return core.NewSolveCacheSharded(capacity, shards)
+}
+
+// NewDecisionTables builds an empty compiled decision-table set (see
+// DESIGN.md §5c). Decisions are bit-identical with or without one.
+func NewDecisionTables() *DecisionTables { return core.NewDecisionTables() }
+
+// NewDecisionTablesSized is NewDecisionTables with an explicit bound on the
+// number of distinct tables compiled before new identities become
+// fallback-only stubs.
+func NewDecisionTablesSized(maxTables int) *DecisionTables {
+	return core.NewDecisionTablesSized(maxTables)
 }
 
 // NewController builds any registered controller by name: "soda", "bola",
