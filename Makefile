@@ -4,19 +4,24 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test conformance smoke cover bench bench-gate fuzz build vuln
+.PHONY: all ci lint test conformance smoke cover bench bench-gate fuzz build build386 vuln
 
 all: lint test
 
-ci: lint build test conformance smoke cover fuzz bench-gate vuln
+ci: lint build build386 test conformance smoke cover fuzz bench-gate vuln
 
 build:
 	$(GO) build ./...
 
+# build386 cross-compiles for a real 32-bit target, backing the atomicfield
+# analyzer's 64-bit alignment findings with an actual GOARCH=386 layout.
+build386:
+	GOARCH=386 $(GO) build ./...
+
 # lint runs gofmt (fail on any unformatted file) and soda-vet, which bundles
 # the repository's custom analyzers (detrange, purecontroller, unitsafe,
-# nofloat64wire) with the standard go vet passes, over source and test files.
-# See DESIGN.md "Static invariants".
+# nofloat64wire, guardedby, atomicfield, noalloc) with the standard go vet
+# passes, over source and test files. See DESIGN.md "Static invariants".
 lint:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi

@@ -1,26 +1,41 @@
 // Command soda-vet runs the repository's custom static analyzers —
-// detrange, purecontroller, unitsafe and nofloat64wire — alongside the
-// standard go vet passes, and exits non-zero on any finding. It is the lint
-// gate CI runs on every push:
+// detrange, purecontroller, unitsafe, nofloat64wire, guardedby, atomicfield
+// and noalloc — alongside the standard go vet passes, and exits non-zero on
+// any finding. It is the lint gate CI runs on every push:
 //
 //	go run ./cmd/soda-vet ./...
 //
 // The analyzers cover test files too: packages are loaded with their test
-// sources, so the invariants hold over the test corpus as well.
+// sources, so the invariants hold over the test corpus as well. Packages are
+// loaded and analyzed on a bounded worker pool; the finding order is
+// deterministic regardless of scheduling.
 //
-// Pass -novet to skip the standard vet passes (useful when iterating on the
-// custom analyzers alone). See internal/lint and DESIGN.md ("Static
-// invariants") for what each analyzer enforces and why.
+// Flags:
+//
+//	-novet          skip the standard go vet passes (useful when iterating
+//	                on the custom analyzers alone)
+//	-format=text    one finding per line (default, unchanged output)
+//	-format=github  GitHub workflow ::error annotations
+//	-format=json    a JSON array of findings for tooling
+//	-v              report load/analysis wall time on stderr
+//
+// See internal/lint and DESIGN.md ("Static invariants") for what each
+// analyzer enforces and why.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"time"
 
 	"repro/internal/lint"
+	"repro/internal/lint/atomicfield"
 	"repro/internal/lint/detrange"
+	"repro/internal/lint/guardedby"
+	"repro/internal/lint/noalloc"
 	"repro/internal/lint/nofloat64wire"
 	"repro/internal/lint/purecontroller"
 	"repro/internal/lint/unitsafe"
@@ -31,14 +46,34 @@ var analyzers = []*lint.Analyzer{
 	purecontroller.Analyzer,
 	unitsafe.Analyzer,
 	nofloat64wire.Analyzer,
+	guardedby.Analyzer,
+	atomicfield.Analyzer,
+	noalloc.Analyzer,
+}
+
+// jsonFinding is the -format=json shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	novet := flag.Bool("novet", false, "skip the standard go vet passes")
+	format := flag.String("format", "text", "output format: text, github or json")
+	verbose := flag.Bool("v", false, "report load/analysis wall time")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+	switch *format {
+	case "text", "github", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "soda-vet: unknown -format %q (want text, github or json)\n", *format)
+		os.Exit(2)
 	}
 
 	failed := false
@@ -51,18 +86,51 @@ func main() {
 		}
 	}
 
+	t0 := time.Now()
 	pkgs, err := lint.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "soda-vet: %v\n", err)
 		os.Exit(2)
 	}
+	loaded := time.Now()
 	findings, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "soda-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "soda-vet: loaded %d packages in %v, ran %d analyzers in %v\n",
+			len(pkgs), loaded.Sub(t0).Round(time.Millisecond),
+			len(analyzers), time.Since(loaded).Round(time.Millisecond))
+	}
+
+	switch *format {
+	case "text":
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	case "github":
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s (%s)\n",
+				f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+		}
+	case "json":
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     f.Pos.Filename,
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "soda-vet: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	if failed || len(findings) > 0 {
 		os.Exit(1)

@@ -210,6 +210,8 @@ func (c *Controller) modelFor(bufferCap units.Seconds) *CostModel {
 
 // Decide implements abr.Controller: solve the K-step predictive problem and
 // commit the first decision (§3.3).
+//
+//soda:noalloc
 func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 	m := c.modelFor(ctx.BufferCap)
 
@@ -325,6 +327,8 @@ func (c *Controller) Decide(ctx *abr.Context) abr.Decision {
 // tried first (the tail of the plan is the unreachable part); a fully
 // infeasible one-step problem falls back to the lowest rung, the fastest
 // possible refill.
+//
+//soda:noalloc
 func solveFirstRung(m *CostModel, bruteForce bool, omegas []units.Mbps, x0 units.Seconds, prevRung, k, maxRung int) int {
 	for h := k; h >= 1; h-- {
 		var res solveResult

@@ -42,9 +42,11 @@ import (
 // holds no package-level variables and launches no goroutines, which keeps
 // controllers wired to it purecontroller-clean (see DESIGN.md).
 type DecisionTables struct {
-	mu            sync.Mutex
-	tables        map[uint64]*decisionTable
-	maxTables     int
+	mu sync.Mutex
+	//soda:guard mu
+	tables    map[uint64]*decisionTable
+	maxTables int
+	//soda:guard mu
 	compileSolves uint64
 }
 
@@ -231,6 +233,8 @@ func (t *decisionTable) compile(cfg Config, ladder video.Ladder, bufferCap units
 // session-tail states report a miss — never a clamped cell. The throughput
 // cap needs no check: the cell was compiled with the cap derived from the
 // cell's own (omega, prev), the same pure function Decide applies.
+//
+//soda:noalloc
 func (t *decisionTable) lookup(x units.Seconds, w units.Mbps, prev, k int) (int, bool) {
 	if t.stub || int32(k) != t.k {
 		return 0, false
@@ -345,6 +349,8 @@ func (s *DecisionTables) Stats() TableStats {
 // sortedIDs returns the set's table identities in ascending order, so every
 // iteration over the table map is deterministic (the detrange idiom).
 // Callers hold s.mu.
+//
+//soda:locked mu
 func (s *DecisionTables) sortedIDs() []uint64 {
 	ids := make([]uint64, 0, len(s.tables))
 	for id := range s.tables {

@@ -71,17 +71,26 @@ type cacheSlot struct {
 
 // cacheShard is one independently locked table. The trailing pad keeps
 // neighbouring shards' mutexes off one cache line so uncontended shards do
-// not false-share under parallel load.
+// not false-share under parallel load. The //soda:guard annotations make the
+// lock protocol a soda-vet invariant: every access to the table and its
+// counters must hold the shard mutex (mask is immutable after construction
+// and deliberately unannotated — shardFor reads it lock-free).
 type cacheShard struct {
-	mu       sync.Mutex
-	entries  []cacheSlot
-	mask     uint64
-	lookups  uint64
-	hits     uint64
+	mu sync.Mutex
+	//soda:guard mu
+	entries []cacheSlot
+	mask    uint64
+	//soda:guard mu
+	lookups uint64
+	//soda:guard mu
+	hits uint64
+	//soda:guard mu
 	conflict uint64
-	evicted  uint64
-	used     uint64
-	_        [64]byte
+	//soda:guard mu
+	evicted uint64
+	//soda:guard mu
+	used uint64
+	_    [64]byte
 }
 
 // NewSolveCache builds a shared solve cache with at least the given entry
@@ -156,6 +165,8 @@ func (c *SolveCache) shardFor(h uint64) (*cacheShard, uint64) {
 // get returns the cached first-rung decision for the key, or a miss. A hit
 // requires full-key equality; traversing at least one occupied non-matching
 // slot on the way to a miss is counted as a conflict.
+//
+//soda:noalloc
 func (c *SolveCache) get(k cacheKey) (int32, bool) {
 	sh, base := c.shardFor(k.hash())
 	sh.mu.Lock()
@@ -185,6 +196,8 @@ func (c *SolveCache) get(k cacheKey) (int32, bool) {
 // every writer stores the same pure-function value), else the first empty
 // slot of the probe window, else over the home slot (a deterministic
 // eviction; the evicted problem is simply re-solved on its next miss).
+//
+//soda:noalloc
 func (c *SolveCache) put(k cacheKey, rung int32) {
 	sh, base := c.shardFor(k.hash())
 	sh.mu.Lock()

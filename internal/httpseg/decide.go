@@ -38,10 +38,13 @@ type DecideService struct {
 	tableQuantum float64
 	col          *telemetry.Collector
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	//soda:guard mu
 	sessions map[string]*decideSession
-	order    []string // insertion order, for FIFO eviction
-	nextID   int
+	//soda:guard mu
+	order []string // insertion order, for FIFO eviction
+	//soda:guard mu
+	nextID int
 
 	cacheEntries  *telemetry.Gauge
 	cacheCapacity *telemetry.Gauge
@@ -172,31 +175,39 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// The whole decide runs under the session-table lock: controllers are
-	// single-threaded state and decisions must serialise per session anyway.
-	// The solver is sub-microsecond, so the lock is not a throughput concern
-	// at the prototype's scale.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess := s.session(sessionKey)
+	segment := -1
 	if v := q.Get("segment"); v != "" {
 		seg, err := strconv.Atoi(v)
 		if err != nil || seg < 0 {
 			http.Error(w, "segment must be a non-negative integer", http.StatusBadRequest)
 			return
 		}
-		sess.segment = seg
+		segment = seg
 	}
+	prevOverride, havePrev := 0, false
 	if v := q.Get("prev"); v != "" {
 		prev, err := strconv.Atoi(v)
 		if err != nil || prev < abr.NoRung || prev >= s.ladder.Len() {
 			http.Error(w, "prev out of range", http.StatusBadRequest)
 			return
 		}
-		sess.prevRung = prev
+		prevOverride, havePrev = prev, true
 	}
-
 	omega := units.Mbps(throughput)
+
+	// Decisions serialise per session under the session-table lock, but the
+	// lock never covers I/O: every parameter is validated above, and the
+	// reply encoding and telemetry recording happen after the unlock — the
+	// guardedby invariant on the session table. The solver itself is
+	// sub-microsecond, so the critical section stays short.
+	s.mu.Lock()
+	sess := s.session(sessionKey)
+	if segment >= 0 {
+		sess.segment = segment
+	}
+	if havePrev {
+		sess.prevRung = prevOverride
+	}
 	ctx := &abr.Context{
 		Buffer:         units.Seconds(buffer),
 		BufferCap:      units.Seconds(bufferCap),
@@ -237,6 +248,8 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sess.segment++
 	}
 	d := sess.ctrl.SolveStats().Delta(before)
+	s.mu.Unlock()
+
 	ev.Solves, ev.Nodes = uint32(d.Solves), uint32(d.Nodes)
 	ev.MemoHits, ev.SharedHits = uint32(d.MemoHits), uint32(d.SharedHits)
 	ev.TableHits = uint32(d.TableHits)
@@ -255,6 +268,8 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // session returns the state for key, creating (and FIFO-evicting) as needed.
 // Callers hold s.mu.
+//
+//soda:locked mu
 func (s *DecideService) session(key string) *decideSession {
 	if sess, ok := s.sessions[key]; ok {
 		return sess

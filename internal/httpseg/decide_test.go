@@ -108,10 +108,14 @@ func TestDecideServiceEviction(t *testing.T) {
 	for i := 0; i < maxDecideSessions+10; i++ {
 		decideGet(t, svc, fmt.Sprintf("session=s%d&buffer=10&throughput=8", i))
 	}
-	if got := len(svc.sessions); got != maxDecideSessions {
+	svc.mu.Lock()
+	got := len(svc.sessions)
+	_, oldestAlive := svc.sessions["s0"]
+	svc.mu.Unlock()
+	if got != maxDecideSessions {
 		t.Fatalf("session table holds %d entries, want capped at %d", got, maxDecideSessions)
 	}
-	if _, ok := svc.sessions["s0"]; ok {
+	if oldestAlive {
 		t.Error("oldest session survived eviction")
 	}
 }

@@ -1,0 +1,364 @@
+// Package atomicfield defines an analyzer enforcing all-or-nothing
+// sync/atomic discipline on struct fields.
+//
+// A field that any code in the package accesses through a sync/atomic
+// function (atomic.AddUint64(&s.f, 1), atomic.LoadInt64(&s.f), ...) must be
+// accessed that way everywhere: one plain read or write racing with the
+// atomic users is a data race the race detector only catches when the
+// interleaving happens to fire, and -race never runs on the 32-bit targets
+// where the torn reads are widest. The analyzer flags every plain access
+// (including taking the field's address outside an atomic call) to a field
+// the package elsewhere treats as atomic. Accesses to provably fresh objects
+// — locals created in the same function by a composite literal, new(T) or a
+// zero-value declaration — are exempt, so constructors can initialise
+// atomically-used fields without ceremony.
+//
+// The analyzer also checks 64-bit alignment: a plain int64/uint64 field used
+// with the 64-bit atomic functions must sit at an 8-byte offset in every
+// struct layout, but GOARCH=386 and GOARCH=arm align uint64 to 4 bytes, so a
+// field that follows an odd number of 32-bit words faults or tears at
+// runtime on those targets. Offsets are computed with the real gc layout
+// rules for both architectures, accumulated through embedded structs. The
+// atomic.Int64/atomic.Uint64 wrapper types self-align (they embed the
+// runtime's align64 marker) and are invisible to this analyzer — preferring
+// them over plain fields is the standing advice the diagnostics give.
+//
+// Known false-negative shapes (see DESIGN.md "Static invariants"): the
+// mixed-access rule is per-package, so a package that atomically pokes an
+// exported field of another package's struct is not correlated with the
+// owner's plain accesses; and the alignment walk starts at the selection's
+// receiver type, so a misaligned struct reached through an interface or
+// unsafe.Pointer round-trip is not seen.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags mixed plain/atomic field access and 64-bit atomics that are
+// misaligned on 32-bit struct layouts.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic must be accessed atomically everywhere, and 64-bit atomics must be 8-byte aligned on GOARCH=386/arm",
+	Run:  run,
+}
+
+// atomicPrefixes are the sync/atomic function-name prefixes whose first
+// argument is the address of the value operated on.
+var atomicPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+// archSizes holds the gc layout rules for the 32-bit targets where 64-bit
+// atomics need manual alignment. Iterated in name order for determinism.
+var archSizes = []struct {
+	arch  string
+	sizes types.Sizes
+}{
+	{"386", types.SizesFor("gc", "386")},
+	{"arm", types.SizesFor("gc", "arm")},
+}
+
+// atomicUse records how a field is used atomically: the earliest call site
+// (the anchor for diagnostics on fields declared outside the package), the
+// receiver type and selection path of that call (for the alignment walk),
+// and whether any use is a 64-bit operation.
+type atomicUse struct {
+	firstPos token.Pos
+	recv     types.Type
+	index    []int
+	wide     bool
+}
+
+func run(pass *lint.Pass) error {
+	uses := make(map[*types.Var]*atomicUse)
+	inAtomic := make(map[*ast.SelectorExpr]bool)
+
+	// Pass 1: find every sync/atomic call whose operand is a field address.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			wide, ok := atomicCall(pass, call)
+			if !ok {
+				return true
+			}
+			sel, ok := fieldAddr(call.Args[0])
+			if !ok {
+				return true
+			}
+			selection := pass.TypesInfo.Selections[sel]
+			if selection == nil || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			inAtomic[sel] = true
+			u := uses[field]
+			if u == nil {
+				u = &atomicUse{firstPos: sel.Pos(), recv: selection.Recv(), index: selection.Index()}
+				uses[field] = u
+			}
+			if sel.Pos() < u.firstPos {
+				u.firstPos, u.recv, u.index = sel.Pos(), selection.Recv(), selection.Index()
+			}
+			u.wide = u.wide || wide
+			return true
+		})
+	}
+	if len(uses) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those fields must be atomic too.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshLocals(pass.TypesInfo, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || inAtomic[sel] {
+					return true
+				}
+				selection := pass.TypesInfo.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := selection.Obj().(*types.Var)
+				if !ok || uses[field] == nil {
+					return true
+				}
+				if root := rootIdent(sel.X); root != nil {
+					if obj := pass.TypesInfo.Uses[root]; obj != nil && fresh[obj] {
+						return true
+					}
+				}
+				pass.Reportf(sel.Pos(),
+					"plain access to %s: the package accesses this field via sync/atomic elsewhere, so mixed access races; use the atomic API here too (or an atomic wrapper type)",
+					fieldLabel(uses[field], field))
+				return true
+			})
+		}
+	}
+
+	// Pass 3: 64-bit atomics must be 8-byte aligned under 32-bit layouts.
+	var diags []lint.Diagnostic
+	for field, u := range uses {
+		if !u.wide {
+			continue
+		}
+		var bad []string
+		var off int64
+		for _, as := range archSizes {
+			o, ok := pathOffset(as.sizes, u.recv, u.index)
+			if ok && o%8 != 0 {
+				bad = append(bad, as.arch)
+				off = o
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		pos := u.firstPos
+		if field.Pkg() == pass.Pkg {
+			pos = field.Pos()
+		}
+		diags = append(diags, lint.Diagnostic{Pos: pos, Message: fmt.Sprintf(
+			"%s is used with 64-bit sync/atomic but sits at misaligned offset %d on GOARCH=%s; move it to the front of the struct or use an atomic wrapper type",
+			fieldLabel(u, field), off, strings.Join(bad, "/"))})
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil
+}
+
+// atomicCall reports whether call is a sync/atomic function taking a value
+// address, and whether it is a 64-bit operation.
+func atomicCall(pass *lint.Pass, call *ast.CallExpr) (wide, ok bool) {
+	fun, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return false, false
+	}
+	pkgIdent, okIdent := fun.X.(*ast.Ident)
+	if !okIdent {
+		return false, false
+	}
+	pkgName, okPkg := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+	if !okPkg || pkgName.Imported().Path() != "sync/atomic" {
+		return false, false
+	}
+	name := fun.Sel.Name
+	for _, p := range atomicPrefixes {
+		if strings.HasPrefix(name, p) {
+			return strings.HasSuffix(name, "64"), true
+		}
+	}
+	return false, false
+}
+
+// fieldAddr matches &x.f (with any parenthesisation) and returns the
+// selector.
+func fieldAddr(e ast.Expr) (*ast.SelectorExpr, bool) {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	u, ok := e.(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil, false
+	}
+	x := u.X
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		x = p.X
+	}
+	sel, ok := x.(*ast.SelectorExpr)
+	return sel, ok
+}
+
+// fieldLabel renders a field as Type.field for diagnostics.
+func fieldLabel(u *atomicUse, field *types.Var) string {
+	t := deref(u.recv)
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name() + "." + field.Name()
+	}
+	return "struct." + field.Name()
+}
+
+// pathOffset accumulates the field's byte offset from the selection's
+// receiver through any embedded structs under the given layout rules. An
+// embedded pointer restarts the layout at a fresh allocation (Go guarantees
+// allocations are 8-byte aligned), so the offset resets to zero there.
+func pathOffset(sizes types.Sizes, recv types.Type, index []int) (int64, bool) {
+	off := int64(0)
+	t := recv
+	for step, i := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			off = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for j := range fields {
+			fields[j] = st.Field(j)
+		}
+		off += sizes.Offsetsof(fields)[i]
+		t = st.Field(i).Type()
+		if step < len(index)-1 {
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+				off = 0
+			}
+		}
+	}
+	return off, true
+}
+
+// freshLocals collects the function's provably fresh locals: variables bound
+// to a composite literal, &composite, new(T) or a zero-value var
+// declaration. Accesses through them cannot race — no other goroutine has
+// the object yet — so constructors may initialise atomic fields plainly.
+func freshLocals(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !freshExpr(st.Rhs[i]) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				if len(st.Values) != 0 && (i >= len(st.Values) || !freshExpr(st.Values[i])) {
+					continue
+				}
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// freshExpr matches the allocation shapes that produce a private object:
+// T{...}, &T{...} and new(T).
+func freshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := e.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks to the base identifier of a selector chain, or nil when
+// the base is a call or other non-traceable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// deref unwraps one pointer layer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+// Package atomicf exercises the atomicfield analyzer: true positives carry
+// want comments, everything else is the false-positive-avoidance corpus.
+package atomicf
+
+import "sync/atomic"
+
+// Stats mixes atomic and plain access to mixed; hits and flag are atomic
+// everywhere and 8-byte aligned, so only the mixed accesses are findings.
+type Stats struct {
+	flag  int32
+	_     int32
+	hits  uint64
+	mixed int64
+}
+
+func (s *Stats) Hit()         { atomic.AddUint64(&s.hits, 1) }
+func (s *Stats) Hits() uint64 { return atomic.LoadUint64(&s.hits) }
+func (s *Stats) Raise()       { atomic.StoreInt32(&s.flag, 1) }
+func (s *Stats) Bump()        { atomic.AddInt64(&s.mixed, 1) }
+
+// Read races with Bump.
+func (s *Stats) Read() int64 {
+	return s.mixed // want `plain access to Stats\.mixed`
+}
+
+// Write races with Bump.
+func (s *Stats) Write(v int64) {
+	s.mixed = v // want `plain access to Stats\.mixed`
+}
+
+// leak hands out the address outside the atomic API — also a mixed access.
+func leak(s *Stats) *int64 {
+	return &s.mixed // want `plain access to Stats\.mixed`
+}
+
+// NewStats initialises a fresh object: no other goroutine can hold it yet,
+// so the plain stores are exempt.
+func NewStats(seed int64) *Stats {
+	s := &Stats{}
+	s.mixed = seed
+	return s
+}
+
+// valueFresh covers the zero-value and new(T) freshness shapes.
+func valueFresh() int64 {
+	var a Stats
+	a.mixed = 1
+	b := new(Stats)
+	b.mixed = 2
+	return a.mixed + b.mixed
+}
+
+// Gate is atomic-only 32-bit state: fine everywhere.
+type Gate struct {
+	state uint32
+}
+
+func (g *Gate) TryLock() bool { return atomic.CompareAndSwapUint32(&g.state, 0, 1) }
+func (g *Gate) Unlock()       { atomic.StoreUint32(&g.state, 0) }
+
+// Broken is the CAS-protected field's plain escape hatch.
+func (g *Gate) Broken() {
+	g.state = 0 // want `plain access to Gate\.state`
+}
+
+// Skewed puts a 64-bit atomic after one 32-bit word: GOARCH=386 and arm
+// align uint64 to 4 bytes, so the field lands misaligned on both.
+type Skewed struct {
+	n int32
+	c int64 // want `Skewed\.c is used with 64-bit sync/atomic but sits at misaligned offset 4 on GOARCH=386/arm`
+}
+
+func (s *Skewed) Inc() { atomic.AddInt64(&s.c, 1) }
+
+// Embedded reaches the 64-bit field through an embedded struct; the offset
+// accumulates through the embedding, so inner.c sits at 4+0 ... still
+// misaligned. The label names the selection's receiver type.
+type inner struct {
+	c int64 // want `Embedded\.c is used with 64-bit sync/atomic but sits at misaligned offset 4 on GOARCH=386/arm`
+}
+
+type Embedded struct {
+	pad int32
+	inner
+}
+
+func (e *Embedded) Inc() { atomic.AddInt64(&e.c, 1) }
+
+// Wrapped uses the self-aligning wrapper types: invisible to the analyzer,
+// and the plain neighbour stays plain without findings.
+type Wrapped struct {
+	pad   int32
+	n     atomic.Uint64
+	plain int
+}
+
+func (w *Wrapped) Inc() {
+	w.n.Add(1)
+	w.plain++
+}
+
+// PlainOnly is never touched atomically: plain access everywhere is fine.
+type PlainOnly struct {
+	count int64
+}
+
+func (p *PlainOnly) Inc() { p.count++ }

@@ -1,0 +1,217 @@
+// Package guarded exercises the guardedby analyzer: true positives carry
+// want comments, everything else is the false-positive-avoidance corpus.
+package guarded
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Table is shared mutable state with an annotated lock protocol.
+type Table struct {
+	mu sync.Mutex
+	//soda:guard mu
+	count int
+	//soda:guard mu
+	entries []int
+	hits    int64 //soda:guard mu
+	// plain is deliberately unannotated: lock-free access is fine.
+	plain int
+}
+
+// Locked accesses under a scoped Lock/Unlock pair are fine.
+func (t *Table) Locked() int {
+	t.mu.Lock()
+	n := t.count
+	t.mu.Unlock()
+	return n
+}
+
+// DeferLocked holds the lock to function exit via defer.
+func (t *Table) DeferLocked() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	t.entries = append(t.entries, t.count)
+}
+
+// EarlyReturn unlocks inside a terminating branch; the fall-through path is
+// still locked.
+func (t *Table) EarlyReturn(stop bool) int {
+	t.mu.Lock()
+	if stop {
+		t.mu.Unlock()
+		return 0
+	}
+	n := t.count // still locked here
+	t.mu.Unlock()
+	return n
+}
+
+// Unlocked reads the guarded field with no lock held.
+func (t *Table) Unlocked() int {
+	return t.count // want `access to t\.count in \(Table\)\.Unlocked without holding t\.mu`
+}
+
+// AfterUnlock touches the field after releasing.
+func (t *Table) AfterUnlock() int {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.count // want `access to t\.count in \(Table\)\.AfterUnlock without holding t\.mu`
+}
+
+// BranchLeak locks in only one branch; the merge drops the lock.
+func (t *Table) BranchLeak(cond bool) {
+	if cond {
+		t.mu.Lock()
+	}
+	t.count++ // want `access to t\.count in \(Table\)\.BranchLeak without holding t\.mu`
+	if cond {
+		t.mu.Unlock()
+	}
+}
+
+// helper is tagged as called-with-lock-held: accesses inside are fine.
+//
+//soda:locked mu
+func (t *Table) helper() int {
+	return t.count
+}
+
+// badHelper has no tag, so its access is a finding.
+func (t *Table) badHelper() int {
+	return t.count // want `access to t\.count in \(Table\)\.badHelper without holding t\.mu`
+}
+
+// Atomic access to a guarded field is sanctioned without the lock.
+func (t *Table) AtomicHit() int64 {
+	return atomic.LoadInt64(&t.hits)
+}
+
+// PlainField is unannotated: no finding.
+func (t *Table) PlainField() int {
+	return t.plain
+}
+
+// NewTable builds a fresh object; constructor accesses need no lock.
+func NewTable(n int) *Table {
+	t := &Table{}
+	t.count = n
+	t.entries = make([]int, 0, n)
+	return t
+}
+
+// valueFresh covers the value-literal and new(T) freshness shapes.
+func valueFresh() int {
+	var a = Table{}
+	a.count = 1
+	b := new(Table)
+	b.count = 2
+	return a.count + b.count
+}
+
+// Sleeping blocks while holding an annotated lock.
+func (t *Table) Sleeping() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding t\.mu`
+	t.count++
+}
+
+// ChannelUnderLock sends on a channel while locked.
+func (t *Table) ChannelUnderLock(ch chan int) {
+	t.mu.Lock()
+	ch <- t.count // want `channel send while holding t\.mu`
+	t.mu.Unlock()
+}
+
+// ReceiveUnderLock receives while locked.
+func (t *Table) ReceiveUnderLock(ch chan int) {
+	t.mu.Lock()
+	t.count = <-ch // want `channel receive while holding t\.mu`
+	t.mu.Unlock()
+}
+
+// SelectUnderLock selects while locked.
+func (t *Table) SelectUnderLock(ch chan int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select { // want `select while holding t\.mu`
+	case v := <-ch:
+		t.count = v
+	default:
+	}
+}
+
+// IOUnderLock calls into a blocking stdlib package while locked.
+func (t *Table) IOUnderLock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	os.Getwd() // want `call into package os while holding t\.mu`
+	t.count++
+}
+
+// HTTPUnderLock calls net/http while locked.
+func (t *Table) HTTPUnderLock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	http.Get("http://example.invalid") // want `call into package net/http while holding t\.mu`
+}
+
+// BlockingOutsideLock is allowed: nothing held.
+func (t *Table) BlockingOutsideLock(ch chan int) {
+	time.Sleep(time.Millisecond)
+	ch <- 1
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+}
+
+// ClosureUnderLock: the closure body runs later under unknown locks, so its
+// unguarded access is a finding, while building it under the lock is not a
+// blocking operation.
+func (t *Table) ClosureUnderLock() func() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return func() int {
+		return t.count // want `access to t\.count in \(Table\)\.ClosureUnderLock without holding t\.mu`
+	}
+}
+
+// LoopLocked locks and unlocks per iteration — the shard-walk idiom.
+type Sharded struct {
+	shards []Table
+}
+
+func (s *Sharded) Walk() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += sh.count
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Misguard exercises the malformed-annotation findings.
+type Misguard struct {
+	lock sync.RWMutex
+	//soda:guard missing // want `field a is guarded by "missing", which is not a field of the same struct`
+	a int
+	//soda:guard b // want `field c is guarded by b, which is not a sync\.Mutex or sync\.RWMutex`
+	c int
+	b int
+	//soda:guard lock
+	d int
+}
+
+// RWLocked uses RLock/RUnlock on the RWMutex guard.
+func (m *Misguard) RWLocked() int {
+	m.lock.RLock()
+	defer m.lock.RUnlock()
+	return m.d
+}

@@ -1,19 +1,26 @@
 // Package lint is a small static-analysis framework in the style of
 // golang.org/x/tools/go/analysis, built on the standard library only.
 //
-// The repository enforces three SODA-specific invariants that go vet cannot
+// The repository enforces seven SODA-specific invariants that go vet cannot
 // express — determinism of the core (no map-iteration order leaking into
 // decisions), purity of ABR controllers (Decide/Reset must be deterministic,
-// side-effect-free functions of their inputs), and unit safety (no silent
-// mixing of seconds, megabits and Mb/s). Each invariant is an Analyzer in a
-// subpackage (detrange, purecontroller, unitsafe); cmd/soda-vet runs them all
-// alongside the standard vet passes.
+// side-effect-free functions of their inputs), unit safety (no silent mixing
+// of seconds, megabits and Mb/s), wire confinement of float64 unit escapes,
+// lock discipline over //soda:guard-annotated fields, all-or-nothing
+// sync/atomic field access with 32-bit alignment checking, and
+// allocation-freedom of //soda:noalloc-tagged hot paths. Each invariant is
+// an Analyzer in a subpackage (detrange, purecontroller, unitsafe,
+// nofloat64wire, guardedby, atomicfield, noalloc); cmd/soda-vet runs them
+// all alongside the standard vet passes.
 //
 // An Analyzer receives one type-checked package at a time via a Pass and
 // reports findings through Pass.Report. Packages are loaded with
-// `go list -export -deps -json`, so dependency type information comes from
-// the compiler's export data rather than from re-type-checking the world
-// (see load.go).
+// `go list -export -deps -test -json`, so dependency type information comes
+// from the compiler's export data rather than from re-type-checking the
+// world, and the test corpus (augmented packages and external _test
+// packages) is analyzed alongside plain source (see load.go). Loading and
+// analysis both run on a bounded worker pool; findings are concatenated in
+// load order, so output is deterministic regardless of scheduling.
 package lint
 
 import (
@@ -37,7 +44,7 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
-	Files     []*ast.File // non-test source files only
+	Files     []*ast.File // the package's compiled files (including any in-package _test.go sources of augmented variants)
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)

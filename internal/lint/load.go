@@ -13,7 +13,9 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -88,19 +90,51 @@ func Load(dir string, patterns ...string) ([]*Loaded, error) {
 		targets = append(targets, &pkg)
 	}
 
-	fset := token.NewFileSet()
-	var out []*Loaded
+	var kept []*listedPackage
 	for _, p := range targets {
 		if p.ForTest == "" && augmented[p.ImportPath] {
 			continue // the test variant carries this package's files too
 		}
-		l, err := checkPackage(fset, exports, p)
+		kept = append(kept, p)
+	}
+
+	// Parse and type-check packages concurrently. Each package owns its
+	// importer (so ImportMaps stay isolated) and the shared FileSet
+	// synchronizes AddFile internally; results land in index-addressed slots,
+	// so the returned order is the deterministic go list order regardless of
+	// which worker finishes first.
+	fset := token.NewFileSet()
+	out := make([]*Loaded, len(kept))
+	errs := make([]error, len(kept))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, poolSize(len(kept)))
+	for i, p := range kept {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = checkPackage(fset, exports, p)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, l)
 	}
 	return out, nil
+}
+
+// poolSize bounds a worker pool: one worker per package up to GOMAXPROCS.
+func poolSize(n int) int {
+	if p := runtime.GOMAXPROCS(0); n > p {
+		n = p
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // normalizePath strips the " [pkg.test]" disambiguation suffix go list
@@ -176,29 +210,51 @@ func (f Finding) String() string {
 }
 
 // Run applies each analyzer to each loaded package and returns all findings
-// in file-position order within each (package, analyzer) pair.
+// in file-position order within each (package, analyzer) pair. Packages are
+// analyzed concurrently on a bounded worker pool — analyzers keep no state
+// across Run calls and never mutate the packages they inspect — while the
+// returned slice keeps the deterministic serial order: findings are
+// collected per package and concatenated in load order.
 func Run(pkgs []*Loaded, analyzers []*Analyzer) ([]Finding, error) {
+	perPkg := make([][]Finding, len(pkgs))
+	errs := make([]error, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, poolSize(len(pkgs)))
+	for i, l := range pkgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, a := range analyzers {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      l.Fset,
+					Files:     l.Files,
+					Pkg:       l.Pkg,
+					TypesInfo: l.Info,
+					Report: func(d Diagnostic) {
+						perPkg[i] = append(perPkg[i], Finding{
+							Pos:      l.Fset.Position(d.Pos),
+							Analyzer: a.Name,
+							Message:  d.Message,
+						})
+					},
+				}
+				if err := a.Run(pass); err != nil {
+					errs[i] = fmt.Errorf("%s on %s: %v", a.Name, l.ImportPath, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 	var findings []Finding
-	for _, l := range pkgs {
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      l.Fset,
-				Files:     l.Files,
-				Pkg:       l.Pkg,
-				TypesInfo: l.Info,
-				Report: func(d Diagnostic) {
-					findings = append(findings, Finding{
-						Pos:      l.Fset.Position(d.Pos),
-						Analyzer: a.Name,
-						Message:  d.Message,
-					})
-				},
-			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s on %s: %v", a.Name, l.ImportPath, err)
-			}
+	for i := range pkgs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
+		findings = append(findings, perPkg[i]...)
 	}
 	return findings, nil
 }

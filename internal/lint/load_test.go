@@ -1,0 +1,171 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// writeTree materialises a file map as a temp module and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const probeMod = "module loadprobe\n\ngo 1.22\n"
+
+// TestLoadTestCorpus pins the loader's test-corpus contract: generated test
+// mains are skipped, a package with in-package tests is loaded once as its
+// test-augmented variant (carrying the _test.go sources), and external test
+// packages are targets of their own.
+func TestLoadTestCorpus(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":               probeMod,
+		"a/a.go":               "package a\n\n// A is the probe function.\nfunc A() int { return 1 }\n",
+		"a/a_internal_test.go": "package a\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {\n\tif A() != 1 {\n\t\tt.Fail()\n\t}\n}\n",
+		"a/a_external_test.go": "package a_test\n\nimport (\n\t\"testing\"\n\n\t\"loadprobe/a\"\n)\n\nfunc TestExternal(t *testing.T) {\n\tif a.A() != 1 {\n\t\tt.Fail()\n\t}\n}\n",
+		"b/b.go":               "package b\n\n// B has no tests at all.\nfunc B() {}\n",
+	})
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*lint.Loaded)
+	seen := make(map[string]int)
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			t.Errorf("generated test main %s was not skipped", p.ImportPath)
+		}
+		seen[p.ImportPath]++
+		byPath[p.ImportPath] = p
+	}
+	if seen["loadprobe/a"] != 1 {
+		t.Errorf("loadprobe/a loaded %d times, want exactly once (augmented variant supersedes the plain package)", seen["loadprobe/a"])
+	}
+	a := byPath["loadprobe/a"]
+	if a == nil {
+		t.Fatal("loadprobe/a not loaded")
+	}
+	var names []string
+	for _, f := range a.Files {
+		names = append(names, filepath.Base(a.Fset.Position(f.Pos()).Filename))
+	}
+	if !contains(names, "a.go") || !contains(names, "a_internal_test.go") {
+		t.Errorf("augmented loadprobe/a carries files %v, want both a.go and a_internal_test.go", names)
+	}
+	if contains(names, "a_external_test.go") {
+		t.Errorf("augmented loadprobe/a carries the external test file: %v", names)
+	}
+	if ext := byPath["loadprobe/a_test"]; ext == nil {
+		t.Error("external test package loadprobe/a_test not loaded as a target")
+	}
+	if byPath["loadprobe/b"] == nil {
+		t.Error("test-less package loadprobe/b not loaded")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLoadErrorPropagation pins the loader's failure modes: a broken source
+// file fails the go list -export build, and a pattern matching nothing is an
+// error rather than an empty success.
+func TestLoadErrorPropagation(t *testing.T) {
+	t.Run("broken source", func(t *testing.T) {
+		dir := writeTree(t, map[string]string{
+			"go.mod":   probeMod,
+			"bad/x.go": "package bad\n\nfunc broken( {\n",
+		})
+		if _, err := lint.Load(dir, "./..."); err == nil {
+			t.Fatal("Load succeeded on a module with a syntax error")
+		} else if !strings.Contains(err.Error(), "go list") {
+			t.Errorf("error %q does not name the failing go list stage", err)
+		}
+	})
+	t.Run("no match", func(t *testing.T) {
+		dir := writeTree(t, map[string]string{
+			"go.mod": probeMod,
+			"a/a.go": "package a\n\nfunc A() {}\n",
+		})
+		if _, err := lint.Load(dir, "./nonexistent/..."); err == nil {
+			t.Fatal("Load succeeded on a pattern matching no packages")
+		}
+	})
+}
+
+// TestRunDeterministicOrder pins the parallel Run contract: findings arrive
+// in load order regardless of worker scheduling, and analyzer errors
+// propagate.
+func TestRunDeterministicOrder(t *testing.T) {
+	files := map[string]string{"go.mod": probeMod}
+	for i := 0; i < 8; i++ {
+		files[fmt.Sprintf("p%d/p.go", i)] = fmt.Sprintf("package p%d\n\nfunc F() {}\n", i)
+	}
+	dir := writeTree(t, files)
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &lint.Analyzer{
+		Name: "probe",
+		Doc:  "reports one finding per file",
+		Run: func(p *lint.Pass) error {
+			for _, f := range p.Files {
+				p.Reportf(f.Pos(), "file of %s", p.Pkg.Path())
+			}
+			return nil
+		},
+	}
+	first, err := lint.Run(pkgs, []*lint.Analyzer{probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(pkgs) {
+		t.Fatalf("got %d findings, want %d", len(first), len(pkgs))
+	}
+	for i, f := range first {
+		if want := fmt.Sprintf("file of %s", pkgs[i].ImportPath); f.Message != want {
+			t.Errorf("finding %d = %q, want %q (load order)", i, f.Message, want)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		again, err := lint.Run(pkgs, []*lint.Analyzer{probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(again) != fmt.Sprint(first) {
+			t.Fatalf("round %d produced a different finding order:\n%v\nvs\n%v", round, again, first)
+		}
+	}
+
+	boom := &lint.Analyzer{
+		Name: "boom",
+		Doc:  "always errors",
+		Run:  func(p *lint.Pass) error { return fmt.Errorf("kaboom") },
+	}
+	if _, err := lint.Run(pkgs, []*lint.Analyzer{probe, boom}); err == nil {
+		t.Fatal("Run swallowed an analyzer error")
+	} else if !strings.Contains(err.Error(), "kaboom") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error %q does not carry the analyzer name and cause", err)
+	}
+}

@@ -1,0 +1,8 @@
+package noallocpkg
+
+// helper is tagged in a test file, where the plain build's escape analysis
+// cannot see it: the directive is reported as ignored instead of silently
+// rotting.
+//
+//soda:noalloc // want `//soda:noalloc on helper is ignored in test files`
+func helper() int { return 1 }

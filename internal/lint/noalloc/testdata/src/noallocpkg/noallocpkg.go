@@ -1,0 +1,82 @@
+// Package noallocpkg exercises the noalloc analyzer: true positives carry
+// want comments, everything else is the false-positive-avoidance corpus.
+package noallocpkg
+
+// Sum is allocation-free: nothing here can escape.
+//
+//soda:noalloc
+func Sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Grow returns a fresh slice: the make escapes.
+//
+//soda:noalloc
+func Grow(n int) []int {
+	return make([]int, n) // want `heap allocation in //soda:noalloc function Grow: make\(\[\]int, n\) escapes to heap`
+}
+
+// Escape leaks a local's address, so the local moves to the heap.
+//
+//soda:noalloc
+func Escape() *int {
+	x := 42 // want `heap allocation in //soda:noalloc function Escape: moved to heap: x`
+	return &x
+}
+
+// Closure builds an escaping func value.
+//
+//soda:noalloc
+func Closure(n int) func() int {
+	return func() int { return n } // want `heap allocation in //soda:noalloc function Closure: func literal escapes to heap`
+}
+
+// Scratch allocates a buffer the compiler keeps on the stack: the -m output
+// says "does not escape", which is not a finding.
+//
+//soda:noalloc
+func Scratch(xs []int) int {
+	buf := make([]int, 8)
+	for i, v := range xs {
+		buf[i&7] += v
+	}
+	return buf[0]
+}
+
+// Fill mutates a caller-owned slice in place: allocation-free.
+//
+//soda:noalloc
+func Fill(dst []int, v int) []int {
+	for i := range dst {
+		dst[i] = v
+	}
+	return dst
+}
+
+// Untagged allocates freely; without the directive there is nothing to
+// check.
+func Untagged(n int) []int {
+	return make([]int, n)
+}
+
+// Counter carries the method-shaped cases.
+type Counter struct{ n int }
+
+// Inc is allocation-free.
+//
+//soda:noalloc
+func (c *Counter) Inc() { c.n++ }
+
+// Box converts to an interface, which heap-allocates the boxed value.
+//
+//soda:noalloc
+func (c *Counter) Box() any {
+	return c.n // want `heap allocation in //soda:noalloc function \(Counter\)\.Box: c\.n escapes to heap`
+}
+
+//soda:noalloc // want `//soda:noalloc must be the doc comment of a function declaration`
+type Misplaced struct{ n int }

@@ -304,6 +304,8 @@ func (r *SessionRecorder) RecordDecision(ev *DecisionEvent) {
 // variant of RecordDecision. Every Start must be paired with exactly one
 // Commit before the next Start (or Finish). Returns nil on a nil recorder;
 // callers on the hot path already guard.
+//
+//soda:noalloc
 func (r *SessionRecorder) Start() *DecisionEvent {
 	if r == nil {
 		return nil
@@ -316,6 +318,8 @@ func (r *SessionRecorder) Start() *DecisionEvent {
 }
 
 // Commit records the event claimed by the matching Start.
+//
+//soda:noalloc
 func (r *SessionRecorder) Commit() {
 	if r == nil {
 		return

@@ -63,9 +63,11 @@ type DecisionEvent struct {
 // recorder batch path amortises the lock over many events, so the ring never
 // allocates after construction.
 type Ring struct {
-	mu   sync.Mutex
+	mu sync.Mutex
+	//soda:guard mu
 	buf  []DecisionEvent
 	mask uint64
+	//soda:guard mu
 	next uint64 // total events ever appended
 }
 
@@ -87,6 +89,8 @@ func NewRing(capacity int) *Ring {
 }
 
 // Append records one event, overwriting the oldest once full.
+//
+//soda:noalloc
 func (r *Ring) Append(ev DecisionEvent) {
 	r.mu.Lock()
 	r.buf[r.next&r.mask] = ev
@@ -96,6 +100,8 @@ func (r *Ring) Append(ev DecisionEvent) {
 
 // AppendBatch records a slice of events under one lock acquisition — the
 // SessionRecorder flush path.
+//
+//soda:noalloc
 func (r *Ring) AppendBatch(evs []DecisionEvent) {
 	if len(evs) == 0 {
 		return
@@ -122,6 +128,7 @@ func (r *Ring) Total() uint64 {
 	return r.next
 }
 
+//soda:locked mu
 func (r *Ring) held() int {
 	if r.next < uint64(len(r.buf)) {
 		return int(r.next)

@@ -193,9 +193,11 @@ type family struct {
 // existing instrument; re-registering a name with a different kind, unit or
 // bucket layout panics (it is a programming error, not a runtime condition).
 type Registry struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	//soda:guard mu
 	families map[string]*family
-	order    []string
+	//soda:guard mu
+	order []string
 }
 
 // NewRegistry returns an empty registry.
