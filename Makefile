@@ -4,14 +4,19 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test conformance smoke cover bench bench-gate fuzz build build386 vuln
+.PHONY: all ci lint test test-shuffle conformance smoke session-race cover bench bench-gate loadgen-gate fuzz build buildrelease build386 vuln
 
 all: lint test
 
-ci: lint build build386 test conformance smoke cover fuzz bench-gate vuln
+ci: lint build buildrelease build386 test test-shuffle conformance smoke session-race cover fuzz loadgen-gate bench-gate vuln
 
 build:
 	$(GO) build ./...
+
+# buildrelease keeps the trimpath release build green so a tagged build can
+# never fail for flag reasons alone.
+buildrelease:
+	GOFLAGS=-trimpath $(GO) build ./...
 
 # build386 cross-compiles for a real 32-bit target, backing the atomicfield
 # analyzer's 64-bit alignment findings with an actual GOARCH=386 layout.
@@ -30,6 +35,11 @@ lint:
 test:
 	$(GO) test -race ./...
 
+# test-shuffle randomises test order to flush out inter-test state leaks;
+# the seed prints on failure for replay with -shuffle=<seed>.
+test-shuffle:
+	$(GO) test -shuffle=on ./...
+
 # conformance re-runs the shared solve-cache, decision-table and telemetry
 # bit-identity contracts under the race detector on their own, so a cache,
 # table or telemetry regression fails with a named step even though
@@ -44,6 +54,14 @@ conformance:
 smoke:
 	$(GO) test -race -run 'TestServerEndpointSmoke' ./cmd/soda-server
 
+# session-race re-runs the control plane's lifecycle paths under the race
+# detector on their own: sharded session-table TTL sweeps, token-bucket
+# admission, inflight shedding, graceful drain, and the conformance proof
+# that idle eviction never changes decisions.
+session-race:
+	$(GO) test -race ./internal/sessiontable
+	$(GO) test -race -run 'TestSessionTableConformance|TestSessionChurnSteadyState|TestDecideService' ./internal/httpseg
+
 # cover fails when the statement coverage of a package listed in
 # cover_baseline.json drops below its committed floor.
 cover:
@@ -53,16 +71,25 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache,
-# decision-table and telemetry benchmarks with fixed iteration budgets and
-# writes BENCH_pr6.json. It fails if nodes/solve regresses more than 10%
-# against the committed bench_baseline.json, if allocs/op regresses at all
-# (the telemetry and decision-table hot paths are pinned at 0), if the
-# dataset-scale shared cache stops cutting solver invocations by at least
-# 2x, if attaching telemetry costs more than 5% ns/decision at dataset
-# scale, or if the compiled decision table stops beating the cached path by
-# at least 5x per decision.
+# decision-table, telemetry and session-table benchmarks with fixed
+# iteration budgets and writes BENCH_pr8.json. It fails if nodes/solve
+# regresses more than 10% against the committed bench_baseline.json, if
+# allocs/op regresses at all (the telemetry, decision-table and session
+# decide hot paths are pinned at 0), if the dataset-scale shared cache stops
+# cutting solver invocations by at least 2x, if attaching telemetry costs
+# more than 5% ns/decision at dataset scale, if the compiled decision table
+# stops beating the cached path by at least 5x per decision, or if the
+# embedded open-loop loadgen run breaches the p99 decide-latency or
+# rejection thresholds in the baseline's LoadgenOpenLoop entry.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr6.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr8.json
+
+# loadgen-gate is the standalone loadgen smoke + p99 gate: open-loop Poisson
+# arrivals against an in-process DecideService at fleet scale, gated on the
+# LoadgenOpenLoop thresholds recorded in bench_baseline.json.
+loadgen-gate:
+	$(GO) run ./cmd/soda-loadgen -mode open -sessions 50000 -requests 75000 -rps 40000 \
+		-session-memo -1 -baseline bench_baseline.json -out BENCH_pr8_loadgen.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

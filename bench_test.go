@@ -21,6 +21,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/httpseg"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -822,6 +823,41 @@ func BenchmarkOracleGap(b *testing.B) {
 		b.ReportMetric(res.RealizedFraction["soda"], "soda-fraction-of-oracle")
 		if i == 0 {
 			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkSessionTableDecide measures the full control-plane decide path —
+// rate-limit check, in-flight semaphore, session-table acquire, the decide
+// critical section, release, latency histogram — on a warm session with the
+// compiled tables and shared cache on. This is soda-server's steady state,
+// and it must stay allocation-free: per-decide garbage is what caps how many
+// concurrent sessions one host can carry (gated at 0 allocs/op in
+// bench_baseline.json).
+func BenchmarkSessionTableDecide(b *testing.B) {
+	svc, err := httpseg.NewDecideService(video.Prototype(), httpseg.DecideOptions{
+		CacheEntries:       1 << 12,
+		TableQuantum:       0.5,
+		SessionMemoEntries: -1, // the fleet-scale setting
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httpseg.DecideRequest{
+		Session:    "bench",
+		Buffer:     units.Seconds(8),
+		Throughput: units.Mbps(1.5), // in the compiled table's domain
+		Segment:    -1,
+	}
+	if res := svc.Decide(&req); res.Status != httpseg.StatusOK {
+		b.Fatalf("warmup decide rejected: %d", res.Status)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Buffer = units.Seconds(float64(i&15) + 2)
+		if res := svc.Decide(&req); res.Status != httpseg.StatusOK {
+			b.Fatalf("decide rejected: %d", res.Status)
 		}
 	}
 }

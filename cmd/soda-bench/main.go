@@ -4,9 +4,9 @@
 // parsed results as JSON, and fails when a deterministic performance
 // property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr6.json
+//	go run ./cmd/soda-bench -out BENCH_pr8.json
 //
-// Five gates are enforced:
+// Five benchmark gates are enforced:
 //
 //   - nodes/solve (and nodes/op for the isolated CostModel.Solve benchmarks)
 //     must stay within -tolerance (default 10%) of the committed baseline —
@@ -35,10 +35,22 @@
 // ns/op is recorded in the JSON for human inspection but never gated: it
 // moves with runner hardware.
 //
+// Two control-plane gates ride along:
+//
+//   - the full control-plane decide path (BenchmarkSessionTableDecide) must
+//     stay at 0 allocs/op — the steady state that lets one host carry tens
+//     of thousands of sessions.
+//   - an in-process open-loop load run (internal/loadgen, 50k concurrent
+//     sessions by default) must meet the p99 decide-latency and rejection
+//     thresholds recorded in the baseline's LoadgenOpenLoop entry
+//     (-max-p99-decide-ms overrides the p99 threshold; -loadgen-requests 0
+//     skips the run).
+//
 // The baseline (bench_baseline.json) maps benchmark name to its gated
 // {nodes_per_solve, allocs_per_op}. A baseline entry that no longer appears
 // in the benchmark output fails the gate: a silently vanished benchmark must
-// not read as a pass.
+// not read as a pass. The special LoadgenOpenLoop entry instead carries
+// {max_p99_decide_ms, max_rejected_pct} and gates the load run.
 package main
 
 import (
@@ -51,6 +63,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/httpseg"
+	"repro/internal/loadgen"
+	"repro/internal/video"
 )
 
 // Result is the aggregated measurement of one benchmark across -count runs.
@@ -87,13 +103,24 @@ type Report struct {
 	TelemetryBenchtime string   `json:"telemetry_benchtime,omitempty"`
 	TablePattern       string   `json:"table_pattern,omitempty"`
 	TableBenchtime     string   `json:"table_benchtime,omitempty"`
+	SessionPattern     string   `json:"session_pattern,omitempty"`
+	SessionBenchtime   string   `json:"session_benchtime,omitempty"`
 	Benchmarks         []Result `json:"benchmarks"`
+	// Loadgen is the in-process open-loop load run feeding the p99 gate.
+	Loadgen *loadgen.Report `json:"loadgen,omitempty"`
 }
 
-// BaselineEntry carries the gated metrics of one benchmark.
+// BaselineEntry carries the gated metrics of one benchmark — or, on the
+// special LoadgenOpenLoop entry (recognised by MaxP99DecideMs > 0), the
+// thresholds of the load-run gate.
 type BaselineEntry struct {
 	NodesPerSolve float64 `json:"nodes_per_solve"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
+	// MaxP99DecideMs gates the loadgen run's p99 decide latency; a positive
+	// value marks the entry as a load-run threshold, not a benchmark.
+	MaxP99DecideMs float64 `json:"max_p99_decide_ms,omitempty"`
+	// MaxRejectedPct bounds the loadgen run's rejection percentage.
+	MaxRejectedPct float64 `json:"max_rejected_pct"`
 }
 
 func main() {
@@ -116,7 +143,15 @@ func main() {
 	tableBenchtime := flag.String("table-benchtime", "50000x", "iteration budget for the decision-table benchmark")
 	minTableSpeedup := flag.Float64("min-table-speedup", 5.0,
 		"required cached-path ns/decision over table-path ns/op ratio (0 disables)")
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	sessionPattern := flag.String("session-pattern", "BenchmarkSessionTableDecide$",
+		"control-plane decide benchmark pattern (empty skips the run; its 0 allocs/op floor lives in the baseline)")
+	sessionBenchtime := flag.String("session-benchtime", "20000x", "iteration budget for the control-plane decide benchmark")
+	loadgenSessions := flag.Int("loadgen-sessions", 50000, "concurrent sessions for the in-process load run")
+	loadgenRequests := flag.Int("loadgen-requests", 75000, "request budget for the in-process load run (0 skips the run and its gate)")
+	loadgenRPS := flag.Float64("loadgen-rps", 40000, "open-loop arrival rate for the in-process load run")
+	maxP99DecideMs := flag.Float64("max-p99-decide-ms", 0,
+		"p99 decide-latency gate for the load run in ms (0 takes the baseline's LoadgenOpenLoop entry)")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
@@ -155,6 +190,26 @@ func main() {
 		report.TableBenchtime = *tableBenchtime
 		report.Benchmarks = append(report.Benchmarks, parse(tableRaw).Benchmarks...)
 	}
+	if *sessionPattern != "" {
+		sessionRaw := runBench(*sessionPattern, *sessionBenchtime, *count)
+		report.SessionPattern = *sessionPattern
+		report.SessionBenchtime = *sessionBenchtime
+		report.Benchmarks = append(report.Benchmarks, parse(sessionRaw).Benchmarks...)
+	}
+
+	baseline, err := readBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
+		os.Exit(2)
+	}
+
+	var loadgenFailures []string
+	if *loadgenRequests > 0 {
+		rep, failures := runLoadgen(*loadgenSessions, *loadgenRequests, *loadgenRPS,
+			*maxP99DecideMs, baseline)
+		report.Loadgen = rep
+		loadgenFailures = failures
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -167,12 +222,8 @@ func main() {
 	}
 	fmt.Printf("soda-bench: wrote %s (%d benchmarks)\n", *out, len(report.Benchmarks))
 
-	baseline, err := readBaseline(*baselinePath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "soda-bench: %v\n", err)
-		os.Exit(2)
-	}
 	failures := gate(report, baseline, *tolerance)
+	failures = append(failures, loadgenFailures...)
 	if *cachePattern != "" && *minCacheReduction > 0 {
 		failures = append(failures, gateCacheReduction(report, *minCacheReduction)...)
 	}
@@ -200,6 +251,54 @@ func main() {
 	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
 		fmt.Printf("soda-bench: compiled decision table beats the cached path by >= %.1fx per decision\n", *minTableSpeedup)
 	}
+	if report.Loadgen != nil {
+		fmt.Printf("soda-bench: loadgen sustained %d sessions at %.0f rps with p99 %.3f ms (%.2f%% rejected)\n",
+			report.Loadgen.Sessions, report.Loadgen.AchievedRPS, report.Loadgen.P99Ms, report.Loadgen.RejectedPct)
+	}
+}
+
+// loadgenBaselineName is the baseline entry carrying the load-run thresholds.
+const loadgenBaselineName = "LoadgenOpenLoop"
+
+// runLoadgen drives the in-process open-loop load run and gates it against
+// the baseline's LoadgenOpenLoop thresholds (p99 overridable by flag). The
+// fleet-scale configuration is deliberate: per-session memos disabled, the
+// shared cache and compiled tables carrying the hot path, the session cap
+// sized to the run.
+func runLoadgen(sessions, requests int, rps, maxP99Override float64, baseline map[string]BaselineEntry) (*loadgen.Report, []string) {
+	thresholds, ok := baseline[loadgenBaselineName]
+	if !ok {
+		return nil, []string{fmt.Sprintf("%s: threshold entry missing from baseline", loadgenBaselineName)}
+	}
+	maxP99 := thresholds.MaxP99DecideMs
+	if maxP99Override > 0 {
+		maxP99 = maxP99Override
+	}
+	svc, err := httpseg.NewDecideService(video.Prototype(), httpseg.DecideOptions{
+		CacheEntries:       1 << 16,
+		TableQuantum:       0.5,
+		MaxSessions:        sessions + sessions/8,
+		SessionMemoEntries: -1,
+	}, nil)
+	if err != nil {
+		return nil, []string{fmt.Sprintf("loadgen: building decide service: %v", err)}
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Mode:     loadgen.OpenLoop,
+		Sessions: sessions,
+		Requests: requests,
+		RPS:      rps,
+		Seed:     8,
+	}, &loadgen.InProc{Svc: svc})
+	if err != nil {
+		return nil, []string{fmt.Sprintf("loadgen: %v", err)}
+	}
+	fmt.Printf("soda-bench: loadgen open loop: %d sessions, %d requests, p50 %.3f ms, p99 %.3f ms, p999 %.3f ms\n",
+		rep.Sessions, rep.Requests, rep.P50Ms, rep.P99Ms, rep.P999Ms)
+	if err := rep.Gate(maxP99, thresholds.MaxRejectedPct); err != nil {
+		return &rep, []string{err.Error()}
+	}
+	return &rep, nil
 }
 
 // runBench executes one `go test -bench` invocation and returns its output,
@@ -346,6 +445,10 @@ func gate(rep Report, baseline map[string]BaselineEntry, tolerance float64) []st
 	}
 	var failures []string
 	for name, base := range baseline {
+		if base.MaxP99DecideMs > 0 {
+			// A load-run threshold entry, not a benchmark; runLoadgen gates it.
+			continue
+		}
 		got, ok := measured[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in baseline but not in benchmark output", name))

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunInProcess drives the CLI end to end against an in-process service:
+// report written, gate evaluated, both modes and both gate outcomes.
+func TestRunInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	err := run([]string{
+		"-mode", "open", "-sessions", "50", "-requests", "500", "-rps", "50000",
+		"-seed", "7", "-out", out, "-max-p99-ms", "1000", "-max-rejected-pct", "0",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatalf("open-loop run failed: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Mode     string `json:"mode"`
+		Requests uint64 `json:"requests"`
+		OK       uint64 `json:"ok"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, raw)
+	}
+	if rep.Mode != "open" || rep.Requests != 500 || rep.OK != 500 {
+		t.Errorf("report = %+v", rep)
+	}
+
+	// An impossible p99 threshold must fail the run.
+	err = run([]string{"-sessions", "4", "-requests", "100", "-max-p99-ms", "0.000001"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "p99") {
+		t.Errorf("impossible p99 gate did not fail: %v", err)
+	}
+}
+
+// TestBaselineThresholds covers the -baseline path: thresholds come from the
+// repo's bench baseline, and a gate sourced that way still fires.
+func TestBaselineThresholds(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(good, []byte(`{"LoadgenOpenLoop": {"max_p99_decide_ms": 50.0, "max_rejected_pct": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p99, rejected, err := baselineThresholds(good)
+	if err != nil || p99 != 50.0 || rejected != 0 {
+		t.Fatalf("baselineThresholds = %v, %v, %v", p99, rejected, err)
+	}
+
+	missing := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(missing, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := baselineThresholds(missing); err == nil {
+		t.Error("baseline without LoadgenOpenLoop accepted")
+	}
+
+	// A baseline-sourced rejection gate must fail a run that rejects traffic:
+	// one client, rate limit 1 rps, so most of the 50 requests are 429s.
+	strict := filepath.Join(dir, "strict.json")
+	if err := os.WriteFile(strict, []byte(`{"LoadgenOpenLoop": {"max_p99_decide_ms": 10000.0, "max_rejected_pct": 0}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-sessions", "1", "-requests", "50", "-rps-per-client", "1", "-baseline", strict}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("baseline rejection gate did not fail: %v", err)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-mode", "bogus"},
+		{"-profile", "bogus"},
+		{"-ladder", "bogus"},
+		{"-requests", "0"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -47,6 +47,12 @@ func main() {
 	httpAddr := flag.String("http", "", "also serve HTTP: DASH transport, /decide, /metrics, /debug/decisions")
 	decideCache := flag.Int("decide-cache", 1<<16, "shared solve-cache entries for /decide sessions (0 disables)")
 	tableQuantum := flag.Float64("decide-table-quantum", 0.5, "compiled decision-table quantum for /decide sessions, seconds and Mb/s per cell (0 disables)")
+	maxSessions := flag.Int("max-sessions", httpseg.DefaultMaxSessions, "concurrent /decide session cap; new sessions beyond it are shed with 503")
+	sessionTTL := flag.Duration("session-ttl", httpseg.DefaultSessionTTL, "evict /decide sessions idle this long (<= 0 disables eviction)")
+	maxInflight := flag.Int("max-inflight", httpseg.DefaultMaxInflight, "concurrent in-flight /decide bound; excess load is shed with 503 (< 0 unbounded)")
+	rpsPerClient := flag.Float64("rps-per-client", 0, "per-client /decide rate limit in requests/s, 2x burst (0 disables)")
+	sweepEvery := flag.Duration("sweep-interval", 30*time.Second, "session/limiter idle-sweep cadence")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait for in-flight decides on shutdown")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -93,6 +99,7 @@ func main() {
 	defer stop()
 
 	var httpSrv *http.Server
+	var svc *httpseg.DecideService
 	if *httpAddr != "" {
 		// -telemetry reuses the same collector, so the exit snapshot matches
 		// what /metrics served.
@@ -100,10 +107,19 @@ func main() {
 		if col == nil {
 			col = telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
 		}
-		mux, err := introspectionMux(ladder, *segments, *decideCache, *tableQuantum, col)
+		opts := httpseg.DecideOptions{
+			CacheEntries: *decideCache,
+			TableQuantum: *tableQuantum,
+			MaxSessions:  *maxSessions,
+			SessionTTL:   *sessionTTL,
+			MaxInflight:  *maxInflight,
+			RPSPerClient: *rpsPerClient,
+		}
+		mux, decide, err := introspectionMux(ladder, *segments, opts, col)
 		if err != nil {
 			logger.Fatal(err)
 		}
+		svc = decide
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			logger.Fatal(err)
@@ -114,12 +130,39 @@ func main() {
 				logger.Printf("http: %v", err)
 			}
 		}()
+		if *sweepEvery > 0 {
+			go func() {
+				ticker := time.NewTicker(*sweepEvery)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case now := <-ticker.C:
+						if evicted := svc.SweepSessions(now); evicted > 0 {
+							logger.Printf("swept %d idle sessions", evicted)
+						}
+					}
+				}
+			}()
+		}
 		fmt.Printf("introspection on http://%s (/manifest.mpd /segment /decide /metrics /debug/decisions)\n", httpLn.Addr())
 	}
 
 	fmt.Printf("serving %d segments of the %s ladder on %s\n", *segments, *ladderName, ln.Addr())
 	serveErr := srv.Serve(ctx, listener)
 	if httpSrv != nil {
+		// Graceful drain: stop admitting /decide work, wait for in-flight
+		// decides to finish, flush telemetry via the profiling snapshot below,
+		// and report what was drained.
+		if svc != nil {
+			sessions, clean := svc.Drain(*drainTimeout)
+			if clean {
+				logger.Printf("drained %d sessions cleanly", sessions)
+			} else {
+				logger.Printf("drain timed out with %d sessions; in-flight decides abandoned", sessions)
+			}
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		_ = httpSrv.Shutdown(shutCtx)
 		cancel()
@@ -137,22 +180,22 @@ func main() {
 // the root, server-side SODA at /decide, and the live introspection
 // endpoints. All decision recording happens in the /decide handler after the
 // controller returns; /metrics only reads, plus pull-only gauge refreshes.
-func introspectionMux(ladder video.Ladder, segments, decideCacheEntries int, tableQuantum float64, col *telemetry.Collector) (*http.ServeMux, error) {
+func introspectionMux(ladder video.Ladder, segments int, opts httpseg.DecideOptions, col *telemetry.Collector) (*http.ServeMux, *httpseg.DecideService, error) {
 	seg, err := httpseg.NewServer(ladder, nil, segments)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	seg.Instrument(col.Registry)
-	svc, err := httpseg.NewDecideService(ladder, decideCacheEntries, tableQuantum, col)
+	svc, err := httpseg.NewDecideService(ladder, opts, col)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", seg)
 	mux.Handle("/decide", svc)
 	mux.Handle("/metrics", telemetry.MetricsHandler(col.Registry, svc.RefreshMetrics))
 	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(col.Ring))
-	return mux, nil
+	return mux, svc, nil
 }
 
 // writeMPDFile writes an MPEG-DASH MPD describing the stream to path.

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/httpseg"
 	"repro/internal/telemetry"
 	"repro/internal/video"
 )
@@ -22,7 +23,7 @@ import (
 // JSONL. This is the CI smoke gate for the observability surface.
 func TestServerEndpointSmoke(t *testing.T) {
 	col := telemetry.NewCollector(nil, 256)
-	mux, err := introspectionMux(video.Prototype(), 30, 1<<12, 0.5, col)
+	mux, _, err := introspectionMux(video.Prototype(), 30, httpseg.DecideOptions{CacheEntries: 1 << 12, TableQuantum: 0.5}, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,11 @@ func TestServerEndpointSmoke(t *testing.T) {
 		"soda_solver_nodes_total",
 		"soda_shared_cache_lookups_total",
 		"soda_server_shared_cache_entries",
-		"soda_server_sessions",
+		"soda_server_sessions_active",
+		"soda_server_inflight_decides",
+		"soda_server_evictions_total",
+		"soda_server_rejected_total",
+		"soda_server_decide_latency_seconds",
 		"soda_buffer_level_seconds",
 		"soda_decided_bitrate_mbps",
 		"soda_decide_latency_seconds",

@@ -5,102 +5,220 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"sync"
 	"time"
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/sessiontable"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/video"
 )
 
-// maxDecideSessions bounds the per-session controller table; the oldest
-// session is evicted FIFO once the table is full, so an id churn attack
-// cannot grow server memory without bound.
-const maxDecideSessions = 1024
-
 // defaultBufferCap is the buffer cap (seconds) a /decide request gets when it
 // does not pass cap=; the decision table for it is compiled at service start.
 const defaultBufferCap = 20.0
+
+// Control-plane defaults, overridable via DecideOptions (and the
+// corresponding soda-server flags).
+const (
+	// DefaultMaxSessions caps the session table when DecideOptions leaves
+	// MaxSessions zero.
+	DefaultMaxSessions = 1 << 16
+	// DefaultSessionTTL is the idle-eviction threshold when DecideOptions
+	// leaves SessionTTL zero.
+	DefaultSessionTTL = 5 * time.Minute
+	// DefaultMaxInflight bounds concurrent decides when DecideOptions leaves
+	// MaxInflight zero.
+	DefaultMaxInflight = 512
+)
+
+// DecideOptions parameterises the /decide control plane. The zero value gets
+// production defaults; explicit negatives disable the individual limits
+// where documented.
+type DecideOptions struct {
+	// CacheEntries sizes the shared solve cache (non-positive disables
+	// sharing).
+	CacheEntries int
+	// TableQuantum enables the compiled decision tables at that quantization
+	// step (non-positive disables them).
+	TableQuantum float64
+	// MaxSessions caps the live session table; 0 means DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL is the idle-eviction threshold of the session table;
+	// 0 means DefaultSessionTTL, negative disables idle eviction.
+	SessionTTL time.Duration
+	// MaxInflight bounds concurrent decides (excess requests are shed with
+	// 503 + Retry-After); 0 means DefaultMaxInflight, negative disables the
+	// bound.
+	MaxInflight int
+	// RPSPerClient enables per-client token-bucket rate limiting at that
+	// sustained request rate (429 + Retry-After when exhausted); non-positive
+	// disables limiting.
+	RPSPerClient float64
+	// BurstPerClient is the token-bucket burst capacity; non-positive
+	// defaults to 2x RPSPerClient.
+	BurstPerClient float64
+	// SessionMemoEntries sizes each session controller's private decide
+	// memo: 0 keeps the core default (512 entries, ~16 KB/session), negative
+	// disables the memo entirely — the fleet-scale setting, where the shared
+	// cache and compiled tables carry the hot path and per-session memory is
+	// what limits session count. The memo is a bit-identical cache, so this
+	// knob never changes decisions.
+	SessionMemoEntries int
+}
+
+// normalize fills in defaults.
+func (o DecideOptions) normalize() DecideOptions {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = DefaultMaxSessions
+	}
+	if o.SessionTTL == 0 {
+		o.SessionTTL = DefaultSessionTTL
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.RPSPerClient > 0 && o.BurstPerClient <= 0 {
+		o.BurstPerClient = 2 * o.RPSPerClient
+	}
+	return o
+}
 
 // DecideService runs server-side SODA: clients report their playback state
 // (`GET /decide?session=...&buffer=...&throughput=...`) and receive the rung
 // the controller picks. Each session id gets its own controller so decisions
 // stay a pure function of that session's history; all sessions share one
-// fleet solve cache. Every decision is recorded on the telemetry collector —
-// from here, the call site, after Decide returns — which is what makes
-// soda-server's /metrics and /debug/decisions show live solver traffic.
+// fleet solve cache and decision-table set.
+//
+// Session lifecycle is owned by the sessiontable control plane: a sharded
+// table with idle (TTL) eviction, per-client token-bucket admission, a
+// bounded in-flight semaphore for backpressure, and graceful drain. The
+// table only manages lifecycle — solver inputs come exclusively from the
+// request and the session's own history — so eviction and recreation can
+// never change a decision (TestSessionTableConformance pins this).
+//
+// Every decision is recorded on the telemetry collector — from here, the
+// call site, after Decide returns — which is what makes soda-server's
+// /metrics and /debug/decisions show live solver traffic.
 type DecideService struct {
 	ladder       video.Ladder
 	cache        *core.SolveCache
 	tables       *core.DecisionTables
 	tableQuantum float64
+	memoEntries  int
 	col          *telemetry.Collector
 
-	mu sync.Mutex
-	//soda:guard mu
-	sessions map[string]*decideSession
-	//soda:guard mu
-	order []string // insertion order, for FIFO eviction
-	//soda:guard mu
-	nextID int
+	sessions *sessiontable.Table
+	limiter  *sessiontable.Limiter
+	inflight *sessiontable.Semaphore
+	ttl      time.Duration
 
 	cacheEntries  *telemetry.Gauge
 	cacheCapacity *telemetry.Gauge
 	liveSessions  *telemetry.Gauge
+	inflightGauge *telemetry.Gauge
 	tableCount    *telemetry.Gauge
 	tableCells    *telemetry.Gauge
+
+	evictions        *telemetry.Counter
+	rejectedRate     *telemetry.Counter
+	rejectedLoad     *telemetry.Counter
+	rejectedCapacity *telemetry.Counter
+	rejectedDraining *telemetry.Counter
+	decideLatency    *telemetry.Histogram
 }
 
+// decideSession is one session's controller state, stored as the
+// sessiontable entry value and accessed under the entry's lock.
 type decideSession struct {
-	id       int
 	ctrl     *core.Controller
 	prevRung int
 	segment  int
 }
 
-// NewDecideService builds the service. cacheEntries sizes the shared solve
-// cache (non-positive disables sharing); tableQuantum enables the compiled
-// decision tables at that quantization step (non-positive disables them);
-// col may be nil to run unobserved. With tables enabled, the table for the
-// handler's default buffer cap is compiled eagerly here so the first session
-// does not pay the compile on its first request; per-request caps compile
-// lazily (bounded by the table budget — excess identities become
-// fallback-only stubs, so cap churn cannot grow server memory or CPU
-// without bound).
-func NewDecideService(ladder video.Ladder, cacheEntries int, tableQuantum float64, col *telemetry.Collector) (*DecideService, error) {
+// decideLatencyBuckets resolve the p99 regime of the serving path: the
+// decide critical section is single-digit microseconds, the control-plane
+// wrapper tens of microseconds under contention, and anything in the
+// millisecond range is a regression the CI p99 gate must see.
+var decideLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1,
+}
+
+// NewDecideService builds the service. col may be nil to run unobserved (the
+// instruments then live on a private, unexported registry). With tables
+// enabled, the table for the handler's default buffer cap is compiled
+// eagerly here so the first session does not pay the compile on its first
+// request; per-request caps compile lazily (bounded by the table budget —
+// excess identities become fallback-only stubs, so cap churn cannot grow
+// server memory or CPU without bound).
+func NewDecideService(ladder video.Ladder, opts DecideOptions, col *telemetry.Collector) (*DecideService, error) {
 	if ladder.Len() == 0 {
 		return nil, fmt.Errorf("httpseg: decide service needs a non-empty ladder")
 	}
+	opts = opts.normalize()
 	s := &DecideService{
 		ladder:       ladder,
-		tableQuantum: tableQuantum,
+		tableQuantum: opts.TableQuantum,
+		memoEntries:  opts.SessionMemoEntries,
 		col:          col,
-		sessions:     map[string]*decideSession{},
+		ttl:          opts.SessionTTL,
 	}
-	if cacheEntries > 0 {
-		s.cache = core.NewSolveCache(cacheEntries)
+	ttlNanos := opts.SessionTTL.Nanoseconds()
+	if opts.SessionTTL < 0 {
+		ttlNanos = 0
 	}
-	if tableQuantum > 0 {
+	s.sessions = sessiontable.New(sessiontable.Config{
+		MaxSessions: opts.MaxSessions,
+		TTLNanos:    ttlNanos,
+	})
+	if opts.RPSPerClient > 0 {
+		s.limiter = sessiontable.NewLimiter(opts.RPSPerClient, opts.BurstPerClient)
+	}
+	if opts.MaxInflight > 0 {
+		s.inflight = sessiontable.NewSemaphore(opts.MaxInflight)
+	}
+	if opts.CacheEntries > 0 {
+		s.cache = core.NewSolveCache(opts.CacheEntries)
+	}
+	if opts.TableQuantum > 0 {
 		s.tables = core.NewDecisionTables()
 		cfg := s.sessionConfig()
 		if _, err := s.tables.CompileTable(cfg, ladder, units.Seconds(defaultBufferCap)); err != nil {
 			return nil, fmt.Errorf("httpseg: compiling decision table: %w", err)
 		}
 	}
+	reg := telemetry.NewRegistry() // private sink when running unobserved
 	if col != nil {
-		s.cacheEntries = col.Registry.Gauge("soda_server_shared_cache_entries",
-			"live entries in the server's shared solve cache", telemetry.None)
-		s.cacheCapacity = col.Registry.Gauge("soda_server_shared_cache_capacity",
-			"capacity of the server's shared solve cache", telemetry.None)
-		s.liveSessions = col.Registry.Gauge("soda_server_sessions",
-			"decision sessions currently tracked", telemetry.None)
-		s.tableCount = col.Registry.Gauge("soda_server_decision_tables",
-			"compiled decision tables resident in the server's table set", telemetry.None)
-		s.tableCells = col.Registry.Gauge("soda_server_decision_table_cells",
-			"total compiled decision-table cells resident", telemetry.None)
+		reg = col.Registry
 	}
+	s.cacheEntries = reg.Gauge("soda_server_shared_cache_entries",
+		"live entries in the server's shared solve cache", telemetry.None)
+	s.cacheCapacity = reg.Gauge("soda_server_shared_cache_capacity",
+		"capacity of the server's shared solve cache", telemetry.None)
+	s.liveSessions = reg.Gauge("soda_server_sessions_active",
+		"decision sessions currently tracked", telemetry.None)
+	s.inflightGauge = reg.Gauge("soda_server_inflight_decides",
+		"decides currently holding an in-flight slot", telemetry.None)
+	s.tableCount = reg.Gauge("soda_server_decision_tables",
+		"compiled decision tables resident in the server's table set", telemetry.None)
+	s.tableCells = reg.Gauge("soda_server_decision_table_cells",
+		"total compiled decision-table cells resident", telemetry.None)
+	s.evictions = reg.Counter("soda_server_evictions_total",
+		"sessions evicted after idling past the TTL", telemetry.None)
+	rejected := func(reason string) *telemetry.Counter {
+		return reg.Counter("soda_server_rejected_total",
+			"decide requests shed by the control plane, by reason", telemetry.None,
+			telemetry.Label{Key: "reason", Value: reason})
+	}
+	s.rejectedRate = rejected("ratelimit")
+	s.rejectedLoad = rejected("inflight")
+	s.rejectedCapacity = rejected("capacity")
+	s.rejectedDraining = rejected("draining")
+	s.decideLatency = reg.Histogram("soda_server_decide_latency_seconds",
+		"wall-clock latency of the full /decide control-plane path", telemetry.USeconds,
+		decideLatencyBuckets)
 	return s, nil
 }
 
@@ -111,15 +229,17 @@ func (s *DecideService) sessionConfig() core.Config {
 	cfg.SharedCache = s.cache
 	cfg.DecisionTable = s.tables
 	cfg.TableQuantum = s.tableQuantum
+	if s.memoEntries > 0 {
+		cfg.SolveMemoSize = s.memoEntries
+	} else if s.memoEntries < 0 {
+		cfg.SolveMemoSize = 0
+	}
 	return cfg
 }
 
 // RefreshMetrics updates the pull-only gauges (cache occupancy, live session
-// count); MetricsHandler runs it as an onScrape hook.
+// count, in-flight decides); MetricsHandler runs it as an onScrape hook.
 func (s *DecideService) RefreshMetrics() {
-	if s.col == nil {
-		return
-	}
 	if s.cache != nil {
 		st := s.cache.Stats()
 		s.cacheEntries.Set(float64(st.Entries))
@@ -130,87 +250,152 @@ func (s *DecideService) RefreshMetrics() {
 		s.tableCount.Set(float64(st.Tables))
 		s.tableCells.Set(float64(st.Cells))
 	}
-	s.mu.Lock()
-	n := len(s.sessions)
-	s.mu.Unlock()
-	s.liveSessions.Set(float64(n))
+	s.liveSessions.Set(float64(s.sessions.Len()))
+	s.inflightGauge.Set(float64(s.inflight.InFlight()))
 }
 
-// decideReply is the JSON response of one /decide call.
-type decideReply struct {
-	Session     int     `json:"session"`
-	Segment     int     `json:"segment"`
-	Rung        int     `json:"rung"`
-	BitrateMbps float64 `json:"bitrate_mbps"`
-	WaitSeconds float64 `json:"wait_s,omitempty"`
+// SweepSessions evicts sessions idle past the TTL and idle rate-limit
+// buckets, and returns the session eviction count. The server runs it
+// periodically; harnesses embedding the service in-process call it at their
+// own cadence.
+func (s *DecideService) SweepSessions(now time.Time) int {
+	n := s.sessions.Sweep(now.UnixNano())
+	if n > 0 {
+		s.evictions.Add(float64(n))
+	}
+	idle := s.ttl.Nanoseconds()
+	if idle <= 0 {
+		idle = time.Minute.Nanoseconds()
+	}
+	s.limiter.Sweep(now.UnixNano(), idle)
+	return n
 }
 
-// ServeHTTP implements the /decide endpoint.
-func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-		return
+// Drain stops admission (every subsequent decide is shed with 503), waits up
+// to timeout for in-flight decides to finish, and returns the live session
+// count at drain time plus whether the in-flight work fully drained — the
+// numbers soda-server reports on SIGTERM.
+func (s *DecideService) Drain(timeout time.Duration) (sessions int, clean bool) {
+	sessions = s.sessions.Drain()
+	clean = s.inflight.DrainWait(timeout)
+	return sessions, clean
+}
+
+// SessionStats exposes the session-table lifecycle counters.
+func (s *DecideService) SessionStats() sessiontable.Stats { return s.sessions.Stats() }
+
+// DecideStatus classifies the outcome of one Decide call.
+type DecideStatus int
+
+// Decide outcomes. Every rejected status maps onto an HTTP response with a
+// Retry-After header; StatusOK carries a decision.
+const (
+	StatusOK DecideStatus = iota
+	// StatusRejectedRate: the client spent its token bucket (HTTP 429).
+	StatusRejectedRate
+	// StatusRejectedLoad: the in-flight bound is saturated (HTTP 503).
+	StatusRejectedLoad
+	// StatusRejectedCapacity: the session table is full (HTTP 503).
+	StatusRejectedCapacity
+	// StatusRejectedDraining: the server is draining (HTTP 503).
+	StatusRejectedDraining
+)
+
+// DecideRequest is one decide call in validated, typed form — the in-process
+// surface the load generator drives without HTTP parsing or encoding.
+type DecideRequest struct {
+	// Session names the session; Client is the rate-limit key (empty falls
+	// back to Session).
+	Session string
+	Client  string
+	// Buffer and Throughput are the reported player state.
+	Buffer     units.Seconds
+	Throughput units.Mbps
+	// BufferCap overrides the default buffer cap when positive.
+	BufferCap units.Seconds
+	// Segment overrides the session's segment index when non-negative.
+	Segment int
+	// Prev overrides the session's previous rung when HavePrev is set.
+	Prev     int
+	HavePrev bool
+}
+
+// DecideResult is the outcome of one Decide call.
+type DecideResult struct {
+	Status     DecideStatus
+	RetryAfter time.Duration // advisory backoff on rejection
+
+	SessionID   int64
+	Segment     int
+	Rung        int
+	BitrateMbps float64
+	WaitSeconds float64
+}
+
+// Decide runs the full control-plane path for one validated request:
+// admission (drain, rate limit), backpressure (in-flight bound), session
+// acquire, the per-session decide critical section, then telemetry from the
+// call site. The steady-state path performs no allocation (gated by
+// BenchmarkSessionTableDecide), which is what lets one host sustain tens of
+// thousands of concurrent sessions.
+func (s *DecideService) Decide(req *DecideRequest) DecideResult {
+	start := time.Now()
+	now := start.UnixNano()
+
+	client := req.Client
+	if client == "" {
+		client = req.Session
 	}
-	q := r.URL.Query()
-	sessionKey := q.Get("session")
-	if sessionKey == "" {
-		http.Error(w, "missing session parameter", http.StatusBadRequest)
-		return
+	if ok, retry := s.limiter.Allow(client, now); !ok {
+		s.rejectedRate.Inc()
+		return DecideResult{Status: StatusRejectedRate, RetryAfter: time.Duration(retry)}
 	}
-	buffer, err := parseNonNegative(q.Get("buffer"))
+	if !s.inflight.TryAcquire() {
+		s.rejectedLoad.Inc()
+		return DecideResult{Status: StatusRejectedLoad, RetryAfter: time.Second}
+	}
+	res := s.decideAdmitted(req, now)
+	s.inflight.Release()
+	if res.Status == StatusOK {
+		s.decideLatency.Observe(time.Since(start).Seconds())
+	}
+	return res
+}
+
+// decideAdmitted is the post-admission decide path: the caller holds an
+// in-flight slot.
+func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResult {
+	entry, err := s.sessions.Acquire(req.Session, now, s.newSession)
 	if err != nil {
-		http.Error(w, "buffer: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	throughput, err := parseNonNegative(q.Get("throughput"))
-	if err != nil {
-		http.Error(w, "throughput: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	bufferCap := defaultBufferCap
-	if v := q.Get("cap"); v != "" {
-		if bufferCap, err = parseNonNegative(v); err != nil || bufferCap <= 0 {
-			http.Error(w, "cap must be a positive number", http.StatusBadRequest)
-			return
+		if err == sessiontable.ErrDraining {
+			s.rejectedDraining.Inc()
+			return DecideResult{Status: StatusRejectedDraining, RetryAfter: time.Second}
 		}
+		s.rejectedCapacity.Inc()
+		return DecideResult{Status: StatusRejectedCapacity, RetryAfter: time.Second}
+	}
+	bufferCap := units.Seconds(defaultBufferCap)
+	if req.BufferCap > 0 {
+		bufferCap = req.BufferCap
 	}
 
-	segment := -1
-	if v := q.Get("segment"); v != "" {
-		seg, err := strconv.Atoi(v)
-		if err != nil || seg < 0 {
-			http.Error(w, "segment must be a non-negative integer", http.StatusBadRequest)
-			return
-		}
-		segment = seg
+	// Decisions serialise per session under the entry lock, which never
+	// covers I/O or channel operations: parameters were validated before
+	// admission, and reply encoding plus telemetry recording happen after
+	// the unlock. The solver itself is sub-microsecond, so the critical
+	// section stays short; distinct sessions proceed in parallel.
+	entry.Mu.Lock()
+	sess := entry.Value.(*decideSession)
+	if req.Segment >= 0 {
+		sess.segment = req.Segment
 	}
-	prevOverride, havePrev := 0, false
-	if v := q.Get("prev"); v != "" {
-		prev, err := strconv.Atoi(v)
-		if err != nil || prev < abr.NoRung || prev >= s.ladder.Len() {
-			http.Error(w, "prev out of range", http.StatusBadRequest)
-			return
-		}
-		prevOverride, havePrev = prev, true
+	if req.HavePrev {
+		sess.prevRung = req.Prev
 	}
-	omega := units.Mbps(throughput)
-
-	// Decisions serialise per session under the session-table lock, but the
-	// lock never covers I/O: every parameter is validated above, and the
-	// reply encoding and telemetry recording happen after the unlock — the
-	// guardedby invariant on the session table. The solver itself is
-	// sub-microsecond, so the critical section stays short.
-	s.mu.Lock()
-	sess := s.session(sessionKey)
-	if segment >= 0 {
-		sess.segment = segment
-	}
-	if havePrev {
-		sess.prevRung = prevOverride
-	}
+	omega := req.Throughput
 	ctx := &abr.Context{
-		Buffer:         units.Seconds(buffer),
-		BufferCap:      units.Seconds(bufferCap),
+		Buffer:         req.Buffer,
+		BufferCap:      bufferCap,
 		PrevRung:       sess.prevRung,
 		Ladder:         s.ladder,
 		SegmentIndex:   sess.segment,
@@ -224,31 +409,32 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	decision := sess.ctrl.Decide(ctx)
 	elapsed := time.Since(t0)
 
-	reply := decideReply{Session: sess.id, Segment: sess.segment, Rung: decision.Rung}
+	res := DecideResult{SessionID: entry.ID(), Segment: sess.segment, Rung: decision.Rung}
 	ev := telemetry.DecisionEvent{
-		Session:      int32(sess.id),
+		Session:      int32(entry.ID()),
 		Segment:      int32(sess.segment),
 		Rung:         int16(decision.Rung),
 		PrevRung:     int16(sess.prevRung),
-		Buffer:       units.Seconds(buffer),
+		Buffer:       req.Buffer,
 		Throughput:   omega,
 		SolveSeconds: units.Seconds(elapsed.Seconds()),
 		Timed:        true,
 	}
 	if decision.Rung == abr.NoRung {
-		reply.WaitSeconds = float64(decision.WaitSeconds)
+		res.WaitSeconds = float64(decision.WaitSeconds)
 		ev.WaitSeconds = decision.WaitSeconds
 	} else {
 		rung := s.ladder.ClampIndex(decision.Rung)
-		reply.Rung = rung
-		reply.BitrateMbps = float64(s.ladder.Mbps(rung))
+		res.Rung = rung
+		res.BitrateMbps = float64(s.ladder.Mbps(rung))
 		ev.Rung = int16(rung)
 		ev.Bitrate = s.ladder.Mbps(rung)
 		sess.prevRung = rung
 		sess.segment++
 	}
 	d := sess.ctrl.SolveStats().Delta(before)
-	s.mu.Unlock()
+	entry.Mu.Unlock()
+	s.sessions.Release(entry, time.Now().UnixNano())
 
 	ev.Solves, ev.Nodes = uint32(d.Solves), uint32(d.Nodes)
 	ev.MemoHits, ev.SharedHits = uint32(d.MemoHits), uint32(d.SharedHits)
@@ -261,32 +447,108 @@ func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		TableLookups: d.TableLookups, TableHits: d.TableHits,
 		TableFallbacks: d.TableFallbacks,
 	})
-
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(reply) // a failed write means the client hung up
+	return res
 }
 
-// session returns the state for key, creating (and FIFO-evicting) as needed.
-// Callers hold s.mu.
-//
-//soda:locked mu
-func (s *DecideService) session(key string) *decideSession {
-	if sess, ok := s.sessions[key]; ok {
-		return sess
-	}
-	if len(s.order) >= maxDecideSessions {
-		delete(s.sessions, s.order[0])
-		s.order = s.order[1:]
-	}
-	sess := &decideSession{
-		id:       s.nextID,
+// newSession is the sessiontable create callback.
+func (s *DecideService) newSession(int64) any {
+	return &decideSession{
 		ctrl:     core.New(s.sessionConfig(), s.ladder),
 		prevRung: abr.NoRung,
 	}
-	s.nextID++
-	s.sessions[key] = sess
-	s.order = append(s.order, key)
-	return sess
+}
+
+// decideReply is the JSON response of one /decide call.
+type decideReply struct {
+	Session     int64   `json:"session"`
+	Segment     int     `json:"segment"`
+	Rung        int     `json:"rung"`
+	BitrateMbps float64 `json:"bitrate_mbps"`
+	WaitSeconds float64 `json:"wait_s,omitempty"`
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// ServeHTTP implements the /decide endpoint: validate, then hand the typed
+// request to Decide and map its status onto HTTP.
+func (s *DecideService) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	req := DecideRequest{Session: q.Get("session"), Client: q.Get("client"), Segment: -1}
+	if req.Session == "" {
+		http.Error(w, "missing session parameter", http.StatusBadRequest)
+		return
+	}
+	buffer, err := parseNonNegative(q.Get("buffer"))
+	if err != nil {
+		http.Error(w, "buffer: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Buffer = units.Seconds(buffer)
+	throughput, err := parseNonNegative(q.Get("throughput"))
+	if err != nil {
+		http.Error(w, "throughput: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.Throughput = units.Mbps(throughput)
+	if v := q.Get("cap"); v != "" {
+		bufferCap, err := parseNonNegative(v)
+		if err != nil || bufferCap <= 0 {
+			http.Error(w, "cap must be a positive number", http.StatusBadRequest)
+			return
+		}
+		req.BufferCap = units.Seconds(bufferCap)
+	}
+	if v := q.Get("segment"); v != "" {
+		seg, err := strconv.Atoi(v)
+		if err != nil || seg < 0 {
+			http.Error(w, "segment must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		req.Segment = seg
+	}
+	if v := q.Get("prev"); v != "" {
+		prev, err := strconv.Atoi(v)
+		if err != nil || prev < abr.NoRung || prev >= s.ladder.Len() {
+			http.Error(w, "prev out of range", http.StatusBadRequest)
+			return
+		}
+		req.Prev, req.HavePrev = prev, true
+	}
+
+	res := s.Decide(&req)
+	switch res.Status {
+	case StatusOK:
+	case StatusRejectedRate:
+		w.Header().Set("Retry-After", retryAfterSeconds(res.RetryAfter))
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	default: // load shed, capacity, draining
+		w.Header().Set("Retry-After", retryAfterSeconds(res.RetryAfter))
+		http.Error(w, "service saturated or draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	reply := decideReply{
+		Session:     res.SessionID,
+		Segment:     res.Segment,
+		Rung:        res.Rung,
+		BitrateMbps: res.BitrateMbps,
+		WaitSeconds: res.WaitSeconds,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(reply) // a failed write means the client hung up
 }
 
 func parseNonNegative(raw string) (float64, error) {

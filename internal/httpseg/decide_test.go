@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/units"
 	"repro/internal/video"
 )
 
@@ -24,9 +26,16 @@ func decideGet(t *testing.T, svc *DecideService, query string) decideReply {
 	return reply
 }
 
+func decideStatus(t *testing.T, svc *DecideService, query string) (int, string) {
+	t.Helper()
+	rw := httptest.NewRecorder()
+	svc.ServeHTTP(rw, httptest.NewRequest("GET", "/decide?"+query, nil))
+	return rw.Code, rw.Header().Get("Retry-After")
+}
+
 func TestDecideServiceSessions(t *testing.T) {
 	col := telemetry.NewCollector(nil, 256)
-	svc, err := NewDecideService(video.Mobile(), 1<<12, 0, col)
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{CacheEntries: 1 << 12}, col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +74,9 @@ func TestDecideServiceSessions(t *testing.T) {
 	if got := col.Solves.Value(); got == 0 {
 		t.Error("collector saw no solver work")
 	}
+	if got := svc.decideLatency.Count(); got < 14 {
+		t.Errorf("decide latency histogram count = %d, want >= 14", got)
+	}
 	svc.RefreshMetrics()
 	if got := svc.liveSessions.Value(); got != 2 {
 		t.Errorf("live sessions gauge = %g, want 2", got)
@@ -75,7 +87,7 @@ func TestDecideServiceSessions(t *testing.T) {
 }
 
 func TestDecideServiceValidation(t *testing.T) {
-	svc, err := NewDecideService(video.Mobile(), 0, 0, nil)
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +97,8 @@ func TestDecideServiceValidation(t *testing.T) {
 		"session=a&buffer=-1&throughput=5",      // negative buffer
 		"session=a&buffer=5&throughput=bogus",   // non-numeric
 		"session=a&buffer=5&throughput=5&cap=0", // non-positive cap
-		"session=a&buffer=5&throughput=5&prev=99", // prev out of range
+		"session=a&buffer=5&throughput=5&prev=99",    // prev out of range
+		"session=a&buffer=5&throughput=5&segment=-1", // negative segment
 	} {
 		rw := httptest.NewRecorder()
 		svc.ServeHTTP(rw, httptest.NewRequest("GET", "/decide?"+query, nil))
@@ -100,22 +113,206 @@ func TestDecideServiceValidation(t *testing.T) {
 	}
 }
 
-func TestDecideServiceEviction(t *testing.T) {
-	svc, err := NewDecideService(video.Mobile(), 0, 0, nil)
+// TestSessionTableConformance is the lifecycle bit-identity contract: the
+// session table manages lifecycle only, never solver inputs, so a service
+// whose sessions are evicted and recreated between every request decides
+// exactly like one whose sessions live forever — provided the client carries
+// its own state (prev, segment), which is precisely what the table does not
+// own. Any divergence means lifecycle leaked into the decision path.
+func TestSessionTableConformance(t *testing.T) {
+	ladders := map[string]video.Ladder{"mobile": video.Mobile(), "prototype": video.Prototype()}
+	for name, ladder := range ladders {
+		t.Run(name, func(t *testing.T) {
+			longLived, err := NewDecideService(ladder, DecideOptions{CacheEntries: 1 << 10, TableQuantum: 0.5}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One-session capacity with an aggressive TTL: every new session
+			// key forces eviction of the previous one, and the sweep below
+			// empties the table between requests.
+			churny, err := NewDecideService(ladder, DecideOptions{
+				CacheEntries: 1 << 10, TableQuantum: 0.5,
+				MaxSessions: 2, SessionTTL: time.Nanosecond,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			prev := -1
+			segment := 0
+			for i := 0; i < 200; i++ {
+				// A deterministic walk over buffer x throughput, including
+				// out-of-table-domain throughputs (solver fallbacks).
+				buffer := float64(i%23) * 0.9
+				throughput := 0.3 + float64((i*7)%31)*0.5
+				req := func() *DecideRequest {
+					return &DecideRequest{
+						Session:    fmt.Sprintf("s%d", i), // fresh key every request on both services
+						Buffer:     units.Seconds(buffer),
+						Throughput: units.Mbps(throughput),
+						Segment:    segment,
+						Prev:       prev,
+						HavePrev:   true,
+					}
+				}
+				a := longLived.Decide(req())
+				b := churny.Decide(req())
+				if a.Status != StatusOK || b.Status != StatusOK {
+					t.Fatalf("step %d: status %d vs %d", i, a.Status, b.Status)
+				}
+				if a.Rung != b.Rung || a.WaitSeconds != b.WaitSeconds {
+					t.Fatalf("step %d (buffer=%.1f throughput=%.1f prev=%d): long-lived rung %d (wait %g) != churny rung %d (wait %g)",
+						i, buffer, throughput, prev, a.Rung, a.WaitSeconds, b.Rung, b.WaitSeconds)
+				}
+				if a.Rung >= 0 {
+					prev = a.Rung
+					segment++
+				}
+				// Aggressive sweep so the churny table really evicts.
+				churny.SweepSessions(time.Now().Add(time.Second))
+			}
+			if st := churny.SessionStats(); st.EvictedIdle == 0 {
+				t.Fatal("churny service never evicted — the conformance run did not exercise recreation")
+			}
+		})
+	}
+}
+
+// TestSessionChurnSteadyState is the unbounded-growth regression test for
+// the old sessions/order/nextID maps: under client churn with periodic
+// sweeps, the live session count stays bounded and evicted keys are gone.
+func TestSessionChurnSteadyState(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{
+		MaxSessions: 128,
+		SessionTTL:  time.Millisecond,
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < maxDecideSessions+10; i++ {
+	sweepAt := time.Now()
+	for i := 0; i < 5000; i++ {
+		res := svc.Decide(&DecideRequest{
+			Session:    fmt.Sprintf("churn-%d", i),
+			Buffer:     units.Seconds(10),
+			Throughput: units.Mbps(8),
+			Segment:    -1,
+		})
+		if res.Status != StatusOK {
+			t.Fatalf("churn request %d rejected: %d", i, res.Status)
+		}
+		if i%64 == 0 {
+			sweepAt = sweepAt.Add(time.Second)
+			svc.SweepSessions(sweepAt)
+		}
+	}
+	if got := svc.SessionStats().Active; got > 128 {
+		t.Fatalf("active sessions %d exceed the 128 cap under churn", got)
+	}
+	svc.SweepSessions(sweepAt.Add(time.Hour))
+	if got := svc.SessionStats().Active; got != 0 {
+		t.Fatalf("sessions leaked: %d still live after final sweep", got)
+	}
+	if got := svc.evictions.Value(); got == 0 {
+		t.Error("eviction counter never moved")
+	}
+}
+
+func TestDecideServiceRateLimit(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{
+		RPSPerClient:   1,
+		BurstPerClient: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "session=a&client=c1&buffer=10&throughput=8"
+	for i := 0; i < 2; i++ {
+		if code, _ := decideStatus(t, svc, q); code != 200 {
+			t.Fatalf("burst request %d = %d, want 200", i, code)
+		}
+	}
+	code, retry := decideStatus(t, svc, q)
+	if code != 429 {
+		t.Fatalf("post-burst request = %d, want 429", code)
+	}
+	if retry == "" || retry == "0" {
+		t.Fatalf("429 Retry-After = %q, want >= 1s", retry)
+	}
+	// A different client is not throttled by c1's spend.
+	if code, _ := decideStatus(t, svc, "session=b&client=c2&buffer=10&throughput=8"); code != 200 {
+		t.Fatalf("second client = %d, want 200", code)
+	}
+	if got := svc.rejectedRate.Value(); got != 1 {
+		t.Errorf("rejected{ratelimit} = %g, want 1", got)
+	}
+}
+
+func TestDecideServiceCapacityShed(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{MaxSessions: 2, SessionTTL: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxSessions 2 with no TTL: the third distinct session is shed.
+	shed := 0
+	for i := 0; i < 8; i++ {
+		code, _ := decideStatus(t, svc, fmt.Sprintf("session=s%d&buffer=10&throughput=8", i))
+		if code == 503 {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("no request shed at capacity")
+	}
+	if got := svc.rejectedCapacity.Value(); got != float64(shed) {
+		t.Errorf("rejected{capacity} = %g, want %d", got, shed)
+	}
+}
+
+func TestDecideServiceInflightShed(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{MaxInflight: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the single in-flight slot from the outside.
+	if !svc.inflight.TryAcquire() {
+		t.Fatal("could not claim the in-flight slot")
+	}
+	code, retry := decideStatus(t, svc, "session=a&buffer=10&throughput=8")
+	if code != 503 {
+		t.Fatalf("decide with saturated in-flight bound = %d, want 503", code)
+	}
+	if retry == "" {
+		t.Fatal("503 carries no Retry-After")
+	}
+	svc.inflight.Release()
+	if code, _ := decideStatus(t, svc, "session=a&buffer=10&throughput=8"); code != 200 {
+		t.Fatalf("decide after slot release = %d, want 200", code)
+	}
+	if got := svc.rejectedLoad.Value(); got != 1 {
+		t.Errorf("rejected{inflight} = %g, want 1", got)
+	}
+}
+
+func TestDecideServiceDrain(t *testing.T) {
+	svc, err := NewDecideService(video.Mobile(), DecideOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
 		decideGet(t, svc, fmt.Sprintf("session=s%d&buffer=10&throughput=8", i))
 	}
-	svc.mu.Lock()
-	got := len(svc.sessions)
-	_, oldestAlive := svc.sessions["s0"]
-	svc.mu.Unlock()
-	if got != maxDecideSessions {
-		t.Fatalf("session table holds %d entries, want capped at %d", got, maxDecideSessions)
+	sessions, clean := svc.Drain(time.Second)
+	if sessions != 3 {
+		t.Fatalf("Drain reported %d sessions, want 3", sessions)
 	}
-	if oldestAlive {
-		t.Error("oldest session survived eviction")
+	if !clean {
+		t.Fatal("Drain with no in-flight work reported unclean")
+	}
+	code, _ := decideStatus(t, svc, "session=s0&buffer=10&throughput=8")
+	if code != 503 {
+		t.Fatalf("decide while draining = %d, want 503", code)
+	}
+	if got := svc.rejectedDraining.Value(); got != 1 {
+		t.Errorf("rejected{draining} = %g, want 1", got)
 	}
 }

@@ -1,0 +1,441 @@
+// Package loadgen replays calibrated ABR workloads against the /decide
+// control plane and reports the latency distribution the serving path
+// actually delivered — the measurement half of the fleet-scale serving
+// story, and the feeder of the CI p99 gate.
+//
+// Two arrival processes are supported:
+//
+//   - Closed loop: N virtual sessions, each issuing its next decide as soon
+//     as the previous one returns (plus optional think time). Throughput of
+//     the measured system bounds the offered load, so closed loop measures
+//     service time under self-limiting clients.
+//   - Open loop: Poisson arrivals at a target rate, dispatched to a worker
+//     pool. Latency is measured from each request's *scheduled* arrival
+//     time, so queueing delay counts — the honest fleet-operator view,
+//     immune to coordinated omission.
+//
+// Each virtual session walks a bandwidth trace drawn from an
+// internal/tracegen profile (the paper-calibrated throughput processes) and
+// runs a small player model: decisions advance a simulated buffer, which
+// feeds back into the next request. Sessions share a bounded pool of traces
+// round-robin so 50k sessions do not need 50k trace syntheses.
+//
+// Targets are pluggable: InProc drives a DecideService directly (no HTTP,
+// the configuration the allocation and p99 gates use), HTTPTarget drives a
+// live soda-server over its wire protocol.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/httpseg"
+	"repro/internal/sessiontable"
+	"repro/internal/telemetry"
+	"repro/internal/tracegen"
+	"repro/internal/units"
+)
+
+// Mode selects the arrival process.
+type Mode int
+
+const (
+	// ClosedLoop runs N sessions that each wait for their previous decide.
+	ClosedLoop Mode = iota
+	// OpenLoop runs Poisson arrivals at Config.RPS regardless of completions.
+	OpenLoop
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	if m == OpenLoop {
+		return "open"
+	}
+	return "closed"
+}
+
+// Target is where decides go. Implementations must be safe for concurrent
+// use; the runner serialises calls per session but not across sessions.
+type Target interface {
+	Decide(req *httpseg.DecideRequest) (httpseg.DecideResult, error)
+}
+
+// Config parameterises one load-generation run.
+type Config struct {
+	// Mode is the arrival process.
+	Mode Mode
+	// Sessions is the virtual-session count (concurrent streams).
+	Sessions int
+	// Requests is the total decide budget for the run.
+	Requests int
+	// RPS is the open-loop target arrival rate; ignored in closed loop.
+	RPS float64
+	// ThinkTime is the closed-loop pause between a session's decides.
+	ThinkTime time.Duration
+	// Workers is the open-loop dispatch pool size (default 16).
+	Workers int
+	// Profile calibrates the per-session throughput process; the zero value
+	// means tracegen.Puffer().
+	Profile tracegen.Profile
+	// SessionLength is the synthesized trace length per session pool entry
+	// (default 120 s — samples wrap when a session outlives its trace).
+	SessionLength units.Seconds
+	// TracePool bounds the number of distinct traces synthesized and shared
+	// round-robin across sessions (default min(Sessions, 256)).
+	TracePool int
+	// Seed makes trace synthesis and Poisson arrivals reproducible.
+	Seed uint64
+	// BufferCap is the player model's buffer cap (default 20 s).
+	BufferCap units.Seconds
+	// SegmentSeconds is the player model's segment duration (default 2 s).
+	SegmentSeconds units.Seconds
+}
+
+// normalize fills defaults; it does not mutate the caller's copy.
+func (c Config) normalize() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Profile.Name == "" {
+		c.Profile = tracegen.Puffer()
+	}
+	if c.SessionLength <= 0 {
+		c.SessionLength = units.Seconds(120)
+	}
+	if c.TracePool <= 0 || c.TracePool > c.Sessions {
+		c.TracePool = c.Sessions
+	}
+	if c.TracePool > 256 {
+		c.TracePool = 256
+	}
+	if c.BufferCap <= 0 {
+		c.BufferCap = units.Seconds(20)
+	}
+	if c.SegmentSeconds <= 0 {
+		c.SegmentSeconds = units.Seconds(2)
+	}
+	return c
+}
+
+// validate rejects configurations the runner cannot execute.
+func (c Config) validate() error {
+	if c.Requests <= 0 {
+		return fmt.Errorf("loadgen: Requests must be positive, got %d", c.Requests)
+	}
+	if c.Mode == OpenLoop && c.RPS <= 0 {
+		return fmt.Errorf("loadgen: open loop needs a positive RPS, got %g", c.RPS)
+	}
+	return nil
+}
+
+// latencyBuckets span sub-microsecond in-process decides through multi-second
+// HTTP pathologies, log-spaced so Quantile resolves each decade.
+var latencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// vsession is one virtual stream: its trace cursor and player-model state.
+// The mutex serialises the session's in-flight decide with its state update;
+// distinct sessions proceed in parallel.
+type vsession struct {
+	mu      sync.Mutex
+	key     string
+	samples []units.Mbps
+	cursor  int
+	buffer  units.Seconds
+}
+
+// runner is the per-run state shared by session goroutines and workers.
+type runner struct {
+	cfg      Config
+	target   Target
+	sessions []*vsession
+	latency  *telemetry.Histogram
+
+	issued   atomic.Int64
+	ok       atomic.Uint64
+	rejRate  atomic.Uint64
+	rejLoad  atomic.Uint64
+	rejCap   atomic.Uint64
+	rejDrain atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// Run executes one load-generation run and reports the outcome. The latency
+// histogram lives on a private telemetry registry; quantiles in the report
+// are conservative bucket upper bounds (Histogram.Quantile).
+func Run(cfg Config, target Target) (Report, error) {
+	cfg = cfg.normalize()
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	r := &runner{cfg: cfg, target: target}
+	r.latency = telemetry.NewRegistry().Histogram("soda_loadgen_decide_latency_seconds",
+		"queue-inclusive decide latency observed by the load generator",
+		telemetry.USeconds, latencyBuckets)
+	if err := r.buildSessions(); err != nil {
+		return Report{}, err
+	}
+
+	start := time.Now()
+	if cfg.Mode == OpenLoop {
+		r.runOpen()
+	} else {
+		r.runClosed()
+	}
+	elapsed := time.Since(start).Seconds()
+
+	rep := Report{
+		Mode:             cfg.Mode.String(),
+		Sessions:         cfg.Sessions,
+		Requests:         uint64(r.issued.Load()),
+		OK:               r.ok.Load(),
+		RejectedRate:     r.rejRate.Load(),
+		RejectedLoad:     r.rejLoad.Load(),
+		RejectedCapacity: r.rejCap.Load(),
+		RejectedDraining: r.rejDrain.Load(),
+		Errors:           r.errors.Load(),
+		DurationSeconds:  elapsed,
+		P50Ms:            r.latency.Quantile(0.50) * 1e3,
+		P99Ms:            r.latency.Quantile(0.99) * 1e3,
+		P999Ms:           r.latency.Quantile(0.999) * 1e3,
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / elapsed
+	}
+	if rep.Requests > 0 {
+		rep.RejectedPct = 100 * float64(rep.Rejected()) / float64(rep.Requests)
+	}
+	// An in-process target exposes the server's lifecycle counters; fold the
+	// admission/eviction story into the report when available.
+	if st, ok := target.(interface{ SessionStats() sessiontable.Stats }); ok {
+		stats := st.SessionStats()
+		rep.ServerEvictions = stats.EvictedIdle
+		rep.ServerSessions = stats.Active
+	}
+	return rep, nil
+}
+
+// buildSessions synthesizes the shared trace pool and the virtual sessions.
+func (r *runner) buildSessions() error {
+	pool := make([][]units.Mbps, r.cfg.TracePool)
+	for i := range pool {
+		tr, err := r.cfg.Profile.Session(r.cfg.SessionLength, r.cfg.Seed, i)
+		if err != nil {
+			return fmt.Errorf("loadgen: synthesizing trace %d: %w", i, err)
+		}
+		samples := tr.Samples()
+		mbps := make([]units.Mbps, len(samples))
+		for j, s := range samples {
+			mbps[j] = s.Mbps
+		}
+		pool[i] = mbps
+	}
+	r.sessions = make([]*vsession, r.cfg.Sessions)
+	for i := range r.sessions {
+		r.sessions[i] = &vsession{
+			key: fmt.Sprintf("lg-%d", i),
+			// Stagger cursors so pool-sharing sessions do not move in
+			// lockstep through identical throughput samples.
+			samples: pool[i%len(pool)],
+			cursor:  i / len(pool),
+		}
+	}
+	return nil
+}
+
+// step issues one decide for sess and advances its player model, observing
+// latency from the given start time (scheduled arrival in open loop, call
+// time in closed loop).
+func (r *runner) step(sess *vsession, start time.Time) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	throughput := sess.samples[sess.cursor%len(sess.samples)]
+	sess.cursor++
+	req := httpseg.DecideRequest{
+		Session:    sess.key,
+		Buffer:     sess.buffer,
+		Throughput: throughput,
+		BufferCap:  r.cfg.BufferCap,
+		Segment:    -1,
+	}
+	res, err := r.target.Decide(&req)
+	if err != nil {
+		r.errors.Add(1)
+		return
+	}
+	switch res.Status {
+	case httpseg.StatusOK:
+		r.ok.Add(1)
+		r.latency.Observe(time.Since(start).Seconds())
+		r.advancePlayer(sess, throughput, res)
+	case httpseg.StatusRejectedRate:
+		r.rejRate.Add(1)
+	case httpseg.StatusRejectedLoad:
+		r.rejLoad.Add(1)
+	case httpseg.StatusRejectedCapacity:
+		r.rejCap.Add(1)
+	case httpseg.StatusRejectedDraining:
+		r.rejDrain.Add(1)
+	}
+}
+
+// advancePlayer applies one decision to the session's simulated buffer: a
+// download consumes link time and deposits a segment; a wait decision drains
+// the buffer for the advised time. All arithmetic is local float64 — the
+// unit types come back on at the request boundary.
+func (r *runner) advancePlayer(sess *vsession, throughput units.Mbps, res httpseg.DecideResult) {
+	buffer := float64(sess.buffer)
+	segment := float64(r.cfg.SegmentSeconds)
+	if res.Rung >= 0 {
+		thr := float64(throughput)
+		if thr < 0.1 {
+			thr = 0.1 // a stalled link still finishes the download eventually
+		}
+		downloadTime := res.BitrateMbps * segment / thr
+		buffer += segment - downloadTime
+	} else {
+		buffer -= res.WaitSeconds
+	}
+	if buffer < 0 {
+		buffer = 0
+	}
+	if limit := float64(r.cfg.BufferCap); buffer > limit {
+		buffer = limit
+	}
+	sess.buffer = units.Seconds(buffer)
+}
+
+// runClosed runs the closed loop: one goroutine per session, each issuing
+// back-to-back decides (plus think time). The request budget is split across
+// sessions up front — a shared first-come-first-served budget would let the
+// earliest-scheduled goroutines spend it all before the rest even start
+// (in-process decides are single-digit microseconds), leaving most sessions
+// untouched.
+func (r *runner) runClosed() {
+	quota := r.cfg.Requests / len(r.sessions)
+	extra := r.cfg.Requests % len(r.sessions)
+	var wg sync.WaitGroup
+	for i, sess := range r.sessions {
+		n := quota
+		if i < extra {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sess *vsession, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				r.step(sess, time.Now())
+				if r.cfg.ThinkTime > 0 {
+					time.Sleep(r.cfg.ThinkTime)
+				}
+			}
+		}(sess, n)
+	}
+	wg.Wait()
+	r.issued.Store(int64(r.cfg.Requests))
+}
+
+// arrival is one scheduled open-loop request.
+type arrival struct {
+	sess *vsession
+	due  time.Time
+}
+
+// runOpen runs the open loop: a pacer draws exponential inter-arrival gaps
+// at the target rate and stamps each request's scheduled time; workers
+// execute them. Latency is measured from the stamp, so time spent queued
+// behind a slow server counts against the server — the whole point of an
+// open-loop measurement.
+func (r *runner) runOpen() {
+	work := make(chan arrival, 4*r.cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range work {
+				r.step(a.sess, a.due)
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(int64(r.cfg.Seed)))
+	interval := float64(time.Second) / r.cfg.RPS
+	due := time.Now()
+	for i := 0; i < r.cfg.Requests; i++ {
+		due = due.Add(time.Duration(rng.ExpFloat64() * interval))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		work <- arrival{sess: r.sessions[i%len(r.sessions)], due: due}
+	}
+	close(work)
+	wg.Wait()
+	r.issued.Store(int64(r.cfg.Requests))
+}
+
+// Report is the outcome of one run, JSON-shaped for BENCH_*.json artifacts.
+type Report struct {
+	Mode             string  `json:"mode"`
+	Sessions         int     `json:"sessions"`
+	Requests         uint64  `json:"requests"`
+	OK               uint64  `json:"ok"`
+	RejectedRate     uint64  `json:"rejected_ratelimit"`
+	RejectedLoad     uint64  `json:"rejected_inflight"`
+	RejectedCapacity uint64  `json:"rejected_capacity"`
+	RejectedDraining uint64  `json:"rejected_draining"`
+	Errors           uint64  `json:"errors"`
+	DurationSeconds  float64 `json:"duration_seconds"`
+	AchievedRPS      float64 `json:"achieved_rps"`
+	P50Ms            float64 `json:"p50_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	P999Ms           float64 `json:"p999_ms"`
+	RejectedPct      float64 `json:"rejected_pct"`
+	// ServerEvictions and ServerSessions are filled when the target exposes
+	// sessiontable stats (the in-process configuration).
+	ServerEvictions uint64 `json:"server_evictions"`
+	ServerSessions  int    `json:"server_sessions_active"`
+}
+
+// Rejected is the total shed count across all rejection reasons.
+func (r Report) Rejected() uint64 {
+	return r.RejectedRate + r.RejectedLoad + r.RejectedCapacity + r.RejectedDraining
+}
+
+// Gate checks the report against the CI thresholds: p99 decide latency in
+// milliseconds and rejection percentage. Non-positive thresholds skip that
+// check. Transport errors always fail.
+func (r Report) Gate(maxP99Ms, maxRejectedPct float64) error {
+	if r.Errors > 0 {
+		return fmt.Errorf("loadgen: %d transport errors", r.Errors)
+	}
+	if r.OK == 0 {
+		return fmt.Errorf("loadgen: no successful decides (of %d requests)", r.Requests)
+	}
+	if maxP99Ms > 0 && r.P99Ms > maxP99Ms {
+		return fmt.Errorf("loadgen: p99 decide latency %.3f ms exceeds the %.3f ms gate", r.P99Ms, maxP99Ms)
+	}
+	if maxRejectedPct >= 0 && r.RejectedPct > maxRejectedPct {
+		return fmt.Errorf("loadgen: %.2f%% of requests rejected, gate is %.2f%%", r.RejectedPct, maxRejectedPct)
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,328 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpseg"
+	"repro/internal/units"
+	"repro/internal/video"
+)
+
+func newService(t *testing.T, opts httpseg.DecideOptions) *httpseg.DecideService {
+	t.Helper()
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 1 << 12
+	}
+	if opts.TableQuantum == 0 {
+		opts.TableQuantum = 0.5
+	}
+	svc, err := httpseg.NewDecideService(video.Prototype(), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestClosedLoopInProc(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	rep, err := Run(Config{
+		Mode:     ClosedLoop,
+		Sessions: 8,
+		Requests: 400,
+		Seed:     1,
+	}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "closed" {
+		t.Errorf("mode = %q, want closed", rep.Mode)
+	}
+	if rep.Requests != 400 {
+		t.Errorf("requests = %d, want 400", rep.Requests)
+	}
+	if rep.OK != 400 {
+		t.Errorf("ok = %d, want 400 (rejected %d, errors %d)", rep.OK, rep.Rejected(), rep.Errors)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.P999Ms < rep.P99Ms {
+		t.Errorf("quantiles not ordered: p50=%g p99=%g p999=%g", rep.P50Ms, rep.P99Ms, rep.P999Ms)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved rps = %g, want > 0", rep.AchievedRPS)
+	}
+	// The in-proc target surfaces the server's session table.
+	if rep.ServerSessions != 8 {
+		t.Errorf("server sessions = %d, want 8", rep.ServerSessions)
+	}
+	if err := rep.Gate(1000, 0); err != nil {
+		t.Errorf("clean run failed a generous gate: %v", err)
+	}
+	out, err := rep.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"p99_ms", "rejected_pct", "server_sessions_active", "achieved_rps"} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("report JSON missing %q:\n%s", key, out)
+		}
+	}
+}
+
+func TestClosedLoopThinkTime(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	start := time.Now()
+	rep, err := Run(Config{
+		Mode:      ClosedLoop,
+		Sessions:  2,
+		Requests:  10,
+		ThinkTime: 5 * time.Millisecond,
+	}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 requests over 2 sessions with 5 ms think ≈ 25 ms floor.
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("closed loop with think time finished in %v, want >= 20ms", elapsed)
+	}
+	if rep.OK != 10 {
+		t.Errorf("ok = %d, want 10", rep.OK)
+	}
+}
+
+func TestOpenLoopInProc(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	rep, err := Run(Config{
+		Mode:     OpenLoop,
+		Sessions: 100,
+		Requests: 1000,
+		RPS:      50000,
+		Seed:     2,
+	}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "open" {
+		t.Errorf("mode = %q, want open", rep.Mode)
+	}
+	if rep.Requests != 1000 || rep.OK != 1000 {
+		t.Errorf("requests/ok = %d/%d, want 1000/1000", rep.Requests, rep.OK)
+	}
+	if rep.P99Ms <= 0 {
+		t.Errorf("p99 = %g, want > 0", rep.P99Ms)
+	}
+	if rep.ServerSessions != 100 {
+		t.Errorf("server sessions = %d, want 100", rep.ServerSessions)
+	}
+}
+
+// TestGateCatchesRegression is the proof the CI p99 gate works: the same
+// workload passes on the clean build and fails when the decide path is
+// deliberately slowed — so a real latency regression cannot slip through.
+func TestGateCatchesRegression(t *testing.T) {
+	const maxP99Ms, maxRejectedPct = 5.0, 0.0
+	cfg := Config{Mode: ClosedLoop, Sessions: 4, Requests: 200, Seed: 3}
+
+	clean, err := Run(cfg, &InProc{Svc: newService(t, httpseg.DecideOptions{})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Gate(maxP99Ms, maxRejectedPct); err != nil {
+		t.Fatalf("clean build failed the gate: %v (p99=%.3fms)", err, clean.P99Ms)
+	}
+
+	regressed, err := Run(cfg, &InProc{
+		Svc:          newService(t, httpseg.DecideOptions{}),
+		PerturbDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regressed.Gate(maxP99Ms, maxRejectedPct); err == nil {
+		t.Fatalf("regressed build passed the gate (p99=%.3fms)", regressed.P99Ms)
+	}
+}
+
+func TestGateThresholds(t *testing.T) {
+	base := Report{Requests: 100, OK: 99, RejectedRate: 1, RejectedPct: 1, P99Ms: 2}
+	cases := []struct {
+		name           string
+		mutate         func(*Report)
+		maxP99Ms       float64
+		maxRejectedPct float64
+		wantFail       bool
+	}{
+		{"clean", nil, 5, 2, false},
+		{"p99 over", nil, 1, 2, true},
+		{"p99 gate disabled", nil, 0, 2, false},
+		{"rejections over", nil, 5, 0.5, true},
+		{"rejection gate disabled", func(r *Report) { r.RejectedPct = 50 }, 5, -1, false},
+		{"transport errors", func(r *Report) { r.Errors = 1 }, 5, 2, true},
+		{"nothing succeeded", func(r *Report) { r.OK = 0 }, 5, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := base
+			if tc.mutate != nil {
+				tc.mutate(&rep)
+			}
+			err := rep.Gate(tc.maxP99Ms, tc.maxRejectedPct)
+			if (err != nil) != tc.wantFail {
+				t.Errorf("Gate(%g, %g) = %v, want fail=%v", tc.maxP99Ms, tc.maxRejectedPct, err, tc.wantFail)
+			}
+		})
+	}
+}
+
+func TestRejectionAccounting(t *testing.T) {
+	// One token per client-second with minimal burst: closed-loop sessions
+	// issuing back-to-back decides must mostly be shed with 429s.
+	svc := newService(t, httpseg.DecideOptions{RPSPerClient: 1, BurstPerClient: 1})
+	rep, err := Run(Config{Mode: ClosedLoop, Sessions: 4, Requests: 100}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedRate == 0 {
+		t.Fatal("rate limiter never fired under a saturating closed loop")
+	}
+	if got := rep.OK + rep.Rejected(); got != rep.Requests {
+		t.Errorf("ok %d + rejected %d != requests %d", rep.OK, rep.Rejected(), rep.Requests)
+	}
+	if rep.RejectedPct <= 0 {
+		t.Errorf("rejected pct = %g, want > 0", rep.RejectedPct)
+	}
+	if err := rep.Gate(1000, 0); err == nil {
+		t.Error("gate with a zero rejection budget passed a shedding run")
+	}
+}
+
+func TestHTTPTarget(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	rep, err := Run(Config{
+		Mode:     ClosedLoop,
+		Sessions: 4,
+		Requests: 60,
+		Seed:     4,
+	}, &HTTPTarget{BaseURL: srv.URL, Client: srv.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 60 {
+		t.Fatalf("ok = %d of %d over HTTP (errors %d)", rep.OK, rep.Requests, rep.Errors)
+	}
+	// The HTTP target cannot see the server's session table.
+	if rep.ServerSessions != 0 || rep.ServerEvictions != 0 {
+		t.Errorf("HTTP run reported server stats %d/%d, want 0/0", rep.ServerSessions, rep.ServerEvictions)
+	}
+}
+
+func TestHTTPTargetStatusMapping(t *testing.T) {
+	tgt := &HTTPTarget{}
+	req := &httpseg.DecideRequest{Session: "s", Buffer: units.Seconds(5), Throughput: units.Mbps(5), Segment: -1}
+
+	// 429 and 503 map onto rejection statuses with the advisory backoff.
+	for _, tc := range []struct {
+		code int
+		want httpseg.DecideStatus
+	}{
+		{429, httpseg.StatusRejectedRate},
+		{503, httpseg.StatusRejectedLoad},
+	} {
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(tc.code)
+		}))
+		tgt.BaseURL = srv.URL
+		res, err := tgt.Decide(req)
+		srv.Close()
+		if err != nil {
+			t.Fatalf("status %d: %v", tc.code, err)
+		}
+		if res.Status != tc.want || res.RetryAfter != 3*time.Second {
+			t.Errorf("status %d -> (%d, %v), want (%d, 3s)", tc.code, res.Status, res.RetryAfter, tc.want)
+		}
+	}
+
+	// Unexpected statuses and malformed bodies are transport errors.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(500)
+	}))
+	tgt.BaseURL = srv.URL
+	if _, err := tgt.Decide(req); err == nil {
+		t.Error("500 did not surface as an error")
+	}
+	srv.Close()
+
+	srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not json"))
+	}))
+	tgt.BaseURL = srv.URL
+	if _, err := tgt.Decide(req); err == nil {
+		t.Error("malformed reply did not surface as an error")
+	}
+	srv.Close()
+
+	// A request carrying every optional field still round-trips the query
+	// encoding (cap, segment, prev, client).
+	full := &httpseg.DecideRequest{
+		Session: "s", Client: "c", Buffer: units.Seconds(5), Throughput: units.Mbps(5),
+		BufferCap: units.Seconds(30), Segment: 7, Prev: 1, HavePrev: true,
+	}
+	echo := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		for key, want := range map[string]string{
+			"session": "s", "client": "c", "cap": "30", "segment": "7", "prev": "1",
+		} {
+			if got := q.Get(key); got != want {
+				t.Errorf("query %s = %q, want %q", key, got, want)
+			}
+		}
+		w.Write([]byte(`{"session":1,"segment":7,"rung":1,"bitrate_mbps":1.5}`))
+	}))
+	defer echo.Close()
+	tgt.BaseURL = echo.URL
+	res, err := tgt.Decide(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != httpseg.StatusOK || res.Rung != 1 || res.BitrateMbps != 1.5 {
+		t.Errorf("full request result = %+v", res)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	if _, err := Run(Config{Mode: ClosedLoop, Requests: 0}, &InProc{Svc: svc}); err == nil {
+		t.Error("zero request budget accepted")
+	}
+	if _, err := Run(Config{Mode: OpenLoop, Requests: 10, RPS: 0}, &InProc{Svc: svc}); err == nil {
+		t.Error("open loop without RPS accepted")
+	}
+}
+
+func TestTracePoolSharing(t *testing.T) {
+	// More sessions than the pool cap: sessions must still get distinct keys
+	// and staggered cursors, and the run must stay within budget.
+	svc := newService(t, httpseg.DecideOptions{})
+	rep, err := Run(Config{
+		Mode:      ClosedLoop,
+		Sessions:  300, // > the 256 trace-pool cap
+		Requests:  600,
+		Seed:      5,
+		TracePool: 16,
+	}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 600 {
+		t.Errorf("ok = %d, want 600", rep.OK)
+	}
+	if rep.ServerSessions != 300 {
+		t.Errorf("server sessions = %d, want 300", rep.ServerSessions)
+	}
+}

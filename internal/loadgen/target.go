@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/httpseg"
+	"repro/internal/sessiontable"
+)
+
+// InProc drives a DecideService directly — no HTTP stack, no serialization —
+// which is the configuration the allocation gate and the CI p99 gate
+// measure: the control plane itself, not the transport.
+type InProc struct {
+	Svc *httpseg.DecideService
+	// PerturbDelay injects an artificial service-time regression before each
+	// decide. It exists so the gate tests can prove the p99 gate actually
+	// fails a regressed build; production runs leave it zero.
+	PerturbDelay time.Duration
+}
+
+// Decide implements Target.
+func (t *InProc) Decide(req *httpseg.DecideRequest) (httpseg.DecideResult, error) {
+	if t.PerturbDelay > 0 {
+		time.Sleep(t.PerturbDelay)
+	}
+	return t.Svc.Decide(req), nil
+}
+
+// SessionStats forwards the server's lifecycle counters so Run can fold
+// evictions and live-session counts into the report.
+func (t *InProc) SessionStats() sessiontable.Stats { return t.Svc.SessionStats() }
+
+// HTTPTarget drives a live soda-server over its /decide wire protocol.
+type HTTPTarget struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Decide implements Target by encoding the request onto the /decide query
+// surface and mapping the HTTP status back. A 503 cannot be attributed to a
+// specific shed reason over the wire, so it reports StatusRejectedLoad.
+func (t *HTTPTarget) Decide(req *httpseg.DecideRequest) (httpseg.DecideResult, error) {
+	// The unit-typed fields format directly (%g consumes them reflectively);
+	// no float64 laundering happens on this side of the wire.
+	url := fmt.Sprintf("%s/decide?session=%s&buffer=%g&throughput=%g",
+		t.BaseURL, req.Session, req.Buffer, req.Throughput)
+	if req.Client != "" {
+		url += "&client=" + req.Client
+	}
+	if req.BufferCap > 0 {
+		url += fmt.Sprintf("&cap=%g", req.BufferCap)
+	}
+	if req.Segment >= 0 {
+		url += "&segment=" + strconv.Itoa(req.Segment)
+	}
+	if req.HavePrev {
+		url += "&prev=" + strconv.Itoa(req.Prev)
+	}
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return httpseg.DecideResult{}, err
+	}
+	defer resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply struct {
+			Session     int64   `json:"session"`
+			Segment     int     `json:"segment"`
+			Rung        int     `json:"rung"`
+			BitrateMbps float64 `json:"bitrate_mbps"`
+			WaitSeconds float64 `json:"wait_s"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			return httpseg.DecideResult{}, fmt.Errorf("loadgen: decoding /decide reply: %w", err)
+		}
+		return httpseg.DecideResult{
+			Status:      httpseg.StatusOK,
+			SessionID:   reply.Session,
+			Segment:     reply.Segment,
+			Rung:        reply.Rung,
+			BitrateMbps: reply.BitrateMbps,
+			WaitSeconds: reply.WaitSeconds,
+		}, nil
+	case http.StatusTooManyRequests:
+		return httpseg.DecideResult{
+			Status:     httpseg.StatusRejectedRate,
+			RetryAfter: retryAfter(resp),
+		}, nil
+	case http.StatusServiceUnavailable:
+		return httpseg.DecideResult{
+			Status:     httpseg.StatusRejectedLoad,
+			RetryAfter: retryAfter(resp),
+		}, nil
+	default:
+		return httpseg.DecideResult{}, fmt.Errorf("loadgen: /decide returned status %d", resp.StatusCode)
+	}
+}
+
+// retryAfter parses the advisory backoff off a rejection response.
+func retryAfter(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return time.Second
+	}
+	return time.Duration(secs) * time.Second
+}

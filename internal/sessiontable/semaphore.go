@@ -1,0 +1,91 @@
+package sessiontable
+
+import (
+	"fmt"
+	"time"
+)
+
+// Semaphore bounds in-flight decide concurrency: the serving surface
+// TryAcquires a slot per request and sheds load (503 + Retry-After) when the
+// bound is reached, instead of letting unbounded goroutines queue on the
+// session locks. It is a counting semaphore over a buffered channel; the
+// channel operations never happen under any table or shard lock (a guardedby
+// invariant — holding an annotated lock across channel ops is a finding).
+type Semaphore struct {
+	slots chan struct{}
+}
+
+// NewSemaphore builds a semaphore admitting up to n concurrent holders.
+func NewSemaphore(n int) *Semaphore {
+	if n <= 0 {
+		panic(fmt.Sprintf("sessiontable: non-positive semaphore capacity %d", n))
+	}
+	return &Semaphore{slots: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking; the caller must Release iff it
+// returns true. A nil semaphore admits everything.
+func (s *Semaphore) TryAcquire() bool {
+	if s == nil {
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire. Nil-safe.
+func (s *Semaphore) Release() {
+	if s == nil {
+		return
+	}
+	<-s.slots
+}
+
+// Cap returns the concurrency bound (0 for a nil semaphore).
+func (s *Semaphore) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return cap(s.slots)
+}
+
+// InFlight returns the current holder count (0 for a nil semaphore).
+func (s *Semaphore) InFlight() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.slots)
+}
+
+// DrainWait blocks until every in-flight holder has released, or until the
+// timeout elapses, and reports whether the semaphore fully drained. It
+// claims every slot and releases them again, so it must only be called once
+// admission has stopped (new TryAcquires racing a drain would stall it).
+// Nil-safe: a nil semaphore is trivially drained.
+func (s *Semaphore) DrainWait(timeout time.Duration) bool {
+	if s == nil {
+		return true
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	claimed := 0
+	for claimed < cap(s.slots) {
+		select {
+		case s.slots <- struct{}{}:
+			claimed++
+		case <-deadline.C:
+			for ; claimed > 0; claimed-- {
+				<-s.slots
+			}
+			return false
+		}
+	}
+	for ; claimed > 0; claimed-- {
+		<-s.slots
+	}
+	return true
+}

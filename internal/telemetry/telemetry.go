@@ -169,6 +169,36 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts,
+// returning the upper bound of the bucket containing the q-th observation —
+// a conservative (never underestimating) estimate, the convention load
+// gates want: a reported p99 below the threshold guarantees the true p99 is
+// too. Observations in the +Inf bucket report the largest finite bound (the
+// histogram cannot resolve beyond its layout). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 || len(h.upper) == 0 {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	// rank is the 1-based index of the target observation under the usual
+	// ceil(q*N) definition, computed without floats drifting at large N.
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) || rank == 0 {
+		rank++
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return ub
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}
+
 // series is one label-set instance of a metric family.
 type series struct {
 	labels []Label

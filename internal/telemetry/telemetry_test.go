@@ -73,6 +73,49 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("soda_q_seconds", "q", USeconds, []float64{0.001, 0.01, 0.1, 1})
+
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+
+	// 90 observations in the ≤0.001 bucket, 9 in ≤0.01, 1 in ≤0.1.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.05)
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 0.001}, // rank 50 of 100 → first bucket
+		{0.90, 0.001}, // rank 90, exactly the first bucket's cumulative count
+		{0.99, 0.01},  // rank 99 → second bucket
+		{0.999, 0.1},  // rank 100 → third bucket
+		{1, 0.1},      // max observed bucket
+		{0, 0},        // out of range
+		{1.5, 0},      // out of range
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// +Inf observations saturate at the largest finite bound.
+	h2 := reg.Histogram("soda_q2_seconds", "q2", USeconds, []float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow-only Quantile(0.99) = %g, want 2 (largest finite bound)", got)
+	}
+}
+
 func TestRegistryValidationPanics(t *testing.T) {
 	cases := []struct {
 		name string
