@@ -4,11 +4,11 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test test-shuffle conformance smoke session-race cover bench bench-gate loadgen-gate fuzz build buildrelease build386 vuln
+.PHONY: all ci lint test test-shuffle conformance arena-conformance smoke session-race cover bench bench-gate loadgen-gate fuzz build buildrelease build386 vuln
 
 all: lint test
 
-ci: lint build buildrelease build386 test test-shuffle conformance smoke session-race cover fuzz loadgen-gate bench-gate vuln
+ci: lint build buildrelease build386 test test-shuffle conformance arena-conformance smoke session-race cover fuzz loadgen-gate bench-gate vuln
 
 build:
 	$(GO) build ./...
@@ -40,12 +40,23 @@ test:
 test-shuffle:
 	$(GO) test -shuffle=on ./...
 
-# conformance re-runs the shared solve-cache, decision-table and telemetry
-# bit-identity contracts under the race detector on their own, so a cache,
-# table or telemetry regression fails with a named step even though
-# `make test` also covers them as part of the full suite.
+# conformance re-runs the shared solve-cache, decision-table, telemetry and
+# arena bit-identity contracts under the race detector on their own, so a
+# cache, table, telemetry or arena regression fails with a named step even
+# though `make test` also covers them as part of the full suite.
 conformance:
-	$(GO) test -race -run 'TestSodaSharedCache|TestSodaDecisionTable|TestSodaTelemetry' ./internal/abrtest
+	$(GO) test -race -run 'TestSodaSharedCache|TestSodaDecisionTable|TestSodaTelemetry|TestSodaArena' ./internal/abrtest
+
+# arena-conformance re-runs the struct-of-arrays session arena's contracts
+# under the race detector on their own: the handle-lifecycle suite (free-list
+# reuse, ABA generation staleness, growth at capacity), the proof that
+# arena-backed controllers — including ones on recycled slots — decide
+# bit-identically to heap-backed ones, and the serving-path evict→recreate
+# bit-identity on a recycled slot.
+arena-conformance:
+	$(GO) test -race ./internal/arena
+	$(GO) test -race -run 'TestSodaArenaConformance' ./internal/abrtest
+	$(GO) test -race -run 'TestEvictRecreateRecycledSlot' ./internal/httpseg
 
 # smoke boots the soda-server introspection mux against a test manifest,
 # drives /decide sessions, and validates that /metrics serves parseable
@@ -71,25 +82,27 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache,
-# decision-table, telemetry and session-table benchmarks with fixed
-# iteration budgets and writes BENCH_pr8.json. It fails if nodes/solve
-# regresses more than 10% against the committed bench_baseline.json, if
-# allocs/op regresses at all (the telemetry, decision-table and session
-# decide hot paths are pinned at 0), if the dataset-scale shared cache stops
-# cutting solver invocations by at least 2x, if attaching telemetry costs
-# more than 5% ns/decision at dataset scale, if the compiled decision table
-# stops beating the cached path by at least 5x per decision, or if the
-# embedded open-loop loadgen run breaches the p99 decide-latency or
-# rejection thresholds in the baseline's LoadgenOpenLoop entry.
+# decision-table, telemetry, session-table and fleet-simulator benchmarks
+# with fixed iteration budgets and writes BENCH_pr9.json. It fails if
+# nodes/solve regresses more than 10% against the committed
+# bench_baseline.json, if allocs/op regresses at all (the telemetry,
+# decision-table, session decide and fleet event hot paths are pinned at 0),
+# if the dataset-scale shared cache stops cutting solver invocations by at
+# least 2x, if attaching telemetry costs more than 5% ns/decision at dataset
+# scale, if the compiled decision table stops beating the cached path by at
+# least 5x per decision, if the embedded open-loop loadgen run breaches the
+# p99 decide-latency or rejection thresholds in the baseline's
+# LoadgenOpenLoop entry, or if the fleet simulator drops below the FleetSim
+# entry's session floor or ns/decision ratio against the single-session path.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr8.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr9.json
 
 # loadgen-gate is the standalone loadgen smoke + p99 gate: open-loop Poisson
 # arrivals against an in-process DecideService at fleet scale, gated on the
 # LoadgenOpenLoop thresholds recorded in bench_baseline.json.
 loadgen-gate:
 	$(GO) run ./cmd/soda-loadgen -mode open -sessions 50000 -requests 75000 -rps 40000 \
-		-session-memo -1 -baseline bench_baseline.json -out BENCH_pr8_loadgen.json
+		-session-memo -1 -baseline bench_baseline.json -out BENCH_pr9_loadgen.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

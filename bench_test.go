@@ -827,6 +827,82 @@ func BenchmarkOracleGap(b *testing.B) {
 	}
 }
 
+// --- Fleet-scale simulation -----------------------------------------------
+
+// BenchmarkFleetSim drives the struct-of-arrays fleet simulator at host
+// scale: 100k concurrent virtual players held in internal/arena slabs,
+// advanced by per-worker hierarchical time-wheels over segment-completion
+// events, every decision running the real controller on the compiled-table
+// path. The "single" arm runs the reference single-session simulator
+// (sim.Run) at the same controller configuration and reports its ns/decision
+// — the figure the fleet is gated against: cmd/soda-bench requires the fleet
+// arm, in the same run, to sustain at least the baseline FleetSim entry's
+// min_sessions with ns/decision at most max_ns_ratio times the single arm's,
+// at exactly 0 allocs/op (the steady fleet path must generate no garbage, or
+// GC owns the host long before 100k sessions do).
+func BenchmarkFleetSim(b *testing.B) {
+	ladder := video.Mobile()
+	const sessionSeconds = 300
+	b.Run("single", func(b *testing.B) {
+		tr, err := tracegen.Puffer().Session(units.Seconds(sessionSeconds), 17, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tables := core.NewDecisionTables()
+		var decisions uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig()
+			cfg.SolveMemoSize = 0
+			cfg.DecisionTable = tables
+			cfg.TableQuantum = fleetQuantum
+			res, err := sim.Run(tr, sim.Config{
+				Ladder:         ladder,
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: units.Seconds(sessionSeconds),
+				Controller:     core.New(cfg, ladder),
+				Predictor:      predictor.NewEMA(units.Seconds(4)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			decisions += uint64(len(res.Rungs) + res.Waits)
+		}
+		b.StopTimer()
+		if decisions > 0 {
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+		}
+	})
+	b.Run("fleet", func(b *testing.B) {
+		f, err := sim.NewFleet(sim.FleetConfig{
+			Sessions: 100_000,
+			Ladder:   ladder,
+			Seed:     17,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		// Warm-up window: first decides compile/bind the shared tables and the
+		// cohort reaches its steady segment cadence before the timer starts.
+		f.Advance(units.Seconds(10))
+		start := f.Report()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.Advance(units.Seconds(5))
+		}
+		b.StopTimer()
+		rep := f.Report()
+		decisions := rep.Decisions - start.Decisions
+		if decisions == 0 {
+			b.Fatal("fleet made no decisions")
+		}
+		b.ReportMetric(float64(rep.Sessions), "sessions")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+	})
+}
+
 // BenchmarkSessionTableDecide measures the full control-plane decide path —
 // rate-limit check, in-flight semaphore, session-table acquire, the decide
 // critical section, release, latency histogram — on a warm session with the

@@ -4,7 +4,7 @@
 // parsed results as JSON, and fails when a deterministic performance
 // property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr8.json
+//	go run ./cmd/soda-bench -out BENCH_pr9.json
 //
 // Five benchmark gates are enforced:
 //
@@ -34,6 +34,15 @@
 //
 // ns/op is recorded in the JSON for human inspection but never gated: it
 // moves with runner hardware.
+//
+// A fleet-simulation gate rides along on the baseline's special FleetSim
+// entry (recognised by min_sessions > 0): BenchmarkFleetSim's fleet arm must
+// sustain at least min_sessions concurrent virtual players with ns/decision
+// at most max_ns_ratio times the single-session arm of the same run
+// (-max-fleet-ns-ratio overrides the ratio), at exactly the entry's
+// allocs/op — zero. Like the table-speedup gate, the ratio compares two
+// wall-time figures from the same runner, so it is portable where raw ns/op
+// is not.
 //
 // Two control-plane gates ride along:
 //
@@ -83,6 +92,9 @@ type Result struct {
 	// TableHitPct is the compiled decision-table hit rate (table benchmarks
 	// only).
 	TableHitPct float64 `json:"table_hit_pct,omitempty"`
+	// Sessions is the concurrent virtual-player count a fleet benchmark
+	// sustained (BenchmarkFleetSim/fleet only).
+	Sessions float64 `json:"sessions,omitempty"`
 	// Telemetry-overhead metrics (BenchmarkTelemetryOverhead only).
 	NsPerDecisionOff     float64 `json:"ns_per_decision_off,omitempty"`
 	NsPerDecisionOn      float64 `json:"ns_per_decision_on,omitempty"`
@@ -105,6 +117,8 @@ type Report struct {
 	TableBenchtime     string   `json:"table_benchtime,omitempty"`
 	SessionPattern     string   `json:"session_pattern,omitempty"`
 	SessionBenchtime   string   `json:"session_benchtime,omitempty"`
+	FleetPattern       string   `json:"fleet_pattern,omitempty"`
+	FleetBenchtime     string   `json:"fleet_benchtime,omitempty"`
 	Benchmarks         []Result `json:"benchmarks"`
 	// Loadgen is the in-process open-loop load run feeding the p99 gate.
 	Loadgen *loadgen.Report `json:"loadgen,omitempty"`
@@ -121,6 +135,13 @@ type BaselineEntry struct {
 	MaxP99DecideMs float64 `json:"max_p99_decide_ms,omitempty"`
 	// MaxRejectedPct bounds the loadgen run's rejection percentage.
 	MaxRejectedPct float64 `json:"max_rejected_pct"`
+	// MinSessions gates the fleet benchmark's sustained concurrent-session
+	// count; a positive value marks the entry as the FleetSim threshold set,
+	// not a benchmark.
+	MinSessions float64 `json:"min_sessions,omitempty"`
+	// MaxNsRatio bounds the fleet arm's ns/decision relative to the
+	// single-session arm measured in the same run.
+	MaxNsRatio float64 `json:"max_ns_ratio,omitempty"`
 }
 
 func main() {
@@ -143,6 +164,11 @@ func main() {
 	tableBenchtime := flag.String("table-benchtime", "50000x", "iteration budget for the decision-table benchmark")
 	minTableSpeedup := flag.Float64("min-table-speedup", 5.0,
 		"required cached-path ns/decision over table-path ns/op ratio (0 disables)")
+	fleetPattern := flag.String("fleet-pattern", "BenchmarkFleetSim$",
+		"fleet-simulation benchmark pattern (empty skips the run and its gate)")
+	fleetBenchtime := flag.String("fleet-benchtime", "3x", "iteration budget for the fleet benchmark")
+	maxFleetNsRatio := flag.Float64("max-fleet-ns-ratio", 0,
+		"fleet vs single-session ns/decision ratio gate (0 takes the baseline's FleetSim entry)")
 	sessionPattern := flag.String("session-pattern", "BenchmarkSessionTableDecide$",
 		"control-plane decide benchmark pattern (empty skips the run; its 0 allocs/op floor lives in the baseline)")
 	sessionBenchtime := flag.String("session-benchtime", "20000x", "iteration budget for the control-plane decide benchmark")
@@ -151,7 +177,7 @@ func main() {
 	loadgenRPS := flag.Float64("loadgen-rps", 40000, "open-loop arrival rate for the in-process load run")
 	maxP99DecideMs := flag.Float64("max-p99-decide-ms", 0,
 		"p99 decide-latency gate for the load run in ms (0 takes the baseline's LoadgenOpenLoop entry)")
-	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
@@ -196,6 +222,14 @@ func main() {
 		report.SessionBenchtime = *sessionBenchtime
 		report.Benchmarks = append(report.Benchmarks, parse(sessionRaw).Benchmarks...)
 	}
+	if *fleetPattern != "" {
+		// One run: the gate is a same-run ratio of the two arms, and each fleet
+		// iteration advances 100k sessions through seconds of stream time.
+		fleetRaw := runBench(*fleetPattern, *fleetBenchtime, 1)
+		report.FleetPattern = *fleetPattern
+		report.FleetBenchtime = *fleetBenchtime
+		report.Benchmarks = append(report.Benchmarks, parse(fleetRaw).Benchmarks...)
+	}
 
 	baseline, err := readBaseline(*baselinePath)
 	if err != nil {
@@ -233,6 +267,9 @@ func main() {
 	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
 		failures = append(failures, gateTableSpeedup(report, *minTableSpeedup)...)
 	}
+	if *fleetPattern != "" {
+		failures = append(failures, gateFleetSim(report, baseline, *maxFleetNsRatio)...)
+	}
 	if len(failures) > 0 {
 		sort.Strings(failures)
 		for _, f := range failures {
@@ -250,6 +287,14 @@ func main() {
 	}
 	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
 		fmt.Printf("soda-bench: compiled decision table beats the cached path by >= %.1fx per decision\n", *minTableSpeedup)
+	}
+	if *fleetPattern != "" {
+		for _, r := range report.Benchmarks {
+			if r.Name == "BenchmarkFleetSim/fleet" {
+				fmt.Printf("soda-bench: fleet sim sustained %.0f sessions at %.1f ns/decision with %.0f allocs/op\n",
+					r.Sessions, r.NsPerDecision, r.AllocsPerOp)
+			}
+		}
 	}
 	if report.Loadgen != nil {
 		fmt.Printf("soda-bench: loadgen sustained %d sessions at %.0f rps with p99 %.3f ms (%.2f%% rejected)\n",
@@ -330,6 +375,9 @@ func parse(out string) Report {
 		nodeSamples       int
 		solves, nsDec     float64
 		solveSamples      int
+		nsDecSamples      int
+		sessions          float64
+		sessionSamples    int
 		hitPct            float64
 		hitSamples        int
 		tableHitPct       float64
@@ -372,6 +420,10 @@ func parse(out string) Report {
 				a.solveSamples++
 			case "ns/decision":
 				a.nsDec += v
+				a.nsDecSamples++
+			case "sessions":
+				a.sessions += v
+				a.sessionSamples++
 			case "shared-hit-%":
 				a.hitPct += v
 				a.hitSamples++
@@ -404,7 +456,12 @@ func parse(out string) Report {
 		}
 		if a.solveSamples > 0 {
 			r.SolvesPerSession = a.solves / float64(a.solveSamples)
-			r.NsPerDecision = a.nsDec / float64(a.solveSamples)
+		}
+		if a.nsDecSamples > 0 {
+			r.NsPerDecision = a.nsDec / float64(a.nsDecSamples)
+		}
+		if a.sessionSamples > 0 {
+			r.Sessions = a.sessions / float64(a.sessionSamples)
 		}
 		if a.hitSamples > 0 {
 			r.SharedHitPct = a.hitPct / float64(a.hitSamples)
@@ -445,8 +502,9 @@ func gate(rep Report, baseline map[string]BaselineEntry, tolerance float64) []st
 	}
 	var failures []string
 	for name, base := range baseline {
-		if base.MaxP99DecideMs > 0 {
-			// A load-run threshold entry, not a benchmark; runLoadgen gates it.
+		if base.MaxP99DecideMs > 0 || base.MinSessions > 0 {
+			// A load-run or fleet threshold entry, not a benchmark; runLoadgen
+			// and gateFleetSim gate those.
 			continue
 		}
 		got, ok := measured[name]
@@ -520,6 +578,57 @@ func gateTableSpeedup(rep Report, minSpeedup float64) []string {
 			speedup, cached.NsPerDecision, table.NsPerOp, minSpeedup)}
 	}
 	return nil
+}
+
+// fleetBaselineName is the baseline entry carrying the fleet-sim thresholds.
+const fleetBaselineName = "FleetSim"
+
+// gateFleetSim enforces the fleet-simulation budget: the fleet arm must
+// sustain at least the baseline's min_sessions concurrent virtual players,
+// cost at most max_ns_ratio times the single-session arm's ns/decision in
+// the same run (ratioOverride > 0 replaces the baseline ratio), and stay at
+// the baseline's allocs/op — zero, since steady-state garbage is what caps
+// how many sessions one host can carry.
+func gateFleetSim(rep Report, baseline map[string]BaselineEntry, ratioOverride float64) []string {
+	thresholds, ok := baseline[fleetBaselineName]
+	if !ok {
+		return []string{fmt.Sprintf("%s: threshold entry missing from baseline", fleetBaselineName)}
+	}
+	maxRatio := thresholds.MaxNsRatio
+	if ratioOverride > 0 {
+		maxRatio = ratioOverride
+	}
+	var single, fleet *Result
+	for i := range rep.Benchmarks {
+		switch rep.Benchmarks[i].Name {
+		case "BenchmarkFleetSim/single":
+			single = &rep.Benchmarks[i]
+		case "BenchmarkFleetSim/fleet":
+			fleet = &rep.Benchmarks[i]
+		}
+	}
+	if single == nil || single.NsPerDecision == 0 || fleet == nil || fleet.NsPerDecision == 0 {
+		return []string{"BenchmarkFleetSim: single/fleet ns/decision missing from benchmark output"}
+	}
+	var failures []string
+	if fleet.Sessions < thresholds.MinSessions {
+		failures = append(failures, fmt.Sprintf(
+			"BenchmarkFleetSim/fleet: sustained %.0f concurrent sessions, need >= %.0f",
+			fleet.Sessions, thresholds.MinSessions))
+	}
+	if maxRatio > 0 {
+		if ratio := fleet.NsPerDecision / single.NsPerDecision; ratio > maxRatio {
+			failures = append(failures, fmt.Sprintf(
+				"BenchmarkFleetSim: fleet path costs %.2fx the single-session path per decision (%.1f vs %.1f ns), budget %.2fx",
+				ratio, fleet.NsPerDecision, single.NsPerDecision, maxRatio))
+		}
+	}
+	if fleet.AllocsPerOp > thresholds.AllocsPerOp {
+		failures = append(failures, fmt.Sprintf(
+			"BenchmarkFleetSim/fleet: allocs/op %.2f exceeds baseline %.2f (zero tolerance)",
+			fleet.AllocsPerOp, thresholds.AllocsPerOp))
+	}
+	return failures
 }
 
 // gateTelemetryOverhead enforces the telemetry cost budget: at dataset

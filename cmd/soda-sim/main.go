@@ -7,6 +7,13 @@
 //	soda-sim -trace mytrace.csv -controllers soda
 //	soda-sim -dataset puffer -cpuprofile cpu.pprof -memprofile mem.pprof
 //	soda-sim -dataset 4g -controllers soda -telemetry telemetry.json
+//
+// Fleet mode advances a whole cohort of virtual players on the arena-backed
+// time-wheel simulator instead of running sessions to completion one at a
+// time — the ≥100k-sessions-per-host configuration:
+//
+//	soda-sim -fleet -fleet-sessions 100000 -fleet-seconds 120
+//	soda-sim -fleet -dataset 5g -fleet-sessions 250000 -fleet-workers 8
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/abr"
 	"repro/internal/predictor"
@@ -40,6 +48,11 @@ func main() {
 	controllers := flag.String("controllers", "soda,hyb,bola,dynamic,mpc", "comma-separated controllers")
 	tableQuantum := flag.Float64("table-quantum", 0, "compiled decision-table quantum for the soda controller, seconds and Mb/s per cell (0 disables)")
 	seed := flag.Uint64("seed", 42, "generator seed")
+	fleet := flag.Bool("fleet", false, "run the arena-backed time-wheel fleet simulator instead of per-session runs")
+	fleetSessions := flag.Int("fleet-sessions", 100000, "fleet mode: concurrent virtual players")
+	fleetWorkers := flag.Int("fleet-workers", 0, "fleet mode: worker-pool size (0: GOMAXPROCS)")
+	fleetSeconds := flag.Float64("fleet-seconds", 60, "fleet mode: stream-clock seconds to advance the cohort")
+	fleetTick := flag.Float64("fleet-tick", 0, "fleet mode: time-wheel tick granularity in seconds (0: 10 ms default)")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -48,7 +61,13 @@ func main() {
 		fatal(err)
 	}
 
-	runErr := run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *tableQuantum, *seed, prof.Collector())
+	var runErr error
+	if *fleet {
+		runErr = runFleet(*ladderName, *dataset, *fleetSessions, *fleetWorkers,
+			*fleetSeconds, *sessionSeconds, *bufferCap, *fleetTick, *seed, prof.Collector())
+	} else {
+		runErr = run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *tableQuantum, *seed, prof.Collector())
+	}
 	if err := stopProfiles(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -74,6 +93,51 @@ func run(ladderName, dataset, traceFile, controllers string, sessions int, sessi
 			return err
 		}
 	}
+	return nil
+}
+
+// runFleet advances a cohort on sim.Fleet and prints its progress counters
+// and throughput. The controller configuration is the fleet default
+// (production config, per-session memo off, compiled tables at quantum 0.5)
+// — the same one BenchmarkFleetSim gates.
+func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, sessionSeconds, bufferCap, tick float64, seed uint64, col *telemetry.Collector) error {
+	ladder, err := pickLadder(ladderName, dataset)
+	if err != nil {
+		return err
+	}
+	profile, err := pickProfile(dataset)
+	if err != nil {
+		return err
+	}
+	f, err := sim.NewFleet(sim.FleetConfig{
+		Sessions:      sessions,
+		Workers:       workers,
+		Ladder:        ladder,
+		BufferCap:     units.Seconds(bufferCap),
+		Profile:       profile,
+		SessionLength: units.Seconds(sessionSeconds),
+		Seed:          seed,
+		TickSeconds:   units.Seconds(tick),
+		Telemetry:     col,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	start := time.Now()
+	f.Advance(units.Seconds(fleetSeconds))
+	wall := time.Since(start).Seconds()
+	rep := f.Report()
+	fmt.Printf("fleet %s: %d sessions on %d workers advanced %.0f stream-seconds in %.2fs wall\n",
+		dataset, rep.Sessions, rep.Workers, float64(rep.SimSeconds), wall)
+	fmt.Printf("  decisions %d (waits %d), segments %d, stall %.1fs across the cohort\n",
+		rep.Decisions, rep.Waits, rep.Segments, float64(rep.StallSeconds))
+	if wall > 0 && rep.Decisions > 0 {
+		fmt.Printf("  %.0f decisions/s, %.0f ns/decision\n",
+			float64(rep.Decisions)/wall, wall*1e9/float64(rep.Decisions))
+	}
+	fmt.Printf("  %s\n", rep.Arena)
 	return nil
 }
 

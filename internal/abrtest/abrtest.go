@@ -186,6 +186,76 @@ func TableConformance(t *testing.T, name string, plain, tabled Factory) {
 	}
 }
 
+// ArenaFactory builds a controller whose state lives in an externally owned
+// arena slot. release returns the slot to the arena's free list; the
+// controller must not be used after release.
+type ArenaFactory func(ladder video.Ladder) (ctrl abr.Controller, release func())
+
+// ArenaConformance is the struct-of-arrays purity contract: controllers
+// placed in arena slots must reproduce heap-backed decision sequences
+// bit-for-bit on every registered ladder. The concurrent passes churn slots
+// between racing goroutines under several GOMAXPROCS settings (run with
+// -race to also prove the arena's slot recycling is correctly
+// synchronised); the serial pass frees and reallocates between streams, so
+// every replay after the first runs on a recycled slot and any state the
+// previous tenant left behind shows up as a divergence.
+func ArenaConformance(t *testing.T, name string, plain Factory, arenaBacked ArenaFactory) {
+	t.Helper()
+	for _, nl := range video.NamedLadders() {
+		nl := nl
+		t.Run(name+"/arena-bit-identical/"+nl.Name, func(t *testing.T) {
+			const sessions, steps = 6, 80
+			streams := make([][]*abr.Context, sessions)
+			want := make([][]int, sessions)
+			for i := range streams {
+				streams[i] = contextStream(nl.Ladder, 9000+uint64(i)*23, steps)
+				want[i] = replay(plain(nl.Ladder), streams[i])
+			}
+			check := func(pass string, got [][]int) {
+				t.Helper()
+				for i := range want {
+					for j := range want[i] {
+						if got[i][j] != want[i][j] {
+							t.Fatalf("%s: stream %d decision %d: arena %d != heap %d",
+								pass, i, j, got[i][j], want[i][j])
+						}
+					}
+				}
+			}
+			concurrent := func() [][]int {
+				got := make([][]int, sessions)
+				var wg sync.WaitGroup
+				for i := range streams {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						c, release := arenaBacked(nl.Ladder)
+						got[i] = replay(c, streams[i])
+						release()
+					}(i)
+				}
+				wg.Wait()
+				return got
+			}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				check("churning concurrent", concurrent())
+				check("churning concurrent again", concurrent())
+			}
+			runtime.GOMAXPROCS(prev)
+			serial := make([][]int, sessions)
+			for i := range streams {
+				c, release := arenaBacked(nl.Ladder)
+				serial[i] = replay(c, streams[i])
+				release()
+			}
+			check("recycled serial", serial)
+		})
+	}
+}
+
 // decisionsTotal checks the controller returns an in-range rung or a
 // positive wait for every legal context.
 func decisionsTotal(t *testing.T, c abr.Controller) {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/abr"
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/video"
 
@@ -76,6 +77,38 @@ func TestSodaSharedCacheBitIdenticalUnderPressure(t *testing.T) {
 func TestSodaSharedCacheFullSuite(t *testing.T) {
 	cache := core.NewSolveCache(1 << 14)
 	Conformance(t, "soda-shared-cache", sodaShared(cache))
+}
+
+// sodaArena builds registry-default-configured SODA controllers in slots of
+// the given arena, each released back to the free list after its replay.
+func sodaArena(a *arena.Arena) ArenaFactory {
+	return func(ladder video.Ladder) (abr.Controller, func()) {
+		h, ok := a.AllocAny()
+		if !ok {
+			panic("arena exhausted mid-conformance")
+		}
+		ctrl, _, _ := a.Session(h)
+		ctrl.Init(core.DefaultConfig(), ladder)
+		return ctrl, func() { a.Free(h) }
+	}
+}
+
+// TestSodaArenaConformance is the arena conformance contract: SODA
+// controllers living in struct-of-arrays slots — including recycled ones —
+// must decide bit-identically to heap-backed controllers. The arena is
+// deliberately tiny (two shards, eight slots each) so the contract's churn
+// runs overwhelmingly on recycled slots, and it is shared across all ladders
+// on purpose: Init on a recycled slot must fully rebind the controller.
+func TestSodaArenaConformance(t *testing.T) {
+	a := arena.New(2, 8)
+	ArenaConformance(t, "soda", sodaPlain, sodaArena(a))
+	st := a.Stats()
+	if st.Frees == 0 {
+		t.Fatalf("contract exercised no slot recycling: %s", st)
+	}
+	if st.Live != 0 {
+		t.Fatalf("slots leaked: %s", st)
+	}
 }
 
 // tableQuantum is the quantization step the table conformance contracts run

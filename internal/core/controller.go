@@ -77,10 +77,25 @@ func init() {
 // New constructs a SODA controller for the given ladder. It panics on an
 // invalid config: configurations are program constants in every harness.
 func New(cfg Config, ladder video.Ladder) *Controller {
+	c := new(Controller)
+	c.Init(cfg, ladder)
+	return c
+}
+
+// Init (re)initialises the controller in place — the arena path, where
+// controllers live by value inside slab arrays and slots are recycled across
+// sessions. It runs exactly the construction New performs (New is Init on a
+// fresh allocation), so an arena-resident controller is bit-identical to a
+// heap-allocated one by construction; abrtest.ArenaConformance pins this. A
+// recycled slot's memo backing array is reused when the configured size
+// matches, flushed so no decision state crosses sessions. Like New, Init
+// panics on an invalid config.
+func (c *Controller) Init(cfg Config, ladder video.Ladder) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Controller{cfg: cfg, ladder: ladder, shared: cfg.SharedCache, tables: cfg.DecisionTable}
+	memo := c.memo
+	*c = Controller{cfg: cfg, ladder: ladder, shared: cfg.SharedCache, tables: cfg.DecisionTable}
 	c.tq = cfg.MemoQuantum
 	if c.tables != nil {
 		c.tq = cfg.tableQuantum()
@@ -90,10 +105,33 @@ func New(cfg Config, ladder video.Ladder) *Controller {
 		for size < cfg.SolveMemoSize {
 			size <<= 1
 		}
-		c.memo = make([]memoEntry, size)
+		if len(memo) == size {
+			c.memo = memo
+			c.flushMemo()
+		} else {
+			c.memo = make([]memoEntry, size)
+		}
 		c.memoMask = uint32(size - 1)
 	}
-	return c
+}
+
+// Prewarm eagerly binds everything Decide would otherwise build lazily on
+// first use: the cost model for this buffer cap (and with it the decision
+// table and shared-cache fingerprint) plus the solver scratch sized for the
+// largest horizon this configuration can plan. Decisions are unaffected —
+// the same structures appear on first Decide either way — but a fleet that
+// prewarms its sessions at setup pays every per-session allocation up front
+// and runs the steady decide path allocation-free from the first event.
+func (c *Controller) Prewarm(bufferCap units.Seconds) {
+	m := c.modelFor(bufferCap)
+	k := c.cfg.Horizon
+	if maxK := int(c.cfg.MaxHorizonSeconds / c.ladder.SegmentSeconds); maxK >= 1 && k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	m.scratch.ensure(k)
 }
 
 // Name implements abr.Controller.

@@ -200,6 +200,46 @@ func TestDecideSteadyStateZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestPrewarmZeroAllocFirstDecide pins the Prewarm contract: after Prewarm
+// at the session's buffer cap, even the very first Decide is allocation-free
+// — the cost model and solver scratch, Decide's only lazy allocations, are
+// already bound. Fleets and servers rely on this to keep arena-backed decide
+// paths at zero allocs from the first event.
+func TestPrewarmZeroAllocFirstDecide(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SolveMemoSize = 0
+	c := New(cfg, video.YouTube4K())
+	c.Prewarm(units.Seconds(20))
+	ctx := &abr.Context{
+		Buffer:    units.Seconds(11),
+		BufferCap: units.Seconds(20),
+		PrevRung:  3,
+		Ladder:    video.YouTube4K(),
+		Predict:   func(units.Seconds) units.Mbps { return units.Mbps(30) },
+	}
+	allocs := testing.AllocsPerRun(1, func() {
+		c.Decide(ctx)
+	})
+	if allocs != 0 {
+		t.Errorf("first Decide after Prewarm allocates %.1f times per op", allocs)
+	}
+	// Prewarm must bind the same model a cold Decide would: decisions match
+	// a never-prewarmed twin across a spread of states.
+	cold := New(cfg, video.YouTube4K())
+	for i := 0; i < 50; i++ {
+		s := &abr.Context{
+			Buffer:    units.Seconds(float64(i%20) + 0.5),
+			BufferCap: units.Seconds(20),
+			PrevRung:  i%6 - 1,
+			Ladder:    video.YouTube4K(),
+			Predict:   func(units.Seconds) units.Mbps { return units.Mbps(1 + float64(i)) },
+		}
+		if a, b := c.Decide(s), cold.Decide(s); a != b {
+			t.Fatalf("state %d: prewarmed %+v != cold %+v", i, a, b)
+		}
+	}
+}
+
 // TestDecideMemo checks the Decide-level memo: hits on repeated quantized
 // states, identical decisions with and without the memo on a realistic
 // trajectory, and a flush on Reset and on buffer cap changes.

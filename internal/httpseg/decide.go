@@ -2,12 +2,15 @@ package httpseg
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	"repro/internal/abr"
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/sessiontable"
 	"repro/internal/telemetry"
@@ -110,6 +113,7 @@ type DecideService struct {
 	col          *telemetry.Collector
 
 	sessions *sessiontable.Table
+	arena    *arena.Arena
 	limiter  *sessiontable.Limiter
 	inflight *sessiontable.Semaphore
 	ttl      time.Duration
@@ -129,13 +133,11 @@ type DecideService struct {
 	decideLatency    *telemetry.Histogram
 }
 
-// decideSession is one session's controller state, stored as the
-// sessiontable entry value and accessed under the entry's lock.
-type decideSession struct {
-	ctrl     *core.Controller
-	prevRung int
-	segment  int
-}
+// errArenaFull is returned by the create callback when the session arena has
+// no free slot; the caller maps it onto a capacity rejection. The arena is
+// sized past the table's capacity, so reaching it means the sizing contract
+// broke, not that the host is merely busy.
+var errArenaFull = errors.New("httpseg: session arena exhausted")
 
 // decideLatencyBuckets resolve the p99 regime of the serving path: the
 // decide critical section is single-digit microseconds, the control-plane
@@ -169,9 +171,26 @@ func NewDecideService(ladder video.Ladder, opts DecideOptions, col *telemetry.Co
 	if opts.SessionTTL < 0 {
 		ttlNanos = 0
 	}
+	// Per-session controller state lives in a struct-of-arrays arena rather
+	// than as individually heap-allocated values: controllers and player
+	// state sit in flat slab arrays (the layout the fleet simulator and the
+	// load generator share), slots recycle through a free list, and stale
+	// handles are caught by generation counters. Sized past the table's
+	// capacity (shard rounding can admit up to one extra session per table
+	// shard), split across shards so concurrent session creation does not
+	// serialise on one arena lock.
+	arenaShards := runtime.GOMAXPROCS(0)
+	arenaCap := opts.MaxSessions + 512
+	s.arena = arena.New(arenaShards, (arenaCap+arenaShards-1)/arenaShards)
 	s.sessions = sessiontable.New(sessiontable.Config{
 		MaxSessions: opts.MaxSessions,
 		TTLNanos:    ttlNanos,
+		// Idle sweep or capacity reclaim dropped the session: return its
+		// arena slot to the free list. The table only evicts sessions with
+		// no in-flight holders, so the slot cannot be in use.
+		OnEvict: func(sess *sessiontable.Session) {
+			s.arena.Free(arena.Handle(sess.Handle))
+		},
 	})
 	if opts.RPSPerClient > 0 {
 		s.limiter = sessiontable.NewLimiter(opts.RPSPerClient, opts.BurstPerClient)
@@ -385,36 +404,45 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 	// the unlock. The solver itself is sub-microsecond, so the critical
 	// section stays short; distinct sessions proceed in parallel.
 	entry.Mu.Lock()
-	sess := entry.Value.(*decideSession)
+	ctrl, st, ok := s.arena.Session(arena.Handle(entry.Handle))
+	if !ok {
+		// Unreachable by the lifecycle contract: the table's refcount keeps
+		// the slot from being evicted (and therefore freed) under a holder,
+		// and the generation check would only fail on a stale handle.
+		entry.Mu.Unlock()
+		s.sessions.Release(entry, time.Now().UnixNano())
+		s.rejectedCapacity.Inc()
+		return DecideResult{Status: StatusRejectedCapacity, RetryAfter: time.Second}
+	}
 	if req.Segment >= 0 {
-		sess.segment = req.Segment
+		st.Segment = int32(req.Segment)
 	}
 	if req.HavePrev {
-		sess.prevRung = req.Prev
+		st.PrevRung = int32(req.Prev)
 	}
 	omega := req.Throughput
 	ctx := &abr.Context{
 		Buffer:         req.Buffer,
 		BufferCap:      bufferCap,
-		PrevRung:       sess.prevRung,
+		PrevRung:       int(st.PrevRung),
 		Ladder:         s.ladder,
-		SegmentIndex:   sess.segment,
+		SegmentIndex:   int(st.Segment),
 		TotalSegments:  1 << 20, // an open-ended live stream
 		LastThroughput: omega,
 		Predict:        func(units.Seconds) units.Mbps { return omega },
 	}
 
-	before := sess.ctrl.SolveStats()
+	before := ctrl.SolveStats()
 	t0 := time.Now()
-	decision := sess.ctrl.Decide(ctx)
+	decision := ctrl.Decide(ctx)
 	elapsed := time.Since(t0)
 
-	res := DecideResult{SessionID: entry.ID(), Segment: sess.segment, Rung: decision.Rung}
+	res := DecideResult{SessionID: entry.ID(), Segment: int(st.Segment), Rung: decision.Rung}
 	ev := telemetry.DecisionEvent{
 		Session:      int32(entry.ID()),
-		Segment:      int32(sess.segment),
+		Segment:      st.Segment,
 		Rung:         int16(decision.Rung),
-		PrevRung:     int16(sess.prevRung),
+		PrevRung:     int16(st.PrevRung),
 		Buffer:       req.Buffer,
 		Throughput:   omega,
 		SolveSeconds: units.Seconds(elapsed.Seconds()),
@@ -429,10 +457,10 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 		res.BitrateMbps = float64(s.ladder.Mbps(rung))
 		ev.Rung = int16(rung)
 		ev.Bitrate = s.ladder.Mbps(rung)
-		sess.prevRung = rung
-		sess.segment++
+		st.PrevRung = int32(rung)
+		st.Segment++
 	}
-	d := sess.ctrl.SolveStats().Delta(before)
+	d := ctrl.SolveStats().Delta(before)
 	entry.Mu.Unlock()
 	s.sessions.Release(entry, time.Now().UnixNano())
 
@@ -450,12 +478,24 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 	return res
 }
 
-// newSession is the sessiontable create callback.
-func (s *DecideService) newSession(int64) any {
-	return &decideSession{
-		ctrl:     core.New(s.sessionConfig(), s.ladder),
-		prevRung: abr.NoRung,
+// newSession is the sessiontable create callback: claim an arena slot,
+// initialise its controller in place (a recycled slot reuses its memo
+// backing array — Init flushes it, so no decision state crosses sessions),
+// and prewarm the default-cap cost model so steady-state decides allocate
+// nothing. Decisions on an arena slot are bit-identical to a heap-allocated
+// controller's (abrtest.ArenaConformance); eviction and recreation therefore
+// still cannot change what the solver is asked or answers.
+func (s *DecideService) newSession(sess *sessiontable.Session) error {
+	h, ok := s.arena.AllocAny()
+	if !ok {
+		return errArenaFull
 	}
+	ctrl, st, _ := s.arena.Session(h)
+	ctrl.Init(s.sessionConfig(), s.ladder)
+	ctrl.Prewarm(units.Seconds(defaultBufferCap))
+	*st = arena.State{PrevRung: int32(abr.NoRung)}
+	sess.Handle = uint64(h)
+	return nil
 }
 
 // decideReply is the JSON response of one /decide call.

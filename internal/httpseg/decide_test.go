@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -175,6 +176,93 @@ func TestSessionTableConformance(t *testing.T) {
 				t.Fatal("churny service never evicted — the conformance run did not exercise recreation")
 			}
 		})
+	}
+}
+
+// TestEvictRecreateRecycledSlot pins the arena half of the lifecycle
+// contract. Eviction frees the session's arena slot; a later admission pops
+// that slot off the shard free list and recreates a controller in place
+// (same index, bumped generation). The recreated session must decide
+// bit-identically to a long-lived reference service — nothing of the
+// previous tenant may survive slot recycling.
+func TestEvictRecreateRecycledSlot(t *testing.T) {
+	reference, err := NewDecideService(video.Mobile(), DecideOptions{CacheEntries: 1 << 10, TableQuantum: 0.5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churny, err := NewDecideService(video.Mobile(), DecideOptions{
+		CacheEntries: 1 << 10, TableQuantum: 0.5,
+		MaxSessions: 2, SessionTTL: time.Nanosecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// handleOf reads the arena handle of an existing session (the key must be
+	// live: a nil create on a missing key would admit a handle-less session).
+	handleOf := func(key string) arena.Handle {
+		t.Helper()
+		s, err := churny.sessions.Acquire(key, time.Now().UnixNano(), nil)
+		if err != nil {
+			t.Fatalf("resolving %q: %v", key, err)
+		}
+		h := arena.Handle(s.Handle)
+		churny.sessions.Release(s, time.Now().UnixNano())
+		return h
+	}
+
+	type slot struct {
+		shard int
+		idx   uint32
+	}
+	gens := map[slot]uint32{}
+	recycled := 0
+	prev := -1
+	segment := 0
+	// Enough churn cycles that AllocAny's round-robin cursor revisits every
+	// shard several times, guaranteeing free-list pops of recycled slots.
+	iters := 16 * churny.arena.Shards()
+	if iters < 64 {
+		iters = 64
+	}
+	for i := 0; i < iters; i++ {
+		buffer := float64(i%23) * 0.9
+		throughput := 0.3 + float64((i*7)%31)*0.5
+		key := fmt.Sprintf("r%d", i) // fresh key every request on both services
+		req := func() *DecideRequest {
+			return &DecideRequest{
+				Session:    key,
+				Buffer:     units.Seconds(buffer),
+				Throughput: units.Mbps(throughput),
+				Segment:    segment,
+				Prev:       prev,
+				HavePrev:   true,
+			}
+		}
+		a := reference.Decide(req())
+		b := churny.Decide(req())
+		if a.Status != StatusOK || b.Status != StatusOK {
+			t.Fatalf("step %d: status %d vs %d", i, a.Status, b.Status)
+		}
+		if a.Rung != b.Rung || a.WaitSeconds != b.WaitSeconds {
+			t.Fatalf("step %d (buffer=%.1f throughput=%.1f prev=%d): reference rung %d (wait %g) != recycled rung %d (wait %g)",
+				i, buffer, throughput, prev, a.Rung, a.WaitSeconds, b.Rung, b.WaitSeconds)
+		}
+		h := handleOf(key)
+		s := slot{h.Shard(), h.Index()}
+		if g, seen := gens[s]; seen && g != h.Generation() {
+			recycled++
+		}
+		gens[s] = h.Generation()
+		if a.Rung >= 0 {
+			prev = a.Rung
+			segment++
+		}
+		// Evict between requests so each admission reclaims a freed slot.
+		churny.SweepSessions(time.Now().Add(time.Second))
+	}
+	if recycled == 0 {
+		t.Fatal("no session was ever recreated on a recycled arena slot — the run exercised nothing")
 	}
 }
 

@@ -99,6 +99,46 @@ func (w *Wrapped) Inc() {
 	w.plain++
 }
 
+// Slot mirrors a raw-integer generation counter: the recycler bumps it with
+// sync/atomic so lock-free readers can detect stale handles, which makes
+// every plain access a race.
+type Slot struct {
+	gen  uint32
+	data int
+}
+
+// Recycle invalidates every outstanding handle to the slot.
+func (s *Slot) Recycle() { atomic.AddUint32(&s.gen, 1) }
+
+// Live is the sanctioned probe.
+func (s *Slot) Live(gen uint32) bool { return atomic.LoadUint32(&s.gen) == gen }
+
+// StaleCheck reads the generation plainly — a stale-handle check that races
+// with Recycle and can validate a handle against a torn counter.
+func (s *Slot) StaleCheck(gen uint32) bool {
+	return s.gen == gen // want `plain access to Slot\.gen`
+}
+
+// Touch writes the slot through a handle it never validated; data is not
+// atomic anywhere, so the analyzer stays silent — slot data discipline
+// belongs to the generation protocol, not this checker.
+func (s *Slot) Touch(v int) { s.data = v }
+
+// Spine covers the atomic.Pointer slab-spine shape: wrapper types self
+// synchronise, are invisible to the analyzer, and keep plain neighbours
+// plain.
+type Spine struct {
+	slabs [2]atomic.Pointer[Slot]
+	hint  int
+}
+
+func (sp *Spine) Publish(i int, p *Slot) {
+	sp.slabs[i].Store(p)
+	sp.hint = i
+}
+
+func (sp *Spine) Get(i int) *Slot { return sp.slabs[i].Load() }
+
 // PlainOnly is never touched atomically: plain access everywhere is fine.
 type PlainOnly struct {
 	count int64

@@ -197,6 +197,67 @@ func (s *Sharded) Walk() int {
 	return total
 }
 
+// ArenaShard mirrors the session-arena shard shape: allocation bookkeeping
+// (free list, bump cursor) guarded by mu, while generation counters are
+// atomic wrappers so the lock-free probe path can validate a handle without
+// touching guarded state.
+type ArenaShard struct {
+	mu sync.Mutex
+	//soda:guard mu
+	free []uint32
+	//soda:guard mu
+	next uint32
+	gen  [4]atomic.Uint32
+	data [4]int
+}
+
+// AllocSlot pops the free list or bumps the cursor, all under the lock.
+func (s *ArenaShard) AllocSlot() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	idx := s.next
+	s.next++
+	return idx
+}
+
+// FreeSlot bumps the slot generation and pushes it back under the lock.
+func (s *ArenaShard) FreeSlot(idx uint32) {
+	s.mu.Lock()
+	s.gen[idx].Add(1)
+	s.free = append(s.free, idx)
+	s.mu.Unlock()
+}
+
+// Probe is the sanctioned lock-free read path: only the atomic generation
+// and the handle-holder-owned slot data, no guarded allocation state.
+func (s *ArenaShard) Probe(idx, gen uint32) (int, bool) {
+	if s.gen[idx].Load() != gen {
+		return 0, false
+	}
+	v := s.data[idx]
+	if s.gen[idx].Load() != gen {
+		return 0, false
+	}
+	return v, true
+}
+
+// StaleHandleScan guesses whether a handle is stale by reading the free
+// list lock-free — exactly the shortcut the guard annotation exists to
+// catch: the scan races with AllocSlot's pop and FreeSlot's append.
+func (s *ArenaShard) StaleHandleScan(idx uint32) bool {
+	for _, f := range s.free { // want `access to s\.free in \(ArenaShard\)\.StaleHandleScan without holding s\.mu`
+		if f == idx {
+			return true
+		}
+	}
+	return false
+}
+
 // Misguard exercises the malformed-annotation findings.
 type Misguard struct {
 	lock sync.RWMutex

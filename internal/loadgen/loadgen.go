@@ -18,7 +18,11 @@
 // internal/tracegen profile (the paper-calibrated throughput processes) and
 // runs a small player model: decisions advance a simulated buffer, which
 // feeds back into the next request. Sessions share a bounded pool of traces
-// round-robin so 50k sessions do not need 50k trace syntheses.
+// round-robin so 50k sessions do not need 50k trace syntheses, and their
+// player state lives in an internal/arena slab — the same struct-of-arrays
+// layout soda-server and the fleet simulator use — rather than one heap
+// object per session. Both loops run on fixed worker pools: session count
+// scales the arena, not the goroutine count.
 //
 // Targets are pluggable: InProc drives a DecideService directly (no HTTP,
 // the configuration the allocation and p99 gates use), HTTPTarget drives a
@@ -33,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/httpseg"
 	"repro/internal/sessiontable"
 	"repro/internal/telemetry"
@@ -143,23 +148,22 @@ var latencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
-// vsession is one virtual stream: its trace cursor and player-model state.
-// The mutex serialises the session's in-flight decide with its state update;
-// distinct sessions proceed in parallel.
-type vsession struct {
-	mu      sync.Mutex
-	key     string
-	samples []units.Mbps
-	cursor  int
-	buffer  units.Seconds
-}
-
-// runner is the per-run state shared by session goroutines and workers.
+// runner is the per-run state shared by the worker pool. Virtual-session
+// player state lives in the arena (arena.State.Buffer/Trace/Cursor); the
+// runner keeps only the parallel per-session slices the arena does not own:
+// the wire key and the lock serialising a session's in-flight decide with
+// its state update. In the closed loop each worker owns a fixed residue
+// class of session indices, so those locks are uncontended there; the open
+// loop dispatches arrivals to arbitrary workers and relies on them.
 type runner struct {
-	cfg      Config
-	target   Target
-	sessions []*vsession
-	latency  *telemetry.Histogram
+	cfg     Config
+	target  Target
+	arena   *arena.Arena
+	states  []*arena.State
+	keys    []string
+	locks   []sync.Mutex
+	pool    [][]units.Mbps
+	latency *telemetry.Histogram
 
 	issued   atomic.Int64
 	ok       atomic.Uint64
@@ -225,7 +229,11 @@ func Run(cfg Config, target Target) (Report, error) {
 	return rep, nil
 }
 
-// buildSessions synthesizes the shared trace pool and the virtual sessions.
+// buildSessions synthesizes the shared trace pool and allocates one arena
+// slot per virtual session. Sessions are spread across arena shards by
+// index residue, which lines up with the closed loop's worker ownership:
+// worker w walks sessions i ≡ w (mod workers), so each worker stays inside
+// one shard's slabs.
 func (r *runner) buildSessions() error {
 	pool := make([][]units.Mbps, r.cfg.TracePool)
 	for i := range pool {
@@ -240,31 +248,46 @@ func (r *runner) buildSessions() error {
 		}
 		pool[i] = mbps
 	}
-	r.sessions = make([]*vsession, r.cfg.Sessions)
-	for i := range r.sessions {
-		r.sessions[i] = &vsession{
-			key: fmt.Sprintf("lg-%d", i),
-			// Stagger cursors so pool-sharing sessions do not move in
-			// lockstep through identical throughput samples.
-			samples: pool[i%len(pool)],
-			cursor:  i / len(pool),
+	r.pool = pool
+
+	shards := r.cfg.Workers
+	if shards > r.cfg.Sessions {
+		shards = r.cfg.Sessions
+	}
+	perShard := (r.cfg.Sessions + shards - 1) / shards
+	r.arena = arena.New(shards, perShard)
+	r.states = make([]*arena.State, r.cfg.Sessions)
+	r.keys = make([]string, r.cfg.Sessions)
+	r.locks = make([]sync.Mutex, r.cfg.Sessions)
+	for i := range r.states {
+		h, ok := r.arena.Alloc(i % shards)
+		if !ok {
+			return fmt.Errorf("loadgen: arena shard %d exhausted at session %d", i%shards, i)
 		}
+		st, _ := r.arena.State(h)
+		// Stagger cursors so pool-sharing sessions do not move in lockstep
+		// through identical throughput samples.
+		*st = arena.State{Trace: int32(i % len(pool)), Cursor: int32(i / len(pool))}
+		r.states[i] = st
+		r.keys[i] = fmt.Sprintf("lg-%d", i)
 	}
 	return nil
 }
 
-// step issues one decide for sess and advances its player model, observing
-// latency from the given start time (scheduled arrival in open loop, call
-// time in closed loop).
-func (r *runner) step(sess *vsession, start time.Time) {
-	sess.mu.Lock()
-	defer sess.mu.Unlock()
+// step issues one decide for session index i and advances its player model,
+// observing latency from the given start time (scheduled arrival in open
+// loop, call time in closed loop).
+func (r *runner) step(i int, start time.Time) {
+	r.locks[i].Lock()
+	defer r.locks[i].Unlock()
 
-	throughput := sess.samples[sess.cursor%len(sess.samples)]
-	sess.cursor++
+	st := r.states[i]
+	samples := r.pool[st.Trace]
+	throughput := samples[int(st.Cursor)%len(samples)]
+	st.Cursor++
 	req := httpseg.DecideRequest{
-		Session:    sess.key,
-		Buffer:     sess.buffer,
+		Session:    r.keys[i],
+		Buffer:     st.Buffer,
 		Throughput: throughput,
 		BufferCap:  r.cfg.BufferCap,
 		Segment:    -1,
@@ -278,7 +301,7 @@ func (r *runner) step(sess *vsession, start time.Time) {
 	case httpseg.StatusOK:
 		r.ok.Add(1)
 		r.latency.Observe(time.Since(start).Seconds())
-		r.advancePlayer(sess, throughput, res)
+		r.advancePlayer(st, throughput, res)
 	case httpseg.StatusRejectedRate:
 		r.rejRate.Add(1)
 	case httpseg.StatusRejectedLoad:
@@ -294,8 +317,8 @@ func (r *runner) step(sess *vsession, start time.Time) {
 // download consumes link time and deposits a segment; a wait decision drains
 // the buffer for the advised time. All arithmetic is local float64 — the
 // unit types come back on at the request boundary.
-func (r *runner) advancePlayer(sess *vsession, throughput units.Mbps, res httpseg.DecideResult) {
-	buffer := float64(sess.buffer)
+func (r *runner) advancePlayer(st *arena.State, throughput units.Mbps, res httpseg.DecideResult) {
+	buffer := float64(st.Buffer)
 	segment := float64(r.cfg.SegmentSeconds)
 	if res.Rung >= 0 {
 		thr := float64(throughput)
@@ -313,37 +336,51 @@ func (r *runner) advancePlayer(sess *vsession, throughput units.Mbps, res httpse
 	if limit := float64(r.cfg.BufferCap); buffer > limit {
 		buffer = limit
 	}
-	sess.buffer = units.Seconds(buffer)
+	st.Buffer = units.Seconds(buffer)
 }
 
-// runClosed runs the closed loop: one goroutine per session, each issuing
-// back-to-back decides (plus think time). The request budget is split across
-// sessions up front — a shared first-come-first-served budget would let the
-// earliest-scheduled goroutines spend it all before the rest even start
-// (in-process decides are single-digit microseconds), leaving most sessions
-// untouched.
+// runClosed runs the closed loop on a fixed worker pool: worker w owns the
+// sessions whose index is ≡ w (mod workers) and walks them in rounds, so a
+// million-session run costs Workers goroutines, not a million. The request
+// budget is split across sessions up front — a shared first-come-first-served
+// budget would let the earliest-scheduled workers spend it all before the
+// rest even start (in-process decides are single-digit microseconds),
+// leaving most sessions untouched. Round-robin rounds preserve the old
+// per-session pacing: every session issues its j-th request before any
+// session issues its j+1-th, with think time between a worker's rounds.
 func (r *runner) runClosed() {
-	quota := r.cfg.Requests / len(r.sessions)
-	extra := r.cfg.Requests % len(r.sessions)
+	sessions := len(r.states)
+	workers := r.cfg.Workers
+	if workers > sessions {
+		workers = sessions
+	}
+	quota := r.cfg.Requests / sessions
+	extra := r.cfg.Requests % sessions
 	var wg sync.WaitGroup
-	for i, sess := range r.sessions {
-		n := quota
-		if i < extra {
-			n++
-		}
-		if n == 0 {
-			continue
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(sess *vsession, n int) {
+		go func(w int) {
 			defer wg.Done()
-			for j := 0; j < n; j++ {
-				r.step(sess, time.Now())
+			for round := 0; ; round++ {
+				issued := false
+				for i := w; i < sessions; i += workers {
+					n := quota
+					if i < extra {
+						n++
+					}
+					if round < n {
+						r.step(i, time.Now())
+						issued = true
+					}
+				}
+				if !issued {
+					return
+				}
 				if r.cfg.ThinkTime > 0 {
 					time.Sleep(r.cfg.ThinkTime)
 				}
 			}
-		}(sess, n)
+		}(w)
 	}
 	wg.Wait()
 	r.issued.Store(int64(r.cfg.Requests))
@@ -351,8 +388,8 @@ func (r *runner) runClosed() {
 
 // arrival is one scheduled open-loop request.
 type arrival struct {
-	sess *vsession
-	due  time.Time
+	idx int
+	due time.Time
 }
 
 // runOpen runs the open loop: a pacer draws exponential inter-arrival gaps
@@ -368,7 +405,7 @@ func (r *runner) runOpen() {
 		go func() {
 			defer wg.Done()
 			for a := range work {
-				r.step(a.sess, a.due)
+				r.step(a.idx, a.due)
 			}
 		}()
 	}
@@ -381,7 +418,7 @@ func (r *runner) runOpen() {
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		work <- arrival{sess: r.sessions[i%len(r.sessions)], due: due}
+		work <- arrival{idx: i % len(r.states), due: due}
 	}
 	close(work)
 	wg.Wait()

@@ -58,6 +58,13 @@ type Session struct {
 	// callback passed to Acquire and never touched by the table again.
 	Value any
 
+	// Handle is the harness's arena slot reference (an internal/arena handle
+	// in uint64 form; 0 when the harness keeps no arena). Like Value it is
+	// set by the create callback and opaque to the table — it exists so the
+	// Config.OnEvict hook can release the slot when the table drops the
+	// session, without the table depending on the arena package.
+	Handle uint64
+
 	// Mu is the holder's per-session critical-section lock.
 	Mu sync.Mutex
 
@@ -95,6 +102,12 @@ type Config struct {
 	// Shards overrides the shard count (rounded up to a power of two,
 	// capped at 256); non-positive derives it from GOMAXPROCS.
 	Shards int
+	// OnEvict, when non-nil, runs once for every session the table drops —
+	// idle sweep or capacity reclaim — after the entry has left the map. It
+	// is the hook an arena-backed harness uses to free the session's slot
+	// (Session.Handle). It runs under the home shard's lock, so it must not
+	// call back into the table or block.
+	OnEvict func(*Session)
 }
 
 // tableShard is one independently locked partition of the session table. The
@@ -124,7 +137,8 @@ type Table struct {
 	rejectedCapacity atomic.Uint64
 	rejectedDraining atomic.Uint64
 
-	ttl int64
+	ttl     int64
+	onEvict func(*Session)
 }
 
 // New builds a session table. It panics on a non-positive or absurd
@@ -153,6 +167,7 @@ func New(cfg Config) *Table {
 		mask:     uint64(shardCount - 1),
 		perShard: perShard,
 		ttl:      cfg.TTLNanos,
+		onEvict:  cfg.OnEvict,
 	}
 	for i := range t.shards {
 		t.shards[i].entries = make(map[string]*Session, perShard/4+1)
@@ -180,10 +195,18 @@ func (t *Table) shardFor(key string) *tableShard {
 // every successful Acquire with exactly one Release. now is the caller's
 // unix-nano timestamp (used as the creation's initial last-use time).
 //
+// The create callback receives the fresh Session (its ID and Key already
+// assigned) and populates Value and/or Handle; it runs under the home
+// shard's lock, so it must not call back into the table or block. A non-nil
+// error from create aborts the admission: nothing is inserted, the rejection
+// is counted against capacity, and the error is returned as-is (an
+// arena-backed harness surfaces slot exhaustion this way).
+//
 // Failure modes: ErrDraining once Drain has begun, ErrCapacity when the home
-// shard is full and no idle entry can be reclaimed. On the steady-state path
-// (session exists) Acquire performs no allocation.
-func (t *Table) Acquire(key string, now int64, create func(id int64) any) (*Session, error) {
+// shard is full and no idle entry can be reclaimed, plus whatever create
+// returns. On the steady-state path (session exists) Acquire performs no
+// allocation.
+func (t *Table) Acquire(key string, now int64, create func(s *Session) error) (*Session, error) {
 	if t.draining.Load() {
 		t.rejectedDraining.Add(1)
 		return nil, ErrDraining
@@ -196,10 +219,14 @@ func (t *Table) Acquire(key string, now int64, create func(id int64) any) (*Sess
 		return s, nil
 	}
 	if len(sh.entries) >= t.perShard {
-		if !sh.reclaimLocked(t.ttl, now) {
+		victim := sh.reclaimLocked(t.ttl, now)
+		if victim == nil {
 			sh.mu.Unlock()
 			t.rejectedCapacity.Add(1)
 			return nil, ErrCapacity
+		}
+		if t.onEvict != nil {
+			t.onEvict(victim)
 		}
 		t.active.Add(-1)
 		t.evictedIdle.Add(1)
@@ -208,7 +235,11 @@ func (t *Table) Acquire(key string, now int64, create func(id int64) any) (*Sess
 	s.lastUse.Store(now)
 	s.refs.Store(1)
 	if create != nil {
-		s.Value = create(s.id)
+		if err := create(s); err != nil {
+			sh.mu.Unlock()
+			t.rejectedCapacity.Add(1)
+			return nil, err
+		}
 	}
 	sh.entries[key] = s
 	sh.mu.Unlock()
@@ -218,15 +249,16 @@ func (t *Table) Acquire(key string, now int64, create func(id int64) any) (*Sess
 }
 
 // reclaimLocked tries to make room in a full shard by evicting its
-// least-recently-used idle entry whose TTL has expired. Capacity pressure
-// alone never evicts a live (non-expired) session — admission control, not
-// LRU churn, is the policy at the limit. Callers hold mu and account the
-// eviction in the table counters on success.
+// least-recently-used idle entry whose TTL has expired, returning the victim
+// (nil when nothing is reclaimable). Capacity pressure alone never evicts a
+// live (non-expired) session — admission control, not LRU churn, is the
+// policy at the limit. Callers hold mu, run the OnEvict hook, and account
+// the eviction in the table counters on success.
 //
 //soda:locked mu
-func (sh *tableShard) reclaimLocked(ttl, now int64) bool {
+func (sh *tableShard) reclaimLocked(ttl, now int64) *Session {
 	if ttl <= 0 {
-		return false
+		return nil
 	}
 	var oldest *Session
 	for _, s := range sh.entries {
@@ -241,10 +273,10 @@ func (sh *tableShard) reclaimLocked(ttl, now int64) bool {
 		}
 	}
 	if oldest == nil {
-		return false
+		return nil
 	}
 	delete(sh.entries, oldest.key)
-	return true
+	return oldest
 }
 
 // Release returns a session acquired with Acquire, stamping its last-use
@@ -273,6 +305,9 @@ func (t *Table) Sweep(now int64) int {
 				continue
 			}
 			delete(sh.entries, key)
+			if t.onEvict != nil {
+				t.onEvict(s)
+			}
 			evicted++
 		}
 		sh.mu.Unlock()

@@ -12,7 +12,7 @@ const second = int64(1e9) // one second of the injected nanosecond clock
 
 func mustAcquire(t *testing.T, tb *Table, key string, now int64) *Session {
 	t.Helper()
-	s, err := tb.Acquire(key, now, func(id int64) any { return id })
+	s, err := tb.Acquire(key, now, func(s *Session) error { s.Value = s.ID(); return nil })
 	if err != nil {
 		t.Fatalf("Acquire(%q): %v", key, err)
 	}
@@ -135,6 +135,71 @@ func TestTableCapacityRejects(t *testing.T) {
 	if got := tb.Len(); got != 4 {
 		t.Fatalf("Len() = %d, want 4 (reclaim replaced an entry)", got)
 	}
+}
+
+// TestOnEvictHook pins the arena-integration contract: every eviction —
+// in-line capacity reclaim and idle sweep alike — runs the hook with the
+// dropped session, whose Handle identifies the arena slot to free.
+func TestOnEvictHook(t *testing.T) {
+	var freed []uint64
+	tb := New(Config{MaxSessions: 4, TTLNanos: 10 * second, Shards: 1,
+		OnEvict: func(s *Session) { freed = append(freed, s.Handle) }})
+	for i := 0; i < 4; i++ {
+		s, err := tb.Acquire(fmt.Sprintf("s%d", i), 0, func(s *Session) error {
+			s.Handle = uint64(s.ID()) + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Distinct last-use stamps make the LRU reclaim order deterministic.
+		tb.Release(s, int64(i))
+	}
+	// The shard is full and every entry is idle past the TTL: admitting a
+	// fifth session reclaims the least-recently-used entry through the hook.
+	s, err := tb.Acquire("s4", 20*second, func(s *Session) error { s.Handle = 99; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Release(s, 20*second)
+	if len(freed) != 1 || freed[0] != 1 {
+		t.Fatalf("capacity reclaim freed handles %v, want [1]", freed)
+	}
+	// The idle sweep drops s1..s3 (s4 is fresh) and reports each to the hook.
+	if n := tb.Sweep(20 * second); n != 3 {
+		t.Fatalf("sweep evicted %d, want 3", n)
+	}
+	if len(freed) != 4 {
+		t.Fatalf("hook saw %d evictions, want 4: %v", len(freed), freed)
+	}
+	seen := map[uint64]bool{}
+	for _, h := range freed {
+		seen[h] = true
+	}
+	for _, want := range []uint64{1, 2, 3, 4} {
+		if !seen[want] {
+			t.Fatalf("handle %d never reached the hook: %v", want, freed)
+		}
+	}
+}
+
+// TestAcquireCreateError pins the aborted-admission path: a failing create
+// callback (the arena out of slots) inserts nothing, counts as a capacity
+// rejection, surfaces its own error, and leaves the key admissible.
+func TestAcquireCreateError(t *testing.T) {
+	tb := New(Config{MaxSessions: 4})
+	boom := errors.New("no slots")
+	if _, err := tb.Acquire("k", 0, func(*Session) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Acquire with failing create = %v, want the create error", err)
+	}
+	if got := tb.Len(); got != 0 {
+		t.Fatalf("failed create left %d live sessions", got)
+	}
+	if st := tb.Stats(); st.RejectedCapacity != 1 || st.Created != 0 {
+		t.Fatalf("stats after failed create = %+v, want 1 capacity rejection, 0 created", st)
+	}
+	s := mustAcquire(t, tb, "k", 0)
+	tb.Release(s, 0)
 }
 
 func TestTableDrainStopsAdmission(t *testing.T) {

@@ -418,10 +418,15 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 // a dataset run; sessions must not share mutable state.
 type SessionFactory func() (abr.Controller, predictor.Predictor)
 
-// RunDataset simulates every trace with its own controller/predictor built by
-// the factory, in parallel, preserving input order in the returned metrics.
-func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]qoe.Metrics, error) {
-	out := make([]qoe.Metrics, len(traces))
+// RunMany simulates every trace with its own controller/predictor built by
+// the factory, on a GOMAXPROCS-bounded worker pool, and returns the full
+// per-session Results indexed by input position. The pool is fixed-size — a
+// ten-thousand-trace dataset never fans out ten thousand goroutines — and
+// results are written by index, so the output order is deterministic
+// regardless of worker interleaving (each session is itself deterministic
+// given its trace and factory).
+func RunMany(traces []*trace.Trace, factory SessionFactory, base Config) ([]Result, error) {
+	out := make([]Result, len(traces))
 	errs := make([]error, len(traces))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(traces) {
@@ -437,7 +442,7 @@ func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]q
 		jobs <- i
 	}
 	close(jobs)
-	runOne := func(i int) (m qoe.Metrics, err error) {
+	runOne := func(i int) (res Result, err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("sim: session %d panicked: %v", i, r)
@@ -446,14 +451,14 @@ func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]q
 		cfg := base
 		cfg.Controller, cfg.Predictor = factory()
 		cfg.TelemetrySession = i
-		res, err := Run(traces[i], cfg)
+		res, err = Run(traces[i], cfg)
 		if err != nil {
-			return qoe.Metrics{}, err
+			return Result{}, err
 		}
 		if base.OnResult != nil {
 			base.OnResult(i, cfg.Controller, res)
 		}
-		return res.Metrics, nil
+		return res, nil
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -469,6 +474,21 @@ func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]q
 		if err != nil {
 			return nil, fmt.Errorf("sim: session %d: %w", i, err)
 		}
+	}
+	return out, nil
+}
+
+// RunDataset simulates every trace with its own controller/predictor built by
+// the factory, in parallel, preserving input order in the returned metrics.
+// It is RunMany reduced to the QoE metrics alone.
+func RunDataset(traces []*trace.Trace, factory SessionFactory, base Config) ([]qoe.Metrics, error) {
+	results, err := RunMany(traces, factory, base)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]qoe.Metrics, len(results))
+	for i, res := range results {
+		out[i] = res.Metrics
 	}
 	return out, nil
 }
