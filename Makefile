@@ -4,11 +4,11 @@
 GO ?= go
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: all ci lint test test-shuffle conformance arena-conformance smoke session-race cover bench bench-gate loadgen-gate fuzz build buildrelease build386 vuln
+.PHONY: all ci lint test test-shuffle conformance flightrec-conformance arena-conformance smoke session-race cover bench bench-gate loadgen-gate fuzz build buildrelease build386 vuln
 
 all: lint test
 
-ci: lint build buildrelease build386 test test-shuffle conformance arena-conformance smoke session-race cover fuzz loadgen-gate bench-gate vuln
+ci: lint build buildrelease build386 test test-shuffle conformance flightrec-conformance arena-conformance smoke session-race cover fuzz loadgen-gate bench-gate vuln
 
 build:
 	$(GO) build ./...
@@ -45,7 +45,16 @@ test-shuffle:
 # cache, table, telemetry or arena regression fails with a named step even
 # though `make test` also covers them as part of the full suite.
 conformance:
-	$(GO) test -race -run 'TestSodaSharedCache|TestSodaDecisionTable|TestSodaTelemetry|TestSodaArena' ./internal/abrtest
+	$(GO) test -race -run 'TestSodaSharedCache|TestSodaDecisionTable|TestSodaTelemetry|TestSodaArena|TestSodaFlightRec' ./internal/abrtest
+
+# flightrec-conformance re-runs the flight-recorder purity contract under the
+# race detector on its own: sessions observed by the QoE-consistency watchdog
+# (every registered ladder concurrently against one shared watchdog) must
+# decide bit-identically to bare sessions, and the recorder/incident-log
+# internals must be race-clean.
+flightrec-conformance:
+	$(GO) test -race ./internal/flightrec
+	$(GO) test -race -run 'TestSodaFlightRec' ./internal/abrtest
 
 # arena-conformance re-runs the struct-of-arrays session arena's contracts
 # under the race detector on their own: the handle-lifecycle suite (free-list
@@ -82,27 +91,29 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-gate runs the BenchmarkSolver* suite plus the shared solve-cache,
-# decision-table, telemetry, session-table and fleet-simulator benchmarks
-# with fixed iteration budgets and writes BENCH_pr9.json. It fails if
-# nodes/solve regresses more than 10% against the committed
-# bench_baseline.json, if allocs/op regresses at all (the telemetry,
-# decision-table, session decide and fleet event hot paths are pinned at 0),
-# if the dataset-scale shared cache stops cutting solver invocations by at
-# least 2x, if attaching telemetry costs more than 5% ns/decision at dataset
-# scale, if the compiled decision table stops beating the cached path by at
-# least 5x per decision, if the embedded open-loop loadgen run breaches the
-# p99 decide-latency or rejection thresholds in the baseline's
-# LoadgenOpenLoop entry, or if the fleet simulator drops below the FleetSim
-# entry's session floor or ns/decision ratio against the single-session path.
+# decision-table, telemetry, flight-recorder, session-table and
+# fleet-simulator benchmarks with fixed iteration budgets and writes
+# BENCH_pr10.json. It fails if nodes/solve regresses more than 10% against
+# the committed bench_baseline.json, if allocs/op regresses at all (the
+# telemetry, flight-recorder, decision-table, session decide and fleet event
+# hot paths are pinned at 0), if the dataset-scale shared cache stops cutting
+# solver invocations by at least 2x, if attaching telemetry or the QoE
+# watchdog costs more than 5% ns/decision at dataset scale, if the compiled
+# decision table stops beating the cached path by at least 5x per decision,
+# if the embedded open-loop loadgen run breaches the p99 decide-latency,
+# rejection or QoE-incident thresholds in the baseline's LoadgenOpenLoop
+# entry, or if the fleet simulator drops below the FleetSim entry's session
+# floor or ns/decision ratio against the single-session path.
 bench-gate:
-	$(GO) run ./cmd/soda-bench -out BENCH_pr9.json
+	$(GO) run ./cmd/soda-bench -out BENCH_pr10.json
 
 # loadgen-gate is the standalone loadgen smoke + p99 gate: open-loop Poisson
 # arrivals against an in-process DecideService at fleet scale, gated on the
-# LoadgenOpenLoop thresholds recorded in bench_baseline.json.
+# LoadgenOpenLoop thresholds (p99 decide latency, rejection rate, QoE
+# incidents per 1k sessions) recorded in bench_baseline.json.
 loadgen-gate:
 	$(GO) run ./cmd/soda-loadgen -mode open -sessions 50000 -requests 75000 -rps 40000 \
-		-session-memo -1 -baseline bench_baseline.json -out BENCH_pr9_loadgen.json
+		-session-memo -1 -baseline bench_baseline.json -out BENCH_pr10_loadgen.json
 
 # fuzz is the CI smoke budget; raise -fuzztime locally for a real campaign.
 fuzz:

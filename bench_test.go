@@ -21,6 +21,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/predictor"
 	"repro/internal/sim"
@@ -741,6 +742,106 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		if col.Decisions.Value() == 0 {
 			b.Fatal("telemetry attached but no decisions recorded")
 		}
+	}
+	b.StopTimer()
+	if n := len(pairOverheads); n > 0 {
+		sort.Float64s(pairOverheads)
+		median := pairOverheads[n/2]
+		if n%2 == 0 {
+			median = (pairOverheads[n/2-1] + pairOverheads[n/2]) / 2
+		}
+		b.ReportMetric(minOff, "ns/decision-off")
+		b.ReportMetric(minOn, "ns/decision-on")
+		b.ReportMetric(100*(minOn-minOff)/minOff, "overhead-%")
+		b.ReportMetric(median, "overhead-median-%")
+	}
+}
+
+// --- Flight recorder: hot-path cost and end-to-end overhead ---------------
+//
+// The flight-recorder hot path is two calls: Recorder.Record (a seqlock ring
+// store) and Watchdog.Observe (branchy integer detectors over per-session
+// watch state). Both are gated at 0 allocs/op in bench_baseline.json, and
+// BenchmarkFlightRecOverhead bounds the end-to-end watchdog cost at <=5% of
+// the uninstrumented decision loop with the same paired-minimum methodology
+// as BenchmarkTelemetryOverhead.
+
+func BenchmarkFlightRecRecord(b *testing.B) {
+	rec := flightrec.NewRecorder(nil, 0)
+	start := rec.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Record(flightrec.StageDecide, int32(i&1023), start, int64(i&255), true)
+	}
+}
+
+func BenchmarkFlightRecWatchdogObserve(b *testing.B) {
+	w := flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{})
+	var watch flightrec.SessionWatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Sweep the buffer through the underrun band and alternate rungs so
+		// every detector branch stays hot (and occasionally fires).
+		buffer := units.Seconds(float64(i&31) * 0.7)
+		w.Observe(&watch, 1, units.Seconds(float64(i)), buffer, int16(i&3), int16((i>>1)&3))
+	}
+}
+
+// BenchmarkFlightRecOverhead runs the default-Scale Puffer dataset with the
+// QoE-consistency watchdog detached ("off") and attached ("on"), paired and
+// alternating inside one timed loop exactly like BenchmarkTelemetryOverhead
+// (see that benchmark's comment for why the gate compares per-arm minima).
+// internal/abrtest.FlightRecConformance separately proves the decisions are
+// bit-identical with the watchdog attached.
+func BenchmarkFlightRecOverhead(b *testing.B) {
+	scale := scaleForBench()
+	ds, err := tracegen.Generate(tracegen.Puffer(), scale.SessionsPerDataset, scale.SessionSeconds, scale.Seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ladder := video.YouTube4K()
+	const passesPerArm = 3
+	runArm := func(w *flightrec.Watchdog) (decisions uint64, elapsed time.Duration) {
+		tally := &datasetSolveTally{}
+		factory := func() (abr.Controller, predictor.Predictor) {
+			return core.New(core.DefaultConfig(), ladder), predictor.NewEMA(units.Seconds(4))
+		}
+		start := time.Now()
+		for pass := 0; pass < passesPerArm; pass++ {
+			if _, err := sim.RunDataset(ds.Sessions, factory, sim.Config{
+				Ladder:         ladder,
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: scale.SessionSeconds,
+				OnResult:       tally.hook,
+				Watchdog:       w,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return tally.decisions, time.Since(start)
+	}
+	// One long-lived watchdog for the whole benchmark, as a fleet would run.
+	watchdog := flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{})
+	perDecision := func(d uint64, e time.Duration) float64 {
+		return float64(e.Nanoseconds()) / float64(d)
+	}
+	minOff, minOn := math.Inf(1), math.Inf(1)
+	var pairOverheads []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var off, on float64
+		if i%2 == 0 {
+			off = perDecision(runArm(nil))
+			on = perDecision(runArm(watchdog))
+		} else {
+			on = perDecision(runArm(watchdog))
+			off = perDecision(runArm(nil))
+		}
+		minOff = math.Min(minOff, off)
+		minOn = math.Min(minOn, on)
+		pairOverheads = append(pairOverheads, 100*(on-off)/off)
 	}
 	b.StopTimer()
 	if n := len(pairOverheads); n > 0 {

@@ -4,7 +4,7 @@
 // parsed results as JSON, and fails when a deterministic performance
 // property regresses:
 //
-//	go run ./cmd/soda-bench -out BENCH_pr9.json
+//	go run ./cmd/soda-bench -out BENCH_pr10.json
 //
 // Five benchmark gates are enforced:
 //
@@ -24,7 +24,10 @@
 //     its place.
 //   - BenchmarkTelemetryOverhead's paired telemetry-on arm must cost at most
 //     -max-telemetry-overhead percent (default 5%) more ns/decision than the
-//     telemetry-off arm at dataset scale.
+//     telemetry-off arm at dataset scale. BenchmarkFlightRecOverhead gets the
+//     same treatment under -max-flightrec-overhead: attaching the QoE
+//     watchdog to the dataset run must stay within the budget (and at the
+//     baseline's allocs/op — zero).
 //   - the compiled-table decision path (BenchmarkDecisionTable/table ns/op)
 //     must be at least -min-table-speedup times (default 5x) faster than the
 //     dataset-scale cached decision path (BenchmarkDatasetSharedCache/on
@@ -73,6 +76,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/loadgen"
 	"repro/internal/video"
@@ -135,6 +139,9 @@ type BaselineEntry struct {
 	MaxP99DecideMs float64 `json:"max_p99_decide_ms,omitempty"`
 	// MaxRejectedPct bounds the loadgen run's rejection percentage.
 	MaxRejectedPct float64 `json:"max_rejected_pct"`
+	// MaxIncidentsPer1k bounds the loadgen run's QoE-watchdog incidents per
+	// 1000 sessions (0 disables that check).
+	MaxIncidentsPer1k float64 `json:"max_qoe_incidents_per_1k,omitempty"`
 	// MinSessions gates the fleet benchmark's sustained concurrent-session
 	// count; a positive value marks the entry as the FleetSim threshold set,
 	// not a benchmark.
@@ -154,11 +161,13 @@ func main() {
 	minCacheReduction := flag.Float64("min-cache-reduction", 2.0,
 		"required off/on solver-invocation ratio of the dataset shared-cache benchmark (0 disables)")
 	telemetryPattern := flag.String("telemetry-pattern",
-		"BenchmarkTelemetry(Counter|Histogram|RingAppend|Recorder)$",
-		"zero-alloc telemetry hot-path benchmark pattern (empty skips the telemetry runs and their gates)")
+		"BenchmarkTelemetry(Counter|Histogram|RingAppend|Recorder)$|BenchmarkFlightRec(Record|WatchdogObserve)$",
+		"zero-alloc telemetry and flight-recorder hot-path benchmark pattern (empty skips the runs and their gates)")
 	telemetryBenchtime := flag.String("telemetry-benchtime", "10000x", "iteration budget for the telemetry micro-benchmarks")
 	maxTelemetryOverhead := flag.Float64("max-telemetry-overhead", 5.0,
 		"allowed telemetry-on vs telemetry-off ns/decision overhead percent of BenchmarkTelemetryOverhead (0 disables)")
+	maxFlightRecOverhead := flag.Float64("max-flightrec-overhead", 5.0,
+		"allowed watchdog-on vs watchdog-off ns/decision overhead percent of BenchmarkFlightRecOverhead (0 disables)")
 	tablePattern := flag.String("table-pattern", "BenchmarkDecisionTable$",
 		"compiled decision-table benchmark pattern (empty skips the table run and its gate)")
 	tableBenchtime := flag.String("table-benchtime", "50000x", "iteration budget for the decision-table benchmark")
@@ -177,7 +186,7 @@ func main() {
 	loadgenRPS := flag.Float64("loadgen-rps", 40000, "open-loop arrival rate for the in-process load run")
 	maxP99DecideMs := flag.Float64("max-p99-decide-ms", 0,
 		"p99 decide-latency gate for the load run in ms (0 takes the baseline's LoadgenOpenLoop entry)")
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path")
 	baselinePath := flag.String("baseline", "bench_baseline.json", "committed gated-metric baseline")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed relative nodes/solve regression")
 	flag.Parse()
@@ -207,6 +216,10 @@ func main() {
 			// 30 alternating-order pairs: the gate compares per-arm minima,
 			// which need enough runs to shake scheduler noise out of both arms.
 			overheadRaw := runBench("BenchmarkTelemetryOverhead$", "30x", 1)
+			report.Benchmarks = append(report.Benchmarks, parse(overheadRaw).Benchmarks...)
+		}
+		if *maxFlightRecOverhead > 0 {
+			overheadRaw := runBench("BenchmarkFlightRecOverhead$", "30x", 1)
 			report.Benchmarks = append(report.Benchmarks, parse(overheadRaw).Benchmarks...)
 		}
 	}
@@ -262,7 +275,10 @@ func main() {
 		failures = append(failures, gateCacheReduction(report, *minCacheReduction)...)
 	}
 	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
-		failures = append(failures, gateTelemetryOverhead(report, *maxTelemetryOverhead)...)
+		failures = append(failures, gateOverhead(report, "BenchmarkTelemetryOverhead", "telemetry", *maxTelemetryOverhead)...)
+	}
+	if *telemetryPattern != "" && *maxFlightRecOverhead > 0 {
+		failures = append(failures, gateOverhead(report, "BenchmarkFlightRecOverhead", "flight recorder", *maxFlightRecOverhead)...)
 	}
 	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
 		failures = append(failures, gateTableSpeedup(report, *minTableSpeedup)...)
@@ -284,6 +300,9 @@ func main() {
 	}
 	if *telemetryPattern != "" && *maxTelemetryOverhead > 0 {
 		fmt.Printf("soda-bench: telemetry ns/decision overhead within %.1f%%\n", *maxTelemetryOverhead)
+	}
+	if *telemetryPattern != "" && *maxFlightRecOverhead > 0 {
+		fmt.Printf("soda-bench: flight-recorder ns/decision overhead within %.1f%%\n", *maxFlightRecOverhead)
 	}
 	if *tablePattern != "" && *cachePattern != "" && *minTableSpeedup > 0 {
 		fmt.Printf("soda-bench: compiled decision table beats the cached path by >= %.1fx per decision\n", *minTableSpeedup)
@@ -334,13 +353,14 @@ func runLoadgen(sessions, requests int, rps, maxP99Override float64, baseline ma
 		Requests: requests,
 		RPS:      rps,
 		Seed:     8,
+		Watchdog: flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{}),
 	}, &loadgen.InProc{Svc: svc})
 	if err != nil {
 		return nil, []string{fmt.Sprintf("loadgen: %v", err)}
 	}
-	fmt.Printf("soda-bench: loadgen open loop: %d sessions, %d requests, p50 %.3f ms, p99 %.3f ms, p999 %.3f ms\n",
-		rep.Sessions, rep.Requests, rep.P50Ms, rep.P99Ms, rep.P999Ms)
-	if err := rep.Gate(maxP99, thresholds.MaxRejectedPct); err != nil {
+	fmt.Printf("soda-bench: loadgen open loop: %d sessions, %d requests, p50 %.3f ms, p99 %.3f ms, p999 %.3f ms, %.1f QoE incidents/1k sessions\n",
+		rep.Sessions, rep.Requests, rep.P50Ms, rep.P99Ms, rep.P999Ms, rep.QoEIncidentsPer1k)
+	if err := rep.Gate(maxP99, thresholds.MaxRejectedPct, thresholds.MaxIncidentsPer1k); err != nil {
 		return &rep, []string{err.Error()}
 	}
 	return &rep, nil
@@ -631,25 +651,26 @@ func gateFleetSim(rep Report, baseline map[string]BaselineEntry, ratioOverride f
 	return failures
 }
 
-// gateTelemetryOverhead enforces the telemetry cost budget: at dataset
-// scale, attaching a collector must cost at most maxPct percent ns/decision
-// over the bare loop (BenchmarkTelemetryOverhead alternates paired arms and
-// compares per-arm minimum ns/decision, so scheduler stalls and GC pauses —
-// which only ever inflate a sample — cannot move the gated figure).
-func gateTelemetryOverhead(rep Report, maxPct float64) []string {
+// gateOverhead enforces an instrumentation cost budget: at dataset scale,
+// attaching the named observer (the telemetry collector, the flight
+// recorder's watchdog) must cost at most maxPct percent ns/decision over the
+// bare loop. Both overhead benchmarks alternate paired arms and compare
+// per-arm minimum ns/decision, so scheduler stalls and GC pauses — which
+// only ever inflate a sample — cannot move the gated figure.
+func gateOverhead(rep Report, name, what string, maxPct float64) []string {
 	for _, r := range rep.Benchmarks {
-		if r.Name != "BenchmarkTelemetryOverhead" {
+		if r.Name != name {
 			continue
 		}
 		if r.NsPerDecisionOff <= 0 || r.NsPerDecisionOn <= 0 {
-			return []string{"BenchmarkTelemetryOverhead: ns/decision-off / ns/decision-on metrics missing from benchmark output"}
+			return []string{name + ": ns/decision-off / ns/decision-on metrics missing from benchmark output"}
 		}
 		if r.TelemetryOverheadPct > maxPct {
 			return []string{fmt.Sprintf(
-				"BenchmarkTelemetryOverhead: telemetry adds %.2f%% ns/decision (%.0f -> %.0f), budget %.1f%%",
-				r.TelemetryOverheadPct, r.NsPerDecisionOff, r.NsPerDecisionOn, maxPct)}
+				"%s: %s adds %.2f%% ns/decision (%.0f -> %.0f), budget %.1f%%",
+				name, what, r.TelemetryOverheadPct, r.NsPerDecisionOff, r.NsPerDecisionOn, maxPct)}
 		}
 		return nil
 	}
-	return []string{"BenchmarkTelemetryOverhead: missing from benchmark output"}
+	return []string{name + ": missing from benchmark output"}
 }

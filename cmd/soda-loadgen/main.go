@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/loadgen"
 	"repro/internal/tracegen"
@@ -68,13 +69,14 @@ func run(args []string, stdout *os.File) error {
 
 	maxP99Ms := fs.Float64("max-p99-ms", 0, "fail when p99 decide latency exceeds this many ms (0 disables)")
 	maxRejectedPct := fs.Float64("max-rejected-pct", -1, "fail when the rejection percentage exceeds this (negative disables)")
+	maxIncidents := fs.Float64("max-incidents-per-1k", 0, "fail when QoE-watchdog incidents per 1k sessions exceed this (0 disables)")
 	baselinePath := fs.String("baseline", "", "take the gate thresholds from this bench baseline's LoadgenOpenLoop entry (explicit flags win)")
 	out := fs.String("out", "", "write the JSON report here instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *baselinePath != "" {
-		p99, rejected, err := baselineThresholds(*baselinePath)
+		p99, rejected, incidents, err := baselineThresholds(*baselinePath)
 		if err != nil {
 			return err
 		}
@@ -83,6 +85,9 @@ func run(args []string, stdout *os.File) error {
 		}
 		if *maxRejectedPct < 0 {
 			*maxRejectedPct = rejected
+		}
+		if *maxIncidents == 0 {
+			*maxIncidents = incidents
 		}
 	}
 
@@ -94,6 +99,9 @@ func run(args []string, stdout *os.File) error {
 		Workers:       *workers,
 		SessionLength: units.Seconds(*sessionLength),
 		Seed:          *seed,
+		// Every run carries the QoE watchdog: observation is allocation-free
+		// and the incident counts feed the report's per-1k gate field.
+		Watchdog: flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{}),
 	}
 	switch *mode {
 	case "closed":
@@ -163,27 +171,28 @@ func run(args []string, stdout *os.File) error {
 	} else {
 		fmt.Fprintf(stdout, "%s\n", text)
 	}
-	return rep.Gate(*maxP99Ms, *maxRejectedPct)
+	return rep.Gate(*maxP99Ms, *maxRejectedPct, *maxIncidents)
 }
 
 // baselineThresholds reads the LoadgenOpenLoop gate thresholds from the
 // committed bench baseline, so CI's loadgen step and soda-bench enforce the
 // same numbers from the same file.
-func baselineThresholds(path string) (maxP99Ms, maxRejectedPct float64, err error) {
+func baselineThresholds(path string) (maxP99Ms, maxRejectedPct, maxIncidentsPer1k float64, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	var baseline map[string]struct {
-		MaxP99DecideMs float64 `json:"max_p99_decide_ms"`
-		MaxRejectedPct float64 `json:"max_rejected_pct"`
+		MaxP99DecideMs    float64 `json:"max_p99_decide_ms"`
+		MaxRejectedPct    float64 `json:"max_rejected_pct"`
+		MaxIncidentsPer1k float64 `json:"max_qoe_incidents_per_1k"`
 	}
 	if err := json.Unmarshal(raw, &baseline); err != nil {
-		return 0, 0, fmt.Errorf("%s: %v", path, err)
+		return 0, 0, 0, fmt.Errorf("%s: %v", path, err)
 	}
 	entry, ok := baseline["LoadgenOpenLoop"]
 	if !ok || entry.MaxP99DecideMs <= 0 {
-		return 0, 0, fmt.Errorf("%s: no LoadgenOpenLoop threshold entry", path)
+		return 0, 0, 0, fmt.Errorf("%s: no LoadgenOpenLoop threshold entry", path)
 	}
-	return entry.MaxP99DecideMs, entry.MaxRejectedPct, nil
+	return entry.MaxP99DecideMs, entry.MaxRejectedPct, entry.MaxIncidentsPer1k, nil
 }

@@ -47,19 +47,19 @@ func TestRunInProcess(t *testing.T) {
 func TestBaselineThresholds(t *testing.T) {
 	dir := t.TempDir()
 	good := filepath.Join(dir, "baseline.json")
-	if err := os.WriteFile(good, []byte(`{"LoadgenOpenLoop": {"max_p99_decide_ms": 50.0, "max_rejected_pct": 0}}`), 0o644); err != nil {
+	if err := os.WriteFile(good, []byte(`{"LoadgenOpenLoop": {"max_p99_decide_ms": 50.0, "max_rejected_pct": 0, "max_qoe_incidents_per_1k": 750}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p99, rejected, err := baselineThresholds(good)
-	if err != nil || p99 != 50.0 || rejected != 0 {
-		t.Fatalf("baselineThresholds = %v, %v, %v", p99, rejected, err)
+	p99, rejected, incidents, err := baselineThresholds(good)
+	if err != nil || p99 != 50.0 || rejected != 0 || incidents != 750 {
+		t.Fatalf("baselineThresholds = %v, %v, %v, %v", p99, rejected, incidents, err)
 	}
 
 	missing := filepath.Join(dir, "empty.json")
 	if err := os.WriteFile(missing, []byte(`{}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := baselineThresholds(missing); err == nil {
+	if _, _, _, err := baselineThresholds(missing); err == nil {
 		t.Error("baseline without LoadgenOpenLoop accepted")
 	}
 

@@ -2,16 +2,23 @@
 // optionally shaping delivery with a bandwidth trace — one half of the local
 // client-server deployment of the prototype evaluation (§6.2). The -http
 // flag adds an HTTP listener with the DASH transport (/manifest.mpd,
-// /segment/...), server-side decisions (/decide) and live introspection
-// (/metrics in Prometheus text format, /debug/decisions as JSONL).
+// /segment/...), server-side decisions (/decide) and live introspection:
+// /metrics in Prometheus text format, /debug/decisions as JSONL, plus the
+// flight recorder's /debug/spans (per-stage pipeline latency spans),
+// /debug/incidents (QoE-watchdog detections), and /debug/sessions?id=N
+// (one session's reconstructed timeline, &format=trace for Chrome
+// trace-event JSON).
 //
 // Usage:
 //
 //	soda-server -addr :9000 -segments 300
 //	soda-server -addr :9000 -trace 4g.csv -timescale 10
 //	soda-server -addr :9000 -http :9090
+//	soda-server -addr :9000 -http :9090 -log-json -trace-export run.trace.json
 //	curl http://localhost:9090/metrics
 //	curl 'http://localhost:9090/debug/decisions?limit=20'
+//	curl 'http://localhost:9090/debug/spans?stage=decide&limit=20'
+//	curl 'http://localhost:9090/debug/sessions?id=1&format=trace'
 package main
 
 import (
@@ -20,14 +27,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dash"
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/netem"
 	"repro/internal/profiling"
@@ -53,10 +63,13 @@ func main() {
 	rpsPerClient := flag.Float64("rps-per-client", 0, "per-client /decide rate limit in requests/s, 2x burst (0 disables)")
 	sweepEvery := flag.Duration("sweep-interval", 30*time.Second, "session/limiter idle-sweep cadence")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait for in-flight decides on shutdown")
+	logJSON := flag.Bool("log-json", false, "emit lifecycle logs (drain, evict, sweep, incident) as one-line JSON on stderr")
+	traceExport := flag.String("trace-export", "", "write the decision ring and pipeline spans as Chrome trace-event JSON to this file at shutdown")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "soda-server: ", log.LstdFlags)
+	events := newEventLogger(*logJSON, logger)
 	stopProfiles, err := prof.Start()
 	if err != nil {
 		logger.Fatal(err)
@@ -100,6 +113,7 @@ func main() {
 
 	var httpSrv *http.Server
 	var svc *httpseg.DecideService
+	var intro *introspection
 	if *httpAddr != "" {
 		// -telemetry reuses the same collector, so the exit snapshot matches
 		// what /metrics served.
@@ -115,16 +129,16 @@ func main() {
 			MaxInflight:  *maxInflight,
 			RPSPerClient: *rpsPerClient,
 		}
-		mux, decide, err := introspectionMux(ladder, *segments, opts, col)
+		intro, err = introspectionMux(ladder, *segments, opts, col)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		svc = decide
+		svc = intro.svc
 		httpLn, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			logger.Fatal(err)
 		}
-		httpSrv = &http.Server{Handler: mux}
+		httpSrv = &http.Server{Handler: intro.mux}
 		go func() {
 			if err := httpSrv.Serve(httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Printf("http: %v", err)
@@ -134,19 +148,31 @@ func main() {
 			go func() {
 				ticker := time.NewTicker(*sweepEvery)
 				defer ticker.Stop()
+				var incidentsSeen uint64
 				for {
 					select {
 					case <-ctx.Done():
 						return
 					case now := <-ticker.C:
 						if evicted := svc.SweepSessions(now); evicted > 0 {
-							logger.Printf("swept %d idle sessions", evicted)
+							events.event("swept idle sessions", "evicted", evicted)
+						}
+						// Surface new QoE incidents at sweep cadence so an
+						// operator tailing the log sees consistency
+						// regressions without polling /debug/incidents.
+						if total := intro.watchdog.Total(); total > incidentsSeen {
+							events.event("qoe incidents",
+								"new", total-incidentsSeen, "total", total,
+								"oscillation", intro.watchdog.Count(flightrec.KindOscillation),
+								"stall", intro.watchdog.Count(flightrec.KindStall),
+								"underrun_risk", intro.watchdog.Count(flightrec.KindUnderrunRisk))
+							incidentsSeen = total
 						}
 					}
 				}
 			}()
 		}
-		fmt.Printf("introspection on http://%s (/manifest.mpd /segment /decide /metrics /debug/decisions)\n", httpLn.Addr())
+		fmt.Printf("introspection on http://%s (/manifest.mpd /segment /decide /metrics /debug/decisions /debug/spans /debug/incidents /debug/sessions)\n", httpLn.Addr())
 	}
 
 	fmt.Printf("serving %d segments of the %s ladder on %s\n", *segments, *ladderName, ln.Addr())
@@ -158,14 +184,24 @@ func main() {
 		if svc != nil {
 			sessions, clean := svc.Drain(*drainTimeout)
 			if clean {
-				logger.Printf("drained %d sessions cleanly", sessions)
+				events.event("drained sessions cleanly", "sessions", sessions)
 			} else {
-				logger.Printf("drain timed out with %d sessions; in-flight decides abandoned", sessions)
+				events.event("drain timed out; in-flight decides abandoned", "sessions", sessions)
 			}
 		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		_ = httpSrv.Shutdown(shutCtx)
 		cancel()
+		// Trace export happens after the drain so the file carries the final
+		// decision ring and span rings.
+		if *traceExport != "" && intro != nil {
+			if err := flightrec.WriteChromeTraceFile(*traceExport,
+				intro.col.Ring.Snapshot(), intro.flight.Snapshot()); err != nil {
+				logger.Printf("trace export: %v", err)
+			} else {
+				events.event("wrote trace export", "path", *traceExport)
+			}
+		}
 	}
 	if err := stopProfiles(); err != nil {
 		logger.Print(err)
@@ -176,26 +212,78 @@ func main() {
 	logger.Print("shut down")
 }
 
+// introspection bundles the HTTP surface with the observability plumbing the
+// server needs after setup: the decide service for sweeps and drain, the
+// flight recorder and watchdog for trace export and incident logging.
+type introspection struct {
+	mux      *http.ServeMux
+	svc      *httpseg.DecideService
+	col      *telemetry.Collector
+	flight   *flightrec.Recorder
+	watchdog *flightrec.Watchdog
+}
+
 // introspectionMux assembles the HTTP surface: the DASH segment transport at
 // the root, server-side SODA at /decide, and the live introspection
 // endpoints. All decision recording happens in the /decide handler after the
 // controller returns; /metrics only reads, plus pull-only gauge refreshes.
-func introspectionMux(ladder video.Ladder, segments int, opts httpseg.DecideOptions, col *telemetry.Collector) (*http.ServeMux, *httpseg.DecideService, error) {
+// The flight recorder and QoE watchdog are always attached — their steady
+// path is allocation-free, and /debug/spans, /debug/incidents and
+// /debug/sessions serve their state.
+func introspectionMux(ladder video.Ladder, segments int, opts httpseg.DecideOptions, col *telemetry.Collector) (*introspection, error) {
 	seg, err := httpseg.NewServer(ladder, nil, segments)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	seg.Instrument(col.Registry)
+	flight := flightrec.NewRecorder(col.Registry, 0)
+	watchdog := flightrec.NewWatchdog(col.Registry, flightrec.WatchdogConfig{})
+	opts.FlightRecorder = flight
+	opts.Watchdog = watchdog
 	svc, err := httpseg.NewDecideService(ladder, opts, col)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", seg)
 	mux.Handle("/decide", svc)
 	mux.Handle("/metrics", telemetry.MetricsHandler(col.Registry, svc.RefreshMetrics))
 	mux.Handle("/debug/decisions", telemetry.DecisionsHandler(col.Ring))
-	return mux, svc, nil
+	mux.Handle("/debug/spans", flightrec.SpansHandler(flight))
+	mux.Handle("/debug/incidents", flightrec.IncidentsHandler(watchdog.Log()))
+	mux.Handle("/debug/sessions", flightrec.SessionTimelineHandler(col.Ring, flight, watchdog.Log()))
+	return &introspection{mux: mux, svc: svc, col: col, flight: flight, watchdog: watchdog}, nil
+}
+
+// eventLogger emits the server's lifecycle events (drain, evict, sweep,
+// incident): through the prefixed standard logger by default, as one JSON
+// line per event on stderr with -log-json — the shape log shippers ingest
+// without a parse rule.
+type eventLogger struct {
+	plain      *log.Logger
+	structured *slog.Logger
+}
+
+func newEventLogger(jsonMode bool, plain *log.Logger) *eventLogger {
+	e := &eventLogger{plain: plain}
+	if jsonMode {
+		e.structured = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return e
+}
+
+// event logs one message with alternating key, value fields.
+func (e *eventLogger) event(msg string, kv ...any) {
+	if e.structured != nil {
+		e.structured.Info(msg, kv...)
+		return
+	}
+	var b strings.Builder
+	b.WriteString(msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", kv[i], kv[i+1])
+	}
+	e.plain.Print(b.String())
 }
 
 // writeMPDFile writes an MPEG-DASH MPD describing the stream to path.

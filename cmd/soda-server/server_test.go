@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/telemetry"
 	"repro/internal/video"
@@ -23,11 +24,11 @@ import (
 // JSONL. This is the CI smoke gate for the observability surface.
 func TestServerEndpointSmoke(t *testing.T) {
 	col := telemetry.NewCollector(nil, 256)
-	mux, _, err := introspectionMux(video.Prototype(), 30, httpseg.DecideOptions{CacheEntries: 1 << 12, TableQuantum: 0.5}, col)
+	intro, err := introspectionMux(video.Prototype(), 30, httpseg.DecideOptions{CacheEntries: 1 << 12, TableQuantum: 0.5}, col)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(mux)
+	srv := httptest.NewServer(intro.mux)
 	defer srv.Close()
 
 	get := func(path string) (*http.Response, string) {
@@ -128,6 +129,8 @@ func TestServerEndpointSmoke(t *testing.T) {
 		"soda_decision_table_fallbacks_total",
 		"soda_server_decision_tables",
 		"soda_server_decision_table_cells",
+		"soda_server_stage_latency_seconds",
+		"soda_qoe_incidents_total",
 	} {
 		if _, ok := families[family]; !ok {
 			t.Errorf("/metrics missing family %s", family)
@@ -197,5 +200,115 @@ func TestServerEndpointSmoke(t *testing.T) {
 
 	if resp, _ := get("/debug/decisions?limit=oops"); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad limit: status %d, want 400", resp.StatusCode)
+	}
+
+	// ?session= narrows /debug/decisions to one session's events.
+	resp, filtered := get(fmt.Sprintf("/debug/decisions?session=%d", ids["alice"]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/decisions?session=: status %d", resp.StatusCode)
+	}
+	aliceLines := 0
+	sc = bufio.NewScanner(strings.NewReader(filtered))
+	for sc.Scan() {
+		var ev telemetry.DecisionEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("filtered decisions line not JSON: %v", err)
+		}
+		if int(ev.Session) != ids["alice"] {
+			t.Fatalf("?session=%d returned an event for session %d", ids["alice"], ev.Session)
+		}
+		aliceLines++
+	}
+	if aliceLines != 8 {
+		t.Errorf("/debug/decisions?session= returned %d lines, want 8", aliceLines)
+	}
+
+	// /debug/spans streams the pipeline's stage spans; every decide above
+	// recorded one span per stage, so the decide-stage filter must return
+	// exactly one parseable span per successful decide.
+	resp, spansBody := get("/debug/spans?stage=decide")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/spans: status %d", resp.StatusCode)
+	}
+	spanLines := 0
+	sc = bufio.NewScanner(strings.NewReader(spansBody))
+	for sc.Scan() {
+		var sp flightrec.Span
+		if err := json.Unmarshal(sc.Bytes(), &sp); err != nil {
+			t.Fatalf("/debug/spans line not JSON: %v\n%s", err, sc.Text())
+		}
+		if sp.StageName != "decide" || sp.Dur < 0 || !sp.OK {
+			t.Errorf("decide span = %+v", sp)
+		}
+		spanLines++
+	}
+	if spanLines != 24 {
+		t.Errorf("/debug/spans?stage=decide returned %d spans, want 24", spanLines)
+	}
+	if resp, _ := get("/debug/spans?stage=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad stage: status %d, want 400", resp.StatusCode)
+	}
+
+	// /debug/incidents serves JSONL (empty here: steady high-buffer traffic).
+	if resp, _ := get("/debug/incidents"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/incidents: status %d", resp.StatusCode)
+	}
+
+	// /debug/sessions?id=N reconstructs one session's timeline, and its
+	// decision list must match the ring's ?session= filter line for line.
+	resp, timeline := get(fmt.Sprintf("/debug/sessions?id=%d", ids["alice"]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/sessions: status %d", resp.StatusCode)
+	}
+	var tl struct {
+		Session   int                       `json:"session"`
+		Decisions []telemetry.DecisionEvent `json:"decisions"`
+		Spans     []flightrec.Span          `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(timeline), &tl); err != nil {
+		t.Fatalf("/debug/sessions not JSON: %v", err)
+	}
+	if tl.Session != ids["alice"] || len(tl.Decisions) != aliceLines {
+		t.Errorf("timeline session=%d decisions=%d, want session=%d decisions=%d",
+			tl.Session, len(tl.Decisions), ids["alice"], aliceLines)
+	}
+	for i, ev := range tl.Decisions {
+		if int(ev.Session) != ids["alice"] {
+			t.Errorf("timeline decision %d belongs to session %d", i, ev.Session)
+		}
+	}
+	if len(tl.Spans) == 0 {
+		t.Error("timeline carries no spans for an instrumented session")
+	}
+
+	// The same timeline as Chrome trace-event JSON must parse and carry
+	// trace events for the session's thread.
+	resp, traceBody := get(fmt.Sprintf("/debug/sessions?id=%d&format=trace", ids["alice"]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/sessions format=trace: status %d", resp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &chrome); err != nil {
+		t.Fatalf("trace export not JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 || chrome.DisplayTimeUnit != "ms" {
+		t.Errorf("trace export: %d events, unit %q", len(chrome.TraceEvents), chrome.DisplayTimeUnit)
+	}
+
+	for _, bad := range []string{
+		"/debug/sessions",
+		"/debug/sessions?id=-1",
+		"/debug/sessions?id=zed",
+		"/debug/sessions?id=1&format=xml",
+	} {
+		if resp, _ := get(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

@@ -14,6 +14,12 @@
 //
 //	soda-sim -fleet -fleet-sessions 100000 -fleet-seconds 120
 //	soda-sim -fleet -dataset 5g -fleet-sessions 250000 -fleet-workers 8
+//
+// Fleet runs always attach the QoE-consistency watchdog and report
+// incidents per thousand sessions. -trace-export writes the run's decision
+// ring as Chrome trace-event JSON, loadable in Perfetto or chrome://tracing:
+//
+//	soda-sim -fleet -fleet-sessions 200 -trace-export fleet.trace.json
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/abr"
+	"repro/internal/flightrec"
 	"repro/internal/predictor"
 	"repro/internal/profiling"
 	"repro/internal/qoe"
@@ -53,6 +60,7 @@ func main() {
 	fleetWorkers := flag.Int("fleet-workers", 0, "fleet mode: worker-pool size (0: GOMAXPROCS)")
 	fleetSeconds := flag.Float64("fleet-seconds", 60, "fleet mode: stream-clock seconds to advance the cohort")
 	fleetTick := flag.Float64("fleet-tick", 0, "fleet mode: time-wheel tick granularity in seconds (0: 10 ms default)")
+	traceExport := flag.String("trace-export", "", "fleet mode: write the run's decision timeline as Chrome trace-event JSON to this file")
 	prof := profiling.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -64,7 +72,7 @@ func main() {
 	var runErr error
 	if *fleet {
 		runErr = runFleet(*ladderName, *dataset, *fleetSessions, *fleetWorkers,
-			*fleetSeconds, *sessionSeconds, *bufferCap, *fleetTick, *seed, prof.Collector())
+			*fleetSeconds, *sessionSeconds, *bufferCap, *fleetTick, *seed, prof.Collector(), *traceExport)
 	} else {
 		runErr = run(*ladderName, *dataset, *traceFile, *controllers, *sessions, *sessionSeconds, *bufferCap, *tableQuantum, *seed, prof.Collector())
 	}
@@ -99,8 +107,10 @@ func run(ladderName, dataset, traceFile, controllers string, sessions int, sessi
 // runFleet advances a cohort on sim.Fleet and prints its progress counters
 // and throughput. The controller configuration is the fleet default
 // (production config, per-session memo off, compiled tables at quantum 0.5)
-// — the same one BenchmarkFleetSim gates.
-func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, sessionSeconds, bufferCap, tick float64, seed uint64, col *telemetry.Collector) error {
+// — the same one BenchmarkFleetSim gates. The QoE-consistency watchdog is
+// always attached; traceExport ("" disables) additionally records the
+// decision ring and writes it as Chrome trace-event JSON after the run.
+func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, sessionSeconds, bufferCap, tick float64, seed uint64, col *telemetry.Collector, traceExport string) error {
 	ladder, err := pickLadder(ladderName, dataset)
 	if err != nil {
 		return err
@@ -109,6 +119,15 @@ func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, s
 	if err != nil {
 		return err
 	}
+	// -trace-export needs the decision ring even when -telemetry is off.
+	if traceExport != "" && col == nil {
+		col = telemetry.NewCollector(nil, telemetry.DefaultRingCapacity)
+	}
+	var reg *telemetry.Registry
+	if col != nil {
+		reg = col.Registry
+	}
+	watchdog := flightrec.NewWatchdog(reg, flightrec.WatchdogConfig{})
 	f, err := sim.NewFleet(sim.FleetConfig{
 		Sessions:      sessions,
 		Workers:       workers,
@@ -119,6 +138,7 @@ func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, s
 		Seed:          seed,
 		TickSeconds:   units.Seconds(tick),
 		Telemetry:     col,
+		Watchdog:      watchdog,
 	})
 	if err != nil {
 		return err
@@ -137,7 +157,20 @@ func runFleet(ladderName, dataset string, sessions, workers int, fleetSeconds, s
 		fmt.Printf("  %.0f decisions/s, %.0f ns/decision\n",
 			float64(rep.Decisions)/wall, wall*1e9/float64(rep.Decisions))
 	}
+	fmt.Printf("  %d QoE incidents (%.1f per 1k sessions): %d oscillation, %d stall, %d underrun-risk\n",
+		rep.Incidents, rep.IncidentsPerThousand,
+		watchdog.Count(flightrec.KindOscillation), watchdog.Count(flightrec.KindStall),
+		watchdog.Count(flightrec.KindUnderrunRisk))
 	fmt.Printf("  %s\n", rep.Arena)
+	if traceExport != "" {
+		// Close flushes the per-session recorder batches into the decision
+		// ring; without it the export would miss the tail of every session.
+		f.Close()
+		if err := flightrec.WriteChromeTraceFile(traceExport, col.Ring.Snapshot(), nil); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		fmt.Printf("  wrote Chrome trace-event JSON to %s\n", traceExport)
+	}
 	return nil
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFleetTraceExport runs a small fleet with -trace-export and checks the
+// written file is valid Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load): an object with a non-empty traceEvents array whose
+// phases are all known, with complete-slice events carrying durations and
+// every event pinned to a session thread.
+func TestFleetTraceExport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fleet.trace.json")
+	// 2 Mb/s sessions against the mobile ladder at 20 s of stream time: a
+	// short, deterministic run that still fills the decision ring.
+	err := runFleet("mobile", "4g", 32, 2, 20, 60, 20, 0, 42, nil, out)
+	if err != nil {
+		t.Fatalf("runFleet: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int64   `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace export is not JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace export has no events")
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", tr.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "C", "X", "i", "M":
+			phases[ev.Ph]++
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ev.Ph)
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Errorf("slice %d (%s) has negative duration %v", i, ev.Name, ev.Dur)
+		}
+		if ev.Tid < 0 {
+			t.Errorf("event %d on negative tid %d", i, ev.Tid)
+		}
+	}
+	// Counters and thread names are always present; rung instants appear for
+	// any non-wait decision, which this run is guaranteed to produce.
+	for _, ph := range []string{"C", "i", "M"} {
+		if phases[ph] == 0 {
+			t.Errorf("no %q events in trace export (phases: %v)", ph, phases)
+		}
+	}
+}
+
+// TestRunFleetSmoke exercises the non-export fleet path (watchdog attached,
+// no collector) end to end.
+func TestRunFleetSmoke(t *testing.T) {
+	if err := runFleet("", "4g", 16, 2, 10, 60, 20, 0, 1, nil, ""); err != nil {
+		t.Fatalf("runFleet: %v", err)
+	}
+}

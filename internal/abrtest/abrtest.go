@@ -8,6 +8,7 @@
 package abrtest
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"runtime"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/predictor"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -548,5 +550,175 @@ func TelemetryConformance(t *testing.T, name string, factory Factory) {
 					got, float64(instrumented.Metrics.RebufferSec))
 			}
 		})
+	}
+}
+
+// FlightRecConformance is the flight-recorder purity contract: attaching the
+// QoE-consistency watchdog (alongside a live collector) to a session must
+// leave it bit-identical to running bare — same decision sequence, waits,
+// abandons and QoE metrics — because the watchdog observes the decision
+// stream from outside the controller and never feeds back into it.
+//
+// Two passes:
+//
+//   - Serial, per hostile trace: bare vs watchdog+collector runs compared
+//     decision for decision, and the watchdog's books are sanity-checked
+//     (incident log total matches the per-kind counters; every logged
+//     incident belongs to the session and carries a valid kind).
+//   - Concurrent, per registered ladder: every ladder replays the hostile
+//     traces simultaneously against ONE shared Watchdog, and each must stay
+//     bit-identical to its own serial bare run. Run with -race to also prove
+//     the shared incident counters and bounded log are data-race-free.
+func FlightRecConformance(t *testing.T, name string, factory Factory) {
+	t.Helper()
+	// A deliberately twitchy configuration so the hostile traces actually
+	// fire every detector: a short window, few switches, a high horizon.
+	twitchy := WatchdogTestConfig()
+
+	for tname, tr := range hostileTraces() {
+		tname, tr := tname, tr
+		t.Run(name+"/flightrec-bit-identical/"+tname, func(t *testing.T) {
+			cfg := sim.Config{
+				Ladder:         video.Mobile(),
+				BufferCap:      units.Seconds(20),
+				SessionSeconds: tr.Duration(),
+				Abandonment:    true,
+			}
+
+			bareCfg := cfg
+			bareCfg.Controller = factory(video.Mobile())
+			bareCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+			bare, err := sim.Run(tr, bareCfg)
+			if err != nil {
+				t.Fatalf("bare run: %v", err)
+			}
+
+			watchdog := flightrec.NewWatchdog(nil, twitchy)
+			watchedCfg := cfg
+			watchedCfg.Controller = factory(video.Mobile())
+			watchedCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+			watchedCfg.Telemetry = telemetry.NewCollector(nil, 1<<10)
+			watchedCfg.Watchdog = watchdog
+			watchedCfg.TelemetrySession = 7
+			watched, err := sim.Run(tr, watchedCfg)
+			if err != nil {
+				t.Fatalf("watched run: %v", err)
+			}
+
+			requireIdenticalRuns(t, bare, watched, "watched")
+
+			if total, logged := watchdog.Total(), watchdog.Log().Total(); total != logged {
+				t.Errorf("incident counters total %d but log recorded %d", total, logged)
+			}
+			var perKind uint64
+			for k := 0; k < flightrec.NumIncidentKinds; k++ {
+				perKind += watchdog.Count(flightrec.IncidentKind(k))
+			}
+			if perKind != watchdog.Total() {
+				t.Errorf("per-kind counts sum to %d, total says %d", perKind, watchdog.Total())
+			}
+			for _, in := range watchdog.Log().Snapshot() {
+				if in.Session != 7 {
+					t.Errorf("incident attributed to session %d, want 7", in.Session)
+				}
+				if int(in.Kind) >= flightrec.NumIncidentKinds || in.KindN == "unknown" {
+					t.Errorf("incident has invalid kind %d (%q)", in.Kind, in.KindN)
+				}
+			}
+		})
+	}
+
+	t.Run(name+"/flightrec-concurrent-shared-watchdog", func(t *testing.T) {
+		shared := flightrec.NewWatchdog(nil, twitchy)
+		var wg sync.WaitGroup
+		for li, nl := range video.NamedLadders() {
+			for tname, tr := range hostileTraces() {
+				li, nl, tr := li, nl, tr
+				cfg := sim.Config{
+					Ladder:         nl.Ladder,
+					BufferCap:      units.Seconds(20),
+					SessionSeconds: tr.Duration(),
+					Abandonment:    true,
+				}
+				bareCfg := cfg
+				bareCfg.Controller = factory(nl.Ladder)
+				bareCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+				bare, err := sim.Run(tr, bareCfg)
+				if err != nil {
+					t.Fatalf("%s/%s bare: %v", nl.Name, tname, err)
+				}
+				wg.Add(1)
+				go func(label string) {
+					defer wg.Done()
+					wCfg := cfg
+					wCfg.Controller = factory(nl.Ladder)
+					wCfg.Predictor = predictor.NewEMA(units.Seconds(4))
+					wCfg.Watchdog = shared
+					wCfg.TelemetrySession = li
+					watched, err := sim.Run(tr, wCfg)
+					if err != nil {
+						t.Errorf("%s watched: %v", label, err)
+						return
+					}
+					compareRuns(t, label, bare, watched)
+				}(nl.Name + "/" + tname)
+			}
+		}
+		wg.Wait()
+		if shared.Total() == 0 {
+			t.Error("hostile traces fired no incidents; the contract exercised nothing")
+		}
+		if total, logged := shared.Total(), shared.Log().Total(); total != logged {
+			t.Errorf("shared counters total %d but log recorded %d", total, logged)
+		}
+	})
+}
+
+// WatchdogTestConfig is the deliberately twitchy detector tuning the
+// conformance contracts run with, exported so CLI tests can reuse it.
+func WatchdogTestConfig() flightrec.WatchdogConfig {
+	return flightrec.WatchdogConfig{
+		OscillationWindow:   8,
+		OscillationSwitches: 2,
+		UnderrunHorizon:     units.Seconds(8),
+	}
+}
+
+// diffRuns describes the first divergence between two session results —
+// decision sequence, waits, abandons, QoE metrics — or returns "" when they
+// are bit-identical. Factored out of the test helpers so the mismatch
+// branches themselves are unit-testable.
+func diffRuns(bare, other sim.Result) string {
+	if len(bare.Rungs) != len(other.Rungs) {
+		return fmt.Sprintf("rung counts differ: bare %d, other %d", len(bare.Rungs), len(other.Rungs))
+	}
+	for i := range bare.Rungs {
+		if bare.Rungs[i] != other.Rungs[i] {
+			return fmt.Sprintf("decision %d: bare %d, other %d", i, bare.Rungs[i], other.Rungs[i])
+		}
+	}
+	if bare.Waits != other.Waits || bare.Abandons != other.Abandons {
+		return fmt.Sprintf("waits/abandons differ: bare %d/%d, other %d/%d",
+			bare.Waits, bare.Abandons, other.Waits, other.Abandons)
+	}
+	if bare.Metrics != other.Metrics {
+		return fmt.Sprintf("metrics differ:\nbare:  %+v\nother: %+v", bare.Metrics, other.Metrics)
+	}
+	return ""
+}
+
+// requireIdenticalRuns fails fatally unless the two session results are
+// bit-identical.
+func requireIdenticalRuns(t *testing.T, bare, other sim.Result, label string) {
+	t.Helper()
+	if d := diffRuns(bare, other); d != "" {
+		t.Fatalf("%s: %s", label, d)
+	}
+}
+
+// compareRuns is requireIdenticalRuns for goroutines: Errorf, never Fatalf.
+func compareRuns(t *testing.T, label string, bare, other sim.Result) {
+	if d := diffRuns(bare, other); d != "" {
+		t.Errorf("%s: %s", label, d)
 	}
 }

@@ -198,3 +198,20 @@ func TestSodaTelemetryBitIdenticalWithSharedCache(t *testing.T) {
 	cache := core.NewSolveCache(1 << 14)
 	TelemetryConformance(t, "soda-shared-cache", sodaShared(cache))
 }
+
+// TestSodaFlightRecBitIdentical is the flight-recorder purity contract for
+// the registry-default SODA: a session observed by the QoE-consistency
+// watchdog must be bit-identical to a bare one — the watchdog reads the
+// decision stream and never feeds back — including when every registered
+// ladder replays concurrently against one shared watchdog (run with -race).
+func TestSodaFlightRecBitIdentical(t *testing.T) {
+	FlightRecConformance(t, "soda", sodaPlain)
+}
+
+// TestSodaFlightRecBitIdenticalWithTables repeats the flight-recorder purity
+// contract with compiled decision tables attached, so watchdog observation
+// composes with the table fast path without perturbing it.
+func TestSodaFlightRecBitIdenticalWithTables(t *testing.T) {
+	tables := core.NewDecisionTables()
+	FlightRecConformance(t, "soda-table", sodaTabled(tables, tableQuantum))
+}

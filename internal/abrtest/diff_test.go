@@ -1,0 +1,51 @@
+package abrtest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qoe"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// TestDiffRuns pins the divergence detector the bit-identity contracts rely
+// on: every field the conformance suites compare must actually be compared,
+// and identical results must diff to "".
+func TestDiffRuns(t *testing.T) {
+	base := sim.Result{
+		Rungs:    []int{0, 1, 2, 1},
+		Waits:    3,
+		Abandons: 1,
+		Metrics:  qoe.Metrics{Score: 2.5, Switches: 2, RebufferSec: units.Seconds(0.5)},
+	}
+	cases := []struct {
+		name   string
+		mutate func(*sim.Result)
+		want   string // substring of the diff, "" for identical
+	}{
+		{"identical", func(r *sim.Result) {}, ""},
+		{"rung-count", func(r *sim.Result) { r.Rungs = r.Rungs[:3] }, "rung counts differ"},
+		{"rung-value", func(r *sim.Result) { r.Rungs[2] = 0 }, "decision 2"},
+		{"waits", func(r *sim.Result) { r.Waits++ }, "waits/abandons differ"},
+		{"abandons", func(r *sim.Result) { r.Abandons++ }, "waits/abandons differ"},
+		{"metrics", func(r *sim.Result) { r.Metrics.Score = 0 }, "metrics differ"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			other := base
+			other.Rungs = append([]int(nil), base.Rungs...)
+			tc.mutate(&other)
+			got := diffRuns(base, other)
+			if tc.want == "" {
+				if got != "" {
+					t.Fatalf("identical results diffed: %q", got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("diff %q does not mention %q", got, tc.want)
+			}
+		})
+	}
+}

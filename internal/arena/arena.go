@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 )
@@ -114,6 +115,7 @@ type slab struct {
 	ctrl  [slabSize]core.Controller
 	state [slabSize]State
 	rec   [slabSize]*telemetry.SessionRecorder
+	watch [slabSize]flightrec.SessionWatch
 }
 
 // shard is one independently owned partition. The spine is fixed-capacity so
@@ -248,6 +250,7 @@ func (a *Arena) Free(h Handle) bool {
 		return false
 	}
 	sl.rec[slot] = nil
+	sl.watch[slot] = flightrec.SessionWatch{}
 	sl.gen[slot].Add(1) // odd (live) -> even (free)
 	sh.free = append(sh.free, idx)
 	sh.mu.Unlock()
@@ -333,6 +336,29 @@ func (a *Arena) sessionInlined(h Handle) (*core.Controller, *State, bool) {
 		return nil, nil, false
 	}
 	return &sl.ctrl[slot], &sl.state[slot], true
+}
+
+// Watch resolves a handle to the slot's QoE-watchdog state. Like the other
+// parallel arrays, the watch belongs to the handle holder; Free zeroes it so
+// a recycled slot starts with fresh detector state.
+//
+//soda:noalloc
+func (a *Arena) Watch(h Handle) (*flightrec.SessionWatch, bool) {
+	shardIdx := h.Shard()
+	if shardIdx >= len(a.shards) {
+		return nil, false
+	}
+	sh := &a.shards[shardIdx]
+	idx := h.Index()
+	sl := a.slabFor(sh, idx)
+	if sl == nil {
+		return nil, false
+	}
+	slot := idx & slabMask
+	if sl.gen[slot].Load() != h.Generation() {
+		return nil, false
+	}
+	return &sl.watch[slot], true
 }
 
 // Recorder returns the slot's telemetry recorder (nil when none was set).

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -267,6 +268,49 @@ func TestRecorderLifecycle(t *testing.T) {
 	h2, _ := a.Alloc(0)
 	if got, ok := a.Recorder(h2); !ok || got != nil {
 		t.Fatalf("recycled slot recorder = %v/%v, want nil/true", got, ok)
+	}
+}
+
+// TestWatchLifecycle covers the per-slot QoE-watchdog state: a live handle
+// resolves to usable detector state, a freed or malformed handle does not,
+// and a recycled slot starts with ZEROED state — proven behaviourally via
+// the watchdog's started-latch (a fresh watch must not flag a stall before
+// the buffer has ever been positive).
+func TestWatchLifecycle(t *testing.T) {
+	a := New(1, 0)
+	wd := flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{})
+	h, _ := a.Alloc(0)
+	watch, ok := a.Watch(h)
+	if !ok || watch == nil {
+		t.Fatalf("fresh slot watch = %v/%v, want non-nil/true", watch, ok)
+	}
+	// Latch playback start (buffer > 0), then stall: exactly one incident.
+	wd.Observe(watch, 1, units.Seconds(1), units.Seconds(10), 0, 0)
+	wd.Observe(watch, 1, units.Seconds(2), units.Seconds(0), 0, 0)
+	if got := wd.Count(flightrec.KindStall); got != 1 {
+		t.Fatalf("stall incidents after started+empty = %d, want 1", got)
+	}
+	a.Free(h)
+	if _, ok := a.Watch(h); ok {
+		t.Fatal("Watch honoured a freed handle")
+	}
+	if _, ok := a.Watch(makeHandle(5, 1, 0)); ok {
+		t.Fatal("Watch honoured an out-of-range shard")
+	}
+	if _, ok := a.Watch(makeHandle(0, 1, slabSize*9)); ok {
+		t.Fatal("Watch honoured an uncommitted slab")
+	}
+	// The recycled slot must not inherit the previous tenant's detector
+	// state: with the started-latch zeroed, an empty buffer on the very
+	// first observation is the fill phase, not a stall.
+	h2, _ := a.Alloc(0)
+	watch2, ok := a.Watch(h2)
+	if !ok {
+		t.Fatal("Watch rejected the recycled handle")
+	}
+	wd.Observe(watch2, 2, units.Seconds(1), units.Seconds(0), 0, 0)
+	if got := wd.Count(flightrec.KindStall); got != 1 {
+		t.Fatalf("recycled slot inherited started-latch: stall incidents = %d, want still 1", got)
 	}
 }
 

@@ -1,0 +1,314 @@
+package flightrec
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// IncidentKind names one QoE-consistency detector.
+type IncidentKind uint8
+
+const (
+	// KindOscillation fires when a session switches rungs on too many of
+	// the last OscillationWindow decisions — the inconsistency SODA's
+	// time-based objective exists to suppress.
+	KindOscillation IncidentKind = iota
+	// KindStall fires at stall onset: the buffer hit empty on a decision
+	// after playback had started.
+	KindStall
+	// KindUnderrunRisk fires when the buffer drops below the configured
+	// horizon while still positive — the early-warning band.
+	KindUnderrunRisk
+
+	// NumIncidentKinds sizes per-kind arrays.
+	NumIncidentKinds = int(KindUnderrunRisk) + 1
+)
+
+var incidentKindNames = [NumIncidentKinds]string{
+	"oscillation", "stall", "underrun_risk",
+}
+
+// String returns the kind's exposition label.
+func (k IncidentKind) String() string {
+	if int(k) < NumIncidentKinds {
+		return incidentKindNames[k]
+	}
+	return "unknown"
+}
+
+// Incident is one watchdog detection, the unit of /debug/incidents.
+type Incident struct {
+	Seq     uint64        `json:"seq"`
+	Session int32         `json:"session"`
+	Kind    IncidentKind  `json:"-"`
+	KindN   string        `json:"kind"`
+	At      units.Seconds `json:"at_s"`
+	Buffer  units.Seconds `json:"buffer_s"`
+	Rung    int16         `json:"rung"`
+}
+
+// IncidentLog is a bounded overwrite-oldest log of incidents, the same
+// shape as telemetry.Ring: one mutex, a power-of-two buffer, a monotone
+// sequence counter. Incidents are rare by construction (one per excursion,
+// not per decision), so the lock is never contended on the hot path.
+type IncidentLog struct {
+	mu sync.Mutex
+	//soda:guard mu
+	buf  []Incident
+	mask uint64
+	//soda:guard mu
+	next uint64
+}
+
+// DefaultIncidentCapacity bounds the incident log.
+const DefaultIncidentCapacity = 1024
+
+// NewIncidentLog builds a log holding the last capacity incidents
+// (rounded up to a power of two; non-positive = DefaultIncidentCapacity).
+func NewIncidentLog(capacity int) *IncidentLog {
+	if capacity <= 0 {
+		capacity = DefaultIncidentCapacity
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &IncidentLog{buf: make([]Incident, n), mask: uint64(n - 1)}
+}
+
+// append records one incident, overwriting the oldest once full.
+//
+//soda:noalloc
+func (l *IncidentLog) append(in Incident) {
+	l.mu.Lock()
+	in.Seq = l.next
+	in.KindN = in.Kind.String()
+	l.buf[l.next&l.mask] = in
+	l.next++
+	l.mu.Unlock()
+}
+
+// Total returns the number of incidents ever appended.
+func (l *IncidentLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+//soda:locked mu
+func (l *IncidentLog) held() int {
+	if l.next < uint64(len(l.buf)) {
+		return int(l.next)
+	}
+	return len(l.buf)
+}
+
+// Snapshot copies the held incidents, oldest first.
+func (l *IncidentLog) Snapshot() []Incident {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.held()
+	out := make([]Incident, n)
+	start := l.next - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = l.buf[(start+uint64(i))&l.mask]
+	}
+	return out
+}
+
+// WatchdogConfig tunes the detectors; the zero value selects the defaults.
+type WatchdogConfig struct {
+	// OscillationWindow is the sliding window of recent decisions a switch
+	// count is taken over (2..64 decisions; default 16).
+	OscillationWindow int
+	// OscillationSwitches is the switch count within the window that flags
+	// an oscillation incident (default half the window).
+	OscillationSwitches int
+	// UnderrunHorizon is the buffer level below which a session is at
+	// underrun risk (default 4s — one segment of headroom).
+	UnderrunHorizon units.Seconds
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.OscillationWindow <= 0 {
+		c.OscillationWindow = 16
+	}
+	if c.OscillationWindow < 2 {
+		c.OscillationWindow = 2
+	}
+	if c.OscillationWindow > 64 {
+		c.OscillationWindow = 64
+	}
+	if c.OscillationSwitches <= 0 {
+		c.OscillationSwitches = c.OscillationWindow / 2
+	}
+	if c.UnderrunHorizon <= 0 {
+		c.UnderrunHorizon = 4
+	}
+	return c
+}
+
+// SessionWatch is one session's detector state: a switch-history bitmask and
+// per-detector hysteresis flags. It is plain pointer-free data so callers
+// embed it in bulk storage (the arena slab carries one per slot) and a slot
+// recycle resets it with a zeroing store.
+type SessionWatch struct {
+	// switches has bit i set if the i-th most recent decision switched rungs.
+	switches uint64
+	// decisions counts observed decisions (saturating at the window makes
+	// no difference; it only gates the warmup).
+	decisions uint32
+	// started latches once the buffer has been positive — sessions begin at
+	// buffer 0, and flagging the fill phase as an underrun would make every
+	// session open with two false incidents.
+	started bool
+	// inOscillation/inStall/inUnderrun are the hysteresis latches: one
+	// incident per excursion, re-armed when the condition clears.
+	inOscillation bool
+	inStall       bool
+	inUnderrun    bool
+}
+
+// Watchdog is the online QoE-consistency monitor: allocation-free streaming
+// detectors over the decision stream, counting incidents per kind and
+// appending to a bounded incident log. One Watchdog serves any number of
+// sessions; per-session state lives in caller-owned SessionWatch values.
+// A nil Watchdog is a valid no-op.
+type Watchdog struct {
+	cfg        WatchdogConfig
+	windowMask uint64
+	counts     [NumIncidentKinds]atomic.Uint64
+	counters   [NumIncidentKinds]*telemetry.Counter
+	log        *IncidentLog
+}
+
+// NewWatchdog builds a watchdog, registering the per-kind
+// soda_qoe_incidents_total counters on reg (nil = private registry).
+func NewWatchdog(reg *telemetry.Registry, cfg WatchdogConfig) *Watchdog {
+	cfg = cfg.withDefaults()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	w := &Watchdog{
+		cfg:        cfg,
+		windowMask: (uint64(1) << cfg.OscillationWindow) - 1,
+		log:        NewIncidentLog(0),
+	}
+	for k := 0; k < NumIncidentKinds; k++ {
+		w.counters[k] = reg.Counter(
+			"soda_qoe_incidents_total",
+			"QoE-consistency watchdog incidents, by kind",
+			telemetry.None,
+			telemetry.Label{Key: "kind", Value: IncidentKind(k).String()},
+		)
+	}
+	return w
+}
+
+// Config returns the effective (defaulted) configuration.
+func (w *Watchdog) Config() WatchdogConfig { return w.cfg }
+
+// Log returns the incident log (nil for a nil watchdog).
+func (w *Watchdog) Log() *IncidentLog {
+	if w == nil {
+		return nil
+	}
+	return w.log
+}
+
+// Observe feeds one decision to the detectors: the session's watch state,
+// its clock, the buffer level when Decide was called, the chosen and
+// previous rungs (rung < 0 = wait), and whether the decision was a wait.
+// Nil-safe no-op; allocation-free.
+//
+//soda:noalloc
+func (w *Watchdog) Observe(watch *SessionWatch, session int32, at, buffer units.Seconds, rung, prevRung int16) {
+	if w == nil || watch == nil {
+		return
+	}
+	// Oscillation: shift the switch history, count the window.
+	switched := rung >= 0 && prevRung >= 0 && rung != prevRung
+	watch.switches = (watch.switches << 1) & w.windowMask
+	if switched {
+		watch.switches |= 1
+	}
+	if watch.decisions < uint32(w.cfg.OscillationWindow) {
+		watch.decisions++
+	}
+	nSwitch := bits.OnesCount64(watch.switches)
+	if watch.decisions >= uint32(w.cfg.OscillationWindow) && nSwitch >= w.cfg.OscillationSwitches {
+		if !watch.inOscillation {
+			watch.inOscillation = true
+			w.incident(KindOscillation, session, at, buffer, rung)
+		}
+	} else if nSwitch <= w.cfg.OscillationSwitches/2 {
+		watch.inOscillation = false
+	}
+
+	if buffer > 0 {
+		watch.started = true
+	}
+	if !watch.started {
+		return
+	}
+	// Stall onset: the buffer hit empty after playback had started.
+	if buffer <= 0 {
+		if !watch.inStall {
+			watch.inStall = true
+			w.incident(KindStall, session, at, buffer, rung)
+		}
+	} else {
+		watch.inStall = false
+	}
+	// Underrun risk: below the horizon but not (yet) stalled.
+	if buffer > 0 && buffer < w.cfg.UnderrunHorizon {
+		if !watch.inUnderrun {
+			watch.inUnderrun = true
+			w.incident(KindUnderrunRisk, session, at, buffer, rung)
+		}
+	} else if buffer >= w.cfg.UnderrunHorizon {
+		watch.inUnderrun = false
+	}
+}
+
+//soda:noalloc
+func (w *Watchdog) incident(kind IncidentKind, session int32, at, buffer units.Seconds, rung int16) {
+	w.counts[kind].Add(1)
+	w.counters[kind].Inc()
+	w.log.append(Incident{
+		Session: session, Kind: kind, At: at, Buffer: buffer, Rung: rung,
+	})
+}
+
+// Count returns the total incidents of one kind.
+func (w *Watchdog) Count(kind IncidentKind) uint64 {
+	if w == nil || int(kind) >= NumIncidentKinds {
+		return 0
+	}
+	return w.counts[kind].Load()
+}
+
+// Total returns the total incidents across kinds.
+func (w *Watchdog) Total() uint64 {
+	if w == nil {
+		return 0
+	}
+	var n uint64
+	for k := 0; k < NumIncidentKinds; k++ {
+		n += w.counts[k].Load()
+	}
+	return n
+}
+
+// PerThousandSessions scales a raw incident count to the fleet-report and
+// gate-schema denomination.
+func PerThousandSessions(incidents uint64, sessions int) float64 {
+	if sessions <= 0 {
+		return 0
+	}
+	return float64(incidents) * 1000 / float64(sessions)
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/arena"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/sessiontable"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -69,6 +70,16 @@ type DecideOptions struct {
 	// what limits session count. The memo is a bit-identical cache, so this
 	// knob never changes decisions.
 	SessionMemoEntries int
+	// FlightRecorder, when non-nil, records one latency span per pipeline
+	// stage (ratelimit, inflight, session, arena, decide, respond) into
+	// lock-free seqlock rings and the per-stage latency histograms. Nil
+	// records nothing; either way the steady decide path allocates nothing.
+	FlightRecorder *flightrec.Recorder
+	// Watchdog, when non-nil, observes every served decision with the QoE-
+	// consistency detectors. Per-session detector state lives in the arena
+	// slot alongside the controller, so observation is allocation-free and
+	// serialised by the same per-session entry lock as the decide itself.
+	Watchdog *flightrec.Watchdog
 }
 
 // normalize fills in defaults.
@@ -118,6 +129,13 @@ type DecideService struct {
 	inflight *sessiontable.Semaphore
 	ttl      time.Duration
 
+	flight   *flightrec.Recorder
+	watchdog *flightrec.Watchdog
+	// epochNanos is the service start in UnixNano; DecisionEvent.AtSeconds
+	// is stamped relative to it (the serving-path analogue of the
+	// simulator's stream clock).
+	epochNanos int64
+
 	cacheEntries  *telemetry.Gauge
 	cacheCapacity *telemetry.Gauge
 	liveSessions  *telemetry.Gauge
@@ -166,6 +184,9 @@ func NewDecideService(ladder video.Ladder, opts DecideOptions, col *telemetry.Co
 		memoEntries:  opts.SessionMemoEntries,
 		col:          col,
 		ttl:          opts.SessionTTL,
+		flight:       opts.FlightRecorder,
+		watchdog:     opts.Watchdog,
+		epochNanos:   time.Now().UnixNano(),
 	}
 	ttlNanos := opts.SessionTTL.Nanoseconds()
 	if opts.SessionTTL < 0 {
@@ -361,16 +382,43 @@ func (s *DecideService) Decide(req *DecideRequest) DecideResult {
 	start := time.Now()
 	now := start.UnixNano()
 
+	// Flight-recorder span clock: one Now() per stage boundary when a
+	// recorder is attached, zero time calls when not. Pre-session stages
+	// cannot name a session id yet and record as noSessionID.
+	rec := s.flight
+	var tEnter, t0 int64
+	if rec != nil {
+		tEnter = rec.Now()
+		t0 = tEnter
+	}
+
 	client := req.Client
 	if client == "" {
 		client = req.Session
 	}
-	if ok, retry := s.limiter.Allow(client, now); !ok {
+	admitted, retry := s.limiter.Allow(client, now)
+	if rec != nil {
+		t1 := rec.Now()
+		rec.Record(flightrec.StageRateLimit, noSessionID, t0, t1-t0, admitted)
+		t0 = t1
+	}
+	if !admitted {
 		s.rejectedRate.Inc()
+		if rec != nil {
+			rec.Record(flightrec.StageRespond, noSessionID, tEnter, rec.Now()-tEnter, false)
+		}
 		return DecideResult{Status: StatusRejectedRate, RetryAfter: time.Duration(retry)}
 	}
-	if !s.inflight.TryAcquire() {
+	acquired := s.inflight.TryAcquire()
+	if rec != nil {
+		t1 := rec.Now()
+		rec.Record(flightrec.StageInflight, noSessionID, t0, t1-t0, acquired)
+	}
+	if !acquired {
 		s.rejectedLoad.Inc()
+		if rec != nil {
+			rec.Record(flightrec.StageRespond, noSessionID, tEnter, rec.Now()-tEnter, false)
+		}
 		return DecideResult{Status: StatusRejectedLoad, RetryAfter: time.Second}
 	}
 	res := s.decideAdmitted(req, now)
@@ -378,13 +426,38 @@ func (s *DecideService) Decide(req *DecideRequest) DecideResult {
 	if res.Status == StatusOK {
 		s.decideLatency.Observe(time.Since(start).Seconds())
 	}
+	if rec != nil {
+		sid := noSessionID
+		if res.Status == StatusOK {
+			sid = int32(res.SessionID)
+		}
+		rec.Record(flightrec.StageRespond, sid, tEnter, rec.Now()-tEnter, res.Status == StatusOK)
+	}
 	return res
 }
+
+// noSessionID attributes spans recorded before (or without) a session
+// resolving — admission rejections and pre-acquire stages.
+const noSessionID = int32(-1)
 
 // decideAdmitted is the post-admission decide path: the caller holds an
 // in-flight slot.
 func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResult {
+	rec := s.flight
+	var fr0 int64
+	if rec != nil {
+		fr0 = rec.Now()
+	}
 	entry, err := s.sessions.Acquire(req.Session, now, s.newSession)
+	if rec != nil {
+		t1 := rec.Now()
+		sid := noSessionID
+		if err == nil {
+			sid = int32(entry.ID())
+		}
+		rec.Record(flightrec.StageSession, sid, fr0, t1-fr0, err == nil)
+		fr0 = t1
+	}
 	if err != nil {
 		if err == sessiontable.ErrDraining {
 			s.rejectedDraining.Inc()
@@ -405,6 +478,11 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 	// section stays short; distinct sessions proceed in parallel.
 	entry.Mu.Lock()
 	ctrl, st, ok := s.arena.Session(arena.Handle(entry.Handle))
+	if rec != nil {
+		t1 := rec.Now()
+		rec.Record(flightrec.StageArena, int32(entry.ID()), fr0, t1-fr0, ok)
+		fr0 = t1
+	}
 	if !ok {
 		// Unreachable by the lifecycle contract: the table's refcount keeps
 		// the slot from being evicted (and therefore freed) under a holder,
@@ -436,6 +514,9 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 	t0 := time.Now()
 	decision := ctrl.Decide(ctx)
 	elapsed := time.Since(t0)
+	if rec != nil {
+		rec.Record(flightrec.StageDecide, int32(entry.ID()), fr0, rec.Now()-fr0, true)
+	}
 
 	res := DecideResult{SessionID: entry.ID(), Segment: int(st.Segment), Rung: decision.Rung}
 	ev := telemetry.DecisionEvent{
@@ -443,6 +524,7 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 		Segment:      st.Segment,
 		Rung:         int16(decision.Rung),
 		PrevRung:     int16(st.PrevRung),
+		AtSeconds:    units.Seconds(float64(now-s.epochNanos) / 1e9),
 		Buffer:       req.Buffer,
 		Throughput:   omega,
 		SolveSeconds: units.Seconds(elapsed.Seconds()),
@@ -459,6 +541,14 @@ func (s *DecideService) decideAdmitted(req *DecideRequest, now int64) DecideResu
 		ev.Bitrate = s.ladder.Mbps(rung)
 		st.PrevRung = int32(rung)
 		st.Segment++
+	}
+	if s.watchdog != nil {
+		// Detector state lives in the session's arena slot; the entry lock
+		// already serialises this session, so Observe races nothing.
+		if watch, ok := s.arena.Watch(arena.Handle(entry.Handle)); ok {
+			s.watchdog.Observe(watch, int32(entry.ID()), ev.AtSeconds, req.Buffer,
+				ev.Rung, ev.PrevRung)
+		}
 	}
 	d := ctrl.SolveStats().Delta(before)
 	entry.Mu.Unlock()

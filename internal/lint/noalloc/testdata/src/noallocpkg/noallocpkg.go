@@ -80,3 +80,39 @@ func (c *Counter) Box() any {
 
 //soda:noalloc // want `//soda:noalloc must be the doc comment of a function declaration`
 type Misplaced struct{ n int }
+
+// spanRing is a fixed-slot seqlock ring in the flight-recorder shape: a
+// version word per slot plus packed payload words, written with plain
+// stores here (the real ring uses atomics; escape analysis is identical).
+type spanRing struct {
+	version [8]uint64
+	w0      [8]uint64
+	w1      [8]uint64
+	next    uint64
+}
+
+// record claims the next slot and stores the packed span in place — the
+// flight-recorder hot path. Everything is fixed-size receiver state: no
+// allocation.
+//
+//soda:noalloc
+func (r *spanRing) record(start, dur uint64) {
+	i := r.next & 7
+	r.version[i]++
+	r.w0[i] = start
+	r.w1[i] = dur
+	r.version[i]++
+	r.next++
+}
+
+// snapshotSpans copies the ring out for exposition. The copy is the point —
+// but it allocates, so it must never carry the noalloc tag.
+//
+//soda:noalloc
+func (r *spanRing) snapshotSpans() [][2]uint64 {
+	out := make([][2]uint64, 0, 8) // want `heap allocation in //soda:noalloc function \(spanRing\)\.snapshotSpans: make\(\[\]\[2\]uint64, 0, 8\) escapes to heap`
+	for i := range r.w0 {
+		out = append(out, [2]uint64{r.w0[i], r.w1[i]})
+	}
+	return out
+}

@@ -67,7 +67,7 @@ const Directive = "//soda:wire-boundary"
 // element of their import path (fixture packages mirror real ones by base
 // name, like the unitsafe "units" suffix rule). A package's external test
 // package shares its boundary status.
-var WirePackages = []string{"proto", "httpseg", "dash", "trace", "telemetry"}
+var WirePackages = []string{"proto", "httpseg", "dash", "trace", "telemetry", "flightrec"}
 
 // Analyzer is the nofloat64wire analyzer.
 var Analyzer = &lint.Analyzer{

@@ -113,3 +113,45 @@ func recordDecision(rung int) {
 func snapshotStats(c *Instrumented) {
 	telemetrySink.decisions = c.solves
 }
+
+// watchdogSink stands in for a fleet-wide QoE watchdog: shared incident
+// counters a flight-recorder layer owns. The recording layer observes the
+// decision stream from OUTSIDE the controller; a controller that feeds it
+// from Decide has inverted that dependency.
+var watchdogSink struct {
+	incidents int
+	lastAt    float64
+}
+
+// SelfWatching pushes a watchdog observation from inside Decide via a
+// same-package helper — the flight-recorder anti-pattern: the detector state
+// update becomes part of the decision path, so recording is no longer
+// provably outside the controller. The transitive walk must attribute the
+// helper's global writes to (SelfWatching).Decide.
+type SelfWatching struct{ prevRung int }
+
+func (c *SelfWatching) Decide(ctx *Context) int {
+	rung := int(ctx.Buffer)
+	if rung != c.prevRung {
+		observeSwitch(ctx.Buffer)
+	}
+	c.prevRung = rung // receiver-field write: allowed
+	return rung
+}
+
+func (c *SelfWatching) Reset() { c.prevRung = 0 }
+
+func observeSwitch(at float64) {
+	watchdogSink.incidents++ // want `write to package-level variable watchdogSink in controller path \(SelfWatching\).Decide`
+	watchdogSink.lastAt = at // want `write to package-level variable watchdogSink in controller path \(SelfWatching\).Decide`
+}
+
+// watchSession is the sanctioned shape: the harness calls it AFTER Decide
+// returns, passing the controller's outputs by value. It is not reachable
+// from Decide/Reset, so its global write is out of scope — no finding.
+func watchSession(rung, prevRung int, at float64) {
+	if rung != prevRung {
+		watchdogSink.incidents++
+		watchdogSink.lastAt = at
+	}
+}

@@ -37,7 +37,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/abr"
 	"repro/internal/arena"
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/sessiontable"
 	"repro/internal/telemetry"
@@ -98,6 +100,13 @@ type Config struct {
 	BufferCap units.Seconds
 	// SegmentSeconds is the player model's segment duration (default 2 s).
 	SegmentSeconds units.Seconds
+	// Watchdog, when non-nil, observes every successful decide with the QoE-
+	// consistency detectors, from the client's side of the wire: the virtual
+	// player's buffer trajectory and rung history feed the same detectors the
+	// server and fleet simulator run. Incident totals land in the report
+	// (and its per-1k-sessions gate field). Detector state lives in the
+	// runner's arena slots, so observation allocates nothing per decide.
+	Watchdog *flightrec.Watchdog
 }
 
 // normalize fills defaults; it does not mutate the caller's copy.
@@ -162,8 +171,10 @@ type runner struct {
 	states  []*arena.State
 	keys    []string
 	locks   []sync.Mutex
+	watches []*flightrec.SessionWatch
 	pool    [][]units.Mbps
 	latency *telemetry.Histogram
+	epoch   time.Time
 
 	issued   atomic.Int64
 	ok       atomic.Uint64
@@ -191,6 +202,7 @@ func Run(cfg Config, target Target) (Report, error) {
 	}
 
 	start := time.Now()
+	r.epoch = start
 	if cfg.Mode == OpenLoop {
 		r.runOpen()
 	} else {
@@ -226,6 +238,10 @@ func Run(cfg Config, target Target) (Report, error) {
 		rep.ServerEvictions = stats.EvictedIdle
 		rep.ServerSessions = stats.Active
 	}
+	if cfg.Watchdog != nil {
+		rep.QoEIncidents = cfg.Watchdog.Total()
+		rep.QoEIncidentsPer1k = flightrec.PerThousandSessions(rep.QoEIncidents, cfg.Sessions)
+	}
 	return rep, nil
 }
 
@@ -259,6 +275,9 @@ func (r *runner) buildSessions() error {
 	r.states = make([]*arena.State, r.cfg.Sessions)
 	r.keys = make([]string, r.cfg.Sessions)
 	r.locks = make([]sync.Mutex, r.cfg.Sessions)
+	if r.cfg.Watchdog != nil {
+		r.watches = make([]*flightrec.SessionWatch, r.cfg.Sessions)
+	}
 	for i := range r.states {
 		h, ok := r.arena.Alloc(i % shards)
 		if !ok {
@@ -267,9 +286,18 @@ func (r *runner) buildSessions() error {
 		st, _ := r.arena.State(h)
 		// Stagger cursors so pool-sharing sessions do not move in lockstep
 		// through identical throughput samples.
-		*st = arena.State{Trace: int32(i % len(pool)), Cursor: int32(i / len(pool))}
+		*st = arena.State{Trace: int32(i % len(pool)), Cursor: int32(i / len(pool)), PrevRung: int32(abr.NoRung)}
 		r.states[i] = st
 		r.keys[i] = fmt.Sprintf("lg-%d", i)
+		if r.cfg.Watchdog != nil {
+			// Detector state rides in the same arena slot as the player
+			// state, resolved once here like the fleet simulator does.
+			watch, ok := r.arena.Watch(h)
+			if !ok {
+				return fmt.Errorf("loadgen: watch slot stale at session %d", i)
+			}
+			r.watches[i] = watch
+		}
 	}
 	return nil
 }
@@ -301,7 +329,18 @@ func (r *runner) step(i int, start time.Time) {
 	case httpseg.StatusOK:
 		r.ok.Add(1)
 		r.latency.Observe(time.Since(start).Seconds())
+		prev := st.PrevRung
 		r.advancePlayer(st, throughput, res)
+		if res.Rung >= 0 {
+			st.PrevRung = int32(res.Rung)
+		}
+		if r.watches != nil {
+			// Observe with the client-side view: the buffer reported in the
+			// request and the rung the server answered with.
+			r.cfg.Watchdog.Observe(r.watches[i], int32(i),
+				units.Seconds(time.Since(r.epoch).Seconds()), req.Buffer,
+				int16(res.Rung), int16(prev))
+		}
 	case httpseg.StatusRejectedRate:
 		r.rejRate.Add(1)
 	case httpseg.StatusRejectedLoad:
@@ -446,6 +485,11 @@ type Report struct {
 	// sessiontable stats (the in-process configuration).
 	ServerEvictions uint64 `json:"server_evictions"`
 	ServerSessions  int    `json:"server_sessions_active"`
+	// QoEIncidents is the watchdog's incident total for the run (zero when
+	// no watchdog is attached); QoEIncidentsPer1k normalizes it per 1000
+	// sessions — the gate-schema denomination.
+	QoEIncidents      uint64  `json:"qoe_incidents"`
+	QoEIncidentsPer1k float64 `json:"qoe_incidents_per_1k_sessions"`
 }
 
 // Rejected is the total shed count across all rejection reasons.
@@ -454,9 +498,10 @@ func (r Report) Rejected() uint64 {
 }
 
 // Gate checks the report against the CI thresholds: p99 decide latency in
-// milliseconds and rejection percentage. Non-positive thresholds skip that
-// check. Transport errors always fail.
-func (r Report) Gate(maxP99Ms, maxRejectedPct float64) error {
+// milliseconds, rejection percentage, and QoE-watchdog incidents per 1000
+// sessions. Non-positive maxP99Ms and maxIncidentsPer1k skip those checks;
+// a negative maxRejectedPct skips that one. Transport errors always fail.
+func (r Report) Gate(maxP99Ms, maxRejectedPct, maxIncidentsPer1k float64) error {
 	if r.Errors > 0 {
 		return fmt.Errorf("loadgen: %d transport errors", r.Errors)
 	}
@@ -468,6 +513,10 @@ func (r Report) Gate(maxP99Ms, maxRejectedPct float64) error {
 	}
 	if maxRejectedPct >= 0 && r.RejectedPct > maxRejectedPct {
 		return fmt.Errorf("loadgen: %.2f%% of requests rejected, gate is %.2f%%", r.RejectedPct, maxRejectedPct)
+	}
+	if maxIncidentsPer1k > 0 && r.QoEIncidentsPer1k > maxIncidentsPer1k {
+		return fmt.Errorf("loadgen: %.1f QoE incidents per 1k sessions, gate is %.1f",
+			r.QoEIncidentsPer1k, maxIncidentsPer1k)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/httpseg"
 	"repro/internal/units"
 	"repro/internal/video"
@@ -57,7 +58,7 @@ func TestClosedLoopInProc(t *testing.T) {
 	if rep.ServerSessions != 8 {
 		t.Errorf("server sessions = %d, want 8", rep.ServerSessions)
 	}
-	if err := rep.Gate(1000, 0); err != nil {
+	if err := rep.Gate(1000, 0, 0); err != nil {
 		t.Errorf("clean run failed a generous gate: %v", err)
 	}
 	out, err := rep.WriteJSON()
@@ -129,7 +130,7 @@ func TestGateCatchesRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := clean.Gate(maxP99Ms, maxRejectedPct); err != nil {
+	if err := clean.Gate(maxP99Ms, maxRejectedPct, 0); err != nil {
 		t.Fatalf("clean build failed the gate: %v (p99=%.3fms)", err, clean.P99Ms)
 	}
 
@@ -140,27 +141,32 @@ func TestGateCatchesRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := regressed.Gate(maxP99Ms, maxRejectedPct); err == nil {
+	if err := regressed.Gate(maxP99Ms, maxRejectedPct, 0); err == nil {
 		t.Fatalf("regressed build passed the gate (p99=%.3fms)", regressed.P99Ms)
 	}
 }
 
 func TestGateThresholds(t *testing.T) {
-	base := Report{Requests: 100, OK: 99, RejectedRate: 1, RejectedPct: 1, P99Ms: 2}
+	base := Report{Requests: 100, OK: 99, RejectedRate: 1, RejectedPct: 1, P99Ms: 2,
+		QoEIncidents: 10, QoEIncidentsPer1k: 100}
 	cases := []struct {
-		name           string
-		mutate         func(*Report)
-		maxP99Ms       float64
-		maxRejectedPct float64
-		wantFail       bool
+		name              string
+		mutate            func(*Report)
+		maxP99Ms          float64
+		maxRejectedPct    float64
+		maxIncidentsPer1k float64
+		wantFail          bool
 	}{
-		{"clean", nil, 5, 2, false},
-		{"p99 over", nil, 1, 2, true},
-		{"p99 gate disabled", nil, 0, 2, false},
-		{"rejections over", nil, 5, 0.5, true},
-		{"rejection gate disabled", func(r *Report) { r.RejectedPct = 50 }, 5, -1, false},
-		{"transport errors", func(r *Report) { r.Errors = 1 }, 5, 2, true},
-		{"nothing succeeded", func(r *Report) { r.OK = 0 }, 5, 2, true},
+		{"clean", nil, 5, 2, 0, false},
+		{"p99 over", nil, 1, 2, 0, true},
+		{"p99 gate disabled", nil, 0, 2, 0, false},
+		{"rejections over", nil, 5, 0.5, 0, true},
+		{"rejection gate disabled", func(r *Report) { r.RejectedPct = 50 }, 5, -1, 0, false},
+		{"transport errors", func(r *Report) { r.Errors = 1 }, 5, 2, 0, true},
+		{"nothing succeeded", func(r *Report) { r.OK = 0 }, 5, 2, 0, true},
+		{"incidents over", nil, 5, 2, 50, true},
+		{"incidents within", nil, 5, 2, 200, false},
+		{"incident gate disabled", func(r *Report) { r.QoEIncidentsPer1k = 1e6 }, 5, 2, 0, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -168,9 +174,9 @@ func TestGateThresholds(t *testing.T) {
 			if tc.mutate != nil {
 				tc.mutate(&rep)
 			}
-			err := rep.Gate(tc.maxP99Ms, tc.maxRejectedPct)
+			err := rep.Gate(tc.maxP99Ms, tc.maxRejectedPct, tc.maxIncidentsPer1k)
 			if (err != nil) != tc.wantFail {
-				t.Errorf("Gate(%g, %g) = %v, want fail=%v", tc.maxP99Ms, tc.maxRejectedPct, err, tc.wantFail)
+				t.Errorf("Gate(%g, %g, %g) = %v, want fail=%v", tc.maxP99Ms, tc.maxRejectedPct, tc.maxIncidentsPer1k, err, tc.wantFail)
 			}
 		})
 	}
@@ -193,7 +199,7 @@ func TestRejectionAccounting(t *testing.T) {
 	if rep.RejectedPct <= 0 {
 		t.Errorf("rejected pct = %g, want > 0", rep.RejectedPct)
 	}
-	if err := rep.Gate(1000, 0); err == nil {
+	if err := rep.Gate(1000, 0, 0); err == nil {
 		t.Error("gate with a zero rejection budget passed a shedding run")
 	}
 }
@@ -324,5 +330,54 @@ func TestTracePoolSharing(t *testing.T) {
 	}
 	if rep.ServerSessions != 300 {
 		t.Errorf("server sessions = %d, want 300", rep.ServerSessions)
+	}
+}
+
+// TestWatchdogAttached pins the client-side QoE-watchdog wiring: a run with a
+// watchdog fills the report's incident fields and JSON schema; virtual
+// sessions start at buffer 0 and immediately drain through the underrun band,
+// so a horizon-triggering workload must produce incidents.
+func TestWatchdogAttached(t *testing.T) {
+	svc := newService(t, httpseg.DecideOptions{})
+	wd := flightrec.NewWatchdog(nil, flightrec.WatchdogConfig{UnderrunHorizon: units.Seconds(30)})
+	rep, err := Run(Config{
+		Mode:     ClosedLoop,
+		Sessions: 4,
+		Requests: 200,
+		Seed:     5,
+		// BufferCap 20 < the 30 s horizon: every session lives in the
+		// underrun-risk band its whole life, so at least one incident per
+		// session is guaranteed.
+		BufferCap: units.Seconds(20),
+		Watchdog:  wd,
+	}, &InProc{Svc: svc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QoEIncidents == 0 {
+		t.Fatal("watchdog with a 30 s underrun horizon over a 20 s buffer cap observed no incidents")
+	}
+	if rep.QoEIncidents != wd.Total() {
+		t.Errorf("report incidents %d != watchdog total %d", rep.QoEIncidents, wd.Total())
+	}
+	wantPer1k := flightrec.PerThousandSessions(rep.QoEIncidents, 4)
+	if rep.QoEIncidentsPer1k != wantPer1k {
+		t.Errorf("per-1k = %g, want %g", rep.QoEIncidentsPer1k, wantPer1k)
+	}
+	out, err := rep.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"qoe_incidents", "qoe_incidents_per_1k_sessions"} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("report JSON missing %q:\n%s", key, out)
+		}
+	}
+	// A strict incident gate must fire on this report; a generous one passes.
+	if err := rep.Gate(0, -1, 0.001); err == nil {
+		t.Error("strict incident gate passed an incident-heavy run")
+	}
+	if err := rep.Gate(0, -1, 1e9); err != nil {
+		t.Errorf("generous incident gate failed: %v", err)
 	}
 }

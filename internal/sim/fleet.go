@@ -22,6 +22,7 @@ import (
 	"repro/internal/abr"
 	"repro/internal/arena"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/telemetry"
 	"repro/internal/tracegen"
 	"repro/internal/units"
@@ -65,6 +66,12 @@ type FleetConfig struct {
 	// Nil (the benchmark configuration) records nothing and keeps the
 	// steady path allocation-free.
 	Telemetry *telemetry.Collector
+	// Watchdog, when non-nil, observes every decision with the QoE-
+	// consistency detectors. Per-session detector state lives in the
+	// cohort's arena slots (one flightrec.SessionWatch per slab entry), so
+	// attaching a watchdog allocates nothing on the steady path; incident
+	// totals surface through FleetReport. Independent of Telemetry.
+	Watchdog *flightrec.Watchdog
 }
 
 // FleetReport aggregates a cohort's progress counters.
@@ -78,7 +85,12 @@ type FleetReport struct {
 	StallSeconds units.Seconds
 	// SimSeconds is the stream-clock time the cohort has advanced through.
 	SimSeconds units.Seconds
-	Arena      arena.Stats
+	// Incidents is the cohort's total QoE-watchdog incident count (zero
+	// when no watchdog is attached); IncidentsPerThousand is the same
+	// normalized per 1000 sessions — the gate-schema denomination.
+	Incidents            uint64
+	IncidentsPerThousand float64
+	Arena                arena.Stats
 }
 
 // Time-wheel geometry: two levels of 256 buckets. At the default 10 ms tick
@@ -180,16 +192,17 @@ func (p *constPredictor) predict(units.Seconds) units.Mbps { return p.omega }
 // the shard-ownership contract makes them stable for the cohort's lifetime —
 // so the per-decision path is array indexing, not handle validation.
 type fleetWorker struct {
-	f      *Fleet
-	shard  int
-	base   int // global index of this worker's first session
-	ctrls  []*core.Controller
-	states []*arena.State
-	recs   []*telemetry.SessionRecorder
-	wheel  wheel
-	ctx    abr.Context
-	pred   constPredictor
-	fireFn func(local uint32, tick uint32) // w.fire, bound once at setup
+	f       *Fleet
+	shard   int
+	base    int // global index of this worker's first session
+	ctrls   []*core.Controller
+	states  []*arena.State
+	recs    []*telemetry.SessionRecorder
+	watches []*flightrec.SessionWatch
+	wheel   wheel
+	ctx     abr.Context
+	pred    constPredictor
+	fireFn  func(local uint32, tick uint32) // w.fire, bound once at setup
 
 	decisions uint64
 	waits     uint64
@@ -316,6 +329,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		if cfg.Telemetry != nil {
 			w.recs = make([]*telemetry.SessionRecorder, n)
 		}
+		if cfg.Watchdog != nil {
+			w.watches = make([]*flightrec.SessionWatch, n)
+		}
 		for local := 0; local < n; local++ {
 			global := next + local
 			h, ok := f.arena.Alloc(wi)
@@ -345,6 +361,16 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 				rec := cfg.Telemetry.StartSession(global)
 				f.arena.SetRecorder(h, rec)
 				w.recs[local] = rec
+			}
+			if cfg.Watchdog != nil {
+				// Detector state lives in the arena slot, resolved once
+				// here under the same shard-ownership contract as ctrls
+				// and states.
+				watch, ok := f.arena.Watch(h)
+				if !ok {
+					return nil, fmt.Errorf("sim: fleet watch slot stale at session %d", global)
+				}
+				w.watches[local] = watch
 			}
 			w.wheel.schedule(w.states, uint32(local), 1+uint32(global)%ticksPerSegment)
 		}
@@ -437,6 +463,7 @@ func (w *fleetWorker) fire(local uint32, tick uint32) {
 	if w.recs != nil {
 		if rec := w.recs[local]; rec != nil {
 			ev := rec.Start()
+			ev.AtSeconds = w.ctx.Now
 			ev.Segment = st.Segment
 			ev.Rung = int16(rung)
 			ev.PrevRung = int16(w.ctx.PrevRung)
@@ -449,6 +476,10 @@ func (w *fleetWorker) fire(local uint32, tick uint32) {
 			}
 			rec.Commit()
 		}
+	}
+	if w.watches != nil {
+		w.f.cfg.Watchdog.Observe(w.watches[local], int32(w.base)+int32(local),
+			w.ctx.Now, w.ctx.Buffer, int16(rung), int16(w.ctx.PrevRung))
 	}
 
 	due := tick + uint32(float64(dt)/float64(w.f.cfg.TickSeconds)+0.999999)
@@ -489,6 +520,10 @@ func (f *Fleet) Report() FleetReport {
 		rep.Waits += w.waits
 		rep.Segments += w.segments
 		rep.StallSeconds += w.stall
+	}
+	if f.cfg.Watchdog != nil {
+		rep.Incidents = f.cfg.Watchdog.Total()
+		rep.IncidentsPerThousand = flightrec.PerThousandSessions(rep.Incidents, rep.Sessions)
 	}
 	return rep
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/abr"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/predictor"
 	"repro/internal/qoe"
 	"repro/internal/telemetry"
@@ -88,6 +89,13 @@ type Config struct {
 	// TelemetrySession labels this session's events (the trace index of a
 	// dataset run). RunDataset sets it automatically.
 	TelemetrySession int
+	// Watchdog, when non-nil, receives every decision through the
+	// QoE-consistency detectors (rung oscillation, stall onset, buffer
+	// underrun risk). Like Telemetry it observes from outside the
+	// controller and never changes the decision sequence — pinned by
+	// abrtest.FlightRecConformance. Per-session detector state is a local
+	// of Run, so one Watchdog safely serves a whole concurrent dataset.
+	Watchdog *flightrec.Watchdog
 }
 
 // TrajectoryPoint is one per-segment snapshot of the session state.
@@ -199,7 +207,8 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 		playing  bool
 		prevRung = abr.NoRung
 		lastMbps units.Mbps
-		segStall units.Seconds // stall charged since the last segment completed
+		segStall units.Seconds          // stall charged since the last segment completed
+		watch    flightrec.SessionWatch // per-session QoE detector state
 	)
 	quantile, _ := cfg.Predictor.(predictor.QuantilePredictor)
 
@@ -277,6 +286,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			ev.Buffer = buffer
 			ev.Throughput = lastMbps
 			ev.Timed = timed
+			ev.AtSeconds = now
 			if timed {
 				ev.SolveSeconds = units.Seconds(time.Since(t0).Seconds())
 			}
@@ -315,6 +325,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 					ev.WaitSeconds = wait
 					rec.Commit()
 				}
+				cfg.Watchdog.Observe(&watch, int32(cfg.TelemetrySession), now, buffer, abr.NoRung, int16(prevRung))
 				advance(wait)
 				seg-- // retry the same segment index after idling
 				continue
@@ -326,6 +337,7 @@ func Run(tr *trace.Trace, cfg Config) (Result, error) {
 			ev.Bitrate = ladder.Mbps(rung)
 			rec.Commit()
 		}
+		cfg.Watchdog.Observe(&watch, int32(cfg.TelemetrySession), now, buffer, int16(rung), int16(prevRung))
 
 		// Live-edge availability: the broadcast has not produced this
 		// segment yet; idle until it appears.

@@ -204,7 +204,8 @@ func MetricsHandler(reg *Registry, onScrape ...func()) http.Handler {
 }
 
 // DecisionsHandler serves the trace ring as JSONL (newest ?limit= events,
-// default the whole ring), for `curl /debug/decisions | jq`.
+// default the whole ring; ?session=N keeps one session's events so timeline
+// reconstruction needs no client-side scan), for `curl /debug/decisions | jq`.
 func DecisionsHandler(ring *Ring) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		limit := 0
@@ -216,7 +217,16 @@ func DecisionsHandler(ring *Ring) http.Handler {
 			}
 			limit = n
 		}
+		session := AllSessions
+		if s := r.URL.Query().Get("session"); s != "" {
+			n, err := strconv.ParseInt(s, 10, 32)
+			if err != nil || n < 0 {
+				http.Error(w, "session must be a non-negative int32", http.StatusBadRequest)
+				return
+			}
+			session = int32(n)
+		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		_ = ring.WriteJSONL(w, limit) // a failed write means the client hung up
+		_ = ring.WriteJSONL(w, limit, session) // a failed write means the client hung up
 	})
 }

@@ -15,8 +15,8 @@ import (
 // as plain JSON numbers.
 // The narrow integer fields are deliberate: the event is copied on every
 // ring append and sits 256-deep in each recorder's pending batch, so its
-// size is hot-path cache traffic. int32/int16/uint32 keep it at 80 bytes
-// (vs 128 with machine-word fields) without losing range — sessions and
+// size is hot-path cache traffic. int32/int16/uint32 keep it at 88 bytes
+// (vs 136 with machine-word fields) without losing range — sessions and
 // segments stay far below 2^31, ladders below 2^15, and per-decision solver
 // deltas below 2^32.
 type DecisionEvent struct {
@@ -56,6 +56,11 @@ type DecisionEvent struct {
 	// SolveSeconds is the measured Decide latency; only meaningful when
 	// Timed is set.
 	SolveSeconds units.Seconds `json:"solve_s,omitempty"`
+	// AtSeconds is the harness clock at the decision: the stream clock of a
+	// simulated session (sim.Run / sim.Fleet) or the service-relative wall
+	// clock of a serving decide. Timeline reconstruction and the Chrome
+	// trace export order events by it; 0 means the harness did not stamp.
+	AtSeconds units.Seconds `json:"at_s,omitempty"`
 }
 
 // Ring is a fixed-capacity overwrite-oldest buffer of decision events. A
@@ -149,10 +154,24 @@ func (r *Ring) Snapshot() []DecisionEvent {
 	return out
 }
 
+// AllSessions is the WriteJSONL session filter that keeps every event.
+const AllSessions int32 = -1
+
 // WriteJSONL writes held events as one JSON object per line, oldest first.
-// A positive max keeps only the newest max events.
-func (r *Ring) WriteJSONL(w io.Writer, max int) error {
+// A positive max keeps only the newest max events; a session other than
+// AllSessions keeps only that session's events (filtered before the max cut,
+// so `?session=N&limit=K` is the newest K events *of that session*).
+func (r *Ring) WriteJSONL(w io.Writer, max int, session int32) error {
 	events := r.Snapshot()
+	if session != AllSessions {
+		kept := events[:0]
+		for i := range events {
+			if events[i].Session == session {
+				kept = append(kept, events[i])
+			}
+		}
+		events = kept
+	}
 	if max > 0 && len(events) > max {
 		events = events[len(events)-max:]
 	}

@@ -169,12 +169,23 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return h.sum.Load() }
 
-// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts,
-// returning the upper bound of the bucket containing the q-th observation —
-// a conservative (never underestimating) estimate, the convention load
-// gates want: a reported p99 below the threshold guarantees the true p99 is
-// too. Observations in the +Inf bucket report the largest finite bound (the
-// histogram cannot resolve beyond its layout). Returns 0 when empty.
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts.
+//
+// The estimator is the conservative bucket-upper-bound rule: it finds the
+// bucket containing the rank-⌈q·N⌉ observation and returns that bucket's
+// upper bound, with no interpolation inside the bucket. The estimate
+// therefore never underestimates the true quantile (resolution is bounded
+// by the bucket layout), which is the convention the load gates want: a
+// reported p99 below a threshold guarantees the true p99 is below it too.
+//
+// Degenerate inputs, pinned by TestHistogramQuantileEstimatorTable:
+//
+//   - empty histogram (no observations, or q out of range): returns 0;
+//   - single-bucket layout: every in-range observation reports that
+//     bucket's bound, however small the observed values were;
+//   - observations in the implicit +Inf overflow bucket: report the
+//     largest finite bound — the histogram cannot resolve beyond its
+//     layout, and returning +Inf would poison downstream arithmetic.
 func (h *Histogram) Quantile(q float64) float64 {
 	if q <= 0 || q > 1 || len(h.upper) == 0 {
 		return 0

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"os"
@@ -113,6 +115,39 @@ func TestHistogramQuantile(t *testing.T) {
 	h2.Observe(50)
 	if got := h2.Quantile(0.99); got != 2 {
 		t.Errorf("overflow-only Quantile(0.99) = %g, want 2 (largest finite bound)", got)
+	}
+}
+
+// TestHistogramQuantileEstimatorTable pins the documented estimator contract
+// — conservative bucket-upper-bound, never interpolating — on the degenerate
+// layouts the doc comment calls out: empty histograms, a single-bucket
+// layout, and observations that land only in the implicit +Inf bucket.
+func TestHistogramQuantileEstimatorTable(t *testing.T) {
+	reg := NewRegistry()
+	cases := []struct {
+		name    string
+		buckets []float64
+		obs     []float64
+		q       float64
+		want    float64
+	}{
+		{"empty histogram", []float64{1, 2}, nil, 0.5, 0},
+		{"empty histogram p99", []float64{1, 2}, nil, 0.99, 0},
+		{"single bucket, value inside", []float64{10}, []float64{0.25}, 0.5, 10},
+		{"single bucket, p100", []float64{10}, []float64{0.25, 9.9}, 1, 10},
+		{"single bucket, overflow only", []float64{10}, []float64{11}, 0.5, 10},
+		{"overflow bucket only", []float64{1, 2, 4}, []float64{100, 200}, 0.99, 4},
+		{"mixed finite and overflow", []float64{1, 2}, []float64{0.5, 0.5, 0.5, 99}, 0.75, 1},
+		{"mixed, quantile in overflow", []float64{1, 2}, []float64{0.5, 99}, 1, 2},
+	}
+	for i, tc := range cases {
+		h := reg.Histogram(fmt.Sprintf("soda_qt%d_seconds", i), tc.name, USeconds, tc.buckets)
+		for _, v := range tc.obs {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %g, want %g", tc.name, tc.q, got, tc.want)
+		}
 	}
 }
 
@@ -290,6 +325,12 @@ func TestParseExpositionRejectsMalformed(t *testing.T) {
 		{"undeclared sample", "a_total 1\n"},
 		{"bad value", "# TYPE a counter\na bogus\n"},
 		{"bad name", "# TYPE a counter\n9a 1\n"},
+		{"malformed TYPE line", "# TYPE a\n"},
+		{"TYPE with extra tokens", "# TYPE a counter extra\n"},
+		{"unbalanced braces", "# TYPE a counter\na{x=\"1\" 1\n"},
+		{"sample missing value", "# TYPE a counter\na\n"},
+		{"sample with extra fields", "# TYPE a counter\na 1 2 3\n"},
+		{"undeclared histogram series", "# TYPE a counter\nb_bucket{le=\"1\"} 1\n"},
 	}
 	for _, tc := range cases {
 		if _, err := ParseExposition(strings.NewReader(tc.payload)); err == nil {
@@ -323,7 +364,7 @@ func TestRingJSONL(t *testing.T) {
 		r.Append(DecisionEvent{Segment: int32(i), Rung: int16(i % 3), Buffer: units.Seconds(i)})
 	}
 	var buf bytes.Buffer
-	if err := r.WriteJSONL(&buf, 3); err != nil {
+	if err := r.WriteJSONL(&buf, 3, AllSessions); err != nil {
 		t.Fatalf("WriteJSONL: %v", err)
 	}
 	sc := bufio.NewScanner(&buf)
@@ -337,6 +378,71 @@ func TestRingJSONL(t *testing.T) {
 	}
 	if len(segs) != 3 || segs[0] != 2 || segs[2] != 4 {
 		t.Fatalf("limited JSONL segments = %v, want [2 3 4]", segs)
+	}
+}
+
+func TestRingJSONLSessionFilter(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 12; i++ {
+		r.Append(DecisionEvent{Session: int32(i % 3), Segment: int32(i)})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf, 0, 1); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var segs []int32
+	for sc.Scan() {
+		var ev DecisionEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line does not parse: %v", err)
+		}
+		if ev.Session != 1 {
+			t.Fatalf("filtered output leaked session %d", ev.Session)
+		}
+		segs = append(segs, ev.Segment)
+	}
+	if len(segs) != 4 || segs[0] != 1 || segs[3] != 10 {
+		t.Fatalf("session-1 segments = %v, want [1 4 7 10]", segs)
+	}
+	// The limit applies after the session filter: newest K of that session.
+	buf.Reset()
+	if err := r.WriteJSONL(&buf, 2, 1); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("limit-after-filter produced %d lines, want 2", len(lines))
+	}
+	var first DecisionEvent
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil || first.Segment != 7 {
+		t.Fatalf("newest-2-of-session-1 starts at segment %d (err %v), want 7", first.Segment, err)
+	}
+}
+
+// errAfterWriter fails every write after the first n bytes — the shape of a
+// client hanging up mid-stream.
+type errAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("client hung up")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestRingJSONLClientHangup(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		r.Append(DecisionEvent{Segment: int32(i)})
+	}
+	err := r.WriteJSONL(&errAfterWriter{n: 50}, 0, AllSessions)
+	if err == nil {
+		t.Fatal("WriteJSONL swallowed the write error")
 	}
 }
 
@@ -521,5 +627,31 @@ func TestMetricsAndDecisionsHandlers(t *testing.T) {
 	dh.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/decisions?limit=-2", nil))
 	if rw.Code != 400 {
 		t.Fatalf("negative limit returned %d, want 400", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	dh.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/decisions?limit=abc", nil))
+	if rw.Code != 400 {
+		t.Fatalf("non-numeric limit returned %d, want 400", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	dh.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/decisions?session=-3", nil))
+	if rw.Code != 400 {
+		t.Fatalf("negative session returned %d, want 400", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	dh.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/decisions?session=bogus", nil))
+	if rw.Code != 400 {
+		t.Fatalf("non-numeric session returned %d, want 400", rw.Code)
+	}
+	// The filter path: only the requested session's events come back.
+	c.RecordDecision(DecisionEvent{Session: 7, Segment: 9})
+	rw = httptest.NewRecorder()
+	dh.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/decisions?session=7", nil))
+	var filtered DecisionEvent
+	if err := json.Unmarshal(bytes.TrimSpace(rw.Body.Bytes()), &filtered); err != nil {
+		t.Fatalf("filtered decision line does not parse: %v", err)
+	}
+	if filtered.Session != 7 || filtered.Segment != 9 {
+		t.Fatalf("?session=7 returned %+v", filtered)
 	}
 }
